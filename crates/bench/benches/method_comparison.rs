@@ -1,0 +1,29 @@
+//! Criterion benchmark over the *simulated* method comparison — one
+//! Figure 3 point per method at the paper's 128 KB operating point, scaled
+//! down so a bench iteration stays subsecond. The measured quantity is the
+//! wall-clock cost of the simulation itself; the simulated seconds are
+//! reported by the `fig3`/`table3` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dini_core::{run_method, standard_workload, ExperimentSetup, MethodId};
+
+fn bench_methods(c: &mut Criterion) {
+    let setup = ExperimentSetup {
+        n_index_keys: 327_680,
+        batch_bytes: 128 * 1024,
+        ..ExperimentSetup::paper()
+    };
+    let (index_keys, search_keys) = standard_workload(&setup, 1 << 17);
+
+    let mut g = c.benchmark_group("simulate_method");
+    g.sample_size(10);
+    for m in MethodId::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, &m| {
+            b.iter(|| run_method(m, &setup, &index_keys, &search_keys).search_time_s)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

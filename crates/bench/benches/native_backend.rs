@@ -1,0 +1,41 @@
+//! Criterion benchmark of the native thread-backed [`DistributedIndex`]
+//! (Method C-3 on real cores) against a single-threaded binary search —
+//! the modern-hardware sanity check that partitioned, cache-resident
+//! lookups scale with worker count for large batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dini_core::{DistributedIndex, NativeConfig};
+use dini_workload::{gen_search_keys, gen_sorted_unique_keys};
+use std::hint::black_box;
+
+fn bench_native(c: &mut Criterion) {
+    let keys = gen_sorted_unique_keys(1 << 20, 7);
+    let queries = gen_search_keys(1 << 14, 8);
+
+    let mut g = c.benchmark_group("native_lookup_batch");
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.sample_size(20);
+
+    g.bench_function("single_thread_baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &q in &queries {
+                acc = acc.wrapping_add(keys.partition_point(|&k| k <= black_box(q)) as u64);
+            }
+            acc
+        })
+    });
+
+    for n_slaves in [1usize, 2, 4, 8] {
+        let mut cfg = NativeConfig::new(n_slaves);
+        cfg.pin_cores = false; // CI machines may deny affinity
+        let mut idx = DistributedIndex::build(&keys, cfg);
+        g.bench_with_input(BenchmarkId::new("distributed", n_slaves), &n_slaves, |b, _| {
+            b.iter(|| idx.lookup_batch(black_box(&queries)).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_native);
+criterion_main!(benches);

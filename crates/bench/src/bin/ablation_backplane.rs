@@ -1,0 +1,53 @@
+//! **Ablation: bounded aggregate network bandwidth** (paper Appendix A,
+//! assumption 1).
+//!
+//! The model assumes "aggregate network bandwidth is unlimited". Method C
+//! funnels every query through the master's TX link *and* the switch
+//! fabric, so it is the method most exposed if that assumption fails. We
+//! sweep a shared-backplane capacity from 1× the link bandwidth (a hub)
+//! up to 16× (full crossbar for the 11-node cluster ≈ unlimited) and
+//! report Method C-3's makespan.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin ablation_backplane -- --quick
+//! ```
+
+use dini_bench::{render_table, search_key_count};
+use dini_cluster::SwitchModel;
+use dini_core::{run_method, standard_workload, ExperimentSetup, MethodId};
+
+fn main() {
+    let n_search = search_key_count();
+    let base = ExperimentSetup::paper().with_batch_bytes(128 * 1024);
+    let (index_keys, search_keys) = standard_workload(&base, n_search);
+
+    let unlimited = run_method(MethodId::C3, &base, &index_keys, &search_keys);
+
+    println!("backplane_factor,search_time_s,slowdown_vs_unlimited");
+    let mut rows = vec![vec![
+        "unlimited (paper)".to_owned(),
+        format!("{:.4} s", unlimited.search_time_s),
+        "1.00x".to_owned(),
+    ]];
+    println!("inf,{:.5},1.0", unlimited.search_time_s);
+
+    for factor in [16.0, 8.0, 4.0, 2.0, 1.0] {
+        let setup = ExperimentSetup {
+            switch: Some(SwitchModel::with_capacity_factor(base.network.bandwidth, factor)),
+            ..base.clone()
+        };
+        let s = run_method(MethodId::C3, &setup, &index_keys, &search_keys);
+        let slow = s.search_time_s / unlimited.search_time_s;
+        rows.push(vec![
+            format!("{factor}x link"),
+            format!("{:.4} s", s.search_time_s),
+            format!("{slow:.2}x"),
+        ]);
+        println!("{factor},{:.5},{slow:.4}", s.search_time_s);
+    }
+    eprint!("{}", render_table(&["backplane", "C-3 time", "slowdown"], &rows));
+    eprintln!(
+        "\n(a crossbar-class switch — Myrinet's design — justifies the paper's \
+         assumption; a hub-class shared segment does not)"
+    );
+}

@@ -1,0 +1,69 @@
+//! **Ablation: overlapped-receive cache contention** (paper §4.1).
+//!
+//! The paper attributes the 64 → 128 KB performance dip to the L2 seeing
+//! "the 128 KB of query lookups for the current message, 128 KB of the
+//! next message being received, and a 320 KB subtree". This ablation runs
+//! Method B (the structure whose resident subtree is that large) and
+//! Method C-2 across the batch sweep with the overlapped-receive pollution
+//! model on and off, isolating how much of the degradation is contention.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin ablation_contention -- --quick
+//! ```
+
+use dini_bench::{figure3_batches, fmt_bytes, render_table, search_key_count};
+use dini_core::{run_method, standard_workload, ExperimentSetup, MethodId};
+
+fn main() {
+    let n_search = search_key_count();
+    let base = ExperimentSetup::paper();
+    let (index_keys, search_keys) = standard_workload(&base, n_search);
+
+    eprintln!("Contention ablation — {n_search} keys; times in seconds\n");
+    println!("batch_bytes,method,polluted_s,clean_s,slowdown_pct");
+    let mut rows = Vec::new();
+    for &batch in figure3_batches().iter().take(8) {
+        for method in [MethodId::B, MethodId::C2] {
+            let polluted = run_method(
+                method,
+                &ExperimentSetup {
+                    batch_bytes: batch,
+                    model_receive_pollution: true,
+                    ..base.clone()
+                },
+                &index_keys,
+                &search_keys,
+            );
+            let clean = run_method(
+                method,
+                &ExperimentSetup {
+                    batch_bytes: batch,
+                    model_receive_pollution: false,
+                    ..base.clone()
+                },
+                &index_keys,
+                &search_keys,
+            );
+            let slowdown =
+                (polluted.search_time_s / clean.search_time_s - 1.0) * 100.0;
+            rows.push(vec![
+                fmt_bytes(batch),
+                method.name().to_owned(),
+                format!("{:.4}", polluted.search_time_s),
+                format!("{:.4}", clean.search_time_s),
+                format!("{slowdown:+.1} %"),
+            ]);
+            println!(
+                "{batch},{},{:.5},{:.5},{slowdown:.2}",
+                method.name().replace(' ', "_"),
+                polluted.search_time_s,
+                clean.search_time_s
+            );
+        }
+    }
+    eprint!(
+        "{}",
+        render_table(&["batch", "method", "with pollution", "without", "slowdown"], &rows)
+    );
+    eprintln!("\n(the paper's dip: contention begins once 2 x batch + resident structure > 512 KB L2)");
+}

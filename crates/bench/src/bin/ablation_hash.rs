@@ -1,0 +1,104 @@
+//! **Ablation: the hash index the paper excludes** (paper §1).
+//!
+//! "We do not consider hash arrays for the index data structure." Why
+//! not? A hash table answers only exact-match lookups — it cannot compute
+//! the rank of an *absent* key, which is the whole routing problem. But
+//! on a workload of purely *present* keys it is the structure to beat.
+//! We quantify both sides on the simulated Pentium III: simulated cost
+//! per lookup for present keys (hash's home turf) and the fraction of
+//! uniform queries a hash index simply cannot answer.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin ablation_hash -- --quick
+//! ```
+
+use dini_bench::{render_table, search_key_count};
+use dini_cache_sim::{MachineParams, SimMemory};
+use dini_core::{standard_workload, ExperimentSetup};
+use dini_index::{CsbTree, HashIndex, RankIndex, SortedArray};
+
+fn main() {
+    let n_search = (search_key_count() / 8).max(1 << 17);
+    let setup = ExperimentSetup::paper();
+    let (index_keys, uniform_queries) = standard_workload(&setup, n_search);
+    let m = &setup.machine;
+
+    // Present-key workload: sample the index itself (hash's best case).
+    let present: Vec<u32> = (0..n_search)
+        .map(|i| index_keys[(i.wrapping_mul(2_654_435_761)) % index_keys.len()])
+        .collect();
+
+    let hash = HashIndex::new(&index_keys, 1 << 30, m.cmp_cost_ns);
+    let array = SortedArray::new(index_keys.clone(), 1 << 28, m.cmp_cost_ns);
+    let tree = CsbTree::with_leaf_entries(
+        &index_keys,
+        m.keys_per_node(),
+        m.leaf_entries_per_line(),
+        m.l2.line_bytes,
+        1 << 26,
+        m.comp_cost_node_ns,
+    );
+
+    let mut rows = Vec::new();
+    println!("structure,footprint_bytes,present_ns_per_key,l2_misses_per_key");
+
+    let mut run = |name: &str, footprint: u64, mut f: Box<dyn FnMut(u32, &mut SimMemory) -> f64>| {
+        let mut mem = SimMemory::new(MachineParams::pentium_iii());
+        // Warm pass, then measure steady state.
+        for &k in present.iter().take(n_search / 4) {
+            f(k, &mut mem);
+        }
+        mem.reset_stats();
+        let mut ns = 0.0;
+        for &k in &present {
+            ns += f(k, &mut mem);
+        }
+        let per_key = ns / present.len() as f64;
+        let mpk = mem.stats().memory_accesses as f64 / present.len() as f64;
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.1} MB", footprint as f64 / (1024.0 * 1024.0)),
+            format!("{per_key:.1} ns"),
+            format!("{mpk:.3}"),
+        ]);
+        println!("{name},{footprint},{per_key:.2},{mpk:.4}");
+    };
+
+    {
+        let h = hash.clone();
+        run("hash (open addressing)", h.footprint_bytes(), Box::new(move |k, mem| h.get(k, mem).1));
+    }
+    {
+        let a = array.clone();
+        run("sorted array", a.footprint_bytes(), Box::new(move |k, mem| a.rank(k, mem).1));
+    }
+    {
+        let t = tree.clone();
+        run("CSB+ tree", t.footprint_bytes(), Box::new(move |k, mem| t.rank(k, mem).1));
+    }
+
+    // The capability gap: uniform routing queries a hash cannot answer.
+    let mut null = dini_cache_sim::NullMemory;
+    let unanswerable = uniform_queries
+        .iter()
+        .filter(|&&q| hash.get(q, &mut null).0.is_none())
+        .count();
+    let frac = unanswerable as f64 / uniform_queries.len() as f64;
+
+    eprint!(
+        "{}",
+        render_table(&["structure", "footprint", "present-key cost", "L2 misses/key"], &rows)
+    );
+    eprintln!(
+        "\nuniform routing queries the hash cannot answer at all: {:.2} % \
+         ({unanswerable}/{})",
+        frac * 100.0,
+        uniform_queries.len()
+    );
+    println!("hash_unanswerable_fraction,{frac:.6}");
+    eprintln!(
+        "(the index holds 327 k of 4.3 G possible keys, so ~100 % of uniform \
+         queries are absent keys — rank queries, which only the sorted \
+         structures answer; this is why the paper excludes hashing)"
+    );
+}

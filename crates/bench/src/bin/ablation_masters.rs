@@ -1,0 +1,59 @@
+//! **Ablation: multiple master nodes** (the paper's §3.2 remark).
+//!
+//! "In principle, if there is a heavy load of incoming queries, a single
+//! master node could become overloaded. This is easily remedied by setting
+//! up multiple master nodes, with replicates of the top level data
+//! structure." We make the master the bottleneck (many slaves, so the
+//! slave term is small) and sweep the master count.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin ablation_masters -- --quick
+//! ```
+
+use dini_bench::{render_table, search_key_count};
+use dini_core::{run_method, standard_workload, ExperimentSetup, MethodId};
+
+fn main() {
+    let n_search = search_key_count();
+    let base = ExperimentSetup {
+        n_slaves: 20, // plenty of slave capacity → master-bound
+        batch_bytes: 64 * 1024,
+        ..ExperimentSetup::paper()
+    };
+    let (index_keys, search_keys) = standard_workload(&base, n_search);
+
+    eprintln!(
+        "Multi-master ablation — {} slaves, {n_search} keys, 64 KB batches\n",
+        base.n_slaves
+    );
+    println!("n_masters,search_time_s,speedup_vs_1,master_idle,slave_idle");
+    let mut rows = Vec::new();
+    let mut t1 = 0.0f64;
+    for n_masters in [1usize, 2, 3, 4] {
+        let setup = ExperimentSetup { n_masters, ..base.clone() };
+        let s = run_method(MethodId::C3, &setup, &index_keys, &search_keys);
+        if n_masters == 1 {
+            t1 = s.search_time_s;
+        }
+        let speedup = t1 / s.search_time_s;
+        rows.push(vec![
+            format!("{n_masters}"),
+            format!("{:.4} s", s.search_time_s),
+            format!("{speedup:.2}x"),
+            format!("{:.0} %", s.master_idle * 100.0),
+            format!("{:.0} %", s.slave_idle * 100.0),
+        ]);
+        println!(
+            "{n_masters},{:.5},{speedup:.3},{:.4},{:.4}",
+            s.search_time_s, s.master_idle, s.slave_idle
+        );
+    }
+    eprint!(
+        "{}",
+        render_table(
+            &["masters", "time", "speedup", "master idle", "slave idle"],
+            &rows
+        )
+    );
+    eprintln!("\n(adding masters helps until the slaves or the wire become the bound)");
+}

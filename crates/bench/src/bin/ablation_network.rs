@@ -1,0 +1,54 @@
+//! **Ablation: interconnect choice** (paper §2.2).
+//!
+//! The paper argues batching amortises latency on Myrinet around 10 KB
+//! messages, but "for Gigabit Ethernet, one may need to batch a message as
+//! large as 200 KB for the transmission time to dominate the latency". We
+//! sweep Method C-3 over the three interconnects the paper names (Myrinet,
+//! Gigabit Ethernet, Fast Ethernet) and report where each network's curve
+//! settles — and where C-3 stops beating the network-free Method A.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin ablation_network -- --quick
+//! ```
+
+use dini_bench::{figure3_batches, fmt_bytes, render_table, search_key_count};
+use dini_cluster::NetworkModel;
+use dini_core::{run_method, standard_workload, ExperimentSetup, MethodId};
+
+fn main() {
+    let n_search = search_key_count();
+    let base = ExperimentSetup::paper();
+    let (index_keys, search_keys) = standard_workload(&base, n_search);
+    let a_time =
+        run_method(MethodId::A, &base, &index_keys, &search_keys).search_time_s;
+
+    let nets = [
+        NetworkModel::myrinet(),
+        NetworkModel::gigabit_ethernet(),
+        NetworkModel::fast_ethernet(),
+    ];
+
+    eprintln!("Network ablation — Method C-3, {n_search} keys (Method A reference: {a_time:.4} s)\n");
+    println!("network,batch_bytes,search_time_s,beats_a");
+    let mut rows = Vec::new();
+    for net in nets {
+        for &batch in figure3_batches().iter().take(8) {
+            let setup =
+                ExperimentSetup { network: net, batch_bytes: batch, ..base.clone() };
+            let s = run_method(MethodId::C3, &setup, &index_keys, &search_keys);
+            let beats = s.search_time_s < a_time;
+            rows.push(vec![
+                net.name.to_owned(),
+                fmt_bytes(batch),
+                format!("{:.4} s", s.search_time_s),
+                if beats { "yes".into() } else { "no".into() },
+            ]);
+            println!("{},{batch},{:.5},{beats}", net.name.replace(',', ";"), s.search_time_s);
+        }
+    }
+    eprint!("{}", render_table(&["network", "batch", "C-3 time", "beats A?"], &rows));
+    eprintln!(
+        "\n(paper: Myrinet amortises by ~10 KB; GigE needs ~200 KB; a slow \
+         network can lose to local lookups outright)"
+    );
+}

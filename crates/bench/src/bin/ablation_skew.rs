@@ -1,0 +1,57 @@
+//! **Ablation: skewed query distributions** (beyond-paper).
+//!
+//! The paper assumes uniformly distributed search keys, which balances
+//! Method C's slaves perfectly. Zipf and hotspot workloads concentrate
+//! queries on few partitions: the hot slave saturates while the rest
+//! idle, eroding the distributed advantage — the load-balance caveat the
+//! paper's Methods A/B comparison hand-waves away.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin ablation_skew -- --quick
+//! ```
+
+use dini_bench::{render_table, search_key_count};
+use dini_core::{run_method, ExperimentSetup, MethodId, INDEX_SEED, SEARCH_SEED};
+use dini_workload::{gen_sorted_unique_keys, KeyDistribution, KeyGen};
+
+fn main() {
+    let n_search = search_key_count();
+    let setup = ExperimentSetup::paper();
+    let index_keys = gen_sorted_unique_keys(setup.n_index_keys, INDEX_SEED);
+
+    let workloads: Vec<(&str, KeyDistribution)> = vec![
+        ("uniform (paper)", KeyDistribution::Uniform),
+        ("zipf s=0.8", KeyDistribution::Zipf { n_buckets: 1024, s: 0.8 }),
+        ("zipf s=1.2", KeyDistribution::Zipf { n_buckets: 1024, s: 1.2 }),
+        ("hotspot 1/16", KeyDistribution::Clustered { lo: 0, hi: u32::MAX / 16 }),
+    ];
+
+    eprintln!("Skew ablation — Method C-3 vs A, {n_search} keys, 128 KB batches\n");
+    println!("workload,c3_s,a_s,speedup,slave_idle_mean");
+    let mut rows = Vec::new();
+    for (name, dist) in workloads {
+        let search_keys = KeyGen::new(SEARCH_SEED, dist).take(n_search);
+        let c3 = run_method(MethodId::C3, &setup, &index_keys, &search_keys);
+        let a = run_method(MethodId::A, &setup, &index_keys, &search_keys);
+        let speedup = a.search_time_s / c3.search_time_s;
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.4} s", c3.search_time_s),
+            format!("{:.4} s", a.search_time_s),
+            format!("{speedup:.2}x"),
+            format!("{:.0} %", c3.slave_idle * 100.0),
+        ]);
+        println!(
+            "{},{:.5},{:.5},{speedup:.3},{:.4}",
+            name.replace(',', ";"),
+            c3.search_time_s,
+            a.search_time_s,
+            c3.slave_idle
+        );
+    }
+    eprint!(
+        "{}",
+        render_table(&["workload", "C-3 time", "A time", "C-3 speedup", "slave idle"], &rows)
+    );
+    eprintln!("\n(skew funnels queries to few slaves: idle rises, the speedup shrinks)");
+}

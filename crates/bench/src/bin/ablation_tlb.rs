@@ -1,0 +1,53 @@
+//! **Ablation: TLB misses** (paper §A.2).
+//!
+//! The paper's model ignores TLB misses and says so: "Method A and
+//! method B are significantly affected by TLB misses... In contrast,
+//! method C generates few TLB misses... Hence, the following analysis
+//! results yield a lower bound running time for Methods A and B." This
+//! ablation turns the TLB model on and quantifies exactly that asymmetry.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin ablation_tlb -- --quick
+//! ```
+
+use dini_bench::{render_table, search_key_count};
+use dini_core::{run_method, standard_workload, ExperimentSetup, MethodId};
+
+fn main() {
+    let n_search = search_key_count();
+    let base = ExperimentSetup::paper();
+    let (index_keys, search_keys) = standard_workload(&base, n_search);
+
+    eprintln!("TLB ablation — {n_search} keys, 128 KB batches\n");
+    println!("method,no_tlb_s,with_tlb_s,slowdown_pct,tlb_misses_per_key");
+    let mut rows = Vec::new();
+    for method in [MethodId::A, MethodId::B, MethodId::C3] {
+        let off = run_method(method, &base, &index_keys, &search_keys);
+        let on = run_method(
+            method,
+            &ExperimentSetup { model_tlb: true, ..base.clone() },
+            &index_keys,
+            &search_keys,
+        );
+        let slowdown = (on.search_time_s / off.search_time_s - 1.0) * 100.0;
+        let tlb_per_key = on.mem.tlb_misses as f64 / n_search as f64;
+        rows.push(vec![
+            method.name().to_owned(),
+            format!("{:.4} s", off.search_time_s),
+            format!("{:.4} s", on.search_time_s),
+            format!("{slowdown:+.1} %"),
+            format!("{tlb_per_key:.3}"),
+        ]);
+        println!(
+            "{},{:.5},{:.5},{slowdown:.2},{tlb_per_key:.4}",
+            method.name().replace(' ', "_"),
+            off.search_time_s,
+            on.search_time_s
+        );
+    }
+    eprint!(
+        "{}",
+        render_table(&["method", "TLB off", "TLB on", "slowdown", "TLB miss/key"], &rows)
+    );
+    eprintln!("\n(paper: A and B are TLB-hurt, C barely — its dataset is small and contiguous)");
+}

@@ -1,0 +1,89 @@
+//! Regenerates **Figure 3** ("Comparing Method A, B, and C: 8 million
+//! search keys over 11 nodes"): normalized search time versus batch size
+//! for all five methods, batch sizes 8 KB through 4 MB.
+//!
+//! Also reports the §4.1 side observations: mean slave idle fraction per
+//! batch size (the paper saw ~50 % at 8 KB falling to ~20 % at 4 MB) and
+//! the message counts.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin fig3              # full 2^23
+//! cargo run -p dini-bench --release --bin fig3 -- --quick   # 2^20 keys
+//! cargo run -p dini-bench --release --bin fig3 -- --methods C3,A
+//! ```
+
+use dini_bench::{figure3_batches, fmt_bytes, opt_value, render_table, search_key_count};
+use dini_core::{run_method, standard_workload, ExperimentSetup, MethodId, RunStats};
+
+fn methods_from_args() -> Vec<MethodId> {
+    match opt_value("--methods") {
+        None => MethodId::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|m| match m.trim().to_ascii_uppercase().as_str() {
+                "A" => MethodId::A,
+                "B" => MethodId::B,
+                "C1" | "C-1" => MethodId::C1,
+                "C2" | "C-2" => MethodId::C2,
+                "C3" | "C-3" => MethodId::C3,
+                other => panic!("unknown method {other}; use A,B,C1,C2,C3"),
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let n_search = search_key_count();
+    let methods = methods_from_args();
+    let base = ExperimentSetup::paper();
+    let (index_keys, search_keys) = standard_workload(&base, n_search);
+    let batches = figure3_batches();
+
+    eprintln!(
+        "Figure 3 — search time vs batch size; {n_search} keys, {} nodes, {}",
+        base.n_nodes(),
+        base.network.name
+    );
+
+    println!("{}", RunStats::csv_header());
+    let mut grid: Vec<Vec<String>> = Vec::new();
+    let mut idle_rows: Vec<Vec<String>> = Vec::new();
+    for &batch in &batches {
+        let setup = base.clone().with_batch_bytes(batch);
+        let mut row = vec![fmt_bytes(batch)];
+        let mut idle_row = vec![fmt_bytes(batch)];
+        for &m in &methods {
+            let stats = run_method(m, &setup, &index_keys, &search_keys);
+            eprintln!(
+                "  {} @ {:>6}: {:.4} s (slave idle {:.0} %, {} msgs)",
+                m,
+                fmt_bytes(batch),
+                stats.search_time_s,
+                stats.slave_idle * 100.0,
+                stats.msgs
+            );
+            row.push(format!("{:.4}", stats.search_time_s));
+            if m.is_distributed() {
+                idle_row.push(format!("{:.0} %", stats.slave_idle * 100.0));
+            }
+            println!("{}", stats.csv_row());
+        }
+        grid.push(row);
+        idle_rows.push(idle_row);
+    }
+
+    let mut headers: Vec<&str> = vec!["batch"];
+    let names: Vec<String> = methods.iter().map(|m| m.name().to_owned()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    eprintln!("\nSearch time (s), normalized as in the paper:\n");
+    eprint!("{}", render_table(&headers, &grid));
+
+    let dist_names: Vec<String> =
+        methods.iter().filter(|m| m.is_distributed()).map(|m| m.name().to_owned()).collect();
+    if !dist_names.is_empty() {
+        let mut idle_headers: Vec<&str> = vec!["batch"];
+        idle_headers.extend(dist_names.iter().map(|s| s.as_str()));
+        eprintln!("\nMean slave idle fraction (paper §4.1: ~50 % @ 8 KB, ~20 % @ 4 MB):\n");
+        eprint!("{}", render_table(&idle_headers, &idle_rows));
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Figure 4** ("Future Trends Based on Model"): the
+//! analytical model's per-key cost for Methods A, B, and C-3 over years
+//! 0–5 under the paper's §4.2 technology assumptions (CPU 2×/18 months,
+//! network 2×/3 years, per-processor memory bandwidth +20 %/year, memory
+//! latency flat).
+//!
+//! The paper's claim: the B : C-3 ratio grows from ~2× at year 0 to ~10×
+//! at year 5.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin fig4
+//! cargo run -p dini-bench --release --bin fig4 -- --horizon 10
+//! ```
+
+use dini_bench::{opt_usize, render_table};
+use dini_model::trends::trend_series;
+use dini_model::ModelParams;
+
+fn main() {
+    let horizon = opt_usize("--horizon", 5) as u32;
+    let p = ModelParams::paper();
+    let series = trend_series(&p, horizon);
+
+    eprintln!("Figure 4 — future trends (model), 128 KB batches, 2^23 keys\n");
+    println!("year,a_ns_per_key,b_ns_per_key,c3_ns_per_key,ratio_b_over_c3,ratio_a_over_c3");
+    let mut rows = Vec::new();
+    for t in &series {
+        let c = t.costs;
+        rows.push(vec![
+            format!("{:.0}", t.year),
+            format!("{:.2}", c.a),
+            format!("{:.2}", c.b),
+            format!("{:.2}", c.c3),
+            format!("{:.1}x", c.b / c.c3),
+            format!("{:.1}x", c.a / c.c3),
+        ]);
+        println!(
+            "{:.0},{:.4},{:.4},{:.4},{:.3},{:.3}",
+            t.year,
+            c.a,
+            c.b,
+            c.c3,
+            c.b / c.c3,
+            c.a / c.c3
+        );
+    }
+    eprint!(
+        "{}",
+        render_table(&["year", "A ns/key", "B ns/key", "C-3 ns/key", "B:C-3", "A:C-3"], &rows)
+    );
+    eprintln!("\n(paper: B:C-3 grows from ~2x at year 0 to ~10x at year 5)");
+}

@@ -1,0 +1,54 @@
+//! **Figure 3 companion: response time vs batch size** (paper §4.1).
+//!
+//! The paper argues Method C "is capable of simultaneously satisfying
+//! severe constraints in both throughput and response time", reading the
+//! claim off Figure 3 (C-2/C-3 reach a target throughput at 64 KB batches
+//! where B needs 256 KB — and smaller batches mean faster responses).
+//! This binary makes response time a measured quantity: for each batch
+//! size it reports throughput *and* the mean / p99 batch response time
+//! (dispatch at the master → results delivered at the target).
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin fig_response -- --quick
+//! ```
+
+use dini_bench::{figure3_batches, fmt_bytes, render_table, search_key_count};
+use dini_core::{run_method, standard_workload, ExperimentSetup, MethodId};
+
+fn main() {
+    let n_search = search_key_count();
+    let base = ExperimentSetup::paper();
+    let (index_keys, search_keys) = standard_workload(&base, n_search);
+
+    println!("method,batch_bytes,search_time_s,rtt_mean_us,rtt_p99_us");
+    let mut rows = Vec::new();
+    for &batch in figure3_batches().iter().take(8) {
+        let setup = base.clone().with_batch_bytes(batch);
+        for method in [MethodId::B, MethodId::C3] {
+            let s = run_method(method, &setup, &index_keys, &search_keys);
+            let (mean_us, p99_us) =
+                (s.batch_rtt_mean_ns / 1000.0, s.batch_rtt_p99_ns / 1000.0);
+            rows.push(vec![
+                method.to_string(),
+                fmt_bytes(batch),
+                format!("{:.4} s", s.search_time_s),
+                format!("{mean_us:.0} µs"),
+                if p99_us > 0.0 { format!("{p99_us:.0} µs") } else { "-".to_owned() },
+            ]);
+            println!(
+                "{},{batch},{:.5},{mean_us:.1},{p99_us:.1}",
+                method.name().replace(' ', "_"),
+                s.search_time_s
+            );
+        }
+    }
+    eprint!(
+        "{}",
+        render_table(&["method", "batch", "total time", "batch RTT mean", "batch RTT p99"], &rows)
+    );
+    eprintln!(
+        "\n(read horizontally: pick a target total time, then compare the RTT \
+         column — C-3 reaches any given throughput at a smaller batch, i.e. \
+         with faster responses, which is the paper's dual-criteria claim)"
+    );
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Table 1** ("The Index Structure Setup"): the derived
+//! index-structure quantities for the paper's 327 k-key workload, printed
+//! beside the values the paper reports.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin table1
+//! ```
+
+use dini_bench::render_table;
+use dini_core::{standard_workload, ExperimentSetup};
+
+fn main() {
+    let setup = ExperimentSetup::paper();
+    let (index_keys, _) = standard_workload(&setup, 0);
+    let t1 = setup.table1(&index_keys);
+
+    let rows = vec![
+        row("Number of keys on the sorted array", format!("{}", t1.n_keys), "327,680"),
+        row("Search key size", format!("{} bytes", t1.key_bytes), "4 bytes"),
+        row(
+            "Index tree size",
+            format!("{:.1} MB", t1.tree_bytes as f64 / (1024.0 * 1024.0)),
+            "3.2 MB",
+        ),
+        row(
+            "Subtree size (except root subtree)",
+            format!("{} KB", t1.subtree_bytes / 1024),
+            "320 KB",
+        ),
+        row("Root subtree size", format!("{} bytes", t1.root_subtree_bytes), "44 bytes"),
+        row("T (levels, methods A/B)", format!("{}", t1.t_levels), "7"),
+        row("L (levels, methods C-1/C-2)", format!("{}", t1.l_levels), "6"),
+        row("Node size", format!("{} bytes", t1.node_bytes), "32 bytes"),
+        row("Keys per internal node", format!("{}", t1.keys_per_node), "7"),
+    ];
+    eprintln!("Table 1 — index structure setup (derived vs. paper)\n");
+    eprint!("{}", render_table(&["quantity", "derived", "paper"], &rows));
+
+    println!("quantity,derived,paper");
+    for r in &rows {
+        println!("{},{},{}", r[0].replace(',', ";"), r[1].replace(',', ""), r[2].replace(',', ""));
+    }
+}
+
+fn row(q: &str, derived: String, paper: &str) -> Vec<String> {
+    vec![q.to_owned(), derived, paper.to_owned()]
+}

@@ -1,0 +1,119 @@
+//! Regenerates **Table 2** ("Parameters On the Linux Cluster"): the paper's
+//! measured machine parameters, which our simulator uses verbatim. With
+//! `--measure`, also probes the *host* machine the way the paper probed its
+//! Pentium III (sequential vs. random bandwidth, pointer-chase latency,
+//! per-node comparison cost), demonstrating that the random-access penalty
+//! the paper exploits still exists today.
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin table2 -- --measure
+//! ```
+
+use dini_bench::{has_flag, render_table};
+use dini_cache_sim::MachineParams;
+use dini_cluster::NetworkModel;
+
+fn main() {
+    let p = MachineParams::pentium_iii();
+    let net = NetworkModel::myrinet();
+
+    let rows = vec![
+        vec!["L2 Cache Size".into(), format!("{} KB", p.l2.size_bytes / 1024), "512 KB".into()],
+        vec!["L1 Cache Size".into(), format!("{} KB", p.l1.size_bytes / 1024), "16 KB".into()],
+        vec!["L2 Cache line Size".into(), format!("{} bytes", p.l2.line_bytes), "32 bytes".into()],
+        vec!["L1 Cache line Size".into(), format!("{} bytes", p.l1.line_bytes), "32 bytes".into()],
+        vec!["B2 Miss Penalty".into(), format!("{} ns", p.b2_miss_penalty_ns), "110 ns".into()],
+        vec!["B1 Miss Penalty".into(), format!("{} ns", p.b1_miss_penalty_ns), "16.25 ns".into()],
+        vec!["TLB Entries".into(), format!("{}", p.tlb_entries), "64".into()],
+        vec!["Comp Cost Node".into(), format!("{} ns", p.comp_cost_node_ns), "30 ns".into()],
+        vec![
+            "W1 (Memory Bandwidth)".into(),
+            format!("{:.0} MB/s", p.mem_bw_seq * 1000.0),
+            "647 MB/s".into(),
+        ],
+        vec![
+            "W2 (Network Bandwidth)".into(),
+            format!("{:.0} MB/s", net.bandwidth * 1000.0),
+            "138 MB/s".into(),
+        ],
+        vec![
+            "Random memory bandwidth".into(),
+            format!("{:.0} MB/s", p.mem_bw_rand * 1000.0),
+            "48 MB/s".into(),
+        ],
+    ];
+    eprintln!("Table 2 — machine parameters (simulator vs. paper)\n");
+    eprint!("{}", render_table(&["parameter", "simulator", "paper"], &rows));
+    println!("parameter,simulator,paper");
+    for r in &rows {
+        println!("{},{},{}", r[0], r[1].replace(',', ""), r[2].replace(',', ""));
+    }
+
+    if has_flag("--measure") {
+        eprintln!("\nProbing this host (the paper's methodology, §2.1)...");
+        let h = dini_sysprobe::measure_all(256 << 20);
+        let rows = vec![
+            vec![
+                "Sequential bandwidth".into(),
+                format!("{:.0} MB/s", h.seq_bw_mb_s),
+                "647 MB/s".into(),
+            ],
+            vec![
+                "Random (dependent) bandwidth".into(),
+                format!("{:.0} MB/s", h.rand_bw_mb_s),
+                "48 MB/s".into(),
+            ],
+            vec![
+                "Seq : random ratio".into(),
+                format!("{:.1}x", h.seq_rand_ratio()),
+                "13.5x".into(),
+            ],
+            vec![
+                "Out-of-cache load latency".into(),
+                format!("{:.1} ns", h.miss_penalty_ns),
+                "110 ns (B2)".into(),
+            ],
+            vec![
+                "In-cache load latency".into(),
+                format!("{:.1} ns", h.hit_latency_ns),
+                "-".into(),
+            ],
+            vec![
+                "Comp Cost Node".into(),
+                format!("{:.1} ns", h.comp_cost_node_ns),
+                "30 ns".into(),
+            ],
+        ];
+        eprintln!();
+        eprint!("{}", render_table(&["host measurement", "this machine", "paper (PIII)"], &rows));
+        println!("host_measurement,this_machine,paper");
+        for r in &rows {
+            println!("{},{},{}", r[0], r[1], r[2].replace(',', ""));
+        }
+    }
+
+    if has_flag("--curve") {
+        eprintln!("\nLatency staircase (dependent chase vs. working set)...");
+        let curve = dini_sysprobe::measure_latency_curve(4 << 10, 128 << 20, 400_000);
+        let knees = dini_sysprobe::detect_knees(&curve, 1.8);
+        println!("working_set_bytes,ns_per_load");
+        let mut rows = Vec::new();
+        for pt in &curve {
+            rows.push(vec![
+                dini_bench::fmt_bytes(pt.bytes as usize),
+                format!("{:.2} ns", pt.ns_per_load),
+            ]);
+            println!("{},{:.3}", pt.bytes, pt.ns_per_load);
+        }
+        eprint!("{}", render_table(&["working set", "latency"], &rows));
+        eprintln!(
+            "detected capacity knees (≈ cache sizes): {}",
+            knees
+                .iter()
+                .map(|&b| dini_bench::fmt_bytes(b as usize))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        eprintln!("(the paper's machine would show knees at 16 KB and 512 KB)");
+    }
+}

@@ -1,0 +1,115 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every `src/bin/*` target regenerates one of the paper's tables or
+//! figures (or one of our ablations). Conventions:
+//!
+//! * machine-readable CSV goes to **stdout**;
+//! * human-readable tables and progress notes go to **stderr**;
+//! * `--quick` shrinks the workload ~8× for smoke runs;
+//! * workloads are seeded and deterministic (same numbers every run).
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Minimal flag parser: `has_flag("--quick")`.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Minimal option parser: `opt_value("--keys")` for `--keys 1048576` or
+/// `--keys=1048576`.
+pub fn opt_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(rest) = a.strip_prefix(&format!("{name}=")) {
+            return Some(rest.to_owned());
+        }
+    }
+    None
+}
+
+/// Parse an integer option with a default.
+pub fn opt_usize(name: &str, default: usize) -> usize {
+    opt_value(name)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{name} expects an integer, got {v}")))
+        .unwrap_or(default)
+}
+
+/// Number of search keys for an experiment: the paper's 2^23, `--quick`
+/// drops to 2^20, `--keys N` overrides.
+pub fn search_key_count() -> usize {
+    let default = if has_flag("--quick") { 1 << 20 } else { 1 << 23 };
+    opt_usize("--keys", default)
+}
+
+/// Render an aligned text table (for stderr).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&mut out, &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Pretty byte sizes for batch axes ("8 KB", "4 MB").
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
+        format!("{} MB", b / (1024 * 1024))
+    } else if b >= 1024 {
+        format!("{} KB", b / 1024)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// The paper's Figure 3 batch-size sweep: 8 KB to 4 MB, doubling.
+pub fn figure3_batches() -> Vec<usize> {
+    (0..10).map(|i| (8 * 1024) << i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_axis_matches_paper() {
+        let b = figure3_batches();
+        assert_eq!(b.len(), 10);
+        assert_eq!(b[0], 8 * 1024);
+        assert_eq!(b[9], 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(8 * 1024), "8 KB");
+        assert_eq!(fmt_bytes(4 * 1024 * 1024), "4 MB");
+        assert_eq!(fmt_bytes(100), "100 B");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(&["a", "bb"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("a  bb"), "got {t:?}");
+        assert!(t.lines().count() == 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Page-coloring address translation.
+//!
+//! The paper remarks that its large-batch gains hold "even without cache
+//! coloring" — implying the authors considered coloring the obvious
+//! mitigation for the 128 KB-batch contention dip (message buffers and the
+//! resident subtree fighting over the same L2 sets). This module supplies
+//! that mitigation so the ablation can be run: a [`PageMapper`] translates
+//! virtual pages to *colored* physical pages, where a page's color decides
+//! which slice of the physically-indexed L2's sets it can occupy. Giving
+//! message buffers and the index disjoint colors makes their L2 conflicts
+//! structurally impossible, at the cost of partitioning capacity.
+//!
+//! The number of available colors is a property of the cache geometry:
+//! `colors = (sets × line) / page`. The Pentium III L2 (2048 sets × 32 B,
+//! 4 KB pages) has 16.
+
+use crate::params::CacheConfig;
+
+/// Virtual→physical page mapper with page coloring.
+#[derive(Debug, Clone)]
+pub struct PageMapper {
+    page_bytes: u64,
+    n_colors: u32,
+    /// `map[vpage]` = physical page, or `u64::MAX` when not yet mapped.
+    map: Vec<u64>,
+    /// Next physical page index to hand out in each color class.
+    next_in_color: Vec<u64>,
+}
+
+const UNMAPPED: u64 = u64::MAX;
+
+impl PageMapper {
+    /// A mapper with `n_colors` color classes over `page_bytes` pages.
+    pub fn new(page_bytes: u64, n_colors: u32) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(n_colors >= 1);
+        Self {
+            page_bytes,
+            n_colors,
+            map: Vec::new(),
+            next_in_color: (0..n_colors as u64).collect(),
+        }
+    }
+
+    /// The number of page colors a cache geometry supports (≥ 1).
+    pub fn colors_of(cache: &CacheConfig, page_bytes: u64) -> u32 {
+        ((cache.n_sets() * cache.line_bytes) / page_bytes).max(1) as u32
+    }
+
+    /// Pin the virtual region `[base, base+bytes)` to `color`
+    /// (`color < n_colors`). Panics if any page in the region is already
+    /// mapped to a different color class.
+    pub fn assign(&mut self, base: u64, bytes: u64, color: u32) {
+        assert!(color < self.n_colors, "color {color} out of range");
+        let first = base / self.page_bytes;
+        let last = (base + bytes.max(1) - 1) / self.page_bytes;
+        for vpage in first..=last {
+            self.ensure_len(vpage);
+            let slot = &mut self.map[vpage as usize];
+            if *slot == UNMAPPED {
+                *slot = self.next_in_color[color as usize];
+                self.next_in_color[color as usize] += self.n_colors as u64;
+            } else {
+                assert_eq!(
+                    (*slot % self.n_colors as u64) as u32,
+                    color,
+                    "page {vpage} already mapped to a different color"
+                );
+            }
+        }
+    }
+
+    /// Translate a virtual byte address to its physical byte address.
+    /// Pages never explicitly assigned get a color by round-robin on the
+    /// virtual page number (a sequential first-touch OS allocator).
+    pub fn translate(&mut self, addr: u64) -> u64 {
+        let vpage = addr / self.page_bytes;
+        self.ensure_len(vpage);
+        let slot = self.map[vpage as usize];
+        let ppage = if slot == UNMAPPED {
+            let color = (vpage % self.n_colors as u64) as u32;
+            let p = self.next_in_color[color as usize];
+            self.next_in_color[color as usize] += self.n_colors as u64;
+            self.map[vpage as usize] = p;
+            p
+        } else {
+            slot
+        };
+        ppage * self.page_bytes + (addr & (self.page_bytes - 1))
+    }
+
+    /// The color class a virtual address currently maps to, if mapped.
+    pub fn color_of(&self, addr: u64) -> Option<u32> {
+        let vpage = (addr / self.page_bytes) as usize;
+        match self.map.get(vpage) {
+            Some(&p) if p != UNMAPPED => Some((p % self.n_colors as u64) as u32),
+            _ => None,
+        }
+    }
+
+    /// Number of color classes.
+    pub fn n_colors(&self) -> u32 {
+        self.n_colors
+    }
+
+    fn ensure_len(&mut self, vpage: u64) {
+        if self.map.len() <= vpage as usize {
+            self.map.resize(vpage as usize + 1, UNMAPPED);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_within_page_preserved() {
+        let mut m = PageMapper::new(4096, 16);
+        let t = m.translate(4096 * 5 + 123);
+        assert_eq!(t % 4096, 123);
+    }
+
+    #[test]
+    fn translation_is_stable() {
+        let mut m = PageMapper::new(4096, 16);
+        let a = m.translate(70_000);
+        let b = m.translate(70_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assigned_region_stays_in_color() {
+        let mut m = PageMapper::new(4096, 8);
+        m.assign(0, 10 * 4096, 3);
+        for p in 0..10u64 {
+            let t = m.translate(p * 4096);
+            assert_eq!((t / 4096) % 8, 3, "page {p} strayed from its color");
+            assert_eq!(m.color_of(p * 4096), Some(3));
+        }
+    }
+
+    #[test]
+    fn two_regions_in_different_colors_never_share_a_page_color() {
+        let mut m = PageMapper::new(4096, 16);
+        m.assign(0, 64 * 1024, 0);
+        m.assign(1 << 20, 64 * 1024, 5);
+        for p in 0..16u64 {
+            let a = m.translate(p * 4096);
+            let b = m.translate((1 << 20) + p * 4096);
+            assert_eq!((a / 4096) % 16, 0);
+            assert_eq!((b / 4096) % 16, 5);
+        }
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut m = PageMapper::new(4096, 4);
+        let mut frames: Vec<u64> = (0..100u64).map(|p| m.translate(p * 4096) / 4096).collect();
+        frames.sort_unstable();
+        frames.dedup();
+        assert_eq!(frames.len(), 100, "two virtual pages shared a frame");
+    }
+
+    #[test]
+    fn colors_of_pentium_iii_l2_is_16() {
+        // 2048 sets × 32 B = 64 KB of index span / 4 KB pages = 16 colors.
+        let l2 = CacheConfig::new(512 * 1024, 32, 8);
+        assert_eq!(PageMapper::colors_of(&l2, 4096), 16);
+    }
+
+    #[test]
+    fn colors_of_tiny_cache_is_at_least_one() {
+        let tiny = CacheConfig::new(1024, 32, 2);
+        assert_eq!(PageMapper::colors_of(&tiny, 4096), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different color")]
+    fn conflicting_assignment_panics() {
+        let mut m = PageMapper::new(4096, 8);
+        m.assign(0, 4096, 1);
+        m.assign(0, 4096, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn color_out_of_range_panics() {
+        let mut m = PageMapper::new(4096, 4);
+        m.assign(0, 4096, 4);
+    }
+}

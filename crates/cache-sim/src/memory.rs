@@ -1,0 +1,643 @@
+//! The [`MemoryModel`] trait and its implementations.
+//!
+//! Index structures (in `dini-index`) and method drivers (in `dini-core`)
+//! never touch caches directly; they describe *what* they access and the
+//! memory model decides what it costs. Three implementations:
+//!
+//! * [`SimMemory`] — the real substrate: walks the simulated hierarchy,
+//!   bills Table 2 penalties for random accesses and W1 bandwidth for
+//!   streams, and (optionally) TLB walks.
+//! * [`NullMemory`] — free accesses; used when the same index code runs
+//!   natively on the thread-backed cluster.
+//! * [`CountingMemory`] — records every access; used by tests to assert
+//!   access patterns (e.g. "binary search touches ⌈log2 n⌉ probes").
+
+use crate::color::PageMapper;
+use crate::hierarchy::{CacheHierarchy, HitLevel};
+use crate::params::MachineParams;
+use crate::prefetch::{Prefetcher, StrideState};
+use crate::stats::AccessStats;
+use crate::tlb::Tlb;
+
+/// What kind of access is being performed; decides how it is billed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Dependent (random) read: billed per cache-level outcome.
+    Read,
+    /// Dependent (random) write with write-allocate: billed like a read.
+    Write,
+    /// Sequential read: billed at W1, still occupies cache lines.
+    StreamRead,
+    /// Sequential write: billed at W1, still occupies cache lines
+    /// (write-allocate; the paper notes such writes are non-blocking).
+    StreamWrite,
+    /// Zero-cost line installation: models an overlapped message receive
+    /// polluting the cache while the CPU does other work. The CPU time was
+    /// already billed elsewhere (per-message overhead); only the eviction
+    /// side-effect matters here.
+    Pollute,
+}
+
+impl AccessKind {
+    /// Whether the access is billed via the streaming-bandwidth path.
+    pub fn is_stream(self) -> bool {
+        matches!(self, AccessKind::StreamRead | AccessKind::StreamWrite)
+    }
+}
+
+/// Cost-charging memory abstraction. Returns simulated nanoseconds.
+pub trait MemoryModel {
+    /// Touch `len` bytes starting at `addr` with the given kind; returns
+    /// the simulated cost in nanoseconds.
+    fn touch(&mut self, addr: u64, len: u32, kind: AccessKind) -> f64;
+
+    /// Charge pure computation (comparisons etc.); returns `ns` so call
+    /// sites can stay expression-oriented.
+    fn compute(&mut self, ns: f64) -> f64 {
+        ns
+    }
+
+    /// True when the model actually bills time (lets hot native paths skip
+    /// instrumentation branches entirely).
+    fn is_instrumented(&self) -> bool {
+        true
+    }
+}
+
+/// Free memory: used for native (wall-clock) execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMemory;
+
+impl MemoryModel for NullMemory {
+    #[inline(always)]
+    fn touch(&mut self, _addr: u64, _len: u32, _kind: AccessKind) -> f64 {
+        0.0
+    }
+
+    #[inline(always)]
+    fn compute(&mut self, _ns: f64) -> f64 {
+        0.0
+    }
+
+    #[inline(always)]
+    fn is_instrumented(&self) -> bool {
+        false
+    }
+}
+
+/// Records accesses for tests.
+#[derive(Debug, Clone, Default)]
+pub struct CountingMemory {
+    /// Every `(addr, len, kind)` touch in order.
+    pub accesses: Vec<(u64, u32, AccessKind)>,
+}
+
+impl MemoryModel for CountingMemory {
+    fn touch(&mut self, addr: u64, len: u32, kind: AccessKind) -> f64 {
+        self.accesses.push((addr, len, kind));
+        0.0
+    }
+}
+
+impl CountingMemory {
+    /// Number of non-streaming touches recorded.
+    pub fn random_touches(&self) -> usize {
+        self.accesses.iter().filter(|(_, _, k)| !k.is_stream() && *k != AccessKind::Pollute).count()
+    }
+
+    /// Distinct lines of `line_bytes` touched by random accesses.
+    pub fn distinct_lines(&self, line_bytes: u64) -> usize {
+        let mut lines: Vec<u64> = self
+            .accesses
+            .iter()
+            .filter(|(_, _, k)| !k.is_stream())
+            .map(|(a, _, _)| a / line_bytes)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+}
+
+/// The simulated memory: hierarchy + Table 2 cost model (+ optional TLB,
+/// prefetcher, victim cache, page coloring, and write-back billing — all
+/// default-off so the baseline stays the paper's model).
+#[derive(Debug, Clone)]
+pub struct SimMemory {
+    params: MachineParams,
+    hierarchy: CacheHierarchy,
+    tlb: Option<Tlb>,
+    prefetcher: Prefetcher,
+    stride: StrideState,
+    mapper: Option<PageMapper>,
+    bill_writebacks: bool,
+    seen_writebacks: u64,
+    stats: AccessStats,
+}
+
+impl SimMemory {
+    /// Build from machine parameters, TLB disabled (the paper's model),
+    /// no prefetcher (the paper's machine). An L3 is attached when the
+    /// parameters define one.
+    pub fn new(params: MachineParams) -> Self {
+        params.validate();
+        let mut hierarchy = CacheHierarchy::new(params.l1, params.l2);
+        if let Some(l3) = params.l3 {
+            hierarchy = hierarchy.with_l3(l3);
+        }
+        Self {
+            params,
+            hierarchy,
+            tlb: None,
+            prefetcher: Prefetcher::None,
+            stride: StrideState::default(),
+            mapper: None,
+            bill_writebacks: false,
+            seen_writebacks: 0,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// Enable TLB modelling (ablation).
+    pub fn with_tlb(mut self) -> Self {
+        self.tlb = Some(Tlb::new(self.params.tlb_entries, self.params.page_bytes));
+        self
+    }
+
+    /// Enable a prefetcher (ablation).
+    pub fn with_prefetcher(mut self, p: Prefetcher) -> Self {
+        self.prefetcher = p;
+        self
+    }
+
+    /// Add a victim cache of `n_lines` behind L1 (ablation).
+    pub fn with_victim_cache(mut self, n_lines: u32) -> Self {
+        self.hierarchy = self.hierarchy.with_victim(n_lines);
+        self
+    }
+
+    /// Translate addresses through a page-coloring mapper (ablation for
+    /// the paper's "even without cache coloring" remark). Use
+    /// [`PageMapper::assign`] to pin regions to colors before running.
+    pub fn with_page_mapper(mut self, mapper: PageMapper) -> Self {
+        self.mapper = Some(mapper);
+        self
+    }
+
+    /// Mutable access to the page mapper (to assign regions after
+    /// construction).
+    pub fn page_mapper_mut(&mut self) -> Option<&mut PageMapper> {
+        self.mapper.as_mut()
+    }
+
+    /// Bill write-backs of dirty lines at W1 (ablation; the paper's model
+    /// ignores write traffic).
+    pub fn with_writeback_billing(mut self) -> Self {
+        self.bill_writebacks = true;
+        self
+    }
+
+    /// The machine parameters in force.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Reset statistics, keeping cache contents (steady-state measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// Flush caches, TLB, and prefetcher state (cold start).
+    pub fn flush(&mut self) {
+        self.hierarchy.flush();
+        self.stride.reset();
+        if let Some(t) = &mut self.tlb {
+            t.flush();
+        }
+    }
+
+    /// Inspect the hierarchy (tests/ablations).
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hierarchy
+    }
+
+    /// Charge one random access at `addr` and return its cost.
+    fn random_access(&mut self, addr: u64, write: bool) -> f64 {
+        let mut ns = 0.0;
+        // TLB works on virtual addresses; caches are physically indexed.
+        if let Some(t) = &mut self.tlb {
+            if !t.access(addr) {
+                self.stats.tlb_misses += 1;
+                ns += self.params.tlb_miss_ns;
+            }
+        }
+        let phys = match &mut self.mapper {
+            Some(m) => m.translate(addr),
+            None => addr,
+        };
+        let predicted = self
+            .prefetcher
+            .adaptive_depth()
+            .and_then(|_| self.stride.observe(phys));
+        let level = if write {
+            self.hierarchy.access_write(phys)
+        } else {
+            self.hierarchy.access(phys)
+        };
+        match level {
+            HitLevel::L1 => {
+                self.stats.l1.hits += 1;
+                ns += self.params.l1_hit_ns;
+            }
+            HitLevel::Victim => {
+                self.stats.l1.misses += 1;
+                self.stats.victim_hits += 1;
+                ns += self.params.l1_hit_ns;
+            }
+            HitLevel::L2 => {
+                self.stats.l1.misses += 1;
+                self.stats.l2.hits += 1;
+                ns += self.params.b1_miss_penalty_ns;
+            }
+            HitLevel::L3 => {
+                self.stats.l1.misses += 1;
+                self.stats.l2.misses += 1;
+                self.stats.l3.hits += 1;
+                ns += self.params.l3_hit_ns;
+            }
+            HitLevel::Memory => {
+                self.stats.l1.misses += 1;
+                self.stats.l2.misses += 1;
+                if self.params.l3.is_some() {
+                    self.stats.l3.misses += 1;
+                }
+                self.stats.memory_accesses += 1;
+                ns += self.params.b2_miss_penalty_ns;
+                for line in self.prefetcher.lines_after_miss(phys, self.params.l2.line_bytes) {
+                    self.hierarchy.install(line);
+                    self.stats.prefetched_lines += 1;
+                }
+                if let (Some(depth), Some(stride)) =
+                    (self.prefetcher.adaptive_depth(), predicted)
+                {
+                    for k in 1..=depth as i64 {
+                        let target = phys as i64 + k * stride;
+                        if target >= 0 {
+                            self.hierarchy.install(target as u64);
+                            self.stats.prefetched_lines += 1;
+                        }
+                    }
+                }
+            }
+        }
+        ns + self.charge_writebacks()
+    }
+
+    /// Bill any write-backs the hierarchy performed since the last call.
+    fn charge_writebacks(&mut self) -> f64 {
+        let total = self.hierarchy.writebacks();
+        let delta = total - self.seen_writebacks;
+        self.seen_writebacks = total;
+        if delta == 0 {
+            return 0.0;
+        }
+        self.stats.writebacks += delta;
+        if self.bill_writebacks {
+            delta as f64 * self.params.l2.line_bytes as f64 / self.params.mem_bw_seq
+        } else {
+            0.0
+        }
+    }
+
+    /// Iterate the line-aligned addresses covered by `[addr, addr+len)`
+    /// at L2-line granularity.
+    fn lines_covered(&self, addr: u64, len: u32) -> impl Iterator<Item = u64> {
+        let line = self.params.l2.line_bytes;
+        let first = addr / line;
+        let last = (addr + len.max(1) as u64 - 1) / line;
+        (first..=last).map(move |l| l * line)
+    }
+}
+
+impl MemoryModel for SimMemory {
+    fn touch(&mut self, addr: u64, len: u32, kind: AccessKind) -> f64 {
+        let ns = match kind {
+            AccessKind::Read | AccessKind::Write => {
+                let mut ns = 0.0;
+                // A random access spanning multiple lines pays per line
+                // (rare: only for unaligned multi-word records).
+                let lines: Vec<u64> = self.lines_covered(addr, len).collect();
+                let write = kind == AccessKind::Write;
+                for base in lines {
+                    ns += self.random_access(base, write);
+                }
+                ns
+            }
+            AccessKind::StreamRead | AccessKind::StreamWrite => {
+                // Billed at W1; lines still occupy cache (pollution), and
+                // the TLB still sees the pages.
+                let lines: Vec<u64> = self.lines_covered(addr, len).collect();
+                let mut ns = len as f64 / self.params.mem_bw_seq;
+                let write = kind == AccessKind::StreamWrite;
+                for base in lines {
+                    if let Some(t) = &mut self.tlb {
+                        if !t.access(base) {
+                            self.stats.tlb_misses += 1;
+                            ns += self.params.tlb_miss_ns;
+                        }
+                    }
+                    let phys = match &mut self.mapper {
+                        Some(m) => m.translate(base),
+                        None => base,
+                    };
+                    self.hierarchy.install(phys);
+                    if write {
+                        self.hierarchy.mark_dirty_llc(phys);
+                    }
+                }
+                self.stats.streamed_bytes += len as u64;
+                ns + self.charge_writebacks()
+            }
+            AccessKind::Pollute => {
+                let lines: Vec<u64> = self.lines_covered(addr, len).collect();
+                for base in lines {
+                    let phys = match &mut self.mapper {
+                        Some(m) => m.translate(base),
+                        None => base,
+                    };
+                    self.hierarchy.install(phys);
+                    self.stats.polluted_lines += 1;
+                }
+                // Pollution itself is free, but it can still displace
+                // dirty lines whose write-backs are real traffic.
+                self.charge_writebacks()
+            }
+        };
+        self.stats.total_ns += ns;
+        ns
+    }
+
+    fn compute(&mut self, ns: f64) -> f64 {
+        self.stats.total_ns += ns;
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MachineParams;
+
+    fn mem() -> SimMemory {
+        SimMemory::new(MachineParams::pentium_iii())
+    }
+
+    #[test]
+    fn cold_read_costs_b2() {
+        let mut m = mem();
+        let ns = m.touch(0, 4, AccessKind::Read);
+        assert!((ns - 110.0).abs() < 1e-9);
+        let ns2 = m.touch(0, 4, AccessKind::Read);
+        assert_eq!(ns2, 0.0, "L1 hit is free per the paper's lower-bound model");
+    }
+
+    #[test]
+    fn l2_hit_costs_b1() {
+        let mut m = mem();
+        m.touch(0, 4, AccessKind::Read);
+        // Evict line 0 from L1 by filling its L1 set (L1: 128 sets × 32 B
+        // lines → conflicting addrs are 4096 B apart). 4-way → 4 fills.
+        for i in 1..=4u64 {
+            m.touch(i * 4096, 4, AccessKind::Read);
+        }
+        let ns = m.touch(0, 4, AccessKind::Read);
+        assert!((ns - 16.25).abs() < 1e-9, "expected B1 penalty, got {ns}");
+    }
+
+    #[test]
+    fn stream_billed_at_w1() {
+        let mut m = mem();
+        let bytes = 64 * 1024u32;
+        let ns = m.touch(1 << 20, bytes, AccessKind::StreamRead);
+        let expected = bytes as f64 / 0.647;
+        assert!((ns - expected).abs() / expected < 1e-9);
+        assert_eq!(m.stats().streamed_bytes, bytes as u64);
+    }
+
+    #[test]
+    fn stream_pollutes_cache() {
+        let mut m = mem();
+        m.touch(0, 4, AccessKind::Read); // line 0 resident
+        // Stream 512 KB over a distinct region mapping over all L2 sets.
+        m.touch(1 << 20, 512 * 1024, AccessKind::StreamRead);
+        // Line 0 should have been evicted by the stream.
+        let ns = m.touch(0, 4, AccessKind::Read);
+        assert!(ns > 0.0, "stream failed to evict resident line");
+    }
+
+    #[test]
+    fn pollute_is_free_but_evicts() {
+        let mut m = mem();
+        m.touch(0, 4, AccessKind::Read);
+        let ns = m.touch(1 << 20, 512 * 1024, AccessKind::Pollute);
+        assert_eq!(ns, 0.0);
+        assert!(m.stats().polluted_lines > 0);
+        assert!(m.touch(0, 4, AccessKind::Read) > 0.0);
+    }
+
+    #[test]
+    fn repeated_scan_of_fitting_working_set_hits() {
+        let mut m = mem();
+        // 8 KB working set walked randomly twice: second pass is all hits.
+        let step = 32u64;
+        for i in 0..256u64 {
+            m.touch(i * step, 4, AccessKind::Read);
+        }
+        m.reset_stats();
+        for i in 0..256u64 {
+            m.touch(i * step, 4, AccessKind::Read);
+        }
+        assert_eq!(m.stats().memory_accesses, 0);
+        assert_eq!(m.stats().l1.hits, 256);
+    }
+
+    #[test]
+    fn tlb_ablation_charges_misses() {
+        let mut m = SimMemory::new(MachineParams::pentium_iii()).with_tlb();
+        // Touch 128 distinct pages twice; TLB holds 64 → all second-pass
+        // accesses still miss the TLB (LRU thrash) but hit the cache.
+        for _ in 0..2 {
+            for p in 0..128u64 {
+                m.touch(p * 4096, 4, AccessKind::Read);
+            }
+        }
+        assert_eq!(m.stats().tlb_misses, 256);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_is_billed_when_enabled() {
+        let p = MachineParams::pentium_iii();
+        let line = p.l2.line_bytes;
+        let w1 = p.mem_bw_seq;
+        let mut m = SimMemory::new(p).with_writeback_billing();
+        m.touch(0, 4, AccessKind::Write);
+        // Evict line 0 from L2: its set takes addrs 64 KB apart (2048 sets
+        // × 32 B), 8-way → 8 conflicting fills.
+        let mut evict_cost = 0.0;
+        for i in 1..=8u64 {
+            evict_cost += m.touch(i * 65536, 4, AccessKind::Read);
+        }
+        assert_eq!(m.stats().writebacks, 1);
+        let wb_ns = line as f64 / w1;
+        // One of the eviction fills paid B2 + the write-back.
+        assert!(
+            evict_cost > 8.0 * 110.0 + wb_ns - 1e-6,
+            "write-back not billed: {evict_cost}"
+        );
+    }
+
+    #[test]
+    fn writebacks_counted_but_free_without_billing() {
+        let mut m = mem();
+        m.touch(0, 4, AccessKind::Write);
+        let mut cost = 0.0;
+        for i in 1..=8u64 {
+            cost += m.touch(i * 65536, 4, AccessKind::Read);
+        }
+        assert_eq!(m.stats().writebacks, 1);
+        assert!((cost - 8.0 * 110.0).abs() < 1e-6, "billing leaked into baseline: {cost}");
+    }
+
+    #[test]
+    fn victim_cache_turns_conflict_misses_into_near_hits() {
+        // Working set of 8 lines all mapping to one L1 set (4-way P-III
+        // L1: conflicting addrs are 4096 apart). Without a victim cache a
+        // round-robin walk misses L1 every time; a 16-line victim catches
+        // them all after warmup.
+        let walk = |m: &mut SimMemory| {
+            for _ in 0..10 {
+                for i in 0..8u64 {
+                    m.touch(i * 4096, 4, AccessKind::Read);
+                }
+            }
+            m.stats().victim_hits
+        };
+        let mut plain = mem();
+        assert_eq!(walk(&mut plain), 0);
+        let mut vict = SimMemory::new(MachineParams::pentium_iii()).with_victim_cache(16);
+        assert!(walk(&mut vict) > 40, "victim hits: {}", vict.stats().victim_hits);
+    }
+
+    #[test]
+    fn stride_prefetcher_eliminates_strided_misses() {
+        // Walk 4 KB-strided addresses: every access is a new line —
+        // without prefetch each is a memory miss.
+        let run = |m: &mut SimMemory| {
+            for i in 0..256u64 {
+                m.touch(i * 4096, 4, AccessKind::Read);
+            }
+            m.stats().memory_accesses
+        };
+        let mut plain = mem();
+        let base_misses = run(&mut plain);
+        let mut pf = SimMemory::new(MachineParams::pentium_iii())
+            .with_prefetcher(Prefetcher::AdaptiveStride { depth: 4 });
+        let pf_misses = run(&mut pf);
+        assert!(base_misses >= 256);
+        assert!(
+            pf_misses < base_misses / 3,
+            "stride prefetch ineffective: {pf_misses} vs {base_misses}"
+        );
+        assert!(pf.stats().prefetched_lines > 0);
+    }
+
+    #[test]
+    fn page_coloring_isolates_regions() {
+        use crate::color::PageMapper;
+        // Index region: 448 KB resident; stream region: 512 KB. Uncolored,
+        // the stream evicts most of the index. Colored 14/2 split: the
+        // stream only recycles its own 2 colors.
+        let l2 = MachineParams::pentium_iii().l2;
+        let n_colors = PageMapper::colors_of(&l2, 4096);
+        assert_eq!(n_colors, 16);
+
+        let index_base = 0u64;
+        let index_bytes = 448 * 1024u64;
+        let stream_base = 1 << 24;
+        let stream_bytes = 512 * 1024u32;
+
+        let resident_after = |m: &mut SimMemory| {
+            // Touch the whole index, then stream, then re-touch: count
+            // re-touches that still hit (anywhere but memory).
+            for a in (0..index_bytes).step_by(32) {
+                m.touch(index_base + a, 4, AccessKind::Read);
+            }
+            m.reset_stats();
+            m.touch(stream_base, stream_bytes, AccessKind::StreamRead);
+            for a in (0..index_bytes).step_by(32) {
+                m.touch(index_base + a, 4, AccessKind::Read);
+            }
+            let s = m.stats();
+            s.random_accesses() - s.memory_accesses
+        };
+
+        let mut plain = mem();
+        let kept_plain = resident_after(&mut plain);
+
+        let mut mapper = PageMapper::new(4096, n_colors);
+        // Index gets colors 0..13 (spread round-robin page by page),
+        // stream gets 14..15.
+        for (i, page) in (0..index_bytes).step_by(4096).enumerate() {
+            mapper.assign(index_base + page, 4096, (i % 14) as u32);
+        }
+        for (i, page) in (0..stream_bytes as u64).step_by(4096).enumerate() {
+            mapper.assign(stream_base + page, 4096, 14 + (i % 2) as u32);
+        }
+        let mut colored =
+            SimMemory::new(MachineParams::pentium_iii()).with_page_mapper(mapper);
+        let kept_colored = resident_after(&mut colored);
+
+        assert!(
+            kept_colored > kept_plain * 2,
+            "coloring did not protect the index: {kept_colored} vs {kept_plain}"
+        );
+    }
+
+    #[test]
+    fn modern_machine_exercises_l3() {
+        let mut m = SimMemory::new(MachineParams::modern_x86());
+        // Working set of 4 MB: fits L3, not L2 (1 MB).
+        let ws = 4 * 1024 * 1024u64;
+        for a in (0..ws).step_by(64) {
+            m.touch(a, 4, AccessKind::Read);
+        }
+        m.reset_stats();
+        for a in (0..ws).step_by(64) {
+            m.touch(a, 4, AccessKind::Read);
+        }
+        let s = m.stats();
+        assert_eq!(s.memory_accesses, 0, "4 MB fits in the 8 MB L3");
+        assert!(s.l3.hits > 0, "L2-missing accesses must be served by L3");
+    }
+
+    #[test]
+    fn counting_memory_records() {
+        let mut m = CountingMemory::default();
+        m.touch(0, 4, AccessKind::Read);
+        m.touch(100, 4, AccessKind::StreamWrite);
+        assert_eq!(m.accesses.len(), 2);
+        assert_eq!(m.random_touches(), 1);
+    }
+
+    #[test]
+    fn null_memory_is_free_and_uninstrumented() {
+        let mut m = NullMemory;
+        assert_eq!(m.touch(0, 4, AccessKind::Read), 0.0);
+        assert!(!m.is_instrumented());
+    }
+}

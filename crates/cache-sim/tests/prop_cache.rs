@@ -1,0 +1,121 @@
+//! Property-based tests for the cache simulator invariants.
+
+use dini_cache_sim::{
+    AccessKind, CacheConfig, CacheHierarchy, MachineParams, MemoryModel, ReplacementPolicy,
+    SetAssocCache, SimMemory,
+};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::Fifo),
+        Just(ReplacementPolicy::Random),
+        Just(ReplacementPolicy::TreePlru),
+    ]
+}
+
+fn arb_cfg() -> impl Strategy<Value = CacheConfig> {
+    // Small geometries so property runs stay fast: sets ∈ {2,4,8}, ways ∈ {1,2,4}.
+    (1u32..=3, 1u32..=2, arb_policy()).prop_map(|(set_pow, way_pow, policy)| {
+        let sets = 2u64 << set_pow; // 4..16
+        let assoc = 1u32 << way_pow; // 2..4
+        let line = 32u64;
+        CacheConfig { size_bytes: sets * assoc as u64 * line, line_bytes: line, assoc, policy }
+    })
+}
+
+proptest! {
+    /// Occupancy never exceeds capacity, and a just-filled line is resident.
+    #[test]
+    fn occupancy_bounded_and_fill_resident(
+        cfg in arb_cfg(),
+        addrs in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut c = SetAssocCache::new(cfg);
+        for &a in &addrs {
+            c.fill(a);
+            prop_assert!(c.contains(a), "line just filled must be resident");
+            prop_assert!(c.occupancy() as u64 <= cfg.n_lines());
+        }
+    }
+
+    /// access() after fill() of the same line always hits regardless of policy.
+    #[test]
+    fn fill_then_access_hits(cfg in arb_cfg(), addr in 0u64..1_000_000) {
+        let mut c = SetAssocCache::new(cfg);
+        c.fill(addr);
+        prop_assert!(c.access(addr));
+    }
+
+    /// A working set no larger than one set's ways, all mapping to distinct
+    /// sets, never evicts: second pass over it is 100% hits.
+    #[test]
+    fn fitting_working_set_never_misses_twice(
+        cfg in arb_cfg(),
+        seed in 0u64..10_000,
+    ) {
+        let mut c = SetAssocCache::new(cfg);
+        // One line per set: addresses i * line_bytes for i in 0..n_sets.
+        let n = cfg.n_sets();
+        for i in 0..n {
+            let a = (seed + i) % n * cfg.line_bytes; // distinct sets
+            c.fill(a);
+        }
+        for i in 0..n {
+            let a = (seed + i) % n * cfg.line_bytes;
+            prop_assert!(c.access(a));
+        }
+    }
+
+    /// Hierarchy inclusivity: any line resident in L1 is resident in L2.
+    #[test]
+    fn hierarchy_is_inclusive(
+        addrs in prop::collection::vec(0u64..100_000, 1..300),
+    ) {
+        let l1 = CacheConfig::new(128, 32, 2);
+        let l2 = CacheConfig::new(512, 32, 4);
+        let mut h = CacheHierarchy::new(l1, l2);
+        for &a in &addrs {
+            h.access(a);
+            // Check inclusivity for every address we have touched so far
+            // would be O(n^2); checking the current one suffices since
+            // violations would persist.
+            if h.resident_l1(a) {
+                prop_assert!(h.resident_l2(a), "L1-resident line missing from L2");
+            }
+        }
+    }
+
+    /// SimMemory cost is non-negative, finite, and monotone in accesses.
+    #[test]
+    fn sim_memory_costs_sane(
+        ops in prop::collection::vec((0u64..1_000_000, 0u8..3), 1..200),
+    ) {
+        let mut m = SimMemory::new(MachineParams::pentium_iii());
+        let mut total = 0.0f64;
+        for (addr, k) in ops {
+            let kind = match k {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => AccessKind::StreamRead,
+            };
+            let ns = m.touch(addr, 4, kind);
+            prop_assert!(ns.is_finite() && ns >= 0.0);
+            total += ns;
+        }
+        prop_assert!((m.stats().total_ns - total).abs() < 1e-6);
+    }
+
+    /// Deterministic: identical access sequences give identical costs.
+    #[test]
+    fn sim_memory_deterministic(
+        ops in prop::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let run = |ops: &[u64]| {
+            let mut m = SimMemory::new(MachineParams::pentium_iii());
+            ops.iter().map(|&a| m.touch(a, 4, AccessKind::Read)).sum::<f64>()
+        };
+        prop_assert_eq!(run(&ops).to_bits(), run(&ops).to_bits());
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the page-coloring mapper: translation must be a
+//! per-page bijection that preserves offsets and respects assigned colors.
+
+use dini_cache_sim::PageMapper;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn translation_preserves_offsets_and_is_stable(
+        n_colors in 1u32..32,
+        addrs in proptest::collection::vec(0u64..(1 << 24), 1..100),
+    ) {
+        let mut m = PageMapper::new(4096, n_colors);
+        let first: Vec<u64> = addrs.iter().map(|&a| m.translate(a)).collect();
+        for (&a, &t) in addrs.iter().zip(&first) {
+            prop_assert_eq!(a % 4096, t % 4096, "offset not preserved");
+            // Stable on re-translation.
+            prop_assert_eq!(m.translate(a), t);
+        }
+    }
+
+    #[test]
+    fn distinct_virtual_pages_never_share_a_frame(
+        n_colors in 1u32..32,
+        pages in proptest::collection::btree_set(0u64..4096, 2..64),
+    ) {
+        let mut m = PageMapper::new(4096, n_colors);
+        let mut frames: Vec<u64> =
+            pages.iter().map(|&p| m.translate(p * 4096) / 4096).collect();
+        frames.sort_unstable();
+        frames.dedup();
+        prop_assert_eq!(frames.len(), pages.len(), "frame collision");
+    }
+
+    #[test]
+    fn assigned_colors_are_respected(
+        n_colors in 2u32..32,
+        region_pages in 1u64..32,
+        color_pick in any::<u32>(),
+    ) {
+        let color = color_pick % n_colors;
+        let mut m = PageMapper::new(4096, n_colors);
+        m.assign(0, region_pages * 4096, color);
+        for p in 0..region_pages {
+            let frame = m.translate(p * 4096) / 4096;
+            prop_assert_eq!((frame % n_colors as u64) as u32, color);
+            prop_assert_eq!(m.color_of(p * 4096), Some(color));
+        }
+    }
+
+    #[test]
+    fn default_allocation_cycles_colors(
+        n_colors in 1u32..16,
+    ) {
+        // Unassigned pages get color = vpage mod n_colors; over a full
+        // cycle every color appears exactly once.
+        let mut m = PageMapper::new(4096, n_colors);
+        let mut seen = vec![false; n_colors as usize];
+        for p in 0..n_colors as u64 {
+            let frame = m.translate(p * 4096) / 4096;
+            let c = (frame % n_colors as u64) as usize;
+            prop_assert!(!seen[c], "color {} repeated inside one cycle", c);
+            seen[c] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,252 @@
+//! Real-threads master/slaves backend.
+//!
+//! Runs the same master/slave protocols on OS threads connected by
+//! crossbeam channels, optionally pinning each "node" to its own core via
+//! `core_affinity` — the modern-hardware analogue of the paper's cluster,
+//! where each slave's partition lives in the cache of the core it is
+//! pinned to. Used by the examples and the native benchmarks; the paper's
+//! figures are regenerated on the deterministic simulator instead.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration for a thread-backed cluster run.
+#[derive(Debug, Clone)]
+pub struct ThreadClusterConfig {
+    /// Number of slave threads.
+    pub n_slaves: usize,
+    /// Pin master and slaves to distinct cores when available.
+    pub pin_cores: bool,
+    /// Channel capacity in messages (bounded channels give MPI-like
+    /// backpressure; the paper's buffering corresponds to a small bound).
+    pub channel_capacity: usize,
+}
+
+impl ThreadClusterConfig {
+    /// `n_slaves` slaves, pinning on, capacity 4 (double-buffering + slack).
+    pub fn new(n_slaves: usize) -> Self {
+        Self { n_slaves, pin_cores: true, channel_capacity: 4 }
+    }
+}
+
+/// Per-slave handles the master uses to feed work and collect results.
+pub struct SlaveHandles<Req, Resp> {
+    /// Request senders, one per slave.
+    pub to_slaves: Vec<Sender<Req>>,
+    /// Result receiver (all slaves share one return channel).
+    pub from_slaves: Receiver<Resp>,
+}
+
+/// Run a master/slaves protocol on real threads.
+///
+/// `slave_fn(slave_id, rx, tx)` loops until `rx` disconnects.
+/// `master_fn(handles)` drives the run; dropping/forgetting the senders it
+/// owns terminates the slaves. Returns `(master_result, wall_time)`.
+///
+/// Core pinning: slave `i` goes to core `i + 1` (mod available), the
+/// master to core 0 — mirroring the paper's one-index-partition-per-CPU
+/// placement so each slave's working set stays in its own core's cache.
+pub fn run_master_slaves<Req, Resp, R>(
+    cfg: &ThreadClusterConfig,
+    slave_fn: impl Fn(usize, Receiver<Req>, Sender<Resp>) + Send + Sync + Clone + 'static,
+    master_fn: impl FnOnce(SlaveHandles<Req, Resp>) -> R,
+) -> (R, Duration)
+where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+{
+    assert!(cfg.n_slaves >= 1, "need at least one slave");
+    let cores = if cfg.pin_cores { core_affinity::get_core_ids().unwrap_or_default() } else { Vec::new() };
+
+    let (resp_tx, resp_rx) = bounded::<Resp>(cfg.channel_capacity * cfg.n_slaves);
+    let mut to_slaves = Vec::with_capacity(cfg.n_slaves);
+    let mut joins = Vec::with_capacity(cfg.n_slaves);
+
+    for sid in 0..cfg.n_slaves {
+        let (req_tx, req_rx) = bounded::<Req>(cfg.channel_capacity);
+        to_slaves.push(req_tx);
+        let tx = resp_tx.clone();
+        let f = slave_fn.clone();
+        let core = if cores.is_empty() { None } else { Some(cores[(sid + 1) % cores.len()]) };
+        joins.push(
+            thread::Builder::new()
+                .name(format!("dini-slave-{sid}"))
+                .spawn(move || {
+                    if let Some(c) = core {
+                        core_affinity::set_for_current(c);
+                    }
+                    f(sid, req_rx, tx);
+                })
+                .expect("spawn slave thread"),
+        );
+    }
+    drop(resp_tx); // master's receiver sees disconnect once slaves finish
+
+    if let Some(c) = cores.first() {
+        core_affinity::set_for_current(*c);
+    }
+
+    let start = Instant::now();
+    let result = master_fn(SlaveHandles { to_slaves, from_slaves: resp_rx });
+    let wall = start.elapsed();
+
+    for j in joins {
+        j.join().expect("slave thread panicked");
+    }
+    (result, wall)
+}
+
+/// Scatter requests to slaves while concurrently draining responses — the
+/// pattern a real MPI master uses (non-blocking sends with progressive
+/// receives). With bounded channels, a master that sends everything before
+/// receiving anything deadlocks as soon as
+/// `requests > request-capacity + response-capacity + in-flight`; this
+/// helper makes progress on the return path whenever a request channel is
+/// full, so any request volume completes with any capacity ≥ 1.
+///
+/// Returns the number of responses drained during the scatter. The caller
+/// still owns `handles` and must drop the senders and drain the remainder.
+pub fn scatter_drain<Req, Resp>(
+    handles: &SlaveHandles<Req, Resp>,
+    reqs: impl IntoIterator<Item = (usize, Req)>,
+    mut on_resp: impl FnMut(Resp),
+) -> usize {
+    use crossbeam::channel::TrySendError;
+    let mut drained = 0usize;
+    for (slave, req) in reqs {
+        let mut req = req;
+        loop {
+            match handles.to_slaves[slave].try_send(req) {
+                Ok(()) => break,
+                Err(TrySendError::Full(r)) => {
+                    req = r;
+                    // Blocked on backpressure: progress the return path.
+                    match handles.from_slaves.recv_timeout(Duration::from_millis(1)) {
+                        Ok(resp) => {
+                            on_resp(resp);
+                            drained += 1;
+                        }
+                        Err(_) => {} // no response ready; retry the send
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    panic!("slave {slave} disconnected while scattering")
+                }
+            }
+        }
+        // Opportunistic non-blocking drain keeps the response queue short.
+        while let Ok(resp) = handles.from_slaves.try_recv() {
+            on_resp(resp);
+            drained += 1;
+        }
+    }
+    drained
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_sums() {
+        // Each slave doubles what it receives; master scatters 0..100 and
+        // gathers the doubled sum, draining while it scatters.
+        let cfg = ThreadClusterConfig { n_slaves: 4, pin_cores: false, channel_capacity: 8 };
+        let (sum, _wall) = run_master_slaves::<u64, u64, u64>(
+            &cfg,
+            |_sid, rx, tx| {
+                for v in rx.iter() {
+                    tx.send(v * 2).expect("master alive");
+                }
+            },
+            |handles| {
+                let mut sum = 0u64;
+                scatter_drain(&handles, (0..100u64).map(|v| ((v % 4) as usize, v)), |r| sum += r);
+                drop(handles.to_slaves); // hang up → slaves drain & exit
+                sum + handles.from_slaves.iter().sum::<u64>()
+            },
+        );
+        assert_eq!(sum, 2 * (99 * 100 / 2));
+    }
+
+    #[test]
+    fn slaves_exit_on_disconnect() {
+        let cfg = ThreadClusterConfig { n_slaves: 2, pin_cores: false, channel_capacity: 1 };
+        let ((), wall) = run_master_slaves::<u32, u32, ()>(
+            &cfg,
+            |_sid, rx, _tx| {
+                for _ in rx.iter() {}
+            },
+            drop,
+        );
+        assert!(wall < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn pinning_smoke() {
+        // Pinning must not crash even if the platform denies affinity.
+        let cfg = ThreadClusterConfig::new(2);
+        let ((), _) = run_master_slaves::<u32, u32, ()>(
+            &cfg,
+            |_sid, rx, _tx| {
+                for _ in rx.iter() {}
+            },
+            drop,
+        );
+    }
+
+    #[test]
+    fn bounded_channels_backpressure_without_deadlock() {
+        // Master floods 1000 messages through capacity-2 channels: far
+        // more than request-capacity + response-capacity, so a
+        // send-everything-first master would deadlock. scatter_drain
+        // interleaves and must complete.
+        let cfg = ThreadClusterConfig { n_slaves: 1, pin_cores: false, channel_capacity: 2 };
+        let (n, _) = run_master_slaves::<u32, u32, usize>(
+            &cfg,
+            |_sid, rx, tx| {
+                for v in rx.iter() {
+                    std::thread::yield_now();
+                    tx.send(v).expect("master alive");
+                }
+            },
+            |handles| {
+                let mut n = 0usize;
+                scatter_drain(&handles, (0..1000u32).map(|v| (0usize, v)), |_| n += 1);
+                drop(handles.to_slaves);
+                n + handles.from_slaves.iter().count()
+            },
+        );
+        assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn scatter_drain_preserves_payloads_across_slaves() {
+        // Values scattered round-robin over 3 slow slaves with capacity 1
+        // all come back exactly once (echo protocol).
+        let cfg = ThreadClusterConfig { n_slaves: 3, pin_cores: false, channel_capacity: 1 };
+        let (mut got, _) = run_master_slaves::<u32, u32, Vec<u32>>(
+            &cfg,
+            |_sid, rx, tx| {
+                for v in rx.iter() {
+                    std::thread::yield_now();
+                    tx.send(v).expect("master alive");
+                }
+            },
+            |handles| {
+                let mut got = Vec::with_capacity(300);
+                scatter_drain(
+                    &handles,
+                    (0..300u32).map(|v| ((v % 3) as usize, v)),
+                    |r| got.push(r),
+                );
+                drop(handles.to_slaves);
+                got.extend(handles.from_slaves.iter());
+                got
+            },
+        );
+        got.sort_unstable();
+        assert_eq!(got, (0..300).collect::<Vec<u32>>());
+    }
+}

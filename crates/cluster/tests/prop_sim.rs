@@ -1,0 +1,128 @@
+//! Property tests for the discrete-event cluster simulator: conservation
+//! laws and monotonicity that must hold for any workload shape.
+
+use dini_cluster::sim::{Actor, Ctx, NodeId, SimCluster};
+use dini_cluster::NetworkModel;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A source that sends a scripted list of (target, bytes, cpu) tuples.
+struct Script {
+    sends: Vec<(NodeId, u64, f64)>,
+}
+
+impl Actor<u32> for Script {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        for &(to, bytes, cpu) in &self.sends {
+            ctx.busy(cpu);
+            ctx.send(to, bytes, 0);
+        }
+    }
+    fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u64, _: u32) {}
+}
+
+/// A sink that burns fixed CPU per message and counts arrivals.
+struct Burn {
+    cpu: f64,
+    got: u64,
+}
+
+impl Actor<u32> for Burn {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _: NodeId, _: u64, _: u32) {
+        ctx.busy(self.cpu);
+        self.got += 1;
+    }
+}
+
+fn net() -> NetworkModel {
+    NetworkModel {
+        name: "prop",
+        bandwidth: 0.5,
+        latency_ns: 500.0,
+        send_overhead_ns: 50.0,
+        recv_overhead_ns: 25.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conservation_and_bounds(
+        raw_sends in vec((1usize..4, 1u64..10_000, 0.0f64..5_000.0), 0..60),
+        burn_cpu in 0.0f64..10_000.0,
+    ) {
+        let n_sinks = 3usize;
+        let mut src = Script { sends: raw_sends.clone() };
+        let mut sinks: Vec<Burn> = (0..n_sinks).map(|_| Burn { cpu: burn_cpu, got: 0 }).collect();
+
+        let sim = SimCluster::new(net());
+        let mut actors: Vec<&mut dyn Actor<u32>> = vec![&mut src];
+        for s in &mut sinks {
+            actors.push(s);
+        }
+        let report = sim.run(&mut actors);
+
+        // Every message is delivered exactly once.
+        let total_sent = raw_sends.len() as u64;
+        let total_got: u64 = sinks.iter().map(|s| s.got).sum();
+        prop_assert_eq!(total_got, total_sent);
+        prop_assert_eq!(report.total_msgs, total_sent);
+
+        // Bytes conserved.
+        let bytes_sent: u64 = raw_sends.iter().map(|s| s.1).sum();
+        prop_assert_eq!(report.total_bytes, bytes_sent);
+        prop_assert_eq!(report.nodes[0].bytes_out, bytes_sent);
+        let bytes_in: u64 = report.nodes[1..].iter().map(|n| n.bytes_in).sum();
+        prop_assert_eq!(bytes_in, bytes_sent);
+
+        // Makespan bounds every node's busy time and last activity.
+        for node in &report.nodes {
+            prop_assert!(node.busy_ns <= report.makespan_ns + 1e-6);
+            prop_assert!(node.last_active_ns <= report.makespan_ns + 1e-6);
+            let idle = node.idle_fraction(report.makespan_ns);
+            prop_assert!((0.0..=1.0).contains(&idle));
+        }
+
+        // Makespan is at least the source's pure CPU time and at least the
+        // wire time of its largest message.
+        let src_cpu: f64 = raw_sends.iter().map(|s| s.2 + 50.0).sum();
+        prop_assert!(report.makespan_ns + 1e-6 >= src_cpu);
+        if let Some(max_bytes) = raw_sends.iter().map(|s| s.1).max() {
+            prop_assert!(report.makespan_ns + 1e-6 >= max_bytes as f64 / 0.5);
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_in_consumer_cost(
+        n_msgs in 1usize..40,
+        cheap in 0.0f64..1_000.0,
+        extra in 1.0f64..10_000.0,
+    ) {
+        let sends: Vec<(NodeId, u64, f64)> = (0..n_msgs).map(|_| (1usize, 100u64, 0.0)).collect();
+        let run = |cpu: f64| {
+            let mut src = Script { sends: sends.clone() };
+            let mut sink = Burn { cpu, got: 0 };
+            let sim = SimCluster::new(net());
+            sim.run::<u32>(&mut [&mut src, &mut sink]).makespan_ns
+        };
+        let t_cheap = run(cheap);
+        let t_dear = run(cheap + extra);
+        prop_assert!(t_dear >= t_cheap - 1e-6,
+            "more per-message CPU ({t_dear}) must not finish earlier ({t_cheap})");
+    }
+
+    #[test]
+    fn runs_are_deterministic(
+        raw_sends in vec((1usize..3, 1u64..5_000, 0.0f64..2_000.0), 0..40),
+    ) {
+        let run = || {
+            let mut src = Script { sends: raw_sends.clone() };
+            let mut s1 = Burn { cpu: 123.0, got: 0 };
+            let mut s2 = Burn { cpu: 321.0, got: 0 };
+            let sim = SimCluster::new(net());
+            sim.run::<u32>(&mut [&mut src, &mut s1, &mut s2]).makespan_ns
+        };
+        prop_assert_eq!(run().to_bits(), run().to_bits());
+    }
+}

@@ -1,0 +1,92 @@
+//! One entry point to run any of the five methods.
+
+use crate::methods::{run_method_a, run_method_b, run_method_c, SlaveStructure};
+use crate::setup::{ExperimentSetup, MethodId};
+use crate::stats::RunStats;
+use dini_workload::{gen_search_keys, gen_sorted_unique_keys};
+
+/// Run `method` under `setup` over explicit key sets.
+pub fn run_method(
+    method: MethodId,
+    setup: &ExperimentSetup,
+    index_keys: &[u32],
+    search_keys: &[u32],
+) -> RunStats {
+    match method {
+        MethodId::A => run_method_a(setup, index_keys, search_keys),
+        MethodId::B => run_method_b(setup, index_keys, search_keys),
+        MethodId::C1 => run_method_c(setup, SlaveStructure::CsbTree, index_keys, search_keys),
+        MethodId::C2 => run_method_c(setup, SlaveStructure::BufferedTree, index_keys, search_keys),
+        MethodId::C3 => run_method_c(setup, SlaveStructure::SortedArray, index_keys, search_keys),
+    }
+}
+
+/// Deterministic default seeds for experiment workloads.
+pub const INDEX_SEED: u64 = 0x5EED_1DE5;
+/// Seed for the search-key stream.
+pub const SEARCH_SEED: u64 = 0x5EED_5EA2;
+
+/// Generate the standard workload for `setup`: its index keys plus
+/// `n_search` uniform queries, seeded deterministically.
+pub fn standard_workload(setup: &ExperimentSetup, n_search: usize) -> (Vec<u32>, Vec<u32>) {
+    (
+        gen_sorted_unique_keys(setup.n_index_keys, INDEX_SEED),
+        gen_search_keys(n_search, SEARCH_SEED),
+    )
+}
+
+/// Run every method in `methods` over one shared workload; returns stats in
+/// the same order.
+pub fn run_comparison(
+    methods: &[MethodId],
+    setup: &ExperimentSetup,
+    n_search: usize,
+) -> Vec<RunStats> {
+    let (index_keys, search_keys) = standard_workload(setup, n_search);
+    methods.iter().map(|&m| run_method(m, setup, &index_keys, &search_keys)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_shares_one_workload() {
+        let setup = ExperimentSetup {
+            n_index_keys: 20_000,
+            batch_bytes: 8 * 1024,
+            ..ExperimentSetup::paper()
+        };
+        let all = run_comparison(&MethodId::ALL, &setup, 10_000);
+        assert_eq!(all.len(), 5);
+        let checksum = all[0].rank_checksum;
+        for s in &all {
+            assert_eq!(s.rank_checksum, checksum, "{} disagrees", s.method);
+            assert_eq!(s.n_keys, 10_000);
+            assert!(s.search_time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let setup = ExperimentSetup::small();
+        let (i1, q1) = standard_workload(&setup, 100);
+        let (i2, q2) = standard_workload(&setup, 100);
+        assert_eq!(i1, i2);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn run_stats_are_reproducible_bit_for_bit() {
+        let setup = ExperimentSetup {
+            n_index_keys: 30_000,
+            batch_bytes: 16 * 1024,
+            ..ExperimentSetup::paper()
+        };
+        let (idx, q) = standard_workload(&setup, 5_000);
+        let a = run_method(MethodId::C3, &setup, &idx, &q);
+        let b = run_method(MethodId::C3, &setup, &idx, &q);
+        assert_eq!(a.search_time_s.to_bits(), b.search_time_s.to_bits());
+        assert_eq!(a.msgs, b.msgs);
+    }
+}

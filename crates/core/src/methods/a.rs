@@ -1,0 +1,165 @@
+//! Method A: the standard replicated-index lookup.
+//!
+//! Every node holds a full copy of the n-ary tree (here the CSB+ layout all
+//! tree methods share) and looks keys up one at a time. Because the tree is
+//! several times larger than L2, the steady state pays roughly one L2 miss
+//! per non-resident level per lookup — the paper's motivating pathology.
+//! The per-query path also streams the key in from an input buffer and the
+//! result out to an output buffer (the model's `8/W1` term).
+
+use crate::setup::{node_memory, stream, ExperimentSetup, MethodId};
+use crate::stats::RunStats;
+use dini_cache_sim::{AddressSpace, MemoryModel};
+use dini_index::{CsbTree, RankIndex};
+
+/// Run Method A over `search_keys` against an index of `index_keys`.
+///
+/// The batch size only sets the granularity at which the input/output
+/// buffers are streamed; the lookup itself is one key at a time, so the
+/// Figure 3 curve for Method A is essentially flat.
+pub fn run_method_a(
+    setup: &ExperimentSetup,
+    index_keys: &[u32],
+    search_keys: &[u32],
+) -> RunStats {
+    setup.validate();
+    let m = &setup.machine;
+    let mut space = AddressSpace::new();
+    let tree_base = space.alloc_lines(0);
+    let tree = CsbTree::with_leaf_entries(
+        index_keys,
+        m.keys_per_node(),
+        m.leaf_entries_per_line(),
+        m.l2.line_bytes,
+        tree_base,
+        m.comp_cost_node_ns,
+    );
+    space.alloc_lines(tree.footprint_bytes());
+    let in_base = space.alloc_pages(search_keys.len() as u64 * 4);
+    let out_base = space.alloc_pages(search_keys.len() as u64 * 4);
+
+    let mut mem = node_memory(setup);
+    let mut ns = 0.0f64;
+    let mut checksum = 0u64;
+    let batch_keys = setup.batch_keys();
+
+    let n_batches = search_keys.len().div_ceil(batch_keys.max(1)).max(1);
+    for (bi, batch) in search_keys.chunks(batch_keys).enumerate() {
+        let off = (bi * batch_keys) as u64 * 4;
+        // Each replica node receives its query stream as batch-sized
+        // messages; while this batch is processed the *next* one is being
+        // received (overlapped communication), polluting the cache at no
+        // CPU cost — the paper's §4.1 contention effect.
+        if setup.model_receive_pollution && bi + 1 < n_batches {
+            let next_off = ((bi + 1) * batch_keys) as u64 * 4;
+            let next_len = (search_keys.len() - (bi + 1) * batch_keys).min(batch_keys) * 4;
+            mem.touch(in_base + next_off, next_len as u32, dini_cache_sim::AccessKind::Pollute);
+        }
+        // Stream the batch of keys in and, after the lookups, the results
+        // out — sequential accesses billed at W1, exactly the model's
+        // 8/W1 per key.
+        ns += stream(&mut mem, in_base + off, (batch.len() * 4) as u32, false);
+        for &key in batch {
+            let (rank, c) = tree.rank(key, &mut mem);
+            ns += c;
+            checksum = checksum.wrapping_add(rank as u64);
+        }
+        ns += stream(&mut mem, out_base + off, (batch.len() * 4) as u32, true);
+    }
+
+    // The paper's normalization: all `n_nodes` nodes run replicas in
+    // parallel (load balancing assumed free), so per-cluster time is the
+    // one-node time divided by the node count.
+    let search_time_s = ns * 1e-9 / setup.n_nodes() as f64;
+    RunStats {
+        method: MethodId::A,
+        batch_bytes: setup.batch_bytes,
+        n_keys: search_keys.len() as u64,
+        search_time_s,
+        per_key_ns: if search_keys.is_empty() { 0.0 } else { ns / search_keys.len() as f64 },
+        slave_idle: 0.0,
+        master_idle: 0.0,
+        msgs: 0,
+        net_bytes: 0,
+        mem: *mem.stats(),
+        // Local processing: a batch "responds" when its lookups finish.
+        batch_rtt_mean_ns: ns / n_batches as f64,
+        batch_rtt_p99_ns: 0.0,
+        rank_checksum: checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dini_cache_sim::NullMemory;
+    use dini_index::traits::oracle_rank;
+    use dini_workload::{gen_search_keys, gen_sorted_unique_keys};
+
+    fn small_run(n_index: usize, n_search: usize) -> (Vec<u32>, Vec<u32>, RunStats) {
+        let setup = ExperimentSetup::small();
+        let idx = gen_sorted_unique_keys(n_index, 11);
+        let q = gen_search_keys(n_search, 22);
+        let stats = run_method_a(&setup, &idx, &q);
+        (idx, q, stats)
+    }
+
+    #[test]
+    fn checksum_matches_oracle() {
+        let (idx, q, stats) = small_run(10_000, 5_000);
+        let want: u64 = q.iter().map(|&k| oracle_rank(&idx, k) as u64).sum();
+        assert_eq!(stats.rank_checksum, want);
+    }
+
+    #[test]
+    fn out_of_cache_tree_pays_per_level_misses() {
+        // The paper's premise: a > L2 tree costs ~1 miss per lower level.
+        let setup = ExperimentSetup { n_index_keys: 327_680, ..ExperimentSetup::small() };
+        let idx = gen_sorted_unique_keys(setup.n_index_keys, 3);
+        let q = gen_search_keys(100_000, 4);
+        let stats = run_method_a(&setup, &idx, &q);
+        let mpk = stats.l2_misses_per_key();
+        assert!(mpk > 1.0, "a 1.7 MB tree must miss in steady state, got {mpk}");
+        assert!(mpk < 7.0, "misses bounded by tree depth, got {mpk}");
+    }
+
+    #[test]
+    fn batch_size_barely_matters() {
+        let idx = gen_sorted_unique_keys(100_000, 5);
+        let q = gen_search_keys(50_000, 6);
+        let t8 = run_method_a(&ExperimentSetup::small().with_batch_bytes(8 * 1024), &idx, &q);
+        let t1m = run_method_a(&ExperimentSetup::small().with_batch_bytes(1 << 20), &idx, &q);
+        let ratio = t8.search_time_s / t1m.search_time_s;
+        assert!((0.9..1.1).contains(&ratio), "Method A should be batch-flat, ratio {ratio}");
+    }
+
+    #[test]
+    fn normalization_divides_by_cluster_size() {
+        let idx = gen_sorted_unique_keys(50_000, 7);
+        let q = gen_search_keys(10_000, 8);
+        let small = ExperimentSetup::small();
+        let wide = ExperimentSetup { n_slaves: 21, ..ExperimentSetup::small() };
+        let a = run_method_a(&small, &idx, &q);
+        let b = run_method_a(&wide, &idx, &q);
+        let expect = small.n_nodes() as f64 / wide.n_nodes() as f64;
+        assert!((b.search_time_s / a.search_time_s - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_queries_are_fine() {
+        let idx = gen_sorted_unique_keys(1000, 9);
+        let stats = run_method_a(&ExperimentSetup::small(), &idx, &[]);
+        assert_eq!(stats.n_keys, 0);
+        assert_eq!(stats.rank_checksum, 0);
+    }
+
+    #[test]
+    fn ranks_agree_with_flat_tree() {
+        // Belt and braces: the tree inside method A is the shared CsbTree.
+        let idx = gen_sorted_unique_keys(5_000, 10);
+        let tree = CsbTree::new(&idx, 7, 32, 0, 30.0);
+        for key in [0u32, 1, 999_999, u32::MAX] {
+            assert_eq!(tree.rank(key, &mut NullMemory).0, oracle_rank(&idx, key));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Method B: replicated tree with the Zhou–Ross buffering access method.
+//!
+//! Same replicated tree as Method A, but queries are collected into batches
+//! and pushed through the L2-sized subtree decomposition: the subtree being
+//! walked stays cache-resident, so the per-key random misses of Method A
+//! are traded for streaming buffer traffic. Larger batches amortise each
+//! subtree's load over more keys, which is why the Figure 3 curve for B
+//! falls with batch size.
+
+use crate::setup::{node_memory, stream, ExperimentSetup, MethodId};
+use crate::stats::RunStats;
+use dini_cache_sim::{AddressSpace, MemoryModel};
+use dini_index::{BufferedLookup, CsbTree, RankIndex};
+
+/// Run Method B over `search_keys` against an index of `index_keys`.
+pub fn run_method_b(
+    setup: &ExperimentSetup,
+    index_keys: &[u32],
+    search_keys: &[u32],
+) -> RunStats {
+    setup.validate();
+    let m = &setup.machine;
+    let mut space = AddressSpace::new();
+    let tree_base = space.alloc_lines(0);
+    let tree = CsbTree::with_leaf_entries(
+        index_keys,
+        m.keys_per_node(),
+        m.leaf_entries_per_line(),
+        m.l2.line_bytes,
+        tree_base,
+        m.comp_cost_node_ns,
+    );
+    space.alloc_lines(tree.footprint_bytes());
+    let in_base = space.alloc_pages(search_keys.len() as u64 * 4);
+    let out_base = space.alloc_pages(search_keys.len() as u64 * 4);
+    let batch_keys = setup.batch_keys();
+    let mut buffered =
+        BufferedLookup::for_cache(&tree, m.l2.size_bytes, setup.fill_factor, &mut space, batch_keys);
+
+    let mut mem = node_memory(setup);
+    let mut ns = 0.0f64;
+    let mut checksum = 0u64;
+    let mut ranks = Vec::with_capacity(batch_keys);
+
+    let n_batches = search_keys.len().div_ceil(batch_keys.max(1)).max(1);
+    for (bi, batch) in search_keys.chunks(batch_keys).enumerate() {
+        let off = (bi * batch_keys) as u64 * 4;
+        // Overlapped receive of the next batch pollutes the cache while
+        // this one is processed (see Method A); for Method B this is the
+        // §4.1 contention: current batch + next batch + the resident
+        // subtree overflow the L2 once batches reach ~a quarter of it.
+        if setup.model_receive_pollution && bi + 1 < n_batches {
+            let next_off = ((bi + 1) * batch_keys) as u64 * 4;
+            let next_len = (search_keys.len() - (bi + 1) * batch_keys).min(batch_keys) * 4;
+            mem.touch(in_base + next_off, next_len as u32, dini_cache_sim::AccessKind::Pollute);
+        }
+        ns += stream(&mut mem, in_base + off, (batch.len() * 4) as u32, false);
+        ns += buffered.rank_batch(&tree, batch, &mut ranks, &mut mem);
+        ns += stream(&mut mem, out_base + off, (batch.len() * 4) as u32, true);
+        for &r in &ranks {
+            checksum = checksum.wrapping_add(r as u64);
+        }
+    }
+
+    let search_time_s = ns * 1e-9 / setup.n_nodes() as f64;
+    RunStats {
+        method: MethodId::B,
+        batch_bytes: setup.batch_bytes,
+        n_keys: search_keys.len() as u64,
+        search_time_s,
+        per_key_ns: if search_keys.is_empty() { 0.0 } else { ns / search_keys.len() as f64 },
+        slave_idle: 0.0,
+        master_idle: 0.0,
+        msgs: 0,
+        net_bytes: 0,
+        mem: *mem.stats(),
+        batch_rtt_mean_ns: ns / n_batches as f64,
+        batch_rtt_p99_ns: 0.0,
+        rank_checksum: checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::a::run_method_a;
+    use dini_index::traits::oracle_rank;
+    use dini_workload::{gen_search_keys, gen_sorted_unique_keys};
+
+    #[test]
+    fn checksum_matches_oracle_and_method_a() {
+        let setup = ExperimentSetup::small();
+        let idx = gen_sorted_unique_keys(20_000, 1);
+        let q = gen_search_keys(8_000, 2);
+        let b = run_method_b(&setup, &idx, &q);
+        let a = run_method_a(&setup, &idx, &q);
+        let want: u64 = q.iter().map(|&k| oracle_rank(&idx, k) as u64).sum();
+        assert_eq!(b.rank_checksum, want);
+        assert_eq!(b.rank_checksum, a.rank_checksum, "A and B must compute identical answers");
+    }
+
+    #[test]
+    fn b_beats_a_on_large_batches() {
+        // The Zhou–Ross result the paper reproduces as its baseline: for a
+        // tree ≫ L2 and big batches, buffering wins.
+        let setup = ExperimentSetup {
+            n_index_keys: 327_680,
+            batch_bytes: 512 * 1024,
+            ..ExperimentSetup::paper()
+        };
+        let idx = gen_sorted_unique_keys(setup.n_index_keys, 3);
+        let q = gen_search_keys(1 << 20, 4);
+        let b = run_method_b(&setup, &idx, &q);
+        let a = run_method_a(&setup, &idx, &q);
+        assert!(
+            b.search_time_s < a.search_time_s,
+            "B ({}) must beat A ({}) at 512 KB batches",
+            b.search_time_s,
+            a.search_time_s
+        );
+    }
+
+    #[test]
+    fn larger_batches_help_method_b() {
+        let idx = gen_sorted_unique_keys(327_680, 5);
+        let q = gen_search_keys(1 << 19, 6);
+        let base = ExperimentSetup { n_index_keys: 327_680, ..ExperimentSetup::paper() };
+        let small = run_method_b(&base.clone().with_batch_bytes(8 * 1024), &idx, &q);
+        let large = run_method_b(&base.with_batch_bytes(1 << 20), &idx, &q);
+        assert!(
+            large.search_time_s < small.search_time_s,
+            "1 MB batches ({}) must beat 8 KB ({})",
+            large.search_time_s,
+            small.search_time_s
+        );
+    }
+
+    #[test]
+    fn fewer_l2_misses_than_method_a() {
+        let setup = ExperimentSetup {
+            n_index_keys: 327_680,
+            batch_bytes: 256 * 1024,
+            ..ExperimentSetup::paper()
+        };
+        let idx = gen_sorted_unique_keys(setup.n_index_keys, 7);
+        let q = gen_search_keys(1 << 19, 8);
+        let b = run_method_b(&setup, &idx, &q);
+        let a = run_method_a(&setup, &idx, &q);
+        assert!(
+            b.l2_misses_per_key() < a.l2_misses_per_key(),
+            "buffering must cut misses: B {} vs A {}",
+            b.l2_misses_per_key(),
+            a.l2_misses_per_key()
+        );
+    }
+}

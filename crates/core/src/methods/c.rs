@@ -1,0 +1,622 @@
+//! Method C: the distributed in-cache index.
+//!
+//! The sorted key set is range-partitioned across the slaves so each
+//! partition fits that slave's L2 cache. Masters hold only the partition
+//! delimiters; queries arrive at a master, are dispatched by a binary
+//! search over the delimiters into per-slave outgoing buffers, and are
+//! shipped in batches over the network (MPI_Isend-style non-blocking
+//! sends — the simulator overlaps the transfer with computation). Each
+//! slave looks its batch up entirely in cache and sends the ranks onward.
+//!
+//! Results do **not** return through the master: the paper has each slave
+//! "dispatch the results to the target" (the original requester). We model
+//! the targets as unmeasured sink nodes, one per slave, that receive and
+//! verify results but do no measured work — keeping the master's CPU and
+//! ingress link out of the return path, exactly as Equation 8 prices it,
+//! and avoiding an artificial single-ingress bottleneck the paper's many
+//! distinct requesters don't have.
+//!
+//! The three submethods differ only in the slave-side structure:
+//! C-1 a CSB+ tree, C-2 an L1-buffered CSB+ tree, C-3 a plain sorted array.
+//!
+//! Node ids: masters are `0..n_masters`, slaves
+//! `n_masters..n_masters+n_slaves`, and the sinks are the last
+//! `n_slaves` nodes.
+
+use crate::setup::{node_memory, stream, ExperimentSetup, MethodId};
+use crate::stats::RunStats;
+use dini_cache_sim::{AccessKind, AddressSpace, MemoryModel, SimMemory};
+use dini_cluster::sim::{Actor, Ctx, NodeId, SimCluster};
+use dini_index::{BufferedLookup, CsbTree, Partitions, RankIndex, SortedArray};
+
+/// Which structure the slaves use (the C-1/C-2/C-3 distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlaveStructure {
+    /// CSB+ n-ary tree (Method C-1).
+    CsbTree,
+    /// CSB+ tree traversed with L1-targeted buffering (Method C-2).
+    BufferedTree,
+    /// Sorted array with binary search (Method C-3).
+    SortedArray,
+}
+
+impl SlaveStructure {
+    /// The corresponding method id.
+    pub fn method_id(self) -> MethodId {
+        match self {
+            SlaveStructure::CsbTree => MethodId::C1,
+            SlaveStructure::BufferedTree => MethodId::C2,
+            SlaveStructure::SortedArray => MethodId::C3,
+        }
+    }
+}
+
+/// Protocol payload between masters and slaves.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// A batch of search keys, master → slave. `sent_ns` stamps the
+    /// master's dispatch time so the target can measure batch response
+    /// times.
+    Queries {
+        /// Simulated dispatch time at the master.
+        sent_ns: f64,
+        /// The batched search keys.
+        keys: Vec<u32>,
+    },
+    /// The corresponding global ranks, slave → target, echoing the
+    /// originating batch's dispatch stamp.
+    Results {
+        /// Dispatch time of the batch these ranks answer.
+        sent_ns: f64,
+        /// Global ranks, one per key.
+        ranks: Vec<u32>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Slave side
+// ---------------------------------------------------------------------------
+
+/// The lookup engine a slave runs; all three charge their accesses to the
+/// slave's own simulated memory.
+enum Engine {
+    Tree(CsbTree),
+    Buffered(CsbTree, BufferedLookup),
+    Array(SortedArray),
+}
+
+impl Engine {
+    fn rank_batch(&mut self, keys: &[u32], out: &mut Vec<u32>, mem: &mut SimMemory) -> f64 {
+        match self {
+            Engine::Tree(t) => {
+                out.clear();
+                out.reserve(keys.len());
+                let mut ns = 0.0;
+                for &k in keys {
+                    let (r, c) = t.rank(k, mem);
+                    out.push(r);
+                    ns += c;
+                }
+                ns
+            }
+            Engine::Buffered(t, b) => b.rank_batch(t, keys, out, mem),
+            Engine::Array(a) => {
+                out.clear();
+                out.reserve(keys.len());
+                let mut ns = 0.0;
+                for &k in keys {
+                    let (r, c) = a.rank(k, mem);
+                    out.push(r);
+                    ns += c;
+                }
+                ns
+            }
+        }
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        match self {
+            Engine::Tree(t) => t.footprint_bytes(),
+            Engine::Buffered(t, b) => t.footprint_bytes() + b.buffer_footprint_bytes(),
+            Engine::Array(a) => a.footprint_bytes(),
+        }
+    }
+}
+
+/// A slave node: one cache-resident partition plus double-buffered message
+/// regions.
+struct SlaveActor {
+    engine: Engine,
+    mem: SimMemory,
+    base_rank: u32,
+    /// Node id of the sink ("target") results are dispatched to.
+    sink: NodeId,
+    /// Whether overlapped receives pollute the cache (ablation switch).
+    model_receive_pollution: bool,
+    /// Two message regions, alternated per message: the one being
+    /// processed and the one the next (overlapped) receive lands in.
+    msg_regions: [u64; 2],
+    result_region: u64,
+    which: usize,
+    ranks: Vec<u32>,
+}
+
+impl SlaveActor {
+    fn build(
+        setup: &ExperimentSetup,
+        structure: SlaveStructure,
+        part_keys: &[u32],
+        base_rank: u32,
+        sink: NodeId,
+    ) -> Self {
+        let m = &setup.machine;
+        let mut space = AddressSpace::new();
+        let build_tree = |base: u64| {
+            CsbTree::with_leaf_entries(
+                part_keys,
+                m.keys_per_node(),
+                m.leaf_entries_per_line(),
+                m.l2.line_bytes,
+                base,
+                m.comp_cost_node_ns,
+            )
+        };
+        let engine = match structure {
+            SlaveStructure::CsbTree => {
+                let base = space.alloc_lines(0);
+                let t = build_tree(base);
+                space.alloc_lines(t.footprint_bytes());
+                Engine::Tree(t)
+            }
+            SlaveStructure::BufferedTree => {
+                let base = space.alloc_lines(0);
+                // Method C-2 sizes subtrees for the *L1* cache.
+                let t = build_tree(base);
+                space.alloc_lines(t.footprint_bytes());
+                let b = BufferedLookup::for_cache(
+                    &t,
+                    m.l1.size_bytes,
+                    setup.fill_factor,
+                    &mut space,
+                    setup.batch_keys(),
+                );
+                Engine::Buffered(t, b)
+            }
+            SlaveStructure::SortedArray => {
+                let base = space.alloc_lines(part_keys.len() as u64 * 4);
+                Engine::Array(SortedArray::new(part_keys.to_vec(), base, m.cmp_cost_ns))
+            }
+        };
+        let msg_bytes = setup.batch_bytes as u64;
+        let msg_regions = [space.alloc_pages(msg_bytes), space.alloc_pages(msg_bytes)];
+        let result_region = space.alloc_pages(msg_bytes);
+        Self {
+            engine,
+            mem: node_memory(setup),
+            base_rank,
+            sink,
+            model_receive_pollution: setup.model_receive_pollution,
+            msg_regions,
+            result_region,
+            which: 0,
+            ranks: Vec::with_capacity(setup.batch_keys()),
+        }
+    }
+}
+
+impl Actor<Msg> for SlaveActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, bytes: u64, payload: Msg) {
+        let Msg::Queries { sent_ns, keys } = payload else {
+            unreachable!("slaves only receive queries");
+        };
+        let region = self.msg_regions[self.which];
+        // The message the NIC is receiving *while we compute* (overlapped
+        // communication) installs its lines behind our back: cache
+        // pollution with no CPU charge — the contention the paper blames
+        // for the 64 → 128 KB dip.
+        if self.model_receive_pollution && ctx.pending_messages() > 0 {
+            let next = self.msg_regions[1 - self.which];
+            self.mem.touch(next, bytes as u32, AccessKind::Pollute);
+        }
+        let mut ns = 0.0;
+        // Read the batch of keys from the message buffer (sequential).
+        ns += stream(&mut self.mem, region, (keys.len() * 4) as u32, false);
+        // Look every key up in the cache-resident partition.
+        ns += self.engine.rank_batch(&keys, &mut self.ranks, &mut self.mem);
+        // Compose global ranks and write the results out (sequential; the
+        // paper stores them over the search keys to halve the footprint —
+        // we keep a dedicated region but bill the same 4 B/key stream).
+        for r in &mut self.ranks {
+            *r += self.base_rank;
+        }
+        ns += stream(&mut self.mem, self.result_region, (self.ranks.len() * 4) as u32, true);
+        ctx.busy(ns);
+        // "…and dispatches the results to the target."
+        ctx.send(
+            self.sink,
+            (self.ranks.len() * 4) as u64,
+            Msg::Results { sent_ns, ranks: std::mem::take(&mut self.ranks) },
+        );
+        self.which = 1 - self.which;
+    }
+}
+
+/// The "target" node: receives results, verifies them, does no measured
+/// work (it stands for the external requesters the paper dispatches to).
+/// It also clocks each batch's response time — dispatch at the master to
+/// results delivered here.
+#[derive(Default)]
+struct SinkActor {
+    results_in: u64,
+    checksum: u64,
+    rtt: dini_cluster::LogHistogram,
+}
+
+impl Actor<Msg> for SinkActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, _bytes: u64, payload: Msg) {
+        let Msg::Results { sent_ns, ranks } = payload else {
+            unreachable!("the sink only receives results");
+        };
+        self.rtt.record(ctx.now() - sent_ns);
+        self.results_in += ranks.len() as u64;
+        for r in ranks {
+            self.checksum = self.checksum.wrapping_add(r as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Master side
+// ---------------------------------------------------------------------------
+
+/// A master node: the delimiter array plus per-slave outgoing buffers.
+struct MasterActor<'a> {
+    setup: &'a ExperimentSetup,
+    keys: &'a [u32],
+    delims: SortedArray,
+    mem: SimMemory,
+    in_base: u64,
+    out_bases: Vec<u64>,
+    out_bufs: Vec<Vec<u32>>,
+    /// Accumulated-but-unbilled memory/compute ns (billed at each send).
+    pending_ns: f64,
+    /// Keys already stream-read from the input array (billed in bulk).
+    unread_keys: usize,
+    /// Per-slave flush threshold in keys. With uniform keys all buffers
+    /// fill in lock-step, which would emit synchronized 10-message bursts
+    /// that serialize on the TX link — an artifact a real eager-protocol
+    /// MPI never exhibits. The *first* flush per slave is staggered
+    /// (slave s flushes at `(s+1)/n_slaves` of a batch), after which each
+    /// buffer flushes at the full batch size, so messages leave evenly
+    /// spaced.
+    flush_at: Vec<usize>,
+}
+
+impl<'a> MasterActor<'a> {
+    fn build(setup: &'a ExperimentSetup, delimiters: &[u32], keys: &'a [u32]) -> Self {
+        let m = &setup.machine;
+        let mut space = AddressSpace::new();
+        let delim_base = space.alloc_lines(delimiters.len() as u64 * 4);
+        let in_base = space.alloc_pages(keys.len() as u64 * 4);
+        let out_bases = (0..setup.n_slaves)
+            .map(|_| space.alloc_pages(setup.batch_bytes as u64))
+            .collect();
+        Self {
+            setup,
+            keys,
+            delims: SortedArray::new(delimiters.to_vec(), delim_base, m.cmp_cost_ns),
+            mem: node_memory(setup),
+            in_base,
+            out_bases,
+            out_bufs: vec![Vec::with_capacity(setup.batch_keys()); setup.n_slaves],
+            pending_ns: 0.0,
+            unread_keys: 0,
+            flush_at: (0..setup.n_slaves)
+                .map(|s| (setup.batch_keys() * (s + 1)).div_ceil(setup.n_slaves).max(1))
+                .collect(),
+        }
+    }
+
+    /// Flush slave `s`'s buffer as one network message.
+    fn flush(&mut self, s: usize, ctx: &mut Ctx<'_, Msg>) {
+        let buf = std::mem::replace(
+            &mut self.out_bufs[s],
+            Vec::with_capacity(self.setup.batch_keys()),
+        );
+        if buf.is_empty() {
+            self.out_bufs[s] = buf;
+            return;
+        }
+        // Bill the sequential write of the outgoing buffer.
+        self.pending_ns += stream(&mut self.mem, self.out_bases[s], (buf.len() * 4) as u32, true);
+        ctx.busy(self.pending_ns);
+        self.pending_ns = 0.0;
+        let bytes = (buf.len() * 4) as u64;
+        ctx.send(self.setup.n_masters + s, bytes, Msg::Queries { sent_ns: ctx.now(), keys: buf });
+    }
+}
+
+impl Actor<Msg> for MasterActor<'_> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let batch_keys = self.setup.batch_keys();
+        let window_keys = self.setup.max_outstanding_bytes.map(|b| (b / 4).max(1));
+        let mut buffered_keys = 0usize;
+        for i in 0..self.keys.len() {
+            let key = self.keys[i];
+            self.unread_keys += 1;
+            // Dispatch: binary search over the (L1-resident) delimiters.
+            let (slave, c) = self.delims.rank(key, &mut self.mem);
+            self.pending_ns += c;
+            let s = slave as usize;
+            self.out_bufs[s].push(key);
+            buffered_keys += 1;
+            if self.out_bufs[s].len() >= self.flush_at[s] {
+                self.flush_at[s] = batch_keys;
+                // Bill the sequential read of the input keys consumed since
+                // the last send (one bulk stream, same W1 cost as per-key).
+                let off = (i + 1 - self.unread_keys) as u64 * 4;
+                self.pending_ns +=
+                    stream(&mut self.mem, self.in_base + off, (self.unread_keys * 4) as u32, false);
+                self.unread_keys = 0;
+                buffered_keys -= self.out_bufs[s].len();
+                self.flush(s, ctx);
+            } else if window_keys.is_some_and(|w| buffered_keys >= w) {
+                // Bounded send pool: flush everything (messages smaller
+                // than the nominal batch).
+                let off = (i + 1 - self.unread_keys) as u64 * 4;
+                self.pending_ns +=
+                    stream(&mut self.mem, self.in_base + off, (self.unread_keys * 4) as u32, false);
+                self.unread_keys = 0;
+                buffered_keys = 0;
+                for s in 0..self.setup.n_slaves {
+                    self.flush(s, ctx);
+                }
+            }
+        }
+        if self.unread_keys > 0 {
+            let off = (self.keys.len() - self.unread_keys) as u64 * 4;
+            self.pending_ns +=
+                stream(&mut self.mem, self.in_base + off, (self.unread_keys * 4) as u32, false);
+            self.unread_keys = 0;
+        }
+        for s in 0..self.setup.n_slaves {
+            self.flush(s, ctx);
+        }
+        ctx.busy(self.pending_ns);
+        self.pending_ns = 0.0;
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _bytes: u64, _payload: Msg) {
+        unreachable!("masters dispatch only; results go straight to the target");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Run one of the Method C variants on the simulated cluster.
+pub fn run_method_c(
+    setup: &ExperimentSetup,
+    structure: SlaveStructure,
+    index_keys: &[u32],
+    search_keys: &[u32],
+) -> RunStats {
+    setup.validate();
+    let parts = Partitions::split(index_keys, setup.n_slaves);
+
+    // One slave actor per partition, each with its own target node.
+    let mut slaves: Vec<SlaveActor> = parts
+        .ranges
+        .iter()
+        .enumerate()
+        .map(|(j, r)| {
+            let sink_id = setup.n_nodes() + j; // unmeasured target node
+            SlaveActor::build(setup, structure, &index_keys[r.clone()], parts.base_ranks[j], sink_id)
+        })
+        .collect();
+
+    // Check the paper's premise: every partition fits its slave's L2.
+    // (Not an assert — ablations deliberately violate it — but recorded.)
+    let _fits = slaves
+        .iter()
+        .all(|s| s.engine.footprint_bytes() <= setup.machine.l2.size_bytes);
+
+    // Masters share the work: contiguous shards of the search keys.
+    let shard = search_keys.len().div_ceil(setup.n_masters);
+    let mut masters: Vec<MasterActor<'_>> = (0..setup.n_masters)
+        .map(|i| {
+            let lo = (i * shard).min(search_keys.len());
+            let hi = ((i + 1) * shard).min(search_keys.len());
+            MasterActor::build(setup, &parts.delimiters, &search_keys[lo..hi])
+        })
+        .collect();
+
+    let mut sinks: Vec<SinkActor> = (0..setup.n_slaves).map(|_| SinkActor::default()).collect();
+    let mut sim = SimCluster::new(setup.network);
+    if let Some(sw) = setup.switch {
+        sim = sim.with_switch(sw);
+    }
+    let mut actors: Vec<&mut dyn Actor<Msg>> =
+        Vec::with_capacity(setup.n_nodes() + setup.n_slaves);
+    for m in &mut masters {
+        actors.push(m);
+    }
+    for s in &mut slaves {
+        actors.push(s);
+    }
+    for s in &mut sinks {
+        actors.push(s);
+    }
+    let report = sim.run(&mut actors);
+
+    let n_keys = search_keys.len() as u64;
+    let results_in: u64 = sinks.iter().map(|s| s.results_in).sum();
+    debug_assert_eq!(results_in, n_keys, "every query must produce a result");
+    let checksum = sinks.iter().fold(0u64, |acc, s| acc.wrapping_add(s.checksum));
+    let mut rtt = dini_cluster::LogHistogram::new();
+    for s in &sinks {
+        rtt.merge(&s.rtt);
+    }
+
+    let mut mem_stats = dini_cache_sim::AccessStats::default();
+    for m in &masters {
+        mem_stats.merge(m.mem.stats());
+    }
+    for s in &slaves {
+        mem_stats.merge(s.mem.stats());
+    }
+
+    let slave_ids = setup.n_masters..setup.n_nodes();
+    let master_ids = 0..setup.n_masters;
+    let search_time_s = report.makespan_ns * 1e-9;
+    RunStats {
+        method: structure.method_id(),
+        batch_bytes: setup.batch_bytes,
+        n_keys,
+        search_time_s,
+        per_key_ns: if n_keys == 0 { 0.0 } else { report.makespan_ns / n_keys as f64 },
+        slave_idle: report.mean_idle(slave_ids),
+        master_idle: report.mean_idle(master_ids),
+        msgs: report.total_msgs,
+        net_bytes: report.total_bytes,
+        mem: mem_stats,
+        batch_rtt_mean_ns: rtt.mean(),
+        batch_rtt_p99_ns: rtt.p99(),
+        rank_checksum: checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{run_method_a, run_method_b};
+    use dini_index::traits::oracle_rank;
+    use dini_workload::{gen_search_keys, gen_sorted_unique_keys};
+
+    fn paperish(n_index: usize, batch: usize) -> ExperimentSetup {
+        ExperimentSetup {
+            n_index_keys: n_index,
+            batch_bytes: batch,
+            ..ExperimentSetup::paper()
+        }
+    }
+
+    #[test]
+    fn all_variants_compute_the_oracle_checksum() {
+        let setup = paperish(50_000, 8 * 1024);
+        let idx = gen_sorted_unique_keys(setup.n_index_keys, 1);
+        let q = gen_search_keys(20_000, 2);
+        let want: u64 = q.iter().map(|&k| oracle_rank(&idx, k) as u64).sum();
+        for s in [SlaveStructure::CsbTree, SlaveStructure::BufferedTree, SlaveStructure::SortedArray] {
+            let stats = run_method_c(&setup, s, &idx, &q);
+            assert_eq!(stats.rank_checksum, want, "{:?}", s);
+            assert_eq!(stats.n_keys, 20_000);
+        }
+    }
+
+    #[test]
+    fn c_matches_a_and_b_answers() {
+        let setup = paperish(30_000, 16 * 1024);
+        let idx = gen_sorted_unique_keys(setup.n_index_keys, 3);
+        let q = gen_search_keys(10_000, 4);
+        let a = run_method_a(&setup, &idx, &q);
+        let b = run_method_b(&setup, &idx, &q);
+        let c3 = run_method_c(&setup, SlaveStructure::SortedArray, &idx, &q);
+        assert_eq!(a.rank_checksum, c3.rank_checksum);
+        assert_eq!(b.rank_checksum, c3.rank_checksum);
+    }
+
+    #[test]
+    fn messages_flow_and_are_counted() {
+        let setup = paperish(50_000, 8 * 1024);
+        let idx = gen_sorted_unique_keys(setup.n_index_keys, 5);
+        let q = gen_search_keys(40_000, 6);
+        let stats = run_method_c(&setup, SlaveStructure::SortedArray, &idx, &q);
+        // Queries out + results back: at least 2 messages per slave shard.
+        assert!(stats.msgs >= 20, "{} msgs", stats.msgs);
+        // ~40 000 keys × 4 B × 2 directions.
+        assert!(stats.net_bytes >= 2 * 40_000 * 4);
+        assert!(stats.search_time_s > 0.0);
+    }
+
+    #[test]
+    fn slaves_idle_more_at_small_batches() {
+        // The paper: per-message MPI/OS overhead starves the slaves at
+        // small batches (50 % idle at 8 KB) and amortises away as batches
+        // grow. Compare 8 KB against 32 KB, both deep in the interleaving
+        // regime (at very large batches a second idle source appears in
+        // our strict-batching model — the flush-at-end tail — see
+        // EXPERIMENTS.md).
+        let idx = gen_sorted_unique_keys(327_680, 7);
+        let q = gen_search_keys(1 << 20, 8);
+        let small = run_method_c(&paperish(327_680, 8 * 1024), SlaveStructure::SortedArray, &idx, &q);
+        let large =
+            run_method_c(&paperish(327_680, 32 * 1024), SlaveStructure::SortedArray, &idx, &q);
+        assert!(
+            small.slave_idle > large.slave_idle,
+            "8 KB idle {} must exceed 32 KB idle {}",
+            small.slave_idle,
+            large.slave_idle
+        );
+    }
+
+    #[test]
+    fn c3_beats_a_at_paper_batch_size() {
+        // The headline: with paper-scale interleaving (per-slave share of
+        // the workload spanning many messages), the distributed in-cache
+        // index outruns the replicated tree.
+        let setup = paperish(327_680, 64 * 1024);
+        let idx = gen_sorted_unique_keys(setup.n_index_keys, 9);
+        let q = gen_search_keys(1 << 21, 10);
+        let a = run_method_a(&setup, &idx, &q);
+        let c3 = run_method_c(&setup, SlaveStructure::SortedArray, &idx, &q);
+        assert!(
+            c3.search_time_s < a.search_time_s,
+            "C-3 ({}) must beat A ({})",
+            c3.search_time_s,
+            a.search_time_s
+        );
+    }
+
+    #[test]
+    fn slave_partitions_stay_cache_resident() {
+        let setup = paperish(327_680, 128 * 1024);
+        let idx = gen_sorted_unique_keys(setup.n_index_keys, 11);
+        let q = gen_search_keys(1 << 18, 12);
+        let stats = run_method_c(&setup, SlaveStructure::SortedArray, &idx, &q);
+        // Slave lookups hit cache; the only RAM traffic is streamed buffers
+        // (billed at W1, not counted as random misses) and cold start.
+        let mpk = stats.l2_misses_per_key();
+        assert!(mpk < 0.5, "cache-resident partitions: {mpk} misses/key");
+    }
+
+    #[test]
+    fn multi_master_splits_the_work() {
+        let idx = gen_sorted_unique_keys(100_000, 13);
+        let q = gen_search_keys(1 << 18, 14);
+        let one = run_method_c(&paperish(100_000, 64 * 1024), SlaveStructure::SortedArray, &idx, &q);
+        let two = run_method_c(
+            &ExperimentSetup { n_masters: 2, ..paperish(100_000, 64 * 1024) },
+            SlaveStructure::SortedArray,
+            &idx,
+            &q,
+        );
+        assert_eq!(one.rank_checksum, two.rank_checksum);
+        assert!(
+            two.search_time_s < one.search_time_s,
+            "two masters ({}) should relieve the master bottleneck ({})",
+            two.search_time_s,
+            one.search_time_s
+        );
+    }
+
+    #[test]
+    fn empty_query_stream() {
+        let setup = paperish(10_000, 8 * 1024);
+        let idx = gen_sorted_unique_keys(setup.n_index_keys, 15);
+        let stats = run_method_c(&setup, SlaveStructure::SortedArray, &idx, &[]);
+        assert_eq!(stats.n_keys, 0);
+        assert_eq!(stats.msgs, 0);
+    }
+}

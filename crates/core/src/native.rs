@@ -1,0 +1,368 @@
+//! The native, thread-backed distributed index — the public facade a
+//! downstream user adopts.
+//!
+//! [`DistributedIndex`] is Method C-3 on real hardware: one worker thread
+//! per "slave", each pinned (when possible) to its own core so its
+//! partition stays hot in that core's cache; a dispatcher (the calling
+//! thread, the "master") routes batched queries by binary search over the
+//! partition delimiters. The modern analogue of the paper's cluster is a
+//! multicore with per-core private L2: the cache-aggregation argument
+//! carries over unchanged.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dini_cache_sim::NullMemory;
+use dini_index::{CsbTree, RankIndex};
+use std::thread::JoinHandle;
+
+/// A request to a slave: `(batch_id, (query slot, key) pairs)`.
+type Req = (u64, Vec<(u32, u32)>);
+/// A response: `(batch_id, (query slot, global rank) pairs)`.
+type Resp = (u64, Vec<(u32, u32)>);
+
+/// Which structure each worker holds — the native analogue of the
+/// paper's C-1 / C-3 distinction. (C-2's buffering exists to fight cache
+/// misses the simulator models; natively it degenerates to C-1, so it is
+/// not offered here.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NativeStructure {
+    /// Sorted array + `partition_point` binary search (Method C-3, the
+    /// paper's winner and the default).
+    #[default]
+    SortedArray,
+    /// CSB+ n-ary tree with 64-byte nodes (Method C-1 on a modern line).
+    CsbTree,
+}
+
+/// Configuration for [`DistributedIndex`].
+#[derive(Debug, Clone)]
+pub struct NativeConfig {
+    /// Number of worker ("slave") threads / partitions.
+    pub n_slaves: usize,
+    /// Pin each worker to its own core.
+    pub pin_cores: bool,
+    /// Bounded-channel capacity per worker (backpressure ≈ MPI buffering).
+    pub channel_capacity: usize,
+    /// Per-worker lookup structure.
+    pub structure: NativeStructure,
+}
+
+impl NativeConfig {
+    /// `n_slaves` workers, pinning on, capacity 8, sorted-array slaves.
+    pub fn new(n_slaves: usize) -> Self {
+        Self {
+            n_slaves,
+            pin_cores: true,
+            channel_capacity: 8,
+            structure: NativeStructure::SortedArray,
+        }
+    }
+}
+
+/// A worker's lookup engine (built once, owned by the thread).
+enum WorkerEngine {
+    Array(Vec<u32>),
+    Tree(CsbTree),
+}
+
+impl WorkerEngine {
+    fn build(structure: NativeStructure, part: Vec<u32>) -> Self {
+        match structure {
+            NativeStructure::SortedArray => WorkerEngine::Array(part),
+            NativeStructure::CsbTree => {
+                // 64-byte nodes: 15 keys + first-child, 8 (key, id) leaf
+                // entries — the modern-line equivalent of the paper's
+                // geometry. Addresses are simulated-only; NullMemory makes
+                // the walk free of instrumentation.
+                WorkerEngine::Tree(CsbTree::with_leaf_entries(&part, 15, 8, 64, 1 << 20, 0.0))
+            }
+        }
+    }
+
+    #[inline]
+    fn local_rank(&self, key: u32) -> u32 {
+        match self {
+            WorkerEngine::Array(part) => part.partition_point(|&s| s <= key) as u32,
+            WorkerEngine::Tree(t) => t.rank(key, &mut NullMemory).0,
+        }
+    }
+}
+
+/// A range-partitioned rank index served by per-core worker threads.
+///
+/// ```
+/// use dini_core::native::{DistributedIndex, NativeConfig};
+///
+/// let keys: Vec<u32> = (0..100_000).map(|i| i * 3).collect();
+/// let mut cfg = NativeConfig::new(4);
+/// cfg.pin_cores = false; // CI-friendly
+/// let mut index = DistributedIndex::build(&keys, cfg);
+/// let ranks = index.lookup_batch(&[0, 1, 299_997, u32::MAX]);
+/// assert_eq!(ranks, vec![1, 1, 100_000, 100_000]);
+/// ```
+pub struct DistributedIndex {
+    delimiters: Vec<u32>,
+    /// Rank of each partition's first key, plus the total count as a
+    /// sentinel (`n_slaves + 1` entries).
+    base_ranks: Vec<u32>,
+    to_slaves: Vec<Sender<Req>>,
+    from_slaves: Receiver<Resp>,
+    joins: Vec<JoinHandle<()>>,
+    next_batch: u64,
+    n_keys: usize,
+    out_bufs: Vec<Vec<(u32, u32)>>,
+}
+
+impl DistributedIndex {
+    /// Build over `keys` (must be sorted ascending, unique). Spawns
+    /// `cfg.n_slaves` worker threads that live until the index is dropped.
+    pub fn build(keys: &[u32], cfg: NativeConfig) -> Self {
+        assert!(cfg.n_slaves >= 1, "need at least one slave");
+        assert!(keys.len() >= cfg.n_slaves, "need at least one key per partition");
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+
+        // Balanced split (first `len % n` partitions one key larger), so
+        // every partition is non-empty for any keys.len() >= n_slaves.
+        let base = keys.len() / cfg.n_slaves;
+        let extra = keys.len() % cfg.n_slaves;
+        let cores = if cfg.pin_cores {
+            core_affinity::get_core_ids().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+
+        let (resp_tx, from_slaves) = bounded::<Resp>(cfg.channel_capacity * cfg.n_slaves);
+        let mut to_slaves = Vec::with_capacity(cfg.n_slaves);
+        let mut joins = Vec::with_capacity(cfg.n_slaves);
+        let mut delimiters = Vec::with_capacity(cfg.n_slaves - 1);
+
+        let mut base_ranks = Vec::with_capacity(cfg.n_slaves + 1);
+        let mut start = 0usize;
+        for j in 0..cfg.n_slaves {
+            let end = start + base + usize::from(j < extra);
+            base_ranks.push(start as u32);
+            if j > 0 {
+                delimiters.push(keys[start]);
+            }
+            let part: Vec<u32> = keys[start..end].to_vec();
+            let base_rank = start as u32;
+            start = end;
+            let (req_tx, req_rx) = bounded::<Req>(cfg.channel_capacity);
+            to_slaves.push(req_tx);
+            let tx = resp_tx.clone();
+            let core = if cores.is_empty() { None } else { Some(cores[(j + 1) % cores.len()]) };
+            let structure = cfg.structure;
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("dini-native-{j}"))
+                    .spawn(move || {
+                        if let Some(c) = core {
+                            core_affinity::set_for_current(c);
+                        }
+                        let engine = WorkerEngine::build(structure, part);
+                        for (batch, mut pairs) in req_rx.iter() {
+                            for (_, kr) in pairs.iter_mut() {
+                                *kr = base_rank + engine.local_rank(*kr);
+                            }
+                            if tx.send((batch, pairs)).is_err() {
+                                return; // master hung up
+                            }
+                        }
+                    })
+                    .expect("spawn native slave"),
+            );
+        }
+
+        base_ranks.push(keys.len() as u32);
+
+        Self {
+            delimiters,
+            base_ranks,
+            to_slaves,
+            from_slaves,
+            joins,
+            next_batch: 0,
+            n_keys: keys.len(),
+            out_bufs: vec![Vec::new(); cfg.n_slaves],
+        }
+    }
+
+    /// The rank range served by partition `j`: ranks of keys owned by that
+    /// worker fall in `partition_ranks(j)` (boundary ranks are shared with
+    /// the next partition).
+    pub fn partition_ranks(&self, j: usize) -> std::ops::Range<u32> {
+        self.base_ranks[j]..self.base_ranks[j + 1]
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.n_keys
+    }
+
+    /// Whether the index is empty (it never is; `build` requires keys).
+    pub fn is_empty(&self) -> bool {
+        self.n_keys == 0
+    }
+
+    /// Number of partitions / worker threads.
+    pub fn n_slaves(&self) -> usize {
+        self.to_slaves.len()
+    }
+
+    /// Which slave owns `key`.
+    #[inline]
+    pub fn dispatch(&self, key: u32) -> usize {
+        self.delimiters.partition_point(|&d| d <= key)
+    }
+
+    /// Rank every query: `result[i]` = number of index keys ≤ `queries[i]`.
+    ///
+    /// Scatters by key range to the worker threads, gathers, and reorders.
+    pub fn lookup_batch(&mut self, queries: &[u32]) -> Vec<u32> {
+        let batch = self.next_batch;
+        self.next_batch += 1;
+
+        for buf in &mut self.out_bufs {
+            buf.clear();
+        }
+        for (slot, &key) in queries.iter().enumerate() {
+            let s = self.dispatch(key);
+            self.out_bufs[s].push((slot as u32, key));
+        }
+        let mut outstanding = 0usize;
+        for (s, buf) in self.out_bufs.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            outstanding += 1;
+            self.to_slaves[s]
+                .send((batch, std::mem::take(buf)))
+                .expect("native slave thread died");
+        }
+
+        let mut out = vec![0u32; queries.len()];
+        while outstanding > 0 {
+            let (b, pairs) = self.from_slaves.recv().expect("native slave thread died");
+            debug_assert_eq!(b, batch, "stale batch response");
+            for (slot, rank) in pairs {
+                out[slot as usize] = rank;
+            }
+            outstanding -= 1;
+        }
+        out
+    }
+
+    /// Rank a single key (convenience; batches amortise much better).
+    pub fn lookup(&mut self, key: u32) -> u32 {
+        self.lookup_batch(std::slice::from_ref(&key))[0]
+    }
+}
+
+impl Drop for DistributedIndex {
+    fn drop(&mut self) {
+        // Hang up the request channels; workers drain and exit.
+        self.to_slaves.clear();
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dini_index::traits::oracle_rank;
+    use dini_workload::gen_sorted_unique_keys;
+
+    fn cfg(n: usize) -> NativeConfig {
+        NativeConfig { n_slaves: n, pin_cores: false, channel_capacity: 4, ..NativeConfig::new(1) }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_keys() {
+        let keys = gen_sorted_unique_keys(50_000, 42);
+        let mut idx = DistributedIndex::build(&keys, cfg(4));
+        let queries: Vec<u32> = (0..10_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let ranks = idx.lookup_batch(&queries);
+        for (i, &q) in queries.iter().enumerate() {
+            assert_eq!(ranks[i], oracle_rank(&keys, q), "query {q}");
+        }
+    }
+
+    #[test]
+    fn single_lookup_and_boundaries() {
+        let keys: Vec<u32> = (1..=1000).map(|i| i * 10).collect();
+        let mut idx = DistributedIndex::build(&keys, cfg(7));
+        assert_eq!(idx.lookup(0), 0);
+        assert_eq!(idx.lookup(10), 1);
+        assert_eq!(idx.lookup(10_000), 1000);
+        assert_eq!(idx.lookup(u32::MAX), 1000);
+        assert_eq!(idx.len(), 1000);
+        assert_eq!(idx.n_slaves(), 7);
+    }
+
+    #[test]
+    fn dispatch_respects_partition_boundaries() {
+        let keys: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        let idx = DistributedIndex::build(&keys, cfg(5));
+        // 20 keys per partition; key 40 starts partition 1.
+        assert_eq!(idx.dispatch(0), 0);
+        assert_eq!(idx.dispatch(39), 0);
+        assert_eq!(idx.dispatch(40), 1);
+        assert_eq!(idx.dispatch(u32::MAX), 4);
+    }
+
+    #[test]
+    fn repeated_batches_reuse_workers() {
+        let keys = gen_sorted_unique_keys(10_000, 1);
+        let mut idx = DistributedIndex::build(&keys, cfg(3));
+        for round in 0..50u32 {
+            let queries: Vec<u32> = (0..100).map(|i| i * 1000 + round).collect();
+            let ranks = idx.lookup_batch(&queries);
+            assert_eq!(ranks.len(), 100);
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let keys = gen_sorted_unique_keys(1000, 2);
+        let mut idx = DistributedIndex::build(&keys, cfg(2));
+        assert!(idx.lookup_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn csb_tree_workers_match_sorted_array_workers() {
+        let keys = gen_sorted_unique_keys(60_000, 44);
+        let queries: Vec<u32> = (0..20_000u32).map(|i| i.wrapping_mul(747_796_405)).collect();
+        let mut arr_idx = DistributedIndex::build(&keys, cfg(4));
+        let mut tree_idx = DistributedIndex::build(
+            &keys,
+            NativeConfig { structure: NativeStructure::CsbTree, ..cfg(4) },
+        );
+        assert_eq!(arr_idx.lookup_batch(&queries), tree_idx.lookup_batch(&queries));
+    }
+
+    #[test]
+    fn csb_tree_workers_match_oracle() {
+        let keys = gen_sorted_unique_keys(10_000, 45);
+        let mut idx = DistributedIndex::build(
+            &keys,
+            NativeConfig { structure: NativeStructure::CsbTree, ..cfg(3) },
+        );
+        for q in [0u32, keys[0], keys[500], keys[9_999], u32::MAX] {
+            assert_eq!(idx.lookup(q), oracle_rank(&keys, q), "query {q}");
+        }
+    }
+
+    #[test]
+    fn drop_shuts_workers_down() {
+        let keys = gen_sorted_unique_keys(1000, 3);
+        let idx = DistributedIndex::build(&keys, cfg(4));
+        drop(idx); // must not hang or panic
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key per partition")]
+    fn too_many_partitions_rejected() {
+        DistributedIndex::build(&[1, 2], cfg(3));
+    }
+}

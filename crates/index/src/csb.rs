@@ -1,0 +1,466 @@
+//! CSB+-layout sorted n-ary tree (Rao & Ross, SIGMOD 2000).
+//!
+//! Each node occupies exactly one cache line and stores up to `k` keys plus
+//! a *single* first-child index; the children of a node are contiguous in
+//! the arena, so child `j` is `first_child + j`. On the paper's Pentium III
+//! a 32-byte line holds 7 four-byte keys + one index ⇒ fan-out 8, which is
+//! exactly what yields the paper's Table 1 value `T = 7` levels for 327 k
+//! keys. This structure serves Methods A and B (replicated on every node)
+//! and Method C-1 (one cache-resident partition per slave).
+
+use crate::traits::{Cost, RankIndex};
+use dini_cache_sim::{AccessKind, MemoryModel};
+use std::ops::Range;
+
+/// A CSB+ n-ary tree over a sorted key set.
+#[derive(Debug, Clone)]
+pub struct CsbTree {
+    /// Separator keys per internal node (7 on the Pentium III).
+    k: u32,
+    /// Entries per leaf node. Leaves carry `(key, record-id)` pairs, so a
+    /// 32-byte line holds 4 of them — this is what makes the paper's
+    /// 327 k-key tree 3.2 MB rather than 1.7 MB.
+    leaf_entries: u32,
+    /// Key-arena slots per node (`max(k, leaf_entries)`).
+    stride: u32,
+    /// Simulated node size == cache-line size.
+    line_bytes: u64,
+    /// Simulated base address of node 0 (the root).
+    base: u64,
+    /// Cost to search within one node (Table 2's `Comp Cost Node`).
+    comp_cost_node_ns: f64,
+    n_keys: usize,
+    /// Flat key arena: node `i` keys live at `i*k .. i*k + nkeys[i]`.
+    keys: Vec<u32>,
+    /// Number of valid keys (leaves) / separators (internal) per node.
+    nkeys: Vec<u16>,
+    /// Internal nodes: arena index of the first child.
+    /// Leaves: base rank (index of the leaf's first key in the sorted set).
+    first_child: Vec<u32>,
+    /// Node-index range of each level, root level first.
+    levels: Vec<Range<u32>>,
+}
+
+impl CsbTree {
+    /// Build over sorted `keys` with leaves as dense as internal nodes
+    /// (`leaf_entries == k`). `k` keys per node (fan-out `k+1`),
+    /// `line_bytes` simulated node size, `base` the root's address,
+    /// `comp_cost_node_ns` the per-node search charge.
+    pub fn new(keys: &[u32], k: u32, line_bytes: u64, base: u64, comp_cost_node_ns: f64) -> Self {
+        Self::with_leaf_entries(keys, k, k, line_bytes, base, comp_cost_node_ns)
+    }
+
+    /// Build with an explicit leaf capacity. The paper's trees store
+    /// `(key, record-id)` pairs at the leaves — 4 entries per 32-byte line
+    /// versus 7 separator keys per internal node — which is what produces
+    /// Table 1's 3.2 MB tree and `L = 6` partition trees.
+    pub fn with_leaf_entries(
+        keys: &[u32],
+        k: u32,
+        leaf_entries: u32,
+        line_bytes: u64,
+        base: u64,
+        comp_cost_node_ns: f64,
+    ) -> Self {
+        assert!(k >= 1, "need at least one key per node");
+        assert!(leaf_entries >= 1, "need at least one entry per leaf");
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        let n_keys = keys.len();
+        let fanout = k as usize + 1;
+        let stride = k.max(leaf_entries);
+
+        if n_keys == 0 {
+            return Self {
+                k,
+                leaf_entries,
+                stride,
+                line_bytes,
+                base,
+                comp_cost_node_ns,
+                n_keys,
+                keys: Vec::new(),
+                nkeys: Vec::new(),
+                first_child: Vec::new(),
+                levels: Vec::new(),
+            };
+        }
+
+        // --- Build levels bottom-up (leaves first). ---
+        // Each entry: (separator keys, payload, rep) where payload is
+        // base-rank for leaves / first-child-within-next-level for internal,
+        // and rep is the max key covered (parent separator material).
+        struct BuildNode {
+            seps: Vec<u32>,
+            payload: u32,
+            rep: u32,
+        }
+        let mut built_levels: Vec<Vec<BuildNode>> = Vec::new();
+
+        // Leaves.
+        let le = leaf_entries as usize;
+        let mut leaves = Vec::with_capacity(n_keys.div_ceil(le));
+        for (j, chunk) in keys.chunks(le).enumerate() {
+            leaves.push(BuildNode {
+                seps: chunk.to_vec(),
+                payload: (j * le) as u32,
+                rep: *chunk.last().expect("non-empty chunk"),
+            });
+        }
+        built_levels.push(leaves);
+
+        // Internal levels until a single root.
+        while built_levels.last().expect("at least leaves").len() > 1 {
+            let child_level = built_levels.last().expect("non-empty");
+            let mut parents = Vec::with_capacity(child_level.len().div_ceil(fanout));
+            let mut child_idx = 0u32;
+            for group in child_level.chunks(fanout) {
+                // c children need c-1 separators: the reps of all but the
+                // last child. Routing: first separator >= key wins.
+                let seps: Vec<u32> = group[..group.len() - 1].iter().map(|c| c.rep).collect();
+                parents.push(BuildNode {
+                    seps,
+                    payload: child_idx, // index within child level
+                    rep: group.last().expect("non-empty group").rep,
+                });
+                child_idx += group.len() as u32;
+            }
+            built_levels.push(parents);
+        }
+        built_levels.reverse(); // root level first
+
+        // --- Flatten into the arena, root first. ---
+        let total_nodes: usize = built_levels.iter().map(|l| l.len()).sum();
+        let mut flat_keys = vec![u32::MAX; total_nodes * stride as usize];
+        let mut nkeys = vec![0u16; total_nodes];
+        let mut first_child = vec![0u32; total_nodes];
+        let mut levels = Vec::with_capacity(built_levels.len());
+        let mut offset = 0u32;
+        let mut level_offsets = Vec::with_capacity(built_levels.len());
+        for level in &built_levels {
+            level_offsets.push(offset);
+            levels.push(offset..offset + level.len() as u32);
+            offset += level.len() as u32;
+        }
+        let n_levels = built_levels.len();
+        for (li, level) in built_levels.iter().enumerate() {
+            let level_off = level_offsets[li];
+            let is_leaf_level = li == n_levels - 1;
+            for (j, node) in level.iter().enumerate() {
+                let idx = (level_off + j as u32) as usize;
+                nkeys[idx] = node.seps.len() as u16;
+                flat_keys[idx * stride as usize..idx * stride as usize + node.seps.len()]
+                    .copy_from_slice(&node.seps);
+                first_child[idx] = if is_leaf_level {
+                    node.payload // base rank
+                } else {
+                    level_offsets[li + 1] + node.payload
+                };
+            }
+        }
+
+        Self {
+            k,
+            leaf_entries,
+            stride,
+            line_bytes,
+            base,
+            comp_cost_node_ns,
+            n_keys,
+            keys: flat_keys,
+            nkeys,
+            first_child,
+            levels,
+        }
+    }
+
+    /// Separator keys per internal node.
+    pub fn keys_per_node(&self) -> u32 {
+        self.k
+    }
+
+    /// Entries per leaf node.
+    pub fn leaf_entries(&self) -> u32 {
+        self.leaf_entries
+    }
+
+    /// Number of levels `T`.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Node-index ranges per level (root level first).
+    pub fn levels(&self) -> &[Range<u32>] {
+        &self.levels
+    }
+
+    /// Total nodes in the arena.
+    pub fn n_nodes(&self) -> usize {
+        self.nkeys.len()
+    }
+
+    /// Simulated address of node `idx`.
+    #[inline]
+    pub fn node_addr(&self, idx: u32) -> u64 {
+        self.base + idx as u64 * self.line_bytes
+    }
+
+    /// Simulated node size (== line size).
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Per-node search charge.
+    pub fn comp_cost_node_ns(&self) -> f64 {
+        self.comp_cost_node_ns
+    }
+
+    /// Which level a node index belongs to.
+    pub fn level_of(&self, idx: u32) -> usize {
+        self.levels
+            .iter()
+            .position(|r| r.contains(&idx))
+            .expect("node index out of range")
+    }
+
+    /// Is `idx` a leaf?
+    #[inline]
+    pub fn is_leaf(&self, idx: u32) -> bool {
+        let leaf_range = self.levels.last().expect("non-empty tree");
+        leaf_range.contains(&idx)
+    }
+
+    /// Search within node `idx`: returns the child slot (internal) or the
+    /// in-leaf upper-bound count (leaf). Also charges `mem`.
+    #[inline]
+    fn search_node<M: MemoryModel>(&self, idx: u32, key: u32, mem: &mut M) -> (u32, Cost) {
+        let mut ns = mem.touch(self.node_addr(idx), self.line_bytes as u32, AccessKind::Read);
+        ns += mem.compute(self.comp_cost_node_ns);
+        let stride = self.stride as usize;
+        let nk = self.nkeys[idx as usize] as usize;
+        let seps = &self.keys[idx as usize * stride..idx as usize * stride + nk];
+        // Upper-bound position: number of separators/keys <= key.
+        let slot = seps.partition_point(|&s| s <= key) as u32;
+        (slot, ns)
+    }
+
+    /// Descend one step from internal node `idx` toward `key`.
+    /// Returns `(child_idx, cost)`.
+    #[inline]
+    pub fn descend<M: MemoryModel>(&self, idx: u32, key: u32, mem: &mut M) -> (u32, Cost) {
+        debug_assert!(!self.is_leaf(idx));
+        let (slot, ns) = self.search_node(idx, key, mem);
+        // Internal routing: separator j = max key of child j, so the child
+        // is the first slot whose separator is >= key — i.e. the number of
+        // separators strictly below… with `<= key` partition_point the slot
+        // already points at the correct child (ties descend right, matching
+        // upper-bound rank semantics).
+        (self.first_child[idx as usize] + slot, ns)
+    }
+
+    /// Rank within leaf `idx` (global rank = leaf base + in-leaf count).
+    #[inline]
+    pub fn leaf_rank<M: MemoryModel>(&self, idx: u32, key: u32, mem: &mut M) -> (u32, Cost) {
+        debug_assert!(self.is_leaf(idx));
+        let (count, ns) = self.search_node(idx, key, mem);
+        (self.first_child[idx as usize] + count, ns)
+    }
+
+    /// Contiguous descendant node-index ranges of `node`, one per level
+    /// starting at `node`'s own level. Valid because CSB+ children are
+    /// contiguous and sibling subtrees are ordered.
+    pub fn descendant_ranges(&self, node: u32) -> Vec<Range<u32>> {
+        let start_level = self.level_of(node);
+        let mut ranges = vec![node..node + 1];
+        for li in start_level..self.levels.len() - 1 {
+            let cur = ranges.last().expect("non-empty").clone();
+            let next_level = &self.levels[li + 1];
+            let first = self.first_child[cur.start as usize];
+            // The children of the last node in `cur` end where the next
+            // node's children begin (or at the end of the next level).
+            let last = if cur.end < self.levels[li].end {
+                self.first_child[cur.end as usize]
+            } else {
+                next_level.end
+            };
+            ranges.push(first..last);
+        }
+        ranges
+    }
+
+    /// Number of nodes in the subtree rooted at `node` spanning `depth`
+    /// levels (inclusive of the root level).
+    pub fn subtree_nodes(&self, node: u32, depth: usize) -> u64 {
+        self.descendant_ranges(node)
+            .iter()
+            .take(depth)
+            .map(|r| (r.end - r.start) as u64)
+            .sum()
+    }
+
+    /// Bytes of a subtree of `depth` levels rooted at `node`.
+    pub fn subtree_bytes(&self, node: u32, depth: usize) -> u64 {
+        self.subtree_nodes(node, depth) * self.line_bytes
+    }
+}
+
+impl RankIndex for CsbTree {
+    fn len(&self) -> usize {
+        self.n_keys
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.n_nodes() as u64 * self.line_bytes
+    }
+
+    fn rank<M: MemoryModel>(&self, key: u32, mem: &mut M) -> (u32, Cost) {
+        if self.n_keys == 0 {
+            return (0, 0.0);
+        }
+        let mut idx = 0u32; // root
+        let mut ns = 0.0;
+        while !self.is_leaf(idx) {
+            let (child, c) = self.descend(idx, key, mem);
+            idx = child;
+            ns += c;
+        }
+        let (rank, c) = self.leaf_rank(idx, key, mem);
+        (rank, ns + c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::oracle_rank;
+    use dini_cache_sim::{CountingMemory, MachineParams, NullMemory, SimMemory};
+
+    fn tree(n: u32) -> (Vec<u32>, CsbTree) {
+        let keys: Vec<u32> = (1..=n).map(|i| i * 10).collect();
+        let t = CsbTree::new(&keys, 7, 32, 1 << 16, 30.0);
+        (keys, t)
+    }
+
+    #[test]
+    fn rank_matches_oracle_exhaustively_small() {
+        let (keys, t) = tree(200);
+        for key in 0..=2_100u32 {
+            let (r, _) = t.rank(key, &mut NullMemory);
+            assert_eq!(r, oracle_rank(&keys, key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let keys = vec![5u32, 7, 9];
+        let t = CsbTree::new(&keys, 7, 32, 0, 30.0);
+        assert_eq!(t.n_levels(), 1);
+        assert_eq!(t.rank(6, &mut NullMemory).0, 1);
+        assert_eq!(t.rank(9, &mut NullMemory).0, 3);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = CsbTree::new(&[], 7, 32, 0, 30.0);
+        assert_eq!(t.rank(1, &mut NullMemory).0, 0);
+        assert_eq!(t.n_levels(), 0);
+        assert_eq!(t.footprint_bytes(), 0);
+    }
+
+    #[test]
+    fn paper_tree_has_seven_levels() {
+        // Table 1: 327 k keys, 32-byte nodes (7 keys, fan-out 8) → T = 7.
+        let keys: Vec<u32> = (0..327_680u32).map(|i| i.wrapping_mul(13001)).collect();
+        let mut keys = keys;
+        keys.sort_unstable();
+        keys.dedup();
+        let t = CsbTree::new(&keys, 7, 32, 0, 30.0);
+        assert_eq!(t.n_levels(), 7, "paper's T");
+    }
+
+    #[test]
+    fn lookup_touches_one_node_per_level() {
+        let (_, t) = tree(10_000);
+        let mut m = CountingMemory::default();
+        t.rank(54_321, &mut m);
+        assert_eq!(m.random_touches(), t.n_levels());
+        // And each touch lies inside the arena.
+        let hi = t.node_addr(t.n_nodes() as u32 - 1) + 32;
+        for (addr, _, _) in &m.accesses {
+            assert!(*addr >= 1 << 16 && *addr < hi);
+        }
+    }
+
+    #[test]
+    fn children_are_contiguous() {
+        let (_, t) = tree(5_000);
+        for level in 0..t.n_levels() - 1 {
+            let range = t.levels()[level].clone();
+            let mut prev_end: Option<u32> = None;
+            for idx in range {
+                let fc = t.first_child[idx as usize];
+                if let Some(pe) = prev_end {
+                    assert_eq!(fc, pe, "children of consecutive nodes must abut");
+                }
+                prev_end = Some(fc + t.nkeys[idx as usize] as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_ranges_cover_leaves_exactly() {
+        let (_, t) = tree(5_000);
+        // Ranges of the root must cover each full level.
+        let ranges = t.descendant_ranges(0);
+        assert_eq!(ranges.len(), t.n_levels());
+        for (r, l) in ranges.iter().zip(t.levels()) {
+            assert_eq!(r, l);
+        }
+        // Sibling subtrees at level 1 partition every lower level.
+        let l1 = t.levels()[1].clone();
+        let mut cover: Vec<Range<u32>> = Vec::new();
+        for node in l1.clone() {
+            let rs = t.descendant_ranges(node);
+            cover.push(rs.last().expect("non-empty").clone());
+        }
+        assert_eq!(cover.first().expect("non-empty").start, t.levels().last().unwrap().start);
+        assert_eq!(cover.last().expect("non-empty").end, t.levels().last().unwrap().end);
+        for w in cover.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn out_of_cache_tree_misses_once_per_lower_level() {
+        // A tree bigger than L2 must, in steady state, miss roughly once
+        // per lookup per non-resident level — the paper's Method A story.
+        let keys: Vec<u32> = (0..300_000u32).map(|i| i * 7).collect();
+        let t = CsbTree::new(&keys, 7, 32, 1 << 24, 30.0);
+        assert!(t.footprint_bytes() > 512 * 1024);
+        let p = MachineParams::pentium_iii();
+        let mut m = SimMemory::new(p);
+        // Random-ish lookups *within the indexed key range* (keys go up to
+        // 300_000 * 7), so every level of the tree is exercised.
+        let span = 300_000u64 * 7;
+        for i in 0..20_000u64 {
+            t.rank((i.wrapping_mul(2_654_435_761) % span) as u32, &mut m);
+        }
+        m.reset_stats();
+        let n = 20_000u64;
+        for i in 0..n {
+            t.rank(((i.wrapping_mul(40_503) + 977) * 104_729 % span) as u32, &mut m);
+        }
+        let misses_per_lookup = m.stats().memory_accesses as f64 / n as f64;
+        let _ = span;
+        assert!(
+            misses_per_lookup > 1.0 && misses_per_lookup < 4.0,
+            "expected ~2-3 steady-state misses for a 1.3 MB tree, got {misses_per_lookup}"
+        );
+    }
+
+    #[test]
+    fn footprint_scales_with_keys() {
+        let (_, small) = tree(1_000);
+        let (_, large) = tree(100_000);
+        assert!(large.footprint_bytes() > 50 * small.footprint_bytes());
+    }
+}

@@ -1,0 +1,339 @@
+//! Updatable sorted index: a static main array plus a small sorted delta.
+//!
+//! The paper's index is static — partition delimiters are built once.
+//! Its motivating applications (sensor tracking, pub/sub subscription
+//! tables, packet routing) are not: keys come and go. [`DeltaArray`] adds
+//! updates in the way that preserves the paper's cache economics: the big
+//! main array stays read-only and cache-resident; inserts and deletes
+//! accumulate in two small sorted side arrays ("delta"); ranks compose as
+//! `main + inserts − deletes`; when the delta outgrows its budget it is
+//! merged into a fresh main array with one streaming pass (billed at W1,
+//! exactly the access pattern the paper says RAM is good at).
+//!
+//! This is the classic log-structured/differential-file design (also how
+//! column stores bolt updates onto sorted runs), specialised to rank
+//! queries.
+
+use crate::sorted_array::SortedArray;
+use crate::traits::{Cost, RankIndex};
+use dini_cache_sim::{AccessKind, MemoryModel};
+
+/// A rank index supporting inserts and deletes via a merge-on-threshold
+/// delta buffer.
+#[derive(Debug, Clone)]
+pub struct DeltaArray {
+    main: SortedArray,
+    /// Keys inserted since the last merge (sorted, unique, disjoint from
+    /// main).
+    inserts: Vec<u32>,
+    /// Keys deleted since the last merge (sorted, unique, all present in
+    /// main).
+    deletes: Vec<u32>,
+    /// Simulated base address of the insert delta region.
+    ins_base: u64,
+    /// Simulated base address of the delete delta region.
+    del_base: u64,
+    cmp_cost_ns: f64,
+    /// Merge when `inserts.len() + deletes.len()` exceeds this.
+    merge_threshold: usize,
+}
+
+/// Instrumented upper-bound binary search over a small sorted slice.
+fn rank_in<M: MemoryModel>(
+    slice: &[u32],
+    base: u64,
+    key: u32,
+    cmp_cost_ns: f64,
+    mem: &mut M,
+) -> (u32, Cost) {
+    let mut lo = 0usize;
+    let mut hi = slice.len();
+    let mut ns = 0.0;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        ns += mem.touch(base + mid as u64 * 4, 4, AccessKind::Read);
+        ns += mem.compute(cmp_cost_ns);
+        if slice[mid] <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo as u32, ns)
+}
+
+/// Exact-membership test on a sorted slice (uninstrumented helper for
+/// update-path validation).
+fn contains_sorted(slice: &[u32], key: u32) -> bool {
+    slice.binary_search(&key).is_ok()
+}
+
+impl DeltaArray {
+    /// Build over sorted unique `keys`. `base` addresses the main array;
+    /// the delta regions are placed immediately after it (each sized for
+    /// `merge_threshold` keys).
+    pub fn new(keys: Vec<u32>, base: u64, cmp_cost_ns: f64, merge_threshold: usize) -> Self {
+        assert!(merge_threshold >= 1);
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+        let main_bytes = keys.len() as u64 * 4;
+        let delta_bytes = merge_threshold as u64 * 4;
+        Self {
+            main: SortedArray::new(keys, base, cmp_cost_ns),
+            inserts: Vec::new(),
+            deletes: Vec::new(),
+            ins_base: base + main_bytes,
+            del_base: base + main_bytes + delta_bytes,
+            cmp_cost_ns,
+            merge_threshold,
+        }
+    }
+
+    /// Whether `key` is currently in the index.
+    pub fn contains(&self, key: u32) -> bool {
+        if contains_sorted(&self.inserts, key) {
+            return true;
+        }
+        contains_sorted(self.main.keys(), key) && !contains_sorted(&self.deletes, key)
+    }
+
+    /// Insert `key`; returns `false` (and charges nothing extra) if it was
+    /// already present. Billed: the membership probes plus a streaming
+    /// shift of the insert delta's tail.
+    pub fn insert<M: MemoryModel>(&mut self, key: u32, mem: &mut M) -> (bool, Cost) {
+        let mut ns = 0.0;
+        // Was it deleted? Resurrect by removing the tombstone.
+        if let Ok(pos) = self.deletes.binary_search(&key) {
+            let tail = (self.deletes.len() - pos) as u32 * 4;
+            ns += mem.touch(self.del_base + pos as u64 * 4, tail.max(4), AccessKind::StreamWrite);
+            self.deletes.remove(pos);
+            return (true, ns);
+        }
+        let (_, c) = rank_in(self.main.keys(), self.main.base(), key, self.cmp_cost_ns, mem);
+        ns += c;
+        if contains_sorted(self.main.keys(), key) {
+            return (false, ns);
+        }
+        match self.inserts.binary_search(&key) {
+            Ok(_) => (false, ns),
+            Err(pos) => {
+                // Shift the tail one slot right: a streaming write.
+                let tail = (self.inserts.len() - pos) as u32 * 4;
+                ns += mem.touch(
+                    self.ins_base + pos as u64 * 4,
+                    tail.max(4),
+                    AccessKind::StreamWrite,
+                );
+                self.inserts.insert(pos, key);
+                (true, ns)
+            }
+        }
+    }
+
+    /// Delete `key`; returns `false` if it was not present.
+    pub fn delete<M: MemoryModel>(&mut self, key: u32, mem: &mut M) -> (bool, Cost) {
+        let mut ns = 0.0;
+        if let Ok(pos) = self.inserts.binary_search(&key) {
+            let tail = (self.inserts.len() - pos) as u32 * 4;
+            ns += mem.touch(self.ins_base + pos as u64 * 4, tail.max(4), AccessKind::StreamWrite);
+            self.inserts.remove(pos);
+            return (true, ns);
+        }
+        let (_, c) = rank_in(self.main.keys(), self.main.base(), key, self.cmp_cost_ns, mem);
+        ns += c;
+        if !contains_sorted(self.main.keys(), key) {
+            return (false, ns);
+        }
+        match self.deletes.binary_search(&key) {
+            Ok(_) => (false, ns),
+            Err(pos) => {
+                let tail = (self.deletes.len() - pos) as u32 * 4;
+                ns += mem.touch(
+                    self.del_base + pos as u64 * 4,
+                    tail.max(4),
+                    AccessKind::StreamWrite,
+                );
+                self.deletes.insert(pos, key);
+                (true, ns)
+            }
+        }
+    }
+
+    /// Pending delta entries (inserts + tombstones).
+    pub fn delta_len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Whether the delta has outgrown its budget and a merge is due.
+    pub fn needs_merge(&self) -> bool {
+        self.delta_len() > self.merge_threshold
+    }
+
+    /// Merge the delta into a fresh main array with one streaming pass.
+    /// Billed: a streaming read of main + delta and a streaming write of
+    /// the new array — the sequential pattern the paper bills at W1.
+    pub fn merge<M: MemoryModel>(&mut self, mem: &mut M) -> Cost {
+        let mut ns = 0.0;
+        let old_bytes = (self.main.len() + self.delta_len()) as u32 * 4;
+        ns += mem.touch(self.main.base(), old_bytes.max(4), AccessKind::StreamRead);
+
+        let mut merged = Vec::with_capacity(self.main.len() + self.inserts.len());
+        let mut del = self.deletes.iter().copied().peekable();
+        let mut ins = self.inserts.iter().copied().peekable();
+        for &k in self.main.keys() {
+            while ins.peek().is_some_and(|&i| i < k) {
+                merged.push(ins.next().expect("peeked"));
+            }
+            if del.peek() == Some(&k) {
+                del.next();
+                continue;
+            }
+            merged.push(k);
+        }
+        merged.extend(ins);
+
+        let new_bytes = merged.len() as u32 * 4;
+        ns += mem.touch(self.main.base(), new_bytes.max(4), AccessKind::StreamWrite);
+
+        let base = self.main.base();
+        let main_bytes = merged.len() as u64 * 4;
+        self.main = SortedArray::new(merged, base, self.cmp_cost_ns);
+        self.inserts.clear();
+        self.deletes.clear();
+        self.ins_base = base + main_bytes;
+        self.del_base = base + main_bytes + self.merge_threshold as u64 * 4;
+        ns
+    }
+}
+
+impl RankIndex for DeltaArray {
+    fn len(&self) -> usize {
+        self.main.len() + self.inserts.len() - self.deletes.len()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.main.footprint_bytes() + (self.delta_len() as u64) * 4
+    }
+
+    fn rank<M: MemoryModel>(&self, key: u32, mem: &mut M) -> (u32, Cost) {
+        let (rm, c1) = self.main.rank(key, mem);
+        let (ri, c2) = rank_in(&self.inserts, self.ins_base, key, self.cmp_cost_ns, mem);
+        let (rd, c3) = rank_in(&self.deletes, self.del_base, key, self.cmp_cost_ns, mem);
+        (rm + ri - rd, c1 + c2 + c3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::oracle_rank;
+    use dini_cache_sim::NullMemory;
+
+    fn oracle_of(set: &std::collections::BTreeSet<u32>, key: u32) -> u32 {
+        set.iter().take_while(|&&k| k <= key).count() as u32
+    }
+
+    #[test]
+    fn fresh_index_matches_plain_array() {
+        let keys: Vec<u32> = (1..=500).map(|i| i * 4).collect();
+        let d = DeltaArray::new(keys.clone(), 4096, 1.0, 64);
+        for q in (0..2_100).step_by(3) {
+            assert_eq!(d.rank(q, &mut NullMemory).0, oracle_rank(&keys, q));
+        }
+    }
+
+    #[test]
+    fn inserts_show_up_in_ranks() {
+        let mut d = DeltaArray::new(vec![10, 20, 30], 0, 1.0, 16);
+        let (ok, _) = d.insert(15, &mut NullMemory);
+        assert!(ok);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.rank(14, &mut NullMemory).0, 1);
+        assert_eq!(d.rank(15, &mut NullMemory).0, 2);
+        assert_eq!(d.rank(30, &mut NullMemory).0, 4);
+        assert!(d.contains(15));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut d = DeltaArray::new(vec![10, 20, 30], 0, 1.0, 16);
+        assert!(!d.insert(20, &mut NullMemory).0, "key in main");
+        d.insert(15, &mut NullMemory);
+        assert!(!d.insert(15, &mut NullMemory).0, "key in delta");
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn deletes_show_up_in_ranks() {
+        let mut d = DeltaArray::new(vec![10, 20, 30], 0, 1.0, 16);
+        assert!(d.delete(20, &mut NullMemory).0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.rank(25, &mut NullMemory).0, 1);
+        assert!(!d.contains(20));
+        assert!(!d.delete(20, &mut NullMemory).0, "double delete");
+        assert!(!d.delete(99, &mut NullMemory).0, "never present");
+    }
+
+    #[test]
+    fn delete_of_pending_insert_cancels() {
+        let mut d = DeltaArray::new(vec![10, 30], 0, 1.0, 16);
+        d.insert(20, &mut NullMemory);
+        assert!(d.delete(20, &mut NullMemory).0);
+        assert_eq!(d.delta_len(), 0, "insert+delete should cancel out");
+        assert_eq!(d.rank(25, &mut NullMemory).0, 1);
+    }
+
+    #[test]
+    fn insert_resurrects_tombstone() {
+        let mut d = DeltaArray::new(vec![10, 20, 30], 0, 1.0, 16);
+        d.delete(20, &mut NullMemory);
+        assert!(d.insert(20, &mut NullMemory).0);
+        assert!(d.contains(20));
+        assert_eq!(d.delta_len(), 0);
+        assert_eq!(d.rank(20, &mut NullMemory).0, 2);
+    }
+
+    #[test]
+    fn merge_preserves_semantics_and_clears_delta() {
+        use std::collections::BTreeSet;
+        let keys: Vec<u32> = (1..=100).map(|i| i * 10).collect();
+        let mut set: BTreeSet<u32> = keys.iter().copied().collect();
+        let mut d = DeltaArray::new(keys, 1 << 16, 1.0, 8);
+
+        // Mixed update stream (deterministic).
+        for i in 0..50u32 {
+            let k = (i.wrapping_mul(2_654_435_761)) % 1_100;
+            if i % 3 == 0 {
+                if d.delete(k, &mut NullMemory).0 {
+                    set.remove(&k);
+                }
+            } else if d.insert(k, &mut NullMemory).0 {
+                set.insert(k);
+            }
+            if d.needs_merge() {
+                let ns = d.merge(&mut NullMemory);
+                assert!(ns >= 0.0);
+                assert_eq!(d.delta_len(), 0);
+            }
+            assert_eq!(d.len(), set.len(), "after op {i}");
+        }
+        for q in (0..1_200).step_by(7) {
+            assert_eq!(d.rank(q, &mut NullMemory).0, oracle_of(&set, q), "rank({q})");
+        }
+    }
+
+    #[test]
+    fn merge_cost_is_streaming_not_random() {
+        use dini_cache_sim::{MachineParams, SimMemory};
+        let keys: Vec<u32> = (1..=50_000).map(|i| i * 3).collect();
+        let mut d = DeltaArray::new(keys, 1 << 20, 1.0, 1024);
+        let mut m = SimMemory::new(MachineParams::pentium_iii());
+        for i in 0..1000u32 {
+            d.insert(i * 3 + 1, &mut m);
+        }
+        m.reset_stats();
+        d.merge(&mut m);
+        let s = m.stats();
+        assert!(s.streamed_bytes > 0);
+        assert_eq!(s.random_accesses(), 0, "merge must be purely streaming");
+    }
+}

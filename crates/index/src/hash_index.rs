@@ -1,0 +1,221 @@
+//! Open-addressing hash index — the structure the paper *excludes*.
+//!
+//! §1: "We do not consider hash arrays for the index data structure."
+//! The reason is semantic: the DINI problem routes a query key to the node
+//! owning its *range*, i.e. it needs `rank(key)` for keys that are not in
+//! the index. A hash table can only answer exact-match lookups, so it
+//! cannot implement [`crate::traits::RankIndex`] at all — this type
+//! deliberately does not implement that trait; the capability gap *is*
+//! the paper's point.
+//!
+//! We still build it, instrumented, for the ablation bench: for pure
+//! exact-match workloads a cache-resident hash table beats every sorted
+//! structure (one probe ≈ one cache line vs. `L` of them), quantifying
+//! what the range requirement costs.
+
+use crate::traits::Cost;
+use dini_cache_sim::{AccessKind, MemoryModel};
+
+/// Linear-probing hash table mapping `key → rank`, instrumented against a
+/// [`MemoryModel`].
+///
+/// Slots are 8 bytes (`key`, `rank`), load factor ≤ 0.5, capacity a power
+/// of two. Multiplicative (Fibonacci) hashing keeps probe sequences short
+/// and deterministic.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    /// Slot array: `u64::MAX` = empty, else `(key << 32) | rank`.
+    slots: Vec<u64>,
+    mask: u64,
+    /// Fibonacci-hash shift: `64 − log2(capacity)` (home slot = top bits
+    /// of the multiplicative product, the well-mixed ones).
+    shift: u32,
+    n_keys: usize,
+    base: u64,
+    cmp_cost_ns: f64,
+}
+
+const EMPTY: u64 = u64::MAX;
+const SLOT_BYTES: u64 = 8;
+
+#[inline]
+fn hash(key: u32, shift: u32) -> u64 {
+    (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift
+}
+
+impl HashIndex {
+    /// Build over sorted `keys` (ranks are their positions + 1, matching
+    /// `rank(k) =` number of keys ≤ `k` for *present* keys). `base` is the
+    /// simulated address of slot 0.
+    pub fn new(keys: &[u32], base: u64, cmp_cost_ns: f64) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+        let cap = (keys.len() * 2).next_power_of_two().max(8);
+        let mask = cap as u64 - 1;
+        let shift = 64 - cap.trailing_zeros();
+        let mut slots = vec![EMPTY; cap];
+        for (i, &k) in keys.iter().enumerate() {
+            let rank = (i + 1) as u64;
+            let mut s = hash(k, shift);
+            while slots[s as usize] != EMPTY {
+                s = (s + 1) & mask;
+            }
+            slots[s as usize] = ((k as u64) << 32) | rank;
+        }
+        Self { slots, mask, shift, n_keys: keys.len(), base, cmp_cost_ns }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.n_keys
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_keys == 0
+    }
+
+    /// Bytes of simulated address space the table occupies. Note it is
+    /// *larger* than the sorted array it indexes (≥ 2× slots × 8 B vs
+    /// 4 B/key) — the cache-pressure cost of O(1) lookups.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.slots.len() as u64 * SLOT_BYTES
+    }
+
+    /// Exact-match lookup: the rank of `key` if present, else `None`.
+    /// Charges one random access per probed slot.
+    ///
+    /// This is the API a hash index *can* offer; contrast with
+    /// [`crate::traits::RankIndex::rank`], which it cannot.
+    pub fn get<M: MemoryModel>(&self, key: u32, mem: &mut M) -> (Option<u32>, Cost) {
+        let mut s = hash(key, self.shift);
+        let mut ns = 0.0;
+        loop {
+            ns += mem.touch(self.base + s * SLOT_BYTES, SLOT_BYTES as u32, AccessKind::Read);
+            ns += mem.compute(self.cmp_cost_ns);
+            let slot = self.slots[s as usize];
+            if slot == EMPTY {
+                return (None, ns);
+            }
+            if (slot >> 32) as u32 == key {
+                return (Some(slot as u32), ns);
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// Mean probes per present-key lookup (table quality metric).
+    pub fn mean_probes(&self) -> f64 {
+        if self.n_keys == 0 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for (i, &slot) in self.slots.iter().enumerate() {
+            if slot == EMPTY {
+                continue;
+            }
+            let key = (slot >> 32) as u32;
+            let home = hash(key, self.shift);
+            let dist = (i as u64).wrapping_sub(home) & self.mask;
+            total += dist + 1;
+        }
+        total as f64 / self.n_keys as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dini_cache_sim::{CountingMemory, MachineParams, NullMemory, SimMemory};
+
+    fn table(n: u32) -> (Vec<u32>, HashIndex) {
+        let keys: Vec<u32> = (1..=n).map(|i| i * 10).collect();
+        let h = HashIndex::new(&keys, 1 << 20, 1.0);
+        (keys, h)
+    }
+
+    #[test]
+    fn present_keys_return_their_rank() {
+        let (keys, h) = table(1000);
+        for (i, &k) in keys.iter().enumerate() {
+            let (r, _) = h.get(k, &mut NullMemory);
+            assert_eq!(r, Some(i as u32 + 1), "key {k}");
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let (_, h) = table(1000);
+        for k in [0u32, 5, 15, 10_005, u32::MAX] {
+            assert_eq!(h.get(k, &mut NullMemory).0, None, "key {k}");
+        }
+    }
+
+    #[test]
+    fn empty_table() {
+        let h = HashIndex::new(&[], 0, 1.0);
+        assert!(h.is_empty());
+        assert_eq!(h.get(7, &mut NullMemory).0, None);
+    }
+
+    #[test]
+    fn load_factor_keeps_probes_short() {
+        let (_, h) = table(100_000);
+        assert!(h.mean_probes() < 2.0, "mean probes {}", h.mean_probes());
+    }
+
+    #[test]
+    fn lookup_touches_expected_slots() {
+        let (keys, h) = table(10_000);
+        let mut m = CountingMemory::default();
+        h.get(keys[1234], &mut m);
+        // Linear probing: a handful of adjacent slots at most.
+        assert!(m.random_touches() <= 6, "{} probes", m.random_touches());
+        for (addr, _, _) in &m.accesses {
+            assert!(*addr >= 1 << 20 && *addr < (1 << 20) + h.footprint_bytes());
+        }
+    }
+
+    #[test]
+    fn exact_match_beats_binary_search_in_probes() {
+        use crate::sorted_array::SortedArray;
+        use crate::traits::RankIndex;
+        let keys: Vec<u32> = (1..=50_000u32).map(|i| i * 3).collect();
+        let h = HashIndex::new(&keys, 0, 1.0);
+        let a = SortedArray::new(keys.clone(), 1 << 28, 1.0);
+        let mut hm = CountingMemory::default();
+        let mut am = CountingMemory::default();
+        for &k in keys.iter().step_by(997) {
+            h.get(k, &mut hm);
+            a.rank(k, &mut am);
+        }
+        assert!(
+            hm.random_touches() * 3 < am.random_touches(),
+            "hash {} vs array {}",
+            hm.random_touches(),
+            am.random_touches()
+        );
+    }
+
+    #[test]
+    fn footprint_is_larger_than_sorted_array() {
+        let (keys, h) = table(100_000);
+        assert!(h.footprint_bytes() >= 4 * (keys.len() as u64 * 4));
+    }
+
+    #[test]
+    fn hot_table_stays_cache_resident() {
+        // 16 K keys → 256 KB table fits the 512 KB L2.
+        let keys: Vec<u32> = (1..=16_384u32).map(|i| i * 5).collect();
+        let h = HashIndex::new(&keys, 1 << 22, 1.0);
+        assert!(h.footprint_bytes() <= 512 * 1024);
+        let mut m = SimMemory::new(MachineParams::pentium_iii());
+        for &k in &keys {
+            h.get(k, &mut m);
+        }
+        m.reset_stats();
+        for &k in keys.iter().rev() {
+            h.get(k, &mut m);
+        }
+        assert_eq!(m.stats().memory_accesses, 0);
+    }
+}

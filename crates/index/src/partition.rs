@@ -1,0 +1,200 @@
+//! Range partitioning: the heart of the distributed in-cache index.
+//!
+//! The sorted key set is cut into equal-size contiguous partitions, one per
+//! slave. The master keeps only the partition *delimiters* ("a sorted array
+//! of partition delimiters on the master node", Figure 2); dispatching a
+//! query is a rank lookup over that tiny, cache-resident array. Global
+//! ranks compose: `rank(key) = base_rank(p) + local_rank(key in p)`.
+
+use crate::sorted_array::SortedArray;
+use crate::traits::{Cost, RankIndex};
+use dini_cache_sim::MemoryModel;
+
+/// The split of a sorted key set into `parts` contiguous ranges.
+#[derive(Debug, Clone)]
+pub struct Partitions {
+    /// First key of each partition except the first (`parts - 1` entries).
+    pub delimiters: Vec<u32>,
+    /// Rank of the first key of each partition (`parts` entries).
+    pub base_ranks: Vec<u32>,
+    /// Key-index range of each partition (`parts` entries).
+    pub ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl Partitions {
+    /// Split `keys` (sorted) into `parts` equal-size partitions.
+    pub fn split(keys: &[u32], parts: usize) -> Self {
+        assert!(parts >= 1, "need at least one partition");
+        assert!(
+            keys.len() >= parts,
+            "cannot split {} keys into {} non-empty partitions",
+            keys.len(),
+            parts
+        );
+        // Balanced split: the first `len % parts` partitions get one extra
+        // key, so every partition is non-empty for any len >= parts (a
+        // ceil-chunked split leaves empty tails when len barely exceeds
+        // parts).
+        let base = keys.len() / parts;
+        let extra = keys.len() % parts;
+        let mut delimiters = Vec::with_capacity(parts - 1);
+        let mut base_ranks = Vec::with_capacity(parts);
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for j in 0..parts {
+            let size = base + usize::from(j < extra);
+            base_ranks.push(start as u32);
+            ranges.push(start..start + size);
+            if j > 0 {
+                delimiters.push(keys[start]);
+            }
+            start += size;
+        }
+        debug_assert_eq!(start, keys.len());
+        Self { delimiters, base_ranks, ranges }
+    }
+
+    /// Number of partitions.
+    pub fn n_parts(&self) -> usize {
+        self.base_ranks.len()
+    }
+
+    /// Which partition owns `key` (uninstrumented; the master's
+    /// instrumented dispatch goes through its delimiter [`SortedArray`]).
+    pub fn dispatch(&self, key: u32) -> usize {
+        self.delimiters.partition_point(|&d| d <= key)
+    }
+}
+
+/// A partitioned index: the master's delimiter array plus one rank
+/// structure per partition. Generic over the slave-side structure so the
+/// same plumbing serves C-1 (tree), C-2 (buffered tree), and C-3 (array).
+#[derive(Debug, Clone)]
+pub struct PartitionedIndex<I> {
+    /// Master-side delimiter array (cache-resident, tiny).
+    pub delimiters: SortedArray,
+    /// Slave-side structures, one per partition.
+    pub parts: Vec<I>,
+    /// Global rank of each partition's first key.
+    pub base_ranks: Vec<u32>,
+}
+
+impl<I: RankIndex> PartitionedIndex<I> {
+    /// Build from a sorted key set. `build_part(slice, part_index)`
+    /// constructs each slave structure (allocating its own simulated
+    /// addresses); `delim_base`/`cmp_cost_ns` configure the master array.
+    pub fn build(
+        keys: &[u32],
+        parts: usize,
+        delim_base: u64,
+        cmp_cost_ns: f64,
+        mut build_part: impl FnMut(&[u32], usize) -> I,
+    ) -> Self {
+        let p = Partitions::split(keys, parts);
+        let structures = p
+            .ranges
+            .iter()
+            .enumerate()
+            .map(|(j, r)| build_part(&keys[r.clone()], j))
+            .collect();
+        Self {
+            delimiters: SortedArray::new(p.delimiters.clone(), delim_base, cmp_cost_ns),
+            parts: structures,
+            base_ranks: p.base_ranks,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn n_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Master-side dispatch: which partition owns `key`.
+    pub fn dispatch<M: MemoryModel>(&self, key: u32, mem: &mut M) -> (usize, Cost) {
+        let (r, ns) = self.delimiters.rank(key, mem);
+        (r as usize, ns)
+    }
+
+    /// Slave-side lookup composing the global rank.
+    pub fn rank_in<M: MemoryModel>(&self, part: usize, key: u32, mem: &mut M) -> (u32, Cost) {
+        let (local, ns) = self.parts[part].rank(key, mem);
+        (self.base_ranks[part] + local, ns)
+    }
+
+    /// Whole lookup through one memory model (tests / single-node use).
+    pub fn rank<M: MemoryModel>(&self, key: u32, mem: &mut M) -> (u32, Cost) {
+        let (p, c1) = self.dispatch(key, mem);
+        let (r, c2) = self.rank_in(p, key, mem);
+        (r, c1 + c2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::oracle_rank;
+    use dini_cache_sim::{AddressSpace, NullMemory};
+
+    fn keys(n: u32) -> Vec<u32> {
+        (0..n).map(|i| i * 3 + 1).collect()
+    }
+
+    #[test]
+    fn split_is_contiguous_and_complete() {
+        let ks = keys(1003);
+        let p = Partitions::split(&ks, 10);
+        assert_eq!(p.n_parts(), 10);
+        assert_eq!(p.ranges.first().unwrap().start, 0);
+        assert_eq!(p.ranges.last().unwrap().end, ks.len());
+        for w in p.ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(p.delimiters.len(), 9);
+    }
+
+    #[test]
+    fn dispatch_routes_to_owning_partition() {
+        let ks = keys(1000);
+        let p = Partitions::split(&ks, 7);
+        for (j, r) in p.ranges.iter().enumerate() {
+            for &k in &ks[r.clone()] {
+                assert_eq!(p.dispatch(k), j, "key {k} should live in partition {j}");
+            }
+        }
+        // Below the global minimum → partition 0.
+        assert_eq!(p.dispatch(0), 0);
+        // Above the global maximum → last partition.
+        assert_eq!(p.dispatch(u32::MAX), 6);
+    }
+
+    #[test]
+    fn partitioned_rank_equals_flat_rank() {
+        let ks = keys(2500);
+        let mut space = AddressSpace::new();
+        let delim_base = space.alloc_lines(64);
+        let pi = PartitionedIndex::build(&ks, 11, delim_base, 4.0, |slice, _| {
+            let base = space.alloc_lines(slice.len() as u64 * 4);
+            SortedArray::new(slice.to_vec(), base, 4.0)
+        });
+        for key in (0..8000u32).step_by(7) {
+            let (r, _) = pi.rank(key, &mut NullMemory);
+            assert_eq!(r, oracle_rank(&ks, key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn single_partition_degenerates_gracefully() {
+        let ks = keys(100);
+        let pi = PartitionedIndex::build(&ks, 1, 0, 4.0, |slice, _| {
+            SortedArray::new(slice.to_vec(), 4096, 4.0)
+        });
+        assert_eq!(pi.dispatch(50, &mut NullMemory).0, 0);
+        assert_eq!(pi.rank(1, &mut NullMemory).0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty partitions")]
+    fn too_many_partitions_rejected() {
+        Partitions::split(&[1, 2, 3], 4);
+    }
+}

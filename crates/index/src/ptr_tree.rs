@@ -1,0 +1,193 @@
+//! Classic pointer-based n-ary tree (the non-CSB+ layout).
+//!
+//! Stores *every* child pointer in the node, so a 32-byte line holds only
+//! 3 separators + 4 child indices (fan-out 4) instead of CSB+'s 7 + 1
+//! (fan-out 8). The deeper tree pays proportionally more cache misses per
+//! lookup — this structure exists to quantify the Rao–Ross optimisation
+//! the paper adopts ("An optimization of Rao and Ross is used to store one
+//! pointer at each node of the tree").
+
+use crate::traits::{Cost, RankIndex};
+use dini_cache_sim::{AccessKind, MemoryModel};
+
+/// How many separator keys fit a node of `line_bytes` when all child
+/// pointers are stored: `s` keys + `s+1` pointers, 4 bytes each.
+pub fn ptr_node_keys(line_bytes: u64) -> u32 {
+    let words = (line_bytes / 4) as u32;
+    (words - 1) / 2
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    seps: Vec<u32>,
+    /// Child arena indices (internal) — empty for leaves.
+    children: Vec<u32>,
+    /// Leaf: rank of the first key; internal: unused.
+    base_rank: u32,
+    /// Leaf keys (leaves reuse `seps` for keys; kept separate for clarity).
+    leaf: bool,
+}
+
+/// Pointer-per-child n-ary tree.
+#[derive(Debug, Clone)]
+pub struct PtrNaryTree {
+    nodes: Vec<Node>,
+    root: u32,
+    n_keys: usize,
+    k: u32,
+    line_bytes: u64,
+    base: u64,
+    comp_cost_node_ns: f64,
+    n_levels: usize,
+}
+
+impl PtrNaryTree {
+    /// Build over sorted `keys` with nodes of `line_bytes` bytes.
+    pub fn new(keys: &[u32], line_bytes: u64, base: u64, comp_cost_node_ns: f64) -> Self {
+        let k = ptr_node_keys(line_bytes).max(1);
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let mut nodes: Vec<Node> = Vec::new();
+        if keys.is_empty() {
+            return Self {
+                nodes,
+                root: 0,
+                n_keys: 0,
+                k,
+                line_bytes,
+                base,
+                comp_cost_node_ns,
+                n_levels: 0,
+            };
+        }
+
+        // Leaves hold up to k keys each (same as separators for symmetry).
+        let mut level: Vec<(u32, u32)> = Vec::new(); // (node idx, rep key)
+        for (j, chunk) in keys.chunks(k as usize).enumerate() {
+            let idx = nodes.len() as u32;
+            nodes.push(Node {
+                seps: chunk.to_vec(),
+                children: Vec::new(),
+                base_rank: (j * k as usize) as u32,
+                leaf: true,
+            });
+            level.push((idx, *chunk.last().expect("non-empty chunk")));
+        }
+        let mut n_levels = 1usize;
+        let fanout = k as usize + 1;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(fanout));
+            for group in level.chunks(fanout) {
+                let idx = nodes.len() as u32;
+                let seps = group[..group.len() - 1].iter().map(|&(_, rep)| rep).collect();
+                let children = group.iter().map(|&(i, _)| i).collect();
+                nodes.push(Node { seps, children, base_rank: 0, leaf: false });
+                next.push((idx, group.last().expect("non-empty group").1));
+            }
+            level = next;
+            n_levels += 1;
+        }
+        let root = level[0].0;
+        Self { nodes, root, n_keys: keys.len(), k, line_bytes, base, comp_cost_node_ns, n_levels }
+    }
+
+    /// Separator keys per node (3 on a 32-byte line).
+    pub fn keys_per_node(&self) -> u32 {
+        self.k
+    }
+
+    /// Tree depth.
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// Arena size in nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn node_addr(&self, idx: u32) -> u64 {
+        self.base + idx as u64 * self.line_bytes
+    }
+}
+
+impl RankIndex for PtrNaryTree {
+    fn len(&self) -> usize {
+        self.n_keys
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.nodes.len() as u64 * self.line_bytes
+    }
+
+    fn rank<M: MemoryModel>(&self, key: u32, mem: &mut M) -> (u32, Cost) {
+        if self.n_keys == 0 {
+            return (0, 0.0);
+        }
+        let mut idx = self.root;
+        let mut ns = 0.0;
+        loop {
+            ns += mem.touch(self.node_addr(idx), self.line_bytes as u32, AccessKind::Read);
+            ns += mem.compute(self.comp_cost_node_ns);
+            let node = &self.nodes[idx as usize];
+            let slot = node.seps.partition_point(|&s| s <= key) as u32;
+            if node.leaf {
+                return (node.base_rank + slot, ns);
+            }
+            idx = node.children[slot as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csb::CsbTree;
+    use crate::traits::{oracle_rank, RankIndex};
+    use dini_cache_sim::{CountingMemory, NullMemory};
+
+    #[test]
+    fn geometry_32_byte_line() {
+        // 8 words: s + (s+1) <= 8 → s = 3, fan-out 4.
+        assert_eq!(ptr_node_keys(32), 3);
+        assert_eq!(ptr_node_keys(128), 15);
+    }
+
+    #[test]
+    fn rank_matches_oracle() {
+        let keys: Vec<u32> = (1..=500).map(|i| i * 3).collect();
+        let t = PtrNaryTree::new(&keys, 32, 0, 30.0);
+        for key in 0..1_600u32 {
+            assert_eq!(t.rank(key, &mut NullMemory).0, oracle_rank(&keys, key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn deeper_than_csb_for_same_keys() {
+        let keys: Vec<u32> = (0..50_000u32).map(|i| i * 2).collect();
+        let ptr = PtrNaryTree::new(&keys, 32, 0, 30.0);
+        let csb = CsbTree::new(&keys, 7, 32, 0, 30.0);
+        assert!(
+            ptr.n_levels() > csb.n_levels(),
+            "fan-out 4 tree ({}) must be deeper than fan-out 8 tree ({})",
+            ptr.n_levels(),
+            csb.n_levels()
+        );
+        assert!(ptr.footprint_bytes() > csb.footprint_bytes());
+    }
+
+    #[test]
+    fn touches_one_node_per_level() {
+        let keys: Vec<u32> = (0..10_000u32).map(|i| i * 5).collect();
+        let t = PtrNaryTree::new(&keys, 32, 0, 30.0);
+        let mut m = CountingMemory::default();
+        t.rank(31_415, &mut m);
+        assert_eq!(m.random_touches(), t.n_levels());
+    }
+
+    #[test]
+    fn empty_tree_ranks_zero() {
+        let t = PtrNaryTree::new(&[], 32, 0, 30.0);
+        assert_eq!(t.rank(9, &mut NullMemory).0, 0);
+    }
+}

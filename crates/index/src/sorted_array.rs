@@ -1,0 +1,234 @@
+//! Cache-aligned sorted array with instrumented binary search.
+//!
+//! This is Method C-3's slave structure ("a simple sorted array … binary
+//! search for key lookup") and also the master's partition-delimiter array.
+//! The paper's key observation about it: the top ⌈log₂ n⌉ − L probe
+//! targets of a binary search are few distinct lines and stay cached, so
+//! a cache-resident array costs about `L` L1 misses per lookup — fewer
+//! bytes and less cache pressure than any tree ("the n-ary trees of
+//! Methods C-1 and C-2 occupy more space than a sorted array").
+
+use crate::traits::{Cost, RankIndex};
+use dini_cache_sim::{AccessKind, MemoryModel};
+
+/// A sorted array of keys occupying a contiguous simulated address range.
+#[derive(Debug, Clone)]
+pub struct SortedArray {
+    keys: Vec<u32>,
+    /// Simulated base address (line-aligned).
+    base: u64,
+    /// Cost of one comparison, from MachineParams::cmp_cost_ns.
+    cmp_cost_ns: f64,
+}
+
+impl SortedArray {
+    /// Build over `keys` (must be sorted ascending; duplicates allowed but
+    /// DINI workloads are unique). `base` is the simulated address of
+    /// element 0; `cmp_cost_ns` the per-comparison compute charge.
+    pub fn new(keys: Vec<u32>, base: u64, cmp_cost_ns: f64) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        Self { keys, base, cmp_cost_ns }
+    }
+
+    /// The indexed keys.
+    pub fn keys(&self) -> &[u32] {
+        &self.keys
+    }
+
+    /// Simulated base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Simulated address of element `i`.
+    #[inline]
+    fn addr_of(&self, i: usize) -> u64 {
+        self.base + (i as u64) * 4
+    }
+
+    /// Copy every key in the inclusive range `[lo, hi]` into `out`
+    /// (cleared first); returns the cost. Positioning is two binary
+    /// searches; the copy itself is one streaming read — the access shape
+    /// a range-partitioned database scan produces.
+    pub fn scan_range<M: MemoryModel>(
+        &self,
+        lo: u32,
+        hi: u32,
+        out: &mut Vec<u32>,
+        mem: &mut M,
+    ) -> Cost {
+        assert!(lo <= hi, "scan_range requires lo <= hi");
+        out.clear();
+        let (hi_rank, c1) = self.rank(hi, mem);
+        let (lo_rank, c2) = if lo == 0 { (0, 0.0) } else { self.rank(lo - 1, mem) };
+        let (start, end) = (lo_rank as usize, hi_rank as usize);
+        let mut ns = c1 + c2;
+        if end > start {
+            ns += mem.touch(self.addr_of(start), ((end - start) * 4) as u32, AccessKind::StreamRead);
+            out.extend_from_slice(&self.keys[start..end]);
+        }
+        ns
+    }
+}
+
+impl RankIndex for SortedArray {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.keys.len() as u64 * 4
+    }
+
+    /// Classic binary search for the upper bound, touching each probed
+    /// element. Hot top-of-search lines hit in cache; the bottom ~L probes
+    /// are the misses the paper's Equation 8 charges as
+    /// `L × (Comp_Cost + B1_Miss_Penalty)`.
+    fn rank<M: MemoryModel>(&self, key: u32, mem: &mut M) -> (u32, Cost) {
+        let mut lo = 0usize;
+        let mut hi = self.keys.len();
+        let mut ns = 0.0;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            ns += mem.touch(self.addr_of(mid), 4, AccessKind::Read);
+            ns += mem.compute(self.cmp_cost_ns);
+            // SAFETY-free hot path: mid < hi <= len by construction.
+            if self.keys[mid] <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo as u32, ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::oracle_rank;
+    use dini_cache_sim::{CountingMemory, MachineParams, NullMemory, SimMemory};
+
+    fn arr(n: u32) -> SortedArray {
+        // Keys 10, 20, 30, … so gaps exist for between-key queries.
+        SortedArray::new((1..=n).map(|i| i * 10).collect(), 4096, 4.0)
+    }
+
+    #[test]
+    fn rank_matches_oracle_on_gaps_and_hits() {
+        let a = arr(100);
+        let mut m = NullMemory;
+        for key in [0u32, 5, 10, 15, 505, 999, 1000, 1001, u32::MAX] {
+            let (r, _) = a.rank(key, &mut m);
+            assert_eq!(r, oracle_rank(a.keys(), key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn empty_array_ranks_zero() {
+        let a = SortedArray::new(vec![], 4096, 4.0);
+        assert_eq!(a.rank(42, &mut NullMemory).0, 0);
+        assert_eq!(a.len(), 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let a = arr(1024);
+        let mut m = CountingMemory::default();
+        a.rank(515, &mut m);
+        // ⌈log2(1024+1)⌉ = 11 probes max for upper-bound search.
+        assert!(m.random_touches() <= 11, "{} probes", m.random_touches());
+        assert!(m.random_touches() >= 10);
+    }
+
+    #[test]
+    fn probes_stay_inside_the_array_region() {
+        let a = arr(1000);
+        let mut m = CountingMemory::default();
+        a.rank(777, &mut m);
+        for (addr, _, _) in &m.accesses {
+            assert!(*addr >= 4096 && *addr < 4096 + 1000 * 4);
+        }
+    }
+
+    #[test]
+    fn cache_resident_array_costs_little_after_warmup() {
+        // 32 K keys = 128 KB fits the 512 KB L2: after one warm pass,
+        // lookups never touch memory (the paper's Method C premise).
+        let keys: Vec<u32> = (0..32_768u32).map(|i| i * 2).collect();
+        let a = SortedArray::new(keys, 1 << 20, 4.0);
+        let p = MachineParams::pentium_iii();
+        let mut m = SimMemory::new(p);
+        for key in (0..65_536u32).step_by(17) {
+            a.rank(key, &mut m);
+        }
+        m.reset_stats();
+        for key in (0..65_536u32).step_by(13) {
+            a.rank(key, &mut m);
+        }
+        assert_eq!(
+            m.stats().memory_accesses,
+            0,
+            "cache-resident partition must not touch RAM in steady state"
+        );
+    }
+
+    #[test]
+    fn range_count_matches_oracle() {
+        let a = arr(100); // keys 10..=1000 step 10
+        let mut m = NullMemory;
+        assert_eq!(a.range_count(0, u32::MAX, &mut m).0, 100);
+        assert_eq!(a.range_count(10, 10, &mut m).0, 1);
+        assert_eq!(a.range_count(11, 19, &mut m).0, 0);
+        assert_eq!(a.range_count(15, 35, &mut m).0, 2); // 20, 30
+        assert_eq!(a.range_count(0, 9, &mut m).0, 0);
+    }
+
+    #[test]
+    fn scan_range_returns_exact_keys() {
+        let a = arr(50);
+        let mut out = Vec::new();
+        a.scan_range(95, 215, &mut out, &mut NullMemory);
+        assert_eq!(out, vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210]);
+        a.scan_range(101, 109, &mut out, &mut NullMemory);
+        assert!(out.is_empty());
+        a.scan_range(0, u32::MAX, &mut out, &mut NullMemory);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn scan_range_is_streaming() {
+        use dini_cache_sim::CountingMemory;
+        let a = arr(10_000);
+        let mut out = Vec::new();
+        let mut m = CountingMemory::default();
+        a.scan_range(1_000, 50_000, &mut out, &mut m);
+        // Two binary searches of random touches; the body is one stream.
+        assert!(m.random_touches() <= 30);
+        let streamed: u32 = m
+            .accesses
+            .iter()
+            .filter(|(_, _, k)| k.is_stream())
+            .map(|(_, len, _)| *len)
+            .sum();
+        assert_eq!(streamed as usize, out.len() * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_range_panics() {
+        arr(10).range_count(5, 4, &mut NullMemory);
+    }
+
+    #[test]
+    fn batch_rank_agrees_with_single() {
+        let a = arr(513);
+        let keys: Vec<u32> = (0..2000).map(|i| i * 3 + 1).collect();
+        let mut out = Vec::new();
+        a.rank_batch(&keys, &mut out, &mut NullMemory);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(out[i], a.rank(k, &mut NullMemory).0);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Common index abstractions.
+
+use dini_cache_sim::MemoryModel;
+
+/// Simulated nanoseconds charged by an operation.
+pub type Cost = f64;
+
+/// An index over a sorted set of `u32` keys answering rank queries.
+///
+/// `rank(key)` = number of index keys `≤ key`. All DINI structures agree on
+/// this function, which is what lets Method C compose partition-local
+/// results into global ones and lets tests cross-check structures.
+pub trait RankIndex {
+    /// Number of keys indexed.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of simulated address space the structure occupies (what it
+    /// costs to keep cache-resident).
+    fn footprint_bytes(&self) -> u64;
+
+    /// Rank of `key`, charging accesses to `mem`; returns `(rank, cost_ns)`.
+    fn rank<M: MemoryModel>(&self, key: u32, mem: &mut M) -> (u32, Cost);
+
+    /// Rank every key in `keys` into `out` (cleared first); returns total
+    /// cost. Structures with batch-specific algorithms override this.
+    fn rank_batch<M: MemoryModel>(&self, keys: &[u32], out: &mut Vec<u32>, mem: &mut M) -> Cost {
+        out.clear();
+        out.reserve(keys.len());
+        let mut ns = 0.0;
+        for &k in keys {
+            let (r, c) = self.rank(k, mem);
+            out.push(r);
+            ns += c;
+        }
+        ns
+    }
+
+    /// Number of index keys in the inclusive range `[lo, hi]` — two rank
+    /// queries. The routing use-case behind this: "which node(s) own this
+    /// key range" in a range-partitioned cluster.
+    fn range_count<M: MemoryModel>(&self, lo: u32, hi: u32, mem: &mut M) -> (u32, Cost) {
+        assert!(lo <= hi, "range_count requires lo <= hi");
+        let (rhi, c1) = self.rank(hi, mem);
+        if lo == 0 {
+            return (rhi, c1);
+        }
+        let (rlo, c2) = self.rank(lo - 1, mem);
+        (rhi - rlo, c1 + c2)
+    }
+}
+
+/// Reference oracle: rank by `partition_point` on the raw sorted slice.
+pub fn oracle_rank(keys: &[u32], key: u32) -> u32 {
+    keys.partition_point(|&k| k <= key) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_matches_upper_bound_semantics() {
+        let keys = [10u32, 20, 30];
+        assert_eq!(oracle_rank(&keys, 5), 0);
+        assert_eq!(oracle_rank(&keys, 10), 1);
+        assert_eq!(oracle_rank(&keys, 15), 1);
+        assert_eq!(oracle_rank(&keys, 30), 3);
+        assert_eq!(oracle_rank(&keys, u32::MAX), 3);
+    }
+}

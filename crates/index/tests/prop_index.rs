@@ -1,0 +1,104 @@
+//! Property tests: every index structure computes the same rank function,
+//! partitioning composes, and buffered lookup agrees with plain lookup.
+
+use dini_cache_sim::{AddressSpace, NullMemory};
+use dini_index::{
+    BufferedLookup, CsbTree, PartitionedIndex, PtrNaryTree, RankIndex, SortedArray,
+};
+use proptest::prelude::*;
+
+fn arb_keys() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0u32..1_000_000, 1..2_000)
+        .prop_map(|s| s.into_iter().collect::<Vec<u32>>())
+}
+
+fn oracle(keys: &[u32], q: u32) -> u32 {
+    keys.partition_point(|&k| k <= q) as u32
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SortedArray == oracle on arbitrary sorted-unique key sets.
+    #[test]
+    fn sorted_array_matches_oracle(keys in arb_keys(), qs in prop::collection::vec(0u32..1_100_000, 1..100)) {
+        let a = SortedArray::new(keys.clone(), 4096, 4.0);
+        for q in qs {
+            prop_assert_eq!(a.rank(q, &mut NullMemory).0, oracle(&keys, q));
+        }
+    }
+
+    /// CsbTree == oracle, for several node widths.
+    #[test]
+    fn csb_tree_matches_oracle(
+        keys in arb_keys(),
+        qs in prop::collection::vec(0u32..1_100_000, 1..100),
+        k in 1u32..16,
+    ) {
+        let t = CsbTree::new(&keys, k, 32, 4096, 30.0);
+        for q in qs {
+            prop_assert_eq!(t.rank(q, &mut NullMemory).0, oracle(&keys, q));
+        }
+    }
+
+    /// PtrNaryTree == oracle.
+    #[test]
+    fn ptr_tree_matches_oracle(keys in arb_keys(), qs in prop::collection::vec(0u32..1_100_000, 1..100)) {
+        let t = PtrNaryTree::new(&keys, 32, 4096, 30.0);
+        for q in qs {
+            prop_assert_eq!(t.rank(q, &mut NullMemory).0, oracle(&keys, q));
+        }
+    }
+
+    /// Partitioned (array per slave) == flat, for any partition count.
+    #[test]
+    fn partitioned_composition(keys in arb_keys(), parts in 1usize..16, qs in prop::collection::vec(0u32..1_100_000, 1..50)) {
+        prop_assume!(keys.len() >= parts);
+        let mut space = AddressSpace::new();
+        let delim = space.alloc_lines(1024);
+        let pi = PartitionedIndex::build(&keys, parts, delim, 4.0, |s, _| {
+            let b = space.alloc_lines(s.len() as u64 * 4);
+            SortedArray::new(s.to_vec(), b, 4.0)
+        });
+        for q in qs {
+            prop_assert_eq!(pi.rank(q, &mut NullMemory).0, oracle(&keys, q));
+        }
+    }
+
+    /// Buffered batch lookup over a CSB tree == per-key lookups,
+    /// for arbitrary cache capacities (i.e. arbitrary cut shapes).
+    #[test]
+    fn buffered_equals_plain(
+        keys in arb_keys(),
+        qs in prop::collection::vec(0u32..1_100_000, 1..200),
+        cap_kb in 1u64..64,
+    ) {
+        let t = CsbTree::new(&keys, 7, 32, 1 << 20, 30.0);
+        let mut space = AddressSpace::new();
+        let mut bl = BufferedLookup::for_cache(&t, cap_kb * 1024, 0.5, &mut space, qs.len());
+        let mut out = Vec::new();
+        bl.rank_batch(&t, &qs, &mut out, &mut NullMemory);
+        for (i, &q) in qs.iter().enumerate() {
+            prop_assert_eq!(out[i], t.rank(q, &mut NullMemory).0);
+        }
+    }
+
+    /// Reusing one BufferedLookup across batches never leaks state.
+    #[test]
+    fn buffered_reuse_is_clean(
+        keys in arb_keys(),
+        qs1 in prop::collection::vec(0u32..1_100_000, 1..100),
+        qs2 in prop::collection::vec(0u32..1_100_000, 1..100),
+    ) {
+        let t = CsbTree::new(&keys, 7, 32, 1 << 20, 30.0);
+        let mut space = AddressSpace::new();
+        let n = qs1.len().max(qs2.len());
+        let mut bl = BufferedLookup::for_cache(&t, 8 * 1024, 0.5, &mut space, n);
+        let mut out = Vec::new();
+        bl.rank_batch(&t, &qs1, &mut out, &mut NullMemory);
+        bl.rank_batch(&t, &qs2, &mut out, &mut NullMemory);
+        for (i, &q) in qs2.iter().enumerate() {
+            prop_assert_eq!(out[i], t.rank(q, &mut NullMemory).0);
+        }
+    }
+}

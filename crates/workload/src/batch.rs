@@ -1,0 +1,81 @@
+//! Batch slicing.
+//!
+//! The paper's Figure 3 sweeps the *message/batch size* from 8 KB to 4 MB.
+//! A batch of `batch_bytes` holds `batch_bytes / 4` four-byte keys; this
+//! module turns a key stream into those batches.
+
+/// Iterator over `&[u32]` chunks of a fixed byte size (last may be short).
+#[derive(Debug, Clone)]
+pub struct BatchIter<'a> {
+    keys: &'a [u32],
+    keys_per_batch: usize,
+    pos: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Split `keys` into batches of `batch_bytes` (4 bytes per key).
+    pub fn new(keys: &'a [u32], batch_bytes: usize) -> Self {
+        assert!(batch_bytes >= 4, "a batch must hold at least one key");
+        Self { keys, keys_per_batch: batch_bytes / 4, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = &'a [u32];
+
+    fn next(&mut self) -> Option<&'a [u32]> {
+        if self.pos >= self.keys.len() {
+            return None;
+        }
+        let end = (self.pos + self.keys_per_batch).min(self.keys.len());
+        let b = &self.keys[self.pos..end];
+        self.pos = end;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.keys.len() - self.pos;
+        let n = rem.div_ceil(self.keys_per_batch);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BatchIter<'_> {}
+
+/// How many batches a workload of `n_keys` produces at `batch_bytes`.
+pub fn batch_count(n_keys: usize, batch_bytes: usize) -> usize {
+    n_keys.div_ceil(batch_bytes / 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_all_keys_in_order() {
+        let keys: Vec<u32> = (0..100).collect();
+        let got: Vec<u32> = BatchIter::new(&keys, 32).flatten().copied().collect();
+        assert_eq!(got, keys);
+    }
+
+    #[test]
+    fn batch_sizes_are_exact_except_last() {
+        let keys: Vec<u32> = (0..100).collect();
+        let sizes: Vec<usize> = BatchIter::new(&keys, 32).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 4]);
+    }
+
+    #[test]
+    fn paper_figure3_batch_counts() {
+        // 8 M keys = 32 MB of keys; at 8 KB per message that is 4096 messages.
+        assert_eq!(batch_count(1 << 23, 8 * 1024), 4096);
+        assert_eq!(batch_count(1 << 23, 4 * 1024 * 1024), 8);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let keys: Vec<u32> = (0..100).collect();
+        let it = BatchIter::new(&keys, 32);
+        assert_eq!(it.len(), 13);
+    }
+}

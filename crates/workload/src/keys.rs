@@ -1,0 +1,105 @@
+//! Key generation.
+//!
+//! All generators are seeded (`StdRng`) so every experiment is exactly
+//! reproducible; the paper's setup is `gen_sorted_unique_keys(327_680)` for
+//! the index and `gen_search_keys(1 << 23)` for the queries.
+
+use crate::dist::KeyDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded key generator over a chosen distribution.
+#[derive(Debug, Clone)]
+pub struct KeyGen {
+    rng: StdRng,
+    dist: KeyDistribution,
+}
+
+impl KeyGen {
+    /// A generator with an explicit seed and distribution.
+    pub fn new(seed: u64, dist: KeyDistribution) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), dist }
+    }
+
+    /// Uniform generator with the crate's default experiment seed.
+    pub fn uniform(seed: u64) -> Self {
+        Self::new(seed, KeyDistribution::Uniform)
+    }
+
+    /// Next key.
+    pub fn next_key(&mut self) -> u32 {
+        self.dist.sample(&mut self.rng)
+    }
+
+    /// Fill a vector with `n` keys.
+    pub fn take(&mut self, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.next_key()).collect()
+    }
+}
+
+/// `n` sorted, de-duplicated keys drawn uniformly from the full `u32`
+/// range — the index contents ("the keys used to construct the index
+/// structure are randomly generated").
+///
+/// Keeps drawing until exactly `n` unique keys exist, so the index size is
+/// exact (the paper's 327 kilo keys).
+pub fn gen_sorted_unique_keys(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n > 0, "index must hold at least one key");
+    assert!(
+        (n as u64) <= (u32::MAX as u64) / 2,
+        "cannot draw {n} unique keys from the u32 space without quadratic rejection"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    while keys.len() < n {
+        let missing = n - keys.len();
+        let extra: Vec<u32> = (0..missing.max(16)).map(|_| rng.gen()).collect();
+        keys.extend(extra);
+        keys.sort_unstable();
+        keys.dedup();
+    }
+    keys.truncate(n);
+    keys
+}
+
+/// `n` uniform search keys (the paper's 2^23 queries).
+pub fn gen_search_keys(n: usize, seed: u64) -> Vec<u32> {
+    KeyGen::uniform(seed).take(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_unique_is_sorted_unique_and_exact() {
+        let keys = gen_sorted_unique_keys(10_000, 42);
+        assert_eq!(keys.len(), 10_000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gen_sorted_unique_keys(1000, 7), gen_sorted_unique_keys(1000, 7));
+        assert_eq!(gen_search_keys(1000, 7), gen_search_keys(1000, 7));
+        assert_ne!(gen_search_keys(1000, 7), gen_search_keys(1000, 8));
+    }
+
+    #[test]
+    fn search_keys_cover_the_range() {
+        let keys = gen_search_keys(100_000, 1);
+        let lo = keys.iter().copied().min().unwrap();
+        let hi = keys.iter().copied().max().unwrap();
+        // Uniform over u32: extremes within 1% of the range ends w.h.p.
+        assert!(lo < u32::MAX / 100);
+        assert!(hi > u32::MAX - u32::MAX / 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_keys_rejected() {
+        gen_sorted_unique_keys(0, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # dini-workload
+//!
+//! Deterministic workload generation for the DINI experiments.
+//!
+//! The paper's evaluation uses "randomly generated" 4-byte keys for both the
+//! index contents and the 8 million (2^23) search keys, drawn uniformly.
+//! This crate provides seeded, reproducible generators for that workload
+//! plus skewed variants (Zipf, clustered, self-similar) used by our
+//! beyond-paper ablations, interleaved update streams ([`churn`]) for the
+//! dynamic-index extensions, and serde-serialisable query traces for
+//! replay.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod churn;
+pub mod dist;
+pub mod keys;
+pub mod trace;
+
+pub use batch::{batch_count, BatchIter};
+pub use churn::{ChurnGen, Op, OpMix};
+pub use dist::KeyDistribution;
+pub use keys::{gen_search_keys, gen_sorted_unique_keys, KeyGen};
+pub use trace::QueryTrace;

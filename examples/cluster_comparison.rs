@@ -1,0 +1,56 @@
+//! The paper's experiment in miniature: run all five methods on the
+//! simulated Pentium III + Myrinet cluster and print the comparison —
+//! a scaled-down Figure 3 point plus the quantities behind it.
+//!
+//! ```text
+//! cargo run --release --example cluster_comparison
+//! ```
+
+use dini::{run_comparison, ExperimentSetup, MethodId};
+
+fn main() {
+    let setup = ExperimentSetup {
+        n_index_keys: 327_680,       // the paper's Table 1 index
+        batch_bytes: 64 * 1024,      // a good Figure 3 operating point
+        ..ExperimentSetup::paper()   // PIII nodes, Myrinet, 1 + 10 nodes
+    };
+    let n_search = 1 << 20; // 2^20 queries (the paper ran 2^23)
+
+    println!(
+        "simulating {} keys / {} queries on {} nodes over {}, {} batches\n",
+        setup.n_index_keys,
+        n_search,
+        setup.n_nodes(),
+        setup.network.name,
+        setup.batch_bytes / 1024,
+    );
+
+    let all = run_comparison(&MethodId::ALL, &setup, n_search);
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "method", "time (s)", "Mlookup/s", "L2 miss/key", "slave idle", "msgs"
+    );
+    for s in &all {
+        println!(
+            "{:<12} {:>10.4} {:>12.2} {:>12.3} {:>9.0}% {:>8}",
+            s.method.name(),
+            s.search_time_s,
+            s.mlookups_per_s(),
+            s.l2_misses_per_key(),
+            s.slave_idle * 100.0,
+            s.msgs
+        );
+    }
+
+    // All five computed identical answers.
+    let checksum = all[0].rank_checksum;
+    assert!(all.iter().all(|s| s.rank_checksum == checksum));
+    println!("\nall methods agree (rank checksum {checksum})");
+
+    let a = all.iter().find(|s| s.method == MethodId::A).unwrap();
+    let c3 = all.iter().find(|s| s.method == MethodId::C3).unwrap();
+    println!(
+        "method C-3 speedup over method A: {:.2}x (paper: ~2x at large batches)",
+        a.search_time_s / c3.search_time_s
+    );
+}

@@ -1,0 +1,80 @@
+//! Would the paper's design still win, and when would it stop?
+//!
+//! The paper's §4.2 extrapolates five years ahead; this example drives
+//! the same analytical model interactively across three sharper
+//! questions its prose raises but never quantifies:
+//!
+//! 1. how slow can the network get before the distributed in-cache
+//!    index loses to local buffering (the §2 premise's break-even)?
+//! 2. how many slaves can one master actually feed (§3.2's overload
+//!    remark)?
+//! 3. what does the widening CPU-memory gap do to each method (the
+//!    motivation section's trend)?
+//!
+//! ```text
+//! cargo run --release --example future_trends
+//! ```
+
+use dini::model::sensitivity::{
+    master_bound_slave_count, network_bw_breakeven, sweep_b2_penalty,
+};
+use dini::model::trends::trend_series;
+use dini::model::ModelParams;
+
+fn main() {
+    let p = ModelParams::paper();
+
+    // --- 1. The §4.2 trend, as the paper frames it. ---
+    println!("Figure 4 trend (paper assumptions: CPU 2x/18mo, net 2x/3y, DRAM flat):");
+    println!("  year   A ns/key   B ns/key   C-3 ns/key   B:C-3");
+    for pt in trend_series(&p, 5) {
+        println!(
+            "  {:>4}   {:>8.1}   {:>8.1}   {:>10.1}   {:>5.2}x",
+            pt.year,
+            pt.costs.a,
+            pt.costs.b,
+            pt.costs.c3,
+            pt.costs.b / pt.costs.c3
+        );
+    }
+
+    // --- 2. The network break-even behind the §2 premise. ---
+    match network_bw_breakeven(&p, 0.005) {
+        Some(bw) => {
+            let mb_s = bw * 1000.0;
+            println!("\nC-3 beats B down to W2 ≈ {mb_s:.0} MB/s (paper's Myrinet: 138 MB/s,");
+            println!("its Fast Ethernet fallback: 12.5 MB/s — {}).",
+                if 0.0125 < bw { "below break-even, C-3 would lose there" }
+                else { "still above break-even" });
+        }
+        None => println!("\nC-3 beats B across the whole probed network range."),
+    }
+
+    // --- 3. How many slaves one master can feed. ---
+    let mut q = p.clone();
+    for masters in [1usize, 2, 4] {
+        q.n_masters = masters;
+        match master_bound_slave_count(&q, 100_000) {
+            Some(n) => println!(
+                "with {masters} master(s), Eq. 8 becomes master-bound at {n} slaves \
+                 (paper ran 10)"
+            ),
+            None => println!("with {masters} master(s), slave-bound up to 100k slaves"),
+        }
+    }
+
+    // --- 4. The CPU-memory gap axis. ---
+    println!("\nIf DRAM miss penalty doubles (the memory wall the paper fears):");
+    let pts = sweep_b2_penalty(&p, &[1.0, 2.0, 4.0]);
+    for pt in &pts {
+        println!(
+            "  B2 = {:>5.0} ns:  A {:>6.1}  B {:>6.1}  C-3 {:>6.1} ns/key",
+            pt.value, pt.costs.a, pt.costs.b, pt.costs.c3
+        );
+    }
+    let a_growth = pts[2].costs.a / pts[0].costs.a;
+    println!(
+        "  → a 4x wider gap makes A {a_growth:.1}x slower and leaves C-3 untouched: \
+         the paper's bet, in one number."
+    );
+}

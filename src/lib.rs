@@ -1,0 +1,54 @@
+//! # dini — Distributed IN-cache Index
+//!
+//! A from-scratch reproduction of *"Fast Query Processing by Distributing
+//! an Index over CPU Caches"* (Xiaoqin Ma & Gene Cooperman, IEEE CLUSTER
+//! 2005, arXiv:cs/0410066), built as a workspace of substrates plus the
+//! paper's contribution:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`cache_sim`] | set-associative L1/L2(/L3) simulator + Table 2 cost model, TLB, prefetchers, victim cache, page coloring, write-backs |
+//! | [`cluster`] | discrete-event cluster/network simulator (timers, fault injection, switch backplane, tracing, RTT histograms) + thread backend |
+//! | [`index`] | sorted array, CSB+ tree, Zhou–Ross buffered traversal, partitioning, hash strawman, updatable delta array |
+//! | [`workload`] | seeded key/query generators (uniform, Zipf, clustered, self-similar) + churn streams |
+//! | [`model`] | the paper's Appendix-A analytical model + Figure 4 trends + sensitivity solvers |
+//! | [`sysprobe`] | host measurements of the paper's Table 2 quantities + cache-size knee detection |
+//! | [`core`] | Methods A, B, C-1/C-2/C-3, really-dispatched A/B + the native [`DistributedIndex`] |
+//!
+//! ## Quickstart (native, real threads)
+//!
+//! ```
+//! use dini::{DistributedIndex, NativeConfig};
+//!
+//! let keys: Vec<u32> = (0..1_000_000).map(|i| i * 2).collect();
+//! let mut cfg = NativeConfig::new(4); // 4 partitions / worker cores
+//! cfg.pin_cores = false;
+//! let mut index = DistributedIndex::build(&keys, cfg);
+//! assert_eq!(index.lookup(10), 6); // six keys ≤ 10
+//! ```
+//!
+//! ## Reproducing the paper
+//!
+//! ```text
+//! cargo run -p dini-bench --release --bin table1
+//! cargo run -p dini-bench --release --bin table2 -- --measure
+//! cargo run -p dini-bench --release --bin table3
+//! cargo run -p dini-bench --release --bin fig3
+//! cargo run -p dini-bench --release --bin fig4
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results on every table and figure.
+
+pub use dini_cache_sim as cache_sim;
+pub use dini_cluster as cluster;
+pub use dini_core as core;
+pub use dini_index as index;
+pub use dini_model as model;
+pub use dini_sysprobe as sysprobe;
+pub use dini_workload as workload;
+
+pub use dini_core::{
+    run_comparison, run_method, run_replicated_distributed, standard_workload, DistributedIndex,
+    ExperimentSetup, LoadBalance, MethodId, NativeConfig, ReplicaEngine, RunStats, SlaveStructure,
+};

@@ -1,0 +1,79 @@
+//! Integration: the switch backplane and response-time accounting flow
+//! through the full Method C pipeline.
+
+use dini::cluster::SwitchModel;
+use dini::{run_method, standard_workload, ExperimentSetup, MethodId};
+
+fn setup() -> ExperimentSetup {
+    ExperimentSetup {
+        n_index_keys: 100_000,
+        batch_bytes: 64 * 1024,
+        ..ExperimentSetup::paper()
+    }
+}
+
+#[test]
+fn narrow_backplane_slows_c3_without_changing_answers() {
+    let base = setup();
+    let (idx, q) = standard_workload(&base, 1 << 18);
+    let unlimited = run_method(MethodId::C3, &base, &idx, &q);
+
+    let narrow = ExperimentSetup {
+        switch: Some(SwitchModel::with_capacity_factor(base.network.bandwidth, 1.0)),
+        ..base.clone()
+    };
+    let constrained = run_method(MethodId::C3, &narrow, &idx, &q);
+
+    assert_eq!(unlimited.rank_checksum, constrained.rank_checksum);
+    assert!(
+        constrained.search_time_s > unlimited.search_time_s,
+        "a hub-class backplane must cost something: {} vs {}",
+        constrained.search_time_s,
+        unlimited.search_time_s
+    );
+
+    // A full-crossbar backplane is within a few percent of unlimited —
+    // the paper's assumption 1 is justified for Myrinet-class switches.
+    let crossbar = ExperimentSetup {
+        switch: Some(SwitchModel::with_capacity_factor(base.network.bandwidth, 16.0)),
+        ..base
+    };
+    let near_ideal = run_method(MethodId::C3, &crossbar, &idx, &q);
+    assert!(near_ideal.search_time_s < unlimited.search_time_s * 1.10);
+}
+
+#[test]
+fn batch_rtt_grows_with_batch_size_for_c3() {
+    // Bigger batches amortise overhead (throughput) but each batch takes
+    // longer end-to-end (response time) — the tension behind the paper's
+    // dual-criteria argument.
+    let (idx, q) = standard_workload(&setup(), 1 << 18);
+    let small = run_method(MethodId::C3, &setup().with_batch_bytes(16 * 1024), &idx, &q);
+    let large = run_method(MethodId::C3, &setup().with_batch_bytes(256 * 1024), &idx, &q);
+    assert!(small.batch_rtt_mean_ns > 0.0 && large.batch_rtt_mean_ns > 0.0);
+    assert!(
+        large.batch_rtt_mean_ns > 3.0 * small.batch_rtt_mean_ns,
+        "16× the batch must cost well over 3× the RTT: {} vs {}",
+        large.batch_rtt_mean_ns,
+        small.batch_rtt_mean_ns
+    );
+    // p99 never undercuts the mean by construction of the histogram.
+    assert!(large.batch_rtt_p99_ns >= large.batch_rtt_mean_ns * 0.5);
+}
+
+#[test]
+fn rtt_accounts_for_network_speed() {
+    use dini::cluster::NetworkModel;
+    let base = setup();
+    let (idx, q) = standard_workload(&base, 1 << 17);
+    let myrinet = run_method(MethodId::C3, &base, &idx, &q);
+    let slow = ExperimentSetup { network: NetworkModel::fast_ethernet(), ..base };
+    let ethernet = run_method(MethodId::C3, &slow, &idx, &q);
+    assert_eq!(myrinet.rank_checksum, ethernet.rank_checksum);
+    assert!(
+        ethernet.batch_rtt_mean_ns > 2.0 * myrinet.batch_rtt_mean_ns,
+        "a 11× slower wire must show up in batch RTTs: {} vs {}",
+        ethernet.batch_rtt_mean_ns,
+        myrinet.batch_rtt_mean_ns
+    );
+}

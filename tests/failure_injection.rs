@@ -1,0 +1,257 @@
+//! Failure injection on the cluster substrate.
+//!
+//! The paper's MPI cluster assumes reliable delivery; the simulator can
+//! take that away. These tests build the recovery machinery a production
+//! DINI deployment would need — acknowledgement + timeout retransmission
+//! on the master, idempotent slaves — and verify that every query is
+//! still answered exactly once under message loss, duplication, jitter,
+//! and slave crash (with a replica taking over).
+
+use dini_cluster::fault::FaultPlan;
+use dini_cluster::sim::{Actor, Ctx, NodeId, SimCluster};
+use dini_cluster::NetworkModel;
+
+/// Protocol for the reliable master/slave pair.
+#[derive(Debug, Clone)]
+enum RMsg {
+    /// Query batch `(batch_id, keys)` — master → slave.
+    Batch(u64, Vec<u32>),
+    /// Answered ranks `(batch_id, ranks)` — slave → master.
+    Answer(u64, Vec<u32>),
+    /// Retransmission timer for a batch id.
+    Timeout(u64),
+}
+
+/// A master that retransmits unacknowledged batches on a timer.
+struct ReliableMaster {
+    slaves: Vec<NodeId>,
+    batches: Vec<Vec<u32>>,
+    /// Completion record per batch.
+    answered: Vec<Option<Vec<u32>>>,
+    /// Retransmissions performed.
+    retransmits: u64,
+    timeout_ns: f64,
+}
+
+impl ReliableMaster {
+    fn new(slaves: Vec<NodeId>, batches: Vec<Vec<u32>>, timeout_ns: f64) -> Self {
+        let n = batches.len();
+        Self { slaves, batches, answered: vec![None; n], retransmits: 0, timeout_ns }
+    }
+
+    fn slave_for(&self, batch: u64) -> NodeId {
+        self.slaves[batch as usize % self.slaves.len()]
+    }
+
+    fn send_batch(&mut self, batch: u64, ctx: &mut Ctx<'_, RMsg>) {
+        let keys = self.batches[batch as usize].clone();
+        let bytes = (keys.len() * 4) as u64;
+        ctx.send(self.slave_for(batch), bytes, RMsg::Batch(batch, keys));
+        ctx.schedule(self.timeout_ns, RMsg::Timeout(batch));
+    }
+}
+
+impl Actor<RMsg> for ReliableMaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RMsg>) {
+        for b in 0..self.batches.len() as u64 {
+            self.send_batch(b, ctx);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, RMsg>, _from: NodeId, _bytes: u64, msg: RMsg) {
+        let RMsg::Answer(batch, ranks) = msg else {
+            unreachable!("master only receives answers");
+        };
+        // Duplicates arrive under duplication faults: keep the first.
+        let slot = &mut self.answered[batch as usize];
+        if slot.is_none() {
+            *slot = Some(ranks);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, RMsg>, msg: RMsg) {
+        let RMsg::Timeout(batch) = msg else {
+            unreachable!("master timers carry batch ids");
+        };
+        if self.answered[batch as usize].is_none() {
+            self.retransmits += 1;
+            self.send_batch(batch, ctx);
+        }
+    }
+}
+
+/// A slave answering rank queries over a sorted key slice. Stateless per
+/// batch, hence naturally idempotent under retransmission.
+struct RankSlave {
+    keys: Vec<u32>,
+    master: NodeId,
+}
+
+impl Actor<RMsg> for RankSlave {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RMsg>, _from: NodeId, _bytes: u64, msg: RMsg) {
+        let RMsg::Batch(batch, queries) = msg else {
+            unreachable!("slaves only receive batches");
+        };
+        ctx.busy(queries.len() as f64 * 30.0);
+        let ranks: Vec<u32> =
+            queries.iter().map(|&q| self.keys.partition_point(|&k| k <= q) as u32).collect();
+        ctx.send(self.master, (ranks.len() * 4) as u64, RMsg::Answer(batch, ranks));
+    }
+}
+
+fn keys(n: u32) -> Vec<u32> {
+    (1..=n).map(|i| i * 7).collect()
+}
+
+fn batches(n_batches: usize, per_batch: usize) -> Vec<Vec<u32>> {
+    (0..n_batches)
+        .map(|b| {
+            (0..per_batch)
+                .map(|i| ((b * per_batch + i) as u32).wrapping_mul(2_654_435_761))
+                .collect()
+        })
+        .collect()
+}
+
+fn expected_ranks(index: &[u32], batch: &[u32]) -> Vec<u32> {
+    batch.iter().map(|&q| index.partition_point(|&k| k <= q) as u32).collect()
+}
+
+/// Run the reliable protocol with two slaves under `faults`; panic unless
+/// every batch completes with correct ranks. Returns retransmission count.
+fn run_reliable(faults: FaultPlan, n_batches: usize) -> u64 {
+    let index = keys(10_000);
+    let bs = batches(n_batches, 64);
+    let mut master = ReliableMaster::new(vec![1, 2], bs.clone(), 2_000_000.0);
+    let mut s1 = RankSlave { keys: index.clone(), master: 0 };
+    let mut s2 = RankSlave { keys: index.clone(), master: 0 };
+    let sim = SimCluster::new(NetworkModel::myrinet()).with_faults(faults);
+    sim.run::<RMsg>(&mut [&mut master, &mut s1, &mut s2]);
+    for (b, got) in master.answered.iter().enumerate() {
+        let got = got.as_ref().unwrap_or_else(|| panic!("batch {b} never completed"));
+        assert_eq!(got, &expected_ranks(&index, &bs[b]), "batch {b} wrong");
+    }
+    master.retransmits
+}
+
+#[test]
+fn clean_network_needs_no_retransmissions() {
+    assert_eq!(run_reliable(FaultPlan::none(), 40), 0);
+}
+
+#[test]
+fn heavy_loss_is_recovered_by_retransmission() {
+    // 30 % of messages vanish (queries and answers alike); the timeout
+    // path must recover all 60 batches.
+    let r = run_reliable(FaultPlan::with_drops(42, 0.3), 60);
+    assert!(r > 0, "30% loss must force at least one retransmission");
+}
+
+#[test]
+fn duplication_does_not_double_count() {
+    let plan = FaultPlan { seed: 9, duplicate_prob: 0.4, ..FaultPlan::none() };
+    run_reliable(plan, 50); // assertions inside check exactly-once answers
+}
+
+#[test]
+fn jitter_plus_loss_still_completes() {
+    let plan = FaultPlan {
+        seed: 17,
+        drop_prob: 0.15,
+        duplicate_prob: 0.1,
+        jitter_max_ns: 500_000.0,
+        crash_at_ns: Vec::new(),
+    };
+    run_reliable(plan, 50);
+}
+
+#[test]
+fn lossy_runs_are_reproducible() {
+    let a = run_reliable(FaultPlan::with_drops(7, 0.25), 30);
+    let b = run_reliable(FaultPlan::with_drops(7, 0.25), 30);
+    assert_eq!(a, b, "same seed must mean same retransmission schedule");
+}
+
+// ---------------------------------------------------------------------
+// Crash failover: when a slave dies, the master re-routes its batches to
+// the surviving replica after repeated timeouts.
+// ---------------------------------------------------------------------
+
+struct FailoverMaster {
+    inner: ReliableMaster,
+    /// After this many timeouts for one batch, switch that batch's slave.
+    failover_after: u32,
+    timeouts_seen: Vec<u32>,
+    reroutes: u64,
+}
+
+impl FailoverMaster {
+    fn route(&self, batch: u64) -> NodeId {
+        let primary = self.inner.slave_for(batch);
+        if self.timeouts_seen[batch as usize] >= self.failover_after {
+            // Deterministic secondary: the other slave.
+            let idx = self.inner.slaves.iter().position(|&s| s == primary).expect("routed");
+            self.inner.slaves[(idx + 1) % self.inner.slaves.len()]
+        } else {
+            primary
+        }
+    }
+
+    fn send(&mut self, batch: u64, ctx: &mut Ctx<'_, RMsg>) {
+        let keys = self.inner.batches[batch as usize].clone();
+        let to = self.route(batch);
+        ctx.send(to, (keys.len() * 4) as u64, RMsg::Batch(batch, keys));
+        ctx.schedule(self.inner.timeout_ns, RMsg::Timeout(batch));
+    }
+}
+
+impl Actor<RMsg> for FailoverMaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RMsg>) {
+        for b in 0..self.inner.batches.len() as u64 {
+            self.send(b, ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RMsg>, from: NodeId, bytes: u64, msg: RMsg) {
+        self.inner.on_message(ctx, from, bytes, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, RMsg>, msg: RMsg) {
+        let RMsg::Timeout(batch) = msg else {
+            unreachable!();
+        };
+        if self.inner.answered[batch as usize].is_none() {
+            self.timeouts_seen[batch as usize] += 1;
+            if self.timeouts_seen[batch as usize] == self.failover_after {
+                self.reroutes += 1;
+            }
+            self.send(batch, ctx);
+        }
+    }
+}
+
+#[test]
+fn crashed_slave_fails_over_to_replica() {
+    let index = keys(10_000);
+    let bs = batches(40, 64);
+    let n_batches = bs.len();
+    let mut master = FailoverMaster {
+        inner: ReliableMaster::new(vec![1, 2], bs.clone(), 1_000_000.0),
+        failover_after: 2,
+        timeouts_seen: vec![0; n_batches],
+        reroutes: 0,
+    };
+    let mut s1 = RankSlave { keys: index.clone(), master: 0 };
+    let mut s2 = RankSlave { keys: index.clone(), master: 0 };
+    // Slave 1 dies almost immediately; every even batch must fail over.
+    let sim = SimCluster::new(NetworkModel::myrinet())
+        .with_faults(FaultPlan::none().crash(1, 50_000.0));
+    let report = sim.run::<RMsg>(&mut [&mut master, &mut s1, &mut s2]);
+
+    for (b, got) in master.inner.answered.iter().enumerate() {
+        let got = got.as_ref().unwrap_or_else(|| panic!("batch {b} lost to the crash"));
+        assert_eq!(got, &expected_ranks(&index, &bs[b]), "batch {b} wrong after failover");
+    }
+    assert!(master.reroutes > 0, "the crash must have forced failovers");
+    assert!(report.nodes[1].discarded > 0, "the dead slave must have discarded work");
+}

@@ -1,0 +1,81 @@
+//! Stress and edge tests for the native thread-backed
+//! [`dini::DistributedIndex`].
+
+use dini::index::traits::oracle_rank;
+use dini::workload::{gen_search_keys, gen_sorted_unique_keys};
+use dini::{DistributedIndex, NativeConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn cfg(n: usize) -> NativeConfig {
+    NativeConfig { n_slaves: n, pin_cores: false, channel_capacity: 4, ..NativeConfig::new(1) }
+}
+
+#[test]
+fn large_index_many_batches() {
+    let keys = gen_sorted_unique_keys(500_000, 1);
+    let mut idx = DistributedIndex::build(&keys, cfg(8));
+    for round in 0..10u64 {
+        let q = gen_search_keys(10_000, round + 50);
+        let ranks = idx.lookup_batch(&q);
+        for (i, &k) in q.iter().enumerate().step_by(997) {
+            assert_eq!(ranks[i], oracle_rank(&keys, k));
+        }
+    }
+}
+
+#[test]
+fn many_small_indices_lifecycle() {
+    // Building and dropping many indices must not leak threads or hang.
+    for n_slaves in 1..=8 {
+        let keys = gen_sorted_unique_keys(1_000, n_slaves as u64);
+        let mut idx = DistributedIndex::build(&keys, cfg(n_slaves));
+        assert_eq!(idx.lookup_batch(&[0, u32::MAX]).len(), 2);
+    }
+}
+
+#[test]
+fn skewed_batch_hits_one_partition() {
+    // Every query lands in one partition: the scatter must not deadlock on
+    // channel capacity.
+    let keys: Vec<u32> = (0..100_000).map(|i| i * 10).collect();
+    let mut idx = DistributedIndex::build(&keys, cfg(4));
+    let q: Vec<u32> = (0..50_000).map(|i| i % 100).collect(); // all partition 0
+    let ranks = idx.lookup_batch(&q);
+    for (i, &k) in q.iter().enumerate() {
+        assert_eq!(ranks[i], oracle_rank(&keys, k), "query {k}");
+    }
+}
+
+#[test]
+fn interleaved_single_and_batch_lookups() {
+    let keys = gen_sorted_unique_keys(50_000, 3);
+    let mut idx = DistributedIndex::build(&keys, cfg(5));
+    for i in 0..100u32 {
+        let single = idx.lookup(i * 1_000_003);
+        let batch = idx.lookup_batch(&[i * 1_000_003, 7, u32::MAX]);
+        assert_eq!(single, batch[0]);
+        assert_eq!(batch[2], keys.len() as u32);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn native_matches_oracle(
+        raw_keys in vec(any::<u32>(), 16..2000),
+        queries in vec(any::<u32>(), 1..300),
+        n_slaves in 1usize..9,
+    ) {
+        let mut keys = raw_keys;
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assume!(keys.len() >= n_slaves);
+        let mut idx = DistributedIndex::build(&keys, cfg(n_slaves));
+        let ranks = idx.lookup_batch(&queries);
+        for (i, q) in queries.iter().enumerate() {
+            prop_assert_eq!(ranks[i], oracle_rank(&keys, *q));
+        }
+    }
+}

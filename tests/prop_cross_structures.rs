@@ -1,0 +1,121 @@
+//! Property-based cross-structure equivalence: every index structure in
+//! the workspace computes the same rank function as the
+//! `partition_point` oracle, over arbitrary key sets and queries.
+
+use dini::cache_sim::{AddressSpace, NullMemory};
+use dini::index::traits::oracle_rank;
+use dini::index::{BufferedLookup, CsbTree, PartitionedIndex, PtrNaryTree, RankIndex, SortedArray};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn sorted_unique(keys: Vec<u32>) -> Vec<u32> {
+    let mut k = keys;
+    k.sort_unstable();
+    k.dedup();
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sorted_array_matches_oracle(
+        keys in vec(any::<u32>(), 1..3000),
+        queries in vec(any::<u32>(), 1..200),
+    ) {
+        let keys = sorted_unique(keys);
+        let arr = SortedArray::new(keys.clone(), 4096, 0.0);
+        for q in queries {
+            prop_assert_eq!(arr.rank(q, &mut NullMemory).0, oracle_rank(&keys, q));
+        }
+    }
+
+    #[test]
+    fn csb_tree_matches_oracle_any_fanout(
+        keys in vec(any::<u32>(), 1..3000),
+        queries in vec(any::<u32>(), 1..200),
+        k in 1u32..16,
+        leaf_entries in 1u32..16,
+    ) {
+        let keys = sorted_unique(keys);
+        let tree = CsbTree::with_leaf_entries(&keys, k, leaf_entries, 64, 1 << 20, 0.0);
+        for q in queries {
+            prop_assert_eq!(tree.rank(q, &mut NullMemory).0, oracle_rank(&keys, q));
+        }
+    }
+
+    #[test]
+    fn ptr_tree_matches_oracle(
+        keys in vec(any::<u32>(), 1..2000),
+        queries in vec(any::<u32>(), 1..200),
+    ) {
+        let keys = sorted_unique(keys);
+        let tree = PtrNaryTree::new(&keys, 32, 1 << 20, 0.0);
+        for q in queries {
+            prop_assert_eq!(tree.rank(q, &mut NullMemory).0, oracle_rank(&keys, q));
+        }
+    }
+
+    #[test]
+    fn buffered_lookup_matches_oracle(
+        keys in vec(any::<u32>(), 50..4000),
+        queries in vec(any::<u32>(), 1..300),
+        capacity_kb in 1u64..64,
+    ) {
+        let keys = sorted_unique(keys);
+        let tree = CsbTree::with_leaf_entries(&keys, 7, 4, 32, 1 << 20, 0.0);
+        let mut space = AddressSpace::new();
+        let mut bl = BufferedLookup::for_cache(
+            &tree, capacity_kb * 1024, 0.5, &mut space, queries.len());
+        let mut out = Vec::new();
+        bl.rank_batch(&tree, &queries, &mut out, &mut NullMemory);
+        for (i, q) in queries.iter().enumerate() {
+            prop_assert_eq!(out[i], oracle_rank(&keys, *q));
+        }
+    }
+
+    #[test]
+    fn partitioned_matches_flat(
+        keys in vec(any::<u32>(), 30..3000),
+        queries in vec(any::<u32>(), 1..200),
+        parts in 1usize..16,
+    ) {
+        let keys = sorted_unique(keys);
+        prop_assume!(keys.len() >= parts);
+        let mut space = AddressSpace::new();
+        let delim_base = space.alloc_lines(64);
+        let pi = PartitionedIndex::build(&keys, parts, delim_base, 0.0, |slice, _| {
+            let base = space.alloc_lines(slice.len() as u64 * 4);
+            SortedArray::new(slice.to_vec(), base, 0.0)
+        });
+        for q in queries {
+            prop_assert_eq!(pi.rank(q, &mut NullMemory).0, oracle_rank(&keys, q));
+        }
+    }
+
+    #[test]
+    fn rank_is_monotone_in_key(
+        keys in vec(any::<u32>(), 1..2000),
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        let keys = sorted_unique(keys);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let tree = CsbTree::with_leaf_entries(&keys, 7, 4, 32, 0, 0.0);
+        prop_assert!(tree.rank(lo, &mut NullMemory).0 <= tree.rank(hi, &mut NullMemory).0);
+    }
+
+    #[test]
+    fn rank_of_indexed_key_counts_it(
+        keys in vec(any::<u32>(), 1..1000),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let keys = sorted_unique(keys);
+        let key = keys[pick.index(keys.len())];
+        let tree = CsbTree::with_leaf_entries(&keys, 7, 4, 32, 0, 0.0);
+        let r = tree.rank(key, &mut NullMemory).0;
+        // The key itself is counted, and it is the r-th smallest.
+        prop_assert!(r >= 1);
+        prop_assert_eq!(keys[(r - 1) as usize], key);
+    }
+}

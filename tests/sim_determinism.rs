@@ -1,0 +1,47 @@
+//! Determinism: identical configurations must produce bit-identical
+//! simulated results — the property that makes every figure in
+//! EXPERIMENTS.md exactly regenerable.
+
+use dini::core::{run_method, standard_workload, ExperimentSetup, MethodId};
+
+fn run_twice(m: MethodId) -> (dini::RunStats, dini::RunStats) {
+    let setup = ExperimentSetup {
+        n_index_keys: 40_000,
+        batch_bytes: 16 * 1024,
+        ..ExperimentSetup::paper()
+    };
+    let (idx, q) = standard_workload(&setup, 20_000);
+    (run_method(m, &setup, &idx, &q), run_method(m, &setup, &idx, &q))
+}
+
+#[test]
+fn all_methods_are_bit_deterministic() {
+    for m in MethodId::ALL {
+        let (a, b) = run_twice(m);
+        assert_eq!(a.search_time_s.to_bits(), b.search_time_s.to_bits(), "{m} time");
+        assert_eq!(a.per_key_ns.to_bits(), b.per_key_ns.to_bits(), "{m} per-key");
+        assert_eq!(a.slave_idle.to_bits(), b.slave_idle.to_bits(), "{m} idle");
+        assert_eq!(a.msgs, b.msgs, "{m} msgs");
+        assert_eq!(a.net_bytes, b.net_bytes, "{m} bytes");
+        assert_eq!(a.mem.memory_accesses, b.mem.memory_accesses, "{m} misses");
+        assert_eq!(a.rank_checksum, b.rank_checksum, "{m} checksum");
+    }
+}
+
+#[test]
+fn different_seeds_change_results() {
+    // Guards against accidentally ignoring the seed (a classic way for
+    // "deterministic" tests to go vacuous).
+    use dini::workload::{gen_search_keys, gen_sorted_unique_keys};
+    let setup = ExperimentSetup {
+        n_index_keys: 20_000,
+        batch_bytes: 8 * 1024,
+        ..ExperimentSetup::paper()
+    };
+    let idx = gen_sorted_unique_keys(setup.n_index_keys, 1);
+    let q1 = gen_search_keys(10_000, 2);
+    let q2 = gen_search_keys(10_000, 3);
+    let a = run_method(MethodId::C3, &setup, &idx, &q1);
+    let b = run_method(MethodId::C3, &setup, &idx, &q2);
+    assert_ne!(a.rank_checksum, b.rank_checksum);
+}
