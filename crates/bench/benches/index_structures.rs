@@ -9,7 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use dini_cache_sim::{AddressSpace, NullMemory};
-use dini_index::{BufferedLookup, CsbTree, DeltaArray, HashIndex, PtrNaryTree, RankIndex, SortedArray};
+use dini_index::{
+    BufferedLookup, CsbTree, DeltaArray, HashIndex, PtrNaryTree, RankIndex, SortedArray,
+};
 use dini_workload::{gen_search_keys, gen_sorted_unique_keys};
 use std::hint::black_box;
 
@@ -70,9 +72,8 @@ fn bench_single_lookup(c: &mut Criterion) {
 fn bench_extended_structures(c: &mut Criterion) {
     let (keys, queries) = inputs();
     // Present-key workload: hash indices can only answer these.
-    let present: Vec<u32> = (0..N_QUERIES)
-        .map(|i| keys[i.wrapping_mul(2_654_435_761) % keys.len()])
-        .collect();
+    let present: Vec<u32> =
+        (0..N_QUERIES).map(|i| keys[i.wrapping_mul(2_654_435_761) % keys.len()]).collect();
     let hash = HashIndex::new(&keys, 1 << 30, 0.0);
     let arr = SortedArray::new(keys.clone(), 4096, 0.0);
     let delta = {
@@ -90,9 +91,8 @@ fn bench_extended_structures(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for &q in &present {
-                acc = acc.wrapping_add(
-                    hash.get(black_box(q), &mut NullMemory).0.unwrap_or(0) as u64
-                );
+                acc =
+                    acc.wrapping_add(hash.get(black_box(q), &mut NullMemory).0.unwrap_or(0) as u64);
             }
             acc
         })

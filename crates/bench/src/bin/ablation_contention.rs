@@ -44,8 +44,7 @@ fn main() {
                 &index_keys,
                 &search_keys,
             );
-            let slowdown =
-                (polluted.search_time_s / clean.search_time_s - 1.0) * 100.0;
+            let slowdown = (polluted.search_time_s / clean.search_time_s - 1.0) * 100.0;
             rows.push(vec![
                 fmt_bytes(batch),
                 method.name().to_owned(),
@@ -65,5 +64,7 @@ fn main() {
         "{}",
         render_table(&["batch", "method", "with pollution", "without", "slowdown"], &rows)
     );
-    eprintln!("\n(the paper's dip: contention begins once 2 x batch + resident structure > 512 KB L2)");
+    eprintln!(
+        "\n(the paper's dip: contention begins once 2 x batch + resident structure > 512 KB L2)"
+    );
 }

@@ -23,8 +23,14 @@ fn main() {
     let keys = gen_sorted_unique_keys(n_index, 0xCB);
     let queries = gen_search_keys(n_queries, 0xCC);
 
-    let csb =
-        CsbTree::with_leaf_entries(&keys, p.keys_per_node(), p.leaf_entries_per_line(), 32, 1 << 24, p.comp_cost_node_ns);
+    let csb = CsbTree::with_leaf_entries(
+        &keys,
+        p.keys_per_node(),
+        p.leaf_entries_per_line(),
+        32,
+        1 << 24,
+        p.comp_cost_node_ns,
+    );
     let ptr = PtrNaryTree::new(&keys, 32, 1 << 28, p.comp_cost_node_ns);
 
     eprintln!(
@@ -42,7 +48,8 @@ fn main() {
             "CSB+ (1 child ptr)",
             csb.n_levels(),
             csb.footprint_bytes(),
-            Box::new(|k: u32, m: &mut SimMemory| csb.rank(k, m).1) as Box<dyn Fn(u32, &mut SimMemory) -> f64>,
+            Box::new(|k: u32, m: &mut SimMemory| csb.rank(k, m).1)
+                as Box<dyn Fn(u32, &mut SimMemory) -> f64>,
         ),
         (
             "ptr n-ary (k ptrs)",

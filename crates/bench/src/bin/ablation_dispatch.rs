@@ -53,10 +53,7 @@ fn main() {
         }
         emit("C-3 (measured, honest)", c3.search_time_s, c3.slave_idle, c3.msgs);
     }
-    eprint!(
-        "{}",
-        render_table(&["configuration", "batch", "time", "replica idle", "msgs"], &rows)
-    );
+    eprint!("{}", render_table(&["configuration", "batch", "time", "replica idle", "msgs"], &rows));
     eprintln!(
         "\n(the gap between each \"ideal\" row and its dispatched rows is exactly \
          the load-balancing + networking cost the paper assumed to be zero; \

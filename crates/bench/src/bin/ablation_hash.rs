@@ -17,6 +17,9 @@ use dini_cache_sim::{MachineParams, SimMemory};
 use dini_core::{standard_workload, ExperimentSetup};
 use dini_index::{CsbTree, HashIndex, RankIndex, SortedArray};
 
+/// One structure's probe routine: key in, simulated nanoseconds out.
+type ProbeFn = Box<dyn FnMut(u32, &mut SimMemory) -> f64>;
+
 fn main() {
     let n_search = (search_key_count() / 8).max(1 << 17);
     let setup = ExperimentSetup::paper();
@@ -42,7 +45,7 @@ fn main() {
     let mut rows = Vec::new();
     println!("structure,footprint_bytes,present_ns_per_key,l2_misses_per_key");
 
-    let mut run = |name: &str, footprint: u64, mut f: Box<dyn FnMut(u32, &mut SimMemory) -> f64>| {
+    let mut run = |name: &str, footprint: u64, mut f: ProbeFn| {
         let mut mem = SimMemory::new(MachineParams::pentium_iii());
         // Warm pass, then measure steady state.
         for &k in present.iter().take(n_search / 4) {
@@ -79,10 +82,8 @@ fn main() {
 
     // The capability gap: uniform routing queries a hash cannot answer.
     let mut null = dini_cache_sim::NullMemory;
-    let unanswerable = uniform_queries
-        .iter()
-        .filter(|&&q| hash.get(q, &mut null).0.is_none())
-        .count();
+    let unanswerable =
+        uniform_queries.iter().filter(|&&q| hash.get(q, &mut null).0.is_none()).count();
     let frac = unanswerable as f64 / uniform_queries.len() as f64;
 
     eprint!(

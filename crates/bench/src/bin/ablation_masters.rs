@@ -22,10 +22,7 @@ fn main() {
     };
     let (index_keys, search_keys) = standard_workload(&base, n_search);
 
-    eprintln!(
-        "Multi-master ablation — {} slaves, {n_search} keys, 64 KB batches\n",
-        base.n_slaves
-    );
+    eprintln!("Multi-master ablation — {} slaves, {n_search} keys, 64 KB batches\n", base.n_slaves);
     println!("n_masters,search_time_s,speedup_vs_1,master_idle,slave_idle");
     let mut rows = Vec::new();
     let mut t1 = 0.0f64;
@@ -50,10 +47,7 @@ fn main() {
     }
     eprint!(
         "{}",
-        render_table(
-            &["masters", "time", "speedup", "master idle", "slave idle"],
-            &rows
-        )
+        render_table(&["masters", "time", "speedup", "master idle", "slave idle"], &rows)
     );
     eprintln!("\n(adding masters helps until the slaves or the wire become the bound)");
 }

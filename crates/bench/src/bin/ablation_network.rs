@@ -19,22 +19,19 @@ fn main() {
     let n_search = search_key_count();
     let base = ExperimentSetup::paper();
     let (index_keys, search_keys) = standard_workload(&base, n_search);
-    let a_time =
-        run_method(MethodId::A, &base, &index_keys, &search_keys).search_time_s;
+    let a_time = run_method(MethodId::A, &base, &index_keys, &search_keys).search_time_s;
 
-    let nets = [
-        NetworkModel::myrinet(),
-        NetworkModel::gigabit_ethernet(),
-        NetworkModel::fast_ethernet(),
-    ];
+    let nets =
+        [NetworkModel::myrinet(), NetworkModel::gigabit_ethernet(), NetworkModel::fast_ethernet()];
 
-    eprintln!("Network ablation — Method C-3, {n_search} keys (Method A reference: {a_time:.4} s)\n");
+    eprintln!(
+        "Network ablation — Method C-3, {n_search} keys (Method A reference: {a_time:.4} s)\n"
+    );
     println!("network,batch_bytes,search_time_s,beats_a");
     let mut rows = Vec::new();
     for net in nets {
         for &batch in figure3_batches().iter().take(8) {
-            let setup =
-                ExperimentSetup { network: net, batch_bytes: batch, ..base.clone() };
+            let setup = ExperimentSetup { network: net, batch_bytes: batch, ..base.clone() };
             let s = run_method(MethodId::C3, &setup, &index_keys, &search_keys);
             let beats = s.search_time_s < a_time;
             rows.push(vec![

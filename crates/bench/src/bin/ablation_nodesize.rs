@@ -60,10 +60,7 @@ fn main() {
             for &q in &queries {
                 ns += tree.rank(q, &mut mem).1;
             }
-            (
-                mem.stats().memory_accesses as f64 / queries.len() as f64,
-                ns / queries.len() as f64,
-            )
+            (mem.stats().memory_accesses as f64 / queries.len() as f64, ns / queries.len() as f64)
         };
         let (plain_mpk, plain_ns) = measure(false);
         let (pf_mpk, pf_ns) = if node_lines == 1 { (plain_mpk, plain_ns) } else { measure(true) };
@@ -86,7 +83,15 @@ fn main() {
     eprint!(
         "{}",
         render_table(
-            &["node (lines)", "levels", "tree MB", "misses/key", "w/ prefetch", "ns/key", "w/ prefetch"],
+            &[
+                "node (lines)",
+                "levels",
+                "tree MB",
+                "misses/key",
+                "w/ prefetch",
+                "ns/key",
+                "w/ prefetch"
+            ],
             &rows
         )
     );

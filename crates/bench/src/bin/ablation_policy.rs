@@ -53,5 +53,7 @@ fn main() {
         "{}",
         render_table(&["policy", "A time", "C-3 time", "C-3 speedup", "A L2 miss/key"], &rows)
     );
-    eprintln!("\n(the C-3 advantage is robust to the eviction policy — its working set simply fits)");
+    eprintln!(
+        "\n(the C-3 advantage is robust to the eviction policy — its working set simply fits)"
+    );
 }

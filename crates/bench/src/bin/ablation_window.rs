@@ -31,21 +31,15 @@ fn main() {
     for &batch in &figure3_batches() {
         let mut row = vec![fmt_bytes(batch)];
         for (name, pool) in pools {
-            let setup = ExperimentSetup {
-                batch_bytes: batch,
-                max_outstanding_bytes: pool,
-                ..base.clone()
-            };
+            let setup =
+                ExperimentSetup { batch_bytes: batch, max_outstanding_bytes: pool, ..base.clone() };
             let s = run_method(MethodId::C3, &setup, &index_keys, &search_keys);
             row.push(format!("{:.4}", s.search_time_s));
             println!("{batch},{},{:.5},{}", name.replace(' ', "_"), s.search_time_s, s.msgs);
         }
         rows.push(row);
     }
-    eprint!(
-        "{}",
-        render_table(&["batch", "strict (s)", "1 MB pool (s)", "4 MB pool (s)"], &rows)
-    );
+    eprint!("{}", render_table(&["batch", "strict (s)", "1 MB pool (s)", "4 MB pool (s)"], &rows));
     eprintln!(
         "\n(strict batching blows up once nominal batch ≳ per-slave share; \
          a bounded pool keeps the curve flat — the regime the paper measured)"

@@ -26,8 +26,7 @@ fn main() {
         let setup = base.clone().with_batch_bytes(batch);
         for method in [MethodId::B, MethodId::C3] {
             let s = run_method(method, &setup, &index_keys, &search_keys);
-            let (mean_us, p99_us) =
-                (s.batch_rtt_mean_ns / 1000.0, s.batch_rtt_p99_ns / 1000.0);
+            let (mean_us, p99_us) = (s.batch_rtt_mean_ns / 1000.0, s.batch_rtt_p99_ns / 1000.0);
             rows.push(vec![
                 method.to_string(),
                 fmt_bytes(batch),

@@ -73,16 +73,8 @@ fn main() {
                 format!("{:.1} ns", h.miss_penalty_ns),
                 "110 ns (B2)".into(),
             ],
-            vec![
-                "In-cache load latency".into(),
-                format!("{:.1} ns", h.hit_latency_ns),
-                "-".into(),
-            ],
-            vec![
-                "Comp Cost Node".into(),
-                format!("{:.1} ns", h.comp_cost_node_ns),
-                "30 ns".into(),
-            ],
+            vec!["In-cache load latency".into(), format!("{:.1} ns", h.hit_latency_ns), "-".into()],
+            vec!["Comp Cost Node".into(), format!("{:.1} ns", h.comp_cost_node_ns), "30 ns".into()],
         ];
         eprintln!();
         eprint!("{}", render_table(&["host measurement", "this machine", "paper (PIII)"], &rows));
@@ -108,11 +100,7 @@ fn main() {
         eprint!("{}", render_table(&["working set", "latency"], &rows));
         eprintln!(
             "detected capacity knees (≈ cache sizes): {}",
-            knees
-                .iter()
-                .map(|&b| dini_bench::fmt_bytes(b as usize))
-                .collect::<Vec<_>>()
-                .join(", ")
+            knees.iter().map(|&b| dini_bench::fmt_bytes(b as usize)).collect::<Vec<_>>().join(", ")
         );
         eprintln!("(the paper's machine would show knees at 16 KB and 512 KB)");
     }

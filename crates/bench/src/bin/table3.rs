@@ -29,7 +29,9 @@ fn main() {
 
     let (index_keys, search_keys) = standard_workload(&setup, n_search);
     let mut rows = Vec::new();
-    let mut csv = vec!["method,predicted_s,measured_s,error_pct,paper_predicted_s,paper_measured_s".to_owned()];
+    let mut csv = vec![
+        "method,predicted_s,measured_s,error_pct,paper_predicted_s,paper_measured_s".to_owned(),
+    ];
     let paper_vals = [
         (MethodId::A, pa, 0.45, 0.39),
         (MethodId::B, pb, 0.38, 0.36),

@@ -50,19 +50,13 @@ pub struct CacheHierarchy {
 impl CacheHierarchy {
     /// Build an empty two-level hierarchy from per-level geometry.
     pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
-        assert!(
-            l1.line_bytes <= l2.line_bytes,
-            "L1 line must not exceed L2 line"
-        );
+        assert!(l1.line_bytes <= l2.line_bytes, "L1 line must not exceed L2 line");
         Self { l1: SetAssocCache::new(l1), victim: None, l2: SetAssocCache::new(l2), l3: None }
     }
 
     /// Add an L3 behind the L2 (inclusive of both).
     pub fn with_l3(mut self, l3: CacheConfig) -> Self {
-        assert!(
-            self.l2.config().line_bytes <= l3.line_bytes,
-            "L2 line must not exceed L3 line"
-        );
+        assert!(self.l2.config().line_bytes <= l3.line_bytes, "L2 line must not exceed L3 line");
         self.l3 = Some(SetAssocCache::new(l3));
         self
     }

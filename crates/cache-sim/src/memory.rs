@@ -240,15 +240,9 @@ impl SimMemory {
             Some(m) => m.translate(addr),
             None => addr,
         };
-        let predicted = self
-            .prefetcher
-            .adaptive_depth()
-            .and_then(|_| self.stride.observe(phys));
-        let level = if write {
-            self.hierarchy.access_write(phys)
-        } else {
-            self.hierarchy.access(phys)
-        };
+        let predicted = self.prefetcher.adaptive_depth().and_then(|_| self.stride.observe(phys));
+        let level =
+            if write { self.hierarchy.access_write(phys) } else { self.hierarchy.access(phys) };
         match level {
             HitLevel::L1 => {
                 self.stats.l1.hits += 1;
@@ -282,9 +276,7 @@ impl SimMemory {
                     self.hierarchy.install(line);
                     self.stats.prefetched_lines += 1;
                 }
-                if let (Some(depth), Some(stride)) =
-                    (self.prefetcher.adaptive_depth(), predicted)
-                {
+                if let (Some(depth), Some(stride)) = (self.prefetcher.adaptive_depth(), predicted) {
                     for k in 1..=depth as i64 {
                         let target = phys as i64 + k * stride;
                         if target >= 0 {
@@ -433,7 +425,7 @@ mod tests {
     fn stream_pollutes_cache() {
         let mut m = mem();
         m.touch(0, 4, AccessKind::Read); // line 0 resident
-        // Stream 512 KB over a distinct region mapping over all L2 sets.
+                                         // Stream 512 KB over a distinct region mapping over all L2 sets.
         m.touch(1 << 20, 512 * 1024, AccessKind::StreamRead);
         // Line 0 should have been evicted by the stream.
         let ns = m.touch(0, 4, AccessKind::Read);
@@ -495,10 +487,7 @@ mod tests {
         assert_eq!(m.stats().writebacks, 1);
         let wb_ns = line as f64 / w1;
         // One of the eviction fills paid B2 + the write-back.
-        assert!(
-            evict_cost > 8.0 * 110.0 + wb_ns - 1e-6,
-            "write-back not billed: {evict_cost}"
-        );
+        assert!(evict_cost > 8.0 * 110.0 + wb_ns - 1e-6, "write-back not billed: {evict_cost}");
     }
 
     #[test]
@@ -598,8 +587,7 @@ mod tests {
         for (i, page) in (0..stream_bytes as u64).step_by(4096).enumerate() {
             mapper.assign(stream_base + page, 4096, 14 + (i % 2) as u32);
         }
-        let mut colored =
-            SimMemory::new(MachineParams::pentium_iii()).with_page_mapper(mapper);
+        let mut colored = SimMemory::new(MachineParams::pentium_iii()).with_page_mapper(mapper);
         let kept_colored = resident_after(&mut colored);
 
         assert!(

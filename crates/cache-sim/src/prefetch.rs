@@ -115,10 +115,7 @@ mod tests {
 
     #[test]
     fn adaptive_emits_nothing_statelessly() {
-        assert_eq!(
-            Prefetcher::AdaptiveStride { depth: 4 }.lines_after_miss(64, 32).count(),
-            0
-        );
+        assert_eq!(Prefetcher::AdaptiveStride { depth: 4 }.lines_after_miss(64, 32).count(), 0);
         assert_eq!(Prefetcher::AdaptiveStride { depth: 4 }.adaptive_depth(), Some(4));
         assert_eq!(Prefetcher::NextLine.adaptive_depth(), None);
     }

@@ -115,8 +115,7 @@ pub(crate) struct MsgFate {
 }
 
 impl MsgFate {
-    pub(crate) const CLEAN: MsgFate =
-        MsgFate { dropped: false, jitter_ns: 0.0, duplicated: false };
+    pub(crate) const CLEAN: MsgFate = MsgFate { dropped: false, jitter_ns: 0.0, duplicated: false };
 }
 
 impl FaultState {

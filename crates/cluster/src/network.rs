@@ -128,7 +128,9 @@ mod tests {
     #[test]
     fn gige_needs_larger_batches() {
         let g = NetworkModel::gigabit_ethernet();
-        assert!(g.latency_breakeven_bytes() > 10 * NetworkModel::myrinet().latency_breakeven_bytes());
+        assert!(
+            g.latency_breakeven_bytes() > 10 * NetworkModel::myrinet().latency_breakeven_bytes()
+        );
     }
 
     #[test]

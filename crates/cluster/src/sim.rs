@@ -233,10 +233,7 @@ impl<P> PartialOrd for Event<P> {
 impl<P> Ord for Event<P> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed for a min-heap via BinaryHeap (max-heap).
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -381,9 +378,12 @@ impl SimCluster {
             makespan = makespan.max(ev.time);
             match ev.kind {
                 EventKind::Deliver { to, from, bytes, payload } => {
-                    nodes[to]
-                        .queue
-                        .push_back(QueueItem::Msg { arrival: ev.time, from, bytes, payload });
+                    nodes[to].queue.push_back(QueueItem::Msg {
+                        arrival: ev.time,
+                        from,
+                        bytes,
+                        payload,
+                    });
                     Self::ensure_handler(&mut nodes[to], to, ev.time, &mut shared);
                 }
                 EventKind::TimerFire { node, payload } => {
@@ -476,32 +476,30 @@ impl SimCluster {
 
     /// Schedule the node's next handler if work is queued, else clear the
     /// scheduled flag.
-    fn chain_or_clear<P>(
-        st: &mut NodeState<P>,
-        node: NodeId,
-        now: f64,
-        shared: &mut RunShared<P>,
-    ) {
+    fn chain_or_clear<P>(st: &mut NodeState<P>, node: NodeId, now: f64, shared: &mut RunShared<P>) {
         if st.queue.front().is_some() {
             let t = now.max(st.free_at);
             shared.seq += 1;
-            shared.heap.push(Event { time: t, seq: shared.seq, kind: EventKind::BeginHandler { node } });
+            shared.heap.push(Event {
+                time: t,
+                seq: shared.seq,
+                kind: EventKind::BeginHandler { node },
+            });
         } else {
             st.handler_scheduled = false;
         }
     }
 
-    fn ensure_handler<P>(
-        st: &mut NodeState<P>,
-        node: NodeId,
-        now: f64,
-        shared: &mut RunShared<P>,
-    ) {
+    fn ensure_handler<P>(st: &mut NodeState<P>, node: NodeId, now: f64, shared: &mut RunShared<P>) {
         if !st.handler_scheduled {
             st.handler_scheduled = true;
             let t = now.max(st.free_at);
             shared.seq += 1;
-            shared.heap.push(Event { time: t, seq: shared.seq, kind: EventKind::BeginHandler { node } });
+            shared.heap.push(Event {
+                time: t,
+                seq: shared.seq,
+                kind: EventKind::BeginHandler { node },
+            });
         }
     }
 
@@ -578,17 +576,18 @@ impl SimCluster {
             shared.heap.push(Event {
                 time: arrival,
                 seq: shared.seq,
-                kind: EventKind::Deliver { to: m.to, from: sender, bytes: m.bytes, payload: m.payload },
+                kind: EventKind::Deliver {
+                    to: m.to,
+                    from: sender,
+                    bytes: m.bytes,
+                    payload: m.payload,
+                },
             });
 
             if let Some(payload) = payload_dup {
                 // The duplicate trails the original by one extra jitter
                 // window (or immediately on a jitter-free plan).
-                let extra = shared
-                    .faults
-                    .as_ref()
-                    .map(|f| f.jitter_max_ns())
-                    .unwrap_or(0.0);
+                let extra = shared.faults.as_ref().map(|f| f.jitter_max_ns()).unwrap_or(0.0);
                 let dup_ingress = (arrival + extra).max(nodes[m.to].rx_link_free);
                 let dup_arrival = dup_ingress + transfer;
                 nodes[m.to].rx_link_free = dup_arrival;
@@ -842,12 +841,14 @@ mod tests {
     fn drops_reduce_deliveries_and_are_counted() {
         let mut src = Src { to: 1, n: 1000, bytes: 10, cpu_per_msg: 0.0 };
         let mut sink = Sink { cpu_per_msg: 0.0, got: Vec::new(), max_pending: 0 };
-        let sim = SimCluster::new(net_zero_overhead())
-            .with_faults(FaultPlan::with_drops(11, 0.5));
+        let sim = SimCluster::new(net_zero_overhead()).with_faults(FaultPlan::with_drops(11, 0.5));
         let report = sim.run::<u64>(&mut [&mut src, &mut sink]);
         assert_eq!(report.total_msgs + report.total_dropped, 1000);
-        assert!(report.total_dropped > 300 && report.total_dropped < 700,
-            "dropped {}", report.total_dropped);
+        assert!(
+            report.total_dropped > 300 && report.total_dropped < 700,
+            "dropped {}",
+            report.total_dropped
+        );
         assert_eq!(sink.got.len() as u64, report.total_msgs);
     }
 
@@ -858,8 +859,11 @@ mod tests {
         let plan = FaultPlan { duplicate_prob: 0.5, seed: 3, ..FaultPlan::none() };
         let sim = SimCluster::new(net_zero_overhead()).with_faults(plan);
         let report = sim.run::<u64>(&mut [&mut src, &mut sink]);
-        assert!(report.total_msgs > 600 && report.total_msgs < 900,
-            "delivered {}", report.total_msgs);
+        assert!(
+            report.total_msgs > 600 && report.total_msgs < 900,
+            "delivered {}",
+            report.total_msgs
+        );
         assert_eq!(sink.got.len() as u64, report.total_msgs);
     }
 
@@ -869,8 +873,8 @@ mod tests {
         // roughly the first five messages process and the rest discard.
         let mut src = Src { to: 1, n: 50, bytes: 10, cpu_per_msg: 1000.0 };
         let mut sink = Sink { cpu_per_msg: 0.0, got: Vec::new(), max_pending: 0 };
-        let sim = SimCluster::new(net_zero_overhead())
-            .with_faults(FaultPlan::none().crash(1, 5_000.0));
+        let sim =
+            SimCluster::new(net_zero_overhead()).with_faults(FaultPlan::none().crash(1, 5_000.0));
         let report = sim.run::<u64>(&mut [&mut src, &mut sink]);
         assert!(sink.got.len() < 10, "processed {}", sink.got.len());
         assert!(report.nodes[1].discarded > 40);
@@ -940,9 +944,8 @@ mod tests {
     fn wide_backplane_changes_little() {
         let mut src = Src { to: 1, n: 20, bytes: 1000, cpu_per_msg: 0.0 };
         let mut sink = Sink { cpu_per_msg: 0.0, got: Vec::new(), max_pending: 0 };
-        let base = SimCluster::new(net_zero_overhead())
-            .run::<u64>(&mut [&mut src, &mut sink])
-            .makespan_ns;
+        let base =
+            SimCluster::new(net_zero_overhead()).run::<u64>(&mut [&mut src, &mut sink]).makespan_ns;
         let mut src2 = Src { to: 1, n: 20, bytes: 1000, cpu_per_msg: 0.0 };
         let mut sink2 = Sink { cpu_per_msg: 0.0, got: Vec::new(), max_pending: 0 };
         let wide = SimCluster::new(net_zero_overhead())
@@ -1008,13 +1011,10 @@ mod tests {
         // times grow by up to the jitter bound.
         let mut src = Src { to: 1, n: 100, bytes: 8, cpu_per_msg: 50.0 };
         let mut sink = Sink { cpu_per_msg: 0.0, got: Vec::new(), max_pending: 0 };
-        let sim = SimCluster::new(net_zero_overhead())
-            .with_faults(FaultPlan::with_jitter(5, 2_000.0));
+        let sim =
+            SimCluster::new(net_zero_overhead()).with_faults(FaultPlan::with_jitter(5, 2_000.0));
         let (_, trace) = sim.run_traced::<u64>(&mut [&mut src, &mut sink]);
-        let max_flight = trace
-            .iter()
-            .filter_map(MsgRecord::flight_ns)
-            .fold(0.0f64, f64::max);
+        let max_flight = trace.iter().filter_map(MsgRecord::flight_ns).fold(0.0f64, f64::max);
         assert!(max_flight > 108.0, "jitter visible: {max_flight}");
         assert_eq!(sink.got.len(), 100);
     }

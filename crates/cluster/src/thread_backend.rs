@@ -57,7 +57,8 @@ where
     Resp: Send + 'static,
 {
     assert!(cfg.n_slaves >= 1, "need at least one slave");
-    let cores = if cfg.pin_cores { core_affinity::get_core_ids().unwrap_or_default() } else { Vec::new() };
+    let cores =
+        if cfg.pin_cores { core_affinity::get_core_ids().unwrap_or_default() } else { Vec::new() };
 
     let (resp_tx, resp_rx) = bounded::<Resp>(cfg.channel_capacity * cfg.n_slaves);
     let mut to_slaves = Vec::with_capacity(cfg.n_slaves);
@@ -121,13 +122,11 @@ pub fn scatter_drain<Req, Resp>(
                 Ok(()) => break,
                 Err(TrySendError::Full(r)) => {
                     req = r;
-                    // Blocked on backpressure: progress the return path.
-                    match handles.from_slaves.recv_timeout(Duration::from_millis(1)) {
-                        Ok(resp) => {
-                            on_resp(resp);
-                            drained += 1;
-                        }
-                        Err(_) => {} // no response ready; retry the send
+                    // Blocked on backpressure: progress the return path
+                    // (a timeout just means no response ready; retry).
+                    if let Ok(resp) = handles.from_slaves.recv_timeout(Duration::from_millis(1)) {
+                        on_resp(resp);
+                        drained += 1;
                     }
                 }
                 Err(TrySendError::Disconnected(_)) => {
@@ -236,11 +235,9 @@ mod tests {
             },
             |handles| {
                 let mut got = Vec::with_capacity(300);
-                scatter_drain(
-                    &handles,
-                    (0..300u32).map(|v| ((v % 3) as usize, v)),
-                    |r| got.push(r),
-                );
+                scatter_drain(&handles, (0..300u32).map(|v| ((v % 3) as usize, v)), |r| {
+                    got.push(r)
+                });
                 drop(handles.to_slaves);
                 got.extend(handles.from_slaves.iter());
                 got

@@ -29,10 +29,7 @@ pub const SEARCH_SEED: u64 = 0x5EED_5EA2;
 /// Generate the standard workload for `setup`: its index keys plus
 /// `n_search` uniform queries, seeded deterministically.
 pub fn standard_workload(setup: &ExperimentSetup, n_search: usize) -> (Vec<u32>, Vec<u32>) {
-    (
-        gen_sorted_unique_keys(setup.n_index_keys, INDEX_SEED),
-        gen_search_keys(n_search, SEARCH_SEED),
-    )
+    (gen_sorted_unique_keys(setup.n_index_keys, INDEX_SEED), gen_search_keys(n_search, SEARCH_SEED))
 }
 
 /// Run every method in `methods` over one shared workload; returns stats in

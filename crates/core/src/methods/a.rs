@@ -17,11 +17,7 @@ use dini_index::{CsbTree, RankIndex};
 /// The batch size only sets the granularity at which the input/output
 /// buffers are streamed; the lookup itself is one key at a time, so the
 /// Figure 3 curve for Method A is essentially flat.
-pub fn run_method_a(
-    setup: &ExperimentSetup,
-    index_keys: &[u32],
-    search_keys: &[u32],
-) -> RunStats {
+pub fn run_method_a(setup: &ExperimentSetup, index_keys: &[u32], search_keys: &[u32]) -> RunStats {
     setup.validate();
     let m = &setup.machine;
     let mut space = AddressSpace::new();

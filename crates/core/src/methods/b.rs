@@ -13,11 +13,7 @@ use dini_cache_sim::{AddressSpace, MemoryModel};
 use dini_index::{BufferedLookup, CsbTree, RankIndex};
 
 /// Run Method B over `search_keys` against an index of `index_keys`.
-pub fn run_method_b(
-    setup: &ExperimentSetup,
-    index_keys: &[u32],
-    search_keys: &[u32],
-) -> RunStats {
+pub fn run_method_b(setup: &ExperimentSetup, index_keys: &[u32], search_keys: &[u32]) -> RunStats {
     setup.validate();
     let m = &setup.machine;
     let mut space = AddressSpace::new();
@@ -34,8 +30,13 @@ pub fn run_method_b(
     let in_base = space.alloc_pages(search_keys.len() as u64 * 4);
     let out_base = space.alloc_pages(search_keys.len() as u64 * 4);
     let batch_keys = setup.batch_keys();
-    let mut buffered =
-        BufferedLookup::for_cache(&tree, m.l2.size_bytes, setup.fill_factor, &mut space, batch_keys);
+    let mut buffered = BufferedLookup::for_cache(
+        &tree,
+        m.l2.size_bytes,
+        setup.fill_factor,
+        &mut space,
+        batch_keys,
+    );
 
     let mut mem = node_memory(setup);
     let mut ns = 0.0f64;

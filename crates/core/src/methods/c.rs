@@ -298,9 +298,8 @@ impl<'a> MasterActor<'a> {
         let mut space = AddressSpace::new();
         let delim_base = space.alloc_lines(delimiters.len() as u64 * 4);
         let in_base = space.alloc_pages(keys.len() as u64 * 4);
-        let out_bases = (0..setup.n_slaves)
-            .map(|_| space.alloc_pages(setup.batch_bytes as u64))
-            .collect();
+        let out_bases =
+            (0..setup.n_slaves).map(|_| space.alloc_pages(setup.batch_bytes as u64)).collect();
         Self {
             setup,
             keys,
@@ -319,10 +318,8 @@ impl<'a> MasterActor<'a> {
 
     /// Flush slave `s`'s buffer as one network message.
     fn flush(&mut self, s: usize, ctx: &mut Ctx<'_, Msg>) {
-        let buf = std::mem::replace(
-            &mut self.out_bufs[s],
-            Vec::with_capacity(self.setup.batch_keys()),
-        );
+        let buf =
+            std::mem::replace(&mut self.out_bufs[s], Vec::with_capacity(self.setup.batch_keys()));
         if buf.is_empty() {
             self.out_bufs[s] = buf;
             return;
@@ -412,15 +409,19 @@ pub fn run_method_c(
         .enumerate()
         .map(|(j, r)| {
             let sink_id = setup.n_nodes() + j; // unmeasured target node
-            SlaveActor::build(setup, structure, &index_keys[r.clone()], parts.base_ranks[j], sink_id)
+            SlaveActor::build(
+                setup,
+                structure,
+                &index_keys[r.clone()],
+                parts.base_ranks[j],
+                sink_id,
+            )
         })
         .collect();
 
     // Check the paper's premise: every partition fits its slave's L2.
     // (Not an assert — ablations deliberately violate it — but recorded.)
-    let _fits = slaves
-        .iter()
-        .all(|s| s.engine.footprint_bytes() <= setup.machine.l2.size_bytes);
+    let _fits = slaves.iter().all(|s| s.engine.footprint_bytes() <= setup.machine.l2.size_bytes);
 
     // Masters share the work: contiguous shards of the search keys.
     let shard = search_keys.len().div_ceil(setup.n_masters);
@@ -437,8 +438,7 @@ pub fn run_method_c(
     if let Some(sw) = setup.switch {
         sim = sim.with_switch(sw);
     }
-    let mut actors: Vec<&mut dyn Actor<Msg>> =
-        Vec::with_capacity(setup.n_nodes() + setup.n_slaves);
+    let mut actors: Vec<&mut dyn Actor<Msg>> = Vec::with_capacity(setup.n_nodes() + setup.n_slaves);
     for m in &mut masters {
         actors.push(m);
     }
@@ -495,11 +495,7 @@ mod tests {
     use dini_workload::{gen_search_keys, gen_sorted_unique_keys};
 
     fn paperish(n_index: usize, batch: usize) -> ExperimentSetup {
-        ExperimentSetup {
-            n_index_keys: n_index,
-            batch_bytes: batch,
-            ..ExperimentSetup::paper()
-        }
+        ExperimentSetup { n_index_keys: n_index, batch_bytes: batch, ..ExperimentSetup::paper() }
     }
 
     #[test]
@@ -508,7 +504,9 @@ mod tests {
         let idx = gen_sorted_unique_keys(setup.n_index_keys, 1);
         let q = gen_search_keys(20_000, 2);
         let want: u64 = q.iter().map(|&k| oracle_rank(&idx, k) as u64).sum();
-        for s in [SlaveStructure::CsbTree, SlaveStructure::BufferedTree, SlaveStructure::SortedArray] {
+        for s in
+            [SlaveStructure::CsbTree, SlaveStructure::BufferedTree, SlaveStructure::SortedArray]
+        {
             let stats = run_method_c(&setup, s, &idx, &q);
             assert_eq!(stats.rank_checksum, want, "{:?}", s);
             assert_eq!(stats.n_keys, 20_000);
@@ -550,7 +548,8 @@ mod tests {
         // EXPERIMENTS.md).
         let idx = gen_sorted_unique_keys(327_680, 7);
         let q = gen_search_keys(1 << 20, 8);
-        let small = run_method_c(&paperish(327_680, 8 * 1024), SlaveStructure::SortedArray, &idx, &q);
+        let small =
+            run_method_c(&paperish(327_680, 8 * 1024), SlaveStructure::SortedArray, &idx, &q);
         let large =
             run_method_c(&paperish(327_680, 32 * 1024), SlaveStructure::SortedArray, &idx, &q);
         assert!(
@@ -595,7 +594,8 @@ mod tests {
     fn multi_master_splits_the_work() {
         let idx = gen_sorted_unique_keys(100_000, 13);
         let q = gen_search_keys(1 << 18, 14);
-        let one = run_method_c(&paperish(100_000, 64 * 1024), SlaveStructure::SortedArray, &idx, &q);
+        let one =
+            run_method_c(&paperish(100_000, 64 * 1024), SlaveStructure::SortedArray, &idx, &q);
         let two = run_method_c(
             &ExperimentSetup { n_masters: 2, ..paperish(100_000, 64 * 1024) },
             SlaveStructure::SortedArray,

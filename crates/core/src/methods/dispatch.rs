@@ -306,9 +306,8 @@ pub fn run_replicated_distributed(
     let n = setup.n_slaves;
     let ack = matches!(policy, LoadBalance::WorkPull { .. });
 
-    let mut replicas: Vec<ReplicaActor> = (0..n)
-        .map(|j| ReplicaActor::build(setup, engine, index_keys, 1 + n + j, ack))
-        .collect();
+    let mut replicas: Vec<ReplicaActor> =
+        (0..n).map(|j| ReplicaActor::build(setup, engine, index_keys, 1 + n + j, ack)).collect();
     let mut dispatcher = DispatcherActor::build(setup, policy, search_keys);
     let mut sinks: Vec<SinkActor> = (0..n).map(|_| SinkActor::default()).collect();
 
@@ -368,11 +367,7 @@ mod tests {
     use dini_workload::{gen_search_keys, gen_sorted_unique_keys};
 
     fn setup(batch: usize) -> ExperimentSetup {
-        ExperimentSetup {
-            n_index_keys: 100_000,
-            batch_bytes: batch,
-            ..ExperimentSetup::paper()
-        }
+        ExperimentSetup { n_index_keys: 100_000, batch_bytes: batch, ..ExperimentSetup::paper() }
     }
 
     fn workload(s: &ExperimentSetup, n: usize) -> (Vec<u32>, Vec<u32>) {
@@ -399,9 +394,15 @@ mod tests {
     fn buffered_replicas_match_naive_answers() {
         let s = setup(64 * 1024);
         let (idx, q) = workload(&s, 100_000);
-        let a = run_replicated_distributed(&s, ReplicaEngine::Naive, LoadBalance::RoundRobin, &idx, &q);
-        let b =
-            run_replicated_distributed(&s, ReplicaEngine::Buffered, LoadBalance::RoundRobin, &idx, &q);
+        let a =
+            run_replicated_distributed(&s, ReplicaEngine::Naive, LoadBalance::RoundRobin, &idx, &q);
+        let b = run_replicated_distributed(
+            &s,
+            ReplicaEngine::Buffered,
+            LoadBalance::RoundRobin,
+            &idx,
+            &q,
+        );
         assert_eq!(a.rank_checksum, b.rank_checksum);
     }
 
@@ -427,7 +428,8 @@ mod tests {
     fn round_robin_beats_random_on_uniform_batches() {
         let s = setup(16 * 1024);
         let (idx, q) = workload(&s, 1 << 18);
-        let rr = run_replicated_distributed(&s, ReplicaEngine::Naive, LoadBalance::RoundRobin, &idx, &q);
+        let rr =
+            run_replicated_distributed(&s, ReplicaEngine::Naive, LoadBalance::RoundRobin, &idx, &q);
         let rnd = run_replicated_distributed(
             &s,
             ReplicaEngine::Naive,
@@ -447,7 +449,8 @@ mod tests {
     fn work_pull_is_competitive_with_round_robin() {
         let s = setup(16 * 1024);
         let (idx, q) = workload(&s, 1 << 18);
-        let rr = run_replicated_distributed(&s, ReplicaEngine::Naive, LoadBalance::RoundRobin, &idx, &q);
+        let rr =
+            run_replicated_distributed(&s, ReplicaEngine::Naive, LoadBalance::RoundRobin, &idx, &q);
         let wp = run_replicated_distributed(
             &s,
             ReplicaEngine::Naive,
@@ -483,7 +486,8 @@ mod tests {
     fn rtt_is_measured() {
         let s = setup(32 * 1024);
         let (idx, q) = workload(&s, 1 << 17);
-        let r = run_replicated_distributed(&s, ReplicaEngine::Naive, LoadBalance::RoundRobin, &idx, &q);
+        let r =
+            run_replicated_distributed(&s, ReplicaEngine::Naive, LoadBalance::RoundRobin, &idx, &q);
         assert!(r.batch_rtt_mean_ns > 0.0);
         assert!(r.batch_rtt_p99_ns >= r.batch_rtt_mean_ns * 0.5);
     }

@@ -234,9 +234,7 @@ impl DistributedIndex {
                 continue;
             }
             outstanding += 1;
-            self.to_slaves[s]
-                .send((batch, std::mem::take(buf)))
-                .expect("native slave thread died");
+            self.to_slaves[s].send((batch, std::mem::take(buf))).expect("native slave thread died");
         }
 
         let mut out = vec![0u32; queries.len()];

@@ -28,7 +28,8 @@ pub enum MethodId {
 
 impl MethodId {
     /// All five methods in the paper's presentation order.
-    pub const ALL: [MethodId; 5] = [MethodId::A, MethodId::B, MethodId::C1, MethodId::C2, MethodId::C3];
+    pub const ALL: [MethodId; 5] =
+        [MethodId::A, MethodId::B, MethodId::C1, MethodId::C2, MethodId::C3];
 
     /// Whether this is one of the distributed (Method C) variants.
     pub fn is_distributed(self) -> bool {
@@ -156,8 +157,14 @@ impl ExperimentSetup {
         let m = &self.machine;
         let k = m.keys_per_node();
         let le = m.leaf_entries_per_line();
-        let tree =
-            CsbTree::with_leaf_entries(index_keys, k, le, m.l2.line_bytes, 1 << 30, m.comp_cost_node_ns);
+        let tree = CsbTree::with_leaf_entries(
+            index_keys,
+            k,
+            le,
+            m.l2.line_bytes,
+            1 << 30,
+            m.comp_cost_node_ns,
+        );
         let cuts = SubtreeCuts::for_capacity(&tree, m.l2.size_bytes, self.fill_factor);
         let t = tree.n_levels();
         // Root subtree: the top segment. Lower subtrees: the largest
@@ -232,12 +239,7 @@ pub fn node_memory(setup: &ExperimentSetup) -> dini_cache_sim::SimMemory {
 /// Charge a streaming touch of `len` bytes at `addr` to `mem`
 /// (convenience used by the method actors for buffer traffic).
 #[inline]
-pub fn stream<M: MemoryModel>(
-    mem: &mut M,
-    addr: u64,
-    len: u32,
-    write: bool,
-) -> f64 {
+pub fn stream<M: MemoryModel>(mem: &mut M, addr: u64, len: u32, write: bool) -> f64 {
     use dini_cache_sim::AccessKind;
     mem.touch(addr, len, if write { AccessKind::StreamWrite } else { AccessKind::StreamRead })
 }

@@ -117,11 +117,7 @@ impl BufferedLookup {
             let range = tree.levels()[level].clone();
             let width = (range.end - range.start) as usize;
             let bases = (0..width).map(|_| space.alloc_lines(region)).collect();
-            levels.push(LevelBuffers {
-                level,
-                entries: vec![Vec::new(); width],
-                bases,
-            });
+            levels.push(LevelBuffers { level, entries: vec![Vec::new(); width], bases });
         }
         Self { cuts, levels, buffer_region_bytes: region }
     }
@@ -210,9 +206,8 @@ impl BufferedLookup {
                 for (i, &(key, qid)) in buf.iter().enumerate() {
                     // Sequential re-read of the buffered entry.
                     ns += mem.touch(base + i as u64 * 8, 8, AccessKind::StreamRead);
-                    ns += self.push_through_segment(
-                        tree, s, root, key, qid, depth, is_final, out, mem,
-                    );
+                    ns += self
+                        .push_through_segment(tree, s, root, key, qid, depth, is_final, out, mem);
                 }
                 buf.clear();
             }

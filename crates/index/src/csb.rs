@@ -216,10 +216,7 @@ impl CsbTree {
 
     /// Which level a node index belongs to.
     pub fn level_of(&self, idx: u32) -> usize {
-        self.levels
-            .iter()
-            .position(|r| r.contains(&idx))
-            .expect("node index out of range")
+        self.levels.iter().position(|r| r.contains(&idx)).expect("node index out of range")
     }
 
     /// Is `idx` a leaf?
@@ -270,7 +267,8 @@ impl CsbTree {
     /// contiguous and sibling subtrees are ordered.
     pub fn descendant_ranges(&self, node: u32) -> Vec<Range<u32>> {
         let start_level = self.level_of(node);
-        let mut ranges = vec![node..node + 1];
+        let mut ranges = Vec::with_capacity(self.levels.len() - start_level);
+        ranges.push(node..node + 1);
         for li in start_level..self.levels.len() - 1 {
             let cur = ranges.last().expect("non-empty").clone();
             let next_level = &self.levels[li + 1];
@@ -290,11 +288,7 @@ impl CsbTree {
     /// Number of nodes in the subtree rooted at `node` spanning `depth`
     /// levels (inclusive of the root level).
     pub fn subtree_nodes(&self, node: u32, depth: usize) -> u64 {
-        self.descendant_ranges(node)
-            .iter()
-            .take(depth)
-            .map(|r| (r.end - r.start) as u64)
-            .sum()
+        self.descendant_ranges(node).iter().take(depth).map(|r| (r.end - r.start) as u64).sum()
     }
 
     /// Bytes of a subtree of `depth` levels rooted at `node`.

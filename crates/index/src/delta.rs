@@ -118,11 +118,8 @@ impl DeltaArray {
             Err(pos) => {
                 // Shift the tail one slot right: a streaming write.
                 let tail = (self.inserts.len() - pos) as u32 * 4;
-                ns += mem.touch(
-                    self.ins_base + pos as u64 * 4,
-                    tail.max(4),
-                    AccessKind::StreamWrite,
-                );
+                ns +=
+                    mem.touch(self.ins_base + pos as u64 * 4, tail.max(4), AccessKind::StreamWrite);
                 self.inserts.insert(pos, key);
                 (true, ns)
             }
@@ -147,11 +144,8 @@ impl DeltaArray {
             Ok(_) => (false, ns),
             Err(pos) => {
                 let tail = (self.deletes.len() - pos) as u32 * 4;
-                ns += mem.touch(
-                    self.del_base + pos as u64 * 4,
-                    tail.max(4),
-                    AccessKind::StreamWrite,
-                );
+                ns +=
+                    mem.touch(self.del_base + pos as u64 * 4, tail.max(4), AccessKind::StreamWrite);
                 self.deletes.insert(pos, key);
                 (true, ns)
             }
@@ -161,6 +155,29 @@ impl DeltaArray {
     /// Pending delta entries (inserts + tombstones).
     pub fn delta_len(&self) -> usize {
         self.inserts.len() + self.deletes.len()
+    }
+
+    /// The static main array (sorted unique), excluding pending deltas.
+    ///
+    /// Together with [`pending_inserts`](Self::pending_inserts) and
+    /// [`pending_deletes`](Self::pending_deletes) this exposes the exact
+    /// decomposition a snapshot publisher needs: serve-layer writers fold
+    /// churn through a `DeltaArray` and ship `(main, inserts, deletes)`
+    /// to readers as an immutable overlay.
+    pub fn main_keys(&self) -> &[u32] {
+        self.main.keys()
+    }
+
+    /// Keys inserted since the last merge (sorted, unique, disjoint from
+    /// the main array).
+    pub fn pending_inserts(&self) -> &[u32] {
+        &self.inserts
+    }
+
+    /// Keys deleted since the last merge (sorted, unique, all present in
+    /// the main array).
+    pub fn pending_deletes(&self) -> &[u32] {
+        &self.deletes
     }
 
     /// Whether the delta has outgrown its budget and a merge is due.
@@ -319,6 +336,19 @@ mod tests {
         for q in (0..1_200).step_by(7) {
             assert_eq!(d.rank(q, &mut NullMemory).0, oracle_of(&set, q), "rank({q})");
         }
+    }
+
+    #[test]
+    fn accessors_expose_snapshot_decomposition() {
+        let mut d = DeltaArray::new(vec![10, 20, 30], 0, 1.0, 16);
+        d.insert(15, &mut NullMemory);
+        d.delete(20, &mut NullMemory);
+        assert_eq!(d.main_keys(), &[10, 20, 30]);
+        assert_eq!(d.pending_inserts(), &[15]);
+        assert_eq!(d.pending_deletes(), &[20]);
+        d.merge(&mut NullMemory);
+        assert_eq!(d.main_keys(), &[10, 15, 30]);
+        assert!(d.pending_inserts().is_empty() && d.pending_deletes().is_empty());
     }
 
     #[test]

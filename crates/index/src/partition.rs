@@ -91,12 +91,8 @@ impl<I: RankIndex> PartitionedIndex<I> {
         mut build_part: impl FnMut(&[u32], usize) -> I,
     ) -> Self {
         let p = Partitions::split(keys, parts);
-        let structures = p
-            .ranges
-            .iter()
-            .enumerate()
-            .map(|(j, r)| build_part(&keys[r.clone()], j))
-            .collect();
+        let structures =
+            p.ranges.iter().enumerate().map(|(j, r)| build_part(&keys[r.clone()], j)).collect();
         Self {
             delimiters: SortedArray::new(p.delimiters.clone(), delim_base, cmp_cost_ns),
             parts: structures,

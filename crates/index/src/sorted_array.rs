@@ -64,7 +64,8 @@ impl SortedArray {
         let (start, end) = (lo_rank as usize, hi_rank as usize);
         let mut ns = c1 + c2;
         if end > start {
-            ns += mem.touch(self.addr_of(start), ((end - start) * 4) as u32, AccessKind::StreamRead);
+            ns +=
+                mem.touch(self.addr_of(start), ((end - start) * 4) as u32, AccessKind::StreamRead);
             out.extend_from_slice(&self.keys[start..end]);
         }
         ns
@@ -206,12 +207,8 @@ mod tests {
         a.scan_range(1_000, 50_000, &mut out, &mut m);
         // Two binary searches of random touches; the body is one stream.
         assert!(m.random_touches() <= 30);
-        let streamed: u32 = m
-            .accesses
-            .iter()
-            .filter(|(_, _, k)| k.is_stream())
-            .map(|(_, len, _)| *len)
-            .sum();
+        let streamed: u32 =
+            m.accesses.iter().filter(|(_, _, k)| k.is_stream()).map(|(_, len, _)| *len).sum();
         assert_eq!(streamed as usize, out.len() * 4);
     }
 

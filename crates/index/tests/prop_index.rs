@@ -2,9 +2,7 @@
 //! partitioning composes, and buffered lookup agrees with plain lookup.
 
 use dini_cache_sim::{AddressSpace, NullMemory};
-use dini_index::{
-    BufferedLookup, CsbTree, PartitionedIndex, PtrNaryTree, RankIndex, SortedArray,
-};
+use dini_index::{BufferedLookup, CsbTree, PartitionedIndex, PtrNaryTree, RankIndex, SortedArray};
 use proptest::prelude::*;
 
 fn arb_keys() -> impl Strategy<Value = Vec<u32>> {

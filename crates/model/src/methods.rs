@@ -24,11 +24,7 @@ pub struct MethodCosts {
 impl MethodCosts {
     /// Evaluate all three methods for `p`.
     pub fn evaluate(p: &ModelParams) -> Self {
-        Self {
-            a: method_a_per_key_ns(p),
-            b: method_b_per_key_ns(p),
-            c3: method_c3_per_key_ns(p),
-        }
+        Self { a: method_a_per_key_ns(p), b: method_b_per_key_ns(p), c3: method_c3_per_key_ns(p) }
     }
 
     /// Totals in seconds for `n_keys` lookups.
@@ -103,10 +99,9 @@ pub fn method_c3_per_key_ns(p: &ModelParams) -> f64 {
     let part_shape =
         tree_level_lines(part_keys, p.internal_keys_per_node(), p.leaf_entries_per_line);
     let l = part_shape.t() as f64;
-    let slave = (l * (m.comp_cost_node_ns + m.b1_miss_penalty_ns)
-        + 8.0 / m.mem_bw_seq
-        + per_key_net)
-        / p.n_slaves as f64;
+    let slave =
+        (l * (m.comp_cost_node_ns + m.b1_miss_penalty_ns) + 8.0 / m.mem_bw_seq + per_key_net)
+            / p.n_slaves as f64;
     master.max(slave)
 }
 

@@ -120,8 +120,11 @@ mod tests {
         let a = crate::methods::method_a_per_key_ns(&far);
         let floor = {
             use crate::xd::{steady_misses_per_lookup, tree_level_lines};
-            let shape =
-                tree_level_lines(p.n_index_keys, p.internal_keys_per_node(), p.leaf_entries_per_line);
+            let shape = tree_level_lines(
+                p.n_index_keys,
+                p.internal_keys_per_node(),
+                p.leaf_entries_per_line,
+            );
             steady_misses_per_lookup(&shape, p.c2_lines()) * p.machine.b2_miss_penalty_ns / 11.0
         };
         assert!(a >= floor * 0.99);

@@ -29,7 +29,11 @@ pub struct TreeShape {
 
 /// Number of levels of a tree over `n_keys` with the given leaf/internal
 /// capacities.
-pub fn tree_level_lines(n_keys: u64, internal_keys_per_node: u32, leaf_entries_per_line: u32) -> TreeShape {
+pub fn tree_level_lines(
+    n_keys: u64,
+    internal_keys_per_node: u32,
+    leaf_entries_per_line: u32,
+) -> TreeShape {
     assert!(n_keys > 0 && internal_keys_per_node >= 1 && leaf_entries_per_line >= 1);
     let fanout = (internal_keys_per_node + 1) as u64;
     let mut levels = vec![n_keys.div_ceil(leaf_entries_per_line as u64)];

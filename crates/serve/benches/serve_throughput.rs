@@ -1,0 +1,105 @@
+//! `serve_throughput`: lookups/s and latency percentiles of the serving
+//! layer, swept over shard count and batch-coalescing delay — the serving
+//! analogue of the paper's Figure 3 batch-size sweep.
+//!
+//! Two outputs:
+//!
+//! * criterion-style timings on stderr (`cargo bench -p dini-serve`);
+//! * `BENCH_serve.json` at the repo root: one record per
+//!   (shards × max_delay) cell with throughput and p50/p99/p999, so the
+//!   serving layer's perf trajectory is machine-trackable PR over PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dini_serve::{run_load, IndexServer, KeyDistribution, LoadMode, LoadReport, ServeConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const N_KEYS: usize = 200_000;
+const CLIENTS: usize = 8;
+const LOOKUPS_PER_CLIENT: usize = 10_000;
+
+fn keys() -> Vec<u32> {
+    (0..N_KEYS as u32).map(|i| i * 16 + 3).collect()
+}
+
+fn server(shards: usize, delay_us: u64) -> IndexServer {
+    let mut cfg = ServeConfig::new(shards);
+    cfg.slaves_per_shard = 2;
+    cfg.max_batch = 256;
+    cfg.max_delay = Duration::from_micros(delay_us);
+    IndexServer::build(&keys(), cfg)
+}
+
+fn sweep_cell(shards: usize, delay_us: u64) -> LoadReport {
+    let s = server(shards, delay_us);
+    run_load(
+        &s.handle(),
+        KeyDistribution::Zipf { n_buckets: 256, s: 1.1 },
+        42,
+        LoadMode::Closed { clients: CLIENTS, lookups_per_client: LOOKUPS_PER_CLIENT },
+    )
+}
+
+/// The sweep behind BENCH_serve.json (runs once, before criterion).
+fn emit_json() {
+    let mut records = String::new();
+    for &shards in &[1usize, 2, 4] {
+        for &delay_us in &[0u64, 50, 200] {
+            let r = sweep_cell(shards, delay_us);
+            eprintln!("sweep shards={shards} delay={delay_us}µs: {}", r.summary());
+            if !records.is_empty() {
+                records.push_str(",\n");
+            }
+            let _ = write!(
+                records,
+                "    {{\"shards\": {shards}, \"max_delay_us\": {delay_us}, \
+                 \"throughput_lps\": {:.0}, \"completed\": {}, \"shed\": {}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}}",
+                r.throughput_lps(),
+                r.completed,
+                r.shed,
+                r.latency_ns.quantile(0.50) / 1e3,
+                r.latency_ns.quantile(0.99) / 1e3,
+                r.latency_ns.quantile(0.999) / 1e3,
+            );
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"keys\": {N_KEYS},\n  \
+         \"clients\": {CLIENTS},\n  \"lookups_per_client\": {LOOKUPS_PER_CLIENT},\n  \
+         \"distribution\": \"zipf(256, 1.1)\",\n  \"results\": [\n{records}\n  ]\n}}\n"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, json).expect("write BENCH_serve.json");
+    eprintln!("wrote {out}");
+}
+
+/// Criterion timings of the caller-facing paths on a fixed 2-shard server.
+fn bench_lookup_paths(c: &mut Criterion) {
+    let s = server(2, 50);
+    let h = s.handle();
+    let queries: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+
+    let mut g = c.benchmark_group("serve");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("single_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            h.lookup(i).unwrap()
+        })
+    });
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_with_input(BenchmarkId::new("lookup_many", queries.len()), &queries, |b, q| {
+        b.iter(|| h.lookup_many(q).unwrap().len())
+    });
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    emit_json();
+    bench_lookup_paths(c);
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Admission control: bounded queues with shed-on-full.
+//!
+//! An unbounded queue converts overload into unbounded latency; a bounded
+//! queue converts it into explicit, cheap rejection at the door, keeping
+//! the latency of *admitted* requests bounded by
+//! `queue_capacity / service_rate`. Shedding is per shard, so a hot shard
+//! degrades alone while the rest of the key space serves normally.
+
+use crate::batcher::Request;
+use crate::config::ServeError;
+use crossbeam::channel::{Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The admission side of one shard's request queue.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    shard: usize,
+    tx: Sender<Request>,
+    admitted: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
+}
+
+impl AdmissionQueue {
+    /// Wrap the bounded sender for `shard`.
+    pub fn new(shard: usize, tx: Sender<Request>) -> Self {
+        Self { shard, tx, admitted: Arc::new(AtomicU64::new(0)), shed: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Admit without blocking; a full queue sheds the request.
+    pub fn try_submit(&self, req: Request) -> Result<(), ServeError> {
+        match self.tx.try_send(req) {
+            Ok(()) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded { shard: self.shard })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Admit, blocking while the queue is full (closed-loop callers).
+    pub fn submit(&self, req: Request) -> Result<(), ServeError> {
+        match self.tx.send(req) {
+            Ok(()) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use std::time::Instant;
+
+    fn req(key: u32) -> Request {
+        // The reply receiver is dropped: these tests never reply.
+        let (tx, _rx) = bounded(1);
+        Request { key, enqueued: Instant::now(), reply: tx }
+    }
+
+    #[test]
+    fn sheds_exactly_past_capacity() {
+        let (tx, rx) = bounded(2);
+        let q = AdmissionQueue::new(0, tx);
+        assert!(q.try_submit(req(1)).is_ok());
+        assert!(q.try_submit(req(2)).is_ok());
+        assert_eq!(q.try_submit(req(3)), Err(ServeError::Overloaded { shard: 0 }));
+        assert_eq!((q.admitted(), q.shed()), (2, 1));
+        // Draining one slot readmits.
+        let _ = rx.recv().unwrap();
+        assert!(q.try_submit(req(4)).is_ok());
+        assert_eq!((q.admitted(), q.shed()), (3, 1));
+    }
+
+    #[test]
+    fn disconnect_is_shutdown_not_shed() {
+        let (tx, rx) = bounded(2);
+        let q = AdmissionQueue::new(3, tx);
+        drop(rx);
+        assert_eq!(q.try_submit(req(1)), Err(ServeError::ShuttingDown));
+        assert_eq!(q.submit(req(2)), Err(ServeError::ShuttingDown));
+        assert_eq!(q.shed(), 0, "shutdown is not overload");
+    }
+}

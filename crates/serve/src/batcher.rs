@@ -1,0 +1,123 @@
+//! Time/size-bounded batch coalescing.
+//!
+//! The paper's core observation is that per-query costs (network
+//! overhead there, dispatch and channel hops here) amortise across a
+//! batch, and its Figure 3 sweeps batch size against both throughput and
+//! response time. A *server* cannot choose its batch size — concurrent
+//! callers arrive one query at a time — so the serving layer manufactures
+//! batches: the first query to arrive opens a batch, co-travellers join
+//! until either `max_batch` queries are aboard or `max_delay` has passed
+//! since the batch opened, and then the whole batch rides one
+//! `lookup_batch` through the shard's `DistributedIndex`.
+
+use crate::config::ServeError;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+/// One enqueued lookup.
+#[derive(Debug)]
+pub struct Request {
+    /// The key whose rank is requested.
+    pub key: u32,
+    /// When the request entered the admission queue (for latency
+    /// accounting: reply time − enqueue time includes coalescing delay).
+    pub enqueued: Instant,
+    /// Where the rank goes; a bounded(1) channel acting as a oneshot.
+    pub reply: Sender<Result<u32, ServeError>>,
+}
+
+/// Collect one batch: `first` plus co-travellers from `rx`, bounded by
+/// `max_batch` queries and `max_delay` since the batch opened (= now).
+/// Backlog already sitting in the queue joins for free — under load,
+/// batches fill to `max_batch` without ever paying the delay; the delay
+/// is only paid by sparse traffic waiting for co-travellers. Returns the
+/// batch and whether the queue disconnected while collecting.
+pub fn collect_batch(
+    rx: &Receiver<Request>,
+    first: Request,
+    max_batch: usize,
+    max_delay: Duration,
+) -> (Vec<Request>, bool) {
+    let deadline = Instant::now() + max_delay;
+    let mut batch = Vec::with_capacity(max_batch.min(64));
+    batch.push(first);
+
+    // Free co-travellers: drain whatever has already queued up.
+    while batch.len() < max_batch {
+        match rx.try_recv() {
+            Ok(req) => batch.push(req),
+            Err(TryRecvError::Empty) => break,
+            Err(TryRecvError::Disconnected) => return (batch, true),
+        }
+    }
+
+    // Paid co-travellers: wait out the remaining delay budget.
+    while batch.len() < max_batch {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(req) => batch.push(req),
+            Err(RecvTimeoutError::Timeout) => break,
+            Err(RecvTimeoutError::Disconnected) => return (batch, true),
+        }
+    }
+    (batch, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    fn req(key: u32) -> (Request, Receiver<Result<u32, ServeError>>) {
+        let (tx, rx) = bounded(1);
+        (Request { key, enqueued: Instant::now(), reply: tx }, rx)
+    }
+
+    #[test]
+    fn fills_to_max_batch_without_waiting_out_the_delay() {
+        let (tx, rx) = bounded(16);
+        for k in 1..8u32 {
+            tx.send(req(k).0).unwrap();
+        }
+        let start = Instant::now();
+        let (batch, disc) = collect_batch(&rx, req(0).0, 4, Duration::from_secs(5));
+        assert_eq!(batch.len(), 4);
+        assert!(!disc);
+        assert!(start.elapsed() < Duration::from_secs(1), "must not wait for the delay");
+        assert_eq!(batch.iter().map(|r| r.key).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn departs_at_deadline_with_partial_batch() {
+        let (_tx, rx) = bounded::<Request>(4);
+        let start = Instant::now();
+        let (batch, disc) = collect_batch(&rx, req(9).0, 100, Duration::from_millis(30));
+        assert_eq!(batch.len(), 1);
+        assert!(!disc, "sender still alive");
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(25), "left early: {waited:?}");
+        assert!(waited < Duration::from_millis(300), "overstayed: {waited:?}");
+    }
+
+    #[test]
+    fn reports_disconnect() {
+        let (tx, rx) = bounded(4);
+        tx.send(req(1).0).unwrap();
+        drop(tx);
+        let (batch, disc) = collect_batch(&rx, req(0).0, 10, Duration::from_secs(5));
+        assert_eq!(batch.len(), 2);
+        assert!(disc);
+    }
+
+    #[test]
+    fn max_batch_one_never_waits() {
+        let (_tx, rx) = bounded::<Request>(4);
+        let start = Instant::now();
+        let (batch, _) = collect_batch(&rx, req(0).0, 1, Duration::from_secs(10));
+        assert_eq!(batch.len(), 1);
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+}

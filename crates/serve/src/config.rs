@@ -1,0 +1,122 @@
+//! Serving-layer configuration.
+
+use std::time::Duration;
+
+/// Configuration for [`IndexServer`](crate::IndexServer).
+///
+/// The two coalescing knobs are the server-side analogue of the paper's
+/// Figure 3 batch-size trade-off: `max_batch` bounds how much latency a
+/// query can absorb waiting for co-travellers, `max_delay` bounds how
+/// long a lone query waits before the batch departs anyway. Larger
+/// batches amortise the master's dispatch and the per-message overhead
+/// across more queries (throughput ↑), at the price of queueing delay
+/// (response time ↑) — exactly the tension the paper resolves by showing
+/// both constraints can be met at once.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shards; each shard is an independent
+    /// `DistributedIndex` over a contiguous key range.
+    pub n_shards: usize,
+    /// Worker ("slave") threads per shard's `DistributedIndex`.
+    pub slaves_per_shard: usize,
+    /// Pin index worker threads to cores (best-effort).
+    pub pin_cores: bool,
+    /// Maximum queries coalesced into one index batch.
+    pub max_batch: usize,
+    /// Maximum time the first query of a batch waits for co-travellers.
+    pub max_delay: Duration,
+    /// Bound of each shard's admission queue; a full queue sheds
+    /// (`try_lookup` fails fast) rather than growing without limit.
+    pub queue_capacity: usize,
+    /// Per-shard delta budget: when a shard's pending churn exceeds this,
+    /// the writer merges and republishes a rebuilt index.
+    pub merge_threshold: usize,
+    /// How many churn operations the writer folds in before publishing a
+    /// fresh snapshot (update visibility granularity).
+    pub publish_every: usize,
+}
+
+impl ServeConfig {
+    /// `n_shards` shards with serving-friendly defaults: 2 slaves per
+    /// shard, unpinned, batches of ≤ 256 coalesced for ≤ 100 µs, queues
+    /// of 1024, merges every 4096 delta entries, snapshots every 64 ops.
+    pub fn new(n_shards: usize) -> Self {
+        Self {
+            n_shards,
+            slaves_per_shard: 2,
+            pin_cores: false,
+            max_batch: 256,
+            max_delay: Duration::from_micros(100),
+            queue_capacity: 1024,
+            merge_threshold: 4096,
+            publish_every: 64,
+        }
+    }
+
+    /// Panic unless every knob is usable.
+    pub fn validate(&self) {
+        assert!(self.n_shards >= 1, "need at least one shard");
+        assert!(self.slaves_per_shard >= 1, "need at least one slave per shard");
+        assert!(self.max_batch >= 1, "max_batch must be at least 1");
+        assert!(self.queue_capacity >= 1, "queue_capacity must be at least 1");
+        assert!(self.merge_threshold >= 1, "merge_threshold must be at least 1");
+        assert!(self.publish_every >= 1, "publish_every must be at least 1");
+    }
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control shed the request: the target shard's queue was
+    /// full. Retry later or against a replica.
+    Overloaded {
+        /// Shard whose queue was full.
+        shard: usize,
+    },
+    /// The server is shutting down; no further requests are accepted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { shard } => {
+                write!(f, "shard {shard} admission queue full; request shed")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ServeConfig::new(4).validate();
+        ServeConfig::new(1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ServeConfig::new(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_batch_rejected() {
+        let mut cfg = ServeConfig::new(2);
+        cfg.max_batch = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(ServeError::Overloaded { shard: 3 }.to_string().contains("shard 3"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+    }
+}

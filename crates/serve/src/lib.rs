@@ -1,0 +1,87 @@
+//! # dini-serve
+//!
+//! A sharded, batch-coalescing, online-updatable query-serving layer
+//! over the native [`DistributedIndex`](dini_core::DistributedIndex) —
+//! the production-shaped face of the DINI reproduction of Ma & Cooperman
+//! (CLUSTER 2005).
+//!
+//! The paper shows that batching queries across a master/slaves index
+//! turns a latency-bound lookup into a throughput machine. A real server
+//! cannot choose its batch size, so this crate manufactures the paper's
+//! batches from live traffic and wraps the result in the machinery a
+//! serving system needs:
+//!
+//! * [`router`] — the u32 key space is **range-sharded** across
+//!   `n_shards` independent `DistributedIndex` instances; routing is a
+//!   binary search over a delimiter array, and global ranks compose as
+//!   `base_rank(shard) + local_rank` (the paper's master/slave rank
+//!   composition, one level up).
+//! * [`batcher`] — concurrent callers' requests **coalesce** into
+//!   time/size-bounded batches (`max_batch` / `max_delay`): the
+//!   server-side analogue of the paper's Figure 3 batch-size trade-off.
+//!   Backlog joins a departing batch for free; only sparse traffic pays
+//!   the delay.
+//! * [`admission`] — bounded per-shard queues **shed on full**, so
+//!   overload surfaces as cheap explicit rejection (and a counter)
+//!   instead of unbounded queueing delay.
+//! * [`snapshot`] + the writer in [`server`] — **online updates**: one
+//!   writer folds churn through
+//!   [`DeltaArray`](dini_index::DeltaArray)s and publishes immutable
+//!   overlay snapshots via epoch-style atomic swap; on crossing the merge
+//!   threshold it rebuilds the shard's index off the read path and ships
+//!   it to the dispatcher. Lookups never block on writers.
+//! * [`stats`] — p50/p99/p999 latency and batch-shape accounting on
+//!   [`LogHistogram`](dini_cluster::LogHistogram)s, updated once per
+//!   batch.
+//! * [`loadgen`] — closed- and open-loop load generators (uniform/Zipf
+//!   keys via `dini-workload`, Poisson arrivals) for exercising all of
+//!   the above.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dini_serve::{IndexServer, LoadMode, Op, ServeConfig};
+//! use dini_serve::loadgen::run_load;
+//! use dini_serve::KeyDistribution;
+//!
+//! // 40k keys, 2 shards × 2 slave threads each.
+//! let keys: Vec<u32> = (0..40_000).map(|i| i * 2).collect();
+//! let server = IndexServer::build(&keys, ServeConfig::new(2));
+//!
+//! // Serve a closed-loop burst of Zipf traffic.
+//! let report = run_load(
+//!     &server.handle(),
+//!     KeyDistribution::Zipf { n_buckets: 64, s: 1.1 },
+//!     42,
+//!     LoadMode::Closed { clients: 2, lookups_per_client: 500 },
+//! );
+//! assert_eq!(report.completed, 1000);
+//!
+//! // Fold churn in while serving; quiesce() makes it visible.
+//! server.update(Op::Insert(1)).unwrap();
+//! server.quiesce();
+//! assert_eq!(server.handle().lookup(1).unwrap(), 2); // {0, 1}
+//! println!("{}", server.stats().summary());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod batcher;
+pub mod config;
+pub mod loadgen;
+pub mod router;
+pub mod server;
+pub mod snapshot;
+pub mod stats;
+
+pub use config::{ServeConfig, ServeError};
+pub use loadgen::{run_load, LoadMode, LoadReport};
+pub use router::ShardRouter;
+pub use server::{IndexServer, PendingLookup, ServerHandle};
+pub use snapshot::{EpochCell, ShardSnapshot};
+pub use stats::{ServeStats, ShardStats};
+
+// Re-exported so callers can drive the server without naming the
+// workload crate.
+pub use dini_workload::{ArrivalProcess, KeyDistribution, Op, OpMix};

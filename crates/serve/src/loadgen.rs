@@ -1,0 +1,276 @@
+//! Closed- and open-loop load generation against a [`ServerHandle`].
+//!
+//! Two canonical harnesses:
+//!
+//! * **Closed loop** — `clients` threads each issue, wait, repeat. Offered
+//!   load self-throttles with latency, so this measures capacity under
+//!   well-behaved callers (and can never shed).
+//! * **Open loop** — arrivals come from a seeded
+//!   [`ArrivalProcess`](dini_workload::ArrivalProcess) regardless of
+//!   completions, issued with [`ServerHandle::try_lookup`]; overload
+//!   surfaces as shed requests instead of collapsing offered load. This
+//!   is the regime admission control exists for.
+//!
+//! Latency is recorded *caller-side* (submit → reply, including
+//! coalescing delay and queueing), per client, into
+//! [`LogHistogram`]s merged into the report.
+
+use crate::config::ServeError;
+use crate::server::ServerHandle;
+use dini_cluster::LogHistogram;
+use dini_workload::{ArrivalGen, ArrivalProcess, KeyDistribution, KeyGen};
+use std::time::{Duration, Instant};
+
+/// What a load run offers to the server.
+#[derive(Debug, Clone)]
+pub enum LoadMode {
+    /// `clients` closed-loop callers, `lookups_per_client` each.
+    Closed {
+        /// Concurrent caller threads.
+        clients: usize,
+        /// Lookups each caller issues.
+        lookups_per_client: usize,
+    },
+    /// `clients` open-loop callers, each following `process` for
+    /// `duration` (arrivals that would block are issued late, not
+    /// dropped; arrivals that find a full queue are shed by the server).
+    Open {
+        /// Concurrent caller threads.
+        clients: usize,
+        /// Per-client arrival process.
+        process: ArrivalProcess,
+        /// Wall-clock run length per client.
+        duration: Duration,
+    },
+}
+
+/// Caller-side results of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Wall-clock of the whole run.
+    pub wall: Duration,
+    /// Lookups answered.
+    pub completed: u64,
+    /// Lookups shed by admission control (open loop only).
+    pub shed: u64,
+    /// Caller-observed latency (ns).
+    pub latency_ns: LogHistogram,
+}
+
+impl LoadReport {
+    /// Answered lookups per second.
+    pub fn throughput_lps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 / self.wall.as_secs_f64()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.0} lookups/s ({} completed, {} shed, {:.2} s) | \
+             latency p50 {:.1} µs, p99 {:.1} µs, p999 {:.1} µs",
+            self.throughput_lps(),
+            self.completed,
+            self.shed,
+            self.wall.as_secs_f64(),
+            self.latency_ns.quantile(0.50) / 1e3,
+            self.latency_ns.quantile(0.99) / 1e3,
+            self.latency_ns.quantile(0.999) / 1e3,
+        )
+    }
+}
+
+struct ClientResult {
+    completed: u64,
+    shed: u64,
+    latency_ns: LogHistogram,
+}
+
+/// Run `mode` against `handle`, drawing keys from `dist` (seeded per
+/// client with `seed + client_id`).
+pub fn run_load(
+    handle: &ServerHandle,
+    dist: KeyDistribution,
+    seed: u64,
+    mode: LoadMode,
+) -> LoadReport {
+    let start = Instant::now();
+    let results: Vec<ClientResult> = match mode {
+        LoadMode::Closed { clients, lookups_per_client } => {
+            spawn_clients(handle, clients, move |h, id| {
+                closed_loop(h, dist, seed + id, lookups_per_client)
+            })
+        }
+        LoadMode::Open { clients, process, duration } => {
+            spawn_clients(handle, clients, move |h, id| {
+                open_loop(h, dist, seed + id, process, duration)
+            })
+        }
+    };
+    let wall = start.elapsed();
+    let mut report = LoadReport { wall, completed: 0, shed: 0, latency_ns: LogHistogram::new() };
+    for r in results {
+        report.completed += r.completed;
+        report.shed += r.shed;
+        report.latency_ns.merge(&r.latency_ns);
+    }
+    report
+}
+
+fn spawn_clients(
+    handle: &ServerHandle,
+    clients: usize,
+    body: impl Fn(ServerHandle, u64) -> ClientResult + Clone + Send + 'static,
+) -> Vec<ClientResult> {
+    assert!(clients >= 1, "need at least one client");
+    let joins: Vec<_> = (0..clients)
+        .map(|id| {
+            let h = handle.clone();
+            let body = body.clone();
+            std::thread::Builder::new()
+                .name(format!("dini-load-{id}"))
+                .spawn(move || body(h, id as u64))
+                .expect("spawn load client")
+        })
+        .collect();
+    joins.into_iter().map(|j| j.join().expect("load client panicked")).collect()
+}
+
+fn closed_loop(h: ServerHandle, dist: KeyDistribution, seed: u64, lookups: usize) -> ClientResult {
+    let mut gen = KeyGen::new(seed, dist);
+    let mut r = ClientResult { completed: 0, shed: 0, latency_ns: LogHistogram::new() };
+    for _ in 0..lookups {
+        let key = gen.next_key();
+        let t0 = Instant::now();
+        match h.lookup(key) {
+            Ok(_) => {
+                r.latency_ns.record(t0.elapsed().as_nanos() as f64);
+                r.completed += 1;
+            }
+            Err(ServeError::ShuttingDown) => break,
+            Err(ServeError::Overloaded { .. }) => unreachable!("closed loop blocks"),
+        }
+    }
+    r
+}
+
+struct InFlight {
+    issued: Instant,
+    pending: crate::server::PendingLookup,
+}
+
+fn open_loop(
+    h: ServerHandle,
+    dist: KeyDistribution,
+    seed: u64,
+    process: ArrivalProcess,
+    duration: Duration,
+) -> ClientResult {
+    let mut keys = KeyGen::new(seed, dist);
+    let mut arrivals = ArrivalGen::new(seed ^ 0x9E37_79B9, process);
+    let mut r = ClientResult { completed: 0, shed: 0, latency_ns: LogHistogram::new() };
+    let mut in_flight: Vec<InFlight> = Vec::new();
+    let start = Instant::now();
+    let mut next_at = Duration::ZERO;
+    loop {
+        next_at += Duration::from_nanos(arrivals.next_gap_ns() as u64);
+        if next_at >= duration {
+            break;
+        }
+        // Late arrivals issue immediately — the schedule never stretches
+        // on slow replies, which is what keeps the loop "open".
+        if let Some(wait) = next_at.checked_sub(start.elapsed()) {
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+        match h.begin_lookup(keys.next_key()) {
+            Ok(pending) => in_flight.push(InFlight { issued: Instant::now(), pending }),
+            Err(ServeError::Overloaded { .. }) => r.shed += 1,
+            Err(ServeError::ShuttingDown) => break,
+        }
+        // Reap whatever has completed; replies don't gate arrivals.
+        in_flight.retain(|f| match f.pending.poll() {
+            Some(Ok(_)) => {
+                r.latency_ns.record(f.issued.elapsed().as_nanos() as f64);
+                r.completed += 1;
+                false
+            }
+            Some(Err(_)) => false,
+            None => true,
+        });
+    }
+    for f in in_flight {
+        if f.pending.wait().is_ok() {
+            r.latency_ns.record(f.issued.elapsed().as_nanos() as f64);
+            r.completed += 1;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::server::IndexServer;
+    use dini_workload::gen_sorted_unique_keys;
+
+    fn quick_server(shards: usize) -> IndexServer {
+        let keys = gen_sorted_unique_keys(20_000, 5);
+        let mut cfg = ServeConfig::new(shards);
+        cfg.max_delay = Duration::from_micros(100);
+        IndexServer::build(&keys, cfg)
+    }
+
+    #[test]
+    fn closed_loop_completes_every_lookup() {
+        let server = quick_server(2);
+        let report = run_load(
+            &server.handle(),
+            KeyDistribution::Uniform,
+            1,
+            LoadMode::Closed { clients: 4, lookups_per_client: 250 },
+        );
+        assert_eq!(report.completed, 1000);
+        assert_eq!(report.shed, 0);
+        assert!(report.throughput_lps() > 0.0);
+        assert_eq!(report.latency_ns.count(), 1000);
+        assert_eq!(server.stats().served, 1000);
+        assert!(report.summary().contains("lookups/s"));
+    }
+
+    #[test]
+    fn open_loop_offers_on_schedule() {
+        let server = quick_server(2);
+        let report = run_load(
+            &server.handle(),
+            KeyDistribution::Uniform,
+            2,
+            LoadMode::Open {
+                clients: 2,
+                process: ArrivalProcess::uniform_rate(2000.0),
+                duration: Duration::from_millis(200),
+            },
+        );
+        // 2 clients × 2000/s × 0.2 s ≈ 800 arrivals; allow wide slack for
+        // slow CI machines, but the loop must make real progress.
+        let offered = report.completed + report.shed;
+        assert!(offered > 100, "offered only {offered}");
+        assert!(report.wall >= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn zipf_load_hits_hot_shards_without_errors() {
+        let server = quick_server(4);
+        let report = run_load(
+            &server.handle(),
+            KeyDistribution::Zipf { n_buckets: 64, s: 1.2 },
+            3,
+            LoadMode::Closed { clients: 2, lookups_per_client: 200 },
+        );
+        assert_eq!(report.completed, 400);
+    }
+}

@@ -1,0 +1,161 @@
+//! Key-space sharding: which shard owns a key.
+//!
+//! The same trick the paper's master plays across slaves, replayed one
+//! level up: the u32 key space is range-partitioned across shards by a
+//! delimiter array, and routing is a binary search over `n_shards − 1`
+//! delimiters — a handful of comparisons over a cache-resident array.
+//! Range partitioning (rather than hashing) is what keeps *rank* queries
+//! composable: every key smaller than shard `s`'s range lives in a shard
+//! `< s`, so `global_rank = base_rank(s) + local_rank`.
+
+/// Routes keys to shards by range partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    /// `delimiters[i]` is the smallest key owned by shard `i + 1`.
+    delimiters: Vec<u32>,
+}
+
+impl ShardRouter {
+    /// Build a router splitting `keys` (sorted, unique) into `n_shards`
+    /// contiguous ranges of near-equal population. The delimiters are
+    /// fixed for the server's lifetime; churn changes shard *sizes*, not
+    /// shard *boundaries*.
+    pub fn from_keys(keys: &[u32], n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        assert!(
+            keys.len() >= n_shards,
+            "need at least one key per shard ({} keys, {n_shards} shards)",
+            keys.len()
+        );
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+        let base = keys.len() / n_shards;
+        let extra = keys.len() % n_shards;
+        let mut delimiters = Vec::with_capacity(n_shards - 1);
+        let mut start = 0usize;
+        for j in 0..n_shards {
+            let end = start + base + usize::from(j < extra);
+            if j > 0 {
+                delimiters.push(keys[start]);
+            }
+            start = end;
+        }
+        Self { delimiters }
+    }
+
+    /// An explicit delimiter list (`delimiters[i]` = first key of shard
+    /// `i + 1`; must be strictly increasing).
+    pub fn from_delimiters(delimiters: Vec<u32>) -> Self {
+        debug_assert!(
+            delimiters.windows(2).all(|w| w[0] < w[1]),
+            "delimiters must be strictly increasing"
+        );
+        Self { delimiters }
+    }
+
+    /// Which shard owns `key`.
+    #[inline]
+    pub fn route(&self, key: u32) -> usize {
+        self.delimiters.partition_point(|&d| d <= key)
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.delimiters.len() + 1
+    }
+
+    /// The half-open key range shard `s` owns (first shard starts at 0,
+    /// last shard is unbounded above).
+    pub fn shard_range(&self, s: usize) -> (u32, Option<u32>) {
+        let lo = if s == 0 { 0 } else { self.delimiters[s - 1] };
+        let hi = self.delimiters.get(s).copied();
+        (lo, hi)
+    }
+
+    /// Split sorted-unique `keys` into per-shard slices along the
+    /// delimiters (used at build time and by oracles in tests).
+    pub fn split<'a>(&self, keys: &'a [u32]) -> Vec<&'a [u32]> {
+        let mut out = Vec::with_capacity(self.n_shards());
+        let mut start = 0usize;
+        for &d in &self.delimiters {
+            let end = start + keys[start..].partition_point(|&k| k < d);
+            out.push(&keys[start..end]);
+            start = end;
+        }
+        out.push(&keys[start..]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_and_route_agree() {
+        let keys: Vec<u32> = (0..100).map(|i| i * 10).collect();
+        let r = ShardRouter::from_keys(&keys, 4);
+        assert_eq!(r.n_shards(), 4);
+        // 25 keys per shard; shard 1 starts at key 250.
+        assert_eq!(r.route(0), 0);
+        assert_eq!(r.route(249), 0);
+        assert_eq!(r.route(250), 1);
+        assert_eq!(r.route(u32::MAX), 3);
+    }
+
+    #[test]
+    fn split_covers_all_keys_in_order() {
+        let keys: Vec<u32> = (0..97).map(|i| i * 3 + 1).collect();
+        let r = ShardRouter::from_keys(&keys, 5);
+        let parts = r.split(&keys);
+        assert_eq!(parts.len(), 5);
+        let glued: Vec<u32> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+        assert_eq!(glued, keys);
+        for (s, part) in parts.iter().enumerate() {
+            for &k in *part {
+                assert_eq!(r.route(k), s, "key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn routed_shard_owns_unindexed_keys_too() {
+        let keys: Vec<u32> = vec![100, 200, 300, 400];
+        let r = ShardRouter::from_keys(&keys, 2);
+        // Delimiter is 300: anything below goes to shard 0.
+        assert_eq!(r.route(0), 0);
+        assert_eq!(r.route(299), 0);
+        assert_eq!(r.route(300), 1);
+        assert_eq!(r.route(1000), 1);
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let r = ShardRouter::from_keys(&[1, 2, 3], 1);
+        assert_eq!(r.n_shards(), 1);
+        assert_eq!(r.route(0), 0);
+        assert_eq!(r.route(u32::MAX), 0);
+        assert_eq!(r.shard_range(0), (0, None));
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_key_space() {
+        let keys: Vec<u32> = (0..50).map(|i| i * 7).collect();
+        let r = ShardRouter::from_keys(&keys, 3);
+        let mut expect_lo = 0u32;
+        for s in 0..r.n_shards() {
+            let (lo, hi) = r.shard_range(s);
+            assert_eq!(lo, expect_lo);
+            if let Some(h) = hi {
+                expect_lo = h;
+            } else {
+                assert_eq!(s, r.n_shards() - 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one key per shard")]
+    fn too_many_shards_rejected() {
+        let _ = ShardRouter::from_keys(&[1, 2], 3);
+    }
+}

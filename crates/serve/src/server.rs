@@ -1,0 +1,689 @@
+//! The multi-tenant index server: shards, dispatchers, and the writer.
+//!
+//! Thread topology for an `n`-shard server with `k` slaves per shard:
+//!
+//! ```text
+//!  callers ──try_submit/submit──► [admission queue s] ─► dispatcher s ─► DistributedIndex s
+//!    │                                  (bounded,           (coalesces       (k pinned slave
+//!    │                                   shed-on-full)       batches)          threads)
+//!    └──update(Op)──► writer ──DeltaArray per shard──► EpochCell s (overlay publish)
+//!                        │                         └──► rebuild channel s (merged index swap)
+//! ```
+//!
+//! * **Dispatchers** (one per shard) own their shard's
+//!   [`DistributedIndex`] outright — `lookup_batch` needs `&mut self` —
+//!   and serve consistent `(index, overlay)` pairs; see
+//!   [`crate::snapshot`] for the epoch protocol.
+//! * **The writer** (single thread) owns every shard's
+//!   [`DeltaArray`](dini_index::DeltaArray), folds churn through it,
+//!   publishes overlays every `publish_every` ops, and on crossing
+//!   `merge_threshold` merges, rebuilds that shard's index on its own
+//!   thread (readers keep serving the old epoch), and ships the new one
+//!   to the dispatcher. Lookups therefore never block on writers.
+//! * **Global ranks** compose across shards: the writer republishes every
+//!   shard's `base_rank` (live keys in lower shards) with each snapshot
+//!   wave, so a lookup in shard `s` returns
+//!   `base_rank(s) + main_rank + overlay_adjust` — the paper's
+//!   master/slave rank composition, one level up.
+
+use crate::admission::AdmissionQueue;
+use crate::batcher::{collect_batch, Request};
+use crate::config::{ServeConfig, ServeError};
+use crate::router::ShardRouter;
+use crate::snapshot::{EpochCell, ShardSnapshot};
+use crate::stats::{ServeStats, ShardStats};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use dini_cache_sim::NullMemory;
+use dini_core::{DistributedIndex, NativeConfig};
+use dini_index::{DeltaArray, RankIndex};
+use dini_workload::Op;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long an idle dispatcher sleeps between shutdown-flag checks.
+const IDLE_POLL: Duration = Duration::from_millis(10);
+
+/// An index-swap message from the writer to one dispatcher.
+struct Rebuild {
+    main_epoch: u64,
+    /// `None` when the shard's main array emptied (all keys deleted).
+    index: Option<DistributedIndex>,
+    snapshot: ShardSnapshot,
+}
+
+enum WriterMsg {
+    Apply(Op),
+    Quiesce(Sender<()>),
+}
+
+#[derive(Debug, Default)]
+struct WriterCounters {
+    updates: AtomicU64,
+    snapshots: AtomicU64,
+    merges: AtomicU64,
+    live_keys: AtomicU64,
+}
+
+/// A sharded, batch-coalescing, online-updatable rank-query server.
+///
+/// Build one over an initial sorted key set, take cheap cloneable
+/// [`ServerHandle`]s for concurrent callers, feed churn through
+/// [`update`](Self::update), and read accounting from
+/// [`stats`](Self::stats). Dropping the server joins every thread.
+///
+/// ```
+/// use dini_serve::{IndexServer, ServeConfig};
+///
+/// let keys: Vec<u32> = (0..10_000).map(|i| i * 4).collect();
+/// let server = IndexServer::build(&keys, ServeConfig::new(2));
+/// let handle = server.handle();
+/// assert_eq!(handle.lookup(100).unwrap(), 26); // 0,4,…,100 → 26 keys ≤ 100
+///
+/// server.update(dini_serve::Op::Insert(101)).unwrap();
+/// server.quiesce();
+/// assert_eq!(handle.lookup(101).unwrap(), 27);
+/// ```
+pub struct IndexServer {
+    router: Arc<ShardRouter>,
+    queues: Vec<AdmissionQueue>,
+    shard_stats: Vec<Arc<Mutex<ShardStats>>>,
+    counters: Arc<WriterCounters>,
+    shutdown: Arc<AtomicBool>,
+    dispatchers: Vec<JoinHandle<()>>,
+    writer_tx: Option<Sender<WriterMsg>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+/// A cheap, cloneable caller-side handle: routes lookups to shard queues.
+#[derive(Clone)]
+pub struct ServerHandle {
+    router: Arc<ShardRouter>,
+    queues: Vec<AdmissionQueue>,
+}
+
+fn build_index(keys: &[u32], slaves: usize, pin: bool) -> Option<DistributedIndex> {
+    if keys.is_empty() {
+        return None;
+    }
+    let mut cfg = NativeConfig::new(slaves.min(keys.len()));
+    cfg.pin_cores = pin;
+    Some(DistributedIndex::build(keys, cfg))
+}
+
+impl IndexServer {
+    /// Build a server over `keys` (sorted ascending, unique). Spawns
+    /// `n_shards` dispatcher threads, `n_shards × slaves_per_shard` index
+    /// worker threads, and one writer thread.
+    pub fn build(keys: &[u32], cfg: ServeConfig) -> Self {
+        cfg.validate();
+        let router = Arc::new(ShardRouter::from_keys(keys, cfg.n_shards));
+        let parts = router.split(keys);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(WriterCounters::default());
+        counters.live_keys.store(keys.len() as u64, Ordering::Relaxed);
+
+        let mut queues = Vec::with_capacity(cfg.n_shards);
+        let mut shard_stats = Vec::with_capacity(cfg.n_shards);
+        let mut cells = Vec::with_capacity(cfg.n_shards);
+        let mut rebuild_txs = Vec::with_capacity(cfg.n_shards);
+        let mut dispatchers = Vec::with_capacity(cfg.n_shards);
+        let mut deltas = Vec::with_capacity(cfg.n_shards);
+
+        let mut base_rank = 0u32;
+        for (s, part) in parts.iter().enumerate() {
+            let stats = Arc::new(Mutex::new(ShardStats::default()));
+            let cell = Arc::new(EpochCell::new(ShardSnapshot::empty(0, base_rank)));
+            let (req_tx, req_rx) = bounded::<Request>(cfg.queue_capacity);
+            let (rebuild_tx, rebuild_rx) = unbounded::<Rebuild>();
+            let index = build_index(part, cfg.slaves_per_shard, cfg.pin_cores);
+            deltas.push(DeltaArray::new(part.to_vec(), 0, 0.0, cfg.merge_threshold));
+            dispatchers.push(spawn_dispatcher(
+                s,
+                index,
+                req_rx,
+                rebuild_rx,
+                cell.clone(),
+                stats.clone(),
+                shutdown.clone(),
+                cfg.max_batch,
+                cfg.max_delay,
+            ));
+            queues.push(AdmissionQueue::new(s, req_tx));
+            shard_stats.push(stats);
+            cells.push(cell);
+            rebuild_txs.push(rebuild_tx);
+            base_rank += part.len() as u32;
+        }
+
+        let (writer_tx, writer_rx) = bounded::<WriterMsg>(4096);
+        let writer = spawn_writer(
+            deltas,
+            router.clone(),
+            cells,
+            rebuild_txs,
+            counters.clone(),
+            writer_rx,
+            cfg.clone(),
+        );
+
+        Self {
+            router,
+            queues,
+            shard_stats,
+            counters,
+            shutdown,
+            dispatchers,
+            writer_tx: Some(writer_tx),
+            writer: Some(writer),
+        }
+    }
+
+    /// A cloneable caller handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { router: self.router.clone(), queues: self.queues.clone() }
+    }
+
+    /// Apply one churn operation (applied asynchronously by the writer;
+    /// visible to lookups after the next snapshot publication, or after
+    /// [`quiesce`](Self::quiesce)). `Op::Query` is accepted and ignored,
+    /// so whole [`ChurnGen`](dini_workload::ChurnGen) streams can be fed
+    /// through unfiltered.
+    pub fn update(&self, op: Op) -> Result<(), ServeError> {
+        let tx = self.writer_tx.as_ref().expect("writer alive until drop");
+        tx.send(WriterMsg::Apply(op)).map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Block until every previously submitted update is applied *and*
+    /// published. Lookups submitted after `quiesce` returns observe all
+    /// of them.
+    pub fn quiesce(&self) {
+        let (ack_tx, ack_rx) = bounded(1);
+        let tx = self.writer_tx.as_ref().expect("writer alive until drop");
+        if tx.send(WriterMsg::Quiesce(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Number of live keys as of the last snapshot publication.
+    pub fn len(&self) -> usize {
+        self.counters.live_keys.load(Ordering::Relaxed) as usize
+    }
+
+    /// Whether the index currently holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.router.n_shards()
+    }
+
+    /// Point-in-time aggregate statistics.
+    pub fn stats(&self) -> ServeStats {
+        let mut total = ServeStats::default();
+        for s in &self.shard_stats {
+            total.absorb_shard(&s.lock().expect("stats poisoned"));
+        }
+        for q in &self.queues {
+            total.admitted += q.admitted();
+            total.shed += q.shed();
+        }
+        total.updates_applied = self.counters.updates.load(Ordering::Relaxed);
+        total.snapshots_published = self.counters.snapshots.load(Ordering::Relaxed);
+        total.merges = self.counters.merges.load(Ordering::Relaxed);
+        total
+    }
+}
+
+impl Drop for IndexServer {
+    fn drop(&mut self) {
+        // Writer first: it still holds rebuild/cell endpoints.
+        self.writer_tx.take(); // hang up
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
+        }
+        // Dispatchers: the flag covers caller handles that still hold
+        // admission senders (a plain channel-disconnect protocol would
+        // block this join on them).
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queues.clear();
+        for d in self.dispatchers.drain(..) {
+            let _ = d.join();
+        }
+    }
+}
+
+/// A lookup that has been admitted but not yet answered. Redeem with
+/// [`wait`](Self::wait) (blocking) or reap with [`poll`](Self::poll) —
+/// the primitive a genuinely open-loop caller needs: admission happens at
+/// submit time, so the caller's arrival schedule never stretches on slow
+/// replies.
+#[derive(Debug)]
+pub struct PendingLookup {
+    rx: Receiver<Result<u32, ServeError>>,
+}
+
+impl PendingLookup {
+    /// Block for the rank.
+    pub fn wait(self) -> Result<u32, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// The rank if it has arrived, `None` if still in flight.
+    pub fn poll(&self) -> Option<Result<u32, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(reply) => Some(reply),
+            Err(crossbeam::channel::TryRecvError::Empty) => None,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Some(Err(ServeError::ShuttingDown))
+            }
+        }
+    }
+}
+
+impl ServerHandle {
+    fn enqueue(&self, key: u32, blocking: bool) -> Result<PendingLookup, ServeError> {
+        let (tx, rx) = bounded(1);
+        let req = Request { key, enqueued: Instant::now(), reply: tx };
+        let q = &self.queues[self.router.route(key)];
+        if blocking {
+            q.submit(req)?;
+        } else {
+            q.try_submit(req)?;
+        }
+        Ok(PendingLookup { rx })
+    }
+
+    /// Rank of `key` (number of live index keys ≤ `key`), blocking while
+    /// the shard queue is full (closed-loop semantics).
+    pub fn lookup(&self, key: u32) -> Result<u32, ServeError> {
+        self.enqueue(key, true)?.wait()
+    }
+
+    /// Rank of `key`, shedding instead of blocking when the shard queue
+    /// is full, then waiting for the answer.
+    pub fn try_lookup(&self, key: u32) -> Result<u32, ServeError> {
+        self.enqueue(key, false)?.wait()
+    }
+
+    /// Submit without waiting: sheds when the shard queue is full,
+    /// otherwise returns a [`PendingLookup`] to redeem later.
+    pub fn begin_lookup(&self, key: u32) -> Result<PendingLookup, ServeError> {
+        self.enqueue(key, false)
+    }
+
+    /// Rank every key, preserving order. Submits everything before
+    /// collecting, so the whole slice coalesces into few batches.
+    pub fn lookup_many(&self, keys: &[u32]) -> Result<Vec<u32>, ServeError> {
+        let mut replies = Vec::with_capacity(keys.len());
+        for &k in keys {
+            replies.push(self.enqueue(k, true)?);
+        }
+        replies.into_iter().map(PendingLookup::wait).collect()
+    }
+
+    /// Number of shards behind this handle.
+    pub fn n_shards(&self) -> usize {
+        self.router.n_shards()
+    }
+}
+
+/// Per-shard dispatcher: coalesce → lookup_batch → reply.
+#[allow(clippy::too_many_arguments)]
+fn spawn_dispatcher(
+    shard: usize,
+    index: Option<DistributedIndex>,
+    req_rx: Receiver<Request>,
+    rebuild_rx: Receiver<Rebuild>,
+    cell: Arc<EpochCell>,
+    stats: Arc<Mutex<ShardStats>>,
+    shutdown: Arc<AtomicBool>,
+    max_batch: usize,
+    max_delay: Duration,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("dini-serve-shard-{shard}"))
+        .spawn(move || {
+            let mut index = index;
+            let mut main_epoch = 0u64;
+            let mut overlay = cell.load();
+            let mut rebuilds_adopted = 0u64;
+            loop {
+                let first = match req_rx.recv_timeout(IDLE_POLL) {
+                    Ok(req) => req,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+
+                let (batch, disconnected) = collect_batch(&req_rx, first, max_batch, max_delay);
+
+                // Pin the read state at *service* time, after collection:
+                // a request admitted after a writer quiesce() returned may
+                // join this still-open batch, so the snapshot must be at
+                // least as fresh as the youngest batch member. Adopt
+                // pending index rebuilds (merge epochs) first, newest
+                // last…
+                while let Ok(r) = rebuild_rx.try_recv() {
+                    index = r.index;
+                    main_epoch = r.main_epoch;
+                    overlay = Arc::new(r.snapshot);
+                    rebuilds_adopted += 1;
+                }
+                // …then the freshest overlay, only if it matches the main
+                // array actually being served (see snapshot.rs).
+                let fresh = cell.load();
+                if fresh.main_epoch == main_epoch {
+                    overlay = fresh;
+                }
+
+                let keys: Vec<u32> = batch.iter().map(|r| r.key).collect();
+                let local = match index.as_mut() {
+                    Some(ix) => ix.lookup_batch(&keys),
+                    None => vec![0; keys.len()],
+                };
+
+                let done = Instant::now();
+                let mut latencies = Vec::with_capacity(batch.len());
+                for (req, local_rank) in batch.into_iter().zip(local) {
+                    let rank = i64::from(overlay.base_rank)
+                        + i64::from(local_rank)
+                        + overlay.rank_adjust(req.key);
+                    debug_assert!(rank >= 0, "rank underflow for key {}", req.key);
+                    // A gone caller is fine; drop the reply.
+                    let _ = req.reply.send(Ok(rank as u32));
+                    latencies.push(done.duration_since(req.enqueued).as_nanos() as f64);
+                }
+                {
+                    let mut s = stats.lock().expect("stats poisoned");
+                    s.record_batch(&latencies);
+                    s.rebuilds = rebuilds_adopted;
+                }
+                if disconnected {
+                    break;
+                }
+            }
+        })
+        .expect("spawn dispatcher")
+}
+
+/// The single writer: fold churn → publish overlays → merge/rebuild.
+fn spawn_writer(
+    mut deltas: Vec<DeltaArray>,
+    router: Arc<ShardRouter>,
+    cells: Vec<Arc<EpochCell>>,
+    rebuild_txs: Vec<Sender<Rebuild>>,
+    counters: Arc<WriterCounters>,
+    rx: Receiver<WriterMsg>,
+    cfg: ServeConfig,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("dini-serve-writer".to_owned())
+        .spawn(move || {
+            let mut main_epochs = vec![0u64; deltas.len()];
+            let mut since_publish = 0usize;
+
+            let base_ranks = |deltas: &[DeltaArray]| -> Vec<u32> {
+                let mut base = 0u32;
+                deltas
+                    .iter()
+                    .map(|d| {
+                        let b = base;
+                        base += d.len() as u32;
+                        b
+                    })
+                    .collect()
+            };
+
+            let publish_all =
+                |deltas: &[DeltaArray], main_epochs: &[u64], counters: &WriterCounters| {
+                    let bases = base_ranks(deltas);
+                    for (s, d) in deltas.iter().enumerate() {
+                        cells[s].publish(ShardSnapshot {
+                            main_epoch: main_epochs[s],
+                            base_rank: bases[s],
+                            inserts: d.pending_inserts().to_vec(),
+                            deletes: d.pending_deletes().to_vec(),
+                        });
+                    }
+                    let live: u64 = deltas.iter().map(|d| d.len() as u64).sum();
+                    counters.live_keys.store(live, Ordering::Relaxed);
+                    counters.snapshots.fetch_add(1, Ordering::Relaxed);
+                };
+
+            for msg in rx.iter() {
+                match msg {
+                    WriterMsg::Apply(op) => {
+                        let key = op.key();
+                        let s = router.route(key);
+                        let mut mem = NullMemory;
+                        match op {
+                            Op::Query(_) => continue, // lookups go via handles
+                            Op::Insert(k) => {
+                                deltas[s].insert(k, &mut mem);
+                            }
+                            Op::Delete(k) => {
+                                deltas[s].delete(k, &mut mem);
+                            }
+                        }
+                        counters.updates.fetch_add(1, Ordering::Relaxed);
+
+                        if deltas[s].needs_merge() {
+                            // Merge + rebuild off the read path: readers
+                            // keep serving the old epoch until the new
+                            // index lands on their swap channel.
+                            deltas[s].merge(&mut mem);
+                            main_epochs[s] += 1;
+                            counters.merges.fetch_add(1, Ordering::Relaxed);
+                            let index = build_index(
+                                deltas[s].main_keys(),
+                                cfg.slaves_per_shard,
+                                cfg.pin_cores,
+                            );
+                            let snapshot =
+                                ShardSnapshot::empty(main_epochs[s], base_ranks(&deltas)[s]);
+                            // Send before publishing the new epoch's
+                            // overlay so dispatchers can always catch up.
+                            let _ = rebuild_txs[s].send(Rebuild {
+                                main_epoch: main_epochs[s],
+                                index,
+                                snapshot,
+                            });
+                            publish_all(&deltas, &main_epochs, &counters);
+                            since_publish = 0;
+                            continue;
+                        }
+
+                        since_publish += 1;
+                        if since_publish >= cfg.publish_every {
+                            publish_all(&deltas, &main_epochs, &counters);
+                            since_publish = 0;
+                        }
+                    }
+                    WriterMsg::Quiesce(ack) => {
+                        publish_all(&deltas, &main_epochs, &counters);
+                        since_publish = 0;
+                        let _ = ack.send(());
+                    }
+                }
+            }
+        })
+        .expect("spawn writer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dini_workload::gen_sorted_unique_keys;
+    use std::collections::BTreeSet;
+
+    fn cfg(shards: usize) -> ServeConfig {
+        let mut c = ServeConfig::new(shards);
+        c.max_delay = Duration::from_micros(200);
+        c.max_batch = 64;
+        c
+    }
+
+    fn oracle(set: &BTreeSet<u32>, q: u32) -> u32 {
+        set.range(..=q).count() as u32
+    }
+
+    #[test]
+    fn static_lookups_match_oracle() {
+        let keys = gen_sorted_unique_keys(20_000, 11);
+        let set: BTreeSet<u32> = keys.iter().copied().collect();
+        let server = IndexServer::build(&keys, cfg(4));
+        let h = server.handle();
+        for i in 0..500u32 {
+            let q = i.wrapping_mul(2_654_435_761);
+            assert_eq!(h.lookup(q).unwrap(), oracle(&set, q), "query {q}");
+        }
+        assert_eq!(server.len(), 20_000);
+        assert_eq!(server.n_shards(), 4);
+    }
+
+    #[test]
+    fn lookup_many_preserves_order() {
+        let keys: Vec<u32> = (1..=1000).map(|i| i * 10).collect();
+        let server = IndexServer::build(&keys, cfg(3));
+        let h = server.handle();
+        let queries = vec![0u32, 10, 9_999, 10_000, u32::MAX, 5];
+        assert_eq!(h.lookup_many(&queries).unwrap(), vec![0, 1, 999, 1000, 1000, 0]);
+    }
+
+    #[test]
+    fn updates_become_visible_after_quiesce() {
+        let keys: Vec<u32> = (0..1000).map(|i| i * 4).collect();
+        let server = IndexServer::build(&keys, cfg(2));
+        let h = server.handle();
+        assert_eq!(h.lookup(1).unwrap(), 1); // only key 0 ≤ 1
+
+        server.update(Op::Insert(1)).unwrap();
+        server.update(Op::Delete(0)).unwrap();
+        server.quiesce();
+        assert_eq!(h.lookup(1).unwrap(), 1); // {1} ≤ 1
+        assert_eq!(h.lookup(0).unwrap(), 0); // 0 deleted
+        assert_eq!(server.len(), 1000);
+    }
+
+    #[test]
+    fn cross_shard_base_ranks_track_churn() {
+        // Insert a pile of keys into shard 0's range; ranks of keys in
+        // the highest shard must shift by exactly that pile.
+        let keys: Vec<u32> = (0..4000).map(|i| i * 1000).collect();
+        let server = IndexServer::build(&keys, cfg(4));
+        let h = server.handle();
+        let before = h.lookup(u32::MAX).unwrap();
+        for k in 0..100u32 {
+            server.update(Op::Insert(k * 1000 + 1)).unwrap();
+        }
+        server.quiesce();
+        assert_eq!(h.lookup(u32::MAX).unwrap(), before + 100);
+    }
+
+    #[test]
+    fn merges_rebuild_indexes_without_wrong_answers() {
+        let keys: Vec<u32> = (0..2000).map(|i| i * 8).collect();
+        let mut set: BTreeSet<u32> = keys.iter().copied().collect();
+        let mut c = cfg(2);
+        c.merge_threshold = 32; // force frequent merges
+        c.publish_every = 8;
+        let server = IndexServer::build(&keys, c);
+        let h = server.handle();
+        for i in 0..500u32 {
+            let k = i.wrapping_mul(2_654_435_761) % 20_000;
+            if i % 3 == 0 {
+                server.update(Op::Delete(k)).unwrap();
+                set.remove(&k);
+            } else {
+                server.update(Op::Insert(k)).unwrap();
+                set.insert(k);
+            }
+        }
+        server.quiesce();
+        let stats = server.stats();
+        assert!(stats.merges > 0, "merge_threshold 32 must trigger merges");
+        for q in (0..20_100u32).step_by(97) {
+            assert_eq!(h.lookup(q).unwrap(), oracle(&set, q), "rank({q})");
+        }
+    }
+
+    #[test]
+    fn deleting_everything_then_reinserting_works() {
+        let keys: Vec<u32> = (1..=64).collect();
+        let mut c = cfg(2);
+        c.merge_threshold = 8;
+        let server = IndexServer::build(&keys, c);
+        let h = server.handle();
+        for k in 1..=64u32 {
+            server.update(Op::Delete(k)).unwrap();
+        }
+        server.quiesce();
+        assert_eq!(h.lookup(u32::MAX).unwrap(), 0);
+        assert_eq!(server.len(), 0);
+        assert!(server.is_empty());
+        for k in (2..=40u32).step_by(2) {
+            server.update(Op::Insert(k)).unwrap();
+        }
+        server.quiesce();
+        assert_eq!(h.lookup(u32::MAX).unwrap(), 20);
+        assert_eq!(h.lookup(10).unwrap(), 5);
+    }
+
+    #[test]
+    fn stats_count_served_queries() {
+        let keys = gen_sorted_unique_keys(5_000, 21);
+        let server = IndexServer::build(&keys, cfg(2));
+        let h = server.handle();
+        let queries: Vec<u32> = (0..256u32).map(|i| i * 7919).collect();
+        h.lookup_many(&queries).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.served, 256);
+        assert_eq!(stats.admitted, 256);
+        assert!(stats.batches > 0 && stats.batches <= 256);
+        assert!(stats.mean_batch() >= 1.0);
+        assert!(stats.latency_quantile_ns(0.5) > 0.0);
+    }
+
+    #[test]
+    fn handles_survive_server_drop() {
+        let keys = gen_sorted_unique_keys(1_000, 31);
+        let server = IndexServer::build(&keys, cfg(2));
+        let h = server.handle();
+        assert!(h.lookup(5).is_ok());
+        drop(server);
+        assert_eq!(h.lookup(5), Err(ServeError::ShuttingDown));
+        assert_eq!(h.try_lookup(5), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn concurrent_handles_all_get_correct_answers() {
+        let keys = gen_sorted_unique_keys(50_000, 41);
+        let keys_arc = Arc::new(keys.clone());
+        let server = IndexServer::build(&keys, cfg(4));
+        let workers: Vec<_> = (0..8)
+            .map(|w| {
+                let h = server.handle();
+                let keys = keys_arc.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        let q = (i * 8 + w).wrapping_mul(747_796_405);
+                        let expect = keys.partition_point(|&k| k <= q) as u32;
+                        assert_eq!(h.lookup(q).unwrap(), expect, "query {q}");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(server.stats().served, 8 * 500);
+    }
+}

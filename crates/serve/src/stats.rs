@@ -1,0 +1,138 @@
+//! Serving-side accounting: latency percentiles, batch shapes, counters.
+//!
+//! Response time is a first-class quantity here, as in the paper's
+//! "severe constraints in both throughput and response time". Latency
+//! samples (reply − enqueue, i.e. including coalescing and queueing
+//! delay) land in [`dini_cluster::LogHistogram`]s — fixed memory, O(1)
+//! insert, quantiles good to one log-bin — updated once per *batch*
+//! under a per-shard mutex, so accounting stays off the per-query path.
+
+use dini_cluster::LogHistogram;
+
+/// One shard's accumulated accounting (guarded by a mutex in the server;
+/// the dispatcher takes it once per batch).
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Per-query latency (ns): reply time − enqueue time.
+    pub latency_ns: LogHistogram,
+    /// Batch sizes at departure.
+    pub batch_size: LogHistogram,
+    /// Queries served.
+    pub served: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Index rebuilds adopted (merge epochs crossed).
+    pub rebuilds: u64,
+}
+
+impl ShardStats {
+    /// Fold one departed batch into the stats.
+    pub fn record_batch(&mut self, latencies_ns: &[f64]) {
+        for &ns in latencies_ns {
+            self.latency_ns.record(ns);
+        }
+        self.batch_size.record(latencies_ns.len() as f64);
+        self.served += latencies_ns.len() as u64;
+        self.batches += 1;
+    }
+}
+
+/// A point-in-time aggregate over all shards plus writer-side counters.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Merged per-query latency across shards (ns).
+    pub latency_ns: LogHistogram,
+    /// Merged batch-size distribution.
+    pub batch_size: LogHistogram,
+    /// Total queries served.
+    pub served: u64,
+    /// Total batches dispatched.
+    pub batches: u64,
+    /// Total index rebuilds adopted by dispatchers.
+    pub rebuilds: u64,
+    /// Requests admitted into some shard queue.
+    pub admitted: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Churn operations applied by the writer.
+    pub updates_applied: u64,
+    /// Snapshot epochs published by the writer.
+    pub snapshots_published: u64,
+    /// Delta merges (and index rebuilds) performed by the writer.
+    pub merges: u64,
+}
+
+impl ServeStats {
+    /// Fold one shard's stats in.
+    pub fn absorb_shard(&mut self, s: &ShardStats) {
+        self.latency_ns.merge(&s.latency_ns);
+        self.batch_size.merge(&s.batch_size);
+        self.served += s.served;
+        self.batches += s.batches;
+        self.rebuilds += s.rebuilds;
+    }
+
+    /// Mean departed-batch size (0 when no batches departed).
+    pub fn mean_batch(&self) -> f64 {
+        self.batch_size.mean()
+    }
+
+    /// Latency quantile in nanoseconds (`q` in `[0, 1]`).
+    pub fn latency_quantile_ns(&self, q: f64) -> f64 {
+        self.latency_ns.quantile(q)
+    }
+
+    /// One-line human summary (used by the example and the bench).
+    pub fn summary(&self) -> String {
+        format!(
+            "served {} in {} batches (mean batch {:.1}), shed {} | \
+             latency p50 {:.0} ns, p99 {:.0} ns, p999 {:.0} ns | \
+             {} updates, {} snapshots, {} merges",
+            self.served,
+            self.batches,
+            self.mean_batch(),
+            self.shed,
+            self.latency_quantile_ns(0.50),
+            self.latency_quantile_ns(0.99),
+            self.latency_quantile_ns(0.999),
+            self.updates_applied,
+            self.snapshots_published,
+            self.merges,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_accumulate() {
+        let mut s = ShardStats::default();
+        s.record_batch(&[100.0, 200.0, 300.0]);
+        s.record_batch(&[50.0]);
+        assert_eq!(s.served, 4);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.latency_ns.count(), 4);
+        assert_eq!(s.batch_size.count(), 2);
+    }
+
+    #[test]
+    fn absorb_merges_everything() {
+        let mut a = ShardStats::default();
+        a.record_batch(&[100.0, 200.0]);
+        let mut b = ShardStats::default();
+        b.record_batch(&[1_000.0]);
+        b.rebuilds = 2;
+        let mut total = ServeStats::default();
+        total.absorb_shard(&a);
+        total.absorb_shard(&b);
+        assert_eq!(total.served, 3);
+        assert_eq!(total.batches, 2);
+        assert_eq!(total.rebuilds, 2);
+        // One log2/4 bin is ~19 % wide; the 1000 ns sample's bin floor is ~861.
+        assert!(total.latency_quantile_ns(1.0) >= 800.0);
+        let line = total.summary();
+        assert!(line.contains("served 3"), "{line}");
+    }
+}

@@ -16,6 +16,4 @@
 
 pub mod measure;
 
-pub use measure::{
-    detect_knees, measure_all, measure_latency_curve, HostParams, LatencyPoint,
-};
+pub use measure::{detect_knees, measure_all, measure_latency_curve, HostParams, LatencyPoint};

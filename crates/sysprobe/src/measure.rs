@@ -78,7 +78,7 @@ fn chase_cycle(n: usize, seed: u64) -> Vec<usize> {
 /// (ns per load, MB/s effective for 8-byte loads).
 pub fn measure_chase(bytes: usize, loads: usize) -> (f64, f64) {
     let n = (bytes / 64).max(16); // one slot per cache line
-    // Slots are 64-byte spaced: store indices in a padded array.
+                                  // Slots are 64-byte spaced: store indices in a padded array.
     let next = chase_cycle(n, 0xC0FFEE);
     let mut padded = vec![0usize; n * 8]; // 8 usize = 64 bytes per slot
     for i in 0..n {
@@ -127,7 +127,11 @@ pub struct LatencyPoint {
 
 /// Chase-latency curve over power-of-two working sets in
 /// `[min_bytes, max_bytes]` — the classic cache-size staircase.
-pub fn measure_latency_curve(min_bytes: usize, max_bytes: usize, loads: usize) -> Vec<LatencyPoint> {
+pub fn measure_latency_curve(
+    min_bytes: usize,
+    max_bytes: usize,
+    loads: usize,
+) -> Vec<LatencyPoint> {
     let mut out = Vec::new();
     let mut size = min_bytes.next_power_of_two();
     while size <= max_bytes {
@@ -248,8 +252,7 @@ mod tests {
 
     #[test]
     fn gradual_rise_below_factor_is_not_a_knee() {
-        let curve =
-            curve_of(&[(1 << 10, 2.0), (2 << 10, 2.5), (4 << 10, 3.1), (8 << 10, 3.8)]);
+        let curve = curve_of(&[(1 << 10, 2.0), (2 << 10, 2.5), (4 << 10, 3.1), (8 << 10, 3.8)]);
         assert!(detect_knees(&curve, 2.0).is_empty(), "compounding gentle rises must not trip");
     }
 

@@ -154,10 +154,7 @@ mod tests {
             }
         }
         assert!(deletes > 0);
-        assert!(
-            hits as f64 / deletes as f64 > 0.8,
-            "deletes should mostly hit: {hits}/{deletes}"
-        );
+        assert!(hits as f64 / deletes as f64 > 0.8, "deletes should mostly hit: {hits}/{deletes}");
     }
 
     #[test]

@@ -145,7 +145,7 @@ mod tests {
         let mut counts = [0u32; 64];
         for _ in 0..20_000 {
             let k = d.sample(&mut rng);
-            counts[(k / (u32::MAX / 64).max(1)).min(63) as usize] += 1;
+            counts[(k / (u32::MAX / 64)).min(63) as usize] += 1;
         }
         let max = *counts.iter().max().unwrap() as f64;
         let mean = 20_000.0 / 64.0;
@@ -180,8 +180,7 @@ mod tests {
         // the same recursively within it.
         let high = (0..n).filter(|_| d.sample(&mut rng) >= u32::MAX / 2).count();
         assert!(high as f64 / n as f64 > 0.85);
-        let top_quarter =
-            (0..n).filter(|_| d.sample(&mut rng) >= u32::MAX / 4 * 3).count();
+        let top_quarter = (0..n).filter(|_| d.sample(&mut rng) >= u32::MAX / 4 * 3).count();
         assert!(top_quarter as f64 / n as f64 > 0.75);
     }
 

@@ -7,17 +7,20 @@
 //! This crate provides seeded, reproducible generators for that workload
 //! plus skewed variants (Zipf, clustered, self-similar) used by our
 //! beyond-paper ablations, interleaved update streams ([`churn`]) for the
-//! dynamic-index extensions, and serde-serialisable query traces for
-//! replay.
+//! dynamic-index extensions, open-loop arrival processes ([`arrivals`])
+//! for serving-layer load generation, and serde-serialisable query traces
+//! for replay.
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod batch;
 pub mod churn;
 pub mod dist;
 pub mod keys;
 pub mod trace;
 
+pub use arrivals::{ArrivalGen, ArrivalProcess};
 pub use batch::{batch_count, BatchIter};
 pub use churn::{ChurnGen, Op, OpMix};
 pub use dist::KeyDistribution;

@@ -10,9 +10,9 @@ use dini::{run_comparison, ExperimentSetup, MethodId};
 
 fn main() {
     let setup = ExperimentSetup {
-        n_index_keys: 327_680,       // the paper's Table 1 index
-        batch_bytes: 64 * 1024,      // a good Figure 3 operating point
-        ..ExperimentSetup::paper()   // PIII nodes, Myrinet, 1 + 10 nodes
+        n_index_keys: 327_680,      // the paper's Table 1 index
+        batch_bytes: 64 * 1024,     // a good Figure 3 operating point
+        ..ExperimentSetup::paper()  // PIII nodes, Myrinet, 1 + 10 nodes
     };
     let n_search = 1 << 20; // 2^20 queries (the paper ran 2^23)
 

@@ -15,9 +15,7 @@
 //! cargo run --release --example future_trends
 //! ```
 
-use dini::model::sensitivity::{
-    master_bound_slave_count, network_bw_breakeven, sweep_b2_penalty,
-};
+use dini::model::sensitivity::{master_bound_slave_count, network_bw_breakeven, sweep_b2_penalty};
 use dini::model::trends::trend_series;
 use dini::model::ModelParams;
 
@@ -43,9 +41,14 @@ fn main() {
         Some(bw) => {
             let mb_s = bw * 1000.0;
             println!("\nC-3 beats B down to W2 ≈ {mb_s:.0} MB/s (paper's Myrinet: 138 MB/s,");
-            println!("its Fast Ethernet fallback: 12.5 MB/s — {}).",
-                if 0.0125 < bw { "below break-even, C-3 would lose there" }
-                else { "still above break-even" });
+            println!(
+                "its Fast Ethernet fallback: 12.5 MB/s — {}).",
+                if 0.0125 < bw {
+                    "below break-even, C-3 would lose there"
+                } else {
+                    "still above break-even"
+                }
+            );
         }
         None => println!("\nC-3 beats B across the whole probed network range."),
     }

@@ -26,13 +26,17 @@ fn topic_hash(topic: &str) -> u32 {
 fn main() {
     // The broker ring: range delimiters learned from a bootstrap sample of
     // the topic population (in production these come from load balancing).
-    let mut sample: Vec<u32> = (0..60_000u32)
-        .map(|i| topic_hash(&format!("sensor/{}/reading/{}", i % 300, i)))
-        .collect();
+    let mut sample: Vec<u32> =
+        (0..60_000u32).map(|i| topic_hash(&format!("sensor/{}/reading/{}", i % 300, i))).collect();
     sample.sort_unstable();
     sample.dedup();
 
-    let cfg = NativeConfig { n_slaves: N_BROKERS, pin_cores: false, channel_capacity: 8, ..NativeConfig::new(1) };
+    let cfg = NativeConfig {
+        n_slaves: N_BROKERS,
+        pin_cores: false,
+        channel_capacity: 8,
+        ..NativeConfig::new(1)
+    };
     let mut router = DistributedIndex::build(&sample, cfg);
     println!(
         "pub/sub router: {} sampled topics, {} brokers, ~{} topics each",

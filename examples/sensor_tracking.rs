@@ -59,7 +59,12 @@ fn main() {
     cells.sort_unstable();
     cells.dedup();
 
-    let cfg = NativeConfig { n_slaves: N_TRACKERS, pin_cores: false, channel_capacity: 8, ..NativeConfig::new(1) };
+    let cfg = NativeConfig {
+        n_slaves: N_TRACKERS,
+        pin_cores: false,
+        channel_capacity: 8,
+        ..NativeConfig::new(1)
+    };
     let mut field = DistributedIndex::build(&cells, cfg);
     println!("sensor field: {} cells over {N_TRACKERS} tracking nodes", cells.len());
 
@@ -79,10 +84,13 @@ fn main() {
     for _step in 0..N_STEPS {
         // One batched position report per tick — the batching the paper's
         // Method C depends on falls out naturally here.
-        let batch: Vec<u32> = walkers.iter_mut().map(|w| {
-            let (x, y) = w.step();
-            z_order(x, y)
-        }).collect();
+        let batch: Vec<u32> = walkers
+            .iter_mut()
+            .map(|w| {
+                let (x, y) = w.step();
+                z_order(x, y)
+            })
+            .collect();
         let _ranks = field.lookup_batch(&batch);
         for (obj, &key) in batch.iter().enumerate() {
             let owner = field.dispatch(key);

@@ -1,0 +1,95 @@
+//! Serving-layer demo: a sharded `IndexServer` under mixed load — Zipf
+//! lookups from closed-loop clients *while* a churn stream folds inserts
+//! and deletes through the writer — then a quiesce and an exact check of
+//! served ranks against a single-threaded `BTreeSet` oracle.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+
+use dini::serve::{IndexServer, LoadMode, Op, ServeConfig};
+use dini::workload::{ChurnGen, KeyDistribution, OpMix};
+use dini_serve::run_load;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn main() {
+    // Initial index: 200k keys in a compact range so churn collides with
+    // the live set (tombstones, resurrects) rather than only growing it.
+    let n_keys = 200_000usize;
+    let keys: Vec<u32> = (0..n_keys as u32).map(|i| i * 16 + 3).collect();
+    let key_space = n_keys as u32 * 16 + 16;
+
+    let shards =
+        std::thread::available_parallelism().map(|n| (n.get() / 2).clamp(2, 4)).unwrap_or(2);
+    let mut cfg = ServeConfig::new(shards);
+    cfg.slaves_per_shard = 2;
+    cfg.max_batch = 256;
+    cfg.max_delay = Duration::from_micros(50);
+    cfg.merge_threshold = 2048;
+    cfg.publish_every = 64;
+    println!(
+        "serving {} keys over {} shards × {} slaves (batch ≤ {}, delay ≤ {:?})",
+        n_keys, shards, cfg.slaves_per_shard, cfg.max_batch, cfg.max_delay
+    );
+    let server = IndexServer::build(&keys, cfg);
+
+    // Churn: a deterministic write-heavy stream applied while serving.
+    // The oracle replays the identical stream into a BTreeSet.
+    let mut oracle: BTreeSet<u32> = keys.iter().copied().collect();
+    let churn_ops: Vec<Op> =
+        ChurnGen::new(7, KeyDistribution::Clustered { lo: 0, hi: key_space }, OpMix::write_heavy())
+            .take(60_000);
+    for op in &churn_ops {
+        match *op {
+            Op::Insert(k) => {
+                oracle.insert(k);
+            }
+            Op::Delete(k) => {
+                oracle.remove(&k);
+            }
+            Op::Query(_) => {}
+        }
+    }
+
+    // Writer-side churn runs concurrently with the read load below.
+    let clients = 8;
+    let lookups_per_client = 25_000;
+    let report = std::thread::scope(|scope| {
+        let updater = scope.spawn(|| {
+            for op in &churn_ops {
+                server.update(*op).expect("writer alive");
+            }
+        });
+        // Mixed Zipf lookups: hot buckets hammer a few shards, the tail
+        // touches everything.
+        let report = run_load(
+            &server.handle(),
+            KeyDistribution::Zipf { n_buckets: 256, s: 1.1 },
+            42,
+            LoadMode::Closed { clients, lookups_per_client },
+        );
+        updater.join().expect("churn thread");
+        report
+    });
+
+    println!("\n== load report ({} closed-loop clients) ==", clients);
+    println!("{}", report.summary());
+    println!("\n== server accounting ==");
+    println!("{}", server.stats().summary());
+
+    // Quiesce: every update applied and published; lookups now must equal
+    // the single-threaded oracle exactly (the integration test
+    // `tests/serve_oracle.rs` checks the same invariant harder).
+    server.quiesce();
+    let handle = server.handle();
+    let mut checked = 0u32;
+    for q in (0..key_space + 64).step_by(97) {
+        let got = handle.lookup(q).expect("serving");
+        let want = oracle.range(..=q).count() as u32;
+        assert_eq!(got, want, "rank({q}) diverged from oracle");
+        checked += 1;
+    }
+    println!("\noracle check: {checked} ranks match the single-threaded BTreeSet replay ✓");
+    println!("live keys: {} (oracle {})", server.len(), oracle.len());
+}

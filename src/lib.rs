@@ -14,6 +14,7 @@
 //! | [`model`] | the paper's Appendix-A analytical model + Figure 4 trends + sensitivity solvers |
 //! | [`sysprobe`] | host measurements of the paper's Table 2 quantities + cache-size knee detection |
 //! | [`core`] | Methods A, B, C-1/C-2/C-3, really-dispatched A/B + the native [`DistributedIndex`] |
+//! | [`serve`] | sharded, batch-coalescing serving layer: admission control, online updates, load generators |
 //!
 //! ## Quickstart (native, real threads)
 //!
@@ -27,6 +28,32 @@
 //! assert_eq!(index.lookup(10), 6); // six keys ≤ 10
 //! ```
 //!
+//! ## Quickstart (serving layer)
+//!
+//! [`DistributedIndex`] answers one caller's batches; [`IndexServer`]
+//! turns it into a multi-tenant server: concurrent callers' lookups
+//! coalesce into batches (the paper's Figure 3 knob, applied to live
+//! traffic), the key space is range-sharded across indexes, bounded
+//! queues shed on overload, and a writer thread folds churn in behind
+//! immutable snapshots so reads never block on updates.
+//!
+//! ```
+//! use dini::serve::{IndexServer, Op, ServeConfig};
+//!
+//! let keys: Vec<u32> = (0..100_000).map(|i| i * 2).collect();
+//! let server = IndexServer::build(&keys, ServeConfig::new(2));
+//! let handle = server.handle(); // Clone per caller thread
+//! assert_eq!(handle.lookup(10).unwrap(), 6);
+//!
+//! server.update(Op::Insert(7)).unwrap(); // online churn
+//! server.quiesce();
+//! assert_eq!(handle.lookup(10).unwrap(), 7);
+//! println!("{}", server.stats().summary()); // p50/p99/p999, batches, sheds
+//! ```
+//!
+//! Run the end-to-end demo (mixed Zipf lookups + churn, latency
+//! percentiles, oracle check): `cargo run --release --example serve_demo`.
+//!
 //! ## Reproducing the paper
 //!
 //! ```text
@@ -37,14 +64,14 @@
 //! cargo run -p dini-bench --release --bin fig4
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
-//! paper-vs-measured results on every table and figure.
+//! See `DESIGN.md` for the workspace layout and system inventory.
 
 pub use dini_cache_sim as cache_sim;
 pub use dini_cluster as cluster;
 pub use dini_core as core;
 pub use dini_index as index;
 pub use dini_model as model;
+pub use dini_serve as serve;
 pub use dini_sysprobe as sysprobe;
 pub use dini_workload as workload;
 
@@ -52,3 +79,4 @@ pub use dini_core::{
     run_comparison, run_method, run_replicated_distributed, standard_workload, DistributedIndex,
     ExperimentSetup, LoadBalance, MethodId, NativeConfig, ReplicaEngine, RunStats, SlaveStructure,
 };
+pub use dini_serve::{IndexServer, ServeConfig, ServeError, ServerHandle};

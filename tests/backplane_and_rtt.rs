@@ -5,11 +5,7 @@ use dini::cluster::SwitchModel;
 use dini::{run_method, standard_workload, ExperimentSetup, MethodId};
 
 fn setup() -> ExperimentSetup {
-    ExperimentSetup {
-        n_index_keys: 100_000,
-        batch_bytes: 64 * 1024,
-        ..ExperimentSetup::paper()
-    }
+    ExperimentSetup { n_index_keys: 100_000, batch_bytes: 64 * 1024, ..ExperimentSetup::paper() }
 }
 
 #[test]

@@ -244,8 +244,8 @@ fn crashed_slave_fails_over_to_replica() {
     let mut s1 = RankSlave { keys: index.clone(), master: 0 };
     let mut s2 = RankSlave { keys: index.clone(), master: 0 };
     // Slave 1 dies almost immediately; every even batch must fail over.
-    let sim = SimCluster::new(NetworkModel::myrinet())
-        .with_faults(FaultPlan::none().crash(1, 50_000.0));
+    let sim =
+        SimCluster::new(NetworkModel::myrinet()).with_faults(FaultPlan::none().crash(1, 50_000.0));
     let report = sim.run::<RMsg>(&mut [&mut master, &mut s1, &mut s2]);
 
     for (b, got) in master.inner.answered.iter().enumerate() {

@@ -18,8 +18,18 @@ fn c3_wins_at_moderate_batches() {
     let a = run_method(MethodId::A, &setup, &idx, &q);
     let b = run_method(MethodId::B, &setup, &idx, &q);
     let c3 = run_method(MethodId::C3, &setup, &idx, &q);
-    assert!(c3.search_time_s < a.search_time_s, "C-3 {} vs A {}", c3.search_time_s, a.search_time_s);
-    assert!(c3.search_time_s < b.search_time_s, "C-3 {} vs B {}", c3.search_time_s, b.search_time_s);
+    assert!(
+        c3.search_time_s < a.search_time_s,
+        "C-3 {} vs A {}",
+        c3.search_time_s,
+        a.search_time_s
+    );
+    assert!(
+        c3.search_time_s < b.search_time_s,
+        "C-3 {} vs B {}",
+        c3.search_time_s,
+        b.search_time_s
+    );
 }
 
 /// §4.1: "If a batch size is 16 KB or less, Methods C-1, C-2, and C-3 are

@@ -1,0 +1,244 @@
+//! End-to-end correctness of the serving layer against a single-threaded
+//! oracle: churn streams replay both into `IndexServer::update` (folded
+//! through per-shard `DeltaArray`s, published as epoch snapshots,
+//! merged/rebuilt when over budget) and into a `BTreeSet`; ranks must
+//! agree exactly after `quiesce()` — for any shard count, with merges
+//! forced often, and with concurrent readers hammering the server while
+//! snapshots are being published.
+
+use dini::serve::{IndexServer, LoadMode, Op, ServeConfig, ServeError};
+use dini::workload::{ChurnGen, KeyDistribution, OpMix};
+use dini_serve::run_load;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn oracle_rank(set: &BTreeSet<u32>, q: u32) -> u32 {
+    set.range(..=q).count() as u32
+}
+
+/// Deterministic initial keys in a compact range so churn collides with
+/// them often (tombstones, resurrects, duplicate inserts).
+fn initial_keys(n: usize) -> Vec<u32> {
+    (0..n as u32).map(|i| i * 16 + 3).collect()
+}
+
+fn serve_cfg(shards: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(shards);
+    cfg.max_delay = Duration::from_micros(200);
+    cfg.max_batch = 128;
+    cfg.merge_threshold = 64; // force many merge/rebuild epochs
+    cfg.publish_every = 16;
+    cfg
+}
+
+/// Replay `n_ops` of churn into both the server and a BTreeSet oracle.
+/// Query ops are collected and later checked against the oracle.
+fn replay_churn(
+    server: &IndexServer,
+    set: &mut BTreeSet<u32>,
+    seed: u64,
+    n_ops: usize,
+) -> Vec<u32> {
+    // Keys from the same compact range as the initial set.
+    let dist = KeyDistribution::Clustered { lo: 0, hi: 70_000 };
+    let mut churn = ChurnGen::new(seed, dist, OpMix::write_heavy());
+    let mut query_keys = Vec::new();
+    for _ in 0..n_ops {
+        let op = churn.next_op();
+        match op {
+            Op::Query(k) => query_keys.push(k),
+            Op::Insert(k) => {
+                set.insert(k);
+            }
+            Op::Delete(k) => {
+                set.remove(&k);
+            }
+        }
+        server.update(op).expect("writer alive");
+    }
+    query_keys
+}
+
+#[test]
+fn churn_replay_matches_oracle_across_shard_counts() {
+    for shards in [1usize, 2, 4, 7] {
+        let keys = initial_keys(4000);
+        let mut set: BTreeSet<u32> = keys.iter().copied().collect();
+        let server = IndexServer::build(&keys, serve_cfg(shards));
+        let handle = server.handle();
+
+        let queries = replay_churn(&server, &mut set, 1000 + shards as u64, 3000);
+        server.quiesce();
+
+        let stats = server.stats();
+        assert!(stats.merges > 0, "{shards} shards: churn must cross the merge threshold");
+
+        // The churn stream's own queries…
+        for &q in queries.iter().step_by(3) {
+            assert_eq!(
+                handle.lookup(q).expect("serving"),
+                oracle_rank(&set, q),
+                "{shards} shards, churn query {q}"
+            );
+        }
+        // …plus a full sweep across the key range, shard boundaries
+        // included.
+        for q in (0..70_100u32).step_by(211) {
+            assert_eq!(
+                handle.lookup(q).expect("serving"),
+                oracle_rank(&set, q),
+                "{shards} shards, sweep query {q}"
+            );
+        }
+        assert_eq!(server.len(), set.len());
+    }
+}
+
+#[test]
+fn second_churn_round_stays_correct_after_rebuilds() {
+    // Crossing many merge epochs must not accumulate drift: replay two
+    // rounds with a full verification between them.
+    let keys = initial_keys(2000);
+    let mut set: BTreeSet<u32> = keys.iter().copied().collect();
+    let server = IndexServer::build(&keys, serve_cfg(3));
+    let handle = server.handle();
+
+    for round in 0..2u64 {
+        replay_churn(&server, &mut set, 77 + round, 2500);
+        server.quiesce();
+        for q in (0..70_100u32).step_by(173) {
+            assert_eq!(
+                handle.lookup(q).expect("serving"),
+                oracle_rank(&set, q),
+                "round {round}, query {q}"
+            );
+        }
+    }
+    assert!(server.stats().merges >= 2);
+}
+
+#[test]
+fn lookups_during_churn_converge_to_oracle() {
+    // DeltaArray under concurrent snapshot publication: readers hammer
+    // the server from other threads while the writer folds churn,
+    // publishes snapshots, and rebuilds indexes. Concurrent answers are
+    // allowed to be stale, never torn; afterwards a quiesce must bring
+    // everything to the oracle state.
+    let keys = initial_keys(4000);
+    let mut set: BTreeSet<u32> = keys.iter().copied().collect();
+    let server = IndexServer::build(&keys, serve_cfg(4));
+    let handle = server.handle();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let h = server.handle();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut k = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    k = k.wrapping_add(0x9E37_79B9).wrapping_add(r);
+                    let rank = h.lookup(k % 70_000).expect("serving");
+                    // Rank is bounded by the key universe at all times —
+                    // a torn snapshot would violate this wildly.
+                    assert!(rank <= 80_000, "implausible rank {rank}");
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    replay_churn(&server, &mut set, 4242, 6000);
+    server.quiesce();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let concurrent_lookups: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(concurrent_lookups > 0, "readers must have made progress");
+
+    for q in (0..70_100u32).step_by(101) {
+        assert_eq!(handle.lookup(q).expect("serving"), oracle_rank(&set, q), "query {q}");
+    }
+    let stats = server.stats();
+    assert!(stats.merges > 0 && stats.snapshots_published > 0);
+}
+
+#[test]
+fn overload_sheds_instead_of_queueing_without_bound() {
+    // One shard, queue of 1, no coalescing: every lookup is a full
+    // dispatch round, so a multi-threaded fire-and-forget burst offers
+    // far more than the shard can admit and the bounded queue must shed —
+    // while every *admitted* lookup still returns the exact oracle rank.
+    let keys = initial_keys(2000);
+    let set: BTreeSet<u32> = keys.iter().copied().collect();
+    let mut cfg = ServeConfig::new(1);
+    cfg.queue_capacity = 1;
+    cfg.max_batch = 1;
+    cfg.max_delay = Duration::ZERO;
+    let server = IndexServer::build(&keys, cfg);
+
+    let submitters: Vec<_> = (0..4u32)
+        .map(|t| {
+            let h = server.handle();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut shed = 0u64;
+                let mut pending = Vec::new();
+                for i in 0..5000u32 {
+                    let key = (t * 5000 + i).wrapping_mul(2_654_435_761) % 40_000;
+                    match h.begin_lookup(key) {
+                        Ok(p) => {
+                            ok += 1;
+                            pending.push((key, p));
+                        }
+                        Err(ServeError::Overloaded { shard }) => {
+                            assert_eq!(shard, 0);
+                            shed += 1;
+                        }
+                        Err(e) => panic!("unexpected error {e}"),
+                    }
+                }
+                (ok, shed, pending)
+            })
+        })
+        .collect();
+
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for s in submitters {
+        let (o, sh, pending) = s.join().unwrap();
+        ok += o;
+        shed += sh;
+        for (key, p) in pending {
+            assert_eq!(p.wait().expect("admitted lookups are served"), oracle_rank(&set, key));
+        }
+    }
+    assert!(ok > 0, "some lookups must be admitted");
+    assert!(shed > 0, "a capacity-1 queue under a 4×5000 burst must shed");
+    // Shedding is non-destructive: service resumes immediately.
+    assert_eq!(server.handle().lookup(keys[10]).unwrap(), 11);
+    // Batch accounting lands just after replies; give the dispatcher a
+    // beat before comparing counters.
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = server.stats();
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.served, ok + 1);
+}
+
+#[test]
+fn closed_loop_load_is_fully_served_and_accounted() {
+    let keys = initial_keys(20_000);
+    let server = IndexServer::build(&keys, serve_cfg(4));
+    let report = run_load(
+        &server.handle(),
+        KeyDistribution::Zipf { n_buckets: 128, s: 1.1 },
+        9,
+        LoadMode::Closed { clients: 4, lookups_per_client: 500 },
+    );
+    assert_eq!(report.completed, 2000);
+    assert_eq!(report.shed, 0);
+    let stats = server.stats();
+    assert_eq!(stats.served, 2000);
+    assert_eq!(stats.admitted, 2000);
+    assert!(stats.mean_batch() >= 1.0);
+}

@@ -33,11 +33,8 @@ fn different_seeds_change_results() {
     // Guards against accidentally ignoring the seed (a classic way for
     // "deterministic" tests to go vacuous).
     use dini::workload::{gen_search_keys, gen_sorted_unique_keys};
-    let setup = ExperimentSetup {
-        n_index_keys: 20_000,
-        batch_bytes: 8 * 1024,
-        ..ExperimentSetup::paper()
-    };
+    let setup =
+        ExperimentSetup { n_index_keys: 20_000, batch_bytes: 8 * 1024, ..ExperimentSetup::paper() };
     let idx = gen_sorted_unique_keys(setup.n_index_keys, 1);
     let q1 = gen_search_keys(10_000, 2);
     let q2 = gen_search_keys(10_000, 3);

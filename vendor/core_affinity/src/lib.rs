@@ -1,0 +1,49 @@
+//! Hermetic stand-in for the `core_affinity` crate.
+//!
+//! The real crate talks to the OS scheduler (via `libc`) to pin threads to
+//! cores. This build runs in an environment without crates.io access, so
+//! pinning is **gated off**: [`get_core_ids`] reports the machine's
+//! available parallelism (so placement logic exercises its real code
+//! paths), while [`set_for_current`] is a no-op returning `false` — the
+//! same observable behaviour as the real crate on a platform that denies
+//! affinity changes. All callers in this workspace already treat pinning
+//! as best-effort.
+
+/// Identifier of one logical core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreId {
+    /// Zero-based logical core number.
+    pub id: usize,
+}
+
+/// IDs of the cores the current process may run on, or `None` when the
+/// platform cannot report them.
+pub fn get_core_ids() -> Option<Vec<CoreId>> {
+    std::thread::available_parallelism()
+        .ok()
+        .map(|n| (0..n.get()).map(|id| CoreId { id }).collect())
+}
+
+/// Pin the calling thread to `_core`. Stubbed: always returns `false`
+/// (pinning unavailable), matching the real crate's behaviour on
+/// platforms where affinity syscalls fail.
+pub fn set_for_current(_core: CoreId) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_at_least_one_core() {
+        let ids = get_core_ids().expect("available_parallelism works on test hosts");
+        assert!(!ids.is_empty());
+        assert_eq!(ids[0].id, 0);
+    }
+
+    #[test]
+    fn set_is_a_safe_no_op() {
+        assert!(!set_for_current(CoreId { id: 0 }));
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/core_affinity/target/debug/deps/core_affinity-4977f831f8383cd1.d: src/lib.rs
+
+/root/repo/vendor/core_affinity/target/debug/deps/libcore_affinity-4977f831f8383cd1.rlib: src/lib.rs
+
+/root/repo/vendor/core_affinity/target/debug/deps/libcore_affinity-4977f831f8383cd1.rmeta: src/lib.rs
+
+src/lib.rs:

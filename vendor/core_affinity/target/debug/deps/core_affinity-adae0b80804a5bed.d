@@ -1,0 +1,5 @@
+/root/repo/vendor/core_affinity/target/debug/deps/core_affinity-adae0b80804a5bed.d: src/lib.rs
+
+/root/repo/vendor/core_affinity/target/debug/deps/core_affinity-adae0b80804a5bed: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,389 @@
+//! MPMC channels with the `crossbeam-channel` API subset the workspace
+//! uses: `bounded`/`unbounded`, cloneable `Sender`/`Receiver`, blocking
+//! `send`/`recv`, `try_send`/`try_recv`, `recv_timeout`, and draining
+//! iterators. Disconnection follows the real crate: a channel is
+//! disconnected when all peers on the other side have been dropped.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+pub enum TrySendError<T> {
+    /// The channel is full (bounded channels only). Returns the message.
+    Full(T),
+    /// All receivers are gone. Returns the message.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`]: channel empty and all senders gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message available right now.
+    Empty,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers when the last clone is dropped.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// The receiving half of a channel. Cloneable (MPMC); the channel
+/// disconnects for senders when the last clone is dropped.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// A channel holding at most `cap` in-flight messages (`cap = 0` is
+/// promoted to 1; the real crate's rendezvous semantics are not needed
+/// here and a capacity-1 buffer is strictly more permissive).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_cap(Some(cap.max(1)))
+}
+
+/// A channel with unlimited buffering.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_cap(None)
+}
+
+fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner { queue: VecDeque::new(), cap, senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(shared.clone()), Receiver(shared))
+}
+
+impl<T> Sender<T> {
+    /// Block until the message is enqueued, or fail if all receivers are
+    /// gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+            if !full {
+                inner.queue.push_back(msg);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.0.not_full.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Enqueue without blocking, failing when full or disconnected.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+            return Err(TrySendError::Full(msg));
+        }
+        inner.queue.push_back(msg);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().expect("channel poisoned").queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives, or fail once the channel is empty
+    /// and all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.0.not_empty.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        if let Some(v) = inner.queue.pop_front() {
+            self.0.not_full.notify_one();
+            return Ok(v);
+        }
+        if inner.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Block until a message arrives, the timeout elapses, or the channel
+    /// disconnects.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) =
+                self.0.not_empty.wait_timeout(inner, deadline - now).expect("channel poisoned");
+            inner = guard;
+            if res.timed_out() && inner.queue.is_empty() {
+                return if inner.senders == 0 {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
+    }
+
+    /// A blocking iterator that yields until the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().expect("channel poisoned").queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Blocking iterator over received messages; see [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { rx: self }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Owning blocking iterator; see [`Receiver::into_iter`].
+pub struct IntoIter<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().expect("channel poisoned").senders += 1;
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().expect("channel poisoned").receivers += 1;
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake receivers blocked on an empty queue so they observe the
+            // disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            // Wake senders blocked on a full queue so they observe the
+            // disconnect.
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn round_trip_and_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!((0..4).map(|_| rx.recv().unwrap()).collect::<Vec<i32>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        drop(rx);
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
+    }
+
+    #[test]
+    fn recv_sees_disconnect_after_drain() {
+        let (tx, rx) = bounded(8);
+        tx.send(7u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<u32>(1);
+        let start = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Err(RecvTimeoutError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let t = thread::spawn(move || tx.send(1).unwrap());
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_all_messages_delivered_once() {
+        let (tx, rx) = bounded(4);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..300u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone_while_blocked() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let t = thread::spawn(move || tx.send(1).is_err());
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(t.join().unwrap(), "blocked sender must observe disconnect");
+    }
+}

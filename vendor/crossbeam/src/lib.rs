@@ -1,0 +1,12 @@
+//! Hermetic stand-in for the `crossbeam` facade crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the external dependencies are vendored as minimal, API-compatible
+//! subsets (see `vendor/README.md`). Only the surface the workspace
+//! actually uses is provided: multi-producer/multi-consumer bounded and
+//! unbounded channels under [`channel`], implemented with a mutex and two
+//! condvars. Semantics (blocking, disconnection, timeouts) match the real
+//! crate; raw throughput does not, which is acceptable because every hot
+//! path batches messages.
+
+pub mod channel;

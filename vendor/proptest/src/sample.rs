@@ -1,0 +1,23 @@
+//! Sampling helpers: [`Index`], a size-agnostic position.
+
+use crate::{Arbitrary, TestRng};
+
+/// A position into a collection whose size is only known inside the test
+/// body; obtain one with `any::<prop::sample::Index>()` and resolve it
+/// with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Map this abstract position into `0..size`. Panics if `size == 0`.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "cannot index an empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

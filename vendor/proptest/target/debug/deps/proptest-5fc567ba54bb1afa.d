@@ -1,0 +1,9 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-5fc567ba54bb1afa.d: src/lib.rs src/collection.rs src/sample.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-5fc567ba54bb1afa.rlib: src/lib.rs src/collection.rs src/sample.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-5fc567ba54bb1afa.rmeta: src/lib.rs src/collection.rs src/sample.rs
+
+src/lib.rs:
+src/collection.rs:
+src/sample.rs:

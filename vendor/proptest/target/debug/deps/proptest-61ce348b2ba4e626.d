@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-61ce348b2ba4e626.d: src/lib.rs src/collection.rs src/sample.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-61ce348b2ba4e626: src/lib.rs src/collection.rs src/sample.rs
+
+src/lib.rs:
+src/collection.rs:
+src/sample.rs:

@@ -1,0 +1,50 @@
+//! Seeded generators: xoshiro256\*\* behind the `StdRng`/`SmallRng` names.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256\*\* — 256-bit state, excellent statistical quality, tiny
+/// code. State is seeded from a 64-bit value via SplitMix64, as the
+/// xoshiro authors recommend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        Self {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The workspace's default seeded generator (API-compatible with the real
+/// `StdRng` as used here: `SeedableRng::seed_from_u64` + `Rng` methods).
+pub type StdRng = Xoshiro256StarStar;
+
+/// Alias of [`StdRng`]; the real crate's `SmallRng` trades quality for
+/// speed, which is irrelevant at this workspace's draw volumes.
+pub type SmallRng = Xoshiro256StarStar;

@@ -1,0 +1,18 @@
+//! Sequence helpers: the `SliceRandom::shuffle` subset.
+
+use crate::{Rng, RngCore};
+
+/// Slice extension trait (subset of the real `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Uniformly permute the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}

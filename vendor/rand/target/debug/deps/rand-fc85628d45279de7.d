@@ -1,0 +1,7 @@
+/root/repo/vendor/rand/target/debug/deps/rand-fc85628d45279de7.d: src/lib.rs src/rngs.rs src/seq.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-fc85628d45279de7: src/lib.rs src/rngs.rs src/seq.rs
+
+src/lib.rs:
+src/rngs.rs:
+src/seq.rs:

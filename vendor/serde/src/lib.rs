@@ -1,0 +1,17 @@
+//! Hermetic stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! result types so downstream users can persist them, but no code *in*
+//! the workspace serializes anything yet. Until the real `serde` is
+//! available (this build environment has no crates.io access), the traits
+//! are empty markers and the derives emit empty impls — enough to keep
+//! every signature and derive-site source-compatible with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (real impls arrive when the
+/// real `serde` is swapped back in via `[patch.crates-io]`).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}

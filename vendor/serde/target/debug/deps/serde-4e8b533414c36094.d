@@ -1,0 +1,5 @@
+/root/repo/vendor/serde/target/debug/deps/serde-4e8b533414c36094.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/serde-4e8b533414c36094: src/lib.rs
+
+src/lib.rs:

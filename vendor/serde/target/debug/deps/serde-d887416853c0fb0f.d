@@ -1,0 +1,7 @@
+/root/repo/vendor/serde/target/debug/deps/serde-d887416853c0fb0f.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-d887416853c0fb0f.rlib: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-d887416853c0fb0f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde/target/debug/deps/serde_derive-a8f0c5c34e5dbc57.d: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde_derive-a8f0c5c34e5dbc57.so: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde_derive/src/lib.rs:

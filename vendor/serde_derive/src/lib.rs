@@ -1,0 +1,59 @@
+//! Derive stubs emitting empty impls of the `serde` marker traits.
+//!
+//! Hand-parses the item's name from the raw token stream (no `syn` in an
+//! offline build). Supports plain (non-generic) structs, enums, and
+//! unions — which covers every derive site in this workspace — and fails
+//! loudly on generics rather than emitting a wrong impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the type a `derive` was applied to, skipping attributes and
+/// visibility qualifiers. Errors on generic types.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // `#[attr]` / `#![attr]`: skip the '#' (and '!'), the bracket
+            // group falls out in the next iteration.
+            TokenTree::Punct(_) => {}
+            TokenTree::Group(_) => {}
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+                    };
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            panic!(
+                                "serde_derive stub: generic type `{name}` is not supported; \
+                                 add the impl by hand or extend vendor/serde_derive"
+                            );
+                        }
+                    }
+                    return name;
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            TokenTree::Literal(l) => panic!("serde_derive stub: unexpected literal {l}"),
+        }
+    }
+    panic!("serde_derive stub: no struct/enum/union found in derive input");
+}
+
+/// Derive an empty `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().expect("valid impl tokens")
+}
+
+/// Derive an empty `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
