@@ -109,7 +109,13 @@ pub struct DistributedIndex {
     joins: Vec<JoinHandle<()>>,
     next_batch: u64,
     n_keys: usize,
+    /// Per-slave scatter staging for the batch being assembled.
     out_bufs: Vec<Vec<(u32, u32)>>,
+    /// Recycled `(slot, rank)` buffers: every response `Vec` a slave
+    /// hands back is cleared and reused as a future scatter buffer, so
+    /// the master↔slave traffic stops allocating once capacities have
+    /// grown to the steady-state batch shape.
+    spare_bufs: Vec<Vec<(u32, u32)>>,
 }
 
 impl DistributedIndex {
@@ -183,6 +189,7 @@ impl DistributedIndex {
             next_batch: 0,
             n_keys: keys.len(),
             out_bufs: vec![Vec::new(); cfg.n_slaves],
+            spare_bufs: Vec::with_capacity(cfg.n_slaves),
         }
     }
 
@@ -217,36 +224,62 @@ impl DistributedIndex {
     /// Rank every query: `result[i]` = number of index keys ≤ `queries[i]`.
     ///
     /// Scatters by key range to the worker threads, gathers, and reorders.
+    /// Allocates a fresh result `Vec`; batch-per-batch callers (the
+    /// serving dispatcher) should reuse a buffer via
+    /// [`lookup_batch_into`](Self::lookup_batch_into) instead.
     pub fn lookup_batch(&mut self, queries: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(queries.len());
+        self.lookup_batch_into(queries, &mut out);
+        out
+    }
+
+    /// Rank every query into `out` (cleared and resized to
+    /// `queries.len()`): `out[i]` = number of index keys ≤ `queries[i]`.
+    ///
+    /// This is the steady-state-allocation-free form of
+    /// [`lookup_batch`](Self::lookup_batch): the caller owns the result
+    /// buffer, the scatter buffers are pooled on the master, and the
+    /// response buffers the slaves send back are recycled into future
+    /// scatter buffers instead of dropped — once every buffer has grown
+    /// to the workload's batch shape, a lookup touches the allocator
+    /// zero times.
+    pub fn lookup_batch_into(&mut self, queries: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(queries.len(), 0);
+        if queries.is_empty() {
+            return;
+        }
         let batch = self.next_batch;
         self.next_batch += 1;
 
-        for buf in &mut self.out_bufs {
-            buf.clear();
-        }
         for (slot, &key) in queries.iter().enumerate() {
             let s = self.dispatch(key);
             self.out_bufs[s].push((slot as u32, key));
         }
         let mut outstanding = 0usize;
-        for (s, buf) in self.out_bufs.iter_mut().enumerate() {
-            if buf.is_empty() {
+        for s in 0..self.out_bufs.len() {
+            if self.out_bufs[s].is_empty() {
                 continue;
             }
             outstanding += 1;
-            self.to_slaves[s].send((batch, std::mem::take(buf))).expect("native slave thread died");
+            // Restock the staging slot from the recycle pool (filled by
+            // previous batches' responses) while the loaded buffer rides
+            // the channel.
+            let buf =
+                std::mem::replace(&mut self.out_bufs[s], self.spare_bufs.pop().unwrap_or_default());
+            self.to_slaves[s].send((batch, buf)).expect("native slave thread died");
         }
 
-        let mut out = vec![0u32; queries.len()];
         while outstanding > 0 {
-            let (b, pairs) = self.from_slaves.recv().expect("native slave thread died");
+            let (b, mut pairs) = self.from_slaves.recv().expect("native slave thread died");
             debug_assert_eq!(b, batch, "stale batch response");
-            for (slot, rank) in pairs {
+            for &(slot, rank) in &pairs {
                 out[slot as usize] = rank;
             }
+            pairs.clear();
+            self.spare_bufs.push(pairs);
             outstanding -= 1;
         }
-        out
     }
 
     /// Rank a single key (convenience; batches amortise much better).
@@ -325,6 +358,46 @@ mod tests {
         let keys = gen_sorted_unique_keys(1000, 2);
         let mut idx = DistributedIndex::build(&keys, cfg(2));
         assert!(idx.lookup_batch(&[]).is_empty());
+        let mut out = vec![7u32; 3];
+        idx.lookup_batch_into(&[], &mut out);
+        assert!(out.is_empty(), "into-form must clear stale results");
+    }
+
+    #[test]
+    fn lookup_batch_into_matches_lookup_batch_and_reuses_out() {
+        let keys = gen_sorted_unique_keys(30_000, 9);
+        let mut idx = DistributedIndex::build(&keys, cfg(4));
+        let mut out = Vec::new();
+        for round in 0..20u32 {
+            let queries: Vec<u32> =
+                (0..257u32).map(|i| (i * 31 + round).wrapping_mul(2_654_435_761)).collect();
+            idx.lookup_batch_into(&queries, &mut out);
+            assert_eq!(out.len(), queries.len());
+            for (i, &q) in queries.iter().enumerate() {
+                assert_eq!(out[i], oracle_rank(&keys, q), "round {round}, query {q}");
+            }
+        }
+        // The same queries through the allocating form agree exactly.
+        let queries: Vec<u32> = (0..257u32).map(|i| i.wrapping_mul(747_796_405)).collect();
+        idx.lookup_batch_into(&queries, &mut out);
+        assert_eq!(idx.lookup_batch(&queries), out);
+    }
+
+    #[test]
+    fn scatter_buffers_recycle_across_batches() {
+        let keys = gen_sorted_unique_keys(10_000, 13);
+        let mut idx = DistributedIndex::build(&keys, cfg(3));
+        let queries: Vec<u32> = (0..300u32).map(|i| i * 14_321).collect();
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            idx.lookup_batch_into(&queries, &mut out);
+        }
+        // Every response Vec the slaves handed back was recycled: the
+        // pool never exceeds the number of slaves and, once warm, every
+        // pooled buffer carries real capacity from earlier batches.
+        assert!(idx.spare_bufs.len() <= idx.n_slaves());
+        assert!(!idx.spare_bufs.is_empty(), "responses must be recycled, not dropped");
+        assert!(idx.spare_bufs.iter().all(|b| b.capacity() > 0));
     }
 
     #[test]

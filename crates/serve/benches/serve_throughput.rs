@@ -8,44 +8,103 @@
 //! * `BENCH_serve.json` at the repo root: one record per
 //!   (shards × max_delay) cell with throughput and p50/p99/p999, so the
 //!   serving layer's perf trajectory is machine-trackable PR over PR.
+//!   The previous run's sweep is carried along as `previous_results`, so
+//!   the file always records a before/after pair for the tree it was
+//!   generated in.
+//!
+//! Setting `DINI_SERVE_BENCH_SMOKE=1` runs a seconds-long smoke sweep
+//! (tiny key set, short axes) and writes the JSON to a scratch path —
+//! CI uses it to keep the `BENCH_serve.json` generation path from
+//! bit-rotting without ever clobbering the real numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dini_serve::{run_load, IndexServer, KeyDistribution, LoadMode, LoadReport, ServeConfig};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Duration;
 
-const N_KEYS: usize = 200_000;
-const CLIENTS: usize = 8;
-const LOOKUPS_PER_CLIENT: usize = 10_000;
-
-fn keys() -> Vec<u32> {
-    (0..N_KEYS as u32).map(|i| i * 16 + 3).collect()
+struct BenchParams {
+    n_keys: usize,
+    clients: usize,
+    lookups_per_client: usize,
+    shard_axis: &'static [usize],
+    delay_axis_us: &'static [u64],
+    out_path: PathBuf,
+    keep_previous: bool,
 }
 
-fn server(shards: usize, delay_us: u64) -> IndexServer {
+fn real_out_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json"))
+}
+
+fn params() -> BenchParams {
+    if std::env::var_os("DINI_SERVE_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty()) {
+        BenchParams {
+            n_keys: 20_000,
+            clients: 2,
+            lookups_per_client: 500,
+            shard_axis: &[1, 2],
+            delay_axis_us: &[0, 50],
+            out_path: std::env::temp_dir().join("BENCH_serve.smoke.json"),
+            keep_previous: false,
+        }
+    } else {
+        BenchParams {
+            n_keys: 200_000,
+            clients: 8,
+            lookups_per_client: 10_000,
+            shard_axis: &[1, 2, 4],
+            delay_axis_us: &[0, 50, 200],
+            out_path: real_out_path(),
+            keep_previous: true,
+        }
+    }
+}
+
+fn keys(p: &BenchParams) -> Vec<u32> {
+    (0..p.n_keys as u32).map(|i| i * 16 + 3).collect()
+}
+
+fn server(p: &BenchParams, shards: usize, delay_us: u64) -> IndexServer {
     let mut cfg = ServeConfig::new(shards);
     cfg.slaves_per_shard = 2;
     cfg.max_batch = 256;
     cfg.max_delay = Duration::from_micros(delay_us);
-    IndexServer::build(&keys(), cfg)
+    IndexServer::build(&keys(p), cfg)
 }
 
-fn sweep_cell(shards: usize, delay_us: u64) -> LoadReport {
-    let s = server(shards, delay_us);
+fn sweep_cell(p: &BenchParams, shards: usize, delay_us: u64) -> LoadReport {
+    let s = server(p, shards, delay_us);
     run_load(
         &s.handle(),
         KeyDistribution::Zipf { n_buckets: 256, s: 1.1 },
         42,
-        LoadMode::Closed { clients: CLIENTS, lookups_per_client: LOOKUPS_PER_CLIENT },
+        LoadMode::Closed { clients: p.clients, lookups_per_client: p.lookups_per_client },
     )
 }
 
+/// The previous run's `results` array (verbatim record lines), if the
+/// output file already holds one — the "before" half of before/after.
+fn previous_results(p: &BenchParams) -> Option<String> {
+    if !p.keep_previous {
+        return None;
+    }
+    let text = std::fs::read_to_string(&p.out_path).ok()?;
+    // Match the key with its indentation so `"previous_results"` (which
+    // contains `"results"` as a substring) can never be picked up.
+    let open = "\n  \"results\": [\n";
+    let start = text.find(open)? + open.len();
+    let end = start + text[start..].find("\n  ]")?;
+    Some(text[start..end].to_string())
+}
+
 /// The sweep behind BENCH_serve.json (runs once, before criterion).
-fn emit_json() {
+fn emit_json(p: &BenchParams) {
+    let previous = previous_results(p);
     let mut records = String::new();
-    for &shards in &[1usize, 2, 4] {
-        for &delay_us in &[0u64, 50, 200] {
-            let r = sweep_cell(shards, delay_us);
+    for &shards in p.shard_axis {
+        for &delay_us in p.delay_axis_us {
+            let r = sweep_cell(p, shards, delay_us);
             eprintln!("sweep shards={shards} delay={delay_us}µs: {}", r.summary());
             if !records.is_empty() {
                 records.push_str(",\n");
@@ -64,19 +123,27 @@ fn emit_json() {
             );
         }
     }
+    let previous_block = match previous {
+        Some(ref old) => format!(
+            ",\n  \"previous_results_semantics\": \"the results array this file held when \
+             the current run was emitted — compare only runs from the same machine\",\n  \
+             \"previous_results\": [\n{old}\n  ]"
+        ),
+        None => String::new(),
+    };
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"keys\": {N_KEYS},\n  \
-         \"clients\": {CLIENTS},\n  \"lookups_per_client\": {LOOKUPS_PER_CLIENT},\n  \
-         \"distribution\": \"zipf(256, 1.1)\",\n  \"results\": [\n{records}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"keys\": {},\n  \
+         \"clients\": {},\n  \"lookups_per_client\": {},\n  \
+         \"distribution\": \"zipf(256, 1.1)\",\n  \"results\": [\n{records}\n  ]{previous_block}\n}}\n",
+        p.n_keys, p.clients, p.lookups_per_client,
     );
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    std::fs::write(out, json).expect("write BENCH_serve.json");
-    eprintln!("wrote {out}");
+    std::fs::write(&p.out_path, json).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", p.out_path.display());
 }
 
 /// Criterion timings of the caller-facing paths on a fixed 2-shard server.
-fn bench_lookup_paths(c: &mut Criterion) {
-    let s = server(2, 50);
+fn bench_lookup_paths(c: &mut Criterion, p: &BenchParams) {
+    let s = server(p, 2, 50);
     let h = s.handle();
     let queries: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
 
@@ -97,8 +164,9 @@ fn bench_lookup_paths(c: &mut Criterion) {
 }
 
 fn bench_sweep(c: &mut Criterion) {
-    emit_json();
-    bench_lookup_paths(c);
+    let p = params();
+    emit_json(&p);
+    bench_lookup_paths(c, &p);
 }
 
 criterion_group!(benches, bench_sweep);

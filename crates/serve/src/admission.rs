@@ -67,13 +67,14 @@ impl AdmissionQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oneshot::reply_pair;
     use crossbeam::channel::bounded;
     use std::time::Instant;
 
     fn req(key: u32) -> Request {
-        // The reply receiver is dropped: these tests never reply.
-        let (tx, _rx) = bounded(1);
-        Request { key, enqueued: Instant::now(), reply: tx }
+        // The waiter half is dropped: these tests never reap replies.
+        let (_slot, handle) = reply_pair();
+        Request { key, enqueued: Instant::now(), reply: handle }
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //! batches: the first query to arrive opens a batch, co-travellers join
 //! until either `max_batch` queries are aboard or `max_delay` has passed
 //! since the batch opened, and then the whole batch rides one
-//! `lookup_batch` through the shard's `DistributedIndex`.
+//! `lookup_batch_into` through the shard's `DistributedIndex`.
+//!
+//! Collection fills a caller-owned buffer ([`collect_batch_into`]) so the
+//! dispatcher loop reuses one `Vec` for every batch it ever dispatches —
+//! part of the allocation-free steady-state read path.
 
 use crate::config::ServeError;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crate::oneshot::ReplyHandle;
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
 use std::time::{Duration, Instant};
 
 /// One enqueued lookup.
@@ -22,24 +27,34 @@ pub struct Request {
     /// When the request entered the admission queue (for latency
     /// accounting: reply time − enqueue time includes coalescing delay).
     pub enqueued: Instant,
-    /// Where the rank goes; a bounded(1) channel acting as a oneshot.
-    pub reply: Sender<Result<u32, ServeError>>,
+    /// Where the rank goes: the filler half of a pooled oneshot slot.
+    /// Dropping it unsent signals `ShuttingDown` to the waiter.
+    pub reply: ReplyHandle,
 }
 
-/// Collect one batch: `first` plus co-travellers from `rx`, bounded by
-/// `max_batch` queries and `max_delay` since the batch opened (= now).
-/// Backlog already sitting in the queue joins for free — under load,
-/// batches fill to `max_batch` without ever paying the delay; the delay
-/// is only paid by sparse traffic waiting for co-travellers. Returns the
-/// batch and whether the queue disconnected while collecting.
-pub fn collect_batch(
+impl Request {
+    /// Answer the request (consumes the reply slot).
+    pub fn respond(self, reply: Result<u32, ServeError>) {
+        self.reply.send(reply);
+    }
+}
+
+/// Collect one batch into `batch` (cleared first): `first` plus
+/// co-travellers from `rx`, bounded by `max_batch` queries and
+/// `max_delay` since the batch opened (= now). Backlog already sitting in
+/// the queue joins for free — under load, batches fill to `max_batch`
+/// without ever paying the delay; the delay is only paid by sparse
+/// traffic waiting for co-travellers. Returns whether the queue
+/// disconnected while collecting.
+pub fn collect_batch_into(
     rx: &Receiver<Request>,
     first: Request,
+    batch: &mut Vec<Request>,
     max_batch: usize,
     max_delay: Duration,
-) -> (Vec<Request>, bool) {
+) -> bool {
     let deadline = Instant::now() + max_delay;
-    let mut batch = Vec::with_capacity(max_batch.min(64));
+    batch.clear();
     batch.push(first);
 
     // Free co-travellers: drain whatever has already queued up.
@@ -47,7 +62,7 @@ pub fn collect_batch(
         match rx.try_recv() {
             Ok(req) => batch.push(req),
             Err(TryRecvError::Empty) => break,
-            Err(TryRecvError::Disconnected) => return (batch, true),
+            Err(TryRecvError::Disconnected) => return true,
         }
     }
 
@@ -60,20 +75,21 @@ pub fn collect_batch(
         match rx.recv_timeout(deadline - now) {
             Ok(req) => batch.push(req),
             Err(RecvTimeoutError::Timeout) => break,
-            Err(RecvTimeoutError::Disconnected) => return (batch, true),
+            Err(RecvTimeoutError::Disconnected) => return true,
         }
     }
-    (batch, false)
+    false
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oneshot::{reply_pair, ReplySlot};
     use crossbeam::channel::bounded;
 
-    fn req(key: u32) -> (Request, Receiver<Result<u32, ServeError>>) {
-        let (tx, rx) = bounded(1);
-        (Request { key, enqueued: Instant::now(), reply: tx }, rx)
+    fn req(key: u32) -> (Request, ReplySlot) {
+        let (slot, handle) = reply_pair();
+        (Request { key, enqueued: Instant::now(), reply: handle }, slot)
     }
 
     #[test]
@@ -83,7 +99,8 @@ mod tests {
             tx.send(req(k).0).unwrap();
         }
         let start = Instant::now();
-        let (batch, disc) = collect_batch(&rx, req(0).0, 4, Duration::from_secs(5));
+        let mut batch = Vec::new();
+        let disc = collect_batch_into(&rx, req(0).0, &mut batch, 4, Duration::from_secs(5));
         assert_eq!(batch.len(), 4);
         assert!(!disc);
         assert!(start.elapsed() < Duration::from_secs(1), "must not wait for the delay");
@@ -94,7 +111,8 @@ mod tests {
     fn departs_at_deadline_with_partial_batch() {
         let (_tx, rx) = bounded::<Request>(4);
         let start = Instant::now();
-        let (batch, disc) = collect_batch(&rx, req(9).0, 100, Duration::from_millis(30));
+        let mut batch = Vec::new();
+        let disc = collect_batch_into(&rx, req(9).0, &mut batch, 100, Duration::from_millis(30));
         assert_eq!(batch.len(), 1);
         assert!(!disc, "sender still alive");
         let waited = start.elapsed();
@@ -107,7 +125,8 @@ mod tests {
         let (tx, rx) = bounded(4);
         tx.send(req(1).0).unwrap();
         drop(tx);
-        let (batch, disc) = collect_batch(&rx, req(0).0, 10, Duration::from_secs(5));
+        let mut batch = Vec::new();
+        let disc = collect_batch_into(&rx, req(0).0, &mut batch, 10, Duration::from_secs(5));
         assert_eq!(batch.len(), 2);
         assert!(disc);
     }
@@ -116,8 +135,40 @@ mod tests {
     fn max_batch_one_never_waits() {
         let (_tx, rx) = bounded::<Request>(4);
         let start = Instant::now();
-        let (batch, _) = collect_batch(&rx, req(0).0, 1, Duration::from_secs(10));
+        let mut batch = Vec::new();
+        let _ = collect_batch_into(&rx, req(0).0, &mut batch, 1, Duration::from_secs(10));
         assert_eq!(batch.len(), 1);
         assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn stale_results_cleared_and_capacity_reused() {
+        let (tx, rx) = bounded(8);
+        let mut batch = Vec::new();
+        for round in 0..3u32 {
+            for k in 0..4u32 {
+                tx.send(req(round * 10 + k).0).unwrap();
+            }
+            let (first, _slot) = req(round * 10 + 99);
+            let disc = collect_batch_into(&rx, first, &mut batch, 8, Duration::ZERO);
+            assert!(!disc);
+            assert_eq!(batch.len(), 5, "round {round}: first + 4 queued");
+            assert_eq!(batch[0].key, round * 10 + 99);
+        }
+        let cap = batch.capacity();
+        assert!(cap >= 5, "capacity persists across rounds");
+    }
+
+    #[test]
+    fn dropping_a_collected_batch_shuts_waiters_down() {
+        let (tx, rx) = bounded(4);
+        let (r1, s1) = req(1);
+        tx.send(r1).unwrap();
+        let (r0, s0) = req(0);
+        let mut batch = Vec::new();
+        collect_batch_into(&rx, r0, &mut batch, 4, Duration::ZERO);
+        drop(batch); // dispatcher dying with requests aboard
+        assert_eq!(s0.wait(), Err(ServeError::ShuttingDown));
+        assert_eq!(s1.wait(), Err(ServeError::ShuttingDown));
     }
 }

@@ -24,10 +24,16 @@
 //! * [`admission`] — bounded per-shard queues **shed on full**, so
 //!   overload surfaces as cheap explicit rejection (and a counter)
 //!   instead of unbounded queueing delay.
+//! * [`oneshot`] — **pooled reply slots**: a slab of reusable
+//!   generation-tagged reply cells replaces the per-lookup reply
+//!   channel, making the steady-state lookup path allocation-free
+//!   end to end (slots, batch scratch, and scatter buffers all recycle).
 //! * [`snapshot`] + the writer in [`server`] — **online updates**: one
 //!   writer folds churn through
 //!   [`DeltaArray`](dini_index::DeltaArray)s and publishes immutable
-//!   overlay snapshots via epoch-style atomic swap; on crossing the merge
+//!   overlay snapshots via a hand-rolled **lock-free epoch swap**
+//!   (`AtomicPtr` two-slot scheme: readers pin with three atomic RMWs
+//!   and no lock, superseded epochs freed on last unpin); on crossing the merge
 //!   threshold it rebuilds the shard's index off the read path and ships
 //!   it to the dispatcher. Lookups never block on writers.
 //! * [`stats`] — p50/p99/p999 latency and batch-shape accounting on
@@ -70,6 +76,7 @@ pub mod admission;
 pub mod batcher;
 pub mod config;
 pub mod loadgen;
+pub mod oneshot;
 pub mod router;
 pub mod server;
 pub mod snapshot;
@@ -77,6 +84,7 @@ pub mod stats;
 
 pub use config::{ServeConfig, ServeError};
 pub use loadgen::{run_load, LoadMode, LoadReport};
+pub use oneshot::SlotPool;
 pub use router::ShardRouter;
 pub use server::{IndexServer, PendingLookup, ServerHandle};
 pub use snapshot::{EpochCell, ShardSnapshot};

@@ -161,6 +161,27 @@ struct InFlight {
     pending: crate::server::PendingLookup,
 }
 
+/// Longest the open loop will sleep between reap sweeps. Recorded latency
+/// is reap time − issue time, so the reap cadence bounds the measurement
+/// error: without a cap, a reply landing right after the loop dozed off
+/// would sit unreaped for a whole inter-arrival gap and be billed the gap
+/// as latency (the bug this constant fixes — at 50 arrivals/s that
+/// over-reported p50 by up to 20 ms).
+const MAX_REAP_INTERVAL: Duration = Duration::from_micros(500);
+
+/// Reap completed lookups; replies never gate arrivals.
+fn reap(in_flight: &mut Vec<InFlight>, r: &mut ClientResult) {
+    in_flight.retain(|f| match f.pending.poll() {
+        Some(Ok(_)) => {
+            r.latency_ns.record(f.issued.elapsed().as_nanos() as f64);
+            r.completed += 1;
+            false
+        }
+        Some(Err(_)) => false,
+        None => true,
+    });
+}
+
 fn open_loop(
     h: ServerHandle,
     dist: KeyDistribution,
@@ -179,28 +200,29 @@ fn open_loop(
         if next_at >= duration {
             break;
         }
-        // Late arrivals issue immediately — the schedule never stretches
-        // on slow replies, which is what keeps the loop "open".
-        if let Some(wait) = next_at.checked_sub(start.elapsed()) {
-            if !wait.is_zero() {
-                std::thread::sleep(wait);
+        // Wait out the gap to the next scheduled arrival in capped
+        // slices, reaping between slices so in-flight replies are
+        // timestamped promptly instead of after the whole gap. Late
+        // arrivals issue immediately — the schedule never stretches on
+        // slow replies, which is what keeps the loop "open".
+        loop {
+            reap(&mut in_flight, &mut r);
+            let elapsed = start.elapsed();
+            if elapsed >= next_at {
+                break;
             }
+            let remaining = next_at - elapsed;
+            // The reap cadence only matters while replies are actually
+            // outstanding; an idle client sleeps the whole gap at once.
+            let nap =
+                if in_flight.is_empty() { remaining } else { remaining.min(MAX_REAP_INTERVAL) };
+            std::thread::sleep(nap);
         }
         match h.begin_lookup(keys.next_key()) {
             Ok(pending) => in_flight.push(InFlight { issued: Instant::now(), pending }),
             Err(ServeError::Overloaded { .. }) => r.shed += 1,
             Err(ServeError::ShuttingDown) => break,
         }
-        // Reap whatever has completed; replies don't gate arrivals.
-        in_flight.retain(|f| match f.pending.poll() {
-            Some(Ok(_)) => {
-                r.latency_ns.record(f.issued.elapsed().as_nanos() as f64);
-                r.completed += 1;
-                false
-            }
-            Some(Err(_)) => false,
-            None => true,
-        });
     }
     for f in in_flight {
         if f.pending.wait().is_ok() {
@@ -260,6 +282,36 @@ mod tests {
         let offered = report.completed + report.shed;
         assert!(offered > 100, "offered only {offered}");
         assert!(report.wall >= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn open_loop_latency_not_inflated_by_sparse_arrivals() {
+        // Regression: open_loop used to reap in-flight replies only after
+        // the *next* arrival, so at sparse rates a reply that landed in
+        // microseconds sat unreaped through the whole inter-arrival sleep
+        // and `issued.elapsed()` billed it up to a full gap. At 50
+        // arrivals/s (20 ms gaps) against an idle server whose batch
+        // delay is 100 µs, honest p50 is well under a millisecond; the
+        // bug recorded ~20 ms.
+        let server = quick_server(2);
+        let gap = Duration::from_millis(20);
+        let report = run_load(
+            &server.handle(),
+            KeyDistribution::Uniform,
+            7,
+            LoadMode::Open {
+                clients: 1,
+                process: ArrivalProcess::uniform_rate(50.0),
+                duration: Duration::from_millis(400),
+            },
+        );
+        assert!(report.completed >= 10, "sparse run must complete lookups");
+        let p50 = Duration::from_nanos(report.latency_ns.quantile(0.50) as u64);
+        assert!(
+            p50 < gap / 4,
+            "p50 {p50:?} is inflated toward the {gap:?} inter-arrival gap: \
+             replies are not being reaped promptly"
+        );
     }
 
     #[test]

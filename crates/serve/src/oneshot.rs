@@ -1,0 +1,362 @@
+//! Pooled oneshot reply slots: the allocation-free half of the read path.
+//!
+//! The first serving layer paid two heap allocations per lookup for a
+//! fresh `bounded(1)` reply channel. In the paper's economics those are
+//! exactly the per-query overheads batching exists to amortise — so this
+//! module replaces the channel with a **slab of reusable reply cells**:
+//! [`ServerHandle`](crate::ServerHandle) takes a cell from its
+//! [`SlotPool`], splits it into a waiter half ([`ReplySlot`]) and a
+//! filler half ([`ReplyHandle`]), and the waiter returns the cell to the
+//! pool when it reaps the reply. In steady state every lookup reuses a
+//! warmed cell and the path allocates nothing.
+//!
+//! ## The cell
+//!
+//! A cell is an `AtomicU64` word, a parked-waiter count, and a parking
+//! lot (`Mutex<()>` + `Condvar`) touched only when a waiter actually has
+//! to block — a poll-driven (open-loop) reply never takes the lock on
+//! either side. The word packs
+//!
+//! ```text
+//!   63           34 33  32 31            0
+//!  [  generation  ][ tag ][   payload    ]
+//! ```
+//!
+//! * `tag` — `PENDING` (0), `OK` (rank in payload), `SHUTDOWN`, or
+//!   `OVERLOAD` (shard in payload);
+//! * `generation` — bumped every time the pool hands the cell out.
+//!
+//! The generation is what makes pooling safe without reference-count
+//! gymnastics: a filler writes its reply with a compare-exchange from
+//! `gen | PENDING`, so a stale [`ReplyHandle`] whose waiter abandoned the
+//! lookup (and whose cell has since been re-issued at a higher
+//! generation) fails the CAS and silently discards its write instead of
+//! corrupting the cell's new tenant. Cells can therefore go back to the
+//! pool the moment the waiter is done with them, even if a filler clone
+//! is still in flight somewhere in a shutdown path.
+//!
+//! A [`ReplyHandle`] dropped without sending (dispatcher shutting down,
+//! queue destroyed with requests aboard) fills `SHUTDOWN` so the waiter
+//! is never stranded — the pooled analogue of a oneshot channel's
+//! disconnect.
+
+use crate::config::ServeError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+const TAG_SHIFT: u32 = 32;
+const GEN_SHIFT: u32 = 34;
+const TAG_MASK: u64 = 0b11 << TAG_SHIFT;
+const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
+/// 30 bits of generation: 10⁹ reuses per cell before wraparound.
+const GEN_MASK: u64 = (1 << (64 - GEN_SHIFT)) - 1;
+
+const TAG_PENDING: u64 = 0;
+const TAG_OK: u64 = 1;
+const TAG_SHUTDOWN: u64 = 2;
+const TAG_OVERLOAD: u64 = 3;
+
+#[inline]
+fn encode(gen: u64, reply: Result<u32, ServeError>) -> u64 {
+    let (tag, payload) = match reply {
+        Ok(rank) => (TAG_OK, u64::from(rank)),
+        Err(ServeError::ShuttingDown) => (TAG_SHUTDOWN, 0),
+        Err(ServeError::Overloaded { shard }) => (TAG_OVERLOAD, shard as u64 & PAYLOAD_MASK),
+    };
+    (gen << GEN_SHIFT) | (tag << TAG_SHIFT) | payload
+}
+
+#[inline]
+fn decode(word: u64) -> Option<Result<u32, ServeError>> {
+    match (word & TAG_MASK) >> TAG_SHIFT {
+        TAG_PENDING => None,
+        TAG_OK => Some(Ok((word & PAYLOAD_MASK) as u32)),
+        TAG_SHUTDOWN => Some(Err(ServeError::ShuttingDown)),
+        _ => Some(Err(ServeError::Overloaded { shard: (word & PAYLOAD_MASK) as usize })),
+    }
+}
+
+/// One reusable reply cell. Lives in `Arc`s held by the pool, the waiter,
+/// and (transiently) the filler; all coordination is through `word`.
+#[derive(Debug)]
+struct ReplyCell {
+    word: AtomicU64,
+    /// Waiters currently parked (or committing to park) on `cv`. Lets
+    /// `fill` skip the lock/notify entirely on the poll-driven path,
+    /// where nobody ever sleeps.
+    parked: AtomicU64,
+    /// Parking lot for a blocking waiter. The filler acquires the lock
+    /// between publishing the word and notifying, which is what makes the
+    /// sleep/notify handoff race-free.
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ReplyCell {
+    fn new() -> Self {
+        Self {
+            word: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publish `reply` for generation `gen`. A stale generation (the cell
+    /// was re-issued) or an already-filled cell is a silent no-op.
+    fn fill(&self, gen: u64, reply: Result<u32, ServeError>) {
+        let pending = gen << GEN_SHIFT; // tag PENDING, payload 0
+        if self
+            .word
+            .compare_exchange(pending, encode(gen, reply), Ordering::SeqCst, Ordering::Acquire)
+            .is_ok()
+        {
+            // SeqCst on both the CAS above and this load pairs with the
+            // waiter's SeqCst (register-parked → recheck-word) sequence:
+            // either this load observes the waiter registering (notify
+            // runs), or the waiter's recheck observes the filled word
+            // (it never sleeps) — store buffering can't hide both.
+            if self.parked.load(Ordering::SeqCst) > 0 {
+                // Hold the lock across notify: a registered waiter either
+                // rechecks the word before sleeping (it holds this lock
+                // to do so) or is parked and gets the wakeup.
+                let _held = self.lock.lock().expect("reply cell lock");
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The waiter half of one pooled lookup: redeem with [`wait`](Self::wait)
+/// or poll with [`poll`](Self::poll); dropping it returns the cell to the
+/// pool it came from.
+#[derive(Debug)]
+pub struct ReplySlot {
+    cell: Arc<ReplyCell>,
+    gen: u64,
+    pool: Option<Arc<SlotPool>>,
+}
+
+impl ReplySlot {
+    /// Block until the reply arrives.
+    pub fn wait(self) -> Result<u32, ServeError> {
+        if let Some(reply) = decode(self.cell.word.load(Ordering::Acquire)) {
+            return reply;
+        }
+        let mut held = self.cell.lock.lock().expect("reply cell lock");
+        // Register as a parked waiter *before* the under-lock recheck so
+        // a concurrent `fill` either sees the registration (and takes
+        // the notify path) or we see its word here and never sleep.
+        self.cell.parked.fetch_add(1, Ordering::SeqCst);
+        let reply = loop {
+            if let Some(reply) = decode(self.cell.word.load(Ordering::SeqCst)) {
+                break reply;
+            }
+            held = self.cell.cv.wait(held).expect("reply cell lock");
+        };
+        self.cell.parked.fetch_sub(1, Ordering::SeqCst);
+        drop(held);
+        reply
+    }
+
+    /// The reply if it has arrived, `None` while still in flight.
+    pub fn poll(&self) -> Option<Result<u32, ServeError>> {
+        let word = self.cell.word.load(Ordering::Acquire);
+        debug_assert_eq!(word >> GEN_SHIFT, self.gen & GEN_MASK, "slot outlived its generation");
+        decode(word)
+    }
+}
+
+impl Drop for ReplySlot {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(self.cell.clone());
+        }
+    }
+}
+
+/// The filler half of one pooled lookup: consumed by
+/// [`send`](Self::send); dropping it unsent fills `ShuttingDown` so the
+/// waiter is never stranded.
+#[derive(Debug)]
+pub struct ReplyHandle {
+    cell: Arc<ReplyCell>,
+    gen: u64,
+    sent: bool,
+}
+
+impl ReplyHandle {
+    /// Publish the reply and wake the waiter.
+    pub fn send(mut self, reply: Result<u32, ServeError>) {
+        self.sent = true;
+        self.cell.fill(self.gen, reply);
+    }
+}
+
+impl Drop for ReplyHandle {
+    fn drop(&mut self) {
+        if !self.sent {
+            self.cell.fill(self.gen, Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+/// A slab of reusable reply cells. The server keeps one per shard,
+/// shared by every [`ServerHandle`](crate::ServerHandle) clone, so slab
+/// traffic contends only within a shard; cells cycle
+/// take → submit → reply → reap → put without touching the allocator once
+/// the pool is warm.
+#[derive(Debug)]
+pub struct SlotPool {
+    free: Mutex<Vec<Arc<ReplyCell>>>,
+    /// Pool size cap: cells beyond this are dropped on return instead of
+    /// pooled, bounding memory under in-flight spikes.
+    capacity: usize,
+}
+
+impl SlotPool {
+    /// An empty pool retaining at most `capacity` idle cells.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self { free: Mutex::new(Vec::with_capacity(capacity)), capacity })
+    }
+
+    /// Idle cells currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("slot pool lock").len()
+    }
+
+    /// Hand out a cell as a fresh-generation waiter/filler pair,
+    /// allocating only when the pool is empty (cold start or an in-flight
+    /// spike beyond anything seen before).
+    pub fn take(self: &Arc<Self>) -> (ReplySlot, ReplyHandle) {
+        let cell = self
+            .free
+            .lock()
+            .expect("slot pool lock")
+            .pop()
+            .unwrap_or_else(|| Arc::new(ReplyCell::new()));
+        let gen = (cell.word.load(Ordering::Relaxed) >> GEN_SHIFT).wrapping_add(1) & GEN_MASK;
+        cell.word.store(gen << GEN_SHIFT, Ordering::Release);
+        let slot = ReplySlot { cell: cell.clone(), gen, pool: Some(self.clone()) };
+        let handle = ReplyHandle { cell, gen, sent: false };
+        (slot, handle)
+    }
+
+    fn put(&self, cell: Arc<ReplyCell>) {
+        let mut free = self.free.lock().expect("slot pool lock");
+        if free.len() < self.capacity {
+            free.push(cell);
+        }
+    }
+}
+
+/// A poolless waiter/filler pair (tests and one-off callers; steady-state
+/// serving always goes through a [`SlotPool`]).
+pub fn reply_pair() -> (ReplySlot, ReplyHandle) {
+    let cell = Arc::new(ReplyCell::new());
+    let gen = 1u64;
+    cell.word.store(gen << GEN_SHIFT, Ordering::Release);
+    (ReplySlot { cell: cell.clone(), gen, pool: None }, ReplyHandle { cell, gen, sent: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn send_then_wait_round_trips() {
+        let (slot, handle) = reply_pair();
+        assert_eq!(slot.poll(), None);
+        handle.send(Ok(42));
+        assert_eq!(slot.poll(), Some(Ok(42)));
+        assert_eq!(slot.wait(), Ok(42));
+    }
+
+    #[test]
+    fn wait_blocks_until_filled_cross_thread() {
+        let (slot, handle) = reply_pair();
+        let t = thread::spawn(move || slot.wait());
+        thread::sleep(Duration::from_millis(20));
+        handle.send(Ok(7));
+        assert_eq!(t.join().unwrap(), Ok(7));
+    }
+
+    #[test]
+    fn dropped_handle_signals_shutdown() {
+        let (slot, handle) = reply_pair();
+        drop(handle);
+        assert_eq!(slot.wait(), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        let (slot, handle) = reply_pair();
+        handle.send(Err(ServeError::Overloaded { shard: 5 }));
+        assert_eq!(slot.wait(), Err(ServeError::Overloaded { shard: 5 }));
+    }
+
+    #[test]
+    fn pool_recycles_cells_without_reallocating() {
+        let pool = SlotPool::new(8);
+        let (slot, handle) = pool.take();
+        handle.send(Ok(1));
+        assert_eq!(slot.wait(), Ok(1)); // drop returns the cell
+        assert_eq!(pool.idle(), 1);
+        for i in 0..100u32 {
+            let (slot, handle) = pool.take();
+            assert_eq!(pool.idle(), 0, "single-caller reuse must hit the pooled cell");
+            handle.send(Ok(i));
+            assert_eq!(slot.wait(), Ok(i));
+        }
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn stale_filler_cannot_corrupt_a_recycled_cell() {
+        let pool = SlotPool::new(8);
+        let (slot, stale_handle) = pool.take();
+        drop(slot); // abandon while still pending: cell goes back pooled
+        assert_eq!(pool.idle(), 1);
+
+        let (slot2, handle2) = pool.take(); // same cell, new generation
+        stale_handle.send(Ok(999)); // stale write must miss
+        assert_eq!(slot2.poll(), None, "stale generation must not fill the new tenant");
+        handle2.send(Ok(5));
+        assert_eq!(slot2.wait(), Ok(5));
+    }
+
+    #[test]
+    fn pool_capacity_bounds_idle_cells() {
+        let pool = SlotPool::new(2);
+        let pairs: Vec<_> = (0..5).map(|_| pool.take()).collect();
+        for (slot, handle) in pairs {
+            handle.send(Ok(0));
+            let _ = slot.wait();
+        }
+        assert_eq!(pool.idle(), 2, "returns beyond capacity are dropped");
+    }
+
+    #[test]
+    fn many_threads_share_one_pool() {
+        let pool = SlotPool::new(64);
+        let fillers: Vec<_> = (0..4u32)
+            .map(|t| {
+                let pool = pool.clone();
+                thread::spawn(move || {
+                    for i in 0..500u32 {
+                        let (slot, handle) = pool.take();
+                        let filler = thread::spawn(move || handle.send(Ok(t * 1000 + i)));
+                        assert_eq!(slot.wait(), Ok(t * 1000 + i));
+                        filler.join().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for f in fillers {
+            f.join().unwrap();
+        }
+        assert!(pool.idle() <= 64);
+    }
+}

@@ -27,8 +27,9 @@
 //!   master/slave rank composition, one level up.
 
 use crate::admission::AdmissionQueue;
-use crate::batcher::{collect_batch, Request};
+use crate::batcher::{collect_batch_into, Request};
 use crate::config::{ServeConfig, ServeError};
+use crate::oneshot::{ReplySlot, SlotPool};
 use crate::router::ShardRouter;
 use crate::snapshot::{EpochCell, ShardSnapshot};
 use crate::stats::{ServeStats, ShardStats};
@@ -60,7 +61,13 @@ enum WriterMsg {
 
 #[derive(Debug, Default)]
 struct WriterCounters {
+    /// Mutations that changed the index (insert of an absent key, delete
+    /// of a present one).
     updates: AtomicU64,
+    /// No-op mutations (duplicate insert, delete of an absent key):
+    /// accepted, probed, but changed nothing — counted separately so
+    /// `updates_applied` means what it says.
+    nops: AtomicU64,
     snapshots: AtomicU64,
     merges: AtomicU64,
     live_keys: AtomicU64,
@@ -88,6 +95,7 @@ struct WriterCounters {
 pub struct IndexServer {
     router: Arc<ShardRouter>,
     queues: Vec<AdmissionQueue>,
+    pools: Vec<Arc<SlotPool>>,
     shard_stats: Vec<Arc<Mutex<ShardStats>>>,
     counters: Arc<WriterCounters>,
     shutdown: Arc<AtomicBool>,
@@ -97,10 +105,16 @@ pub struct IndexServer {
 }
 
 /// A cheap, cloneable caller-side handle: routes lookups to shard queues.
+///
+/// Handles share one [`SlotPool`] of reusable reply cells *per shard*,
+/// so a warmed-up lookup allocates nothing (the cell cycles take →
+/// submit → reply → reap → return for the server's whole lifetime) and
+/// slab traffic serializes only within a shard, never across the server.
 #[derive(Clone)]
 pub struct ServerHandle {
     router: Arc<ShardRouter>,
     queues: Vec<AdmissionQueue>,
+    pools: Vec<Arc<SlotPool>>,
 }
 
 fn build_index(keys: &[u32], slaves: usize, pin: bool) -> Option<DistributedIndex> {
@@ -168,9 +182,17 @@ impl IndexServer {
             cfg.clone(),
         );
 
+        // One slab per shard (contention splits along the same lines as
+        // the admission queues), each with enough idle cells for a full
+        // queue plus an in-flight batch; returns beyond that are
+        // dropped, bounding memory under pathological in-flight spikes.
+        let pools =
+            (0..cfg.n_shards).map(|_| SlotPool::new(cfg.queue_capacity + cfg.max_batch)).collect();
+
         Self {
             router,
             queues,
+            pools,
             shard_stats,
             counters,
             shutdown,
@@ -182,7 +204,11 @@ impl IndexServer {
 
     /// A cloneable caller handle.
     pub fn handle(&self) -> ServerHandle {
-        ServerHandle { router: self.router.clone(), queues: self.queues.clone() }
+        ServerHandle {
+            router: self.router.clone(),
+            queues: self.queues.clone(),
+            pools: self.pools.clone(),
+        }
     }
 
     /// Apply one churn operation (applied asynchronously by the writer;
@@ -232,6 +258,7 @@ impl IndexServer {
             total.shed += q.shed();
         }
         total.updates_applied = self.counters.updates.load(Ordering::Relaxed);
+        total.update_nops = self.counters.nops.load(Ordering::Relaxed);
         total.snapshots_published = self.counters.snapshots.load(Ordering::Relaxed);
         total.merges = self.counters.merges.load(Ordering::Relaxed);
         total
@@ -261,40 +288,42 @@ impl Drop for IndexServer {
 /// the primitive a genuinely open-loop caller needs: admission happens at
 /// submit time, so the caller's arrival schedule never stretches on slow
 /// replies.
+///
+/// Backed by a pooled oneshot slot rather than a per-lookup channel:
+/// dropping the `PendingLookup` (after reaping, or abandoning the
+/// lookup) returns the reply cell to the server's slab for reuse.
 #[derive(Debug)]
 pub struct PendingLookup {
-    rx: Receiver<Result<u32, ServeError>>,
+    slot: ReplySlot,
 }
 
 impl PendingLookup {
     /// Block for the rank.
     pub fn wait(self) -> Result<u32, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::ShuttingDown)?
+        self.slot.wait()
     }
 
     /// The rank if it has arrived, `None` if still in flight.
     pub fn poll(&self) -> Option<Result<u32, ServeError>> {
-        match self.rx.try_recv() {
-            Ok(reply) => Some(reply),
-            Err(crossbeam::channel::TryRecvError::Empty) => None,
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                Some(Err(ServeError::ShuttingDown))
-            }
-        }
+        self.slot.poll()
     }
 }
 
 impl ServerHandle {
     fn enqueue(&self, key: u32, blocking: bool) -> Result<PendingLookup, ServeError> {
-        let (tx, rx) = bounded(1);
-        let req = Request { key, enqueued: Instant::now(), reply: tx };
-        let q = &self.queues[self.router.route(key)];
+        let shard = self.router.route(key);
+        let (slot, handle) = self.pools[shard].take();
+        let req = Request { key, enqueued: Instant::now(), reply: handle };
+        let q = &self.queues[shard];
         if blocking {
             q.submit(req)?;
         } else {
             q.try_submit(req)?;
         }
-        Ok(PendingLookup { rx })
+        // On the error paths above the un-submitted request is dropped
+        // inside the admission queue, which drop-fills the cell; `slot`
+        // then returns it to the pool on its own drop. No leak, no alloc.
+        Ok(PendingLookup { slot })
     }
 
     /// Rank of `key` (number of live index keys ≤ `key`), blocking while
@@ -351,6 +380,12 @@ fn spawn_dispatcher(
             let mut main_epoch = 0u64;
             let mut overlay = cell.load();
             let mut rebuilds_adopted = 0u64;
+            // Scratch reused across every batch this dispatcher ever
+            // serves: after warmup the dispatch loop never allocates.
+            let mut batch: Vec<Request> = Vec::new();
+            let mut keys: Vec<u32> = Vec::new();
+            let mut local: Vec<u32> = Vec::new();
+            let mut latencies: Vec<f64> = Vec::new();
             loop {
                 let first = match req_rx.recv_timeout(IDLE_POLL) {
                     Ok(req) => req,
@@ -363,7 +398,8 @@ fn spawn_dispatcher(
                     Err(RecvTimeoutError::Disconnected) => break,
                 };
 
-                let (batch, disconnected) = collect_batch(&req_rx, first, max_batch, max_delay);
+                let disconnected =
+                    collect_batch_into(&req_rx, first, &mut batch, max_batch, max_delay);
 
                 // Pin the read state at *service* time, after collection:
                 // a request admitted after a writer quiesce() returned may
@@ -384,22 +420,27 @@ fn spawn_dispatcher(
                     overlay = fresh;
                 }
 
-                let keys: Vec<u32> = batch.iter().map(|r| r.key).collect();
-                let local = match index.as_mut() {
-                    Some(ix) => ix.lookup_batch(&keys),
-                    None => vec![0; keys.len()],
-                };
+                keys.clear();
+                keys.extend(batch.iter().map(|r| r.key));
+                match index.as_mut() {
+                    Some(ix) => ix.lookup_batch_into(&keys, &mut local),
+                    None => {
+                        local.clear();
+                        local.resize(keys.len(), 0);
+                    }
+                }
 
                 let done = Instant::now();
-                let mut latencies = Vec::with_capacity(batch.len());
-                for (req, local_rank) in batch.into_iter().zip(local) {
+                latencies.clear();
+                for (req, &local_rank) in batch.drain(..).zip(local.iter()) {
                     let rank = i64::from(overlay.base_rank)
                         + i64::from(local_rank)
                         + overlay.rank_adjust(req.key);
                     debug_assert!(rank >= 0, "rank underflow for key {}", req.key);
-                    // A gone caller is fine; drop the reply.
-                    let _ = req.reply.send(Ok(rank as u32));
                     latencies.push(done.duration_since(req.enqueued).as_nanos() as f64);
+                    // A gone caller is fine; the stale-generation CAS
+                    // discards the reply.
+                    req.respond(Ok(rank as u32));
                 }
                 {
                     let mut s = stats.lock().expect("stats poisoned");
@@ -464,16 +505,19 @@ fn spawn_writer(
                         let key = op.key();
                         let s = router.route(key);
                         let mut mem = NullMemory;
-                        match op {
+                        let applied = match op {
                             Op::Query(_) => continue, // lookups go via handles
-                            Op::Insert(k) => {
-                                deltas[s].insert(k, &mut mem);
-                            }
-                            Op::Delete(k) => {
-                                deltas[s].delete(k, &mut mem);
-                            }
+                            Op::Insert(k) => deltas[s].insert(k, &mut mem).0,
+                            Op::Delete(k) => deltas[s].delete(k, &mut mem).0,
+                        };
+                        // Only mutations that changed the index count as
+                        // applied; duplicate inserts and deletes of
+                        // absent keys are no-ops, tallied separately.
+                        if applied {
+                            counters.updates.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            counters.nops.fetch_add(1, Ordering::Relaxed);
                         }
-                        counters.updates.fetch_add(1, Ordering::Relaxed);
 
                         if deltas[s].needs_merge() {
                             // Merge + rebuild off the read path: readers
@@ -635,6 +679,61 @@ mod tests {
         server.quiesce();
         assert_eq!(h.lookup(u32::MAX).unwrap(), 20);
         assert_eq!(h.lookup(10).unwrap(), 5);
+    }
+
+    #[test]
+    fn updates_applied_counts_only_real_mutations() {
+        // A churn stream heavy with duplicates: inserts of present keys
+        // and deletes of absent keys must land in `update_nops`, never in
+        // `updates_applied`.
+        let keys: Vec<u32> = (0..100).map(|i| i * 10).collect();
+        let server = IndexServer::build(&keys, cfg(2));
+
+        let mut expect_applied = 0u64;
+        let mut expect_nops = 0u64;
+        let mut live: BTreeSet<u32> = keys.iter().copied().collect();
+        for i in 0..400u32 {
+            let k = (i % 40) * 5; // collides with initial keys half the time
+            let op = if i % 3 == 0 { Op::Delete(k) } else { Op::Insert(k) };
+            let applied = match op {
+                Op::Delete(k) => live.remove(&k),
+                Op::Insert(k) => live.insert(k),
+                Op::Query(_) => unreachable!(),
+            };
+            if applied {
+                expect_applied += 1;
+            } else {
+                expect_nops += 1;
+            }
+            server.update(op).unwrap();
+        }
+        server.quiesce();
+
+        let stats = server.stats();
+        assert!(expect_nops > 0, "the stream must contain duplicate churn");
+        assert_eq!(stats.updates_applied, expect_applied);
+        assert_eq!(stats.update_nops, expect_nops);
+        assert_eq!(server.len(), live.len());
+        assert!(stats.summary().contains("nops"));
+    }
+
+    #[test]
+    fn steady_state_lookups_reuse_pooled_slots() {
+        let keys = gen_sorted_unique_keys(5_000, 77);
+        let server = IndexServer::build(&keys, cfg(2));
+        let h = server.handle();
+        for _ in 0..50 {
+            h.lookup(12345).unwrap();
+        }
+        // A single closed-loop caller needs exactly one cell per shard it
+        // touched; the slabs hold it between lookups.
+        let idle = |s: &IndexServer| s.pools.iter().map(|p| p.idle()).sum::<usize>();
+        assert!(idle(&server) >= 1);
+        let idle_before = idle(&server);
+        for _ in 0..100 {
+            h.lookup(54321).unwrap();
+        }
+        assert_eq!(idle(&server), idle_before, "steady state must not grow the slabs");
     }
 
     #[test]

@@ -54,8 +54,12 @@ pub struct ServeStats {
     pub admitted: u64,
     /// Requests shed by admission control.
     pub shed: u64,
-    /// Churn operations applied by the writer.
+    /// Churn operations that actually mutated the index (insert of an
+    /// absent key, delete of a present one).
     pub updates_applied: u64,
+    /// Churn operations accepted but with no effect (duplicate insert,
+    /// delete of an absent key).
+    pub update_nops: u64,
     /// Snapshot epochs published by the writer.
     pub snapshots_published: u64,
     /// Delta merges (and index rebuilds) performed by the writer.
@@ -87,7 +91,7 @@ impl ServeStats {
         format!(
             "served {} in {} batches (mean batch {:.1}), shed {} | \
              latency p50 {:.0} ns, p99 {:.0} ns, p999 {:.0} ns | \
-             {} updates, {} snapshots, {} merges",
+             {} updates (+{} nops), {} snapshots, {} merges",
             self.served,
             self.batches,
             self.mean_batch(),
@@ -96,6 +100,7 @@ impl ServeStats {
             self.latency_quantile_ns(0.99),
             self.latency_quantile_ns(0.999),
             self.updates_applied,
+            self.update_nops,
             self.snapshots_published,
             self.merges,
         )

@@ -1,0 +1,96 @@
+//! Property tests pinning the rank-composition edges of key-space
+//! sharding: `ShardRouter::route`, `split`, and `shard_range` must agree
+//! with each other on *arbitrary* key sets — including the boundary keys
+//! where the global-rank composition `base_rank(s) + local_rank` would
+//! silently go wrong if routing and splitting ever disagreed by one.
+
+use dini_serve::ShardRouter;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Sorted unique keys plus a shard count that's always buildable
+/// (`n_shards ≤ keys.len()`).
+fn keys_and_shards() -> impl Strategy<Value = (Vec<u32>, usize)> {
+    (btree_set(0u32..100_000, 1..250usize), 1usize..9).prop_map(
+        |(set, shards): (BTreeSet<u32>, usize)| {
+            let keys: Vec<u32> = set.iter().copied().collect();
+            let n = shards.min(keys.len()).max(1);
+            (keys, n)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn split_and_route_agree_on_every_key(input in keys_and_shards()) {
+        let (keys, n_shards) = input;
+        let r = ShardRouter::from_keys(&keys, n_shards);
+        prop_assert_eq!(r.n_shards(), n_shards);
+        let parts = r.split(&keys);
+        prop_assert_eq!(parts.len(), n_shards);
+
+        // split() covers the key set exactly, in order.
+        let glued: Vec<u32> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+        prop_assert_eq!(&glued, &keys);
+
+        // Every key routes to the part split() put it in.
+        for (s, part) in parts.iter().enumerate() {
+            for &k in *part {
+                prop_assert_eq!(r.route(k), s, "key {} split into shard {}", k, s);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_tile_and_contain_routed_keys(input in keys_and_shards()) {
+        let (keys, n_shards) = input;
+        let r = ShardRouter::from_keys(&keys, n_shards);
+
+        // Ranges tile [0, ∞): each shard starts where the previous ended.
+        let mut expect_lo = 0u32;
+        for s in 0..r.n_shards() {
+            let (lo, hi) = r.shard_range(s);
+            prop_assert_eq!(lo, expect_lo, "shard {} range not contiguous", s);
+            match hi {
+                Some(h) => {
+                    prop_assert!(lo < h, "shard {} range empty: {}..{}", s, lo, h);
+                    expect_lo = h;
+                }
+                None => prop_assert_eq!(s, r.n_shards() - 1, "only the last shard is unbounded"),
+            }
+        }
+
+        // route() lands inside shard_range() for keys *anywhere* in the
+        // u32 space, indexed or not — below the global minimum, above the
+        // maximum, and dead on every boundary.
+        let mut probes = vec![0u32, u32::MAX];
+        for &k in &keys {
+            probes.push(k);
+            probes.push(k.saturating_sub(1));
+            probes.push(k.saturating_add(1));
+        }
+        for q in probes {
+            let s = r.route(q);
+            let (lo, hi) = r.shard_range(s);
+            prop_assert!(q >= lo, "key {} routed to shard {} starting at {}", q, s, lo);
+            if let Some(h) = hi {
+                prop_assert!(q < h, "key {} routed past shard {} ending at {}", q, s, h);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_keys_route_to_the_upper_shard(input in keys_and_shards()) {
+        let (keys, n_shards) = input;
+        let r = ShardRouter::from_keys(&keys, n_shards);
+        for s in 1..r.n_shards() {
+            let (lo, _) = r.shard_range(s);
+            // The first key of shard s belongs to s; its predecessor to s−1.
+            prop_assert_eq!(r.route(lo), s);
+            prop_assert_eq!(r.route(lo - 1), s - 1);
+        }
+    }
+}

@@ -164,6 +164,76 @@ fn lookups_during_churn_converge_to_oracle() {
 }
 
 #[test]
+fn shard_boundary_churn_with_concurrent_readers_matches_oracle() {
+    // The rank-composition edges the plain churn sweep doesn't pin down:
+    // inserts *below the global minimum key* (shard 0's base grows from
+    // the left), inserts *above the maximum* (the unbounded last shard),
+    // and *emptying one shard entirely* (its base_rank contribution must
+    // drop to zero while its neighbours keep serving) — all while reader
+    // threads hammer the server through the publication churn.
+    let keys: Vec<u32> = (0..2000u32).map(|i| 10_000 + i * 16).collect();
+    let mut set: BTreeSet<u32> = keys.iter().copied().collect();
+    let server = IndexServer::build(&keys, serve_cfg(4));
+    let handle = server.handle();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|r| {
+            let h = server.handle();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut k = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    k = k.wrapping_add(0x9E37_79B9).wrapping_add(r);
+                    let rank = h.lookup(k % 60_000).expect("serving");
+                    assert!(rank <= 4100, "implausible rank {rank}");
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Below the global minimum: new leftmost keys shift every rank.
+    for k in 0..200u32 {
+        server.update(Op::Insert(k * 3)).unwrap();
+        set.insert(k * 3);
+    }
+    // Above the global maximum: the last shard's open range absorbs them.
+    for k in 0..200u32 {
+        server.update(Op::Insert(50_000 + k * 7)).unwrap();
+        set.insert(50_000 + k * 7);
+    }
+    // Empty shard 0 completely: its 500 initial keys all die (the shard's
+    // merged main array vanishes), then churn partially refills it.
+    for &k in keys.iter().take(500) {
+        server.update(Op::Delete(k)).unwrap();
+        set.remove(&k);
+    }
+    server.quiesce();
+    for q in [0, 9_999, 10_000, 17_984, 17_985, 60_000, u32::MAX] {
+        assert_eq!(handle.lookup(q).unwrap(), oracle_rank(&set, q), "mid-churn probe {q}");
+    }
+    for &k in keys.iter().take(100).step_by(2) {
+        server.update(Op::Insert(k)).unwrap();
+        set.insert(k);
+    }
+    server.quiesce();
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let concurrent: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(concurrent > 0, "readers must have made progress");
+
+    // Full sweep, shard boundaries and the emptied range included.
+    for q in (0..60_100u32).step_by(97) {
+        assert_eq!(handle.lookup(q).unwrap(), oracle_rank(&set, q), "sweep query {q}");
+    }
+    assert_eq!(server.len(), set.len());
+    assert!(server.stats().merges > 0, "emptying a shard must cross the merge threshold");
+}
+
+#[test]
 fn overload_sheds_instead_of_queueing_without_bound() {
     // One shard, queue of 1, no coalescing: every lookup is a full
     // dispatch round, so a multi-threaded fire-and-forget burst offers

@@ -1,0 +1,147 @@
+//! The zero-allocation invariant of the steady-state read path, pinned
+//! with a counting global allocator so it cannot silently regress.
+//!
+//! The serving read path is built so that a warmed-up lookup touches the
+//! allocator zero times: reply cells come from a pooled slab, the
+//! dispatcher's batch/keys/latency scratch is reused across batches, the
+//! master↔slave scatter buffers recycle, and snapshot pins are
+//! `Arc`-count bumps on a lock-free epoch cell. This binary installs a
+//! counting allocator and asserts the invariant end to end: *after
+//! warmup, N lookups perform exactly zero heap allocations anywhere in
+//! the process* — caller, dispatcher, and index workers included.
+//!
+//! Warmup is what "steady state" means: the first lookups grow channel
+//! buffers, batch scratch, and the slot slab to the workload's shape;
+//! those allocations are the amortised setup the paper's economics
+//! permit. What the invariant forbids is *per-lookup* allocation.
+
+use dini::serve::{IndexServer, ServeConfig};
+use dini::{DistributedIndex, NativeConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Counts allocations (and reallocations) while armed; delegates to the
+/// system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Serializes the two measurements: the counter is process-global, so a
+/// concurrently running sibling test would pollute the armed window.
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the counter armed; returns allocations observed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn the_counter_itself_counts() {
+    // Guards the guard: if arming ever breaks, the two invariant tests
+    // below would pass vacuously.
+    let _gate = GATE.lock().unwrap();
+    let allocs = count_allocs(|| {
+        let v: Vec<u64> = Vec::with_capacity(32);
+        std::hint::black_box(&v);
+    });
+    assert!(allocs >= 1, "a fresh Vec allocation must be observed");
+}
+
+#[test]
+fn native_lookup_batch_into_is_allocation_free_when_warm() {
+    let _gate = GATE.lock().unwrap();
+    let keys: Vec<u32> = (0..100_000u32).map(|i| i * 3).collect();
+    let mut cfg = NativeConfig::new(3);
+    cfg.pin_cores = false;
+    let mut index = DistributedIndex::build(&keys, cfg);
+    let queries: Vec<u32> = (0..512u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let mut out = Vec::new();
+
+    // Warmup: grow scatter/response/result buffers to the batch shape.
+    for _ in 0..50 {
+        index.lookup_batch_into(&queries, &mut out);
+    }
+
+    let allocs = count_allocs(|| {
+        for _ in 0..200 {
+            index.lookup_batch_into(&queries, &mut out);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "lookup_batch_into allocated {allocs} times across 200 warmed batches; \
+         the scatter/response recycling must keep the steady state allocation-free"
+    );
+    assert_eq!(out[0], keys.partition_point(|&k| k <= queries[0]) as u32, "still correct");
+}
+
+#[test]
+fn serve_steady_state_lookup_is_allocation_free() {
+    let _gate = GATE.lock().unwrap();
+    let keys: Vec<u32> = (0..50_000u32).map(|i| i * 4 + 1).collect();
+    let mut cfg = ServeConfig::new(2);
+    cfg.slaves_per_shard = 2;
+    cfg.max_batch = 64;
+    cfg.max_delay = Duration::from_micros(50);
+    let server = IndexServer::build(&keys, cfg);
+    let h = server.handle();
+
+    // Warmup: fill the slot slab, channel rings, dispatcher scratch, and
+    // scatter buffers; spread keys across both shards.
+    let mut k = 0u32;
+    for _ in 0..3000 {
+        k = k.wrapping_add(0x9E37_79B9);
+        h.lookup(k % 250_000).unwrap();
+    }
+
+    let mut checksum = 0u64;
+    let allocs = count_allocs(|| {
+        let mut k = 12_345u32;
+        for _ in 0..1000 {
+            k = k.wrapping_add(0x9E37_79B9);
+            checksum += u64::from(h.lookup(k % 250_000).unwrap());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "the steady-state dispatch path allocated {allocs} times across 1000 lookups; \
+         pooled reply slots + reused batch scratch + recycled scatter buffers \
+         must make warmed lookups allocation-free end to end"
+    );
+    assert!(checksum > 0, "lookups still answer");
+
+    // And the answers stay exact.
+    for q in [0u32, 1, 199_997, 200_000, u32::MAX] {
+        assert_eq!(h.lookup(q).unwrap(), keys.partition_point(|&key| key <= q) as u32);
+    }
+}
