@@ -86,7 +86,10 @@ impl FaultPlan {
         self.crash_at_ns.get(node).copied().flatten()
     }
 
-    pub(crate) fn state(&self) -> FaultState {
+    /// Instantiate the plan's per-run mutable state (RNG position).
+    /// Public so other layers — e.g. `dini-serve`'s dispatch-path fault
+    /// injection — can draw from the same seeded fate machinery.
+    pub fn state(&self) -> FaultState {
         FaultState { rng: SmallRng::seed_from_u64(self.seed), plan: self.clone() }
     }
 }
@@ -98,14 +101,15 @@ impl Default for FaultPlan {
 }
 
 /// Per-run mutable fault state (RNG position).
-pub(crate) struct FaultState {
+#[derive(Debug, Clone)]
+pub struct FaultState {
     rng: SmallRng,
     plan: FaultPlan,
 }
 
 /// The network-layer fate of one message.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct MsgFate {
+pub struct MsgFate {
     /// Dropped in flight: no delivery at all.
     pub dropped: bool,
     /// Extra delay added to the (first) delivery.
@@ -122,7 +126,7 @@ impl FaultState {
     /// Decide the fate of the next message. Consumes a fixed number of RNG
     /// draws per call so the schedule is stable under parameter tweaks of
     /// *other* messages.
-    pub(crate) fn next_fate(&mut self) -> MsgFate {
+    pub fn next_fate(&mut self) -> MsgFate {
         let u_drop: f64 = self.rng.gen();
         let u_dup: f64 = self.rng.gen();
         let u_jit: f64 = self.rng.gen();

@@ -33,7 +33,7 @@ pub mod sim;
 pub mod switch;
 pub mod thread_backend;
 
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, FaultState, MsgFate};
 pub use metrics::LogHistogram;
 pub use network::NetworkModel;
 pub use sim::{Actor, Ctx, MsgRecord, NodeId, NodeReport, SimCluster, SimReport};

@@ -7,6 +7,7 @@
 //! degrades alone while the rest of the key space serves normally.
 
 use crate::batcher::Request;
+use crate::clock::Clock;
 use crate::config::ServeError;
 use crossbeam::channel::{Sender, TrySendError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,14 +18,23 @@ use std::sync::Arc;
 pub struct AdmissionQueue {
     shard: usize,
     tx: Sender<Request>,
+    /// Blocking admission waits in this clock's time (a full queue under
+    /// a sim clock parks in the scheduler instead of wedging the run).
+    clock: Clock,
     admitted: Arc<AtomicU64>,
     shed: Arc<AtomicU64>,
 }
 
 impl AdmissionQueue {
-    /// Wrap the bounded sender for `shard`.
-    pub fn new(shard: usize, tx: Sender<Request>) -> Self {
-        Self { shard, tx, admitted: Arc::new(AtomicU64::new(0)), shed: Arc::new(AtomicU64::new(0)) }
+    /// Wrap the bounded sender for `shard`, waiting in `clock` time.
+    pub fn new(shard: usize, tx: Sender<Request>, clock: Clock) -> Self {
+        Self {
+            shard,
+            tx,
+            clock,
+            admitted: Arc::new(AtomicU64::new(0)),
+            shed: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Admit without blocking; a full queue sheds the request.
@@ -44,7 +54,7 @@ impl AdmissionQueue {
 
     /// Admit, blocking while the queue is full (closed-loop callers).
     pub fn submit(&self, req: Request) -> Result<(), ServeError> {
-        match self.tx.send(req) {
+        match self.clock.send(&self.tx, req) {
             Ok(()) => {
                 self.admitted.fetch_add(1, Ordering::Relaxed);
                 Ok(())
@@ -69,18 +79,17 @@ mod tests {
     use super::*;
     use crate::oneshot::reply_pair;
     use crossbeam::channel::bounded;
-    use std::time::Instant;
 
     fn req(key: u32) -> Request {
         // The waiter half is dropped: these tests never reap replies.
         let (_slot, handle) = reply_pair();
-        Request { key, enqueued: Instant::now(), reply: handle }
+        Request { key, enqueued: Clock::system().now(), reply: handle }
     }
 
     #[test]
     fn sheds_exactly_past_capacity() {
         let (tx, rx) = bounded(2);
-        let q = AdmissionQueue::new(0, tx);
+        let q = AdmissionQueue::new(0, tx, Clock::system());
         assert!(q.try_submit(req(1)).is_ok());
         assert!(q.try_submit(req(2)).is_ok());
         assert_eq!(q.try_submit(req(3)), Err(ServeError::Overloaded { shard: 0 }));
@@ -94,7 +103,7 @@ mod tests {
     #[test]
     fn disconnect_is_shutdown_not_shed() {
         let (tx, rx) = bounded(2);
-        let q = AdmissionQueue::new(3, tx);
+        let q = AdmissionQueue::new(3, tx, Clock::system());
         drop(rx);
         assert_eq!(q.try_submit(req(1)), Err(ServeError::ShuttingDown));
         assert_eq!(q.submit(req(2)), Err(ServeError::ShuttingDown));

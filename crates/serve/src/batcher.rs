@@ -13,20 +13,28 @@
 //! Collection fills a caller-owned buffer ([`collect_batch_into`]) so the
 //! dispatcher loop reuses one `Vec` for every batch it ever dispatches —
 //! part of the allocation-free steady-state read path.
+//!
+//! All waiting is in [`Clock`] time: with the system clock this compiles
+//! to the same `recv_timeout` loop as before the seam existed; under a
+//! [`SimClock`](crate::SimClock) the deadline is virtual, which is what
+//! lets `dini-simtest` prove deadline semantics exactly (a lone request
+//! departs at precisely `open + max_delay` in virtual time).
 
+use crate::clock::{dur_ns, Clock, Nanos};
 use crate::config::ServeError;
 use crate::oneshot::ReplyHandle;
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One enqueued lookup.
 #[derive(Debug)]
 pub struct Request {
     /// The key whose rank is requested.
     pub key: u32,
-    /// When the request entered the admission queue (for latency
-    /// accounting: reply time − enqueue time includes coalescing delay).
-    pub enqueued: Instant,
+    /// When the request entered the admission queue, in the server's
+    /// [`Clock`] time (for latency accounting: reply time − enqueue time
+    /// includes coalescing delay).
+    pub enqueued: Nanos,
     /// Where the rank goes: the filler half of a pooled oneshot slot.
     /// Dropping it unsent signals `ShuttingDown` to the waiter.
     pub reply: ReplyHandle,
@@ -41,19 +49,20 @@ impl Request {
 
 /// Collect one batch into `batch` (cleared first): `first` plus
 /// co-travellers from `rx`, bounded by `max_batch` queries and
-/// `max_delay` since the batch opened (= now). Backlog already sitting in
-/// the queue joins for free — under load, batches fill to `max_batch`
-/// without ever paying the delay; the delay is only paid by sparse
-/// traffic waiting for co-travellers. Returns whether the queue
-/// disconnected while collecting.
+/// `max_delay` since the batch opened (= now, in `clock` time). Backlog
+/// already sitting in the queue joins for free — under load, batches
+/// fill to `max_batch` without ever paying the delay; the delay is only
+/// paid by sparse traffic waiting for co-travellers. Returns whether the
+/// queue disconnected while collecting.
 pub fn collect_batch_into(
+    clock: &Clock,
     rx: &Receiver<Request>,
     first: Request,
     batch: &mut Vec<Request>,
     max_batch: usize,
     max_delay: Duration,
 ) -> bool {
-    let deadline = Instant::now() + max_delay;
+    let deadline = clock.now().saturating_add(dur_ns(max_delay));
     batch.clear();
     batch.push(first);
 
@@ -68,11 +77,10 @@ pub fn collect_batch_into(
 
     // Paid co-travellers: wait out the remaining delay budget.
     while batch.len() < max_batch {
-        let now = Instant::now();
-        if now >= deadline {
+        if clock.now() >= deadline {
             break;
         }
-        match rx.recv_timeout(deadline - now) {
+        match clock.recv_deadline(rx, deadline) {
             Ok(req) => batch.push(req),
             Err(RecvTimeoutError::Timeout) => break,
             Err(RecvTimeoutError::Disconnected) => return true,
@@ -86,21 +94,23 @@ mod tests {
     use super::*;
     use crate::oneshot::{reply_pair, ReplySlot};
     use crossbeam::channel::bounded;
+    use std::time::Instant;
 
     fn req(key: u32) -> (Request, ReplySlot) {
         let (slot, handle) = reply_pair();
-        (Request { key, enqueued: Instant::now(), reply: handle }, slot)
+        (Request { key, enqueued: Clock::system().now(), reply: handle }, slot)
     }
 
     #[test]
     fn fills_to_max_batch_without_waiting_out_the_delay() {
+        let clock = Clock::system();
         let (tx, rx) = bounded(16);
         for k in 1..8u32 {
             tx.send(req(k).0).unwrap();
         }
         let start = Instant::now();
         let mut batch = Vec::new();
-        let disc = collect_batch_into(&rx, req(0).0, &mut batch, 4, Duration::from_secs(5));
+        let disc = collect_batch_into(&clock, &rx, req(0).0, &mut batch, 4, Duration::from_secs(5));
         assert_eq!(batch.len(), 4);
         assert!(!disc);
         assert!(start.elapsed() < Duration::from_secs(1), "must not wait for the delay");
@@ -109,10 +119,12 @@ mod tests {
 
     #[test]
     fn departs_at_deadline_with_partial_batch() {
+        let clock = Clock::system();
         let (_tx, rx) = bounded::<Request>(4);
         let start = Instant::now();
         let mut batch = Vec::new();
-        let disc = collect_batch_into(&rx, req(9).0, &mut batch, 100, Duration::from_millis(30));
+        let disc =
+            collect_batch_into(&clock, &rx, req(9).0, &mut batch, 100, Duration::from_millis(30));
         assert_eq!(batch.len(), 1);
         assert!(!disc, "sender still alive");
         let waited = start.elapsed();
@@ -122,27 +134,31 @@ mod tests {
 
     #[test]
     fn reports_disconnect() {
+        let clock = Clock::system();
         let (tx, rx) = bounded(4);
         tx.send(req(1).0).unwrap();
         drop(tx);
         let mut batch = Vec::new();
-        let disc = collect_batch_into(&rx, req(0).0, &mut batch, 10, Duration::from_secs(5));
+        let disc =
+            collect_batch_into(&clock, &rx, req(0).0, &mut batch, 10, Duration::from_secs(5));
         assert_eq!(batch.len(), 2);
         assert!(disc);
     }
 
     #[test]
     fn max_batch_one_never_waits() {
+        let clock = Clock::system();
         let (_tx, rx) = bounded::<Request>(4);
         let start = Instant::now();
         let mut batch = Vec::new();
-        let _ = collect_batch_into(&rx, req(0).0, &mut batch, 1, Duration::from_secs(10));
+        let _ = collect_batch_into(&clock, &rx, req(0).0, &mut batch, 1, Duration::from_secs(10));
         assert_eq!(batch.len(), 1);
         assert!(start.elapsed() < Duration::from_millis(100));
     }
 
     #[test]
     fn stale_results_cleared_and_capacity_reused() {
+        let clock = Clock::system();
         let (tx, rx) = bounded(8);
         let mut batch = Vec::new();
         for round in 0..3u32 {
@@ -150,7 +166,7 @@ mod tests {
                 tx.send(req(round * 10 + k).0).unwrap();
             }
             let (first, _slot) = req(round * 10 + 99);
-            let disc = collect_batch_into(&rx, first, &mut batch, 8, Duration::ZERO);
+            let disc = collect_batch_into(&clock, &rx, first, &mut batch, 8, Duration::ZERO);
             assert!(!disc);
             assert_eq!(batch.len(), 5, "round {round}: first + 4 queued");
             assert_eq!(batch[0].key, round * 10 + 99);
@@ -161,12 +177,13 @@ mod tests {
 
     #[test]
     fn dropping_a_collected_batch_shuts_waiters_down() {
+        let clock = Clock::system();
         let (tx, rx) = bounded(4);
         let (r1, s1) = req(1);
         tx.send(r1).unwrap();
         let (r0, s0) = req(0);
         let mut batch = Vec::new();
-        collect_batch_into(&rx, r0, &mut batch, 4, Duration::ZERO);
+        collect_batch_into(&clock, &rx, r0, &mut batch, 4, Duration::ZERO);
         drop(batch); // dispatcher dying with requests aboard
         assert_eq!(s0.wait(), Err(ServeError::ShuttingDown));
         assert_eq!(s1.wait(), Err(ServeError::ShuttingDown));

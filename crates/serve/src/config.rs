@@ -1,5 +1,7 @@
 //! Serving-layer configuration.
 
+use crate::clock::Clock;
+use crate::faults::ServeFaultPlan;
 use std::time::Duration;
 
 /// Configuration for [`IndexServer`](crate::IndexServer).
@@ -34,6 +36,15 @@ pub struct ServeConfig {
     /// How many churn operations the writer folds in before publishing a
     /// fresh snapshot (update visibility granularity).
     pub publish_every: usize,
+    /// The time source every server thread waits on. Defaults to the
+    /// native wall clock (zero-overhead); a [`SimClock`](crate::SimClock)
+    /// here runs the whole server on deterministic virtual time
+    /// (`dini-simtest`).
+    pub clock: Clock,
+    /// Deterministic fault injection on the dispatch path (crashes,
+    /// jitter, stragglers). Defaults to none; the fault-free path pays
+    /// only a pre-resolved branch per batch.
+    pub faults: ServeFaultPlan,
 }
 
 impl ServeConfig {
@@ -50,6 +61,8 @@ impl ServeConfig {
             queue_capacity: 1024,
             merge_threshold: 4096,
             publish_every: 64,
+            clock: Clock::system(),
+            faults: ServeFaultPlan::none(),
         }
     }
 

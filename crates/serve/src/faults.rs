@@ -1,0 +1,180 @@
+//! Dispatch-path fault injection for `dini-simtest` scenarios.
+//!
+//! `dini-cluster`'s [`FaultPlan`](dini_cluster::FaultPlan) perturbs a
+//! message-passing simulation at the network layer. The serving layer
+//! has no network, but its dispatch path has the same failure surface:
+//! a shard's dispatcher can die mid-batch, dispatch can be delayed by
+//! scheduling jitter, and one shard can be persistently slower than its
+//! peers (the straggler every scatter-gather system eventually meets).
+//! [`ServeFaultPlan`] injects exactly those, deterministically: jitter
+//! draws come from the cluster crate's seeded
+//! [`FaultState`](dini_cluster::FaultState) (one fate per batch), and
+//! crash/slowdown points are fixed virtual-time constants, so a
+//! scenario replays bit-for-bit from its seed.
+//!
+//! The plan defaults to [`none`](ServeFaultPlan::none), and every hook
+//! is a branch on a pre-resolved `Option` — the production dispatch
+//! path pays no RNG draw, no allocation, and no sleep for the seam.
+
+use crate::clock::{Clock, Nanos};
+use dini_cluster::{FaultPlan, FaultState};
+use std::time::Duration;
+
+/// A deterministic fault schedule for an [`IndexServer`](crate::IndexServer).
+///
+/// All delays and crash points are in the server's [`Clock`](crate::Clock)
+/// time — virtual under `dini-simtest`, wall-clock if you inject faults
+/// into a natively clocked server (useful for soak tests).
+#[derive(Debug, Clone, Default)]
+pub struct ServeFaultPlan {
+    /// Seed for the per-batch jitter draws (shard id is folded in, so
+    /// shards see independent but reproducible streams).
+    pub seed: u64,
+    /// Uniform extra dispatch delay in `[0, max)` added to every batch
+    /// of every shard (`ZERO` disables; drawn per batch).
+    pub dispatch_jitter_max: Duration,
+    /// Per-shard fixed extra delay per batch: `(shard, extra)` — the
+    /// slow-shard straggler.
+    pub slow_shards: Vec<(usize, Duration)>,
+    /// Per-shard crash points: `(shard, at_ns)` — at the first batch
+    /// boundary at or after `at_ns` the dispatcher stops serving: its
+    /// collected batch and everything queued or submitted afterwards is
+    /// answered `ShuttingDown` instead of a rank.
+    pub crash_at: Vec<(usize, Nanos)>,
+}
+
+impl ServeFaultPlan {
+    /// No faults (the default for every production server).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan can never perturb a run.
+    pub fn is_noop(&self) -> bool {
+        self.dispatch_jitter_max.is_zero()
+            && self.slow_shards.iter().all(|(_, d)| d.is_zero())
+            && self.crash_at.is_empty()
+    }
+
+    /// Builder: uniform dispatch jitter in `[0, max)` per batch.
+    pub fn with_jitter(mut self, seed: u64, max: Duration) -> Self {
+        self.seed = seed;
+        self.dispatch_jitter_max = max;
+        self
+    }
+
+    /// Builder: make `shard` a straggler (`extra` per batch).
+    pub fn slow_shard(mut self, shard: usize, extra: Duration) -> Self {
+        self.slow_shards.push((shard, extra));
+        self
+    }
+
+    /// Builder: crash `shard`'s dispatcher at virtual time `at_ns`.
+    pub fn crash_shard(mut self, shard: usize, at_ns: Nanos) -> Self {
+        self.crash_at.push((shard, at_ns));
+        self
+    }
+
+    /// Resolve the plan into one shard's runtime fault state.
+    pub(crate) fn for_shard(&self, shard: usize) -> ShardFaults {
+        let jitter = (!self.dispatch_jitter_max.is_zero()).then(|| {
+            // Reuse the cluster simulator's seeded fate machinery; the
+            // shard id perturbs the seed so shards draw independently.
+            FaultPlan::with_jitter(
+                self.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                self.dispatch_jitter_max.as_nanos() as f64,
+            )
+            .state()
+        });
+        let slow_ns = self
+            .slow_shards
+            .iter()
+            .filter(|(s, _)| *s == shard)
+            .map(|(_, d)| d.as_nanos() as u64)
+            .sum();
+        let crash_at = self.crash_at.iter().filter(|(s, _)| *s == shard).map(|&(_, t)| t).min();
+        ShardFaults { jitter, slow_ns, crash_at }
+    }
+}
+
+/// One dispatcher's resolved fault state.
+#[derive(Debug)]
+pub(crate) struct ShardFaults {
+    jitter: Option<FaultState>,
+    slow_ns: Nanos,
+    crash_at: Option<Nanos>,
+}
+
+impl ShardFaults {
+    /// Has this shard's crash point passed? Reads the clock only when a
+    /// crash is actually scheduled, so the (universal) fault-free path
+    /// pays one branch, not a timestamp.
+    #[inline]
+    pub(crate) fn crashed(&self, clock: &Clock) -> bool {
+        match self.crash_at {
+            None => false,
+            Some(t) => clock.now() >= t,
+        }
+    }
+
+    /// Extra dispatch delay for the next batch (`None` = dispatch
+    /// immediately, the fault-free fast path).
+    #[inline]
+    pub(crate) fn batch_delay(&mut self) -> Option<Duration> {
+        let jitter = match &mut self.jitter {
+            Some(state) => state.next_fate().jitter_ns as u64,
+            None => 0,
+        };
+        let total = self.slow_ns + jitter;
+        (total > 0).then(|| Duration::from_nanos(total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_noop_and_free() {
+        let plan = ServeFaultPlan::none();
+        assert!(plan.is_noop());
+        let mut sf = plan.for_shard(0);
+        assert!(!sf.crashed(&Clock::system()));
+        assert_eq!(sf.batch_delay(), None);
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let plan = ServeFaultPlan::none().with_jitter(7, Duration::from_micros(500));
+        assert!(!plan.is_noop());
+        let draw = |shard| {
+            let mut sf = plan.for_shard(shard);
+            (0..64).map(|_| sf.batch_delay().unwrap_or_default()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1), draw(1), "same seed+shard, same stream");
+        assert_ne!(draw(1), draw(2), "shards draw independently");
+        assert!(draw(1).iter().all(|d| *d < Duration::from_micros(500)));
+    }
+
+    #[test]
+    fn slow_shard_hits_only_its_shard() {
+        let plan = ServeFaultPlan::none().slow_shard(2, Duration::from_millis(3));
+        assert_eq!(plan.for_shard(0).batch_delay(), None);
+        assert_eq!(plan.for_shard(2).batch_delay(), Some(Duration::from_millis(3)));
+    }
+
+    #[test]
+    fn crash_point_is_a_threshold() {
+        let sim = crate::SimClock::new();
+        let _main = sim.register_main();
+        let clock = Clock::sim(&sim);
+        let plan = ServeFaultPlan::none().crash_shard(1, 5_000);
+        let sf = plan.for_shard(1);
+        assert!(!sf.crashed(&clock), "virtual t = 0 is before the crash");
+        clock.sleep(Duration::from_nanos(4_999));
+        assert!(!sf.crashed(&clock));
+        clock.sleep(Duration::from_nanos(1));
+        assert!(sf.crashed(&clock));
+        assert!(!plan.for_shard(0).crashed(&clock), "other shards never crash");
+    }
+}

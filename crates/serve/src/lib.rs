@@ -42,6 +42,13 @@
 //! * [`loadgen`] — closed- and open-loop load generators (uniform/Zipf
 //!   keys via `dini-workload`, Poisson arrivals) for exercising all of
 //!   the above.
+//! * [`clock`] + [`faults`] — **time virtualization**: every wait in
+//!   the crate goes through a [`Clock`]. `Clock::system()` is a
+//!   zero-overhead passthrough to the native primitives; a seeded
+//!   [`SimClock`] runs the whole server — dispatchers, writer, load
+//!   clients — on deterministic virtual time, with dispatch-path fault
+//!   injection via [`ServeFaultPlan`]. This is the foundation the
+//!   `dini-simtest` scenario suite builds on.
 //!
 //! ## Quickstart
 //!
@@ -74,7 +81,9 @@
 
 pub mod admission;
 pub mod batcher;
+pub mod clock;
 pub mod config;
+pub mod faults;
 pub mod loadgen;
 pub mod oneshot;
 pub mod router;
@@ -82,11 +91,13 @@ pub mod server;
 pub mod snapshot;
 pub mod stats;
 
+pub use clock::{Clock, ClockJoinHandle, Nanos, SimClock, SimMainGuard};
 pub use config::{ServeConfig, ServeError};
+pub use faults::ServeFaultPlan;
 pub use loadgen::{run_load, LoadMode, LoadReport};
 pub use oneshot::SlotPool;
 pub use router::ShardRouter;
-pub use server::{IndexServer, PendingLookup, ServerHandle};
+pub use server::{IndexServer, PendingLookup, ServerHandle, UpdateHandle};
 pub use snapshot::{EpochCell, ShardSnapshot};
 pub use stats::{ServeStats, ShardStats};
 

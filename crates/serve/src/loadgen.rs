@@ -14,12 +14,20 @@
 //! Latency is recorded *caller-side* (submit → reply, including
 //! coalescing delay and queueing), per client, into
 //! [`LogHistogram`]s merged into the report.
+//!
+//! All waiting and timestamping goes through the server's [`Clock`]
+//! (taken from the [`ServerHandle`]), so the *same* code path drives
+//! native wall-clock load and `dini-simtest`'s virtual-time load — no
+//! `#[cfg]` forks, no second loadgen. Under a sim clock the open loop's
+//! arrival schedule plays out in virtual time: a 10-second soak costs
+//! milliseconds of wall-clock and replays deterministically.
 
+use crate::clock::{dur_ns, Clock, Nanos};
 use crate::config::ServeError;
 use crate::server::ServerHandle;
 use dini_cluster::LogHistogram;
 use dini_workload::{ArrivalGen, ArrivalProcess, KeyDistribution, KeyGen};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What a load run offers to the server.
 #[derive(Debug, Clone)]
@@ -96,7 +104,8 @@ pub fn run_load(
     seed: u64,
     mode: LoadMode,
 ) -> LoadReport {
-    let start = Instant::now();
+    let clock = handle.clock().clone();
+    let start = clock.now();
     let results: Vec<ClientResult> = match mode {
         LoadMode::Closed { clients, lookups_per_client } => {
             spawn_clients(handle, clients, move |h, id| {
@@ -109,7 +118,7 @@ pub fn run_load(
             })
         }
     };
-    let wall = start.elapsed();
+    let wall = Duration::from_nanos(clock.now().saturating_sub(start));
     let mut report = LoadReport { wall, completed: 0, shed: 0, latency_ns: LogHistogram::new() };
     for r in results {
         report.completed += r.completed;
@@ -125,28 +134,27 @@ fn spawn_clients(
     body: impl Fn(ServerHandle, u64) -> ClientResult + Clone + Send + 'static,
 ) -> Vec<ClientResult> {
     assert!(clients >= 1, "need at least one client");
+    let clock = handle.clock();
     let joins: Vec<_> = (0..clients)
         .map(|id| {
             let h = handle.clone();
             let body = body.clone();
-            std::thread::Builder::new()
-                .name(format!("dini-load-{id}"))
-                .spawn(move || body(h, id as u64))
-                .expect("spawn load client")
+            clock.spawn(&format!("dini-load-{id}"), move || body(h, id as u64))
         })
         .collect();
     joins.into_iter().map(|j| j.join().expect("load client panicked")).collect()
 }
 
 fn closed_loop(h: ServerHandle, dist: KeyDistribution, seed: u64, lookups: usize) -> ClientResult {
+    let clock = h.clock().clone();
     let mut gen = KeyGen::new(seed, dist);
     let mut r = ClientResult { completed: 0, shed: 0, latency_ns: LogHistogram::new() };
     for _ in 0..lookups {
         let key = gen.next_key();
-        let t0 = Instant::now();
+        let t0 = clock.now();
         match h.lookup(key) {
             Ok(_) => {
-                r.latency_ns.record(t0.elapsed().as_nanos() as f64);
+                r.latency_ns.record(clock.now().saturating_sub(t0) as f64);
                 r.completed += 1;
             }
             Err(ServeError::ShuttingDown) => break,
@@ -157,7 +165,7 @@ fn closed_loop(h: ServerHandle, dist: KeyDistribution, seed: u64, lookups: usize
 }
 
 struct InFlight {
-    issued: Instant,
+    issued: Nanos,
     pending: crate::server::PendingLookup,
 }
 
@@ -170,10 +178,10 @@ struct InFlight {
 const MAX_REAP_INTERVAL: Duration = Duration::from_micros(500);
 
 /// Reap completed lookups; replies never gate arrivals.
-fn reap(in_flight: &mut Vec<InFlight>, r: &mut ClientResult) {
+fn reap(clock: &Clock, in_flight: &mut Vec<InFlight>, r: &mut ClientResult) {
     in_flight.retain(|f| match f.pending.poll() {
         Some(Ok(_)) => {
-            r.latency_ns.record(f.issued.elapsed().as_nanos() as f64);
+            r.latency_ns.record(clock.now().saturating_sub(f.issued) as f64);
             r.completed += 1;
             false
         }
@@ -189,15 +197,17 @@ fn open_loop(
     process: ArrivalProcess,
     duration: Duration,
 ) -> ClientResult {
+    let clock = h.clock().clone();
     let mut keys = KeyGen::new(seed, dist);
     let mut arrivals = ArrivalGen::new(seed ^ 0x9E37_79B9, process);
     let mut r = ClientResult { completed: 0, shed: 0, latency_ns: LogHistogram::new() };
     let mut in_flight: Vec<InFlight> = Vec::new();
-    let start = Instant::now();
-    let mut next_at = Duration::ZERO;
+    let start = clock.now();
+    let duration_ns = dur_ns(duration);
+    let mut next_at: Nanos = 0; // offset from `start`, in clock time
     loop {
-        next_at += Duration::from_nanos(arrivals.next_gap_ns() as u64);
-        if next_at >= duration {
+        next_at = arrivals.next_at_ns(next_at);
+        if next_at >= duration_ns {
             break;
         }
         // Wait out the gap to the next scheduled arrival in capped
@@ -206,27 +216,30 @@ fn open_loop(
         // arrivals issue immediately — the schedule never stretches on
         // slow replies, which is what keeps the loop "open".
         loop {
-            reap(&mut in_flight, &mut r);
-            let elapsed = start.elapsed();
+            reap(&clock, &mut in_flight, &mut r);
+            let elapsed = clock.now().saturating_sub(start);
             if elapsed >= next_at {
                 break;
             }
             let remaining = next_at - elapsed;
             // The reap cadence only matters while replies are actually
             // outstanding; an idle client sleeps the whole gap at once.
-            let nap =
-                if in_flight.is_empty() { remaining } else { remaining.min(MAX_REAP_INTERVAL) };
-            std::thread::sleep(nap);
+            let nap = if in_flight.is_empty() {
+                remaining
+            } else {
+                remaining.min(dur_ns(MAX_REAP_INTERVAL))
+            };
+            clock.sleep(Duration::from_nanos(nap));
         }
         match h.begin_lookup(keys.next_key()) {
-            Ok(pending) => in_flight.push(InFlight { issued: Instant::now(), pending }),
+            Ok(pending) => in_flight.push(InFlight { issued: clock.now(), pending }),
             Err(ServeError::Overloaded { .. }) => r.shed += 1,
             Err(ServeError::ShuttingDown) => break,
         }
     }
     for f in in_flight {
         if f.pending.wait().is_ok() {
-            r.latency_ns.record(f.issued.elapsed().as_nanos() as f64);
+            r.latency_ns.record(clock.now().saturating_sub(f.issued) as f64);
             r.completed += 1;
         }
     }

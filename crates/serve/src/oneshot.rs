@@ -40,6 +40,7 @@
 //! is never stranded — the pooled analogue of a oneshot channel's
 //! disconnect.
 
+use crate::clock::Clock;
 use crate::config::ServeError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -143,6 +144,23 @@ impl ReplySlot {
         if let Some(reply) = decode(self.cell.word.load(Ordering::Acquire)) {
             return reply;
         }
+        // Under a sim clock, park in the scheduler instead of on the
+        // cell's condvar: the filler runs serialized with us, so the
+        // scheduler re-polls this word the moment it could have changed
+        // (and a reply that never comes is a detected deadlock, not a
+        // hang). The native path below is untouched.
+        if let Some(sim) = self.pool.as_ref().and_then(|p| p.clock.as_sim()) {
+            return sim.wait_until(|| decode(self.cell.word.load(Ordering::Acquire)));
+        }
+        // A native condvar park is invisible to a sim scheduler: the
+        // thread would stay marked Running and wedge the whole
+        // simulation in wall-clock, bypassing the deadlock detector.
+        // Refuse loudly instead.
+        assert!(
+            !crate::clock::thread_registered_in_sim(),
+            "ReplySlot::wait on a pool-less (or natively clocked) slot from a sim-registered \
+             thread; use a SlotPool built with the sim clock"
+        );
         let mut held = self.cell.lock.lock().expect("reply cell lock");
         // Register as a parked waiter *before* the under-lock recheck so
         // a concurrent `fill` either sees the registration (and takes
@@ -212,12 +230,21 @@ pub struct SlotPool {
     /// Pool size cap: cells beyond this are dropped on return instead of
     /// pooled, bounding memory under in-flight spikes.
     capacity: usize,
+    /// How waiters on this pool's slots block: natively (condvar) or in
+    /// a sim scheduler.
+    clock: Clock,
 }
 
 impl SlotPool {
-    /// An empty pool retaining at most `capacity` idle cells.
+    /// An empty pool retaining at most `capacity` idle cells, with
+    /// native (wall-clock) waiting.
     pub fn new(capacity: usize) -> Arc<Self> {
-        Arc::new(Self { free: Mutex::new(Vec::with_capacity(capacity)), capacity })
+        Self::with_clock(capacity, Clock::system())
+    }
+
+    /// An empty pool whose waiters block in `clock` time.
+    pub fn with_clock(capacity: usize, clock: Clock) -> Arc<Self> {
+        Arc::new(Self { free: Mutex::new(Vec::with_capacity(capacity)), capacity, clock })
     }
 
     /// Idle cells currently pooled.
@@ -263,7 +290,6 @@ pub fn reply_pair() -> (ReplySlot, ReplyHandle) {
 mod tests {
     use super::*;
     use std::thread;
-    use std::time::Duration;
 
     #[test]
     fn send_then_wait_round_trips() {
@@ -276,9 +302,17 @@ mod tests {
 
     #[test]
     fn wait_blocks_until_filled_cross_thread() {
+        // Deterministic handshake instead of a sleep: the waiter
+        // registers in `parked` before it can possibly sleep, so once we
+        // observe `parked == 1` the waiter is committed to the
+        // park-and-recheck protocol and the fill must wake it. No
+        // timing assumption, so the test cannot flake under load.
         let (slot, handle) = reply_pair();
+        let cell = slot.cell.clone();
         let t = thread::spawn(move || slot.wait());
-        thread::sleep(Duration::from_millis(20));
+        while cell.parked.load(Ordering::SeqCst) == 0 {
+            thread::yield_now();
+        }
         handle.send(Ok(7));
         assert_eq!(t.join().unwrap(), Ok(7));
     }

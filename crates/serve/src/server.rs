@@ -28,7 +28,9 @@
 
 use crate::admission::AdmissionQueue;
 use crate::batcher::{collect_batch_into, Request};
+use crate::clock::{Clock, ClockJoinHandle};
 use crate::config::{ServeConfig, ServeError};
+use crate::faults::ShardFaults;
 use crate::oneshot::{ReplySlot, SlotPool};
 use crate::router::ShardRouter;
 use crate::snapshot::{EpochCell, ShardSnapshot};
@@ -40,8 +42,7 @@ use dini_index::{DeltaArray, RankIndex};
 use dini_workload::Op;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How long an idle dispatcher sleeps between shutdown-flag checks.
 const IDLE_POLL: Duration = Duration::from_millis(10);
@@ -99,9 +100,10 @@ pub struct IndexServer {
     shard_stats: Vec<Arc<Mutex<ShardStats>>>,
     counters: Arc<WriterCounters>,
     shutdown: Arc<AtomicBool>,
-    dispatchers: Vec<JoinHandle<()>>,
+    clock: Clock,
+    dispatchers: Vec<ClockJoinHandle<()>>,
     writer_tx: Option<Sender<WriterMsg>>,
-    writer: Option<JoinHandle<()>>,
+    writer: Option<ClockJoinHandle<()>>,
 }
 
 /// A cheap, cloneable caller-side handle: routes lookups to shard queues.
@@ -115,6 +117,7 @@ pub struct ServerHandle {
     router: Arc<ShardRouter>,
     queues: Vec<AdmissionQueue>,
     pools: Vec<Arc<SlotPool>>,
+    clock: Clock,
 }
 
 fn build_index(keys: &[u32], slaves: usize, pin: bool) -> Option<DistributedIndex> {
@@ -163,8 +166,10 @@ impl IndexServer {
                 shutdown.clone(),
                 cfg.max_batch,
                 cfg.max_delay,
+                cfg.clock.clone(),
+                cfg.faults.for_shard(s),
             ));
-            queues.push(AdmissionQueue::new(s, req_tx));
+            queues.push(AdmissionQueue::new(s, req_tx, cfg.clock.clone()));
             shard_stats.push(stats);
             cells.push(cell);
             rebuild_txs.push(rebuild_tx);
@@ -186,8 +191,9 @@ impl IndexServer {
         // the admission queues), each with enough idle cells for a full
         // queue plus an in-flight batch; returns beyond that are
         // dropped, bounding memory under pathological in-flight spikes.
-        let pools =
-            (0..cfg.n_shards).map(|_| SlotPool::new(cfg.queue_capacity + cfg.max_batch)).collect();
+        let pools = (0..cfg.n_shards)
+            .map(|_| SlotPool::with_clock(cfg.queue_capacity + cfg.max_batch, cfg.clock.clone()))
+            .collect();
 
         Self {
             router,
@@ -196,6 +202,7 @@ impl IndexServer {
             shard_stats,
             counters,
             shutdown,
+            clock: cfg.clock,
             dispatchers,
             writer_tx: Some(writer_tx),
             writer: Some(writer),
@@ -208,6 +215,18 @@ impl IndexServer {
             router: self.router.clone(),
             queues: self.queues.clone(),
             pools: self.pools.clone(),
+            clock: self.clock.clone(),
+        }
+    }
+
+    /// A cloneable churn-feeding handle (e.g. for a dedicated updater
+    /// thread in a simtest scenario). Drop every `UpdateHandle` before
+    /// dropping the server: the writer thread only shuts down once the
+    /// last update sender hangs up.
+    pub fn updater(&self) -> UpdateHandle {
+        UpdateHandle {
+            tx: self.writer_tx.as_ref().expect("writer alive until drop").clone(),
+            clock: self.clock.clone(),
         }
     }
 
@@ -218,7 +237,7 @@ impl IndexServer {
     /// through unfiltered.
     pub fn update(&self, op: Op) -> Result<(), ServeError> {
         let tx = self.writer_tx.as_ref().expect("writer alive until drop");
-        tx.send(WriterMsg::Apply(op)).map_err(|_| ServeError::ShuttingDown)
+        self.clock.send(tx, WriterMsg::Apply(op)).map_err(|_| ServeError::ShuttingDown)
     }
 
     /// Block until every previously submitted update is applied *and*
@@ -227,8 +246,8 @@ impl IndexServer {
     pub fn quiesce(&self) {
         let (ack_tx, ack_rx) = bounded(1);
         let tx = self.writer_tx.as_ref().expect("writer alive until drop");
-        if tx.send(WriterMsg::Quiesce(ack_tx)).is_ok() {
-            let _ = ack_rx.recv();
+        if self.clock.send(tx, WriterMsg::Quiesce(ack_tx)).is_ok() {
+            let _ = self.clock.recv(&ack_rx);
         }
     }
 
@@ -309,11 +328,27 @@ impl PendingLookup {
     }
 }
 
+/// A cloneable churn-feeding handle: routes [`Op`]s to the writer from
+/// any thread (see [`IndexServer::updater`]). Updates are applied
+/// asynchronously, exactly as via [`IndexServer::update`].
+#[derive(Clone)]
+pub struct UpdateHandle {
+    tx: Sender<WriterMsg>,
+    clock: Clock,
+}
+
+impl UpdateHandle {
+    /// Apply one churn operation (`Op::Query` is accepted and ignored).
+    pub fn update(&self, op: Op) -> Result<(), ServeError> {
+        self.clock.send(&self.tx, WriterMsg::Apply(op)).map_err(|_| ServeError::ShuttingDown)
+    }
+}
+
 impl ServerHandle {
     fn enqueue(&self, key: u32, blocking: bool) -> Result<PendingLookup, ServeError> {
         let shard = self.router.route(key);
         let (slot, handle) = self.pools[shard].take();
-        let req = Request { key, enqueued: Instant::now(), reply: handle };
+        let req = Request { key, enqueued: self.clock.now(), reply: handle };
         let q = &self.queues[shard];
         if blocking {
             q.submit(req)?;
@@ -358,6 +393,39 @@ impl ServerHandle {
     pub fn n_shards(&self) -> usize {
         self.router.n_shards()
     }
+
+    /// The clock this server waits on (virtual under `dini-simtest`).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Which shard serves `key` — the server's own routing, exposed so
+    /// callers (e.g. the simtest sweep avoiding crashed shards) never
+    /// have to reconstruct it and risk divergence.
+    pub fn shard_of(&self, key: u32) -> usize {
+        self.router.route(key)
+    }
+}
+
+/// A crashed shard's afterlife: absorb every queued and future request,
+/// dropping each one so its waiter gets `ShuttingDown` immediately.
+/// Exiting instead would strand whatever sits in the admission queue —
+/// the buffered `ReplyHandle`s only drop with the channel, and the
+/// channel lives as long as any `ServerHandle` clone holds its sender
+/// (often the very caller blocked on the reply). Runs until the server
+/// shuts down or every sender hangs up.
+fn crashed_drain(clock: &Clock, req_rx: &Receiver<Request>, shutdown: &AtomicBool) {
+    loop {
+        match clock.recv_timeout(req_rx, IDLE_POLL) {
+            Ok(req) => drop(req),
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
 }
 
 /// Per-shard dispatcher: coalesce → lookup_batch → reply.
@@ -372,87 +440,114 @@ fn spawn_dispatcher(
     shutdown: Arc<AtomicBool>,
     max_batch: usize,
     max_delay: Duration,
-) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(format!("dini-serve-shard-{shard}"))
-        .spawn(move || {
-            let mut index = index;
-            let mut main_epoch = 0u64;
-            let mut overlay = cell.load();
-            let mut rebuilds_adopted = 0u64;
-            // Scratch reused across every batch this dispatcher ever
-            // serves: after warmup the dispatch loop never allocates.
-            let mut batch: Vec<Request> = Vec::new();
-            let mut keys: Vec<u32> = Vec::new();
-            let mut local: Vec<u32> = Vec::new();
-            let mut latencies: Vec<f64> = Vec::new();
-            loop {
-                let first = match req_rx.recv_timeout(IDLE_POLL) {
-                    Ok(req) => req,
-                    Err(RecvTimeoutError::Timeout) => {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        continue;
+    clock: Clock,
+    mut faults: ShardFaults,
+) -> ClockJoinHandle<()> {
+    clock.clone().spawn(&format!("dini-serve-shard-{shard}"), move || {
+        let mut index = index;
+        let mut main_epoch = 0u64;
+        let mut overlay = cell.load();
+        let mut rebuilds_adopted = 0u64;
+        // Scratch reused across every batch this dispatcher ever
+        // serves: after warmup the dispatch loop never allocates.
+        let mut batch: Vec<Request> = Vec::new();
+        let mut keys: Vec<u32> = Vec::new();
+        let mut local: Vec<u32> = Vec::new();
+        let mut latencies: Vec<f64> = Vec::new();
+        loop {
+            let first = match clock.recv_timeout(&req_rx, IDLE_POLL) {
+                Ok(req) => req,
+                Err(RecvTimeoutError::Timeout) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
                     }
-                    Err(RecvTimeoutError::Disconnected) => break,
-                };
-
-                let disconnected =
-                    collect_batch_into(&req_rx, first, &mut batch, max_batch, max_delay);
-
-                // Pin the read state at *service* time, after collection:
-                // a request admitted after a writer quiesce() returned may
-                // join this still-open batch, so the snapshot must be at
-                // least as fresh as the youngest batch member. Adopt
-                // pending index rebuilds (merge epochs) first, newest
-                // last…
-                while let Ok(r) = rebuild_rx.try_recv() {
-                    index = r.index;
-                    main_epoch = r.main_epoch;
-                    overlay = Arc::new(r.snapshot);
-                    rebuilds_adopted += 1;
-                }
-                // …then the freshest overlay, only if it matches the main
-                // array actually being served (see snapshot.rs).
-                let fresh = cell.load();
-                if fresh.main_epoch == main_epoch {
-                    overlay = fresh;
-                }
-
-                keys.clear();
-                keys.extend(batch.iter().map(|r| r.key));
-                match index.as_mut() {
-                    Some(ix) => ix.lookup_batch_into(&keys, &mut local),
-                    None => {
-                        local.clear();
-                        local.resize(keys.len(), 0);
+                    // An idle shard still honours its crash point, so
+                    // submits after the crash see `ShuttingDown`.
+                    if faults.crashed(&clock) {
+                        crashed_drain(&clock, &req_rx, &shutdown);
+                        break;
                     }
+                    continue;
                 }
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
 
-                let done = Instant::now();
-                latencies.clear();
-                for (req, &local_rank) in batch.drain(..).zip(local.iter()) {
-                    let rank = i64::from(overlay.base_rank)
-                        + i64::from(local_rank)
-                        + overlay.rank_adjust(req.key);
-                    debug_assert!(rank >= 0, "rank underflow for key {}", req.key);
-                    latencies.push(done.duration_since(req.enqueued).as_nanos() as f64);
-                    // A gone caller is fine; the stale-generation CAS
-                    // discards the reply.
-                    req.respond(Ok(rank as u32));
-                }
-                {
-                    let mut s = stats.lock().expect("stats poisoned");
-                    s.record_batch(&latencies);
-                    s.rebuilds = rebuilds_adopted;
-                }
-                if disconnected {
+            let disconnected =
+                collect_batch_into(&clock, &req_rx, first, &mut batch, max_batch, max_delay);
+
+            // Injected faults, in virtual (or wall) time: a crash here
+            // is the "mid-batch" case — the batch is collected but never
+            // answered; clearing it fills every waiter with
+            // `ShuttingDown` via the drop protocol, and the drain keeps
+            // doing the same for queued and future submits (whose
+            // senders live inside every `ServerHandle` clone, so the
+            // channel alone cannot release them). Jitter/straggler
+            // delays stretch the dispatch without reordering it.
+            if faults.crashed(&clock) {
+                batch.clear();
+                crashed_drain(&clock, &req_rx, &shutdown);
+                break;
+            }
+            if let Some(extra) = faults.batch_delay() {
+                clock.sleep(extra);
+                if faults.crashed(&clock) {
+                    batch.clear();
+                    crashed_drain(&clock, &req_rx, &shutdown);
                     break;
                 }
             }
-        })
-        .expect("spawn dispatcher")
+
+            // Pin the read state at *service* time, after collection:
+            // a request admitted after a writer quiesce() returned may
+            // join this still-open batch, so the snapshot must be at
+            // least as fresh as the youngest batch member. Adopt
+            // pending index rebuilds (merge epochs) first, newest
+            // last…
+            while let Ok(r) = rebuild_rx.try_recv() {
+                index = r.index;
+                main_epoch = r.main_epoch;
+                overlay = Arc::new(r.snapshot);
+                rebuilds_adopted += 1;
+            }
+            // …then the freshest overlay, only if it matches the main
+            // array actually being served (see snapshot.rs).
+            let fresh = cell.load();
+            if fresh.main_epoch == main_epoch {
+                overlay = fresh;
+            }
+
+            keys.clear();
+            keys.extend(batch.iter().map(|r| r.key));
+            match index.as_mut() {
+                Some(ix) => ix.lookup_batch_into(&keys, &mut local),
+                None => {
+                    local.clear();
+                    local.resize(keys.len(), 0);
+                }
+            }
+
+            let done = clock.now();
+            latencies.clear();
+            for (req, &local_rank) in batch.drain(..).zip(local.iter()) {
+                let rank = i64::from(overlay.base_rank)
+                    + i64::from(local_rank)
+                    + overlay.rank_adjust(req.key);
+                debug_assert!(rank >= 0, "rank underflow for key {}", req.key);
+                latencies.push(done.saturating_sub(req.enqueued) as f64);
+                // A gone caller is fine; the stale-generation CAS
+                // discards the reply.
+                req.respond(Ok(rank as u32));
+            }
+            {
+                let mut s = stats.lock().expect("stats poisoned");
+                s.record_batch(&latencies);
+                s.rebuilds = rebuilds_adopted;
+            }
+            if disconnected {
+                break;
+            }
+        }
+    })
 }
 
 /// The single writer: fold churn → publish overlays → merge/rebuild.
@@ -464,102 +559,99 @@ fn spawn_writer(
     counters: Arc<WriterCounters>,
     rx: Receiver<WriterMsg>,
     cfg: ServeConfig,
-) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name("dini-serve-writer".to_owned())
-        .spawn(move || {
-            let mut main_epochs = vec![0u64; deltas.len()];
-            let mut since_publish = 0usize;
+) -> ClockJoinHandle<()> {
+    let clock = cfg.clock.clone();
+    clock.clone().spawn("dini-serve-writer", move || {
+        let mut main_epochs = vec![0u64; deltas.len()];
+        let mut since_publish = 0usize;
 
-            let base_ranks = |deltas: &[DeltaArray]| -> Vec<u32> {
-                let mut base = 0u32;
-                deltas
-                    .iter()
-                    .map(|d| {
-                        let b = base;
-                        base += d.len() as u32;
-                        b
-                    })
-                    .collect()
+        let base_ranks = |deltas: &[DeltaArray]| -> Vec<u32> {
+            let mut base = 0u32;
+            deltas
+                .iter()
+                .map(|d| {
+                    let b = base;
+                    base += d.len() as u32;
+                    b
+                })
+                .collect()
+        };
+
+        let publish_all =
+            |deltas: &[DeltaArray], main_epochs: &[u64], counters: &WriterCounters| {
+                let bases = base_ranks(deltas);
+                for (s, d) in deltas.iter().enumerate() {
+                    cells[s].publish(ShardSnapshot {
+                        main_epoch: main_epochs[s],
+                        base_rank: bases[s],
+                        inserts: d.pending_inserts().to_vec(),
+                        deletes: d.pending_deletes().to_vec(),
+                    });
+                }
+                let live: u64 = deltas.iter().map(|d| d.len() as u64).sum();
+                counters.live_keys.store(live, Ordering::Relaxed);
+                counters.snapshots.fetch_add(1, Ordering::Relaxed);
             };
 
-            let publish_all =
-                |deltas: &[DeltaArray], main_epochs: &[u64], counters: &WriterCounters| {
-                    let bases = base_ranks(deltas);
-                    for (s, d) in deltas.iter().enumerate() {
-                        cells[s].publish(ShardSnapshot {
+        // The sim-visible analogue of `for msg in rx.iter()`: the
+        // writer parks in the scheduler between messages and exits
+        // when the last update sender hangs up.
+        while let Ok(msg) = clock.recv(&rx) {
+            match msg {
+                WriterMsg::Apply(op) => {
+                    let key = op.key();
+                    let s = router.route(key);
+                    let mut mem = NullMemory;
+                    let applied = match op {
+                        Op::Query(_) => continue, // lookups go via handles
+                        Op::Insert(k) => deltas[s].insert(k, &mut mem).0,
+                        Op::Delete(k) => deltas[s].delete(k, &mut mem).0,
+                    };
+                    // Only mutations that changed the index count as
+                    // applied; duplicate inserts and deletes of
+                    // absent keys are no-ops, tallied separately.
+                    if applied {
+                        counters.updates.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        counters.nops.fetch_add(1, Ordering::Relaxed);
+                    }
+
+                    if deltas[s].needs_merge() {
+                        // Merge + rebuild off the read path: readers
+                        // keep serving the old epoch until the new
+                        // index lands on their swap channel.
+                        deltas[s].merge(&mut mem);
+                        main_epochs[s] += 1;
+                        counters.merges.fetch_add(1, Ordering::Relaxed);
+                        let index =
+                            build_index(deltas[s].main_keys(), cfg.slaves_per_shard, cfg.pin_cores);
+                        let snapshot = ShardSnapshot::empty(main_epochs[s], base_ranks(&deltas)[s]);
+                        // Send before publishing the new epoch's
+                        // overlay so dispatchers can always catch up.
+                        let _ = rebuild_txs[s].send(Rebuild {
                             main_epoch: main_epochs[s],
-                            base_rank: bases[s],
-                            inserts: d.pending_inserts().to_vec(),
-                            deletes: d.pending_deletes().to_vec(),
+                            index,
+                            snapshot,
                         });
-                    }
-                    let live: u64 = deltas.iter().map(|d| d.len() as u64).sum();
-                    counters.live_keys.store(live, Ordering::Relaxed);
-                    counters.snapshots.fetch_add(1, Ordering::Relaxed);
-                };
-
-            for msg in rx.iter() {
-                match msg {
-                    WriterMsg::Apply(op) => {
-                        let key = op.key();
-                        let s = router.route(key);
-                        let mut mem = NullMemory;
-                        let applied = match op {
-                            Op::Query(_) => continue, // lookups go via handles
-                            Op::Insert(k) => deltas[s].insert(k, &mut mem).0,
-                            Op::Delete(k) => deltas[s].delete(k, &mut mem).0,
-                        };
-                        // Only mutations that changed the index count as
-                        // applied; duplicate inserts and deletes of
-                        // absent keys are no-ops, tallied separately.
-                        if applied {
-                            counters.updates.fetch_add(1, Ordering::Relaxed);
-                        } else {
-                            counters.nops.fetch_add(1, Ordering::Relaxed);
-                        }
-
-                        if deltas[s].needs_merge() {
-                            // Merge + rebuild off the read path: readers
-                            // keep serving the old epoch until the new
-                            // index lands on their swap channel.
-                            deltas[s].merge(&mut mem);
-                            main_epochs[s] += 1;
-                            counters.merges.fetch_add(1, Ordering::Relaxed);
-                            let index = build_index(
-                                deltas[s].main_keys(),
-                                cfg.slaves_per_shard,
-                                cfg.pin_cores,
-                            );
-                            let snapshot =
-                                ShardSnapshot::empty(main_epochs[s], base_ranks(&deltas)[s]);
-                            // Send before publishing the new epoch's
-                            // overlay so dispatchers can always catch up.
-                            let _ = rebuild_txs[s].send(Rebuild {
-                                main_epoch: main_epochs[s],
-                                index,
-                                snapshot,
-                            });
-                            publish_all(&deltas, &main_epochs, &counters);
-                            since_publish = 0;
-                            continue;
-                        }
-
-                        since_publish += 1;
-                        if since_publish >= cfg.publish_every {
-                            publish_all(&deltas, &main_epochs, &counters);
-                            since_publish = 0;
-                        }
-                    }
-                    WriterMsg::Quiesce(ack) => {
                         publish_all(&deltas, &main_epochs, &counters);
                         since_publish = 0;
-                        let _ = ack.send(());
+                        continue;
+                    }
+
+                    since_publish += 1;
+                    if since_publish >= cfg.publish_every {
+                        publish_all(&deltas, &main_epochs, &counters);
+                        since_publish = 0;
                     }
                 }
+                WriterMsg::Quiesce(ack) => {
+                    publish_all(&deltas, &main_epochs, &counters);
+                    since_publish = 0;
+                    let _ = ack.send(());
+                }
             }
-        })
-        .expect("spawn writer")
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,166 @@
+//! The seeded fault-scenario suite: the real `IndexServer` under six
+//! hostile (and one clean) schedules, on deterministic virtual time.
+//!
+//! Every scenario runs across the seed matrix (`DINI_SIMTEST_SEEDS`,
+//! default 3, CI 8) and **twice per seed** via
+//! [`run_scenario_reproducibly`], which asserts the two runs agree on
+//! every counter *and* on the scheduler's event-trace digest — the
+//! reproducibility contract that makes any failure replayable from its
+//! seed. Wall-clock cost stays in seconds because idle waits
+//! fast-forward in virtual time.
+
+use dini_serve::ServeFaultPlan;
+use dini_simtest::{run_scenario_reproducibly, seeds_from_env, Scenario};
+use dini_workload::ArrivalProcess;
+use std::time::Duration;
+
+/// Clean quiesce: churn + lookups + a mid-run quiesce, no faults. The
+/// post-quiesce sweep must match the churn mirror exactly, and snapshot
+/// publication must be live.
+#[test]
+fn clean_quiesce() {
+    for seed in seeds_from_env() {
+        let mut sc = Scenario::base("clean_quiesce");
+        sc.churn_ops = 600;
+        sc.churn_gap = Duration::from_micros(20);
+        sc.quiesce_mid_run = true;
+        sc.latency_bound = Some(Duration::from_micros(250));
+        let report = run_scenario_reproducibly(&sc, seed);
+        assert_eq!(report.issued, report.ok, "no faults: every lookup must answer (seed {seed})");
+        assert_eq!(report.shutdown, 0);
+        assert_eq!(report.shed, 0);
+        assert!(report.snapshots >= 2, "quiesce + churn must publish snapshots");
+        assert!(report.updates_applied > 0);
+        assert!(report.oracle_checks > 0, "post-quiesce sweep must check ranks");
+    }
+}
+
+/// A shard dispatcher crashes mid-batch while traffic is in flight: its
+/// collected batch is dropped and every waiter gets `ShuttingDown` — no
+/// reply is ever lost — while the surviving shards keep answering
+/// exactly.
+#[test]
+fn shard_crash_mid_batch() {
+    for seed in seeds_from_env() {
+        let mut sc = Scenario::base("shard_crash_mid_batch");
+        // Crash shard 1 at 3 virtual ms — squarely inside the ~20 ms
+        // load window, so requests are queued and coalescing when it
+        // dies.
+        sc.faults = ServeFaultPlan::none().crash_shard(1, 3_000_000);
+        sc.latency_bound = Some(Duration::from_micros(250));
+        let report = run_scenario_reproducibly(&sc, seed);
+        assert!(report.shutdown > 0, "seed {seed}: the crash window must catch in-flight lookups");
+        assert!(report.ok > 0, "surviving shards keep serving");
+        assert_eq!(report.issued, report.ok + report.shed + report.shutdown);
+    }
+}
+
+/// Regression: a crash with a *deep backlog* behind it. With one slow
+/// single-request-batch shard, requests pile up in the admission queue;
+/// when the crash fires, everything queued (not just the collected
+/// batch) must resolve as `ShuttingDown` — the crashed dispatcher
+/// drains its queue rather than stranding waiters whose own
+/// `ServerHandle`s keep the channel alive. Before the drain existed,
+/// this scenario deadlocked (caught by the sim's detector).
+#[test]
+fn shard_crash_with_queued_backlog() {
+    for seed in seeds_from_env() {
+        let mut sc = Scenario::base("shard_crash_with_queued_backlog");
+        sc.shards = 1;
+        sc.max_batch = 1;
+        sc.faults = ServeFaultPlan::none()
+            .slow_shard(0, Duration::from_millis(1))
+            .crash_shard(0, 2_000_000);
+        sc.clients = 3;
+        sc.lookups_per_client = 150;
+        sc.latency_bound = None; // the backlog *is* the scenario
+        let report = run_scenario_reproducibly(&sc, seed);
+        assert!(report.shutdown > 0, "seed {seed}: the backlog must be shut down, not lost");
+        assert_eq!(report.issued, report.ok + report.shed + report.shutdown);
+    }
+}
+
+/// Seeded uniform jitter on every dispatch: answers stay exact, and the
+/// worst served latency stays below `max_delay + 2 × jitter_max` — a
+/// bound that only holds because delays are virtual and scripted.
+#[test]
+fn dispatch_jitter() {
+    for seed in seeds_from_env() {
+        let mut sc = Scenario::base("dispatch_jitter");
+        let jitter = Duration::from_micros(400);
+        sc.faults = ServeFaultPlan::none().with_jitter(seed ^ 0x4A17_7E55, jitter);
+        sc.arrival = ArrivalProcess::poisson_rate(5_000.0);
+        sc.latency_bound = Some(sc.max_delay + 2 * jitter);
+        let report = run_scenario_reproducibly(&sc, seed);
+        assert_eq!(report.issued, report.ok, "jitter delays, never drops (seed {seed})");
+        assert!(report.max_latency_ns > 0);
+    }
+}
+
+/// One shard is a straggler (+2 ms per batch): its traffic is slow but
+/// exact, the other shards stay fast, and nothing sheds because the
+/// queue absorbs the straggler's backlog.
+#[test]
+fn slow_shard_straggler() {
+    for seed in seeds_from_env() {
+        let mut sc = Scenario::base("slow_shard_straggler");
+        let extra = Duration::from_millis(2);
+        sc.faults = ServeFaultPlan::none().slow_shard(0, extra);
+        sc.arrival = ArrivalProcess::poisson_rate(4_000.0);
+        // A request can land behind one in-flight slow batch and then
+        // ride its own: ≤ max_delay + 2 × extra, exactly, in virtual
+        // time.
+        sc.latency_bound = Some(sc.max_delay + 2 * extra);
+        let report = run_scenario_reproducibly(&sc, seed);
+        assert_eq!(report.issued, report.ok, "straggler is slow, not wrong (seed {seed})");
+        assert!(
+            report.max_latency_ns > extra.as_nanos() as u64,
+            "the straggler's delay must actually be visible in served latency"
+        );
+    }
+}
+
+/// A churn storm with an aggressive merge threshold and per-op snapshot
+/// publication: epoch swaps and index rebuilds race live lookups, and
+/// the post-quiesce sweep must still match the mirror exactly.
+#[test]
+fn churn_storm_during_snapshot_publish() {
+    for seed in seeds_from_env() {
+        let mut sc = Scenario::base("churn_storm_during_snapshot_publish");
+        sc.churn_ops = 1_500;
+        sc.churn_gap = Duration::from_micros(5); // storm
+        sc.merge_threshold = 48; // force frequent merges/rebuilds
+        sc.publish_every = 4; // publication storm
+        sc.latency_bound = Some(Duration::from_micros(250));
+        let report = run_scenario_reproducibly(&sc, seed);
+        assert!(report.merges > 0, "seed {seed}: the storm must cross the merge threshold");
+        assert!(report.snapshots > 20, "publication storm must publish constantly");
+        assert_eq!(report.issued, report.ok);
+        assert!(report.oracle_checks > 0);
+    }
+}
+
+/// Sustained overload into shed: dispatch is artificially slow (virtual
+/// service time) and the queues are tiny, so open-loop arrivals overrun
+/// admission and the server sheds — deterministically, the same requests
+/// every run.
+#[test]
+fn overload_to_shed() {
+    for seed in seeds_from_env() {
+        let mut sc = Scenario::base("overload_to_shed");
+        // Every batch costs 1 virtual ms to dispatch; arrivals offered
+        // at 20k/s/client against queues of 4 → guaranteed overrun.
+        sc.faults = ServeFaultPlan::none()
+            .slow_shard(0, Duration::from_millis(1))
+            .slow_shard(1, Duration::from_millis(1))
+            .slow_shard(2, Duration::from_millis(1));
+        sc.queue_capacity = 4;
+        sc.max_batch = 4;
+        sc.lookups_per_client = 300;
+        sc.latency_bound = None; // queueing delay is the point here
+        let report = run_scenario_reproducibly(&sc, seed);
+        assert!(report.shed > 0, "seed {seed}: overload must shed");
+        assert!(report.ok > 0, "admitted traffic is still served");
+        assert_eq!(report.issued, report.ok + report.shed + report.shutdown);
+    }
+}

@@ -14,7 +14,8 @@
 //! | [`model`] | the paper's Appendix-A analytical model + Figure 4 trends + sensitivity solvers |
 //! | [`sysprobe`] | host measurements of the paper's Table 2 quantities + cache-size knee detection |
 //! | [`core`] | Methods A, B, C-1/C-2/C-3, really-dispatched A/B + the native [`DistributedIndex`] |
-//! | [`serve`] | sharded, batch-coalescing serving layer: admission control, online updates, load generators |
+//! | [`serve`] | sharded, batch-coalescing serving layer: admission control, online updates, load generators, `Clock` time-virtualization seam |
+//! | [`simtest`] | deterministic simulation testing: the real serving stack on seeded virtual time, fault scenarios + invariant oracles |
 //!
 //! ## Quickstart (native, real threads)
 //!
@@ -54,6 +55,25 @@
 //! Run the end-to-end demo (mixed Zipf lookups + churn, latency
 //! percentiles, oracle check): `cargo run --release --example serve_demo`.
 //!
+//! ## Deterministic simulation (virtual time)
+//!
+//! The same server, run on a seeded virtual clock: hostile schedules
+//! (shard crashes, jitter, stragglers, overload) become fast,
+//! reproducible tests. See [`simtest`] and `cargo test -p dini-simtest`.
+//!
+//! ```
+//! use dini::serve::{Clock, IndexServer, ServeConfig, SimClock};
+//!
+//! let sim = SimClock::new();
+//! let _main = sim.register_main(); // this thread drives virtual time
+//! let mut cfg = ServeConfig::new(2);
+//! cfg.clock = Clock::sim(&sim);
+//! let keys: Vec<u32> = (0..10_000).map(|i| i * 2).collect();
+//! let server = IndexServer::build(&keys, cfg);
+//! assert_eq!(server.handle().lookup(10).unwrap(), 6);
+//! drop(server); // wind the sim-clocked threads down before the guard
+//! ```
+//!
 //! ## Reproducing the paper
 //!
 //! ```text
@@ -72,6 +92,7 @@ pub use dini_core as core;
 pub use dini_index as index;
 pub use dini_model as model;
 pub use dini_serve as serve;
+pub use dini_simtest as simtest;
 pub use dini_sysprobe as sysprobe;
 pub use dini_workload as workload;
 
