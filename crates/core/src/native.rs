@@ -12,6 +12,7 @@
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dini_cache_sim::NullMemory;
 use dini_index::{CsbTree, RankIndex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A request to a slave: `(batch_id, (query slot, key) pairs)`.
@@ -59,21 +60,34 @@ impl NativeConfig {
 }
 
 /// A worker's lookup engine (built once, owned by the thread).
+///
+/// The sorted-array engine does not copy its partition: it holds the
+/// `Arc`-shared key array plus its slice bounds, so any number of
+/// indexes built over the same `Arc` (replica groups in `dini-serve`)
+/// share one copy of the keys. The CSB+ engine rebuilds its node pages
+/// from the slice and therefore still owns its storage.
 enum WorkerEngine {
-    Array(Vec<u32>),
+    Array { keys: Arc<Vec<u32>>, start: usize, end: usize },
     Tree(CsbTree),
 }
 
 impl WorkerEngine {
-    fn build(structure: NativeStructure, part: Vec<u32>) -> Self {
+    fn build(structure: NativeStructure, keys: Arc<Vec<u32>>, start: usize, end: usize) -> Self {
         match structure {
-            NativeStructure::SortedArray => WorkerEngine::Array(part),
+            NativeStructure::SortedArray => WorkerEngine::Array { keys, start, end },
             NativeStructure::CsbTree => {
                 // 64-byte nodes: 15 keys + first-child, 8 (key, id) leaf
                 // entries — the modern-line equivalent of the paper's
                 // geometry. Addresses are simulated-only; NullMemory makes
                 // the walk free of instrumentation.
-                WorkerEngine::Tree(CsbTree::with_leaf_entries(&part, 15, 8, 64, 1 << 20, 0.0))
+                WorkerEngine::Tree(CsbTree::with_leaf_entries(
+                    &keys[start..end],
+                    15,
+                    8,
+                    64,
+                    1 << 20,
+                    0.0,
+                ))
             }
         }
     }
@@ -81,7 +95,9 @@ impl WorkerEngine {
     #[inline]
     fn local_rank(&self, key: u32) -> u32 {
         match self {
-            WorkerEngine::Array(part) => part.partition_point(|&s| s <= key) as u32,
+            WorkerEngine::Array { keys, start, end } => {
+                keys[*start..*end].partition_point(|&s| s <= key) as u32
+            }
             WorkerEngine::Tree(t) => t.rank(key, &mut NullMemory).0,
         }
     }
@@ -122,6 +138,18 @@ impl DistributedIndex {
     /// Build over `keys` (must be sorted ascending, unique). Spawns
     /// `cfg.n_slaves` worker threads that live until the index is dropped.
     pub fn build(keys: &[u32], cfg: NativeConfig) -> Self {
+        Self::build_shared(&Arc::new(keys.to_vec()), cfg)
+    }
+
+    /// Build over an `Arc`-shared key array without copying it: each
+    /// sorted-array worker holds the `Arc` plus its partition bounds, so
+    /// several indexes built from the *same* `Arc` (e.g. the replicas of
+    /// one `dini-serve` shard) share a single copy of the keys — replicas
+    /// cost threads, not index memory. `keys` must be sorted ascending,
+    /// unique. (CSB+ workers rebuild node pages from the slice and so
+    /// still own their storage; sharing only pays off for the default
+    /// sorted-array structure.)
+    pub fn build_shared(keys: &Arc<Vec<u32>>, cfg: NativeConfig) -> Self {
         assert!(cfg.n_slaves >= 1, "need at least one slave");
         assert!(keys.len() >= cfg.n_slaves, "need at least one key per partition");
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
@@ -149,7 +177,8 @@ impl DistributedIndex {
             if j > 0 {
                 delimiters.push(keys[start]);
             }
-            let part: Vec<u32> = keys[start..end].to_vec();
+            let part = keys.clone();
+            let (part_start, part_end) = (start, end);
             let base_rank = start as u32;
             start = end;
             let (req_tx, req_rx) = bounded::<Req>(cfg.channel_capacity);
@@ -164,7 +193,7 @@ impl DistributedIndex {
                         if let Some(c) = core {
                             core_affinity::set_for_current(c);
                         }
-                        let engine = WorkerEngine::build(structure, part);
+                        let engine = WorkerEngine::build(structure, part, part_start, part_end);
                         for (batch, mut pairs) in req_rx.iter() {
                             for (_, kr) in pairs.iter_mut() {
                                 *kr = base_rank + engine.local_rank(*kr);
@@ -422,6 +451,24 @@ mod tests {
         for q in [0u32, keys[0], keys[500], keys[9_999], u32::MAX] {
             assert_eq!(idx.lookup(q), oracle_rank(&keys, q), "query {q}");
         }
+    }
+
+    #[test]
+    fn shared_builds_share_storage_and_agree() {
+        let keys = Arc::new(gen_sorted_unique_keys(20_000, 77));
+        let mut a = DistributedIndex::build_shared(&keys, cfg(3));
+        let mut b = DistributedIndex::build_shared(&keys, cfg(3));
+        // Each sorted-array worker pins the shared Arc instead of copying
+        // its partition: 1 (here) + 2 indexes × 3 workers.
+        assert_eq!(Arc::strong_count(&keys), 1 + 2 * 3);
+        let queries: Vec<u32> = (0..2_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        assert_eq!(a.lookup_batch(&queries), b.lookup_batch(&queries));
+        for &q in queries.iter().take(100) {
+            assert_eq!(a.lookup(q), oracle_rank(&keys, q), "query {q}");
+        }
+        drop(a);
+        drop(b);
+        assert_eq!(Arc::strong_count(&keys), 1, "workers must release the shared keys");
     }
 
     #[test]

@@ -1,16 +1,19 @@
 //! `serve_throughput`: lookups/s and latency percentiles of the serving
 //! layer, swept over shard count and batch-coalescing delay — the serving
-//! analogue of the paper's Figure 3 batch-size sweep.
+//! analogue of the paper's Figure 3 batch-size sweep — plus a
+//! replica-count sweep on a hot-headed Zipf cell (replica groups are a
+//! *read-scaling* knob, so the sweep lives where the head is hottest).
 //!
 //! Two outputs:
 //!
 //! * criterion-style timings on stderr (`cargo bench -p dini-serve`);
 //! * `BENCH_serve.json` at the repo root: one record per
-//!   (shards × max_delay) cell with throughput and p50/p99/p999, so the
-//!   serving layer's perf trajectory is machine-trackable PR over PR.
-//!   The previous run's sweep is carried along as `previous_results`, so
-//!   the file always records a before/after pair for the tree it was
-//!   generated in.
+//!   (shards × max_delay) cell with throughput and p50/p99/p999, and a
+//!   `replica_sweep` array of (replicas × shards × max_delay) records,
+//!   so the serving layer's perf trajectory is machine-trackable PR over
+//!   PR. The previous run's main sweep is carried along as
+//!   `previous_results`, so the file always records a before/after pair
+//!   for the tree it was generated in.
 //!
 //! Setting `DINI_SERVE_BENCH_SMOKE=1` runs a seconds-long smoke sweep
 //! (tiny key set, short axes) and writes the JSON to a scratch path —
@@ -29,9 +32,19 @@ struct BenchParams {
     lookups_per_client: usize,
     shard_axis: &'static [usize],
     delay_axis_us: &'static [u64],
+    /// Replica sweep: replica counts × (shards, delay) cells, under a
+    /// hotter Zipf head (`REPLICA_SWEEP_ZIPF_S`) than the main sweep —
+    /// the regime where read replication of the hot shard pays.
+    replica_axis: &'static [usize],
+    replica_cells: &'static [(usize, u64)],
     out_path: PathBuf,
     keep_previous: bool,
 }
+
+/// Zipf skew of the replica sweep (the main sweep stays at 1.1): a
+/// hotter head concentrates traffic on one shard, which is exactly the
+/// bottleneck replica groups exist to widen.
+const REPLICA_SWEEP_ZIPF_S: f64 = 1.3;
 
 fn real_out_path() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json"))
@@ -45,6 +58,8 @@ fn params() -> BenchParams {
             lookups_per_client: 500,
             shard_axis: &[1, 2],
             delay_axis_us: &[0, 50],
+            replica_axis: &[1, 2],
+            replica_cells: &[(2, 50)],
             out_path: std::env::temp_dir().join("BENCH_serve.smoke.json"),
             keep_previous: false,
         }
@@ -55,6 +70,8 @@ fn params() -> BenchParams {
             lookups_per_client: 10_000,
             shard_axis: &[1, 2, 4],
             delay_axis_us: &[0, 50, 200],
+            replica_axis: &[1, 2, 3],
+            replica_cells: &[(2, 50), (2, 0)],
             out_path: real_out_path(),
             keep_previous: true,
         }
@@ -65,19 +82,26 @@ fn keys(p: &BenchParams) -> Vec<u32> {
     (0..p.n_keys as u32).map(|i| i * 16 + 3).collect()
 }
 
-fn server(p: &BenchParams, shards: usize, delay_us: u64) -> IndexServer {
+fn server(p: &BenchParams, shards: usize, replicas: usize, delay_us: u64) -> IndexServer {
     let mut cfg = ServeConfig::new(shards);
+    cfg.replicas_per_shard = replicas;
     cfg.slaves_per_shard = 2;
     cfg.max_batch = 256;
     cfg.max_delay = Duration::from_micros(delay_us);
     IndexServer::build(&keys(p), cfg)
 }
 
-fn sweep_cell(p: &BenchParams, shards: usize, delay_us: u64) -> LoadReport {
-    let s = server(p, shards, delay_us);
+fn sweep_cell(
+    p: &BenchParams,
+    shards: usize,
+    replicas: usize,
+    delay_us: u64,
+    zipf_s: f64,
+) -> LoadReport {
+    let s = server(p, shards, replicas, delay_us);
     run_load(
         &s.handle(),
-        KeyDistribution::Zipf { n_buckets: 256, s: 1.1 },
+        KeyDistribution::Zipf { n_buckets: 256, s: zipf_s },
         42,
         LoadMode::Closed { clients: p.clients, lookups_per_client: p.lookups_per_client },
     )
@@ -98,31 +122,69 @@ fn previous_results(p: &BenchParams) -> Option<String> {
     Some(text[start..end].to_string())
 }
 
+fn record_line(r: &LoadReport, prefix: &str) -> String {
+    format!(
+        "    {{{prefix}\"throughput_lps\": {:.0}, \"completed\": {}, \"shed\": {}, \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}}",
+        r.throughput_lps(),
+        r.completed,
+        r.shed,
+        r.latency_ns.quantile(0.50) / 1e3,
+        r.latency_ns.quantile(0.99) / 1e3,
+        r.latency_ns.quantile(0.999) / 1e3,
+    )
+}
+
 /// The sweep behind BENCH_serve.json (runs once, before criterion).
 fn emit_json(p: &BenchParams) {
     let previous = previous_results(p);
     let mut records = String::new();
     for &shards in p.shard_axis {
         for &delay_us in p.delay_axis_us {
-            let r = sweep_cell(p, shards, delay_us);
+            let r = sweep_cell(p, shards, 1, delay_us, 1.1);
             eprintln!("sweep shards={shards} delay={delay_us}µs: {}", r.summary());
             if !records.is_empty() {
                 records.push_str(",\n");
             }
             let _ = write!(
                 records,
-                "    {{\"shards\": {shards}, \"max_delay_us\": {delay_us}, \
-                 \"throughput_lps\": {:.0}, \"completed\": {}, \"shed\": {}, \
-                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}}",
-                r.throughput_lps(),
-                r.completed,
-                r.shed,
-                r.latency_ns.quantile(0.50) / 1e3,
-                r.latency_ns.quantile(0.99) / 1e3,
-                r.latency_ns.quantile(0.999) / 1e3,
+                "{}",
+                record_line(&r, &format!("\"shards\": {shards}, \"max_delay_us\": {delay_us}, "))
             );
         }
     }
+
+    // The replica sweep: same closed-loop harness, hotter Zipf head, the
+    // replica count as the moving axis. On the coalescing cells the hot
+    // shard's replicas overlap their batch windows, so throughput rises
+    // (and the tail falls) with R even on modest hardware; the delay-0
+    // cell records the flip side — with nothing to overlap, extra
+    // replicas are pure dispatch overhead.
+    let mut replica_records = String::new();
+    for &(shards, delay_us) in p.replica_cells {
+        for &replicas in p.replica_axis {
+            let r = sweep_cell(p, shards, replicas, delay_us, REPLICA_SWEEP_ZIPF_S);
+            eprintln!(
+                "replica sweep shards={shards} replicas={replicas} delay={delay_us}µs: {}",
+                r.summary()
+            );
+            if !replica_records.is_empty() {
+                replica_records.push_str(",\n");
+            }
+            let _ = write!(
+                replica_records,
+                "{}",
+                record_line(
+                    &r,
+                    &format!(
+                        "\"replicas\": {replicas}, \"shards\": {shards}, \
+                         \"max_delay_us\": {delay_us}, "
+                    )
+                )
+            );
+        }
+    }
+
     let previous_block = match previous {
         Some(ref old) => format!(
             ",\n  \"previous_results_semantics\": \"the results array this file held when \
@@ -134,7 +196,9 @@ fn emit_json(p: &BenchParams) {
     let json = format!(
         "{{\n  \"bench\": \"serve_throughput\",\n  \"keys\": {},\n  \
          \"clients\": {},\n  \"lookups_per_client\": {},\n  \
-         \"distribution\": \"zipf(256, 1.1)\",\n  \"results\": [\n{records}\n  ]{previous_block}\n}}\n",
+         \"distribution\": \"zipf(256, 1.1)\",\n  \"results\": [\n{records}\n  ],\n  \
+         \"replica_sweep_distribution\": \"zipf(256, {REPLICA_SWEEP_ZIPF_S})\",\n  \
+         \"replica_sweep\": [\n{replica_records}\n  ]{previous_block}\n}}\n",
         p.n_keys, p.clients, p.lookups_per_client,
     );
     std::fs::write(&p.out_path, json).expect("write BENCH_serve.json");
@@ -143,7 +207,7 @@ fn emit_json(p: &BenchParams) {
 
 /// Criterion timings of the caller-facing paths on a fixed 2-shard server.
 fn bench_lookup_paths(c: &mut Criterion, p: &BenchParams) {
-    let s = server(p, 2, 50);
+    let s = server(p, 2, 1, 50);
     let h = s.handle();
     let queries: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
 

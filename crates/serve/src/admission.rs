@@ -1,39 +1,64 @@
-//! Admission control: bounded queues with shed-on-full.
+//! Admission control: bounded per-replica queues with shed-on-full,
+//! live depth gauges, and liveness flags.
 //!
 //! An unbounded queue converts overload into unbounded latency; a bounded
 //! queue converts it into explicit, cheap rejection at the door, keeping
 //! the latency of *admitted* requests bounded by
-//! `queue_capacity / service_rate`. Shedding is per shard, so a hot shard
-//! degrades alone while the rest of the key space serves normally.
+//! `queue_capacity / service_rate`. Shedding is per replica, so a hot
+//! replica degrades alone while the rest of the key space serves
+//! normally.
+//!
+//! With replica groups, each queue also carries the two signals the
+//! router and the failover path live on:
+//!
+//! * a **depth gauge** — requests admitted to this replica and not yet
+//!   answered (or handed off). Incremented at admission, decremented by
+//!   the dispatcher after replying; this is the live load signal
+//!   power-of-two-choices routing samples
+//!   ([`ReplicaSelector`](crate::ReplicaSelector)).
+//! * an **alive flag** — cleared by the dispatcher when its fault plan
+//!   crashes it, so routers stop picking the replica and its siblings
+//!   know not to re-route back into it. A shard is only `ShuttingDown`
+//!   once every replica's flag is down.
 
 use crate::batcher::Request;
 use crate::clock::Clock;
 use crate::config::ServeError;
 use crossbeam::channel::{Sender, TrySendError};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// The admission side of one shard's request queue.
+/// The admission side of one replica's request queue.
 #[derive(Debug, Clone)]
 pub struct AdmissionQueue {
     shard: usize,
+    replica: usize,
     tx: Sender<Request>,
     /// Blocking admission waits in this clock's time (a full queue under
     /// a sim clock parks in the scheduler instead of wedging the run).
     clock: Clock,
     admitted: Arc<AtomicU64>,
     shed: Arc<AtomicU64>,
+    /// Requests admitted and not yet answered or handed off — the live
+    /// load signal replica routing samples.
+    depth: Arc<AtomicU64>,
+    /// Cleared when this replica's dispatcher crashes.
+    alive: Arc<AtomicBool>,
 }
 
 impl AdmissionQueue {
-    /// Wrap the bounded sender for `shard`, waiting in `clock` time.
-    pub fn new(shard: usize, tx: Sender<Request>, clock: Clock) -> Self {
+    /// Wrap the bounded sender for `replica` of `shard`, waiting in
+    /// `clock` time.
+    pub fn new(shard: usize, replica: usize, tx: Sender<Request>, clock: Clock) -> Self {
         Self {
             shard,
+            replica,
             tx,
             clock,
             admitted: Arc::new(AtomicU64::new(0)),
             shed: Arc::new(AtomicU64::new(0)),
+            depth: Arc::new(AtomicU64::new(0)),
+            alive: Arc::new(AtomicBool::new(true)),
         }
     }
 
@@ -42,6 +67,7 @@ impl AdmissionQueue {
         match self.tx.try_send(req) {
             Ok(()) => {
                 self.admitted.fetch_add(1, Ordering::Relaxed);
+                self.depth.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
@@ -57,10 +83,74 @@ impl AdmissionQueue {
         match self.clock.send(&self.tx, req) {
             Ok(()) => {
                 self.admitted.fetch_add(1, Ordering::Relaxed);
+                self.depth.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             Err(_) => Err(ServeError::ShuttingDown),
         }
+    }
+
+    /// Hand a request over from a crashed sibling replica (failover
+    /// re-route): bumps the depth gauge but neither `admitted` nor
+    /// `shed` — the request was already admitted once, at the door.
+    /// Returns the request on a full (`blocking == false`) or
+    /// disconnected queue so the caller can try the next survivor.
+    pub(crate) fn resubmit(&self, req: Request, blocking: bool) -> Result<(), Request> {
+        if blocking {
+            match self.clock.send(&self.tx, req) {
+                Ok(()) => {
+                    self.depth.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(e) => Err(e.0),
+            }
+        } else {
+            match self.tx.try_send(req) {
+                Ok(()) => {
+                    self.depth.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(TrySendError::Full(req)) | Err(TrySendError::Disconnected(req)) => Err(req),
+            }
+        }
+    }
+
+    /// The dispatcher answered (or re-routed, or dropped) `n` admitted
+    /// requests: release them from the depth gauge.
+    pub(crate) fn complete(&self, n: usize) {
+        self.depth.fetch_sub(n as u64, Ordering::Relaxed);
+    }
+
+    /// Live queue depth: admitted requests not yet answered.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Is this replica's dispatcher still serving?
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// The routing probe: `Some(depth)` while alive, `None` once dead —
+    /// exactly the shape [`ReplicaSelector::select`](crate::ReplicaSelector::select)
+    /// samples.
+    #[inline]
+    pub fn probe(&self) -> Option<u64> {
+        self.is_alive().then(|| self.depth())
+    }
+
+    /// Mark this replica dead (its dispatcher crashed). Ordering
+    /// matters on the failover path: the dispatcher clears the flag
+    /// *before* re-routing its backlog, so a sibling that receives a
+    /// re-routed request can never bounce it back here believing the
+    /// replica alive.
+    pub(crate) fn mark_dead(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Which replica this queue admits for.
+    pub fn replica(&self) -> usize {
+        self.replica
     }
 
     /// Requests admitted so far.
@@ -89,7 +179,7 @@ mod tests {
     #[test]
     fn sheds_exactly_past_capacity() {
         let (tx, rx) = bounded(2);
-        let q = AdmissionQueue::new(0, tx, Clock::system());
+        let q = AdmissionQueue::new(0, 0, tx, Clock::system());
         assert!(q.try_submit(req(1)).is_ok());
         assert!(q.try_submit(req(2)).is_ok());
         assert_eq!(q.try_submit(req(3)), Err(ServeError::Overloaded { shard: 0 }));
@@ -103,10 +193,56 @@ mod tests {
     #[test]
     fn disconnect_is_shutdown_not_shed() {
         let (tx, rx) = bounded(2);
-        let q = AdmissionQueue::new(3, tx, Clock::system());
+        let q = AdmissionQueue::new(3, 1, tx, Clock::system());
         drop(rx);
         assert_eq!(q.try_submit(req(1)), Err(ServeError::ShuttingDown));
         assert_eq!(q.submit(req(2)), Err(ServeError::ShuttingDown));
         assert_eq!(q.shed(), 0, "shutdown is not overload");
+        assert_eq!(q.replica(), 1);
+    }
+
+    #[test]
+    fn depth_tracks_admissions_and_completions() {
+        let (tx, _rx) = bounded(8);
+        let q = AdmissionQueue::new(0, 0, tx, Clock::system());
+        assert_eq!(q.probe(), Some(0));
+        q.try_submit(req(1)).unwrap();
+        q.submit(req(2)).unwrap();
+        assert_eq!(q.depth(), 2);
+        q.complete(2);
+        assert_eq!(q.depth(), 0);
+        // Shed requests never enter the gauge.
+        let (tx2, _rx2) = bounded(1);
+        let q2 = AdmissionQueue::new(0, 0, tx2, Clock::system());
+        q2.try_submit(req(1)).unwrap();
+        let _ = q2.try_submit(req(2));
+        assert_eq!(q2.depth(), 1);
+    }
+
+    #[test]
+    fn resubmit_bumps_depth_but_not_admitted() {
+        let (tx, rx) = bounded(1);
+        let q = AdmissionQueue::new(0, 1, tx, Clock::system());
+        assert!(q.resubmit(req(1), false).is_ok());
+        assert_eq!((q.admitted(), q.depth()), (0, 1));
+        // Full, non-blocking: the request comes back for the next
+        // survivor.
+        let bounced = q.resubmit(req(2), false).unwrap_err();
+        assert_eq!(bounced.key, 2);
+        assert_eq!(q.depth(), 1);
+        drop(rx);
+        let bounced = q.resubmit(req(3), true).unwrap_err();
+        assert_eq!(bounced.key, 3, "disconnected blocking resubmit returns the request");
+    }
+
+    #[test]
+    fn dead_replicas_probe_none() {
+        let (tx, _rx) = bounded(2);
+        let q = AdmissionQueue::new(0, 0, tx, Clock::system());
+        let clone = q.clone();
+        assert!(clone.is_alive());
+        q.mark_dead();
+        assert!(!clone.is_alive(), "liveness is shared across clones");
+        assert_eq!(clone.probe(), None);
     }
 }

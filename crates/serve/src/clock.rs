@@ -36,7 +36,7 @@
 //!    they cannot introduce scheduling races.
 //! 2. **At most one registered thread runs at a time.** All blocking
 //!    operations (sleeps, channel sends/recvs, reply waits, joins)
-//!    funnel into [`SimClock::block`], which parks the caller and hands
+//!    funnel into `SimClock::block`, which parks the caller and hands
 //!    control to the scheduler.
 //! 3. When every registered thread is blocked, the scheduler runs a
 //!    **round**: it polls the blocked threads in slot-id order; the

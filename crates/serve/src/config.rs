@@ -19,7 +19,16 @@ pub struct ServeConfig {
     /// Number of shards; each shard is an independent
     /// `DistributedIndex` over a contiguous key range.
     pub n_shards: usize,
-    /// Worker ("slave") threads per shard's `DistributedIndex`.
+    /// Replicated dispatchers per shard. Replicas share one
+    /// [`EpochCell`](crate::EpochCell) overlay and `Arc`-shared main-key
+    /// storage, so they cost dispatcher + slave threads but no extra
+    /// index memory. Lookups are routed among a shard's replicas by
+    /// power-of-two-choices on live queue depth (see
+    /// [`ReplicaSelector`](crate::ReplicaSelector)); when a replica
+    /// crashes, its backlog is re-routed to surviving siblings and a
+    /// shard only answers `ShuttingDown` once its last replica is gone.
+    pub replicas_per_shard: usize,
+    /// Worker ("slave") threads per replica's `DistributedIndex`.
     pub slaves_per_shard: usize,
     /// Pin index worker threads to cores (best-effort).
     pub pin_cores: bool,
@@ -48,12 +57,14 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// `n_shards` shards with serving-friendly defaults: 2 slaves per
-    /// shard, unpinned, batches of ≤ 256 coalesced for ≤ 100 µs, queues
-    /// of 1024, merges every 4096 delta entries, snapshots every 64 ops.
+    /// `n_shards` shards with serving-friendly defaults: 1 replica and
+    /// 2 slaves per shard, unpinned, batches of ≤ 256 coalesced for
+    /// ≤ 100 µs, queues of 1024, merges every 4096 delta entries,
+    /// snapshots every 64 ops.
     pub fn new(n_shards: usize) -> Self {
         Self {
             n_shards,
+            replicas_per_shard: 1,
             slaves_per_shard: 2,
             pin_cores: false,
             max_batch: 256,
@@ -69,6 +80,7 @@ impl ServeConfig {
     /// Panic unless every knob is usable.
     pub fn validate(&self) {
         assert!(self.n_shards >= 1, "need at least one shard");
+        assert!(self.replicas_per_shard >= 1, "need at least one replica per shard");
         assert!(self.slaves_per_shard >= 1, "need at least one slave per shard");
         assert!(self.max_batch >= 1, "max_batch must be at least 1");
         assert!(self.queue_capacity >= 1, "queue_capacity must be at least 1");
@@ -117,6 +129,14 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         ServeConfig::new(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let mut cfg = ServeConfig::new(2);
+        cfg.replicas_per_shard = 0;
+        cfg.validate();
     }
 
     #[test]

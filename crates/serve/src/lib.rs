@@ -12,10 +12,16 @@
 //! serving system needs:
 //!
 //! * [`router`] — the u32 key space is **range-sharded** across
-//!   `n_shards` independent `DistributedIndex` instances; routing is a
-//!   binary search over a delimiter array, and global ranks compose as
-//!   `base_rank(shard) + local_rank` (the paper's master/slave rank
-//!   composition, one level up).
+//!   `n_shards` shards; routing is a binary search over a delimiter
+//!   array, and global ranks compose as `base_rank(shard) + local_rank`
+//!   (the paper's master/slave rank composition, one level up). Each
+//!   shard is served by a **replica group** of `replicas_per_shard`
+//!   dispatchers over `Arc`-shared snapshots and key storage (replicas
+//!   cost threads, not index memory); a [`ReplicaSelector`] picks among
+//!   them by **power-of-two choices** on live queue depth, and a
+//!   crashed replica **fails over** — its backlog is re-routed to
+//!   surviving siblings, so a shard only answers `ShuttingDown` once
+//!   its last replica is gone.
 //! * [`batcher`] — concurrent callers' requests **coalesce** into
 //!   time/size-bounded batches (`max_batch` / `max_delay`): the
 //!   server-side analogue of the paper's Figure 3 batch-size trade-off.
@@ -96,7 +102,7 @@ pub use config::{ServeConfig, ServeError};
 pub use faults::ServeFaultPlan;
 pub use loadgen::{run_load, LoadMode, LoadReport};
 pub use oneshot::SlotPool;
-pub use router::ShardRouter;
+pub use router::{ReplicaSelector, ShardRouter};
 pub use server::{IndexServer, PendingLookup, ServerHandle, UpdateHandle};
 pub use snapshot::{EpochCell, ShardSnapshot};
 pub use stats::{ServeStats, ShardStats};

@@ -6,14 +6,18 @@
 //!   load self-throttles with latency, so this measures capacity under
 //!   well-behaved callers (and can never shed).
 //! * **Open loop** — arrivals come from a seeded
-//!   [`ArrivalProcess`](dini_workload::ArrivalProcess) regardless of
+//!   [`ArrivalProcess`] regardless of
 //!   completions, issued with [`ServerHandle::try_lookup`]; overload
 //!   surfaces as shed requests instead of collapsing offered load. This
 //!   is the regime admission control exists for.
 //!
 //! Latency is recorded *caller-side* (submit → reply, including
 //! coalescing delay and queueing), per client, into
-//! [`LogHistogram`]s merged into the report.
+//! [`LogHistogram`]s merged into the report. With replica groups each
+//! client's handle routes load-aware (power-of-two choices on live
+//! replica queue depth), so the generators exercise exactly the path
+//! production callers take; the per-replica service breakdown lives
+//! server-side in [`IndexServer::replica_stats`](crate::IndexServer::replica_stats).
 //!
 //! All waiting and timestamping goes through the server's [`Clock`]
 //! (taken from the [`ServerHandle`]), so the *same* code path drives

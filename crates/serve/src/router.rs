@@ -1,12 +1,24 @@
-//! Key-space sharding: which shard owns a key.
+//! Key-space sharding and load-aware replica selection.
 //!
-//! The same trick the paper's master plays across slaves, replayed one
-//! level up: the u32 key space is range-partitioned across shards by a
-//! delimiter array, and routing is a binary search over `n_shards − 1`
-//! delimiters — a handful of comparisons over a cache-resident array.
-//! Range partitioning (rather than hashing) is what keeps *rank* queries
-//! composable: every key smaller than shard `s`'s range lives in a shard
-//! `< s`, so `global_rank = base_rank(s) + local_rank`.
+//! Routing happens in two stages:
+//!
+//! 1. **Which shard** ([`ShardRouter`]) is a pure function of the key —
+//!    the same trick the paper's master plays across slaves, replayed one
+//!    level up: the u32 key space is range-partitioned across shards by a
+//!    delimiter array, and routing is a binary search over `n_shards − 1`
+//!    delimiters — a handful of comparisons over a cache-resident array.
+//!    Range partitioning (rather than hashing) is what keeps *rank*
+//!    queries composable: every key smaller than shard `s`'s range lives
+//!    in a shard `< s`, so `global_rank = base_rank(s) + local_rank`.
+//! 2. **Which replica** ([`ReplicaSelector`]) is load-aware: any replica
+//!    of a shard can answer any of that shard's keys (replicas serve the
+//!    same `Arc`-shared snapshots), so the selector picks among them by
+//!    **power-of-two choices** over live queue depths — the classic
+//!    result that sampling two queues and joining the shorter one gets
+//!    exponentially close to the balance of global shortest-queue at a
+//!    constant cost. Dead replicas (crashed dispatchers) are skipped;
+//!    selection is a pure function of `(tick, depths)`, which is what
+//!    keeps `dini-simtest` runs bit-reproducible.
 
 /// Routes keys to shards by range partition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +98,103 @@ impl ShardRouter {
     }
 }
 
+/// Power-of-two-choices selection among one shard's replicas.
+///
+/// The caller supplies a monotonically advancing `tick` (any per-caller
+/// counter) and a probe of each replica's live state: `Some(depth)` for
+/// an alive replica, `None` for a crashed one. The selector
+///
+/// * rotates its two candidates through the replica set with `tick`
+///   (deterministic, no RNG — a seeded draw would cost state and buy
+///   nothing the rotation doesn't),
+/// * picks the candidate with the smaller queue depth, breaking ties
+///   toward the lower replica index,
+/// * falls back to a full min-depth scan only when a candidate is dead
+///   (the rare path), and
+/// * returns `None` only when *every* replica is dead — the caller maps
+///   that to `ShuttingDown`.
+///
+/// Selection is a pure function of `(tick, depths)`: given fixed inputs
+/// it always returns the same replica, which `dini-simtest` relies on
+/// for bit-reproducible runs (and `prop_router.rs` pins with proptests).
+///
+/// ```
+/// use dini_serve::ReplicaSelector;
+///
+/// let sel = ReplicaSelector::new(3);
+/// // Candidates rotate with the tick; the shorter queue wins.
+/// let depths = [5u64, 0, 9];
+/// assert_eq!(sel.select(0, |r| Some(depths[r])), Some(1)); // 5 vs 0 → replica 1
+/// // A dead replica is never picked.
+/// assert_eq!(sel.select(0, |r| (r != 1).then_some(depths[r])), Some(0));
+/// // All dead → None (the shard is gone).
+/// assert_eq!(sel.select(0, |_| None::<u64>), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaSelector {
+    n_replicas: usize,
+}
+
+impl ReplicaSelector {
+    /// A selector over `n_replicas` replicas (≥ 1).
+    pub fn new(n_replicas: usize) -> Self {
+        assert!(n_replicas >= 1, "need at least one replica");
+        Self { n_replicas }
+    }
+
+    /// Number of replicas this selector chooses among.
+    pub fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    /// The two candidate replicas for `tick` (equal when `n_replicas`
+    /// is 1).
+    #[inline]
+    pub fn candidates(&self, tick: u64) -> (usize, usize) {
+        let n = self.n_replicas as u64;
+        (((tick) % n) as usize, ((tick + 1) % n) as usize)
+    }
+
+    /// Pick a replica: power-of-two choices over `depth` (which returns
+    /// `Some(queue depth)` for alive replicas, `None` for dead ones).
+    /// Returns `None` only when every replica is dead. Allocation-free.
+    #[inline]
+    pub fn select(&self, tick: u64, mut depth: impl FnMut(usize) -> Option<u64>) -> Option<usize> {
+        if self.n_replicas == 1 {
+            return depth(0).map(|_| 0);
+        }
+        let (a, b) = self.candidates(tick);
+        match (depth(a), depth(b)) {
+            (Some(da), Some(db)) => {
+                // Tie toward the lower index: deterministic, and with
+                // both queues empty it keeps single-stream traffic on
+                // one warm replica instead of ping-ponging caches.
+                if db < da || (db == da && b < a) {
+                    Some(b)
+                } else {
+                    Some(a)
+                }
+            }
+            (Some(_), None) => Some(a),
+            (None, Some(_)) => Some(b),
+            (None, None) => {
+                // Both sampled replicas are dead: scan the whole group
+                // for the least-loaded survivor (rare, failover-time
+                // path; still allocation-free).
+                let mut best: Option<(u64, usize)> = None;
+                for r in 0..self.n_replicas {
+                    if let Some(d) = depth(r) {
+                        if best.is_none_or(|(bd, br)| d < bd || (d == bd && r < br)) {
+                            best = Some((d, r));
+                        }
+                    }
+                }
+                best.map(|(_, r)| r)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +266,45 @@ mod tests {
     #[should_panic(expected = "one key per shard")]
     fn too_many_shards_rejected() {
         let _ = ShardRouter::from_keys(&[1, 2], 3);
+    }
+
+    #[test]
+    fn single_replica_selects_zero_or_none() {
+        let sel = ReplicaSelector::new(1);
+        assert_eq!(sel.select(0, |_| Some(42)), Some(0));
+        assert_eq!(sel.select(99, |_| Some(0)), Some(0));
+        assert_eq!(sel.select(0, |_| None::<u64>), None);
+    }
+
+    #[test]
+    fn candidates_rotate_with_the_tick() {
+        let sel = ReplicaSelector::new(3);
+        assert_eq!(sel.candidates(0), (0, 1));
+        assert_eq!(sel.candidates(1), (1, 2));
+        assert_eq!(sel.candidates(2), (2, 0));
+        assert_eq!(sel.candidates(3), (0, 1));
+    }
+
+    #[test]
+    fn shorter_queue_wins_ties_go_low() {
+        let sel = ReplicaSelector::new(2);
+        assert_eq!(sel.select(0, |r| Some([3u64, 1][r])), Some(1));
+        assert_eq!(sel.select(0, |r| Some([1u64, 3][r])), Some(0));
+        assert_eq!(sel.select(0, |r| Some([2u64, 2][r])), Some(0), "tie → lower index");
+        assert_eq!(sel.select(1, |r| Some([2u64, 2][r])), Some(0), "tie → lower index, any tick");
+    }
+
+    #[test]
+    fn dead_candidates_fall_back_to_survivors() {
+        let sel = ReplicaSelector::new(4);
+        // Candidates for tick 0 are (0, 1); both dead → scan picks the
+        // least-loaded survivor.
+        let depths = [None, None, Some(7u64), Some(2)];
+        assert_eq!(sel.select(0, |r| depths[r]), Some(3));
+        // One candidate dead → the other wins regardless of depth.
+        let depths = [None, Some(100u64), Some(0), Some(0)];
+        assert_eq!(sel.select(0, |r| depths[r]), Some(1));
+        // Everyone dead → None.
+        assert_eq!(sel.select(0, |_| None::<u64>), None);
     }
 }

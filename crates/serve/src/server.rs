@@ -1,25 +1,44 @@
-//! The multi-tenant index server: shards, dispatchers, and the writer.
+//! The multi-tenant index server: shards, replica groups, dispatchers,
+//! and the writer.
 //!
-//! Thread topology for an `n`-shard server with `k` slaves per shard:
+//! Thread topology for an `n`-shard server with `R` replicas per shard
+//! and `k` slaves per replica:
 //!
 //! ```text
-//!  callers ──try_submit/submit──► [admission queue s] ─► dispatcher s ─► DistributedIndex s
-//!    │                                  (bounded,           (coalesces       (k pinned slave
-//!    │                                   shed-on-full)       batches)          threads)
-//!    └──update(Op)──► writer ──DeltaArray per shard──► EpochCell s (overlay publish)
-//!                        │                         └──► rebuild channel s (merged index swap)
+//!  callers ──route(key) → p2c(depth)──► [admission queue s·r] ─► dispatcher s·r ─► DistributedIndex s·r
+//!    │                                        (bounded,            (coalesces        (k pinned slave
+//!    │                                         shed-on-full)        batches)           threads; keys
+//!    │                                                                                 Arc-shared per shard)
+//!    └──update(Op)──► writer ──DeltaArray per shard──► EpochCell s  (overlay publish, shared by replicas)
+//!                        │                        └──► rebuild channel s·r (merged index swap, fanned out)
 //! ```
 //!
-//! * **Dispatchers** (one per shard) own their shard's
+//! * **Replica groups**: each keyspace shard is served by
+//!   `replicas_per_shard` replicated dispatchers. Replicas share one
+//!   [`EpochCell`] (the overlay snapshot is published once per shard)
+//!   and build their [`DistributedIndex`]es over one `Arc`-shared key
+//!   array, so a replica costs dispatcher + slave threads but **no
+//!   extra index memory**. Routing picks the shard from the key
+//!   (ranks must compose), then a replica by **power-of-two choices**
+//!   on live queue depth ([`ReplicaSelector`]) — a straggling replica's
+//!   depth grows and traffic flows around it.
+//! * **Failover**: a replica whose fault plan crashes it marks itself
+//!   dead, then **re-routes** its collected batch and queued backlog to
+//!   surviving replicas of the same shard — callers see degraded
+//!   capacity, not errors. Only when a shard's *last* replica dies does
+//!   its traffic resolve to [`ShuttingDown`](crate::ServeError::ShuttingDown).
+//! * **Dispatchers** (one per replica) own their replica's
 //!   [`DistributedIndex`] outright — `lookup_batch` needs `&mut self` —
 //!   and serve consistent `(index, overlay)` pairs; see
 //!   [`crate::snapshot`] for the epoch protocol.
 //! * **The writer** (single thread) owns every shard's
-//!   [`DeltaArray`](dini_index::DeltaArray), folds churn through it,
-//!   publishes overlays every `publish_every` ops, and on crossing
+//!   [`DeltaArray`], folds churn through it,
+//!   publishes overlays every `publish_every` ops (once per shard — the
+//!   shared `EpochCell` *is* the fan-out), and on crossing
 //!   `merge_threshold` merges, rebuilds that shard's index on its own
-//!   thread (readers keep serving the old epoch), and ships the new one
-//!   to the dispatcher. Lookups therefore never block on writers.
+//!   thread (readers keep serving the old epoch), and ships one
+//!   `Arc`-sharing rebuild to every replica of the shard. Lookups
+//!   therefore never block on writers.
 //! * **Global ranks** compose across shards: the writer republishes every
 //!   shard's `base_rank` (live keys in lower shards) with each snapshot
 //!   wave, so a lookup in shard `s` returns
@@ -30,9 +49,9 @@ use crate::admission::AdmissionQueue;
 use crate::batcher::{collect_batch_into, Request};
 use crate::clock::{Clock, ClockJoinHandle};
 use crate::config::{ServeConfig, ServeError};
-use crate::faults::ShardFaults;
+use crate::faults::ReplicaFaults;
 use crate::oneshot::{ReplySlot, SlotPool};
-use crate::router::ShardRouter;
+use crate::router::{ReplicaSelector, ShardRouter};
 use crate::snapshot::{EpochCell, ShardSnapshot};
 use crate::stats::{ServeStats, ShardStats};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
@@ -47,7 +66,7 @@ use std::time::Duration;
 /// How long an idle dispatcher sleeps between shutdown-flag checks.
 const IDLE_POLL: Duration = Duration::from_millis(10);
 
-/// An index-swap message from the writer to one dispatcher.
+/// An index-swap message from the writer to one replica dispatcher.
 struct Rebuild {
     main_epoch: u64,
     /// `None` when the shard's main array emptied (all keys deleted).
@@ -74,7 +93,8 @@ struct WriterCounters {
     live_keys: AtomicU64,
 }
 
-/// A sharded, batch-coalescing, online-updatable rank-query server.
+/// A sharded, replicated, batch-coalescing, online-updatable rank-query
+/// server.
 ///
 /// Build one over an initial sorted key set, take cheap cloneable
 /// [`ServerHandle`]s for concurrent callers, feed churn through
@@ -85,7 +105,9 @@ struct WriterCounters {
 /// use dini_serve::{IndexServer, ServeConfig};
 ///
 /// let keys: Vec<u32> = (0..10_000).map(|i| i * 4).collect();
-/// let server = IndexServer::build(&keys, ServeConfig::new(2));
+/// let mut cfg = ServeConfig::new(2);
+/// cfg.replicas_per_shard = 2; // two dispatchers per shard, shared index memory
+/// let server = IndexServer::build(&keys, cfg);
 /// let handle = server.handle();
 /// assert_eq!(handle.lookup(100).unwrap(), 26); // 0,4,…,100 → 26 keys ≤ 100
 ///
@@ -95,8 +117,11 @@ struct WriterCounters {
 /// ```
 pub struct IndexServer {
     router: Arc<ShardRouter>,
-    queues: Vec<AdmissionQueue>,
+    selector: ReplicaSelector,
+    /// `queues[shard][replica]`.
+    queues: Vec<Vec<AdmissionQueue>>,
     pools: Vec<Arc<SlotPool>>,
+    /// Replica-major: `shard * replicas_per_shard + replica`.
     shard_stats: Vec<Arc<Mutex<ShardStats>>>,
     counters: Arc<WriterCounters>,
     shutdown: Arc<AtomicBool>,
@@ -106,73 +131,117 @@ pub struct IndexServer {
     writer: Option<ClockJoinHandle<()>>,
 }
 
-/// A cheap, cloneable caller-side handle: routes lookups to shard queues.
+/// A cheap, cloneable caller-side handle: routes lookups to the shard
+/// owning the key, then to a live replica by power-of-two-choices on
+/// queue depth.
 ///
 /// Handles share one [`SlotPool`] of reusable reply cells *per shard*,
 /// so a warmed-up lookup allocates nothing (the cell cycles take →
 /// submit → reply → reap → return for the server's whole lifetime) and
 /// slab traffic serializes only within a shard, never across the server.
-#[derive(Clone)]
+/// Each clone carries its own routing tick, so clones never contend on
+/// a shared counter (a fresh clone restarts its candidate rotation —
+/// load awareness, not the rotation phase, is what balances replicas).
 pub struct ServerHandle {
     router: Arc<ShardRouter>,
-    queues: Vec<AdmissionQueue>,
+    selector: ReplicaSelector,
+    queues: Vec<Vec<AdmissionQueue>>,
     pools: Vec<Arc<SlotPool>>,
     clock: Clock,
+    /// Per-clone power-of-two-choices rotation tick.
+    tick: AtomicU64,
 }
 
-fn build_index(keys: &[u32], slaves: usize, pin: bool) -> Option<DistributedIndex> {
+impl Clone for ServerHandle {
+    fn clone(&self) -> Self {
+        Self {
+            router: self.router.clone(),
+            selector: self.selector,
+            queues: self.queues.clone(),
+            pools: self.pools.clone(),
+            clock: self.clock.clone(),
+            tick: AtomicU64::new(0),
+        }
+    }
+}
+
+fn build_index(keys: &Arc<Vec<u32>>, slaves: usize, pin: bool) -> Option<DistributedIndex> {
     if keys.is_empty() {
         return None;
     }
     let mut cfg = NativeConfig::new(slaves.min(keys.len()));
     cfg.pin_cores = pin;
-    Some(DistributedIndex::build(keys, cfg))
+    Some(DistributedIndex::build_shared(keys, cfg))
 }
 
 impl IndexServer {
     /// Build a server over `keys` (sorted ascending, unique). Spawns
-    /// `n_shards` dispatcher threads, `n_shards × slaves_per_shard` index
-    /// worker threads, and one writer thread.
+    /// `n_shards × replicas_per_shard` dispatcher threads, as many
+    /// `DistributedIndex`es of `slaves_per_shard` worker threads each
+    /// (replicas of a shard share their key storage), and one writer
+    /// thread.
     pub fn build(keys: &[u32], cfg: ServeConfig) -> Self {
         cfg.validate();
         let router = Arc::new(ShardRouter::from_keys(keys, cfg.n_shards));
+        let selector = ReplicaSelector::new(cfg.replicas_per_shard);
         let parts = router.split(keys);
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(WriterCounters::default());
         counters.live_keys.store(keys.len() as u64, Ordering::Relaxed);
 
+        let n_replicas = cfg.replicas_per_shard;
         let mut queues = Vec::with_capacity(cfg.n_shards);
-        let mut shard_stats = Vec::with_capacity(cfg.n_shards);
+        let mut shard_stats = Vec::with_capacity(cfg.n_shards * n_replicas);
         let mut cells = Vec::with_capacity(cfg.n_shards);
         let mut rebuild_txs = Vec::with_capacity(cfg.n_shards);
-        let mut dispatchers = Vec::with_capacity(cfg.n_shards);
+        let mut dispatchers = Vec::with_capacity(cfg.n_shards * n_replicas);
         let mut deltas = Vec::with_capacity(cfg.n_shards);
 
         let mut base_rank = 0u32;
         for (s, part) in parts.iter().enumerate() {
-            let stats = Arc::new(Mutex::new(ShardStats::default()));
             let cell = Arc::new(EpochCell::new(ShardSnapshot::empty(0, base_rank)));
-            let (req_tx, req_rx) = bounded::<Request>(cfg.queue_capacity);
-            let (rebuild_tx, rebuild_rx) = unbounded::<Rebuild>();
-            let index = build_index(part, cfg.slaves_per_shard, cfg.pin_cores);
+            // One shared key array for the whole replica group: replicas
+            // add threads, not index memory.
+            let part_shared = Arc::new(part.to_vec());
             deltas.push(DeltaArray::new(part.to_vec(), 0, 0.0, cfg.merge_threshold));
-            dispatchers.push(spawn_dispatcher(
-                s,
-                index,
-                req_rx,
-                rebuild_rx,
-                cell.clone(),
-                stats.clone(),
-                shutdown.clone(),
-                cfg.max_batch,
-                cfg.max_delay,
-                cfg.clock.clone(),
-                cfg.faults.for_shard(s),
-            ));
-            queues.push(AdmissionQueue::new(s, req_tx, cfg.clock.clone()));
-            shard_stats.push(stats);
+
+            // The whole group's admission queues must exist before any
+            // dispatcher spawns: a crashing replica re-routes through
+            // its siblings' queues.
+            let mut group = Vec::with_capacity(n_replicas);
+            let mut req_rxs = Vec::with_capacity(n_replicas);
+            let mut group_rebuild_txs = Vec::with_capacity(n_replicas);
+            let mut rebuild_rxs = Vec::with_capacity(n_replicas);
+            for _ in 0..n_replicas {
+                let (req_tx, req_rx) = bounded::<Request>(cfg.queue_capacity);
+                group.push(AdmissionQueue::new(s, group.len(), req_tx, cfg.clock.clone()));
+                req_rxs.push(req_rx);
+                let (rebuild_tx, rebuild_rx) = unbounded::<Rebuild>();
+                group_rebuild_txs.push(rebuild_tx);
+                rebuild_rxs.push(rebuild_rx);
+            }
+            for (r, (req_rx, rebuild_rx)) in req_rxs.into_iter().zip(rebuild_rxs).enumerate() {
+                let stats = Arc::new(Mutex::new(ShardStats::default()));
+                dispatchers.push(spawn_dispatcher(Dispatcher {
+                    shard: s,
+                    replica: r,
+                    index: build_index(&part_shared, cfg.slaves_per_shard, cfg.pin_cores),
+                    req_rx,
+                    rebuild_rx,
+                    cell: cell.clone(),
+                    group: group.clone(),
+                    stats: stats.clone(),
+                    shutdown: shutdown.clone(),
+                    max_batch: cfg.max_batch,
+                    max_delay: cfg.max_delay,
+                    clock: cfg.clock.clone(),
+                    faults: cfg.faults.for_replica(s, r),
+                }));
+                shard_stats.push(stats);
+            }
+            queues.push(group);
             cells.push(cell);
-            rebuild_txs.push(rebuild_tx);
+            rebuild_txs.push(group_rebuild_txs);
             base_rank += part.len() as u32;
         }
 
@@ -182,21 +251,29 @@ impl IndexServer {
             router.clone(),
             cells,
             rebuild_txs,
+            queues.clone(),
             counters.clone(),
             writer_rx,
             cfg.clone(),
         );
 
         // One slab per shard (contention splits along the same lines as
-        // the admission queues), each with enough idle cells for a full
-        // queue plus an in-flight batch; returns beyond that are
-        // dropped, bounding memory under pathological in-flight spikes.
+        // the admission queues), shared by the shard's replicas, with
+        // enough idle cells for every replica's full queue plus an
+        // in-flight batch; returns beyond that are dropped, bounding
+        // memory under pathological in-flight spikes.
         let pools = (0..cfg.n_shards)
-            .map(|_| SlotPool::with_clock(cfg.queue_capacity + cfg.max_batch, cfg.clock.clone()))
+            .map(|_| {
+                SlotPool::with_clock(
+                    (cfg.queue_capacity + cfg.max_batch) * n_replicas,
+                    cfg.clock.clone(),
+                )
+            })
             .collect();
 
         Self {
             router,
+            selector,
             queues,
             pools,
             shard_stats,
@@ -213,9 +290,11 @@ impl IndexServer {
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             router: self.router.clone(),
+            selector: self.selector,
             queues: self.queues.clone(),
             pools: self.pools.clone(),
             clock: self.clock.clone(),
+            tick: AtomicU64::new(0),
         }
     }
 
@@ -266,13 +345,18 @@ impl IndexServer {
         self.router.n_shards()
     }
 
+    /// Number of replicas serving each shard.
+    pub fn replicas_per_shard(&self) -> usize {
+        self.selector.n_replicas()
+    }
+
     /// Point-in-time aggregate statistics.
     pub fn stats(&self) -> ServeStats {
         let mut total = ServeStats::default();
         for s in &self.shard_stats {
             total.absorb_shard(&s.lock().expect("stats poisoned"));
         }
-        for q in &self.queues {
+        for q in self.queues.iter().flatten() {
             total.admitted += q.admitted();
             total.shed += q.shed();
         }
@@ -281,6 +365,14 @@ impl IndexServer {
         total.snapshots_published = self.counters.snapshots.load(Ordering::Relaxed);
         total.merges = self.counters.merges.load(Ordering::Relaxed);
         total
+    }
+
+    /// Per-replica accounting snapshots, replica-major:
+    /// entry `shard * replicas_per_shard + replica`. This is the
+    /// breakdown load-balance assertions (and the simtest straggler
+    /// oracle) read.
+    pub fn replica_stats(&self) -> Vec<ShardStats> {
+        self.shard_stats.iter().map(|s| s.lock().expect("stats poisoned").clone()).collect()
     }
 }
 
@@ -347,9 +439,18 @@ impl UpdateHandle {
 impl ServerHandle {
     fn enqueue(&self, key: u32, blocking: bool) -> Result<PendingLookup, ServeError> {
         let shard = self.router.route(key);
+        let group = &self.queues[shard];
+        // Load-aware replica choice: power-of-two choices on live queue
+        // depth, skipping crashed replicas. `None` means the whole
+        // group is gone — the shard is shutting down, and saying so
+        // here beats queueing into a channel nobody drains.
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let Some(replica) = self.selector.select(tick, |r| group[r].probe()) else {
+            return Err(ServeError::ShuttingDown);
+        };
         let (slot, handle) = self.pools[shard].take();
         let req = Request { key, enqueued: self.clock.now(), reply: handle };
-        let q = &self.queues[shard];
+        let q = &group[replica];
         if blocking {
             q.submit(req)?;
         } else {
@@ -362,19 +463,19 @@ impl ServerHandle {
     }
 
     /// Rank of `key` (number of live index keys ≤ `key`), blocking while
-    /// the shard queue is full (closed-loop semantics).
+    /// the chosen replica's queue is full (closed-loop semantics).
     pub fn lookup(&self, key: u32) -> Result<u32, ServeError> {
         self.enqueue(key, true)?.wait()
     }
 
-    /// Rank of `key`, shedding instead of blocking when the shard queue
-    /// is full, then waiting for the answer.
+    /// Rank of `key`, shedding instead of blocking when the chosen
+    /// replica's queue is full, then waiting for the answer.
     pub fn try_lookup(&self, key: u32) -> Result<u32, ServeError> {
         self.enqueue(key, false)?.wait()
     }
 
-    /// Submit without waiting: sheds when the shard queue is full,
-    /// otherwise returns a [`PendingLookup`] to redeem later.
+    /// Submit without waiting: sheds when the chosen replica's queue is
+    /// full, otherwise returns a [`PendingLookup`] to redeem later.
     pub fn begin_lookup(&self, key: u32) -> Result<PendingLookup, ServeError> {
         self.enqueue(key, false)
     }
@@ -394,6 +495,11 @@ impl ServerHandle {
         self.router.n_shards()
     }
 
+    /// Number of replicas serving each shard.
+    pub fn replicas_per_shard(&self) -> usize {
+        self.selector.n_replicas()
+    }
+
     /// The clock this server waits on (virtual under `dini-simtest`).
     pub fn clock(&self) -> &Clock {
         &self.clock
@@ -407,17 +513,85 @@ impl ServerHandle {
     }
 }
 
-/// A crashed shard's afterlife: absorb every queued and future request,
-/// dropping each one so its waiter gets `ShuttingDown` immediately.
-/// Exiting instead would strand whatever sits in the admission queue —
-/// the buffered `ReplyHandle`s only drop with the channel, and the
-/// channel lives as long as any `ServerHandle` clone holds its sender
-/// (often the very caller blocked on the reply). Runs until the server
-/// shuts down or every sender hangs up.
-fn crashed_drain(clock: &Clock, req_rx: &Receiver<Request>, shutdown: &AtomicBool) {
+/// Re-home one request from a crashed replica to a surviving sibling.
+/// Tries every survivor without blocking first (rotation order from the
+/// crashed replica, deterministic), then blocks on the least-loaded
+/// survivor (one may crash while we wait, hence the rescan loop).
+/// Returns `false` — after dropping the request, which drop-fills its
+/// waiter with `ShuttingDown` — only when no survivor remains.
+fn reroute_one(group: &[AdmissionQueue], me: usize, mut req: Request) -> bool {
+    let n = group.len();
+    for off in 1..n {
+        let q = &group[(me + off) % n];
+        if !q.is_alive() {
+            continue;
+        }
+        match q.resubmit(req, false) {
+            Ok(()) => return true,
+            Err(bounced) => req = bounced,
+        }
+    }
+    // Every survivor's queue is full (or a survivor died between the
+    // probe and the send): block on the least-loaded live sibling.
+    loop {
+        let mut best: Option<(u64, usize)> = None;
+        for (r, q) in group.iter().enumerate() {
+            if r == me || !q.is_alive() {
+                continue;
+            }
+            let d = q.depth();
+            if best.is_none_or(|(bd, br)| d < bd || (d == bd && r < br)) {
+                best = Some((d, r));
+            }
+        }
+        let Some((_, r)) = best else {
+            // Last replica standing was us: the request's drop fills
+            // `ShuttingDown` — the shard really is gone.
+            drop(req);
+            return false;
+        };
+        match group[r].resubmit(req, true) {
+            Ok(()) => return true,
+            // Disconnected (that sibling is fully gone): rescan.
+            Err(bounced) => req = bounced,
+        }
+    }
+}
+
+/// A crashed replica's afterlife: re-route the collected batch, then
+/// keep draining the admission queue, re-routing every queued and
+/// future request to surviving siblings — the request stream sees
+/// degraded capacity, not errors. Requests resolve to `ShuttingDown`
+/// (via the drop-fill protocol) only when no sibling survives. Runs
+/// until the server shuts down or every sender hangs up; exiting
+/// earlier would strand whatever sits in the admission queue — the
+/// buffered `ReplyHandle`s only drop with the channel, and the channel
+/// lives as long as any `ServerHandle` clone holds its sender (often
+/// the very caller blocked on the reply).
+fn crashed_failover(
+    clock: &Clock,
+    req_rx: &Receiver<Request>,
+    shutdown: &AtomicBool,
+    group: &[AdmissionQueue],
+    me: usize,
+    stats: &Mutex<ShardStats>,
+    batch: &mut Vec<Request>,
+) {
+    // The flag goes down before any re-route so no sibling can bounce a
+    // request back here believing this replica alive.
+    group[me].mark_dead();
+    let rehome = |req: Request| {
+        group[me].complete(1);
+        if reroute_one(group, me, req) {
+            stats.lock().expect("stats poisoned").rerouted += 1;
+        }
+    };
+    for req in batch.drain(..) {
+        rehome(req);
+    }
     loop {
         match clock.recv_timeout(req_rx, IDLE_POLL) {
-            Ok(req) => drop(req),
+            Ok(req) => rehome(req),
             Err(RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::SeqCst) {
                     break;
@@ -428,23 +602,44 @@ fn crashed_drain(clock: &Clock, req_rx: &Receiver<Request>, shutdown: &AtomicBoo
     }
 }
 
-/// Per-shard dispatcher: coalesce → lookup_batch → reply.
-#[allow(clippy::too_many_arguments)]
-fn spawn_dispatcher(
+/// Everything one replica dispatcher owns.
+struct Dispatcher {
     shard: usize,
+    replica: usize,
     index: Option<DistributedIndex>,
     req_rx: Receiver<Request>,
     rebuild_rx: Receiver<Rebuild>,
     cell: Arc<EpochCell>,
+    /// The whole replica group's admission queues (including this
+    /// replica's own, at index `replica`): the failover path re-routes
+    /// through the siblings, and the depth gauge lives here.
+    group: Vec<AdmissionQueue>,
     stats: Arc<Mutex<ShardStats>>,
     shutdown: Arc<AtomicBool>,
     max_batch: usize,
     max_delay: Duration,
     clock: Clock,
-    mut faults: ShardFaults,
-) -> ClockJoinHandle<()> {
-    clock.clone().spawn(&format!("dini-serve-shard-{shard}"), move || {
-        let mut index = index;
+    faults: ReplicaFaults,
+}
+
+/// Per-replica dispatcher: coalesce → lookup_batch → reply.
+fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
+    let Dispatcher {
+        shard,
+        replica,
+        mut index,
+        req_rx,
+        rebuild_rx,
+        cell,
+        group,
+        stats,
+        shutdown,
+        max_batch,
+        max_delay,
+        clock,
+        mut faults,
+    } = d;
+    clock.clone().spawn(&format!("dini-serve-shard-{shard}-r{replica}"), move || {
         let mut main_epoch = 0u64;
         let mut overlay = cell.load();
         let mut rebuilds_adopted = 0u64;
@@ -461,11 +656,31 @@ fn spawn_dispatcher(
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    // An idle shard still honours its crash point, so
-                    // submits after the crash see `ShuttingDown`.
+                    // An idle replica still honours its crash point, so
+                    // submits racing the crash are failed over too.
                     if faults.crashed(&clock) {
-                        crashed_drain(&clock, &req_rx, &shutdown);
+                        crashed_failover(
+                            &clock, &req_rx, &shutdown, &group, replica, &stats, &mut batch,
+                        );
                         break;
+                    }
+                    // Idle housekeeping: adopt pending rebuilds now
+                    // rather than at the next batch. Load-aware routing
+                    // can legitimately starve a replica for a while
+                    // (ties pin single-stream traffic to one sibling),
+                    // and a starved replica must not sit on a retired
+                    // main epoch — or on the slave threads of the index
+                    // it would have replaced.
+                    let mut adopted = false;
+                    while let Ok(r) = rebuild_rx.try_recv() {
+                        index = r.index;
+                        main_epoch = r.main_epoch;
+                        overlay = Arc::new(r.snapshot);
+                        rebuilds_adopted += 1;
+                        adopted = true;
+                    }
+                    if adopted {
+                        stats.lock().expect("stats poisoned").rebuilds = rebuilds_adopted;
                     }
                     continue;
                 }
@@ -477,22 +692,22 @@ fn spawn_dispatcher(
 
             // Injected faults, in virtual (or wall) time: a crash here
             // is the "mid-batch" case — the batch is collected but never
-            // answered; clearing it fills every waiter with
-            // `ShuttingDown` via the drop protocol, and the drain keeps
-            // doing the same for queued and future submits (whose
-            // senders live inside every `ServerHandle` clone, so the
-            // channel alone cannot release them). Jitter/straggler
-            // delays stretch the dispatch without reordering it.
+            // answered by *this* replica. Failover re-homes the batch
+            // and the queued backlog onto surviving siblings (whose
+            // dispatchers answer normally); only with no survivor left
+            // do waiters see `ShuttingDown` via the drop protocol.
+            // Jitter/straggler delays stretch the dispatch without
+            // reordering it.
             if faults.crashed(&clock) {
-                batch.clear();
-                crashed_drain(&clock, &req_rx, &shutdown);
+                crashed_failover(&clock, &req_rx, &shutdown, &group, replica, &stats, &mut batch);
                 break;
             }
             if let Some(extra) = faults.batch_delay() {
                 clock.sleep(extra);
                 if faults.crashed(&clock) {
-                    batch.clear();
-                    crashed_drain(&clock, &req_rx, &shutdown);
+                    crashed_failover(
+                        &clock, &req_rx, &shutdown, &group, replica, &stats, &mut batch,
+                    );
                     break;
                 }
             }
@@ -527,22 +742,31 @@ fn spawn_dispatcher(
             }
 
             let done = clock.now();
+            let served = batch.len();
             latencies.clear();
-            for (req, &local_rank) in batch.drain(..).zip(local.iter()) {
-                let rank = i64::from(overlay.base_rank)
-                    + i64::from(local_rank)
-                    + overlay.rank_adjust(req.key);
-                debug_assert!(rank >= 0, "rank underflow for key {}", req.key);
-                latencies.push(done.saturating_sub(req.enqueued) as f64);
-                // A gone caller is fine; the stale-generation CAS
-                // discards the reply.
-                req.respond(Ok(rank as u32));
-            }
+            latencies.extend(batch.iter().map(|req| done.saturating_sub(req.enqueued) as f64));
+            // Record the batch *before* releasing any reply: the first
+            // respond() below wakes its caller, and a caller that has
+            // reaped every reply must be able to read fully settled
+            // counters (stats().served includes its lookups).
             {
                 let mut s = stats.lock().expect("stats poisoned");
                 s.record_batch(&latencies);
                 s.rebuilds = rebuilds_adopted;
             }
+            for (req, &local_rank) in batch.drain(..).zip(local.iter()) {
+                let rank = i64::from(overlay.base_rank)
+                    + i64::from(local_rank)
+                    + overlay.rank_adjust(req.key);
+                debug_assert!(rank >= 0, "rank underflow for key {}", req.key);
+                // A gone caller is fine; the stale-generation CAS
+                // discards the reply.
+                req.respond(Ok(rank as u32));
+            }
+            // Replies are out: release the batch from the depth gauge
+            // (in-flight requests count as load, which is what lets
+            // power-of-two-choices steer around a straggling replica).
+            group[replica].complete(served);
             if disconnected {
                 break;
             }
@@ -551,11 +775,15 @@ fn spawn_dispatcher(
 }
 
 /// The single writer: fold churn → publish overlays → merge/rebuild.
+#[allow(clippy::too_many_arguments)]
 fn spawn_writer(
     mut deltas: Vec<DeltaArray>,
     router: Arc<ShardRouter>,
     cells: Vec<Arc<EpochCell>>,
-    rebuild_txs: Vec<Sender<Rebuild>>,
+    rebuild_txs: Vec<Vec<Sender<Rebuild>>>,
+    // Mirrors `rebuild_txs`: the liveness flags the fan-out consults so
+    // rebuilds are never built for (or parked at) dead replicas.
+    queues: Vec<Vec<AdmissionQueue>>,
     counters: Arc<WriterCounters>,
     rx: Receiver<WriterMsg>,
     cfg: ServeConfig,
@@ -581,6 +809,8 @@ fn spawn_writer(
             |deltas: &[DeltaArray], main_epochs: &[u64], counters: &WriterCounters| {
                 let bases = base_ranks(deltas);
                 for (s, d) in deltas.iter().enumerate() {
+                    // One publish per shard: the shard's replicas share
+                    // the cell, so publication fan-out is free.
                     cells[s].publish(ShardSnapshot {
                         main_epoch: main_epochs[s],
                         base_rank: bases[s],
@@ -623,16 +853,27 @@ fn spawn_writer(
                         deltas[s].merge(&mut mem);
                         main_epochs[s] += 1;
                         counters.merges.fetch_add(1, Ordering::Relaxed);
-                        let index =
-                            build_index(deltas[s].main_keys(), cfg.slaves_per_shard, cfg.pin_cores);
-                        let snapshot = ShardSnapshot::empty(main_epochs[s], base_ranks(&deltas)[s]);
-                        // Send before publishing the new epoch's
-                        // overlay so dispatchers can always catch up.
-                        let _ = rebuild_txs[s].send(Rebuild {
-                            main_epoch: main_epochs[s],
-                            index,
-                            snapshot,
-                        });
+                        // One merged key array, Arc-shared by every
+                        // replica's rebuilt index: the fan-out costs
+                        // threads per replica, not memory.
+                        let merged = Arc::new(deltas[s].main_keys().to_vec());
+                        let base = base_ranks(&deltas)[s];
+                        for (r, tx) in rebuild_txs[s].iter().enumerate() {
+                            // A dead replica never drains its swap
+                            // channel; building (and parking) an index
+                            // there would leak its worker threads until
+                            // server shutdown, one leak per merge.
+                            if !queues[s][r].is_alive() {
+                                continue;
+                            }
+                            let index = build_index(&merged, cfg.slaves_per_shard, cfg.pin_cores);
+                            let snapshot = ShardSnapshot::empty(main_epochs[s], base);
+                            // Send before publishing the new epoch's
+                            // overlay so dispatchers can always catch
+                            // up.
+                            let _ =
+                                tx.send(Rebuild { main_epoch: main_epochs[s], index, snapshot });
+                        }
                         publish_all(&deltas, &main_epochs, &counters);
                         since_publish = 0;
                         continue;
@@ -657,6 +898,7 @@ fn spawn_writer(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::ServeFaultPlan;
     use dini_workload::gen_sorted_unique_keys;
     use std::collections::BTreeSet;
 
@@ -683,6 +925,101 @@ mod tests {
         }
         assert_eq!(server.len(), 20_000);
         assert_eq!(server.n_shards(), 4);
+        assert_eq!(server.replicas_per_shard(), 1);
+    }
+
+    #[test]
+    fn replicated_lookups_match_oracle() {
+        let keys = gen_sorted_unique_keys(20_000, 12);
+        let set: BTreeSet<u32> = keys.iter().copied().collect();
+        let mut c = cfg(2);
+        c.replicas_per_shard = 3;
+        c.slaves_per_shard = 1;
+        let server = IndexServer::build(&keys, c);
+        assert_eq!(server.replicas_per_shard(), 3);
+        let h = server.handle();
+        assert_eq!(h.replicas_per_shard(), 3);
+        for i in 0..500u32 {
+            let q = i.wrapping_mul(2_654_435_761);
+            assert_eq!(h.lookup(q).unwrap(), oracle(&set, q), "query {q}");
+        }
+        assert_eq!(server.stats().served, 500);
+        assert_eq!(server.replica_stats().len(), 2 * 3);
+    }
+
+    #[test]
+    fn p2c_spreads_concurrent_backlog_across_replicas() {
+        // Submit a burst without reaping: depths grow, so power-of-two
+        // choices must alternate replicas instead of piling everything
+        // on one. (A long coalescing delay keeps the burst in-queue
+        // while it is being issued.)
+        let keys: Vec<u32> = (0..10_000).map(|i| i * 2).collect();
+        let mut c = ServeConfig::new(1);
+        c.replicas_per_shard = 2;
+        c.slaves_per_shard = 1;
+        c.max_batch = 1024;
+        c.max_delay = Duration::from_millis(40);
+        let server = IndexServer::build(&keys, c);
+        let h = server.handle();
+        let pending: Vec<_> =
+            (0..64u32).map(|i| h.begin_lookup(i * 311).expect("queue is deep")).collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let per_replica = server.replica_stats();
+        assert_eq!(per_replica.len(), 2);
+        assert!(
+            per_replica.iter().all(|s| s.served >= 16),
+            "load-aware routing must spread a backlog over both replicas: {:?}",
+            per_replica.iter().map(|s| s.served).collect::<Vec<_>>()
+        );
+        assert_eq!(per_replica.iter().map(|s| s.served).sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn replica_crash_fails_over_without_errors() {
+        // Replica 0 of the only shard crashes at t = 0: every lookup
+        // must still answer correctly via replica 1 — failover re-homes
+        // anything that lands in the dead replica's queue.
+        let keys: Vec<u32> = (0..5_000).map(|i| i * 3).collect();
+        let mut c = cfg(1);
+        c.replicas_per_shard = 2;
+        c.slaves_per_shard = 1;
+        c.faults = ServeFaultPlan::none().crash_replica(0, 0, 0);
+        let server = IndexServer::build(&keys, c);
+        let h = server.handle();
+        for i in 0..300u32 {
+            let q = i.wrapping_mul(747_796_405) % 20_000;
+            let expect = keys.partition_point(|&k| k <= q) as u32;
+            assert_eq!(h.lookup(q), Ok(expect), "query {q} after replica crash");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.served, 300, "no lookup may be lost to the crash");
+        // Everything was served by the survivor.
+        let per_replica = server.replica_stats();
+        assert_eq!(per_replica[0].served, 0);
+        assert_eq!(per_replica[1].served, 300);
+    }
+
+    #[test]
+    fn last_replica_crash_is_shutdown() {
+        // Both replicas crash at t = 0: the shard is gone, and the
+        // handle reports ShuttingDown instead of hanging.
+        let keys: Vec<u32> = (0..1_000).map(|i| i * 2).collect();
+        let mut c = cfg(1);
+        c.replicas_per_shard = 2;
+        c.slaves_per_shard = 1;
+        c.faults = ServeFaultPlan::none().crash_replica(0, 0, 0).crash_replica(0, 1, 0);
+        let server = IndexServer::build(&keys, c);
+        let h = server.handle();
+        let outcomes: Vec<Result<u32, ServeError>> = (0..50u32).map(|i| h.lookup(i * 17)).collect();
+        // Early lookups may still be answered (the crash needs a batch
+        // boundary to be noticed), but the steady state is shutdown.
+        assert!(
+            outcomes.contains(&Err(ServeError::ShuttingDown)),
+            "a fully crashed shard must surface ShuttingDown, got {outcomes:?}"
+        );
+        assert_eq!(h.lookup(1), Err(ServeError::ShuttingDown));
     }
 
     #[test]
@@ -748,6 +1085,53 @@ mod tests {
         assert!(stats.merges > 0, "merge_threshold 32 must trigger merges");
         for q in (0..20_100u32).step_by(97) {
             assert_eq!(h.lookup(q).unwrap(), oracle(&set, q), "rank({q})");
+        }
+    }
+
+    #[test]
+    fn merges_fan_rebuilds_out_to_every_replica() {
+        let keys: Vec<u32> = (0..2000).map(|i| i * 8).collect();
+        let mut set: BTreeSet<u32> = keys.iter().copied().collect();
+        let mut c = cfg(2);
+        c.replicas_per_shard = 2;
+        c.slaves_per_shard = 1;
+        c.merge_threshold = 32;
+        c.publish_every = 8;
+        let server = IndexServer::build(&keys, c);
+        let h = server.handle();
+        for i in 0..500u32 {
+            let k = i.wrapping_mul(2_654_435_761) % 20_000;
+            if i % 3 == 0 {
+                server.update(Op::Delete(k)).unwrap();
+                set.remove(&k);
+            } else {
+                server.update(Op::Insert(k)).unwrap();
+                set.insert(k);
+            }
+        }
+        server.quiesce();
+        assert!(server.stats().merges > 0, "merge_threshold 32 must trigger merges");
+        // Every replica must answer from the post-merge epoch: sweep
+        // enough queries that both replicas of each shard serve some.
+        for q in (0..20_100u32).step_by(53) {
+            assert_eq!(h.lookup(q).unwrap(), oracle(&set, q), "rank({q})");
+        }
+        // Load-aware routing may starve a replica of batches (ties pin
+        // single-stream traffic to its sibling), in which case it
+        // adopts the fanned-out rebuilds on its idle poll instead —
+        // give it a few polls' worth of time before judging.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let rebuilds: Vec<u64> = server.replica_stats().iter().map(|s| s.rebuilds).collect();
+            if rebuilds.iter().all(|&r| r > 0) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "every replica must adopt the fanned-out rebuilds (idle polls included): \
+                 {rebuilds:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 
@@ -858,7 +1242,10 @@ mod tests {
     fn concurrent_handles_all_get_correct_answers() {
         let keys = gen_sorted_unique_keys(50_000, 41);
         let keys_arc = Arc::new(keys.clone());
-        let server = IndexServer::build(&keys, cfg(4));
+        let mut c = cfg(4);
+        c.replicas_per_shard = 2;
+        c.slaves_per_shard = 1;
+        let server = IndexServer::build(&keys, c);
         let workers: Vec<_> = (0..8)
             .map(|w| {
                 let h = server.handle();

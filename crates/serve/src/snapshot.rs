@@ -10,14 +10,20 @@
 //! blocks on the writer, and the writer never waits for readers.
 //!
 //! A snapshot is the *overlay* half of a shard's read state: the bulky
-//! main array lives in the shard's `DistributedIndex` (rebuilt only on
-//! merge, shipped to the dispatcher over a channel because worker threads
-//! cannot be cloned), while the overlay carries the small sorted
+//! main array lives in each replica's `DistributedIndex` (rebuilt only on
+//! merge, shipped to every replica's dispatcher over a channel because
+//! worker threads cannot be cloned — the rebuilt indexes `Arc`-share one
+//! merged key array), while the overlay carries the small sorted
 //! insert/delete deltas plus the shard's global base rank. `main_epoch`
 //! ties the two halves together: a dispatcher only adopts an overlay
 //! whose `main_epoch` matches the index it is actually serving from, so
 //! readers always see a *consistent* (if slightly stale) pair even while
 //! a rebuild is in flight.
+//!
+//! With replica groups, one `EpochCell` serves a whole shard: every
+//! replica's dispatcher pins epochs from the same cell, so publication
+//! fans out to `R` replicas for the price of one pointer swap, and
+//! replicas can never serve diverging overlays of the same main epoch.
 
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;

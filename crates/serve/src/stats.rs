@@ -9,8 +9,10 @@
 
 use dini_cluster::LogHistogram;
 
-/// One shard's accumulated accounting (guarded by a mutex in the server;
-/// the dispatcher takes it once per batch).
+/// One replica's accumulated accounting (guarded by a mutex in the
+/// server; the dispatcher takes it once per batch — with replica
+/// groups, every replica of a shard has its own `ShardStats`, so
+/// per-replica load and failover activity stay visible).
 #[derive(Debug, Clone, Default)]
 pub struct ShardStats {
     /// Per-query latency (ns): reply time − enqueue time.
@@ -23,6 +25,9 @@ pub struct ShardStats {
     pub batches: u64,
     /// Index rebuilds adopted (merge epochs crossed).
     pub rebuilds: u64,
+    /// Requests this replica re-routed to surviving siblings when it
+    /// crashed (failover hand-offs, not errors).
+    pub rerouted: u64,
 }
 
 impl ShardStats {
@@ -50,10 +55,14 @@ pub struct ServeStats {
     pub batches: u64,
     /// Total index rebuilds adopted by dispatchers.
     pub rebuilds: u64,
-    /// Requests admitted into some shard queue.
+    /// Requests admitted into some replica queue.
     pub admitted: u64,
     /// Requests shed by admission control.
     pub shed: u64,
+    /// Requests re-routed from crashed replicas to surviving siblings
+    /// (each one was admitted once and answered once — failover is a
+    /// hand-off, not a retry).
+    pub rerouted: u64,
     /// Churn operations that actually mutated the index (insert of an
     /// absent key, delete of a present one).
     pub updates_applied: u64,
@@ -74,6 +83,7 @@ impl ServeStats {
         self.served += s.served;
         self.batches += s.batches;
         self.rebuilds += s.rebuilds;
+        self.rerouted += s.rerouted;
     }
 
     /// Mean departed-batch size (0 when no batches departed).
@@ -89,13 +99,14 @@ impl ServeStats {
     /// One-line human summary (used by the example and the bench).
     pub fn summary(&self) -> String {
         format!(
-            "served {} in {} batches (mean batch {:.1}), shed {} | \
+            "served {} in {} batches (mean batch {:.1}), shed {}, rerouted {} | \
              latency p50 {:.0} ns, p99 {:.0} ns, p999 {:.0} ns | \
              {} updates (+{} nops), {} snapshots, {} merges",
             self.served,
             self.batches,
             self.mean_batch(),
             self.shed,
+            self.rerouted,
             self.latency_quantile_ns(0.50),
             self.latency_quantile_ns(0.99),
             self.latency_quantile_ns(0.999),
@@ -129,12 +140,15 @@ mod tests {
         let mut b = ShardStats::default();
         b.record_batch(&[1_000.0]);
         b.rebuilds = 2;
+        b.rerouted = 5;
         let mut total = ServeStats::default();
         total.absorb_shard(&a);
         total.absorb_shard(&b);
         assert_eq!(total.served, 3);
         assert_eq!(total.batches, 2);
         assert_eq!(total.rebuilds, 2);
+        assert_eq!(total.rerouted, 5);
+        assert!(total.summary().contains("rerouted 5"));
         // One log2/4 bin is ~19 % wide; the 1000 ns sample's bin floor is ~861.
         assert!(total.latency_quantile_ns(1.0) >= 800.0);
         let line = total.summary();

@@ -2,10 +2,14 @@
 //! sharding: `ShardRouter::route`, `split`, and `shard_range` must agree
 //! with each other on *arbitrary* key sets — including the boundary keys
 //! where the global-rank composition `base_rank(s) + local_rank` would
-//! silently go wrong if routing and splitting ever disagreed by one.
+//! silently go wrong if routing and splitting ever disagreed by one —
+//! and the replica-selection layer on top: `ReplicaSelector` must stay
+//! inside the keyed shard's replica group, never pick a dead replica,
+//! and be a *pure function* of `(tick, depths)` (the property
+//! `dini-simtest`'s bit-reproducibility stands on).
 
-use dini_serve::ShardRouter;
-use proptest::collection::btree_set;
+use dini_serve::{ReplicaSelector, ShardRouter};
+use proptest::collection::{btree_set, vec as prop_vec};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -91,6 +95,87 @@ proptest! {
             // The first key of shard s belongs to s; its predecessor to s−1.
             prop_assert_eq!(r.route(lo), s);
             prop_assert_eq!(r.route(lo - 1), s - 1);
+        }
+    }
+}
+
+/// Per-shard replica state for the selection properties: every shard
+/// gets `MAX_REPLICAS` `(alive, depth)` pairs; tests truncate each
+/// group to the drawn replica count and read a dead replica as `None`.
+const MAX_REPLICAS: usize = 4;
+
+fn replica_groups() -> impl Strategy<Value = (usize, Vec<Vec<(bool, u64)>>)> {
+    (1usize..=MAX_REPLICAS, prop_vec(prop_vec((any::<bool>(), 0u64..1000), MAX_REPLICAS), 1..6))
+}
+
+fn probe(group: &[(bool, u64)], r: usize) -> Option<u64> {
+    let (alive, depth) = group[r];
+    alive.then_some(depth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The composed routing decision: the shard comes from the key
+    /// alone, and the replica chosen for it always indexes into *that
+    /// shard's* replica group — replica choice can never cross a shard
+    /// boundary, whatever the depths, liveness, or tick.
+    #[test]
+    fn replica_choice_never_crosses_shard_boundaries(
+        input in keys_and_shards(),
+        groups in replica_groups(),
+        tick in 0u64..1_000,
+    ) {
+        let (keys, n_shards) = input;
+        let (n_replicas, depths) = groups;
+        let router = ShardRouter::from_keys(&keys, n_shards);
+        let sel = ReplicaSelector::new(n_replicas);
+        for &key in keys.iter().chain([0, u32::MAX].iter()) {
+            let shard = router.route(key);
+            let group = &depths[shard % depths.len()][..n_replicas];
+            let chosen = sel.select(tick, |r| probe(group, r));
+            // The shard is a pure function of the key…
+            prop_assert_eq!(shard, router.route(key));
+            match chosen {
+                // …and the replica stays inside that shard's group and
+                // is alive.
+                Some(r) => {
+                    prop_assert!(r < n_replicas, "replica {} outside the group", r);
+                    prop_assert!(probe(group, r).is_some(), "picked a dead replica");
+                }
+                None => prop_assert!(
+                    (0..n_replicas).all(|r| probe(group, r).is_none()),
+                    "None is only allowed when every replica is dead"
+                ),
+            }
+        }
+    }
+
+    /// Selection is deterministic given fixed queue depths: the same
+    /// `(tick, depths)` always picks the same replica, and among two
+    /// live candidates the deeper queue never wins.
+    #[test]
+    fn replica_selection_is_deterministic_and_load_aware(
+        group in prop_vec((any::<bool>(), 0u64..1000), 1..8),
+        tick in 0u64..1_000,
+    ) {
+        let sel = ReplicaSelector::new(group.len());
+        let a = sel.select(tick, |r| probe(&group, r));
+        let b = sel.select(tick, |r| probe(&group, r));
+        prop_assert_eq!(a, b, "same (tick, depths) must select the same replica");
+
+        if let Some(chosen) = a {
+            prop_assert!(probe(&group, chosen).is_some());
+            // Power-of-two choices: when both sampled candidates are
+            // alive, the shallower of the two wins (ties go low).
+            let (c1, c2) = sel.candidates(tick);
+            if let (Some(d1), Some(d2)) = (probe(&group, c1), probe(&group, c2)) {
+                let want = if d2 < d1 || (d2 == d1 && c2 < c1) { c2 } else { c1 };
+                prop_assert_eq!(chosen, want, "candidates ({}, {})", c1, c2);
+                prop_assert!(probe(&group, chosen).unwrap() <= d1.max(d2));
+            }
+        } else {
+            prop_assert!(group.iter().all(|&(alive, _)| !alive));
         }
     }
 }

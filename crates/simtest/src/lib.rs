@@ -4,14 +4,17 @@
 //! `dini-serve` stack: the **actual** [`IndexServer`] — dispatchers,
 //! admission queues, the writer's snapshot/merge machinery, and
 //! open-loop arrival processes — runs on a seeded
-//! [`SimClock`](dini_serve::SimClock), so
+//! [`SimClock`], so
 //!
 //! * idle waits fast-forward: a multi-second soak finishes in
 //!   milliseconds of wall-clock;
 //! * hostile schedules are *scripted*, not hoped for: a
-//!   [`ServeFaultPlan`] crashes a shard mid-batch, jitters the dispatch
-//!   path, or turns one shard into a straggler at an exact virtual
-//!   instant;
+//!   [`ServeFaultPlan`] crashes a shard (or one replica of it)
+//!   mid-batch, jitters the dispatch path, or turns one shard or
+//!   replica into a straggler at an exact virtual instant — and the
+//!   replica scenarios then hold failover to "degraded capacity, never
+//!   errors": a crashed replica's backlog must be re-routed and
+//!   answered exactly, not resolved to `ShuttingDown`;
 //! * every run is reproducible: the scheduler folds its event trace
 //!   into a digest, and the same scenario + seed yields the same digest
 //!   bit-for-bit — a failure replays exactly.
@@ -37,6 +40,27 @@
 //!
 //! Scenario tests live in `tests/scenarios.rs` and run across a seed
 //! matrix sized by the `DINI_SIMTEST_SEEDS` env var.
+//!
+//! ## Running a scenario
+//!
+//! A scenario is plain data: describe the server, the load, and the
+//! faults, then run it under a seed — the whole multi-threaded server
+//! executes on virtual time and the call returns a deterministic
+//! [`Report`]:
+//!
+//! ```
+//! use dini_simtest::{run_scenario, Scenario};
+//!
+//! let mut sc = Scenario::base("doc-example");
+//! sc.clients = 1;
+//! sc.lookups_per_client = 50;
+//! sc.replicas_per_shard = 2; // a replica group per shard
+//! let report = run_scenario(&sc, 42);
+//! assert_eq!(report.issued, 50);
+//! assert_eq!(report.ok, 50, "fault-free: every lookup answers");
+//! assert_eq!(report.per_replica_served.len(), sc.shards * 2);
+//! assert_eq!(run_scenario(&sc, 42), report, "same seed, same run");
+//! ```
 
 #![warn(missing_docs)]
 
@@ -66,6 +90,10 @@ pub struct Scenario {
     pub n_keys: usize,
     /// Server shards.
     pub shards: usize,
+    /// Replicated dispatchers per shard (1 = the classic single
+    /// dispatcher; more enables failover and load-aware routing
+    /// scenarios).
+    pub replicas_per_shard: usize,
     /// Coalescing bound: queries per batch.
     pub max_batch: usize,
     /// Coalescing bound: max wait for co-travellers.
@@ -105,6 +133,7 @@ impl Scenario {
             name,
             n_keys: 8_192,
             shards: 3,
+            replicas_per_shard: 1,
             max_batch: 32,
             max_delay: Duration::from_micros(200),
             queue_capacity: 1024,
@@ -121,10 +150,26 @@ impl Scenario {
         }
     }
 
-    /// Shards this scenario's fault plan crashes (their queues die, so
-    /// post-crash probes must avoid them).
-    fn crashed_shards(&self) -> Vec<usize> {
-        self.faults.crash_at.iter().map(|&(s, _)| s).collect()
+    /// Shards this scenario's fault plan kills *entirely* — a
+    /// shard-wide crash, or per-replica crashes covering every one of
+    /// its replicas. A shard with a surviving replica keeps answering
+    /// (failover), so only fully crashed shards are excluded from
+    /// post-run probes.
+    fn fully_crashed_shards(&self) -> Vec<usize> {
+        let mut gone: Vec<usize> = self.faults.crash_at.iter().map(|&(s, _)| s).collect();
+        for s in 0..self.shards {
+            let dead_replicas = (0..self.replicas_per_shard)
+                .filter(|&r| {
+                    self.faults.crash_replica_at.iter().any(|&(cs, cr, _)| (cs, cr) == (s, r))
+                })
+                .count();
+            if dead_replicas == self.replicas_per_shard {
+                gone.push(s);
+            }
+        }
+        gone.sort_unstable();
+        gone.dedup();
+        gone
     }
 }
 
@@ -163,6 +208,13 @@ pub struct Report {
     pub updates_applied: u64,
     /// Exact-rank assertions performed (during-run + post-quiesce).
     pub oracle_checks: u64,
+    /// Requests re-routed from crashed replicas to surviving siblings
+    /// (failover hand-offs; 0 in any scenario without replica crashes).
+    pub rerouted: u64,
+    /// Queries served per replica, replica-major
+    /// (`shard * replicas_per_shard + replica`) — the breakdown the
+    /// straggler and load-balance oracles read.
+    pub per_replica_served: Vec<u64>,
 }
 
 /// What one probe client observed.
@@ -266,6 +318,7 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Report {
 
     let keys = Arc::new(gen_sorted_unique_keys(sc.n_keys, seed));
     let mut cfg = ServeConfig::new(sc.shards);
+    cfg.replicas_per_shard = sc.replicas_per_shard;
     cfg.max_batch = sc.max_batch;
     cfg.max_delay = sc.max_delay;
     cfg.queue_capacity = sc.queue_capacity;
@@ -346,9 +399,10 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Report {
     );
 
     // Post-churn sweep: quiesce, then check ranks against the mirror on
-    // shards that are still alive.
+    // shards with at least one surviving replica (failover keeps a
+    // partially crashed shard answering).
     server.quiesce();
-    let crashed = sc.crashed_shards();
+    let crashed = sc.fully_crashed_shards();
     let mirror = churn_mirror(sc, seed, &keys);
     let mut probe = 0x9E37u32;
     for _ in 0..256 {
@@ -400,6 +454,8 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Report {
         snapshots: stats.snapshots_published,
         updates_applied: stats.updates_applied,
         oracle_checks,
+        rerouted: stats.rerouted,
+        per_replica_served: server.replica_stats().iter().map(|s| s.served).collect(),
     };
     drop(handle);
     drop(server);

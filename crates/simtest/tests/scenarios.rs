@@ -1,4 +1,4 @@
-//! The seeded fault-scenario suite: the real `IndexServer` under six
+//! The seeded fault-scenario suite: the real `IndexServer` under nine
 //! hostile (and one clean) schedules, on deterministic virtual time.
 //!
 //! Every scenario runs across the seed matrix (`DINI_SIMTEST_SEEDS`,
@@ -76,6 +76,108 @@ fn shard_crash_with_queued_backlog() {
         sc.latency_bound = None; // the backlog *is* the scenario
         let report = run_scenario_reproducibly(&sc, seed);
         assert!(report.shutdown > 0, "seed {seed}: the backlog must be shut down, not lost");
+        assert_eq!(report.issued, report.ok + report.shed + report.shutdown);
+    }
+}
+
+/// The failover tentpole: one replica of a shard crashes **mid-batch**
+/// while traffic is in flight, and — unlike the single-dispatcher crash
+/// above — not a single request may resolve to `ShuttingDown`: the
+/// crashed replica's collected batch and queued backlog are re-routed
+/// to its surviving sibling, and (the key set being static) every
+/// re-routed reply is still verified exact on the spot. The request
+/// stream sees degraded capacity, never errors.
+#[test]
+fn replica_crash_mid_batch() {
+    for seed in seeds_from_env() {
+        let mut sc = Scenario::base("replica_crash_mid_batch");
+        sc.replicas_per_shard = 2;
+        // Crash replica 0 of shard 1 at 3 virtual ms — squarely inside
+        // the ~20 ms load window, so requests are queued and coalescing
+        // on the dying replica.
+        sc.faults = ServeFaultPlan::none().crash_replica(1, 0, 3_000_000);
+        // Re-homed requests ride one extra coalescing window on the
+        // survivor; anything slower than a handful of max_delays would
+        // mean the backlog sat un-drained.
+        sc.latency_bound = Some(5 * sc.max_delay);
+        let report = run_scenario_reproducibly(&sc, seed);
+        assert_eq!(
+            report.shutdown, 0,
+            "seed {seed}: a crash with a surviving replica must never surface ShuttingDown"
+        );
+        assert_eq!(report.shed, 0);
+        assert_eq!(
+            report.issued, report.ok,
+            "seed {seed}: every issued lookup must be answered (re-routed, not dropped)"
+        );
+        assert!(
+            report.rerouted > 0,
+            "seed {seed}: the mid-batch crash must actually re-route its backlog"
+        );
+        // The dead replica of shard 1 stops serving; its sibling keeps
+        // the shard alive.
+        let dead = report.per_replica_served[2]; // shard 1, replica 0
+        let survivor = report.per_replica_served[3]; // shard 1, replica 1
+        assert!(survivor > dead, "failover must shift shard 1's load to the survivor");
+    }
+}
+
+/// A straggler **replica**: one replica of shard 0 pays +2 ms per batch
+/// while its sibling stays fast. Power-of-two-choices routing sees the
+/// straggler's queue depth and steers around it, so (a) the healthy
+/// replica serves the bulk of the shard's traffic and (b) the worst
+/// served latency stays a small multiple of the injected delay — the
+/// straggler delays the few requests that tie-break onto it, but its
+/// backlog can never compound the way a load-blind router's would.
+#[test]
+fn straggler_replica_with_bounded_tail() {
+    for seed in seeds_from_env() {
+        let mut sc = Scenario::base("straggler_replica_with_bounded_tail");
+        sc.replicas_per_shard = 2;
+        let extra = Duration::from_millis(2);
+        sc.faults = ServeFaultPlan::none().slow_replica(0, 0, extra);
+        sc.arrival = ArrivalProcess::poisson_rate(4_000.0);
+        // A request can land on the straggler just as a slow batch
+        // departs and then ride its own: ≤ max_delay + 2 × extra. The
+        // healthy replica's own traffic stays under max_delay, which is
+        // what keeps the *shard's* tail bounded by the straggler's
+        // single-batch delay instead of its queue length.
+        sc.latency_bound = Some(sc.max_delay + 2 * extra);
+        let report = run_scenario_reproducibly(&sc, seed);
+        assert_eq!(report.issued, report.ok, "a straggler is slow, not wrong (seed {seed})");
+        assert_eq!(report.rerouted, 0, "nothing crashes here");
+        let straggler = report.per_replica_served[0]; // shard 0, replica 0
+        let healthy = report.per_replica_served[1]; // shard 0, replica 1
+        assert!(
+            healthy > straggler,
+            "seed {seed}: depth-aware routing must steer shard 0's load to the healthy \
+             replica (straggler {straggler}, healthy {healthy})"
+        );
+    }
+}
+
+/// Every replica of a shard goes down (staggered): the first crash
+/// fails over to the second replica, and only when the *last* replica
+/// dies does the shard report `ShuttingDown` — degraded capacity first,
+/// errors only at total loss. Surviving shards never miss a beat.
+#[test]
+fn all_replicas_down_is_shutdown() {
+    for seed in seeds_from_env() {
+        let mut sc = Scenario::base("all_replicas_down_is_shutdown");
+        sc.replicas_per_shard = 2;
+        sc.faults =
+            ServeFaultPlan::none().crash_replica(1, 0, 2_000_000).crash_replica(1, 1, 6_000_000);
+        sc.latency_bound = None; // the second crash can strand re-homed backlog mid-wait
+        let report = run_scenario_reproducibly(&sc, seed);
+        assert!(
+            report.rerouted > 0,
+            "seed {seed}: the first crash must fail over while its sibling lives"
+        );
+        assert!(
+            report.shutdown > 0,
+            "seed {seed}: after the last replica dies the shard must say so"
+        );
+        assert!(report.ok > 0, "surviving shards keep serving");
         assert_eq!(report.issued, report.ok + report.shed + report.shutdown);
     }
 }

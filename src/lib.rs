@@ -14,7 +14,7 @@
 //! | [`model`] | the paper's Appendix-A analytical model + Figure 4 trends + sensitivity solvers |
 //! | [`sysprobe`] | host measurements of the paper's Table 2 quantities + cache-size knee detection |
 //! | [`core`] | Methods A, B, C-1/C-2/C-3, really-dispatched A/B + the native [`DistributedIndex`] |
-//! | [`serve`] | sharded, batch-coalescing serving layer: admission control, online updates, load generators, `Clock` time-virtualization seam |
+//! | [`serve`] | sharded, replicated, batch-coalescing serving layer: replica groups with load-aware routing + failover, admission control, online updates, load generators, `Clock` time-virtualization seam |
 //! | [`simtest`] | deterministic simulation testing: the real serving stack on seeded virtual time, fault scenarios + invariant oracles |
 //!
 //! ## Quickstart (native, real threads)
@@ -34,9 +34,11 @@
 //! [`DistributedIndex`] answers one caller's batches; [`IndexServer`]
 //! turns it into a multi-tenant server: concurrent callers' lookups
 //! coalesce into batches (the paper's Figure 3 knob, applied to live
-//! traffic), the key space is range-sharded across indexes, bounded
-//! queues shed on overload, and a writer thread folds churn in behind
-//! immutable snapshots so reads never block on updates.
+//! traffic), the key space is range-sharded across indexes — each shard
+//! served by a replica group with power-of-two-choices routing and
+//! crash failover — bounded queues shed on overload, and a writer
+//! thread folds churn in behind immutable snapshots so reads never
+//! block on updates.
 //!
 //! ```
 //! use dini::serve::{IndexServer, Op, ServeConfig};
