@@ -137,7 +137,10 @@ impl FaultState {
         }
     }
 
-    pub(crate) fn jitter_max_ns(&self) -> f64 {
+    /// The plan's jitter window (public so frame-level transports built
+    /// on [`crate::inject`] can bound duplicate-delivery offsets with
+    /// the same constant the simulator uses).
+    pub fn jitter_max_ns(&self) -> f64 {
         self.plan.jitter_max_ns
     }
 }

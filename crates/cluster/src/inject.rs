@@ -1,0 +1,202 @@
+//! Frame-level fault injection for real transports: the public seam
+//! `dini-net`'s simulated network backend stands on.
+//!
+//! [`crate::fault`] decides per-message fates for the discrete-event
+//! simulator. A *transport* needs the same decisions one level down —
+//! per **frame**, with delivery offsets instead of scheduler events, and
+//! with one extra failure mode the actor simulator models as a node
+//! crash: the **link itself going down** (a TCP RST / unplugged cable),
+//! after which sends fail and the receiver observes a close instead of
+//! silence. [`LinkPlan`] packages a [`FaultPlan`] with a fixed one-way
+//! latency and an optional severance instant; [`LinkState::next`] turns
+//! each outgoing frame into a [`FrameFate`] a byte-level transport can
+//! apply directly: deliver at `now + offset`, duplicate, drop, or report
+//! the link dead.
+//!
+//! Determinism: fates are drawn from the same seeded
+//! [`FaultState`] stream the simulator uses (three RNG draws per frame,
+//! fixed), so a transport built on this module replays bit-for-bit from
+//! `(plan, salt)` — which is exactly what lets `dini-simtest` keep its
+//! event-trace digest when frames start dropping.
+
+use crate::fault::{FaultPlan, FaultState};
+
+/// A deterministic behaviour plan for one directed link.
+#[derive(Debug, Clone, Default)]
+pub struct LinkPlan {
+    /// Per-frame drop/duplicate/jitter schedule (seeded).
+    pub fault: FaultPlan,
+    /// Fixed one-way delivery latency added to every frame, in ns
+    /// (jitter from `fault` comes on top).
+    pub latency_ns: u64,
+    /// Virtual instant at which the link is severed: sends at or after
+    /// this time fail, and the receive side reports closed.
+    pub down_at_ns: Option<u64>,
+}
+
+impl LinkPlan {
+    /// A perfect link: no latency, no faults, never down.
+    pub fn reliable() -> Self {
+        Self::default()
+    }
+
+    /// Builder: fixed one-way latency.
+    pub fn with_latency_ns(mut self, latency_ns: u64) -> Self {
+        self.latency_ns = latency_ns;
+        self
+    }
+
+    /// Builder: seeded drop/duplicate/jitter faults.
+    pub fn with_faults(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Builder: sever the link at `at_ns`.
+    pub fn down_at(mut self, at_ns: u64) -> Self {
+        self.down_at_ns = Some(at_ns);
+        self
+    }
+
+    /// True when the plan can never perturb a frame (lets transports
+    /// skip the RNG entirely on clean links).
+    pub fn is_noop(&self) -> bool {
+        self.fault.is_noop() && self.latency_ns == 0 && self.down_at_ns.is_none()
+    }
+
+    /// Instantiate per-link runtime state. `salt` decorrelates the two
+    /// directions of one connection (and parallel connections over the
+    /// same plan) while keeping each stream reproducible.
+    pub fn state(&self, salt: u64) -> LinkState {
+        let fate = (!self.fault.is_noop()).then(|| {
+            let mut fault = self.fault.clone();
+            fault.seed ^= salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            fault.state()
+        });
+        LinkState { fate, latency_ns: self.latency_ns, down_at_ns: self.down_at_ns }
+    }
+}
+
+/// Runtime state of one directed link (RNG position + severance point).
+#[derive(Debug)]
+pub struct LinkState {
+    fate: Option<FaultState>,
+    latency_ns: u64,
+    down_at_ns: Option<u64>,
+}
+
+/// What a transport should do with one outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameFate {
+    /// The link is severed: fail the send and surface a closed
+    /// connection to both halves.
+    Down,
+    /// Silently drop the frame (the sender believes it went out).
+    Drop,
+    /// Deliver the frame `offset_ns` after the send; when
+    /// `duplicate_offset_ns` is set, deliver a second copy at that
+    /// (always later) offset.
+    Deliver {
+        /// Delay from send to (first) delivery.
+        offset_ns: u64,
+        /// Delay from send to the duplicate delivery, if any.
+        duplicate_offset_ns: Option<u64>,
+    },
+}
+
+impl LinkState {
+    /// When this link goes down, if ever (transports poll this so the
+    /// *receive* side can report closed even with no frame in flight).
+    #[inline]
+    pub fn down_at_ns(&self) -> Option<u64> {
+        self.down_at_ns
+    }
+
+    /// Is the link severed at `now_ns`?
+    #[inline]
+    pub fn is_down(&self, now_ns: u64) -> bool {
+        self.down_at_ns.is_some_and(|t| now_ns >= t)
+    }
+
+    /// Decide the fate of the next frame sent at `now_ns`. Clean links
+    /// (no fault plan) never touch an RNG.
+    pub fn next(&mut self, now_ns: u64) -> FrameFate {
+        if self.is_down(now_ns) {
+            return FrameFate::Down;
+        }
+        let Some(state) = self.fate.as_mut() else {
+            return FrameFate::Deliver { offset_ns: self.latency_ns, duplicate_offset_ns: None };
+        };
+        let fate = state.next_fate();
+        if fate.dropped {
+            return FrameFate::Drop;
+        }
+        let offset_ns = self.latency_ns + fate.jitter_ns as u64;
+        // The duplicate trails the original by up to a full jitter
+        // window, mirroring the discrete-event simulator's convention.
+        let duplicate_offset_ns =
+            fate.duplicated.then(|| offset_ns + state.jitter_max_ns().max(1.0) as u64);
+        FrameFate::Deliver { offset_ns, duplicate_offset_ns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_link_delivers_everything_immediately() {
+        let mut s = LinkPlan::reliable().state(0);
+        for t in [0u64, 1_000, u64::MAX] {
+            assert_eq!(s.next(t), FrameFate::Deliver { offset_ns: 0, duplicate_offset_ns: None });
+        }
+        assert!(LinkPlan::reliable().is_noop());
+    }
+
+    #[test]
+    fn latency_only_shifts_delivery() {
+        let mut s = LinkPlan::reliable().with_latency_ns(7_000).state(0);
+        assert_eq!(s.next(0), FrameFate::Deliver { offset_ns: 7_000, duplicate_offset_ns: None });
+    }
+
+    #[test]
+    fn fates_are_deterministic_per_salt() {
+        let plan = LinkPlan::reliable().with_faults(FaultPlan::with_drops(3, 0.4));
+        let draw = |salt| {
+            let mut s = plan.state(salt);
+            (0..64).map(|i| s.next(i)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1), draw(1), "same salt, same fate stream");
+        assert_ne!(draw(1), draw(2), "directions draw independently");
+        assert!(draw(1).contains(&FrameFate::Drop), "drops at p=0.4 must appear");
+    }
+
+    #[test]
+    fn severed_link_is_down_for_good() {
+        let mut s = LinkPlan::reliable().down_at(1_000).state(0);
+        assert!(!s.is_down(999));
+        assert_ne!(s.next(999), FrameFate::Down);
+        assert!(s.is_down(1_000));
+        assert_eq!(s.next(1_000), FrameFate::Down);
+        assert_eq!(s.next(u64::MAX), FrameFate::Down);
+        assert_eq!(s.down_at_ns(), Some(1_000));
+    }
+
+    #[test]
+    fn duplicates_trail_their_original() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 11;
+        plan.duplicate_prob = 1.0;
+        plan.jitter_max_ns = 500.0;
+        let mut s = LinkPlan::reliable().with_faults(plan).with_latency_ns(100).state(0);
+        for t in 0..32 {
+            match s.next(t) {
+                FrameFate::Deliver { offset_ns, duplicate_offset_ns: Some(dup) } => {
+                    assert!(dup > offset_ns, "duplicate must arrive after the original");
+                    assert!(offset_ns >= 100, "latency is a floor");
+                }
+                other => panic!("p=1 duplication must duplicate, got {other:?}"),
+            }
+        }
+    }
+}

@@ -19,6 +19,11 @@
 //!   paper's "aggregate network bandwidth is unlimited" assumption.
 //! * [`fault`] — seeded, deterministic drop/duplicate/jitter/crash
 //!   injection for testing recovery protocols on top of the simulator.
+//! * [`inject`] — the same fate machinery repackaged per **frame** for
+//!   real transports: [`LinkPlan`]/[`LinkState`] turn each outgoing
+//!   frame into a deliver/drop/duplicate/link-down decision, which is
+//!   how `dini-net`'s simulated network backend drops and jitters wire
+//!   frames deterministically.
 //! * [`metrics`] — log-spaced histograms for response-time accounting.
 //! * [`thread_backend`] — a real master/slaves execution on OS threads and
 //!   crossbeam channels, with optional `core_affinity` pinning; the same
@@ -27,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod inject;
 pub mod metrics;
 pub mod network;
 pub mod sim;
@@ -34,6 +40,7 @@ pub mod switch;
 pub mod thread_backend;
 
 pub use fault::{FaultPlan, FaultState, MsgFate};
+pub use inject::{FrameFate, LinkPlan, LinkState};
 pub use metrics::LogHistogram;
 pub use network::NetworkModel;
 pub use sim::{Actor, Ctx, MsgRecord, NodeId, NodeReport, SimCluster, SimReport};

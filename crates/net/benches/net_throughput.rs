@@ -1,0 +1,228 @@
+//! `net_throughput`: what the wire costs — the serving layer driven
+//! through the in-process `ServerHandle` vs through `RemoteClient` over
+//! TCP loopback, swept over shards × coalescing delay.
+//!
+//! Two outputs:
+//!
+//! * criterion-style timings on stderr (`cargo bench -p dini-net`);
+//! * `BENCH_net.json` at the repo root: one record per
+//!   (transport × shards × max_delay) cell with throughput and
+//!   p50/p99/p999, carrying the previous run's `results` along as
+//!   `previous_results` (same convention as `BENCH_serve.json`), so the
+//!   transport-overhead trajectory is machine-trackable PR over PR.
+//!
+//! Setting `DINI_NET_BENCH_SMOKE=1` runs a seconds-long smoke sweep and
+//! writes the JSON to a scratch path — CI uses it to keep the
+//! generation path honest without clobbering real numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dini_net::transport::{TcpAcceptorT, TcpDialer};
+use dini_net::{
+    run_net_load, Acceptor, ClientConfig, NetServer, NetServerConfig, RemoteClient, Topology,
+};
+use dini_serve::{run_load, IndexServer, KeyDistribution, LoadMode, LoadReport, ServeConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct BenchParams {
+    n_keys: usize,
+    clients: usize,
+    lookups_per_client: usize,
+    shard_axis: &'static [usize],
+    delay_axis_us: &'static [u64],
+    out_path: PathBuf,
+    keep_previous: bool,
+}
+
+fn real_out_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json"))
+}
+
+fn params() -> BenchParams {
+    if std::env::var_os("DINI_NET_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty()) {
+        BenchParams {
+            n_keys: 20_000,
+            clients: 2,
+            lookups_per_client: 500,
+            shard_axis: &[1, 2],
+            delay_axis_us: &[0, 50],
+            out_path: std::env::temp_dir().join("BENCH_net.smoke.json"),
+            keep_previous: false,
+        }
+    } else {
+        BenchParams {
+            n_keys: 200_000,
+            clients: 8,
+            lookups_per_client: 10_000,
+            shard_axis: &[1, 2, 4],
+            delay_axis_us: &[0, 50, 200],
+            out_path: real_out_path(),
+            keep_previous: true,
+        }
+    }
+}
+
+fn keys(p: &BenchParams) -> Vec<u32> {
+    (0..p.n_keys as u32).map(|i| i * 16 + 3).collect()
+}
+
+fn serve_cfg(shards: usize, delay_us: u64) -> ServeConfig {
+    let mut cfg = ServeConfig::new(shards);
+    cfg.slaves_per_shard = 2;
+    cfg.max_batch = 256;
+    cfg.max_delay = Duration::from_micros(delay_us);
+    cfg
+}
+
+/// The in-process cell: the PR-2 read path, unchanged.
+fn inproc_cell(p: &BenchParams, shards: usize, delay_us: u64) -> LoadReport {
+    let s = IndexServer::build(&keys(p), serve_cfg(shards, delay_us));
+    run_load(
+        &s.handle(),
+        KeyDistribution::Zipf { n_buckets: 256, s: 1.1 },
+        42,
+        LoadMode::Closed { clients: p.clients, lookups_per_client: p.lookups_per_client },
+    )
+}
+
+/// The TCP-loopback cell: same server shape, driven through the wire
+/// by [`run_net_load`] (same report shape as the in-process cell).
+fn tcp_cell(p: &BenchParams, shards: usize, delay_us: u64) -> LoadReport {
+    let acceptor = TcpAcceptorT::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = acceptor.addr();
+    let server = NetServer::start(
+        Box::new(acceptor),
+        &keys(p),
+        NetServerConfig::new(serve_cfg(shards, delay_us), Topology::single(vec![addr.clone()]), 0),
+    );
+    let client = RemoteClient::connect(Box::new(TcpDialer), &addr, ClientConfig::default())
+        .expect("connect loopback");
+    let report = run_net_load(
+        &client.handle(),
+        KeyDistribution::Zipf { n_buckets: 256, s: 1.1 },
+        42,
+        p.clients,
+        p.lookups_per_client,
+    );
+    drop(client);
+    server.shutdown();
+    report
+}
+
+/// The previous run's `results` array (verbatim record lines), if the
+/// output file already holds one — the "before" half of before/after.
+fn previous_results(p: &BenchParams) -> Option<String> {
+    if !p.keep_previous {
+        return None;
+    }
+    let text = std::fs::read_to_string(&p.out_path).ok()?;
+    let open = "\n  \"results\": [\n";
+    let start = text.find(open)? + open.len();
+    let end = start + text[start..].find("\n  ]")?;
+    Some(text[start..end].to_string())
+}
+
+fn record_line(r: &LoadReport, prefix: &str) -> String {
+    format!(
+        "    {{{prefix}\"throughput_lps\": {:.0}, \"completed\": {}, \"shed\": {}, \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}}",
+        r.throughput_lps(),
+        r.completed,
+        r.shed,
+        r.latency_ns.quantile(0.50) / 1e3,
+        r.latency_ns.quantile(0.99) / 1e3,
+        r.latency_ns.quantile(0.999) / 1e3,
+    )
+}
+
+fn emit_json(p: &BenchParams) {
+    let previous = previous_results(p);
+    let mut records = String::new();
+    for &transport in &["inproc", "tcp"] {
+        for &shards in p.shard_axis {
+            for &delay_us in p.delay_axis_us {
+                let r = match transport {
+                    "inproc" => inproc_cell(p, shards, delay_us),
+                    _ => tcp_cell(p, shards, delay_us),
+                };
+                eprintln!(
+                    "net sweep transport={transport} shards={shards} delay={delay_us}µs: {}",
+                    r.summary()
+                );
+                if !records.is_empty() {
+                    records.push_str(",\n");
+                }
+                let _ = write!(
+                    records,
+                    "{}",
+                    record_line(
+                        &r,
+                        &format!(
+                            "\"transport\": \"{transport}\", \"shards\": {shards}, \
+                             \"max_delay_us\": {delay_us}, "
+                        )
+                    )
+                );
+            }
+        }
+    }
+    let previous_block = match previous {
+        Some(ref old) => format!(
+            ",\n  \"previous_results_semantics\": \"the results array this file held when \
+             the current run was emitted — compare only runs from the same machine\",\n  \
+             \"previous_results\": [\n{old}\n  ]"
+        ),
+        None => String::new(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"net_throughput\",\n  \"keys\": {},\n  \
+         \"clients\": {},\n  \"lookups_per_client\": {},\n  \
+         \"distribution\": \"zipf(256, 1.1)\",\n  \"results\": [\n{records}\n  \
+         ]{previous_block}\n}}\n",
+        p.n_keys, p.clients, p.lookups_per_client,
+    );
+    std::fs::write(&p.out_path, json).expect("write BENCH_net.json");
+    eprintln!("wrote {}", p.out_path.display());
+}
+
+/// Criterion timings of the remote caller paths on a fixed loopback
+/// server (2 shards, 50 µs coalescing).
+fn bench_remote_paths(c: &mut Criterion, p: &BenchParams) {
+    let acceptor = TcpAcceptorT::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = acceptor.addr();
+    let server = NetServer::start(
+        Box::new(acceptor),
+        &keys(p),
+        NetServerConfig::new(serve_cfg(2, 50), Topology::single(vec![addr.clone()]), 0),
+    );
+    let client = RemoteClient::connect(Box::new(TcpDialer), &addr, ClientConfig::default())
+        .expect("connect loopback");
+    let h = client.handle();
+    let queries: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+
+    let mut g = c.benchmark_group("net");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("tcp_single_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            h.lookup(i).unwrap()
+        })
+    });
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("tcp_lookup_many_1024", |b| b.iter(|| h.lookup_many(&queries).unwrap().len()));
+    g.finish();
+    drop(h);
+    drop(client);
+    server.shutdown();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let p = params();
+    emit_json(&p);
+    bench_remote_paths(c, &p);
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,911 @@
+//! `RemoteClient`: the caller-side half of the transport — shard-map
+//! routing, client-side batch coalescing, retry, and endpoint failover.
+//!
+//! A `RemoteClient` gives remote callers the exact API (and error
+//! semantics) [`ServerHandle`](dini_serve::ServerHandle) gives local
+//! ones:
+//!
+//! * **Routing** — keys route to spans through the same delimiter
+//!   binary search (`dini-serve`'s [`ShardRouter`], one level up), and
+//!   to one of the span's replica endpoints by power-of-two choices
+//!   over live per-endpoint queue depth
+//!   ([`ReplicaSelector`]) — the identical
+//!   machinery `router.rs` runs over replica dispatchers.
+//! * **Coalescing** — submissions land in a per-endpoint
+//!   [`AdmissionQueue`] and a worker thread coalesces them with the
+//!   *same* [`collect_batch_into`] the server's dispatchers use, so one
+//!   `Lookup` frame amortises the per-frame overhead across a batch:
+//!   the paper's Figure 3 economics, applied to the wire.
+//! * **Replies** — pooled generation-tagged reply slots (the server's
+//!   own [`SlotPool`]) match replies to waiters; a duplicated reply
+//!   frame finds its request already resolved and is dropped, so
+//!   retry + duplication can never double-answer a lookup.
+//! * **Retry** — a batch unanswered after `retry_timeout` is resent
+//!   under the same request id (lookups are idempotent reads); after
+//!   `max_retries` the endpoint is declared dead.
+//! * **Failover** — a dead endpoint (connection loss, server shutdown
+//!   notice, retry exhaustion) marks itself dead *before* re-homing its
+//!   in-flight and queued lookups onto surviving replica endpoints of
+//!   the same span — the protocol `dini-serve`'s crashed replicas run,
+//!   lifted to connections. Only when a span's last endpoint is gone do
+//!   callers see [`ShuttingDown`](ServeError::ShuttingDown).
+//! * **Rank composition** — a span's server answers ranks within its
+//!   own slice; the client adds the live-key counts of lower spans
+//!   (refreshed by epoch pings and quiesce acks), composing global
+//!   ranks exactly like the paper's master composes slave ranks.
+
+use crate::topology::Topology;
+use crate::transport::{Dialer, Duplex, FrameRx, FrameTx, NetError};
+use crate::wire::{Frame, LookupStatus, StatusCode, WireOp, WIRE_VERSION};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use dini_serve::admission::AdmissionQueue;
+use dini_serve::batcher::{collect_batch_into, Request};
+use dini_serve::clock::dur_ns;
+use dini_serve::oneshot::{ReplyHandle, ReplySlot, SlotPool};
+use dini_serve::{Clock, ClockJoinHandle, Nanos, ReplicaSelector, ServeError, ShardRouter};
+use dini_workload::Op;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often an endpoint worker wakes to flush control frames, check
+/// retries, and notice shutdown.
+const WORKER_POLL: Duration = Duration::from_millis(1);
+/// How often an endpoint reader wakes to notice shutdown/death.
+const READER_POLL: Duration = Duration::from_millis(10);
+
+/// Client-side knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Max keys coalesced into one `Lookup` frame.
+    pub max_batch: usize,
+    /// Max time the first key of a frame waits for co-travellers.
+    pub max_delay: Duration,
+    /// Per-endpoint submit queue bound; `try_lookup` sheds client-side
+    /// when the chosen endpoint's queue is full.
+    pub queue_capacity: usize,
+    /// Resend an unanswered lookup batch after this long.
+    pub retry_timeout: Duration,
+    /// Consecutive unanswered (re)sends before an endpoint is declared
+    /// dead and failed over.
+    pub max_retries: u32,
+    /// Round-trip budget for control frames (quiesce, epoch ping) per
+    /// attempt.
+    pub ctrl_timeout: Duration,
+    /// Budget for the connect-time `Hello`/`ShardMap` handshake.
+    pub handshake_timeout: Duration,
+    /// The clock all client threads wait on (a
+    /// [`SimClock`](dini_serve::SimClock) runs the whole client on
+    /// virtual time).
+    pub clock: Clock,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 256,
+            max_delay: Duration::from_micros(50),
+            queue_capacity: 1024,
+            retry_timeout: Duration::from_secs(1),
+            max_retries: 8,
+            ctrl_timeout: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(5),
+            clock: Clock::system(),
+        }
+    }
+}
+
+/// Receipt token for a control-frame round trip. The payloads
+/// (live-key counts) are folded into `span_live` by the reader before
+/// the waiter is released, so the token itself carries nothing.
+#[derive(Debug, Clone, Copy, Default)]
+struct CtrlReply;
+
+/// One lookup batch on the wire, awaiting its reply.
+struct BatchInFlight {
+    keys: Vec<u32>,
+    handles: Vec<ReplyHandle>,
+    sent_at: Nanos,
+    attempts: u32,
+}
+
+type InFlight = Arc<Mutex<BTreeMap<u64, BatchInFlight>>>;
+
+/// Connect-time plumbing for one endpoint: the submit/control receive
+/// halves the worker takes, plus the dialed connection.
+type EndpointPipes = (Receiver<Request>, Receiver<Frame>, Duplex);
+
+/// Client-side accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetClientStats {
+    /// Lookup batches resent after a reply timeout.
+    pub retries: u64,
+    /// Lookups re-homed from a dead endpoint to a surviving replica.
+    pub rerouted: u64,
+    /// Lookups shed client-side (full endpoint queue on `try_lookup`).
+    pub client_shed: u64,
+    /// Lookups admitted into some endpoint queue.
+    pub admitted: u64,
+}
+
+struct ClientCore {
+    cfg: ClientConfig,
+    clock: Clock,
+    span_router: ShardRouter,
+    selectors: Vec<ReplicaSelector>,
+    /// Flat, span-major: `queues[span_eps[span][i]]`.
+    queues: Vec<AdmissionQueue>,
+    ctrl_txs: Vec<Sender<Frame>>,
+    span_eps: Vec<Vec<usize>>,
+    ep_span: Vec<usize>,
+    pools: Vec<Arc<SlotPool>>,
+    /// Live key count per span, refreshed by pings and quiesce acks —
+    /// the cross-process half of rank composition.
+    span_live: Vec<AtomicU64>,
+    ctrl: Mutex<BTreeMap<u64, Sender<CtrlReply>>>,
+    next_req: AtomicU64,
+    shutdown: AtomicBool,
+    retries: AtomicU64,
+    rerouted: AtomicU64,
+}
+
+impl ClientCore {
+    fn fresh_req(&self) -> u64 {
+        self.next_req.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Sum of live keys in spans below `span` — the base rank added to
+    /// every rank that span's servers return.
+    fn span_base(&self, span: usize) -> u32 {
+        self.span_live[..span].iter().map(|a| a.load(Ordering::Relaxed) as u32).sum()
+    }
+
+    fn ctrl_fill(&self, req: u64) {
+        if req == 0 {
+            return;
+        }
+        let waiter = self.ctrl.lock().expect("ctrl lock").remove(&req);
+        if let Some(tx) = waiter {
+            let _ = tx.send(CtrlReply);
+        }
+    }
+
+    /// Send `make(req)` to endpoint `ep` and wait for its ack, retrying
+    /// on per-attempt timeout. Control frames ride the lookup socket
+    /// (via the worker's control channel), so they order FIFO with the
+    /// updates that preceded them.
+    fn ctrl_roundtrip(
+        &self,
+        ep: usize,
+        make: impl Fn(u64) -> Frame,
+    ) -> Result<CtrlReply, ServeError> {
+        let req = self.fresh_req();
+        let (tx, rx) = bounded(1);
+        self.ctrl.lock().expect("ctrl lock").insert(req, tx);
+        let frame = make(req);
+        for _ in 0..=self.cfg.max_retries {
+            if !self.queues[ep].is_alive() || self.ctrl_txs[ep].send(frame.clone()).is_err() {
+                break;
+            }
+            match self.clock.recv_timeout(&rx, self.cfg.ctrl_timeout) {
+                Ok(rep) => return Ok(rep),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.ctrl.lock().expect("ctrl lock").remove(&req);
+        Err(ServeError::ShuttingDown)
+    }
+
+    /// Re-home one lookup from dead endpoint `me` to a surviving
+    /// replica endpoint of `span` — the same two-pass protocol
+    /// `dini-serve`'s crashed replicas run: every survivor non-blocking
+    /// in deterministic rotation order, then blocking on the
+    /// least-loaded. `false` (after dropping the request, which fills
+    /// its waiter with `ShuttingDown`) only when no survivor remains.
+    fn reroute(&self, span: usize, me: usize, mut req: Request) -> bool {
+        let eps = &self.span_eps[span];
+        let n = eps.len();
+        let me_pos = eps.iter().position(|&e| e == me).unwrap_or(0);
+        for off in 1..n {
+            let q = &self.queues[eps[(me_pos + off) % n]];
+            if !q.is_alive() {
+                continue;
+            }
+            match q.resubmit(req, false) {
+                Ok(()) => return true,
+                Err(bounced) => req = bounced,
+            }
+        }
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (pos, &e) in eps.iter().enumerate() {
+                if pos == me_pos || !self.queues[e].is_alive() {
+                    continue;
+                }
+                let d = self.queues[e].depth();
+                if best.is_none_or(|(bd, bp)| d < bd || (d == bd && pos < bp)) {
+                    best = Some((d, pos));
+                }
+            }
+            let Some((_, pos)) = best else {
+                drop(req); // drop-fill: the waiter resolves ShuttingDown
+                return false;
+            };
+            match self.queues[eps[pos]].resubmit(req, true) {
+                Ok(()) => return true,
+                Err(bounced) => req = bounced,
+            }
+        }
+    }
+
+    /// Drain `ep`'s in-flight wire batches and re-home every lookup.
+    fn drain_in_flight(&self, ep: usize, in_flight: &InFlight) {
+        let span = self.ep_span[ep];
+        let drained = std::mem::take(&mut *in_flight.lock().expect("in-flight lock"));
+        let now = self.clock.now();
+        for (_, b) in drained {
+            for (key, handle) in b.keys.into_iter().zip(b.handles) {
+                self.queues[ep].complete(1);
+                if self.reroute(span, ep, Request { key, enqueued: now, reply: handle }) {
+                    self.rerouted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- threads
+
+/// The per-endpoint sender: coalesce → frame → send, plus retries and
+/// outbound control frames. Owns the connection's transmit half.
+fn run_worker(
+    core: Arc<ClientCore>,
+    ep: usize,
+    req_rx: Receiver<Request>,
+    ctrl_rx: Receiver<Frame>,
+    mut tx: Box<dyn FrameTx>,
+    in_flight: InFlight,
+) {
+    let clock = core.clock.clone();
+    let mut batch: Vec<Request> = Vec::new();
+    // Any break from this loop means the endpoint is dead (send failure,
+    // retry exhaustion, or the reader saw it die): fail over below.
+    'conn: loop {
+        while let Ok(f) = ctrl_rx.try_recv() {
+            if tx.send(&f).is_err() {
+                break 'conn;
+            }
+        }
+        if core.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if !core.queues[ep].is_alive() {
+            break 'conn;
+        }
+        match clock.recv_timeout(&req_rx, WORKER_POLL) {
+            Ok(first) => {
+                let disconnected = collect_batch_into(
+                    &clock,
+                    &req_rx,
+                    first,
+                    &mut batch,
+                    core.cfg.max_batch,
+                    core.cfg.max_delay,
+                );
+                if send_batch(&core, &mut tx, &mut batch, &in_flight).is_err() {
+                    break 'conn;
+                }
+                if disconnected {
+                    return; // client dropped; nothing left to serve
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if check_retries(&core, &mut tx, &in_flight).is_err() {
+            break 'conn;
+        }
+    }
+    die(&core, ep, &req_rx, &in_flight, &mut batch);
+}
+
+/// Assign a request id, record the batch in flight, ship the frame.
+fn send_batch(
+    core: &ClientCore,
+    tx: &mut Box<dyn FrameTx>,
+    batch: &mut Vec<Request>,
+    in_flight: &InFlight,
+) -> Result<(), ()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    let req = core.fresh_req();
+    let now = core.clock.now();
+    let mut keys = Vec::with_capacity(batch.len());
+    let mut handles = Vec::with_capacity(batch.len());
+    for r in batch.drain(..) {
+        keys.push(r.key);
+        handles.push(r.reply);
+    }
+    let frame = Frame::Lookup { req, keys: keys.clone() };
+    // Record before sending: if the send fails, the death path drains
+    // this batch out of the map and re-homes it — nothing is stranded.
+    in_flight
+        .lock()
+        .expect("in-flight lock")
+        .insert(req, BatchInFlight { keys, handles, sent_at: now, attempts: 1 });
+    tx.send(&frame).map_err(|_| ())
+}
+
+/// Resend overdue batches (same request id: replies are deduplicated by
+/// the in-flight map). A batch past `max_retries` fails the whole
+/// endpoint — per-batch surrender would strand its sibling batches on a
+/// connection that is clearly gone.
+fn check_retries(
+    core: &ClientCore,
+    tx: &mut Box<dyn FrameTx>,
+    in_flight: &InFlight,
+) -> Result<(), ()> {
+    let now = core.clock.now();
+    let timeout = dur_ns(core.cfg.retry_timeout);
+    let mut resend: Vec<(u64, Vec<u32>)> = Vec::new();
+    {
+        let mut map = in_flight.lock().expect("in-flight lock");
+        for (req, b) in map.iter_mut() {
+            if now.saturating_sub(b.sent_at) < timeout {
+                continue;
+            }
+            if b.attempts > core.cfg.max_retries {
+                return Err(()); // endpoint unresponsive: fail over
+            }
+            b.attempts += 1;
+            b.sent_at = now;
+            resend.push((*req, b.keys.clone()));
+        }
+    }
+    for (req, keys) in resend {
+        core.retries.fetch_add(1, Ordering::Relaxed);
+        if tx.send(&Frame::Lookup { req, keys }).is_err() {
+            return Err(());
+        }
+    }
+    Ok(())
+}
+
+/// An endpoint's afterlife, mirroring `dini-serve`'s crashed-replica
+/// failover: mark dead *first* (so nothing re-homes back here), re-home
+/// the collected batch and the in-flight wire batches, then keep
+/// draining the submit queue until the client shuts down — a submit
+/// racing the death gets failed over too, not stranded.
+fn die(
+    core: &ClientCore,
+    ep: usize,
+    req_rx: &Receiver<Request>,
+    in_flight: &InFlight,
+    batch: &mut Vec<Request>,
+) {
+    let span = core.ep_span[ep];
+    core.queues[ep].mark_dead();
+    let rehome = |req: Request| {
+        core.queues[ep].complete(1);
+        if core.reroute(span, ep, req) {
+            core.rerouted.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    for req in batch.drain(..) {
+        rehome(req);
+    }
+    core.drain_in_flight(ep, in_flight);
+    loop {
+        match core.clock.recv_timeout(req_rx, READER_POLL) {
+            Ok(req) => rehome(req),
+            Err(RecvTimeoutError::Timeout) => {
+                if core.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// The per-endpoint receiver: match replies to in-flight batches, fill
+/// reply slots (adding the span's base rank), and detect endpoint
+/// death. Owns the connection's receive half.
+fn run_reader(core: Arc<ClientCore>, ep: usize, mut rx: Box<dyn FrameRx>, in_flight: InFlight) {
+    let span = core.ep_span[ep];
+    loop {
+        if core.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match rx.recv_timeout(READER_POLL) {
+            Ok(Frame::Reply { req, results }) => {
+                // A duplicate (or retried-and-answered-twice) reply
+                // finds no entry and is dropped here — the "no
+                // duplicated replies" half of the retry contract.
+                let Some(b) = in_flight.lock().expect("in-flight lock").remove(&req) else {
+                    continue;
+                };
+                let served = b.handles.len();
+                let base = core.span_base(span);
+                // Positional alignment; a short result list (protocol
+                // corruption) drop-fills the leftovers ShuttingDown.
+                for (handle, res) in b.handles.into_iter().zip(results) {
+                    handle.send(match res {
+                        LookupStatus::Rank(r) => Ok(base + r),
+                        LookupStatus::Shed(shard) => {
+                            Err(ServeError::Overloaded { shard: shard as usize })
+                        }
+                        LookupStatus::Shutdown => Err(ServeError::ShuttingDown),
+                    });
+                }
+                core.queues[ep].complete(served);
+            }
+            Ok(Frame::UpdateAck { req }) => core.ctrl_fill(req),
+            Ok(Frame::QuiesceAck { req, live_keys, snapshots: _ })
+            | Ok(Frame::EpochPong { req, live_keys, snapshots: _ }) => {
+                core.span_live[span].store(live_keys, Ordering::SeqCst);
+                core.ctrl_fill(req);
+            }
+            Ok(Frame::Status { code: StatusCode::ShuttingDown }) | Err(NetError::Closed) => {
+                // Endpoint gone: mark dead before draining so reroutes
+                // can't land back here, then re-home the wire batches.
+                // The worker notices the flag and drains the submit
+                // queue side.
+                core.queues[ep].mark_dead();
+                core.drain_in_flight(ep, &in_flight);
+                return;
+            }
+            Ok(_) => {} // server-bound frames: protocol noise, ignore
+            Err(NetError::Timeout) => {
+                if !core.queues[ep].is_alive() {
+                    return;
+                }
+            }
+            Err(_) => {
+                core.queues[ep].mark_dead();
+                core.drain_in_flight(ep, &in_flight);
+                return;
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- client
+
+/// A lookup submitted over the transport, not yet answered. Same
+/// contract as [`dini_serve::PendingLookup`]: block with
+/// [`wait`](Self::wait) or reap with [`poll`](Self::poll).
+#[derive(Debug)]
+pub struct PendingNetLookup {
+    slot: ReplySlot,
+}
+
+impl PendingNetLookup {
+    /// Block for the (globally composed) rank.
+    pub fn wait(self) -> Result<u32, ServeError> {
+        self.slot.wait()
+    }
+
+    /// The rank if it has arrived, `None` while in flight.
+    pub fn poll(&self) -> Option<Result<u32, ServeError>> {
+        self.slot.poll()
+    }
+}
+
+/// A cheap, cloneable caller handle onto a [`RemoteClient`] (the
+/// transport analogue of [`dini_serve::ServerHandle`]). Clones carry
+/// their own routing tick and can be moved to other threads.
+pub struct NetHandle {
+    core: Arc<ClientCore>,
+    tick: AtomicU64,
+}
+
+impl Clone for NetHandle {
+    fn clone(&self) -> Self {
+        Self { core: self.core.clone(), tick: AtomicU64::new(0) }
+    }
+}
+
+impl NetHandle {
+    fn enqueue(&self, key: u32, blocking: bool) -> Result<PendingNetLookup, ServeError> {
+        let core = &self.core;
+        let span = core.span_router.route(key);
+        let eps = &core.span_eps[span];
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let Some(choice) = core.selectors[span].select(tick, |i| core.queues[eps[i]].probe())
+        else {
+            return Err(ServeError::ShuttingDown);
+        };
+        let (slot, handle) = core.pools[span].take();
+        let req = Request { key, enqueued: core.clock.now(), reply: handle };
+        let q = &core.queues[eps[choice]];
+        if blocking {
+            q.submit(req)?;
+        } else {
+            q.try_submit(req)?;
+        }
+        Ok(PendingNetLookup { slot })
+    }
+
+    /// Rank of `key` across the whole cluster, blocking while the
+    /// chosen endpoint's queue is full.
+    pub fn lookup(&self, key: u32) -> Result<u32, ServeError> {
+        self.enqueue(key, true)?.wait()
+    }
+
+    /// Rank of `key`, shedding instead of blocking on a full endpoint
+    /// queue.
+    pub fn try_lookup(&self, key: u32) -> Result<u32, ServeError> {
+        self.enqueue(key, false)?.wait()
+    }
+
+    /// Submit without waiting (sheds on a full endpoint queue).
+    pub fn begin_lookup(&self, key: u32) -> Result<PendingNetLookup, ServeError> {
+        self.enqueue(key, false)
+    }
+
+    /// Rank every key, preserving order; submits everything first so the
+    /// slice coalesces into few frames.
+    pub fn lookup_many(&self, keys: &[u32]) -> Result<Vec<u32>, ServeError> {
+        let mut replies = Vec::with_capacity(keys.len());
+        for &k in keys {
+            replies.push(self.enqueue(k, true)?);
+        }
+        replies.into_iter().map(PendingNetLookup::wait).collect()
+    }
+
+    /// Apply one churn operation. Updates are replicated to every live
+    /// endpoint of the owning span (each replica server has its own
+    /// writer); `Op::Query` is accepted and ignored. Visibility follows
+    /// the same contract as local serving: after [`quiesce`](Self::quiesce).
+    pub fn update(&self, op: Op) -> Result<(), ServeError> {
+        let (key, wire_op) = match op {
+            Op::Insert(k) => (k, WireOp::Insert(k)),
+            Op::Delete(k) => (k, WireOp::Delete(k)),
+            Op::Query(_) => return Ok(()),
+        };
+        let core = &self.core;
+        let span = core.span_router.route(key);
+        let mut sent = false;
+        for &e in &core.span_eps[span] {
+            if core.queues[e].is_alive()
+                && core.ctrl_txs[e].send(Frame::Update { req: 0, ops: vec![wire_op] }).is_ok()
+            {
+                sent = true;
+            }
+        }
+        if sent {
+            Ok(())
+        } else {
+            Err(ServeError::ShuttingDown)
+        }
+    }
+
+    /// Barrier: every previously submitted update is applied and
+    /// published on every live endpoint, and the client's cross-span
+    /// base ranks are refreshed from the acks. Fails if any live
+    /// endpoint stops answering (or a span has no endpoint left).
+    pub fn quiesce(&self) -> Result<(), ServeError> {
+        let core = &self.core;
+        for span in 0..core.span_eps.len() {
+            let mut reached = false;
+            for &e in &core.span_eps[span] {
+                if !core.queues[e].is_alive() {
+                    continue;
+                }
+                core.ctrl_roundtrip(e, |req| Frame::Quiesce { req })?;
+                reached = true;
+            }
+            if !reached {
+                return Err(ServeError::ShuttingDown);
+            }
+        }
+        Ok(())
+    }
+
+    /// Refresh every span's live-key count (and therefore the base
+    /// ranks) with epoch pings — cheaper than [`quiesce`](Self::quiesce),
+    /// no barrier.
+    pub fn refresh(&self) -> Result<(), ServeError> {
+        let core = &self.core;
+        for span in 0..core.span_eps.len() {
+            let mut reached = false;
+            for &e in &core.span_eps[span] {
+                if !core.queues[e].is_alive() {
+                    continue;
+                }
+                if core.ctrl_roundtrip(e, |req| Frame::EpochPing { req }).is_ok() {
+                    reached = true;
+                    break;
+                }
+            }
+            if !reached {
+                return Err(ServeError::ShuttingDown);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total live keys across all spans, as of the last refresh.
+    pub fn live_keys(&self) -> u64 {
+        self.core.span_live.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Number of spans in the shard map.
+    pub fn n_spans(&self) -> usize {
+        self.core.span_eps.len()
+    }
+
+    /// Which span serves `key` (the client's own routing, exposed for
+    /// oracles).
+    pub fn span_of(&self, key: u32) -> usize {
+        self.core.span_router.route(key)
+    }
+
+    /// Is any endpoint of `span` still alive?
+    pub fn span_alive(&self, span: usize) -> bool {
+        self.core.span_eps[span].iter().any(|&e| self.core.queues[e].is_alive())
+    }
+
+    /// The clock this client waits on.
+    pub fn clock(&self) -> &Clock {
+        &self.core.clock
+    }
+
+    /// Point-in-time client-side accounting.
+    pub fn stats(&self) -> NetClientStats {
+        let core = &self.core;
+        NetClientStats {
+            retries: core.retries.load(Ordering::Relaxed),
+            rerouted: core.rerouted.load(Ordering::Relaxed),
+            client_shed: core.queues.iter().map(AdmissionQueue::shed).sum(),
+            admitted: core.queues.iter().map(AdmissionQueue::admitted).sum(),
+        }
+    }
+}
+
+/// A connected client: owns the per-endpoint worker/reader threads and
+/// hands out cloneable [`NetHandle`]s. Dropping it re-homes nothing —
+/// it shuts the transport down; outstanding lookups resolve
+/// `ShuttingDown`.
+pub struct RemoteClient {
+    handle: NetHandle,
+    threads: Vec<ClockJoinHandle<()>>,
+}
+
+impl RemoteClient {
+    /// Dial `bootstrap`, learn the shard map from its handshake, connect
+    /// to every endpoint, and refresh the cross-span base ranks.
+    pub fn connect(
+        dialer: Box<dyn Dialer>,
+        bootstrap: &str,
+        cfg: ClientConfig,
+    ) -> Result<Self, NetError> {
+        let clock = cfg.clock.clone();
+
+        // Handshake: any server teaches us the whole topology. Retried
+        // with a fresh connection per attempt — on a lossy link the
+        // Hello (or the ShardMap) can be dropped in flight.
+        let mut handshake: Option<(Topology, usize, u64)> = None;
+        let mut last_err = NetError::Timeout;
+        for _ in 0..=cfg.max_retries {
+            let mut boot = match dialer.dial(bootstrap) {
+                Ok(b) => b,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            if let Err(e) = boot.tx.send(&Frame::Hello { proto: WIRE_VERSION as u16 }) {
+                last_err = e;
+                continue;
+            }
+            match boot.rx.recv_timeout(cfg.handshake_timeout) {
+                Ok(Frame::ShardMap { spans, my_span, live_keys }) => {
+                    handshake = Some((Topology::from_wire(&spans), my_span as usize, live_keys));
+                    break;
+                }
+                Ok(other) => {
+                    return Err(NetError::Protocol(format!("expected ShardMap, got {other:?}")))
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        let Some((topology, boot_span, boot_live)) = handshake else {
+            return Err(last_err);
+        };
+        topology.check().map_err(|why| NetError::Protocol(why.to_owned()))?;
+        if boot_span >= topology.n_spans() {
+            return Err(NetError::Protocol("handshake span out of range".to_owned()));
+        }
+
+        // Wire up every endpoint (span-major order, deterministic).
+        let n_spans = topology.n_spans();
+        let mut queues = Vec::new();
+        let mut ctrl_txs = Vec::new();
+        let mut span_eps: Vec<Vec<usize>> = Vec::with_capacity(n_spans);
+        let mut ep_span = Vec::new();
+        let mut plumbing: Vec<Option<EndpointPipes>> = Vec::new();
+        for (span, s) in topology.spans.iter().enumerate() {
+            let mut eps = Vec::with_capacity(s.endpoints.len());
+            for (pos, addr) in s.endpoints.iter().enumerate() {
+                let ep = queues.len();
+                let (req_tx, req_rx) = bounded::<Request>(cfg.queue_capacity);
+                let (ctl_tx, ctl_rx) = unbounded::<Frame>();
+                let queue = AdmissionQueue::new(span, pos, req_tx, clock.clone());
+                match dialer.dial(addr) {
+                    Ok(duplex) => plumbing.push(Some((req_rx, ctl_rx, duplex))),
+                    Err(_) => {
+                        // Unreachable from the start: a dead endpoint,
+                        // exactly as if it crashed later.
+                        queue.mark_dead();
+                        plumbing.push(None);
+                    }
+                }
+                queues.push(queue);
+                ctrl_txs.push(ctl_tx);
+                ep_span.push(span);
+                eps.push(ep);
+            }
+            if !eps.iter().any(|&e| queues[e].is_alive()) {
+                return Err(NetError::Refused(format!("no endpoint of span {span} is reachable")));
+            }
+            span_eps.push(eps);
+        }
+
+        let selectors = span_eps.iter().map(|eps| ReplicaSelector::new(eps.len())).collect();
+        let pools = span_eps
+            .iter()
+            .map(|eps| {
+                SlotPool::with_clock(
+                    (cfg.queue_capacity + cfg.max_batch) * eps.len(),
+                    clock.clone(),
+                )
+            })
+            .collect();
+        let span_live: Vec<AtomicU64> = (0..n_spans).map(|_| AtomicU64::new(0)).collect();
+        span_live[boot_span].store(boot_live, Ordering::SeqCst);
+
+        let core = Arc::new(ClientCore {
+            cfg,
+            clock: clock.clone(),
+            span_router: topology.router(),
+            selectors,
+            queues,
+            ctrl_txs,
+            span_eps,
+            ep_span,
+            pools,
+            span_live,
+            ctrl: Mutex::new(BTreeMap::new()),
+            next_req: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            retries: AtomicU64::new(0),
+            rerouted: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::new();
+        for (ep, pipes) in plumbing.into_iter().enumerate() {
+            let Some((req_rx, ctl_rx, duplex)) = pipes else { continue };
+            let Duplex { tx, rx, peer: _ } = duplex;
+            let in_flight: InFlight = Arc::new(Mutex::new(BTreeMap::new()));
+            let c = core.clone();
+            let inf = in_flight.clone();
+            threads.push(clock.spawn(&format!("dini-net-cw-{ep}"), move || {
+                run_worker(c, ep, req_rx, ctl_rx, tx, inf)
+            }));
+            let c = core.clone();
+            threads.push(
+                clock.spawn(&format!("dini-net-cr-{ep}"), move || run_reader(c, ep, rx, in_flight)),
+            );
+        }
+
+        let client = Self { handle: NetHandle { core, tick: AtomicU64::new(0) }, threads };
+        // Base ranks need every span's live count, not just bootstrap's.
+        client.handle.refresh().map_err(|_| {
+            NetError::Protocol("could not refresh live counts from every span".to_owned())
+        })?;
+        Ok(client)
+    }
+
+    /// A cloneable caller handle.
+    pub fn handle(&self) -> NetHandle {
+        self.handle.clone()
+    }
+
+    /// See [`NetHandle::lookup`].
+    pub fn lookup(&self, key: u32) -> Result<u32, ServeError> {
+        self.handle.lookup(key)
+    }
+
+    /// See [`NetHandle::begin_lookup`].
+    pub fn begin_lookup(&self, key: u32) -> Result<PendingNetLookup, ServeError> {
+        self.handle.begin_lookup(key)
+    }
+
+    /// See [`NetHandle::lookup_many`].
+    pub fn lookup_many(&self, keys: &[u32]) -> Result<Vec<u32>, ServeError> {
+        self.handle.lookup_many(keys)
+    }
+
+    /// See [`NetHandle::update`].
+    pub fn update(&self, op: Op) -> Result<(), ServeError> {
+        self.handle.update(op)
+    }
+
+    /// See [`NetHandle::quiesce`].
+    pub fn quiesce(&self) -> Result<(), ServeError> {
+        self.handle.quiesce()
+    }
+
+    /// See [`NetHandle::stats`].
+    pub fn stats(&self) -> NetClientStats {
+        self.handle.stats()
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        self.handle.core.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Closed-loop load over a [`NetHandle`]: `clients` OS threads each
+/// issue `lookups_per_client` blocking lookups drawn from `dist`
+/// (seeded per client with `seed + id`), with caller-observed latency
+/// recorded per lookup — the remote analogue of
+/// [`dini_serve::run_load`]'s closed mode, returning the same
+/// [`LoadReport`](dini_serve::LoadReport) shape so in-process and
+/// over-the-wire summaries are directly comparable. Wall-clock
+/// timestamped (`Instant`), so this is for natively clocked clients —
+/// benches and demos, not simtest scenarios.
+pub fn run_net_load(
+    handle: &NetHandle,
+    dist: dini_workload::KeyDistribution,
+    seed: u64,
+    clients: usize,
+    lookups_per_client: usize,
+) -> dini_serve::LoadReport {
+    use dini_cluster::LogHistogram;
+    use std::time::Instant;
+
+    let start = Instant::now();
+    let results: Vec<(u64, LogHistogram)> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..clients)
+            .map(|id| {
+                let h = handle.clone();
+                scope.spawn(move || {
+                    let mut gen = dini_workload::KeyGen::new(seed + id as u64, dist);
+                    let mut hist = LogHistogram::new();
+                    let mut completed = 0u64;
+                    for _ in 0..lookups_per_client {
+                        let t0 = Instant::now();
+                        if h.lookup(gen.next_key()).is_ok() {
+                            hist.record(t0.elapsed().as_nanos() as f64);
+                            completed += 1;
+                        }
+                    }
+                    (completed, hist)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().expect("net load client panicked")).collect()
+    });
+    let mut report = dini_serve::LoadReport {
+        wall: start.elapsed(),
+        completed: 0,
+        shed: 0,
+        latency_ns: LogHistogram::new(),
+    };
+    for (completed, hist) in results {
+        report.completed += completed;
+        report.latency_ns.merge(&hist);
+    }
+    report
+}

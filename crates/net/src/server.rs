@@ -1,0 +1,485 @@
+//! `NetServer`: an [`IndexServer`] hosted behind a transport listener.
+//!
+//! One `NetServer` owns one span of the key space (its whole replica
+//! group of shards, dispatchers, and writer — everything PR 1–4 built)
+//! and serves it to remote callers:
+//!
+//! ```text
+//!   acceptor thread ──► per-connection reader ──begin_lookup()──► IndexServer
+//!                                   │                                   │
+//!                                   └─jobs─► per-connection responder ◄─┘
+//!                                                (reply mux: waits the
+//!                                                 pending lookups, writes
+//!                                                 one Reply frame per batch)
+//! ```
+//!
+//! * The **reader** decodes frames and turns a `Lookup` batch into
+//!   per-key [`begin_lookup`](dini_serve::ServerHandle::begin_lookup)
+//!   submissions — non-blocking, so server-side admission control sheds
+//!   exactly as it does for local callers, and the coalescing batcher
+//!   sees remote keys as ordinary traffic (a remote batch and local
+//!   callers coalesce together).
+//! * The **responder** is the writer-side reply mux: it redeems each
+//!   batch's pooled reply slots (generation-tagged cells from the
+//!   server's `SlotPool`s) and ships one positionally-aligned `Reply`
+//!   frame, so a slow consumer never blocks the dispatch path — only
+//!   its own connection.
+//! * Updates feed the span's single writer; `Quiesce` runs the writer
+//!   barrier and returns the fresh live-key count (the client uses it
+//!   to recompose cross-span base ranks).
+//!
+//! Every thread is spawned on the hosted server's [`Clock`], so under
+//! `dini-simtest` the acceptor, readers, and responders all wait in
+//! virtual time inside the deterministic scheduler.
+
+use crate::topology::Topology;
+use crate::transport::{Acceptor, Duplex, NetError};
+use crate::wire::{Frame, LookupStatus, StatusCode, WireOp, WIRE_VERSION};
+use crossbeam::channel::unbounded;
+use dini_serve::{Clock, ClockJoinHandle, IndexServer, PendingLookup, ServeConfig, ServeError};
+use dini_workload::Op;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often the acceptor and connection readers wake to check the
+/// shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+const READ_POLL: Duration = Duration::from_millis(10);
+
+/// Configuration of one hosted span.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// The hosted [`IndexServer`]'s own knobs (shards, replicas,
+    /// coalescing, clock, faults — everything).
+    pub serve: ServeConfig,
+    /// The whole cluster's span layout, served to clients in the
+    /// handshake.
+    pub topology: Topology,
+    /// Which span of `topology` this server hosts.
+    pub span: usize,
+}
+
+impl NetServerConfig {
+    /// Host `span` of `topology` with `serve` knobs.
+    pub fn new(serve: ServeConfig, topology: Topology, span: usize) -> Self {
+        Self { serve, topology, span }
+    }
+}
+
+/// What the reader hands the responder, in connection order.
+enum Job {
+    /// Answer the handshake.
+    Map,
+    /// Redeem a lookup batch and ship its reply.
+    Reply { req: u64, pendings: Vec<Result<PendingLookup, ServeError>> },
+    /// Acknowledge an acked update.
+    Ack { req: u64 },
+    /// Acknowledge a quiesce barrier.
+    QuiesceAck { req: u64 },
+    /// Answer an epoch ping.
+    Pong { req: u64 },
+    /// Tell the peer we are going away, then hang up.
+    Bye,
+}
+
+/// An [`IndexServer`] (one span's shards + replicas + writer) hosted
+/// behind a transport [`Acceptor`]. Dropping (or
+/// [`shutdown`](Self::shutdown)-ing) the `NetServer` notifies connected
+/// clients, joins every connection thread, then winds the index server
+/// down.
+pub struct NetServer {
+    server: Arc<IndexServer>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<ClockJoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ClockJoinHandle<()>>>>,
+    addr: String,
+}
+
+impl NetServer {
+    /// Build an [`IndexServer`] over `keys` (this span's slice of the
+    /// global key set) and serve it through `acceptor`.
+    pub fn start(acceptor: Box<dyn Acceptor>, keys: &[u32], cfg: NetServerConfig) -> Self {
+        cfg.topology.validate();
+        assert!(cfg.span < cfg.topology.n_spans(), "hosted span out of range");
+        let clock = cfg.serve.clock.clone();
+        let server = Arc::new(IndexServer::build(keys, cfg.serve.clone()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<ClockJoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let addr = acceptor.addr();
+
+        let acceptor_thread = {
+            let server = server.clone();
+            let shutdown = shutdown.clone();
+            let conns = conns.clone();
+            let topology = Arc::new(cfg.topology.clone());
+            let span = cfg.span;
+            let clock2 = clock.clone();
+            clock.spawn("dini-net-acceptor", move || {
+                let mut conn_id = 0u64;
+                loop {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match acceptor.accept_timeout(ACCEPT_POLL) {
+                        Ok(duplex) => {
+                            conn_id += 1;
+                            let (reader, responder) = spawn_connection(
+                                &clock2,
+                                conn_id,
+                                duplex,
+                                server.clone(),
+                                topology.clone(),
+                                span,
+                                shutdown.clone(),
+                            );
+                            let mut guard = conns.lock().expect("conn list lock");
+                            // Prune exited connections so a long-lived
+                            // server tracks live ones, not every
+                            // connection ever accepted. (Dropping a
+                            // finished thread's handle just detaches it.)
+                            guard.retain(|h| !h.is_finished());
+                            guard.push(reader);
+                            guard.push(responder);
+                        }
+                        Err(NetError::Timeout) => continue,
+                        Err(NetError::Closed) => break, // listener gone
+                        Err(_) => {
+                            // Transient accept failure (e.g. the peer
+                            // reset before accept completed, momentary
+                            // fd exhaustion): the listener itself is
+                            // fine — pace the retry, keep accepting.
+                            clock2.sleep(ACCEPT_POLL);
+                        }
+                    }
+                }
+            })
+        };
+
+        Self { server, shutdown, acceptor: Some(acceptor_thread), conns, addr }
+    }
+
+    /// The address clients dial to reach this server.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The hosted index server (stats, quiesce, local handles, …).
+    pub fn server(&self) -> &IndexServer {
+        &self.server
+    }
+
+    /// Notify clients, join every transport thread, and wind down the
+    /// hosted server.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conn list lock"));
+        for c in conns {
+            let _ = c.join();
+        }
+        // `self.server` (the last strong count) drops with `self`,
+        // joining dispatchers and the writer.
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Spawn the reader + responder pair for one accepted connection.
+fn spawn_connection(
+    clock: &Clock,
+    conn_id: u64,
+    duplex: Duplex,
+    server: Arc<IndexServer>,
+    topology: Arc<Topology>,
+    span: usize,
+    shutdown: Arc<AtomicBool>,
+) -> (ClockJoinHandle<()>, ClockJoinHandle<()>) {
+    let Duplex { tx: mut frame_tx, rx: mut frame_rx, peer: _ } = duplex;
+    let (job_tx, job_rx) = unbounded::<Job>();
+
+    let reader = {
+        let server = server.clone();
+        clock.spawn(&format!("dini-net-read-{conn_id}"), move || {
+            let handle = server.handle();
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    let _ = job_tx.send(Job::Bye);
+                    break;
+                }
+                let frame = match frame_rx.recv_timeout(READ_POLL) {
+                    Ok(f) => f,
+                    Err(NetError::Timeout) => continue,
+                    Err(_) => break, // peer gone (or stream corrupt): hang up
+                };
+                match frame {
+                    Frame::Hello { proto: _ } => {
+                        // One version so far; a future v2 negotiates here.
+                        let _ = job_tx.send(Job::Map);
+                    }
+                    Frame::Lookup { req, keys } => {
+                        // Non-blocking submits: remote traffic sheds under
+                        // the same admission control as local callers.
+                        let pendings: Vec<Result<PendingLookup, ServeError>> =
+                            keys.iter().map(|&k| handle.begin_lookup(k)).collect();
+                        let _ = job_tx.send(Job::Reply { req, pendings });
+                    }
+                    Frame::Update { req, ops } => {
+                        let mut dead = false;
+                        for op in ops {
+                            let op = match op {
+                                WireOp::Insert(k) => Op::Insert(k),
+                                WireOp::Delete(k) => Op::Delete(k),
+                            };
+                            if server.update(op).is_err() {
+                                dead = true;
+                                break;
+                            }
+                        }
+                        if dead {
+                            let _ = job_tx.send(Job::Bye);
+                            break;
+                        }
+                        if req != 0 {
+                            let _ = job_tx.send(Job::Ack { req });
+                        }
+                    }
+                    Frame::Quiesce { req } => {
+                        // The barrier blocks this connection's frame
+                        // stream — that is its point: every update this
+                        // reader already applied is published when the
+                        // ack goes out.
+                        server.quiesce();
+                        let _ = job_tx.send(Job::QuiesceAck { req });
+                    }
+                    Frame::EpochPing { req } => {
+                        let _ = job_tx.send(Job::Pong { req });
+                    }
+                    // Client-bound frames arriving here are protocol
+                    // noise (e.g. a fuzzer); ignore rather than kill the
+                    // connection.
+                    Frame::ShardMap { .. }
+                    | Frame::Reply { .. }
+                    | Frame::UpdateAck { .. }
+                    | Frame::QuiesceAck { .. }
+                    | Frame::EpochPong { .. }
+                    | Frame::Status { .. } => {}
+                }
+            }
+            // job_tx drops here; the responder drains and exits.
+        })
+    };
+
+    let responder = {
+        let clock2 = clock.clone();
+        clock.spawn(&format!("dini-net-send-{conn_id}"), move || {
+            while let Ok(job) = clock2.recv(&job_rx) {
+                let frame = match job {
+                    Job::Map => Frame::ShardMap {
+                        spans: topology.to_wire(),
+                        my_span: span as u16,
+                        live_keys: server.len() as u64,
+                    },
+                    Job::Reply { req, pendings } => {
+                        let results: Vec<LookupStatus> = pendings
+                            .into_iter()
+                            .map(|p| {
+                                let outcome = match p {
+                                    Ok(pending) => pending.wait(),
+                                    Err(e) => Err(e),
+                                };
+                                match outcome {
+                                    Ok(rank) => LookupStatus::Rank(rank),
+                                    Err(ServeError::Overloaded { shard }) => {
+                                        LookupStatus::Shed(shard as u32)
+                                    }
+                                    Err(ServeError::ShuttingDown) => LookupStatus::Shutdown,
+                                }
+                            })
+                            .collect();
+                        Frame::Reply { req, results }
+                    }
+                    Job::Ack { req } => Frame::UpdateAck { req },
+                    Job::QuiesceAck { req } => Frame::QuiesceAck {
+                        req,
+                        live_keys: server.len() as u64,
+                        snapshots: server.stats().snapshots_published,
+                    },
+                    Job::Pong { req } => Frame::EpochPong {
+                        req,
+                        live_keys: server.len() as u64,
+                        snapshots: server.stats().snapshots_published,
+                    },
+                    Job::Bye => {
+                        let _ = frame_tx.send(&Frame::Status { code: StatusCode::ShuttingDown });
+                        break;
+                    }
+                };
+                if frame_tx.send(&frame).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    (reader, responder)
+}
+
+/// The protocol version this build speaks (re-exported for handshakes).
+pub const PROTO: u16 = WIRE_VERSION as u16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChanNet;
+
+    const SEC: Duration = Duration::from_secs(1);
+
+    fn cfg(addr: &str) -> NetServerConfig {
+        let mut serve = ServeConfig::new(2);
+        serve.slaves_per_shard = 1;
+        serve.max_delay = Duration::from_micros(100);
+        NetServerConfig::new(serve, Topology::single(vec![addr.to_owned()]), 0)
+    }
+
+    #[test]
+    fn handshake_lookup_and_ping_over_chan_net() {
+        let net = ChanNet::new(Clock::system());
+        let acc = net.listen("srv");
+        let keys: Vec<u32> = (0..10_000).map(|i| i * 2).collect();
+        let server = NetServer::start(Box::new(acc), &keys, cfg("srv"));
+        assert_eq!(server.addr(), "srv");
+
+        let mut c = net.dialer().dial("srv").unwrap();
+        c.tx.send(&Frame::Hello { proto: PROTO }).unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::ShardMap { spans, my_span, live_keys } => {
+                assert_eq!(spans.len(), 1);
+                assert_eq!(my_span, 0);
+                assert_eq!(live_keys, 10_000);
+            }
+            other => panic!("expected ShardMap, got {other:?}"),
+        }
+
+        let queries = vec![0u32, 5, 19_998, u32::MAX];
+        c.tx.send(&Frame::Lookup { req: 9, keys: queries.clone() }).unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::Reply { req, results } => {
+                assert_eq!(req, 9);
+                let expect: Vec<LookupStatus> = queries
+                    .iter()
+                    .map(|&q| LookupStatus::Rank(keys.partition_point(|&k| k <= q) as u32))
+                    .collect();
+                assert_eq!(results, expect);
+            }
+            other => panic!("expected Reply, got {other:?}"),
+        }
+
+        c.tx.send(&Frame::EpochPing { req: 11 }).unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::EpochPong { req, live_keys, .. } => {
+                assert_eq!((req, live_keys), (11, 10_000));
+            }
+            other => panic!("expected EpochPong, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn updates_quiesce_and_shift_ranks() {
+        let net = ChanNet::new(Clock::system());
+        let acc = net.listen("srv");
+        let keys: Vec<u32> = (0..1_000).map(|i| i * 4).collect();
+        let server = NetServer::start(Box::new(acc), &keys, cfg("srv"));
+
+        let mut c = net.dialer().dial("srv").unwrap();
+        c.tx.send(&Frame::Update { req: 0, ops: vec![WireOp::Insert(1), WireOp::Delete(0)] })
+            .unwrap();
+        c.tx.send(&Frame::Quiesce { req: 3 }).unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::QuiesceAck { req, live_keys, .. } => {
+                assert_eq!(req, 3);
+                assert_eq!(live_keys, 1_000, "one insert, one delete");
+            }
+            other => panic!("expected QuiesceAck, got {other:?}"),
+        }
+        c.tx.send(&Frame::Lookup { req: 4, keys: vec![1] }).unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::Reply { results, .. } => {
+                assert_eq!(results, vec![LookupStatus::Rank(1)], "{{1}} ≤ 1 after churn");
+            }
+            other => panic!("expected Reply, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_notifies_connected_clients() {
+        let net = ChanNet::new(Clock::system());
+        let acc = net.listen("srv");
+        let keys: Vec<u32> = (0..100).collect();
+        let server = NetServer::start(Box::new(acc), &keys, cfg("srv"));
+        let mut c = net.dialer().dial("srv").unwrap();
+        c.tx.send(&Frame::Hello { proto: PROTO }).unwrap();
+        let _map = c.rx.recv_timeout(SEC).unwrap();
+        server.shutdown();
+        // The Bye status races the socket close; either is a clean
+        // "endpoint gone" signal for the client.
+        match c.rx.recv_timeout(SEC) {
+            Ok(Frame::Status { code: StatusCode::ShuttingDown }) | Err(NetError::Closed) => {}
+            other => panic!("expected shutdown notice or close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hosts_one_span_of_a_two_span_topology() {
+        let net = ChanNet::new(Clock::system());
+        let acc = net.listen("hi-span");
+        let keys: Vec<u32> = (0..2_000).map(|i| i * 10).collect();
+        let topo = Topology {
+            spans: vec![
+                crate::topology::Span { lo_key: 0, endpoints: vec!["lo-span".into()] },
+                crate::topology::Span { lo_key: 10_000, endpoints: vec!["hi-span".into()] },
+            ],
+        };
+        let hi_keys = topo.split(&keys)[1].to_vec();
+        let mut serve = ServeConfig::new(2);
+        serve.slaves_per_shard = 1;
+        let server =
+            NetServer::start(Box::new(acc), &hi_keys, NetServerConfig::new(serve, topo, 1));
+
+        let mut c = net.dialer().dial("hi-span").unwrap();
+        c.tx.send(&Frame::Hello { proto: PROTO }).unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::ShardMap { spans, my_span, live_keys } => {
+                assert_eq!(my_span, 1);
+                assert_eq!(spans.len(), 2);
+                assert_eq!(live_keys as usize, hi_keys.len());
+                // The span delimiters round-trip into a working router.
+                let router = Topology::from_wire(&spans).router();
+                assert_eq!(router.route(9_999), 0);
+                assert_eq!(router.route(10_000), 1);
+            }
+            other => panic!("expected ShardMap, got {other:?}"),
+        }
+        // Span-local ranks: the hi-span server counts only its own keys.
+        c.tx.send(&Frame::Lookup { req: 1, keys: vec![u32::MAX] }).unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::Reply { results, .. } => {
+                assert_eq!(results, vec![LookupStatus::Rank(hi_keys.len() as u32)]);
+            }
+            other => panic!("expected Reply, got {other:?}"),
+        }
+        server.shutdown();
+    }
+}

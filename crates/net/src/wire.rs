@@ -1,0 +1,559 @@
+//! The wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every frame travels as
+//!
+//! ```text
+//!   [ len: u32 LE ][ version: u8 ][ kind: u8 ][ body… ]
+//!   '---- 4 B ----''------------- len bytes ----------'
+//! ```
+//!
+//! with all integers little-endian. `len` counts the bytes *after* the
+//! prefix and is bounded by [`MAX_FRAME_LEN`], so a corrupt length can
+//! never drive an allocation. Decoding is total: any truncated,
+//! oversized, trailing-garbage, unknown-version, or unknown-tag input
+//! returns a [`WireError`] — never a panic — which `prop_wire.rs` pins
+//! with randomized corruption.
+//!
+//! The frame set is the dispatcher↔caller boundary, serialized:
+//!
+//! | frame | direction | carries |
+//! |---|---|---|
+//! | [`Frame::Hello`] | client → server | protocol version |
+//! | [`Frame::ShardMap`] | server → client | span delimiters + replica endpoints + the server's span and live-key count |
+//! | [`Frame::Lookup`] | client → server | one coalesced key batch under a request id |
+//! | [`Frame::Reply`] | server → client | per-key rank / shed / shutdown |
+//! | [`Frame::Update`] | client → server | churn operations |
+//! | [`Frame::UpdateAck`] | server → client | update receipt (when requested) |
+//! | [`Frame::Quiesce`] / [`Frame::QuiesceAck`] | round trip | update-visibility barrier + fresh live count |
+//! | [`Frame::EpochPing`] / [`Frame::EpochPong`] | round trip | snapshot-epoch / live-count refresh |
+//! | [`Frame::Status`] | server → client | shed/shutdown notice for the whole connection |
+
+/// Protocol version carried by every frame; decoders reject all others.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on the post-prefix length of one frame (16 MiB): a
+/// corrupt or hostile length prefix is rejected before any allocation.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+const KIND_HELLO: u8 = 1;
+const KIND_SHARD_MAP: u8 = 2;
+const KIND_LOOKUP: u8 = 3;
+const KIND_REPLY: u8 = 4;
+const KIND_UPDATE: u8 = 5;
+const KIND_UPDATE_ACK: u8 = 6;
+const KIND_QUIESCE: u8 = 7;
+const KIND_QUIESCE_ACK: u8 = 8;
+const KIND_EPOCH_PING: u8 = 9;
+const KIND_EPOCH_PONG: u8 = 10;
+const KIND_STATUS: u8 = 11;
+
+/// Why a byte sequence is not a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the frame did.
+    Truncated,
+    /// Length prefix exceeds [`MAX_FRAME_LEN`] (or is too short to hold
+    /// the version and kind bytes).
+    BadLength(u32),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// Unknown enum tag inside a body.
+    BadTag(u8),
+    /// The body decoded but left unconsumed bytes behind.
+    Trailing(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadLength(n) => write!(f, "frame length {n} out of bounds"),
+            WireError::BadVersion(v) => write!(f, "unknown wire version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadTag(t) => write!(f, "unknown tag {t}"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after frame body"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Outcome of one key's lookup, as carried by [`Frame::Reply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupStatus {
+    /// The key's rank within the answering server's key space.
+    Rank(u32),
+    /// Admission control shed the key (payload: the server-local shard
+    /// whose queue was full).
+    Shed(u32),
+    /// The server is shutting down (or the key's last replica is gone).
+    Shutdown,
+}
+
+/// One churn operation on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireOp {
+    /// Insert a key.
+    Insert(u32),
+    /// Delete a key.
+    Delete(u32),
+}
+
+/// One span of the shard map: a contiguous slice of the key space and
+/// the replica endpoints serving it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanMsg {
+    /// Smallest key the span owns (span 0 must start at 0).
+    pub lo_key: u32,
+    /// Addresses of the servers replicating this span.
+    pub endpoints: Vec<String>,
+}
+
+/// One protocol frame. See the module docs for the layout and the
+/// direction each frame travels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client handshake: announces the protocol version it speaks.
+    Hello {
+        /// Highest protocol version the client understands.
+        proto: u16,
+    },
+    /// Server handshake reply: the cluster topology plus this server's
+    /// own span and live-key count.
+    ShardMap {
+        /// Every span of the key space, in key order.
+        spans: Vec<SpanMsg>,
+        /// Which span the answering server hosts.
+        my_span: u16,
+        /// Live keys the answering server holds right now.
+        live_keys: u64,
+    },
+    /// A coalesced lookup batch.
+    Lookup {
+        /// Request id replies (and retries) are matched on.
+        req: u64,
+        /// The batch, in submission order.
+        keys: Vec<u32>,
+    },
+    /// The answer to one [`Frame::Lookup`], positionally aligned.
+    Reply {
+        /// The request id being answered.
+        req: u64,
+        /// One status per key, in the batch's order.
+        results: Vec<LookupStatus>,
+    },
+    /// Churn operations to fold into the server's writer.
+    Update {
+        /// Request id for the ack; 0 = fire-and-forget (no ack).
+        req: u64,
+        /// The operations, applied in order.
+        ops: Vec<WireOp>,
+    },
+    /// Receipt for an acked [`Frame::Update`].
+    UpdateAck {
+        /// The request id being acknowledged.
+        req: u64,
+    },
+    /// Update-visibility barrier: block until every previously received
+    /// update is applied and published.
+    Quiesce {
+        /// Request id for the ack.
+        req: u64,
+    },
+    /// Barrier receipt, carrying fresh accounting.
+    QuiesceAck {
+        /// The request id being acknowledged.
+        req: u64,
+        /// Live keys after the barrier.
+        live_keys: u64,
+        /// Snapshot epochs published so far.
+        snapshots: u64,
+    },
+    /// Snapshot-epoch / live-count probe (cheap; no barrier).
+    EpochPing {
+        /// Request id for the pong.
+        req: u64,
+    },
+    /// Probe reply.
+    EpochPong {
+        /// The request id being answered.
+        req: u64,
+        /// Live keys as of the last snapshot publication.
+        live_keys: u64,
+        /// Snapshot epochs published so far.
+        snapshots: u64,
+    },
+    /// Connection-level status notice.
+    Status {
+        /// What the peer should know.
+        code: StatusCode,
+    },
+}
+
+/// Connection-level status codes for [`Frame::Status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// The server is going away; the client should fail over.
+    ShuttingDown,
+}
+
+// ---------------------------------------------------------------- encode
+
+#[inline]
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => KIND_HELLO,
+            Frame::ShardMap { .. } => KIND_SHARD_MAP,
+            Frame::Lookup { .. } => KIND_LOOKUP,
+            Frame::Reply { .. } => KIND_REPLY,
+            Frame::Update { .. } => KIND_UPDATE,
+            Frame::UpdateAck { .. } => KIND_UPDATE_ACK,
+            Frame::Quiesce { .. } => KIND_QUIESCE,
+            Frame::QuiesceAck { .. } => KIND_QUIESCE_ACK,
+            Frame::EpochPing { .. } => KIND_EPOCH_PING,
+            Frame::EpochPong { .. } => KIND_EPOCH_PONG,
+            Frame::Status { .. } => KIND_STATUS,
+        }
+    }
+
+    /// Append this frame — length prefix included — to `buf`. The buffer
+    /// is the caller's to reuse across frames.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        put_u32(buf, 0); // length backpatched below
+        buf.push(WIRE_VERSION);
+        buf.push(self.kind());
+        match self {
+            Frame::Hello { proto } => put_u16(buf, *proto),
+            Frame::ShardMap { spans, my_span, live_keys } => {
+                put_u16(buf, *my_span);
+                put_u64(buf, *live_keys);
+                put_u16(buf, spans.len() as u16);
+                for s in spans {
+                    put_u32(buf, s.lo_key);
+                    put_u16(buf, s.endpoints.len() as u16);
+                    for e in &s.endpoints {
+                        put_u16(buf, e.len() as u16);
+                        buf.extend_from_slice(e.as_bytes());
+                    }
+                }
+            }
+            Frame::Lookup { req, keys } => {
+                put_u64(buf, *req);
+                put_u32(buf, keys.len() as u32);
+                for &k in keys {
+                    put_u32(buf, k);
+                }
+            }
+            Frame::Reply { req, results } => {
+                put_u64(buf, *req);
+                put_u32(buf, results.len() as u32);
+                for r in results {
+                    match r {
+                        LookupStatus::Rank(v) => {
+                            buf.push(0);
+                            put_u32(buf, *v);
+                        }
+                        LookupStatus::Shed(shard) => {
+                            buf.push(1);
+                            put_u32(buf, *shard);
+                        }
+                        LookupStatus::Shutdown => {
+                            buf.push(2);
+                            put_u32(buf, 0);
+                        }
+                    }
+                }
+            }
+            Frame::Update { req, ops } => {
+                put_u64(buf, *req);
+                put_u32(buf, ops.len() as u32);
+                for op in ops {
+                    match op {
+                        WireOp::Insert(k) => {
+                            buf.push(0);
+                            put_u32(buf, *k);
+                        }
+                        WireOp::Delete(k) => {
+                            buf.push(1);
+                            put_u32(buf, *k);
+                        }
+                    }
+                }
+            }
+            Frame::UpdateAck { req } | Frame::Quiesce { req } | Frame::EpochPing { req } => {
+                put_u64(buf, *req)
+            }
+            Frame::QuiesceAck { req, live_keys, snapshots }
+            | Frame::EpochPong { req, live_keys, snapshots } => {
+                put_u64(buf, *req);
+                put_u64(buf, *live_keys);
+                put_u64(buf, *snapshots);
+            }
+            Frame::Status { code } => buf.push(match code {
+                StatusCode::ShuttingDown => 0,
+            }),
+        }
+        let len = (buf.len() - start - 4) as u32;
+        debug_assert!(len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+        buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Encode into a fresh buffer (tests and one-off frames; hot paths
+    /// reuse a buffer via [`encode_into`](Self::encode_into)).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Decode one frame **body** (the bytes after the 4-byte length
+    /// prefix). Rejects — without panicking — truncation, trailing
+    /// bytes, unknown versions/kinds/tags, and counts that overrun the
+    /// input.
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let mut c = Cur { b: payload, off: 0 };
+        let version = c.u8()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = c.u8()?;
+        let frame = match kind {
+            KIND_HELLO => Frame::Hello { proto: c.u16()? },
+            KIND_SHARD_MAP => {
+                let my_span = c.u16()?;
+                let live_keys = c.u64()?;
+                let n_spans = c.u16()? as usize;
+                let mut spans = Vec::with_capacity(n_spans.min(c.remaining()));
+                for _ in 0..n_spans {
+                    let lo_key = c.u32()?;
+                    let n_eps = c.u16()? as usize;
+                    let mut endpoints = Vec::with_capacity(n_eps.min(c.remaining()));
+                    for _ in 0..n_eps {
+                        let n = c.u16()? as usize;
+                        let bytes = c.bytes(n)?;
+                        let s = std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+                        endpoints.push(s.to_owned());
+                    }
+                    spans.push(SpanMsg { lo_key, endpoints });
+                }
+                Frame::ShardMap { spans, my_span, live_keys }
+            }
+            KIND_LOOKUP => {
+                let req = c.u64()?;
+                let n = c.u32()? as usize;
+                if n.checked_mul(4).is_none_or(|bytes| bytes > c.remaining()) {
+                    return Err(WireError::Truncated);
+                }
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(c.u32()?);
+                }
+                Frame::Lookup { req, keys }
+            }
+            KIND_REPLY => {
+                let req = c.u64()?;
+                let n = c.u32()? as usize;
+                if n.checked_mul(5).is_none_or(|bytes| bytes > c.remaining()) {
+                    return Err(WireError::Truncated);
+                }
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tag = c.u8()?;
+                    let val = c.u32()?;
+                    results.push(match tag {
+                        0 => LookupStatus::Rank(val),
+                        1 => LookupStatus::Shed(val),
+                        2 => LookupStatus::Shutdown,
+                        t => return Err(WireError::BadTag(t)),
+                    });
+                }
+                Frame::Reply { req, results }
+            }
+            KIND_UPDATE => {
+                let req = c.u64()?;
+                let n = c.u32()? as usize;
+                if n.checked_mul(5).is_none_or(|bytes| bytes > c.remaining()) {
+                    return Err(WireError::Truncated);
+                }
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tag = c.u8()?;
+                    let key = c.u32()?;
+                    ops.push(match tag {
+                        0 => WireOp::Insert(key),
+                        1 => WireOp::Delete(key),
+                        t => return Err(WireError::BadTag(t)),
+                    });
+                }
+                Frame::Update { req, ops }
+            }
+            KIND_UPDATE_ACK => Frame::UpdateAck { req: c.u64()? },
+            KIND_QUIESCE => Frame::Quiesce { req: c.u64()? },
+            KIND_QUIESCE_ACK => {
+                Frame::QuiesceAck { req: c.u64()?, live_keys: c.u64()?, snapshots: c.u64()? }
+            }
+            KIND_EPOCH_PING => Frame::EpochPing { req: c.u64()? },
+            KIND_EPOCH_PONG => {
+                Frame::EpochPong { req: c.u64()?, live_keys: c.u64()?, snapshots: c.u64()? }
+            }
+            KIND_STATUS => Frame::Status {
+                code: match c.u8()? {
+                    0 => StatusCode::ShuttingDown,
+                    t => return Err(WireError::BadTag(t)),
+                },
+            },
+            k => return Err(WireError::BadKind(k)),
+        };
+        if c.remaining() != 0 {
+            return Err(WireError::Trailing(c.remaining()));
+        }
+        Ok(frame)
+    }
+}
+
+/// Validate a frame's 4-byte length prefix, returning the body length.
+pub fn frame_len(prefix: [u8; 4]) -> Result<usize, WireError> {
+    let len = u32::from_le_bytes(prefix);
+    if !(2..=MAX_FRAME_LEN).contains(&len) {
+        return Err(WireError::BadLength(len));
+    }
+    Ok(len as usize)
+}
+
+/// Bounds-checked little-endian cursor.
+struct Cur<'a> {
+    b: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn remaining(&self) -> usize {
+        self.b.len() - self.off
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.b[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = frame.encode();
+        let len = frame_len(bytes[..4].try_into().unwrap()).expect("valid prefix");
+        assert_eq!(len, bytes.len() - 4);
+        assert_eq!(Frame::decode(&bytes[4..]).expect("decodes"), frame);
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        round_trip(Frame::Hello { proto: 1 });
+        round_trip(Frame::ShardMap {
+            spans: vec![
+                SpanMsg { lo_key: 0, endpoints: vec!["a:1".into(), "b:2".into()] },
+                SpanMsg { lo_key: 5000, endpoints: vec!["c:3".into()] },
+            ],
+            my_span: 1,
+            live_keys: 123_456,
+        });
+        round_trip(Frame::Lookup { req: 7, keys: vec![1, 2, u32::MAX] });
+        round_trip(Frame::Reply {
+            req: 7,
+            results: vec![LookupStatus::Rank(9), LookupStatus::Shed(3), LookupStatus::Shutdown],
+        });
+        round_trip(Frame::Update { req: 0, ops: vec![WireOp::Insert(4), WireOp::Delete(9)] });
+        round_trip(Frame::UpdateAck { req: 8 });
+        round_trip(Frame::Quiesce { req: 9 });
+        round_trip(Frame::QuiesceAck { req: 9, live_keys: 10, snapshots: 11 });
+        round_trip(Frame::EpochPing { req: 12 });
+        round_trip(Frame::EpochPong { req: 12, live_keys: 13, snapshots: 14 });
+        round_trip(Frame::Status { code: StatusCode::ShuttingDown });
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = Frame::Lookup { req: 1, keys: vec![1, 2, 3, 4] }.encode();
+        for cut in 4..bytes.len() {
+            assert!(Frame::decode(&bytes[4..cut]).is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn oversized_count_cannot_drive_allocation() {
+        // A Lookup claiming u32::MAX keys with a 4-byte body: the count
+        // guard must reject it before any Vec::with_capacity.
+        let mut bytes = vec![WIRE_VERSION, KIND_LOOKUP];
+        bytes.extend_from_slice(&77u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(Frame::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn wrong_version_and_kind_rejected() {
+        let mut bytes = Frame::Hello { proto: 1 }.encode();
+        bytes[4] = 99;
+        assert_eq!(Frame::decode(&bytes[4..]), Err(WireError::BadVersion(99)));
+        let mut bytes = Frame::Hello { proto: 1 }.encode();
+        bytes[5] = 200;
+        assert_eq!(Frame::decode(&bytes[4..]), Err(WireError::BadKind(200)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Frame::EpochPing { req: 3 }.encode();
+        bytes.push(0xFF);
+        assert_eq!(Frame::decode(&bytes[4..]), Err(WireError::Trailing(1)));
+    }
+
+    #[test]
+    fn length_prefix_bounds() {
+        assert!(frame_len(1u32.to_le_bytes()).is_err(), "too short for version+kind");
+        assert!(frame_len((MAX_FRAME_LEN + 1).to_le_bytes()).is_err());
+        assert_eq!(frame_len(2u32.to_le_bytes()), Ok(2));
+    }
+}

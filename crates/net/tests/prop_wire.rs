@@ -1,0 +1,116 @@
+//! Property tests for the wire protocol: every frame kind round-trips
+//! through encode/decode bit-exactly, and *no* byte-level corruption —
+//! truncation, mutation, garbage — can make the decoder panic or
+//! allocate unboundedly. The decoder is the one part of the system that
+//! reads bytes written by somebody else; it must be total.
+
+use dini_net::wire::{frame_len, Frame, LookupStatus, SpanMsg, StatusCode, WireOp, MAX_FRAME_LEN};
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+
+/// Short printable strings for endpoint addresses.
+fn addr() -> impl Strategy<Value = String> {
+    prop_vec(0u8..26, 1..12)
+        .prop_map(|bytes| bytes.into_iter().map(|b| (b'a' + b) as char).collect::<String>())
+}
+
+fn span_msg() -> impl Strategy<Value = SpanMsg> {
+    (any::<u32>(), prop_vec(addr(), 1..4))
+        .prop_map(|(lo_key, endpoints)| SpanMsg { lo_key, endpoints })
+}
+
+fn lookup_status() -> impl Strategy<Value = LookupStatus> {
+    prop_oneof![
+        any::<u32>().prop_map(LookupStatus::Rank),
+        any::<u32>().prop_map(LookupStatus::Shed),
+        Just(LookupStatus::Shutdown),
+    ]
+}
+
+fn wire_op() -> impl Strategy<Value = WireOp> {
+    prop_oneof![any::<u32>().prop_map(WireOp::Insert), any::<u32>().prop_map(WireOp::Delete)]
+}
+
+/// Every frame kind, with arbitrary payloads.
+fn frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        any::<u16>().prop_map(|proto| Frame::Hello { proto }),
+        (prop_vec(span_msg(), 1..5), any::<u16>(), any::<u64>())
+            .prop_map(|(spans, my_span, live_keys)| Frame::ShardMap { spans, my_span, live_keys }),
+        (any::<u64>(), prop_vec(any::<u32>(), 0..300))
+            .prop_map(|(req, keys)| Frame::Lookup { req, keys }),
+        (any::<u64>(), prop_vec(lookup_status(), 0..300))
+            .prop_map(|(req, results)| Frame::Reply { req, results }),
+        (any::<u64>(), prop_vec(wire_op(), 0..100))
+            .prop_map(|(req, ops)| Frame::Update { req, ops }),
+        any::<u64>().prop_map(|req| Frame::UpdateAck { req }),
+        any::<u64>().prop_map(|req| Frame::Quiesce { req }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(req, live_keys, snapshots)| {
+            Frame::QuiesceAck { req, live_keys, snapshots }
+        }),
+        any::<u64>().prop_map(|req| Frame::EpochPing { req }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(req, live_keys, snapshots)| {
+            Frame::EpochPong { req, live_keys, snapshots }
+        }),
+        Just(Frame::Status { code: StatusCode::ShuttingDown }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_frame_round_trips_bit_exactly(f in frame()) {
+        let bytes = f.encode();
+        let len = frame_len(bytes[..4].try_into().unwrap()).expect("emitted prefix is valid");
+        prop_assert_eq!(len, bytes.len() - 4, "length prefix covers the body exactly");
+        prop_assert!(len as u32 <= MAX_FRAME_LEN);
+        let decoded = Frame::decode(&bytes[4..]).expect("own encoding must decode");
+        prop_assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_panicking(f in frame(), frac in 0u32..1000) {
+        let bytes = f.encode();
+        let body = &bytes[4..];
+        // Cut strictly inside the body (an empty prefix is also covered).
+        let cut = (frac as usize * body.len()) / 1000;
+        prop_assume!(cut < body.len());
+        prop_assert!(
+            Frame::decode(&body[..cut]).is_err(),
+            "a proper prefix of a frame body must never decode"
+        );
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(f in frame(), pos in any::<u32>(), bit in 0u32..8) {
+        let bytes = f.encode();
+        let mut body = bytes[4..].to_vec();
+        let pos = pos as usize % body.len();
+        body[pos] ^= 1 << bit;
+        // Either it still decodes (the flipped bit landed in a payload)
+        // or it errors; the call returning at all is the property.
+        let _ = Frame::decode(&body);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop_vec(any::<u8>(), 0..600)) {
+        let _ = Frame::decode(&bytes);
+        if bytes.len() >= 4 {
+            let _ = frame_len(bytes[..4].try_into().unwrap());
+        }
+    }
+
+    #[test]
+    fn reply_statuses_preserve_order_and_payloads(statuses in prop_vec(lookup_status(), 0..600)) {
+        let f = Frame::Reply { req: 7, results: statuses.clone() };
+        let bytes = f.encode();
+        match Frame::decode(&bytes[4..]).expect("round trip") {
+            Frame::Reply { req, results } => {
+                prop_assert_eq!(req, 7);
+                prop_assert_eq!(results, statuses);
+            }
+            other => prop_assert!(false, "wrong kind back: {:?}", other),
+        }
+    }
+}

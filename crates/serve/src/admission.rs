@@ -95,7 +95,11 @@ impl AdmissionQueue {
     /// `shed` — the request was already admitted once, at the door.
     /// Returns the request on a full (`blocking == false`) or
     /// disconnected queue so the caller can try the next survivor.
-    pub(crate) fn resubmit(&self, req: Request, blocking: bool) -> Result<(), Request> {
+    /// Public because `dini-net`'s `RemoteClient` runs the same
+    /// protocol one level up: its per-endpoint submit queues *are*
+    /// `AdmissionQueue`s, and a dead endpoint re-homes its backlog
+    /// through its replica endpoints exactly like a crashed replica.
+    pub fn resubmit(&self, req: Request, blocking: bool) -> Result<(), Request> {
         if blocking {
             match self.clock.send(&self.tx, req) {
                 Ok(()) => {
@@ -116,8 +120,10 @@ impl AdmissionQueue {
     }
 
     /// The dispatcher answered (or re-routed, or dropped) `n` admitted
-    /// requests: release them from the depth gauge.
-    pub(crate) fn complete(&self, n: usize) {
+    /// requests: release them from the depth gauge. (Public for
+    /// transport layers that drain the queue themselves — see
+    /// [`resubmit`](Self::resubmit).)
+    pub fn complete(&self, n: usize) {
         self.depth.fetch_sub(n as u64, Ordering::Relaxed);
     }
 
@@ -143,8 +149,9 @@ impl AdmissionQueue {
     /// matters on the failover path: the dispatcher clears the flag
     /// *before* re-routing its backlog, so a sibling that receives a
     /// re-routed request can never bounce it back here believing the
-    /// replica alive.
-    pub(crate) fn mark_dead(&self) {
+    /// replica alive. (Public for transport layers running the same
+    /// protocol over remote endpoints.)
+    pub fn mark_dead(&self) {
         self.alive.store(false, Ordering::SeqCst);
     }
 

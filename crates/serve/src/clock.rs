@@ -256,6 +256,13 @@ impl<T> ClockJoinHandle<T> {
         }
         self.inner.join()
     }
+
+    /// Has the thread already finished? Non-blocking; lets long-lived
+    /// owners (e.g. a transport acceptor collecting per-connection
+    /// threads) prune exited handles instead of accumulating them.
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
 }
 
 const NOT_REGISTERED: usize = usize::MAX;

@@ -345,6 +345,14 @@ impl IndexServer {
         self.router.n_shards()
     }
 
+    /// The clock every server thread waits on (virtual under
+    /// `dini-simtest`). Transport layers hosting this server spawn their
+    /// acceptor/connection threads on the same clock so one scheduler
+    /// sees every wait.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
     /// Number of replicas serving each shard.
     pub fn replicas_per_shard(&self) -> usize {
         self.selector.n_replicas()

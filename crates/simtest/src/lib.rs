@@ -64,6 +64,10 @@
 
 #![warn(missing_docs)]
 
+pub mod net;
+
+pub use net::{run_net_scenario, run_net_scenario_reproducibly, NetReport, NetScenario};
+
 use dini_serve::{
     Clock, IndexServer, PendingLookup, ServeConfig, ServeError, ServeFaultPlan, ServerHandle,
     SimClock,

@@ -1,0 +1,502 @@
+//! Network-fault scenarios: whole multi-process deployments — several
+//! [`NetServer`]s, a [`RemoteClient`], and the wire between them — on
+//! seeded deterministic virtual time.
+//!
+//! The transport runs over [`ChanNet`], whose frames route through
+//! `dini-cluster`'s seeded fate machinery: per-link fixed latency,
+//! jitter (reordering), drops, duplicates, and link severance at an
+//! exact virtual instant. Because every thread (server dispatchers,
+//! acceptors, connection readers/responders, client workers, probe
+//! clients) waits through the same [`SimClock`], an entire cluster run
+//! folds into one event-trace digest and replays bit-for-bit.
+//!
+//! Always-on oracles, the network edition of [`crate::run_scenario`]'s:
+//!
+//! 1. **Reply completeness** — every issued lookup resolves exactly
+//!    once (rank, shed, or shutdown); a lost reply deadlocks the sim
+//!    and panics with a thread dump instead of hanging. Retries and
+//!    duplicated frames must not double-resolve anything — the
+//!    in-flight map drops duplicate replies, and the generation-tagged
+//!    reply cells make a double fill impossible.
+//! 2. **Answer exactness** — with a static key set every rank is
+//!    checked against `keys.partition_point` at reap time, drops,
+//!    jitter, and failover notwithstanding; with churn, a post-quiesce
+//!    sweep checks against a replayed `BTreeSet` mirror (epoch
+//!    consistency across processes: cross-span base ranks must be
+//!    refreshed by the quiesce acks).
+//! 3. **Bounded tails** — in virtual time the client-observed latency
+//!    is exactly coalescing + wire + injected delays, so jitter
+//!    scenarios assert a tight end-to-end bound.
+//! 4. **Failover** — a severed endpoint link (the network view of an
+//!    endpoint crash) must degrade capacity, never correctness:
+//!    surviving replica endpoints answer everything.
+
+use dini_cluster::{FaultPlan, LinkPlan};
+use dini_net::transport::ChanNet;
+use dini_net::{ClientConfig, NetHandle, NetServer, NetServerConfig, RemoteClient, Span, Topology};
+use dini_serve::clock::dur_ns;
+use dini_serve::{Clock, Nanos, ServeConfig, ServeError, SimClock};
+use dini_workload::{
+    gen_sorted_unique_keys, ArrivalGen, ArrivalProcess, ChurnGen, KeyDistribution, KeyGen, Op,
+    OpMix,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Salt decorrelating churn from key/arrival streams (same constant
+/// family as the in-process scenarios).
+const NET_CHURN_SALT: u64 = 0x5EA5_1DE5 ^ 0x9E37_79B9_7F4A_7C15;
+
+/// One deterministic multi-process scenario.
+#[derive(Debug, Clone)]
+pub struct NetScenario {
+    /// Name (labels panics and reports).
+    pub name: &'static str,
+    /// Initial sorted key count (split evenly across spans).
+    pub n_keys: usize,
+    /// Spans (server *processes* along the key space).
+    pub spans: usize,
+    /// Replica endpoints per span (independent full copies; the client
+    /// fails over between them).
+    pub endpoints_per_span: usize,
+    /// Shards inside each server process.
+    pub shards_per_server: usize,
+    /// Server-side coalescing window.
+    pub server_max_delay: Duration,
+    /// Client-side coalescing window.
+    pub client_max_delay: Duration,
+    /// Client resend timeout for unanswered lookup batches.
+    pub retry_timeout: Duration,
+    /// Client retry budget before declaring an endpoint dead.
+    pub max_retries: u32,
+    /// Open-loop probe clients.
+    pub clients: usize,
+    /// Arrivals issued per client.
+    pub lookups_per_client: usize,
+    /// Per-client arrival process (virtual time).
+    pub arrival: ArrivalProcess,
+    /// Churn operations fed through the client (0 = static keys,
+    /// enabling per-reply exact verification). Requires jitter-free
+    /// links: update/quiesce ordering rides frame FIFO.
+    pub churn_ops: usize,
+    /// Virtual pause between churn operations.
+    pub churn_gap: Duration,
+    /// Fixed one-way link latency (all links).
+    pub link_latency: Duration,
+    /// Per-frame drop probability (all links).
+    pub drop_prob: f64,
+    /// Per-frame duplicate probability (all links).
+    pub duplicate_prob: f64,
+    /// Uniform per-frame delivery jitter in `[0, max)` (all links;
+    /// reorders frames).
+    pub jitter_max: Duration,
+    /// Sever the link to these flat endpoint indices (span-major) at a
+    /// virtual instant — the network view of an endpoint crash.
+    pub link_down: Vec<(usize, Duration)>,
+    /// Upper bound on the worst client-observed latency (reap-time
+    /// measured; the probe reaps on a 100 µs cadence, already included
+    /// in the bound you pass). `None` disables (e.g. under drops, where
+    /// tails legitimately include retry timeouts).
+    pub latency_bound: Option<Duration>,
+}
+
+impl NetScenario {
+    /// A small, fast, fault-free two-span baseline; override per test.
+    pub fn base(name: &'static str) -> Self {
+        Self {
+            name,
+            n_keys: 8_192,
+            spans: 2,
+            endpoints_per_span: 1,
+            shards_per_server: 2,
+            server_max_delay: Duration::from_micros(200),
+            client_max_delay: Duration::from_micros(100),
+            retry_timeout: Duration::from_millis(5),
+            max_retries: 40,
+            clients: 2,
+            lookups_per_client: 300,
+            arrival: ArrivalProcess::poisson_rate(20_000.0),
+            churn_ops: 0,
+            churn_gap: Duration::from_micros(50),
+            link_latency: Duration::from_micros(50),
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            jitter_max: Duration::ZERO,
+            link_down: Vec::new(),
+            latency_bound: None,
+        }
+    }
+}
+
+/// Deterministic outcome of one net scenario run; two same-seed runs
+/// compare equal, digest included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetReport {
+    /// FNV-1a fold of every scheduling event.
+    pub digest: u64,
+    /// Scheduling events folded into `digest`.
+    pub events: u64,
+    /// Virtual time the whole deployment consumed.
+    pub virtual_ns: u64,
+    /// Lookups issued by all probe clients.
+    pub issued: u64,
+    /// Lookups answered with a (verified) rank.
+    pub ok: u64,
+    /// Lookups shed (client- or server-side admission).
+    pub shed: u64,
+    /// Lookups resolved `ShuttingDown`.
+    pub shutdown: u64,
+    /// Lookup batches the client resent after a reply timeout.
+    pub retries: u64,
+    /// Lookups re-homed from a dead endpoint to a surviving replica.
+    pub rerouted: u64,
+    /// Worst client-observed latency (issue → reap), virtual ns.
+    pub max_client_latency_ns: u64,
+    /// Exact-rank assertions performed.
+    pub oracle_checks: u64,
+    /// Queries served per server process (span-major).
+    pub served_per_server: Vec<u64>,
+    /// Churn operations that mutated some server's index.
+    pub updates_applied: u64,
+}
+
+struct Tally {
+    issued: u64,
+    ok: u64,
+    shed: u64,
+    shutdown: u64,
+    checks: u64,
+    max_latency_ns: Nanos,
+}
+
+/// Longest a probe lets a completed reply sit unreaped (bounds the
+/// latency-measurement error, exactly like `loadgen`'s open loop).
+const REAP_CADENCE: Duration = Duration::from_micros(100);
+
+/// Open-loop probe over the wire: seeded arrivals, aggressive reaping,
+/// optional per-reply exact verification against the static key set.
+fn net_probe(
+    h: NetHandle,
+    keys: Arc<Vec<u32>>,
+    seed: u64,
+    n_lookups: usize,
+    arrival: ArrivalProcess,
+    verify: bool,
+) -> Tally {
+    let clock = h.clock().clone();
+    let mut keygen = KeyGen::new(seed, KeyDistribution::Uniform);
+    let mut arrivals = ArrivalGen::new(seed ^ 0x9E37_79B9, arrival);
+    let mut t = Tally { issued: 0, ok: 0, shed: 0, shutdown: 0, checks: 0, max_latency_ns: 0 };
+    let mut in_flight: Vec<(u32, Nanos, dini_net::PendingNetLookup)> = Vec::new();
+    let start = clock.now();
+    let mut at = 0u64;
+
+    let reap = |in_flight: &mut Vec<(u32, Nanos, dini_net::PendingNetLookup)>,
+                t: &mut Tally,
+                clock: &Clock| {
+        in_flight.retain(|(key, issued, pending)| match pending.poll() {
+            Some(Ok(rank)) => {
+                t.ok += 1;
+                t.max_latency_ns = t.max_latency_ns.max(clock.now().saturating_sub(*issued));
+                if verify {
+                    let expect = keys.partition_point(|&k| k <= *key) as u32;
+                    assert_eq!(rank, expect, "rank({key}) wrong over the simulated wire");
+                    t.checks += 1;
+                }
+                false
+            }
+            Some(Err(ServeError::ShuttingDown)) => {
+                t.shutdown += 1;
+                false
+            }
+            Some(Err(ServeError::Overloaded { .. })) => {
+                t.shed += 1;
+                false
+            }
+            None => true,
+        });
+    };
+
+    for _ in 0..n_lookups {
+        at = arrivals.next_at_ns(at);
+        let target = start.saturating_add(at);
+        loop {
+            reap(&mut in_flight, &mut t, &clock);
+            let now = clock.now();
+            if now >= target {
+                break;
+            }
+            let remaining = target - now;
+            let nap =
+                if in_flight.is_empty() { remaining } else { remaining.min(dur_ns(REAP_CADENCE)) };
+            clock.sleep(Duration::from_nanos(nap));
+        }
+        t.issued += 1;
+        let key = keygen.next_key();
+        match h.begin_lookup(key) {
+            Ok(pending) => in_flight.push((key, clock.now(), pending)),
+            Err(ServeError::Overloaded { .. }) => t.shed += 1,
+            Err(ServeError::ShuttingDown) => t.shutdown += 1,
+        }
+    }
+    // Drain: keep reaping on the cadence so tail latencies stay honest.
+    while !in_flight.is_empty() {
+        reap(&mut in_flight, &mut t, &clock);
+        if !in_flight.is_empty() {
+            clock.sleep(REAP_CADENCE);
+        }
+    }
+    t
+}
+
+fn churn_gen(seed: u64) -> ChurnGen {
+    ChurnGen::new(
+        seed ^ NET_CHURN_SALT,
+        KeyDistribution::Uniform,
+        OpMix { query: 0.0, insert: 0.6, delete: 0.4 },
+    )
+}
+
+fn churn_mirror(sc: &NetScenario, seed: u64, initial: &[u32]) -> BTreeSet<u32> {
+    let mut set: BTreeSet<u32> = initial.iter().copied().collect();
+    let mut gen = churn_gen(seed);
+    for _ in 0..sc.churn_ops {
+        match gen.next_op() {
+            Op::Insert(k) => {
+                set.insert(k);
+            }
+            Op::Delete(k) => {
+                set.remove(&k);
+            }
+            Op::Query(_) => {}
+        }
+    }
+    set
+}
+
+/// Spans whose every endpoint link is severed by the plan (excluded
+/// from post-run probes; a span with one live endpoint keeps serving).
+fn fully_severed_spans(sc: &NetScenario) -> Vec<usize> {
+    (0..sc.spans)
+        .filter(|&s| {
+            (0..sc.endpoints_per_span).all(|e| {
+                let flat = s * sc.endpoints_per_span + e;
+                sc.link_down.iter().any(|&(ep, _)| ep == flat)
+            })
+        })
+        .collect()
+}
+
+/// Run `sc` once under `seed`, enforce its oracles, and return the
+/// deterministic [`NetReport`].
+pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
+    let sim = SimClock::new();
+    let _main = sim.register_main();
+    let clock = Clock::sim(&sim);
+    let net = ChanNet::new(clock.clone());
+
+    let keys = Arc::new(gen_sorted_unique_keys(sc.n_keys, seed));
+
+    // Topology: spans of near-equal population, replica endpoints named
+    // span-major.
+    let per = sc.n_keys / sc.spans;
+    let spans: Vec<Span> = (0..sc.spans)
+        .map(|s| Span {
+            lo_key: if s == 0 { 0 } else { keys[s * per] },
+            endpoints: (0..sc.endpoints_per_span).map(|e| format!("s{s}e{e}")).collect(),
+        })
+        .collect();
+    let topology = Topology { spans };
+    let parts = topology.split(&keys);
+
+    // Link plans: every endpoint gets the scenario's fault envelope,
+    // decorrelated by endpoint index; severed links get their instant.
+    for s in 0..sc.spans {
+        for e in 0..sc.endpoints_per_span {
+            let flat = s * sc.endpoints_per_span + e;
+            let mut fault = FaultPlan::none();
+            fault.seed = seed ^ (flat as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+            fault.drop_prob = sc.drop_prob;
+            fault.duplicate_prob = sc.duplicate_prob;
+            fault.jitter_max_ns = dur_ns(sc.jitter_max) as f64;
+            let mut plan =
+                LinkPlan::reliable().with_latency_ns(dur_ns(sc.link_latency)).with_faults(fault);
+            if let Some(&(_, at)) = sc.link_down.iter().find(|&&(ep, _)| ep == flat) {
+                plan = plan.down_at(dur_ns(at));
+            }
+            net.set_link_plan(&format!("s{s}e{e}"), plan);
+        }
+    }
+
+    // Server processes (sim-registered threads throughout).
+    let mut servers = Vec::new();
+    for (s, part) in parts.iter().enumerate() {
+        for e in 0..sc.endpoints_per_span {
+            let mut serve = ServeConfig::new(sc.shards_per_server);
+            serve.slaves_per_shard = 1;
+            serve.max_batch = 64;
+            serve.max_delay = sc.server_max_delay;
+            serve.clock = clock.clone();
+            let acceptor = net.listen(&format!("s{s}e{e}"));
+            servers.push(NetServer::start(
+                Box::new(acceptor),
+                part,
+                NetServerConfig::new(serve, topology.clone(), s),
+            ));
+        }
+    }
+
+    // The client (bootstraps off span 0, endpoint 0).
+    let ccfg = ClientConfig {
+        clock: clock.clone(),
+        max_batch: 64,
+        max_delay: sc.client_max_delay,
+        retry_timeout: sc.retry_timeout,
+        max_retries: sc.max_retries,
+        ctrl_timeout: Duration::from_millis(20),
+        handshake_timeout: Duration::from_millis(20),
+        ..ClientConfig::default()
+    };
+    let client = RemoteClient::connect(net.dialer(), "s0e0", ccfg)
+        .unwrap_or_else(|e| panic!("[{}] connect failed: {e}", sc.name));
+    let handle = client.handle();
+
+    // Concurrent churn through the wire (clean-link scenarios only).
+    let churn_thread = (sc.churn_ops > 0).then(|| {
+        let h = client.handle();
+        let clock2 = clock.clone();
+        let mut gen = churn_gen(seed);
+        let (ops, gap) = (sc.churn_ops, sc.churn_gap);
+        clock.spawn("net-churn", move || {
+            for _ in 0..ops {
+                clock2.sleep(gap);
+                if h.update(gen.next_op()).is_err() {
+                    break;
+                }
+            }
+        })
+    });
+
+    let verify_during = sc.churn_ops == 0;
+    let probes: Vec<_> = (0..sc.clients)
+        .map(|id| {
+            let h = handle.clone();
+            let keys = keys.clone();
+            let (n, arrival) = (sc.lookups_per_client, sc.arrival);
+            let seed_c = seed.wrapping_add(1 + id as u64);
+            clock.spawn(&format!("net-probe-{id}"), move || {
+                net_probe(h, keys, seed_c, n, arrival, verify_during)
+            })
+        })
+        .collect();
+
+    let mut issued = 0u64;
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    let mut shutdown = 0u64;
+    let mut oracle_checks = 0u64;
+    let mut max_client_latency_ns = 0u64;
+    for p in probes {
+        let t = p.join().expect("net probe panicked");
+        issued += t.issued;
+        ok += t.ok;
+        shed += t.shed;
+        shutdown += t.shutdown;
+        oracle_checks += t.checks;
+        max_client_latency_ns = max_client_latency_ns.max(t.max_latency_ns);
+    }
+    if let Some(t) = churn_thread {
+        t.join().expect("net churn panicked");
+    }
+
+    // Oracle 1: reply completeness — exactly one resolution per lookup,
+    // drops, duplicates, retries, and failover notwithstanding.
+    assert_eq!(
+        issued,
+        ok + shed + shutdown,
+        "[{}] lookups unaccounted for: issued {issued}, ok {ok}, shed {shed}, \
+         shutdown {shutdown}",
+        sc.name
+    );
+
+    // Oracle 2 (churn): post-quiesce sweep against the mirror — epoch
+    // consistency across processes (base ranks refreshed by the acks).
+    let severed = fully_severed_spans(sc);
+    if sc.churn_ops > 0 {
+        handle.quiesce().unwrap_or_else(|e| panic!("[{}] quiesce failed: {e:?}", sc.name));
+        let mirror = churn_mirror(sc, seed, &keys);
+        let mut probe_key = 0x9E37u32;
+        for _ in 0..256 {
+            probe_key = probe_key.wrapping_mul(2_654_435_761).wrapping_add(12_345);
+            if severed.contains(&handle.span_of(probe_key)) {
+                continue;
+            }
+            let expect = mirror.range(..=probe_key).count() as u32;
+            assert_eq!(
+                handle.lookup(probe_key),
+                Ok(expect),
+                "[{}] post-quiesce rank({probe_key}) diverged from the churn mirror",
+                sc.name
+            );
+            oracle_checks += 1;
+        }
+        assert_eq!(
+            handle.live_keys(),
+            mirror.len() as u64,
+            "[{}] live-key accounting diverged from the mirror",
+            sc.name
+        );
+    }
+
+    // Oracle 3: bounded virtual-time tails.
+    if let Some(bound) = sc.latency_bound {
+        assert!(
+            max_client_latency_ns <= dur_ns(bound),
+            "[{}] worst client-observed latency {max_client_latency_ns} ns exceeds the \
+             virtual-time bound {} ns",
+            sc.name,
+            dur_ns(bound)
+        );
+    }
+
+    let stats = client.stats();
+    let served_per_server: Vec<u64> = servers.iter().map(|s| s.server().stats().served).collect();
+    let updates_applied: u64 = servers.iter().map(|s| s.server().stats().updates_applied).sum();
+
+    let report = NetReport {
+        digest: 0,
+        events: 0,
+        virtual_ns: 0,
+        issued,
+        ok,
+        shed,
+        shutdown,
+        retries: stats.retries,
+        rerouted: stats.rerouted,
+        max_client_latency_ns,
+        oracle_checks,
+        served_per_server,
+        updates_applied,
+    };
+    drop(handle);
+    drop(client);
+    for s in servers {
+        s.shutdown();
+    }
+    let (digest, events) = sim.digest();
+    NetReport { digest, events, virtual_ns: sim.now(), ..report }
+}
+
+/// Run twice under the same seed and require identical reports —
+/// totals *and* event-trace digest (the reproducibility contract).
+pub fn run_net_scenario_reproducibly(sc: &NetScenario, seed: u64) -> NetReport {
+    let a = run_net_scenario(sc, seed);
+    let b = run_net_scenario(sc, seed);
+    assert_eq!(
+        a, b,
+        "[{}] seed {seed} did not reproduce: wall-clock leaked into the simulated network",
+        sc.name
+    );
+    a
+}

@@ -1,0 +1,134 @@
+//! Seeded network-fault scenarios over the simulated transport: whole
+//! multi-process deployments (NetServers × spans × replica endpoints, a
+//! RemoteClient, lossy/jittered/severable links) on deterministic
+//! virtual time, swept across the `DINI_SIMTEST_SEEDS` matrix with
+//! every run executed twice to pin the event-trace digest.
+
+use dini_simtest::{run_net_scenario_reproducibly, seeds_from_env, NetScenario};
+use std::time::Duration;
+
+#[test]
+fn clean_two_span_deployment_is_exact_and_bounded() {
+    // Baseline: two server processes, no faults, fixed 50 µs links.
+    // Every rank is verified at reap time, and the end-to-end tail is
+    // bounded by coalescing (client 100 µs + server 200 µs) + two link
+    // crossings + the probe's 100 µs reap cadence.
+    let mut sc = NetScenario::base("net-clean-two-spans");
+    sc.latency_bound = Some(Duration::from_micros(700));
+    for seed in seeds_from_env() {
+        let r = run_net_scenario_reproducibly(&sc, seed);
+        assert_eq!(r.issued, 2 * 300);
+        assert_eq!(r.ok, r.issued, "fault-free: every lookup answers");
+        assert_eq!((r.shed, r.shutdown, r.retries, r.rerouted), (0, 0, 0, 0));
+        assert_eq!(r.oracle_checks, r.ok, "every rank verified");
+        assert!(r.served_per_server.iter().all(|&s| s > 0), "both spans served traffic");
+        assert!(r.virtual_ns > 0);
+    }
+}
+
+#[test]
+fn frame_drops_with_retry_lose_and_duplicate_nothing() {
+    // 5 % of frames vanish and 5 % are delivered twice, in both
+    // directions. The client's retry (same request id) recovers the
+    // losses; the in-flight map and generation-tagged reply cells drop
+    // the duplicates. Exactly one resolution per lookup, every rank
+    // exact.
+    let mut sc = NetScenario::base("net-frame-drop-retry");
+    sc.spans = 1;
+    sc.shards_per_server = 2;
+    sc.link_latency = Duration::from_micros(20);
+    sc.drop_prob = 0.05;
+    sc.duplicate_prob = 0.05;
+    sc.retry_timeout = Duration::from_millis(2);
+    sc.max_retries = 40;
+    sc.latency_bound = None; // tails legitimately include retry timeouts
+    let mut total_retries = 0u64;
+    for seed in seeds_from_env() {
+        let r = run_net_scenario_reproducibly(&sc, seed);
+        assert_eq!(r.ok, r.issued, "drops must be repaired, not surfaced: {r:?}");
+        assert_eq!((r.shed, r.shutdown), (0, 0));
+        assert_eq!(r.oracle_checks, r.ok, "every recovered rank verified exact");
+        total_retries += r.retries;
+    }
+    assert!(total_retries > 0, "a 5% drop rate must force at least one retry across the matrix");
+}
+
+#[test]
+fn endpoint_crash_fails_over_to_replica_endpoint() {
+    // One span, two replica endpoints. Endpoint 0's link is severed
+    // mid-run (the network view of a server crash): the client re-homes
+    // everything in flight and keeps answering through endpoint 1 —
+    // degraded capacity, never errors, never a wrong rank.
+    let mut sc = NetScenario::base("net-endpoint-crash-failover");
+    sc.spans = 1;
+    sc.endpoints_per_span = 2;
+    sc.shards_per_server = 2;
+    sc.lookups_per_client = 400;
+    sc.link_down = vec![(0, Duration::from_millis(3))];
+    sc.latency_bound = None; // failover re-homing can stretch a tail
+    let mut total_rerouted = 0u64;
+    for seed in seeds_from_env() {
+        let r = run_net_scenario_reproducibly(&sc, seed);
+        assert_eq!(r.ok, r.issued, "failover must hide the crash: {r:?}");
+        assert_eq!((r.shed, r.shutdown), (0, 0), "a surviving replica means no errors");
+        assert_eq!(r.oracle_checks, r.ok);
+        assert!(
+            r.served_per_server[1] > 0,
+            "the surviving endpoint must carry traffic: {:?}",
+            r.served_per_server
+        );
+        total_rerouted += r.rerouted;
+    }
+    assert!(
+        total_rerouted > 0,
+        "a mid-run link severance must re-home in-flight lookups somewhere in the matrix"
+    );
+}
+
+#[test]
+fn jittered_links_keep_virtual_time_tails_bounded() {
+    // Per-frame jitter up to 300 µs (which also reorders frames on the
+    // wire). Request-id matching absorbs the reordering, and the worst
+    // client-observed latency stays under coalescing + two worst-case
+    // link crossings + the reap cadence.
+    let mut sc = NetScenario::base("net-jittered-links");
+    sc.spans = 1;
+    sc.shards_per_server = 2;
+    sc.link_latency = Duration::from_micros(20);
+    sc.jitter_max = Duration::from_micros(300);
+    // client 100 + server 200 + 2×(20+300) + reap 100 = 1040 µs; margin.
+    sc.latency_bound = Some(Duration::from_micros(1200));
+    for seed in seeds_from_env() {
+        let r = run_net_scenario_reproducibly(&sc, seed);
+        assert_eq!(r.ok, r.issued, "jitter delays, it must not lose: {r:?}");
+        assert_eq!((r.shed, r.shutdown, r.retries), (0, 0, 0));
+        assert_eq!(r.oracle_checks, r.ok);
+    }
+}
+
+#[test]
+fn churn_stays_epoch_consistent_across_processes() {
+    // Two server processes, churn streamed through the wire to the span
+    // owning each key. After a quiesce round trip the client's
+    // cross-span base ranks must recompose exactly: a post-quiesce
+    // sweep against the BTreeSet mirror, plus live-key accounting.
+    let mut sc = NetScenario::base("net-epoch-consistency");
+    sc.churn_ops = 300;
+    sc.churn_gap = Duration::from_micros(40);
+    sc.latency_bound = None; // server-side quiesce stalls its connection
+    for seed in seeds_from_env() {
+        let r = run_net_scenario_reproducibly(&sc, seed);
+        assert_eq!(r.issued, r.ok + r.shed + r.shutdown);
+        assert_eq!((r.shed, r.shutdown), (0, 0));
+        assert!(r.updates_applied > 0, "churn must mutate the indexes");
+        assert!(r.oracle_checks >= 200, "the post-quiesce sweep must actually probe");
+    }
+}
+
+#[test]
+fn distinct_seeds_produce_distinct_schedules() {
+    let sc = NetScenario::base("net-seeds-differ");
+    let a = dini_simtest::run_net_scenario(&sc, 1);
+    let b = dini_simtest::run_net_scenario(&sc, 2);
+    assert_ne!(a.digest, b.digest, "different seeds must interleave the cluster differently");
+}

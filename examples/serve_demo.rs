@@ -6,9 +6,18 @@
 //! ```text
 //! cargo run --release --example serve_demo
 //! ```
+//!
+//! Set `DINI_DEMO_TCP=1` to additionally run the *same* closed-loop
+//! Zipf load through `dini-net`'s `RemoteClient` over TCP loopback
+//! (server and client in this process, every lookup crossing the wire),
+//! printing the same p50/p99/p999 summary line so in-process vs TCP is
+//! eyeball-comparable.
 
+use dini::net::transport::{TcpAcceptorT, TcpDialer};
+use dini::net::{run_net_load, Acceptor, ClientConfig, NetServerConfig, Topology};
 use dini::serve::{IndexServer, LoadMode, Op, ServeConfig};
 use dini::workload::{ChurnGen, KeyDistribution, OpMix};
+use dini::{NetServer, RemoteClient};
 use dini_serve::run_load;
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -104,4 +113,60 @@ fn main() {
     }
     println!("\noracle check: {checked} ranks match the single-threaded BTreeSet replay ✓");
     println!("live keys: {} (oracle {})", server.len(), oracle.len());
+
+    // Opt-in: the same closed-loop load, but every lookup crosses a real
+    // TCP socket through dini-net's RemoteClient (client-side coalescing
+    // packs concurrent callers' keys into Lookup frames; the server's
+    // batcher coalesces them again with any local traffic).
+    if std::env::var_os("DINI_DEMO_TCP").is_some_and(|v| v != "0" && !v.is_empty()) {
+        drop(server); // free the cores; the TCP run builds its own stack
+        tcp_comparison(&keys, clients, lookups_per_client);
+    }
+}
+
+/// Closed-loop Zipf clients over a `RemoteClient`, reported in the same
+/// shape (and summary line) as the in-process `run_load` above.
+fn tcp_comparison(keys: &[u32], clients: usize, lookups_per_client: usize) {
+    let shards =
+        std::thread::available_parallelism().map(|n| (n.get() / 2).clamp(2, 4)).unwrap_or(2);
+    let mut cfg = ServeConfig::new(shards);
+    cfg.replicas_per_shard = 2;
+    cfg.slaves_per_shard = 2;
+    cfg.max_batch = 256;
+    cfg.max_delay = Duration::from_micros(50);
+
+    let acceptor = TcpAcceptorT::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = acceptor.addr();
+    let net_server = NetServer::start(
+        Box::new(acceptor),
+        keys,
+        NetServerConfig::new(cfg, Topology::single(vec![addr.clone()]), 0),
+    );
+    let client = RemoteClient::connect(Box::new(TcpDialer), &addr, ClientConfig::default())
+        .expect("connect over TCP loopback");
+    let handle = client.handle();
+
+    let report = run_net_load(
+        &handle,
+        KeyDistribution::Zipf { n_buckets: 256, s: 1.1 },
+        42,
+        clients,
+        lookups_per_client,
+    );
+
+    println!("\n== load report ({clients} closed-loop clients, TCP loopback) ==");
+    println!("{}", report.summary());
+    println!("(compare with the in-process line above: same load, plus the wire)");
+
+    // Spot-check: remote ranks equal the local index.
+    let mut checked = 0u32;
+    for q in (0..keys.len() as u32 * 16).step_by(997) {
+        let want = keys.partition_point(|&k| k <= q) as u32;
+        assert_eq!(handle.lookup(q), Ok(want), "TCP rank({q}) diverged");
+        checked += 1;
+    }
+    println!("tcp oracle check: {checked} ranks match the local index ✓");
+    drop(handle);
+    drop(client);
+    net_server.shutdown();
 }

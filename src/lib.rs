@@ -15,6 +15,7 @@
 //! | [`sysprobe`] | host measurements of the paper's Table 2 quantities + cache-size knee detection |
 //! | [`core`] | Methods A, B, C-1/C-2/C-3, really-dispatched A/B + the native [`DistributedIndex`] |
 //! | [`serve`] | sharded, replicated, batch-coalescing serving layer: replica groups with load-aware routing + failover, admission control, online updates, load generators, `Clock` time-virtualization seam |
+//! | [`net`] | the transport layer: versioned wire frames, TCP and simulated-network backends, `NetServer` span hosting, `RemoteClient` with shard-map routing + client-side coalescing + retry + failover |
 //! | [`simtest`] | deterministic simulation testing: the real serving stack on seeded virtual time, fault scenarios + invariant oracles |
 //!
 //! ## Quickstart (native, real threads)
@@ -93,6 +94,7 @@ pub use dini_cluster as cluster;
 pub use dini_core as core;
 pub use dini_index as index;
 pub use dini_model as model;
+pub use dini_net as net;
 pub use dini_serve as serve;
 pub use dini_simtest as simtest;
 pub use dini_sysprobe as sysprobe;
@@ -102,4 +104,5 @@ pub use dini_core::{
     run_comparison, run_method, run_replicated_distributed, standard_workload, DistributedIndex,
     ExperimentSetup, LoadBalance, MethodId, NativeConfig, ReplicaEngine, RunStats, SlaveStructure,
 };
+pub use dini_net::{NetServer, RemoteClient};
 pub use dini_serve::{IndexServer, ServeConfig, ServeError, ServerHandle};
