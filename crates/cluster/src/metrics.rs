@@ -121,6 +121,37 @@ impl LogHistogram {
         self.quantile(0.99)
     }
 
+    /// Number of bins in every `LogHistogram` — the size an external
+    /// accumulator (e.g. `dini-obs`'s lock-free atomic histogram) must
+    /// allocate to mirror the bin layout for [`LogHistogram::from_parts`].
+    pub const fn nbins() -> usize {
+        NBINS
+    }
+
+    /// The bin a sample falls into — exposed so external accumulators
+    /// bin identically to [`LogHistogram::record`].
+    pub fn bin_index(v: f64) -> usize {
+        Self::bin_of(v.max(0.0))
+    }
+
+    /// Reassemble a histogram from externally accumulated parts: per-bin
+    /// counts (length [`LogHistogram::nbins`], binned by
+    /// [`LogHistogram::bin_index`]) plus the accumulator's exact
+    /// `sum`/`min`/`max` tallies. The sample count is derived from the
+    /// bins; an all-zero accumulator yields an empty histogram.
+    ///
+    /// This is the merge point for lock-free metrics: atomics are folded
+    /// into a plain `LogHistogram` only at snapshot time, so quantile
+    /// queries and [`LogHistogram::merge`] keep working unchanged.
+    pub fn from_parts(bins: &[u64], sum: f64, min: f64, max: f64) -> Self {
+        assert_eq!(bins.len(), NBINS, "from_parts: bin layout mismatch");
+        let count: u64 = bins.iter().sum();
+        if count == 0 {
+            return Self::new();
+        }
+        Self { bins: bins.to_vec(), count, sum, min, max }
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
@@ -220,5 +251,39 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn quantile_rejects_out_of_range() {
         let _ = LogHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn from_parts_round_trips_record() {
+        // An external accumulator using bin_index + exact tallies must
+        // reconstruct the same histogram record() would have built.
+        let mut direct = LogHistogram::new();
+        let mut bins = vec![0u64; LogHistogram::nbins()];
+        let (mut sum, mut min, mut max) = (0.0f64, f64::INFINITY, 0.0f64);
+        for v in [3.0, 47.0, 1_000.0, 1_000_000.0, 0.0] {
+            direct.record(v);
+            bins[LogHistogram::bin_index(v)] += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let rebuilt = LogHistogram::from_parts(&bins, sum, min, max);
+        assert_eq!(rebuilt, direct);
+        assert_eq!(rebuilt.count(), 5);
+        assert_eq!(rebuilt.median(), direct.median());
+    }
+
+    #[test]
+    fn from_parts_empty_is_empty() {
+        let h =
+            LogHistogram::from_parts(&vec![0u64; LogHistogram::nbins()], 0.0, f64::INFINITY, 0.0);
+        assert_eq!(h, LogHistogram::new());
+        assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin layout mismatch")]
+    fn from_parts_rejects_wrong_layout() {
+        let _ = LogHistogram::from_parts(&[0u64; 3], 0.0, f64::INFINITY, 0.0);
     }
 }

@@ -176,11 +176,14 @@ fn emit_json(p: &BenchParams) {
         None => String::new(),
     };
     let json = format!(
-        "{{\n  \"bench\": \"net_throughput\",\n  \"keys\": {},\n  \
+        "{{\n  \"bench\": \"net_throughput\",\n  \"host\": {},\n  \"keys\": {},\n  \
          \"clients\": {},\n  \"lookups_per_client\": {},\n  \
          \"distribution\": \"zipf(256, 1.1)\",\n  \"results\": [\n{records}\n  \
          ]{previous_block}\n}}\n",
-        p.n_keys, p.clients, p.lookups_per_client,
+        dini_obs::host_context().to_json(),
+        p.n_keys,
+        p.clients,
+        p.lookups_per_client,
     );
     std::fs::write(&p.out_path, json).expect("write BENCH_net.json");
     eprintln!("wrote {}", p.out_path.display());

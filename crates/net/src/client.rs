@@ -36,8 +36,10 @@
 
 use crate::topology::Topology;
 use crate::transport::{Dialer, Duplex, FrameRx, FrameTx, NetError};
-use crate::wire::{Frame, LookupStatus, StatusCode, WireOp, WIRE_VERSION};
+use crate::wire::{Frame, LookupStatus, StatsMsg, StatusCode, WireOp, WIRE_VERSION};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use dini_cluster::LogHistogram;
+use dini_obs::{AtomicLogHistogram, StageRecord, TraceConfig, TraceRing};
 use dini_serve::admission::AdmissionQueue;
 use dini_serve::batcher::{collect_batch_into, Request};
 use dini_serve::clock::dur_ns;
@@ -79,6 +81,11 @@ pub struct ClientConfig {
     /// [`SimClock`](dini_serve::SimClock) runs the whole client on
     /// virtual time).
     pub clock: Clock,
+    /// Client-side wire tracing: seeded sampling of per-frame
+    /// encoded→acked round trips into per-endpoint rings (the `net:`
+    /// stages of the end-to-end trace). On by default;
+    /// [`TraceConfig::disabled`] turns it off.
+    pub trace: TraceConfig,
 }
 
 impl Default for ClientConfig {
@@ -92,15 +99,21 @@ impl Default for ClientConfig {
             ctrl_timeout: Duration::from_secs(2),
             handshake_timeout: Duration::from_secs(5),
             clock: Clock::system(),
+            trace: TraceConfig::default(),
         }
     }
 }
 
-/// Receipt token for a control-frame round trip. The payloads
-/// (live-key counts) are folded into `span_live` by the reader before
-/// the waiter is released, so the token itself carries nothing.
-#[derive(Debug, Clone, Copy, Default)]
-struct CtrlReply;
+/// Receipt for a control-frame round trip. Live-key payloads are folded
+/// into `span_live` by the reader before the waiter is released; a
+/// stats poll carries the span's [`StatsMsg`] through to the waiter.
+#[derive(Debug, Clone)]
+enum CtrlReply {
+    /// A bare acknowledgement (update ack, quiesce ack, epoch pong).
+    Ack,
+    /// A [`Frame::StatsReply`] payload.
+    Stats(Box<StatsMsg>),
+}
 
 /// One lookup batch on the wire, awaiting its reply.
 struct BatchInFlight {
@@ -148,6 +161,11 @@ struct ClientCore {
     shutdown: AtomicBool,
     retries: AtomicU64,
     rerouted: AtomicU64,
+    /// Per-frame wire round-trip time (send → reply), nanoseconds.
+    wire_rtt: AtomicLogHistogram,
+    /// Per-endpoint wire-stage trace rings; each endpoint's reader
+    /// thread is its ring's single writer.
+    wire_traces: Vec<TraceRing>,
 }
 
 impl ClientCore {
@@ -161,13 +179,13 @@ impl ClientCore {
         self.span_live[..span].iter().map(|a| a.load(Ordering::Relaxed) as u32).sum()
     }
 
-    fn ctrl_fill(&self, req: u64) {
+    fn ctrl_fill(&self, req: u64, reply: CtrlReply) {
         if req == 0 {
             return;
         }
         let waiter = self.ctrl.lock().expect("ctrl lock").remove(&req);
         if let Some(tx) = waiter {
-            let _ = tx.send(CtrlReply);
+            let _ = tx.send(reply);
         }
     }
 
@@ -429,6 +447,22 @@ fn run_reader(core: Arc<ClientCore>, ep: usize, mut rx: Box<dyn FrameRx>, in_fli
                     continue;
                 };
                 let served = b.handles.len();
+                // Wire stages: `sent_at` is the frame's encode/send
+                // instant (refreshed on retry, so a retried batch
+                // reports its *answered* attempt's round trip).
+                let acked = core.clock.now();
+                core.wire_rtt.record(acked.saturating_sub(b.sent_at));
+                let ring = &core.wire_traces[ep];
+                if ring.sample() {
+                    ring.push(&StageRecord {
+                        shard: span as u16,
+                        replica: ep as u16,
+                        batch_len: served as u32,
+                        encoded_ns: b.sent_at,
+                        acked_ns: acked,
+                        ..StageRecord::default()
+                    });
+                }
                 let base = core.span_base(span);
                 // Positional alignment; a short result list (protocol
                 // corruption) drop-fills the leftovers ShuttingDown.
@@ -443,11 +477,14 @@ fn run_reader(core: Arc<ClientCore>, ep: usize, mut rx: Box<dyn FrameRx>, in_fli
                 }
                 core.queues[ep].complete(served);
             }
-            Ok(Frame::UpdateAck { req }) => core.ctrl_fill(req),
+            Ok(Frame::UpdateAck { req }) => core.ctrl_fill(req, CtrlReply::Ack),
             Ok(Frame::QuiesceAck { req, live_keys, snapshots: _ })
             | Ok(Frame::EpochPong { req, live_keys, snapshots: _ }) => {
                 core.span_live[span].store(live_keys, Ordering::SeqCst);
-                core.ctrl_fill(req);
+                core.ctrl_fill(req, CtrlReply::Ack);
+            }
+            Ok(Frame::StatsReply { req, stats }) => {
+                core.ctrl_fill(req, CtrlReply::Stats(stats));
             }
             Ok(Frame::Status { code: StatusCode::ShuttingDown }) | Err(NetError::Closed) => {
                 // Endpoint gone: mark dead before draining so reroutes
@@ -665,6 +702,40 @@ impl NetHandle {
             admitted: core.queues.iter().map(AdmissionQueue::admitted).sum(),
         }
     }
+
+    /// Poll one span process for its live server-side stats (queue
+    /// depths, per-replica service split, latency quantiles,
+    /// stage-trace sums) over the wire — a cheap, barrier-free
+    /// [`Frame::StatsRequest`] round trip to the first live endpoint of
+    /// `span`. This is what `dini_top` refreshes on.
+    pub fn span_stats(&self, span: usize) -> Result<StatsMsg, ServeError> {
+        let core = &self.core;
+        for &e in &core.span_eps[span] {
+            if !core.queues[e].is_alive() {
+                continue;
+            }
+            match core.ctrl_roundtrip(e, |req| Frame::StatsRequest { req }) {
+                Ok(CtrlReply::Stats(stats)) => return Ok(*stats),
+                Ok(CtrlReply::Ack) => continue, // protocol noise; try a sibling
+                Err(_) => continue,
+            }
+        }
+        Err(ServeError::ShuttingDown)
+    }
+
+    /// Client-observed wire round-trip distribution (frame send → reply
+    /// receipt), nanoseconds, across all endpoints.
+    pub fn wire_rtt(&self) -> LogHistogram {
+        self.core.wire_rtt.snapshot()
+    }
+
+    /// Sampled wire-stage records (`encoded_ns` → `acked_ns`; the serve
+    /// stages are zero — those live server-side), endpoint-major. Each
+    /// record's `shard` is the span, `replica` the flat endpoint index,
+    /// `batch_len` the frame's key count.
+    pub fn wire_traces(&self) -> Vec<StageRecord> {
+        self.core.wire_traces.iter().flat_map(|r| r.snapshot()).collect()
+    }
 }
 
 /// A connected client: owns the per-endpoint worker/reader threads and
@@ -769,6 +840,15 @@ impl RemoteClient {
         let span_live: Vec<AtomicU64> = (0..n_spans).map(|_| AtomicU64::new(0)).collect();
         span_live[boot_span].store(boot_live, Ordering::SeqCst);
 
+        // One wire-trace ring per endpoint (its reader thread is the
+        // single writer), seeds decorrelated the same way the server
+        // decorrelates replica rings.
+        let wire_traces: Vec<TraceRing> = (0..queues.len())
+            .map(|ep| {
+                let salt = (ep as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                TraceRing::new(&TraceConfig { seed: cfg.trace.seed ^ salt, ..cfg.trace.clone() })
+            })
+            .collect();
         let core = Arc::new(ClientCore {
             cfg,
             clock: clock.clone(),
@@ -785,6 +865,8 @@ impl RemoteClient {
             shutdown: AtomicBool::new(false),
             retries: AtomicU64::new(0),
             rerouted: AtomicU64::new(0),
+            wire_rtt: AtomicLogHistogram::new(),
+            wire_traces,
         });
 
         let mut threads = Vec::new();
@@ -872,7 +954,6 @@ pub fn run_net_load(
     clients: usize,
     lookups_per_client: usize,
 ) -> dini_serve::LoadReport {
-    use dini_cluster::LogHistogram;
     use std::time::Instant;
 
     let start = Instant::now();

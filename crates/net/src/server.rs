@@ -34,7 +34,9 @@
 
 use crate::topology::Topology;
 use crate::transport::{Acceptor, Duplex, NetError};
-use crate::wire::{Frame, LookupStatus, StatusCode, WireOp, WIRE_VERSION};
+use crate::wire::{
+    Frame, LookupStatus, ReplicaStatsMsg, StatsMsg, StatusCode, WireOp, WIRE_VERSION,
+};
 use crossbeam::channel::unbounded;
 use dini_serve::{Clock, ClockJoinHandle, IndexServer, PendingLookup, ServeConfig, ServeError};
 use dini_workload::Op;
@@ -79,8 +81,58 @@ enum Job {
     QuiesceAck { req: u64 },
     /// Answer an epoch ping.
     Pong { req: u64 },
+    /// Assemble and ship the span's live stats.
+    Stats { req: u64 },
     /// Tell the peer we are going away, then hang up.
     Bye,
+}
+
+/// Assemble a [`StatsMsg`] from the hosted server's live accounting:
+/// the merged [`ServeStats`](dini_serve::ServeStats) snapshot,
+/// replica-major depths zipped with per-replica served counts, and the
+/// sampled stage-trace sums.
+fn assemble_stats(server: &IndexServer) -> StatsMsg {
+    let s = server.stats();
+    let replicas: Vec<ReplicaStatsMsg> = server
+        .replica_stats()
+        .iter()
+        .zip(server.replica_depths())
+        .enumerate()
+        .map(|(i, (rs, depth))| {
+            let per_shard = server.replicas_per_shard();
+            ReplicaStatsMsg {
+                shard: (i / per_shard) as u16,
+                replica: (i % per_shard) as u16,
+                depth,
+                served: rs.served,
+            }
+        })
+        .collect();
+    let traces = server.stage_traces();
+    let (mut wait, mut service, mut fill) = (0u64, 0u64, 0u64);
+    for t in &traces {
+        wait += t.wait_ns();
+        service += t.service_ns();
+        fill += t.fill_ns();
+    }
+    StatsMsg {
+        served: s.served,
+        admitted: s.admitted,
+        shed: s.shed,
+        rerouted: s.rerouted,
+        batches: s.batches,
+        snapshots: s.snapshots_published,
+        merges: s.merges,
+        live_keys: server.len() as u64,
+        p50_ns: s.latency_quantile_ns(0.50) as u64,
+        p99_ns: s.latency_quantile_ns(0.99) as u64,
+        p999_ns: s.latency_quantile_ns(0.999) as u64,
+        trace_records: traces.len() as u64,
+        stage_wait_ns: wait,
+        stage_service_ns: service,
+        stage_fill_ns: fill,
+        replicas,
+    }
 }
 
 /// An [`IndexServer`] (one span's shards + replicas + writer) hosted
@@ -265,6 +317,9 @@ fn spawn_connection(
                     Frame::EpochPing { req } => {
                         let _ = job_tx.send(Job::Pong { req });
                     }
+                    Frame::StatsRequest { req } => {
+                        let _ = job_tx.send(Job::Stats { req });
+                    }
                     // Client-bound frames arriving here are protocol
                     // noise (e.g. a fuzzer); ignore rather than kill the
                     // connection.
@@ -273,6 +328,7 @@ fn spawn_connection(
                     | Frame::UpdateAck { .. }
                     | Frame::QuiesceAck { .. }
                     | Frame::EpochPong { .. }
+                    | Frame::StatsReply { .. }
                     | Frame::Status { .. } => {}
                 }
             }
@@ -320,6 +376,9 @@ fn spawn_connection(
                         live_keys: server.len() as u64,
                         snapshots: server.stats().snapshots_published,
                     },
+                    Job::Stats { req } => {
+                        Frame::StatsReply { req, stats: Box::new(assemble_stats(&server)) }
+                    }
                     Job::Bye => {
                         let _ = frame_tx.send(&Frame::Status { code: StatusCode::ShuttingDown });
                         break;
@@ -391,6 +450,37 @@ mod tests {
                 assert_eq!((req, live_keys), (11, 10_000));
             }
             other => panic!("expected EpochPong, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_request_reports_live_accounting() {
+        let net = ChanNet::new(Clock::system());
+        let acc = net.listen("srv");
+        let keys: Vec<u32> = (0..10_000).map(|i| i * 2).collect();
+        let server = NetServer::start(Box::new(acc), &keys, cfg("srv"));
+
+        let mut c = net.dialer().dial("srv").unwrap();
+        c.tx.send(&Frame::Lookup { req: 1, keys: vec![0, 100, 9_999] }).unwrap();
+        let _ = c.rx.recv_timeout(SEC).unwrap();
+        c.tx.send(&Frame::StatsRequest { req: 2 }).unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::StatsReply { req, stats } => {
+                assert_eq!(req, 2);
+                assert_eq!(stats.served, 3);
+                assert_eq!(stats.live_keys, 10_000);
+                assert_eq!(stats.replicas.len(), 2, "2 shards × 1 replica");
+                let split: u64 = stats.replicas.iter().map(|r| r.served).sum();
+                assert_eq!(split, 3, "per-replica split must sum to the total");
+                // The dispatcher releases depth *after* replies go out,
+                // so a poll racing the reply may still see the batch.
+                assert!(stats.replicas.iter().all(|r| r.depth <= 3), "depth bounded by issued");
+                // Default sampling (period 64) may or may not have hit
+                // these 3 requests, but can never exceed them.
+                assert!(stats.trace_records <= stats.served);
+            }
+            other => panic!("expected StatsReply, got {other:?}"),
         }
         server.shutdown();
     }

@@ -27,6 +27,7 @@
 //! | [`Frame::Quiesce`] / [`Frame::QuiesceAck`] | round trip | update-visibility barrier + fresh live count |
 //! | [`Frame::EpochPing`] / [`Frame::EpochPong`] | round trip | snapshot-epoch / live-count refresh |
 //! | [`Frame::Status`] | server → client | shed/shutdown notice for the whole connection |
+//! | [`Frame::StatsRequest`] / [`Frame::StatsReply`] | round trip | live introspection: queue depths, per-replica service split, latency quantiles, stage-trace sums |
 
 /// Protocol version carried by every frame; decoders reject all others.
 pub const WIRE_VERSION: u8 = 1;
@@ -46,6 +47,8 @@ const KIND_QUIESCE_ACK: u8 = 8;
 const KIND_EPOCH_PING: u8 = 9;
 const KIND_EPOCH_PONG: u8 = 10;
 const KIND_STATUS: u8 = 11;
+const KIND_STATS_REQUEST: u8 = 12;
+const KIND_STATS_REPLY: u8 = 13;
 
 /// Why a byte sequence is not a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +105,58 @@ pub enum WireOp {
     Insert(u32),
     /// Delete a key.
     Delete(u32),
+}
+
+/// One replica's live numbers inside a [`StatsMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStatsMsg {
+    /// Server-local shard index.
+    pub shard: u16,
+    /// Replica index within the shard.
+    pub replica: u16,
+    /// Admission-queue depth at snapshot time (in-flight requests).
+    pub depth: u64,
+    /// Queries this replica has served so far.
+    pub served: u64,
+}
+
+/// A span process's live accounting, as carried by [`Frame::StatsReply`]
+/// — everything a `dini_top` poller (or a simtest oracle) needs to see
+/// a remote server's health without touching its process.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsMsg {
+    /// Queries served in total.
+    pub served: u64,
+    /// Requests admitted into some replica queue.
+    pub admitted: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Failover hand-offs to surviving siblings.
+    pub rerouted: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Snapshot epochs published by the writer.
+    pub snapshots: u64,
+    /// Delta merges (index rebuilds) performed.
+    pub merges: u64,
+    /// Live keys the span holds.
+    pub live_keys: u64,
+    /// Latency p50, in nanoseconds (log-bin resolution).
+    pub p50_ns: u64,
+    /// Latency p99, in nanoseconds.
+    pub p99_ns: u64,
+    /// Latency p999, in nanoseconds.
+    pub p999_ns: u64,
+    /// Stage-trace records sampled so far (across all replicas).
+    pub trace_records: u64,
+    /// Sum of per-sample coalescing wait (admitted → collected), ns.
+    pub stage_wait_ns: u64,
+    /// Sum of per-sample index service (collected → answered), ns.
+    pub stage_service_ns: u64,
+    /// Sum of per-sample reply fill (answered → filled), ns.
+    pub stage_fill_ns: u64,
+    /// Per-replica split, replica-major (shard-major outer order).
+    pub replicas: Vec<ReplicaStatsMsg>,
 }
 
 /// One span of the shard map: a contiguous slice of the key space and
@@ -193,6 +248,18 @@ pub enum Frame {
         /// What the peer should know.
         code: StatusCode,
     },
+    /// Ask the span process for its live stats (cheap; no barrier).
+    StatsRequest {
+        /// Request id for the reply.
+        req: u64,
+    },
+    /// The span process's live accounting.
+    StatsReply {
+        /// The request id being answered.
+        req: u64,
+        /// The numbers (boxed: this frame is rare and large).
+        stats: Box<StatsMsg>,
+    },
 }
 
 /// Connection-level status codes for [`Frame::Status`].
@@ -233,6 +300,8 @@ impl Frame {
             Frame::EpochPing { .. } => KIND_EPOCH_PING,
             Frame::EpochPong { .. } => KIND_EPOCH_PONG,
             Frame::Status { .. } => KIND_STATUS,
+            Frame::StatsRequest { .. } => KIND_STATS_REQUEST,
+            Frame::StatsReply { .. } => KIND_STATS_REPLY,
         }
     }
 
@@ -313,6 +382,36 @@ impl Frame {
             Frame::Status { code } => buf.push(match code {
                 StatusCode::ShuttingDown => 0,
             }),
+            Frame::StatsRequest { req } => put_u64(buf, *req),
+            Frame::StatsReply { req, stats } => {
+                put_u64(buf, *req);
+                for v in [
+                    stats.served,
+                    stats.admitted,
+                    stats.shed,
+                    stats.rerouted,
+                    stats.batches,
+                    stats.snapshots,
+                    stats.merges,
+                    stats.live_keys,
+                    stats.p50_ns,
+                    stats.p99_ns,
+                    stats.p999_ns,
+                    stats.trace_records,
+                    stats.stage_wait_ns,
+                    stats.stage_service_ns,
+                    stats.stage_fill_ns,
+                ] {
+                    put_u64(buf, v);
+                }
+                put_u16(buf, stats.replicas.len() as u16);
+                for r in &stats.replicas {
+                    put_u16(buf, r.shard);
+                    put_u16(buf, r.replica);
+                    put_u64(buf, r.depth);
+                    put_u64(buf, r.served);
+                }
+            }
         }
         let len = (buf.len() - start - 4) as u32;
         debug_assert!(len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
@@ -423,6 +522,51 @@ impl Frame {
                     t => return Err(WireError::BadTag(t)),
                 },
             },
+            KIND_STATS_REQUEST => Frame::StatsRequest { req: c.u64()? },
+            KIND_STATS_REPLY => {
+                let req = c.u64()?;
+                let mut scalars = [0u64; 15];
+                for s in &mut scalars {
+                    *s = c.u64()?;
+                }
+                let n = c.u16()? as usize;
+                // Each replica entry is 2 + 2 + 8 + 8 = 20 bytes.
+                if n.checked_mul(20).is_none_or(|bytes| bytes > c.remaining()) {
+                    return Err(WireError::Truncated);
+                }
+                let mut replicas = Vec::with_capacity(n);
+                for _ in 0..n {
+                    replicas.push(ReplicaStatsMsg {
+                        shard: c.u16()?,
+                        replica: c.u16()?,
+                        depth: c.u64()?,
+                        served: c.u64()?,
+                    });
+                }
+                let [served, admitted, shed, rerouted, batches, snapshots, merges, live_keys, p50_ns, p99_ns, p999_ns, trace_records, stage_wait_ns, stage_service_ns, stage_fill_ns] =
+                    scalars;
+                Frame::StatsReply {
+                    req,
+                    stats: Box::new(StatsMsg {
+                        served,
+                        admitted,
+                        shed,
+                        rerouted,
+                        batches,
+                        snapshots,
+                        merges,
+                        live_keys,
+                        p50_ns,
+                        p99_ns,
+                        p999_ns,
+                        trace_records,
+                        stage_wait_ns,
+                        stage_service_ns,
+                        stage_fill_ns,
+                        replicas,
+                    }),
+                }
+            }
             k => return Err(WireError::BadKind(k)),
         };
         if c.remaining() != 0 {
@@ -512,6 +656,45 @@ mod tests {
         round_trip(Frame::EpochPing { req: 12 });
         round_trip(Frame::EpochPong { req: 12, live_keys: 13, snapshots: 14 });
         round_trip(Frame::Status { code: StatusCode::ShuttingDown });
+        round_trip(Frame::StatsRequest { req: 15 });
+        round_trip(Frame::StatsReply {
+            req: 15,
+            stats: Box::new(StatsMsg {
+                served: 1,
+                admitted: 2,
+                shed: 3,
+                rerouted: 4,
+                batches: 5,
+                snapshots: 6,
+                merges: 7,
+                live_keys: 8,
+                p50_ns: 9,
+                p99_ns: 10,
+                p999_ns: 11,
+                trace_records: 12,
+                stage_wait_ns: 13,
+                stage_service_ns: 14,
+                stage_fill_ns: 15,
+                replicas: vec![
+                    ReplicaStatsMsg { shard: 0, replica: 0, depth: 3, served: 100 },
+                    ReplicaStatsMsg { shard: 1, replica: 1, depth: 0, served: u64::MAX },
+                ],
+            }),
+        });
+        round_trip(Frame::StatsReply { req: 0, stats: Box::default() });
+    }
+
+    #[test]
+    fn stats_reply_replica_count_cannot_drive_allocation() {
+        // A StatsReply claiming u16::MAX replicas with an empty tail:
+        // the 20-byte-per-entry guard must reject before with_capacity.
+        let mut bytes = vec![WIRE_VERSION, KIND_STATS_REPLY];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        for _ in 0..15 {
+            bytes.extend_from_slice(&0u64.to_le_bytes());
+        }
+        bytes.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(WireError::Truncated));
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! allocate unboundedly. The decoder is the one part of the system that
 //! reads bytes written by somebody else; it must be total.
 
-use dini_net::wire::{frame_len, Frame, LookupStatus, SpanMsg, StatusCode, WireOp, MAX_FRAME_LEN};
+use dini_net::wire::{
+    frame_len, Frame, LookupStatus, ReplicaStatsMsg, SpanMsg, StatsMsg, StatusCode, WireOp,
+    MAX_FRAME_LEN,
+};
 use proptest::collection::vec as prop_vec;
 use proptest::prelude::*;
 
@@ -31,6 +34,35 @@ fn wire_op() -> impl Strategy<Value = WireOp> {
     prop_oneof![any::<u32>().prop_map(WireOp::Insert), any::<u32>().prop_map(WireOp::Delete)]
 }
 
+fn replica_stats_msg() -> impl Strategy<Value = ReplicaStatsMsg> {
+    (any::<u16>(), any::<u16>(), any::<u64>(), any::<u64>()).prop_map(
+        |(shard, replica, depth, served)| ReplicaStatsMsg { shard, replica, depth, served },
+    )
+}
+
+fn stats_msg() -> impl Strategy<Value = StatsMsg> {
+    (prop_vec(any::<u64>(), 15), prop_vec(replica_stats_msg(), 0..24)).prop_map(|(s, replicas)| {
+        StatsMsg {
+            served: s[0],
+            admitted: s[1],
+            shed: s[2],
+            rerouted: s[3],
+            batches: s[4],
+            snapshots: s[5],
+            merges: s[6],
+            live_keys: s[7],
+            p50_ns: s[8],
+            p99_ns: s[9],
+            p999_ns: s[10],
+            trace_records: s[11],
+            stage_wait_ns: s[12],
+            stage_service_ns: s[13],
+            stage_fill_ns: s[14],
+            replicas,
+        }
+    })
+}
+
 /// Every frame kind, with arbitrary payloads.
 fn frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
@@ -53,6 +85,9 @@ fn frame() -> impl Strategy<Value = Frame> {
             Frame::EpochPong { req, live_keys, snapshots }
         }),
         Just(Frame::Status { code: StatusCode::ShuttingDown }),
+        any::<u64>().prop_map(|req| Frame::StatsRequest { req }),
+        (any::<u64>(), stats_msg())
+            .prop_map(|(req, stats)| Frame::StatsReply { req, stats: Box::new(stats) }),
     ]
 }
 

@@ -165,6 +165,96 @@ fn two_spans_compose_global_ranks_across_processes() {
 }
 
 #[test]
+fn live_stats_poll_agrees_with_client_accounting() {
+    let keys: Vec<u32> = (0..30_000u32).map(|i| i * 4).collect();
+    let (acceptor, addr) = bound_acceptor();
+    let mut serve = serve_cfg(2);
+    serve.replicas_per_shard = 2;
+    let server = NetServer::start(
+        Box::new(acceptor),
+        &keys,
+        NetServerConfig::new(serve, Topology::single(vec![addr.clone()]), 0),
+    );
+    let client = RemoteClient::connect(Box::new(TcpDialer), &addr, ClientConfig::default())
+        .expect("connect");
+    let handle = client.handle();
+
+    // Load threads hammer lookups while the main thread polls stats
+    // mid-flight: every poll must decode, report sane depths, and show
+    // a monotonically growing served count.
+    let issued = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let loaders: Vec<_> = (0..3)
+        .map(|t| {
+            let h = handle.clone();
+            let issued = issued.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let q = (i * 3 + t).wrapping_mul(2_654_435_761) % 200_000;
+                    h.lookup(q).expect("server alive");
+                    issued.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    let mut last_served = 0u64;
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(30));
+        let s = handle.span_stats(0).expect("mid-load stats poll");
+        assert!(s.served >= last_served, "served must be monotonic");
+        last_served = s.served;
+        assert_eq!(s.replicas.len(), 4, "2 shards × 2 replicas");
+        assert_eq!(s.live_keys, 30_000);
+        for r in &s.replicas {
+            assert!(r.depth <= 1024, "depth within queue capacity, got {}", r.depth);
+        }
+        let split: u64 = s.replicas.iter().map(|r| r.served).sum();
+        assert_eq!(split, s.served, "per-replica split must sum to the total");
+    }
+    assert!(last_served > 0, "polled stats must show live traffic");
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for l in loaders {
+        l.join().unwrap();
+    }
+
+    // Quiesced: the final wire-polled numbers agree with the client's
+    // own accounting and the server's in-process view.
+    let total_issued = issued.load(std::sync::atomic::Ordering::Relaxed);
+    let s = handle.span_stats(0).expect("final stats poll");
+    assert_eq!(s.served, total_issued, "wire-polled served == client-issued lookups");
+    assert_eq!(s.served, server.server().stats().served, "wire == in-process view");
+    assert_eq!(s.shed, 0, "closed-loop traffic must not shed");
+    // Depth is released *after* replies go out, so give the last batch
+    // a beat to drain before pinning the queues empty.
+    let mut drained = s.replicas.iter().all(|r| r.depth == 0);
+    for _ in 0..50 {
+        if drained {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        let s = handle.span_stats(0).expect("drain poll");
+        drained = s.replicas.iter().all(|r| r.depth == 0);
+    }
+    assert!(drained, "queues must drain once load stops");
+
+    // The client saw its own wire round trips too.
+    let rtt = handle.wire_rtt();
+    assert!(rtt.count() > 0, "wire RTT histogram must have samples");
+    for t in handle.wire_traces() {
+        assert!(t.acked_ns >= t.encoded_ns, "wire stages must be ordered");
+    }
+
+    drop(handle);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn endpoint_shutdown_fails_over_to_replica_endpoint() {
     let keys: Vec<u32> = (0..20_000u32).map(|i| i * 4).collect();
     let (acc_a, addr_a) = bound_acceptor();

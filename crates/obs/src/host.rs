@@ -1,0 +1,76 @@
+//! Host context capture: what machine produced a measurement.
+//!
+//! The paper's numbers are meaningless without the cache geometry and
+//! core count behind them (its Table 2 exists for exactly this
+//! reason), and the bench harness's JSON artifacts are compared across
+//! runs — so each artifact records the host it ran on.
+
+/// The host facts a bench artifact carries alongside its results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostContext {
+    /// Logical cores visible to this process.
+    pub cores: usize,
+    /// CPU model string (from `/proc/cpuinfo` on Linux; `"unknown"`
+    /// where unavailable).
+    pub cpu_model: String,
+}
+
+impl HostContext {
+    /// Render as a JSON object fragment, e.g.
+    /// `{"cores":8,"cpu_model":"..."}` — for hand-assembled bench
+    /// JSON.
+    pub fn to_json(&self) -> String {
+        let model: String = self
+            .cpu_model
+            .chars()
+            .map(|c| if c == '"' || c == '\\' || c.is_control() { '\'' } else { c })
+            .collect();
+        format!("{{\"cores\":{},\"cpu_model\":\"{}\"}}", self.cores, model)
+    }
+}
+
+/// Capture the current host's context. Never fails: anything
+/// unreadable degrades to a placeholder rather than an error, because
+/// a bench must run the same everywhere.
+pub fn host_context() -> HostContext {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    HostContext { cores, cpu_model: cpu_model() }
+}
+
+/// Best-effort CPU model string.
+fn cpu_model() -> String {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            // x86: "model name"; many arm64 kernels: "Processor" / "CPU part".
+            if let Some(rest) = line.split_once(':').filter(|(k, _)| {
+                let k = k.trim();
+                k == "model name" || k == "Processor"
+            }) {
+                let model = rest.1.trim();
+                if !model.is_empty() {
+                    return model.to_owned();
+                }
+            }
+        }
+    }
+    "unknown".to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_context_is_sane() {
+        let h = host_context();
+        assert!(h.cores >= 1);
+        assert!(!h.cpu_model.is_empty());
+    }
+
+    #[test]
+    fn json_fragment_is_well_formed() {
+        let h = HostContext { cores: 8, cpu_model: "weird \"quoted\\model\"".into() };
+        let json = h.to_json();
+        assert_eq!(json, "{\"cores\":8,\"cpu_model\":\"weird 'quoted'model'\"}");
+    }
+}

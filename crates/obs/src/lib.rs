@@ -1,0 +1,39 @@
+//! # dini-obs
+//!
+//! Observability substrate for the `dini` serving stack — the layer
+//! that makes *where time goes* a measured quantity instead of a
+//! qualitative claim. The paper's whole argument is about response-time
+//! constraints under load and a batching knob whose sweet spot moves
+//! with traffic; this crate gives the serving layer the instruments to
+//! see that live, without giving up its zero-allocation, lock-free read
+//! path:
+//!
+//! * [`trace`] — per-request **stage traces**: a compact
+//!   [`StageRecord`] (admitted → batch-collected → dispatched →
+//!   index-answered → reply-filled, plus the wire's encoded → acked)
+//!   written into pre-allocated per-replica [`TraceRing`]s under seeded
+//!   deterministic sampling. Writers are wait-free (seqlock slots, no
+//!   heap, no locks); readers snapshot off the hot path.
+//! * [`metrics`] — a [`MetricsRegistry`] of named lock-free handles:
+//!   [`Counter`]s, gauge closures, and [`AtomicLogHistogram`]s that
+//!   mirror `dini-cluster`'s `LogHistogram` bin layout and fold into
+//!   plain histograms only at snapshot time. A [`MetricsSnapshot`]
+//!   serializes to both JSON and Prometheus-style text exposition.
+//! * [`host`] — host context capture (core count, CPU model) so bench
+//!   artifacts record *what machine* produced them.
+//!
+//! Everything here reads timestamps supplied by the caller (the serving
+//! layer's `Clock`), so the same instrumentation runs unchanged on
+//! wall-clock and on `dini-simtest`'s deterministic virtual time — the
+//! FoundationDB property: what you observe in simulation is what you
+//! observe in production.
+
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod metrics;
+pub mod trace;
+
+pub use host::{host_context, HostContext};
+pub use metrics::{AtomicLogHistogram, Counter, MetricsRegistry, MetricsSnapshot};
+pub use trace::{StageRecord, TraceConfig, TraceRing};

@@ -1,0 +1,425 @@
+//! The metrics registry: named lock-free handles (counters, gauges,
+//! histograms) merged into a [`MetricsSnapshot`] on demand.
+//!
+//! Hot-path writers touch only atomics: a [`Counter`] is an
+//! `Arc<AtomicU64>`, an [`AtomicLogHistogram`] is a fixed array of
+//! atomic bins mirroring `dini-cluster`'s `LogHistogram` layout. The
+//! registry's mutex guards *registration and snapshotting only* — no
+//! request ever takes it. Snapshots fold the atomics into plain
+//! [`LogHistogram`]s (via `LogHistogram::from_parts`) and serialize to
+//! JSON or a Prometheus-style text exposition.
+
+use dini_cluster::LogHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A named monotonic counter (or settable level): a shared `AtomicU64`
+/// behind a handle. All operations are `Relaxed` — ordering with
+/// respect to the work being counted is the *caller's* contract (the
+/// serving layer records before it releases replies, so a reader who
+/// has observed a reply observes its counts).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter (registries hand out registered ones).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrite the value (for level-style counters, e.g. "rebuilds
+    /// adopted" which the owner tracks as a running total).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free log2-spaced histogram: the atomic twin of
+/// `dini-cluster`'s [`LogHistogram`], sharing its bin layout bit for
+/// bit. Any number of threads may [`record`](Self::record)
+/// concurrently; [`snapshot`](Self::snapshot) folds the bins into a
+/// plain `LogHistogram` for quantile queries and merging.
+///
+/// Samples are integer-valued by convention (nanoseconds, batch
+/// sizes), so the running sum stays exact in a `u64`. A snapshot taken
+/// concurrently with writers may tear across fields by a few in-flight
+/// samples — fine for monitoring; exact totals hold once the writer's
+/// work is observed (see [`Counter`] on ordering).
+#[derive(Debug)]
+pub struct AtomicLogHistogram {
+    bins: Vec<AtomicU64>,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first sample.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicLogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicLogHistogram {
+    /// An empty histogram (allocates its bins once, here).
+    pub fn new() -> Self {
+        Self {
+            bins: (0..LogHistogram::nbins()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Wait-free: three `fetch_` ops, no locks, no
+    /// allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.bins[LogHistogram::bin_index(v as f64)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Fold into a plain [`LogHistogram`] (allocates; off the hot path).
+    pub fn snapshot(&self) -> LogHistogram {
+        let bins: Vec<u64> = self.bins.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let min = self.min.load(Ordering::Relaxed);
+        let min = if min == u64::MAX { f64::INFINITY } else { min as f64 };
+        LogHistogram::from_parts(
+            &bins,
+            self.sum.load(Ordering::Relaxed) as f64,
+            min,
+            self.max.load(Ordering::Relaxed) as f64,
+        )
+    }
+}
+
+/// A gauge sampled at snapshot time: a closure over whatever live
+/// atomic the value lives in (queue depth, live keys, ring occupancy).
+type GaugeFn = Box<dyn Fn() -> u64 + Send + Sync>;
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(GaugeFn),
+    Histogram(Arc<AtomicLogHistogram>),
+}
+
+struct Entry {
+    /// Metric family name, e.g. `dini_serve_served`.
+    name: String,
+    /// Prometheus-style label pairs without braces, e.g.
+    /// `shard="0",replica="1"` (empty for unlabelled metrics).
+    labels: String,
+    instrument: Instrument,
+}
+
+/// A registry of named instruments. Registration and snapshotting lock
+/// a mutex; the handles handed out are lock-free and live as long as
+/// any clone does (the registry keeps its own reference, so snapshots
+/// keep working after the owner drops its handle).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        write!(f, "MetricsRegistry({n} instruments)")
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, name: &str, labels: &str, instrument: Instrument) {
+        self.entries.lock().expect("metrics registry poisoned").push(Entry {
+            name: name.to_owned(),
+            labels: labels.to_owned(),
+            instrument,
+        });
+    }
+
+    /// Register and return a counter. `labels` is a Prometheus-style
+    /// pair list without braces (`shard="0",replica="1"`; empty for
+    /// none).
+    pub fn counter(&self, name: &str, labels: &str) -> Counter {
+        let c = Counter::new();
+        self.push(name, labels, Instrument::Counter(c.clone()));
+        c
+    }
+
+    /// Register a gauge computed at snapshot time.
+    pub fn gauge_fn(&self, name: &str, labels: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.push(name, labels, Instrument::Gauge(Box::new(f)));
+    }
+
+    /// Register and return a lock-free histogram.
+    pub fn histogram(&self, name: &str, labels: &str) -> Arc<AtomicLogHistogram> {
+        let h = Arc::new(AtomicLogHistogram::new());
+        self.push(name, labels, Instrument::Histogram(h.clone()));
+        h
+    }
+
+    /// Materialize every instrument's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for e in entries.iter() {
+            match &e.instrument {
+                Instrument::Counter(c) => {
+                    snap.counters.push((e.name.clone(), e.labels.clone(), c.get()));
+                }
+                Instrument::Gauge(f) => {
+                    snap.gauges.push((e.name.clone(), e.labels.clone(), f()));
+                }
+                Instrument::Histogram(h) => {
+                    snap.histograms.push((e.name.clone(), e.labels.clone(), h.snapshot()));
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of a registry: plain values and plain
+/// histograms, detached from the live atomics. Serializes to JSON
+/// ([`to_json`](Self::to_json)) and Prometheus text exposition
+/// ([`to_prometheus`](Self::to_prometheus)).
+#[derive(Debug, Default, Clone)]
+pub struct MetricsSnapshot {
+    /// `(name, labels, value)` for every counter.
+    pub counters: Vec<(String, String, u64)>,
+    /// `(name, labels, value)` for every gauge.
+    pub gauges: Vec<(String, String, u64)>,
+    /// `(name, labels, histogram)` for every histogram.
+    pub histograms: Vec<(String, String, LogHistogram)>,
+}
+
+impl MetricsSnapshot {
+    /// The one shared latency summary line: p50/p99/p999 in
+    /// microseconds from a nanosecond histogram. Every surface that
+    /// reports a latency distribution (load reports, server summaries,
+    /// the demos, `dini_top`) formats through here, so the lines stay
+    /// eyeball-comparable.
+    pub fn latency_line(latency_ns: &LogHistogram) -> String {
+        format!(
+            "latency p50 {:.1} µs, p99 {:.1} µs, p999 {:.1} µs",
+            latency_ns.quantile(0.50) / 1_000.0,
+            latency_ns.quantile(0.99) / 1_000.0,
+            latency_ns.quantile(0.999) / 1_000.0,
+        )
+    }
+
+    fn key(name: &str, labels: &str) -> String {
+        if labels.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{name}{{{labels}}}")
+        }
+    }
+
+    /// JSON object: counters and gauges as integers keyed by
+    /// `name{labels}`, histograms as `{count, mean, p50, p99, p999,
+    /// max}` summaries. Hand-rolled (names and labels are
+    /// crate-controlled identifiers; no escaping needed beyond what we
+    /// emit).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let scalar = |out: &mut String, section: &str, vals: &[(String, String, u64)]| {
+            out.push_str(&format!("\"{section}\":{{"));
+            for (i, (name, labels, v)) in vals.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{v}", Self::key(name, labels).replace('"', "'")));
+            }
+            out.push('}');
+        };
+        scalar(&mut out, "counters", &self.counters);
+        out.push(',');
+        scalar(&mut out, "gauges", &self.gauges);
+        out.push_str(",\"histograms\":{");
+        for (i, (name, labels, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"mean\":{:.1},\"p50\":{:.1},\"p99\":{:.1},\
+                 \"p999\":{:.1},\"max\":{:.1}}}",
+                Self::key(name, labels).replace('"', "'"),
+                h.count(),
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.quantile(0.999),
+                h.max(),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Prometheus text exposition: one `name{labels} value` line per
+    /// scalar; histograms as `_count`/`_sum` plus `quantile`-labelled
+    /// summary lines.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, labels, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{} {v}\n", Self::key(name, labels)));
+        }
+        for (name, labels, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{} {v}\n", Self::key(name, labels)));
+        }
+        for (name, labels, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, tag) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                let ql = if labels.is_empty() {
+                    format!("quantile=\"{tag}\"")
+                } else {
+                    format!("{labels},quantile=\"{tag}\"")
+                };
+                out.push_str(&format!("{name}{{{ql}}} {:.1}\n", h.quantile(q)));
+            }
+            out.push_str(&format!(
+                "{}_sum {:.1}\n",
+                Self::key(name, labels),
+                h.mean() * h.count() as f64
+            ));
+            out.push_str(&format!("{}_count {}\n", Self::key(name, labels), h.count()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_histogram_matches_plain_record() {
+        let a = AtomicLogHistogram::new();
+        let mut plain = LogHistogram::new();
+        for v in [1u64, 7, 300, 45_000, 2_000_000] {
+            a.record(v);
+            plain.record(v as f64);
+        }
+        assert_eq!(a.snapshot(), plain);
+        assert_eq!(a.count(), 5);
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_writers_sum_exactly() {
+        let h = Arc::new(AtomicLogHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(1 + (i ^ t) % 1000);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 40_000);
+        assert!(snap.min() >= 1.0 && snap.max() <= 1000.0);
+    }
+
+    #[test]
+    fn empty_atomic_histogram_snapshots_empty() {
+        let snap = AtomicLogHistogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.min(), 0.0);
+        assert_eq!(snap.max(), 0.0);
+    }
+
+    #[test]
+    fn registry_snapshot_sees_live_values() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("dini_test_served", "shard=\"0\"");
+        let depth = Arc::new(AtomicU64::new(0));
+        let d2 = depth.clone();
+        reg.gauge_fn("dini_test_depth", "", move || d2.load(Ordering::Relaxed));
+        let h = reg.histogram("dini_test_latency_ns", "");
+
+        c.add(41);
+        c.inc();
+        depth.store(7, Ordering::Relaxed);
+        h.record(1_000);
+        h.record(2_000);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("dini_test_served".into(), "shard=\"0\"".into(), 42)]);
+        assert_eq!(snap.gauges[0].2, 7);
+        assert_eq!(snap.histograms[0].2.count(), 2);
+
+        // Handles stay live across snapshots.
+        c.inc();
+        assert_eq!(reg.snapshot().counters[0].2, 43);
+    }
+
+    #[test]
+    fn json_and_prometheus_render() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dini_served", "shard=\"1\"").add(9);
+        reg.gauge_fn("dini_depth", "", || 3);
+        reg.histogram("dini_lat_ns", "").record(100);
+        let snap = reg.snapshot();
+
+        let json = snap.to_json();
+        assert!(json.contains("\"dini_served{shard='1'}\":9"), "{json}");
+        assert!(json.contains("\"dini_depth\":3"), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE dini_served counter"), "{prom}");
+        assert!(prom.contains("dini_served{shard=\"1\"} 9"), "{prom}");
+        assert!(prom.contains("dini_depth 3"), "{prom}");
+        assert!(prom.contains("dini_lat_ns_count 1"), "{prom}");
+        assert!(prom.contains("quantile=\"0.99\""), "{prom}");
+    }
+
+    #[test]
+    fn latency_line_is_microseconds() {
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(10_000.0); // 10 µs
+        }
+        let line = MetricsSnapshot::latency_line(&h);
+        assert!(line.starts_with("latency p50 "), "{line}");
+        assert!(line.contains("µs"), "{line}");
+    }
+}

@@ -194,12 +194,15 @@ fn emit_json(p: &BenchParams) {
         None => String::new(),
     };
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"keys\": {},\n  \
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"host\": {},\n  \"keys\": {},\n  \
          \"clients\": {},\n  \"lookups_per_client\": {},\n  \
          \"distribution\": \"zipf(256, 1.1)\",\n  \"results\": [\n{records}\n  ],\n  \
          \"replica_sweep_distribution\": \"zipf(256, {REPLICA_SWEEP_ZIPF_S})\",\n  \
          \"replica_sweep\": [\n{replica_records}\n  ]{previous_block}\n}}\n",
-        p.n_keys, p.clients, p.lookups_per_client,
+        dini_obs::host_context().to_json(),
+        p.n_keys,
+        p.clients,
+        p.lookups_per_client,
     );
     std::fs::write(&p.out_path, json).expect("write BENCH_serve.json");
     eprintln!("wrote {}", p.out_path.display());

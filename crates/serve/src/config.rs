@@ -2,6 +2,7 @@
 
 use crate::clock::Clock;
 use crate::faults::ServeFaultPlan;
+use dini_obs::TraceConfig;
 use std::time::Duration;
 
 /// Configuration for [`IndexServer`](crate::IndexServer).
@@ -54,6 +55,13 @@ pub struct ServeConfig {
     /// jitter, stragglers). Defaults to none; the fault-free path pays
     /// only a pre-resolved branch per batch.
     pub faults: ServeFaultPlan,
+    /// Per-request stage tracing (see [`dini_obs::trace`]): seeded
+    /// sampling into pre-allocated per-replica rings. **On by
+    /// default** — the write path is a few atomic stores per *sampled*
+    /// request, and the warmed read path stays allocation-free (pinned
+    /// by `tests/zero_alloc.rs`), so there is no steady-state cost
+    /// worth a dark deployment. [`TraceConfig::disabled`] turns it off.
+    pub trace: TraceConfig,
 }
 
 impl ServeConfig {
@@ -74,6 +82,7 @@ impl ServeConfig {
             publish_every: 64,
             clock: Clock::system(),
             faults: ServeFaultPlan::none(),
+            trace: TraceConfig::default(),
         }
     }
 

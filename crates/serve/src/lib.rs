@@ -43,8 +43,14 @@
 //!   threshold it rebuilds the shard's index off the read path and ships
 //!   it to the dispatcher. Lookups never block on writers.
 //! * [`stats`] — p50/p99/p999 latency and batch-shape accounting on
-//!   [`LogHistogram`](dini_cluster::LogHistogram)s, updated once per
-//!   batch.
+//!   [`LogHistogram`](dini_cluster::LogHistogram)s, held live in
+//!   lock-free `dini-obs` atomics ([`ReplicaMetrics`]) registered in a
+//!   [`MetricsRegistry`](dini_obs::MetricsRegistry) — dispatchers never
+//!   take a stats lock; snapshots merge per replica on demand. Each
+//!   replica also carries a seeded-sampling **stage-trace ring**
+//!   ([`TraceConfig`]): admitted → collected → dispatched → answered →
+//!   filled timestamps per sampled request, readable via
+//!   [`IndexServer::stage_traces`](server::IndexServer::stage_traces).
 //! * [`loadgen`] — closed- and open-loop load generators (uniform/Zipf
 //!   keys via `dini-workload`, Poisson arrivals) for exercising all of
 //!   the above.
@@ -105,7 +111,11 @@ pub use oneshot::SlotPool;
 pub use router::{ReplicaSelector, ShardRouter};
 pub use server::{IndexServer, PendingLookup, ServerHandle, UpdateHandle};
 pub use snapshot::{EpochCell, ShardSnapshot};
-pub use stats::{ServeStats, ShardStats};
+pub use stats::{ReplicaMetrics, ServeStats, ShardStats};
+
+// Observability vocabulary re-exported so serving callers can configure
+// tracing and consume snapshots without naming the obs crate.
+pub use dini_obs::{MetricsSnapshot, StageRecord, TraceConfig};
 
 // Re-exported so callers can drive the server without naming the
 // workload crate.

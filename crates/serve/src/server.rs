@@ -53,14 +53,15 @@ use crate::faults::ReplicaFaults;
 use crate::oneshot::{ReplySlot, SlotPool};
 use crate::router::{ReplicaSelector, ShardRouter};
 use crate::snapshot::{EpochCell, ShardSnapshot};
-use crate::stats::{ServeStats, ShardStats};
+use crate::stats::{ReplicaMetrics, ServeStats, ShardStats};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use dini_cache_sim::NullMemory;
 use dini_core::{DistributedIndex, NativeConfig};
 use dini_index::{DeltaArray, RankIndex};
+use dini_obs::{MetricsRegistry, MetricsSnapshot, StageRecord};
 use dini_workload::Op;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How long an idle dispatcher sleeps between shutdown-flag checks.
@@ -121,8 +122,14 @@ pub struct IndexServer {
     /// `queues[shard][replica]`.
     queues: Vec<Vec<AdmissionQueue>>,
     pools: Vec<Arc<SlotPool>>,
-    /// Replica-major: `shard * replicas_per_shard + replica`.
-    shard_stats: Vec<Arc<Mutex<ShardStats>>>,
+    /// Replica-major: `shard * replicas_per_shard + replica`. Live
+    /// lock-free accumulators (the dispatchers write them in place);
+    /// [`stats`](Self::stats) folds them at read time.
+    replica_metrics: Vec<Arc<ReplicaMetrics>>,
+    /// Every instrument above plus queue/writer gauges, behind named
+    /// handles — what [`metrics_snapshot`](Self::metrics_snapshot)
+    /// serializes.
+    metrics: Arc<MetricsRegistry>,
     counters: Arc<WriterCounters>,
     shutdown: Arc<AtomicBool>,
     clock: Clock,
@@ -188,10 +195,11 @@ impl IndexServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(WriterCounters::default());
         counters.live_keys.store(keys.len() as u64, Ordering::Relaxed);
+        let metrics = Arc::new(MetricsRegistry::new());
 
         let n_replicas = cfg.replicas_per_shard;
         let mut queues = Vec::with_capacity(cfg.n_shards);
-        let mut shard_stats = Vec::with_capacity(cfg.n_shards * n_replicas);
+        let mut replica_metrics = Vec::with_capacity(cfg.n_shards * n_replicas);
         let mut cells = Vec::with_capacity(cfg.n_shards);
         let mut rebuild_txs = Vec::with_capacity(cfg.n_shards);
         let mut dispatchers = Vec::with_capacity(cfg.n_shards * n_replicas);
@@ -221,7 +229,17 @@ impl IndexServer {
                 rebuild_rxs.push(rebuild_rx);
             }
             for (r, (req_rx, rebuild_rx)) in req_rxs.into_iter().zip(rebuild_rxs).enumerate() {
-                let stats = Arc::new(Mutex::new(ShardStats::default()));
+                let stats = Arc::new(ReplicaMetrics::new(&metrics, s, r, &cfg.trace));
+                // Queue gauges poll the admission atomics at snapshot
+                // time — live depth is already load-bearing state (the
+                // p2c router reads it), so exposing it costs nothing.
+                let q = group[r].clone();
+                let labels = format!("shard=\"{s}\",replica=\"{r}\"");
+                metrics.gauge_fn("dini_serve_queue_depth", &labels, move || q.depth());
+                let q = group[r].clone();
+                metrics.gauge_fn("dini_serve_admitted", &labels, move || q.admitted());
+                let q = group[r].clone();
+                metrics.gauge_fn("dini_serve_shed", &labels, move || q.shed());
                 dispatchers.push(spawn_dispatcher(Dispatcher {
                     shard: s,
                     replica: r,
@@ -237,7 +255,7 @@ impl IndexServer {
                     clock: cfg.clock.clone(),
                     faults: cfg.faults.for_replica(s, r),
                 }));
-                shard_stats.push(stats);
+                replica_metrics.push(stats);
             }
             queues.push(group);
             cells.push(cell);
@@ -271,12 +289,25 @@ impl IndexServer {
             })
             .collect();
 
+        // Writer-side gauges: snapshots read the same atomics stats()
+        // folds, just through named handles.
+        let c = counters.clone();
+        metrics.gauge_fn("dini_serve_live_keys", "", move || c.live_keys.load(Ordering::Relaxed));
+        let c = counters.clone();
+        metrics.gauge_fn("dini_serve_snapshots", "", move || c.snapshots.load(Ordering::Relaxed));
+        let c = counters.clone();
+        metrics.gauge_fn("dini_serve_merges", "", move || c.merges.load(Ordering::Relaxed));
+        let c = counters.clone();
+        metrics
+            .gauge_fn("dini_serve_updates_applied", "", move || c.updates.load(Ordering::Relaxed));
+
         Self {
             router,
             selector,
             queues,
             pools,
-            shard_stats,
+            replica_metrics,
+            metrics,
             counters,
             shutdown,
             clock: cfg.clock,
@@ -358,11 +389,12 @@ impl IndexServer {
         self.selector.n_replicas()
     }
 
-    /// Point-in-time aggregate statistics.
+    /// Point-in-time aggregate statistics: the per-replica atomics
+    /// merged at snapshot time (no dispatcher is ever blocked by this).
     pub fn stats(&self) -> ServeStats {
         let mut total = ServeStats::default();
-        for s in &self.shard_stats {
-            total.absorb_shard(&s.lock().expect("stats poisoned"));
+        for m in &self.replica_metrics {
+            total.absorb_shard(&m.snapshot());
         }
         for q in self.queues.iter().flatten() {
             total.admitted += q.admitted();
@@ -380,7 +412,29 @@ impl IndexServer {
     /// breakdown load-balance assertions (and the simtest straggler
     /// oracle) read.
     pub fn replica_stats(&self) -> Vec<ShardStats> {
-        self.shard_stats.iter().map(|s| s.lock().expect("stats poisoned").clone()).collect()
+        self.replica_metrics.iter().map(|m| m.snapshot()).collect()
+    }
+
+    /// Live admission-queue depths, replica-major (same indexing as
+    /// [`replica_stats`](Self::replica_stats)) — the per-replica load
+    /// split a `StatsReply` frame reports over the wire.
+    pub fn replica_depths(&self) -> Vec<u64> {
+        self.queues.iter().flatten().map(|q| q.depth()).collect()
+    }
+
+    /// Every replica's sampled stage records, replica-major then
+    /// oldest-first within a replica. Each record carries its
+    /// shard/replica coordinates. Allocates — a reader-side operation.
+    pub fn stage_traces(&self) -> Vec<StageRecord> {
+        self.replica_metrics.iter().flat_map(|m| m.stage_records()).collect()
+    }
+
+    /// Snapshot the whole metrics registry: per-replica
+    /// counters/histograms, queue gauges, and writer gauges, ready for
+    /// [`MetricsSnapshot::to_json`] or
+    /// [`MetricsSnapshot::to_prometheus`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 }
 
@@ -582,7 +636,7 @@ fn crashed_failover(
     shutdown: &AtomicBool,
     group: &[AdmissionQueue],
     me: usize,
-    stats: &Mutex<ShardStats>,
+    stats: &ReplicaMetrics,
     batch: &mut Vec<Request>,
 ) {
     // The flag goes down before any re-route so no sibling can bounce a
@@ -591,7 +645,7 @@ fn crashed_failover(
     let rehome = |req: Request| {
         group[me].complete(1);
         if reroute_one(group, me, req) {
-            stats.lock().expect("stats poisoned").rerouted += 1;
+            stats.inc_rerouted();
         }
     };
     for req in batch.drain(..) {
@@ -622,7 +676,7 @@ struct Dispatcher {
     /// replica's own, at index `replica`): the failover path re-routes
     /// through the siblings, and the depth gauge lives here.
     group: Vec<AdmissionQueue>,
-    stats: Arc<Mutex<ShardStats>>,
+    stats: Arc<ReplicaMetrics>,
     shutdown: Arc<AtomicBool>,
     max_batch: usize,
     max_delay: Duration,
@@ -657,6 +711,10 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
         let mut keys: Vec<u32> = Vec::new();
         let mut local: Vec<u32> = Vec::new();
         let mut latencies: Vec<f64> = Vec::new();
+        // Admission timestamps of this batch's *sampled* requests —
+        // decided before replies go out (a reaped caller may tear the
+        // server down), stamped after, so tracing never delays a reply.
+        let mut sampled: Vec<u64> = Vec::with_capacity(max_batch);
         loop {
             let first = match clock.recv_timeout(&req_rx, IDLE_POLL) {
                 Ok(req) => req,
@@ -688,7 +746,7 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
                         adopted = true;
                     }
                     if adopted {
-                        stats.lock().expect("stats poisoned").rebuilds = rebuilds_adopted;
+                        stats.set_rebuilds(rebuilds_adopted);
                     }
                     continue;
                 }
@@ -697,6 +755,7 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
 
             let disconnected =
                 collect_batch_into(&clock, &req_rx, first, &mut batch, max_batch, max_delay);
+            let collected = clock.now();
 
             // Injected faults, in virtual (or wall) time: a crash here
             // is the "mid-batch" case — the batch is collected but never
@@ -738,6 +797,7 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
             if fresh.main_epoch == main_epoch {
                 overlay = fresh;
             }
+            let dispatched = clock.now();
 
             keys.clear();
             keys.extend(batch.iter().map(|r| r.key));
@@ -756,11 +816,21 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
             // Record the batch *before* releasing any reply: the first
             // respond() below wakes its caller, and a caller that has
             // reaped every reply must be able to read fully settled
-            // counters (stats().served includes its lookups).
-            {
-                let mut s = stats.lock().expect("stats poisoned");
-                s.record_batch(&latencies);
-                s.rebuilds = rebuilds_adopted;
+            // counters (stats().served includes its lookups). The adds
+            // are Relaxed but sequenced before the reply slot's Release
+            // fill, and the caller's reap is an Acquire — so a reaped
+            // reply implies visible counters, mutex or no mutex.
+            stats.record_batch(&latencies);
+            stats.set_rebuilds(rebuilds_adopted);
+            // Stage tracing: pick the sampled requests now (the seeded
+            // counter must advance once per request, served or not),
+            // stamp records after replies are released.
+            sampled.clear();
+            let ring = stats.trace();
+            for req in batch.iter() {
+                if ring.sample() {
+                    sampled.push(req.enqueued);
+                }
             }
             for (req, &local_rank) in batch.drain(..).zip(local.iter()) {
                 let rank = i64::from(overlay.base_rank)
@@ -775,6 +845,25 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
             // (in-flight requests count as load, which is what lets
             // power-of-two-choices steer around a straggling replica).
             group[replica].complete(served);
+            // Stamp sampled stage records only now, off every caller's
+            // critical path (`filled` = all replies released).
+            if !sampled.is_empty() {
+                let filled = clock.now();
+                for &admitted in &sampled {
+                    ring.push(&StageRecord {
+                        shard: shard as u16,
+                        replica: replica as u16,
+                        batch_len: served as u32,
+                        admitted_ns: admitted,
+                        collected_ns: collected,
+                        dispatched_ns: dispatched,
+                        answered_ns: done,
+                        filled_ns: filled,
+                        encoded_ns: 0,
+                        acked_ns: 0,
+                    });
+                }
+            }
             if disconnected {
                 break;
             }
@@ -1271,5 +1360,46 @@ mod tests {
             w.join().unwrap();
         }
         assert_eq!(server.stats().served, 8 * 500);
+    }
+
+    #[test]
+    fn stage_traces_sample_and_stay_monotonic() {
+        let keys = gen_sorted_unique_keys(10_000, 51);
+        let mut c = cfg(2);
+        c.trace = dini_obs::TraceConfig::dense(); // sample every request
+        let server = IndexServer::build(&keys, c);
+        let h = server.handle();
+        for q in 0..200u32 {
+            h.lookup(q * 37).unwrap();
+        }
+        let traces = server.stage_traces();
+        assert!(!traces.is_empty(), "dense sampling must record traces");
+        for t in &traces {
+            assert!(t.stages_monotonic(), "stage clock went backwards: {t:?}");
+            assert!((t.shard as usize) < 2);
+            assert!(t.batch_len >= 1 && t.batch_len as usize <= 64);
+        }
+        // Depth gauges exist per replica and read 0 once all replies
+        // are reaped and the queues drained.
+        let depths = server.replica_depths();
+        assert_eq!(depths.len(), 2);
+        // The registry snapshot renders both formats without panicking
+        // and carries the per-replica served counters.
+        let snap = server.metrics_snapshot();
+        assert!(snap.to_prometheus().contains("dini_serve_served"));
+        assert!(snap.to_json().contains("dini_serve_latency_ns"));
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let keys = gen_sorted_unique_keys(2_000, 52);
+        let mut c = cfg(1);
+        c.trace = dini_obs::TraceConfig::disabled();
+        let server = IndexServer::build(&keys, c);
+        let h = server.handle();
+        for q in 0..100u32 {
+            h.lookup(q).unwrap();
+        }
+        assert!(server.stage_traces().is_empty());
     }
 }

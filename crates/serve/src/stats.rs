@@ -4,14 +4,113 @@
 //! "severe constraints in both throughput and response time". Latency
 //! samples (reply − enqueue, i.e. including coalescing and queueing
 //! delay) land in [`dini_cluster::LogHistogram`]s — fixed memory, O(1)
-//! insert, quantiles good to one log-bin — updated once per *batch*
-//! under a per-shard mutex, so accounting stays off the per-query path.
+//! insert, quantiles good to one log-bin.
+//!
+//! The live accumulators are [`ReplicaMetrics`]: `dini-obs` atomics
+//! (lock-free histograms, counters, and a stage-trace ring) registered
+//! under named handles in the server's
+//! [`MetricsRegistry`]. Dispatchers record
+//! once per *batch* without taking any lock; the mutex-guarded fold
+//! this replaced only materializes now at snapshot time, as the plain
+//! [`ShardStats`] value type.
 
 use dini_cluster::LogHistogram;
+use dini_obs::{AtomicLogHistogram, Counter, MetricsRegistry, StageRecord, TraceConfig, TraceRing};
+use std::sync::Arc;
 
-/// One replica's accumulated accounting (guarded by a mutex in the
-/// server; the dispatcher takes it once per batch — with replica
-/// groups, every replica of a shard has its own `ShardStats`, so
+/// One replica's live, lock-free accounting: `dini-obs` atomics the
+/// dispatcher updates in place (no mutex anywhere on the dispatch
+/// path), plus the replica's stage-trace ring. Handles are registered
+/// in the server's [`MetricsRegistry`] under
+/// `shard="s",replica="r"` labels, so a registry snapshot sees every
+/// replica without touching the dispatchers.
+///
+/// The visibility contract callers rely on (`stats().served` includes
+/// every reaped lookup) survives the mutex removal: the dispatcher
+/// records a batch *before* releasing its replies, each reply release
+/// is an acquire/release handoff through the reply slot, and so a
+/// caller that has observed its reply observes the `Relaxed` counter
+/// updates sequenced before it.
+#[derive(Debug)]
+pub struct ReplicaMetrics {
+    latency_ns: Arc<AtomicLogHistogram>,
+    batch_size: Arc<AtomicLogHistogram>,
+    served: Counter,
+    batches: Counter,
+    rebuilds: Counter,
+    rerouted: Counter,
+    trace: TraceRing,
+}
+
+impl ReplicaMetrics {
+    /// Build one replica's handles, registering them in `reg` labelled
+    /// with the replica's coordinates. The trace ring's sampling seed
+    /// is decorrelated per replica so replicas sample different
+    /// residue classes of their own request streams.
+    pub fn new(reg: &MetricsRegistry, shard: usize, replica: usize, trace: &TraceConfig) -> Self {
+        let labels = format!("shard=\"{shard}\",replica=\"{replica}\"");
+        let flat_salt = ((shard as u64) << 16 | replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self {
+            latency_ns: reg.histogram("dini_serve_latency_ns", &labels),
+            batch_size: reg.histogram("dini_serve_batch_size", &labels),
+            served: reg.counter("dini_serve_served", &labels),
+            batches: reg.counter("dini_serve_batches", &labels),
+            rebuilds: reg.counter("dini_serve_rebuilds", &labels),
+            rerouted: reg.counter("dini_serve_rerouted", &labels),
+            trace: TraceRing::new(&TraceConfig { seed: trace.seed ^ flat_salt, ..trace.clone() }),
+        }
+    }
+
+    /// Fold one departed batch in. Lock-free and allocation-free:
+    /// atomic adds only.
+    pub fn record_batch(&self, latencies_ns: &[f64]) {
+        for &ns in latencies_ns {
+            self.latency_ns.record(ns.max(0.0) as u64);
+        }
+        self.batch_size.record(latencies_ns.len() as u64);
+        self.served.add(latencies_ns.len() as u64);
+        self.batches.inc();
+    }
+
+    /// Overwrite the rebuilds-adopted running total (the dispatcher
+    /// tracks it locally and republishes).
+    pub fn set_rebuilds(&self, n: u64) {
+        self.rebuilds.set(n);
+    }
+
+    /// Count one failover hand-off to a surviving sibling.
+    pub fn inc_rerouted(&self) {
+        self.rerouted.inc();
+    }
+
+    /// This replica's stage-trace ring (the dispatcher is its single
+    /// writer; anyone may snapshot it).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Sampled stage records currently retained, oldest first.
+    pub fn stage_records(&self) -> Vec<StageRecord> {
+        self.trace.snapshot()
+    }
+
+    /// Materialize the atomics into a plain [`ShardStats`] value — the
+    /// merge point that replaced the old once-per-batch mutex fold.
+    pub fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            latency_ns: self.latency_ns.snapshot(),
+            batch_size: self.batch_size.snapshot(),
+            served: self.served.get(),
+            batches: self.batches.get(),
+            rebuilds: self.rebuilds.get(),
+            rerouted: self.rerouted.get(),
+        }
+    }
+}
+
+/// One replica's accounting at a point in time (the value
+/// [`ReplicaMetrics::snapshot`] materializes from the live atomics —
+/// with replica groups, every replica of a shard has its own, so
 /// per-replica load and failover activity stay visible).
 #[derive(Debug, Clone, Default)]
 pub struct ShardStats {
@@ -131,6 +230,51 @@ mod tests {
         assert_eq!(s.batches, 2);
         assert_eq!(s.latency_ns.count(), 4);
         assert_eq!(s.batch_size.count(), 2);
+    }
+
+    #[test]
+    fn replica_metrics_snapshot_matches_mutex_era_fold() {
+        // The atomic accumulator must materialize exactly what the old
+        // mutex-guarded ShardStats fold produced for the same batches.
+        let reg = MetricsRegistry::new();
+        let m = ReplicaMetrics::new(&reg, 1, 0, &TraceConfig::default());
+        let mut plain = ShardStats::default();
+        for batch in [&[100.0, 200.0, 300.0][..], &[50.0][..]] {
+            m.record_batch(batch);
+            plain.record_batch(batch);
+        }
+        m.set_rebuilds(3);
+        plain.rebuilds = 3;
+        m.inc_rerouted();
+        plain.rerouted = 1;
+        let snap = m.snapshot();
+        assert_eq!(snap.served, plain.served);
+        assert_eq!(snap.batches, plain.batches);
+        assert_eq!(snap.rebuilds, 3);
+        assert_eq!(snap.rerouted, 1);
+        assert_eq!(snap.latency_ns, plain.latency_ns);
+        assert_eq!(snap.batch_size, plain.batch_size);
+
+        // And the registry sees the same replica through its labels.
+        let reg_snap = reg.snapshot();
+        let served = reg_snap
+            .counters
+            .iter()
+            .find(|(n, l, _)| n == "dini_serve_served" && l.contains("shard=\"1\""))
+            .expect("served counter registered");
+        assert_eq!(served.2, 4);
+    }
+
+    #[test]
+    fn replica_metrics_trace_ring_is_seed_decorrelated() {
+        let reg = MetricsRegistry::new();
+        let cfg = TraceConfig { capacity: 8, sample_period: 4, seed: 9 };
+        let a = ReplicaMetrics::new(&reg, 0, 0, &cfg);
+        let b = ReplicaMetrics::new(&reg, 0, 1, &cfg);
+        let hits_a: Vec<bool> = (0..16).map(|_| a.trace().sample()).collect();
+        let hits_b: Vec<bool> = (0..16).map(|_| b.trace().sample()).collect();
+        assert_eq!(hits_a.iter().filter(|&&h| h).count(), 4);
+        assert_ne!(hits_a, hits_b, "replicas must sample different residue classes");
     }
 
     #[test]

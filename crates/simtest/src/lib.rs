@@ -70,7 +70,7 @@ pub use net::{run_net_scenario, run_net_scenario_reproducibly, NetReport, NetSce
 
 use dini_serve::{
     Clock, IndexServer, PendingLookup, ServeConfig, ServeError, ServeFaultPlan, ServerHandle,
-    SimClock,
+    SimClock, TraceConfig,
 };
 use dini_workload::{
     gen_sorted_unique_keys, ArrivalGen, ArrivalProcess, ChurnGen, KeyDistribution, KeyGen, Op,
@@ -127,6 +127,10 @@ pub struct Scenario {
     pub latency_bound: Option<Duration>,
     /// Issue a mid-run `quiesce()` and verify immediate visibility.
     pub quiesce_mid_run: bool,
+    /// Stage-trace sampling period (1 = trace every request, 0 =
+    /// tracing off). Sampled records feed the stage-timing oracle and
+    /// their count is pinned in the deterministic report.
+    pub trace_sample_period: u64,
 }
 
 impl Scenario {
@@ -151,6 +155,7 @@ impl Scenario {
             faults: ServeFaultPlan::none(),
             latency_bound: Some(Duration::from_micros(250)),
             quiesce_mid_run: false,
+            trace_sample_period: 64,
         }
     }
 
@@ -219,6 +224,10 @@ pub struct Report {
     /// (`shard * replicas_per_shard + replica`) — the breakdown the
     /// straggler and load-balance oracles read.
     pub per_replica_served: Vec<u64>,
+    /// Stage-trace records sampled across all replicas. Same seed, same
+    /// schedule, same samples — pinned by the reproducibility contract
+    /// like every other field.
+    pub trace_records: u64,
 }
 
 /// What one probe client observed.
@@ -331,6 +340,11 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Report {
     cfg.slaves_per_shard = 1; // thread economy: scenarios sweep many seeds
     cfg.clock = clock.clone();
     cfg.faults = sc.faults.clone();
+    cfg.trace = if sc.trace_sample_period == 0 {
+        TraceConfig::disabled()
+    } else {
+        TraceConfig { capacity: 4096, sample_period: sc.trace_sample_period, seed }
+    };
     let server = IndexServer::build(&keys, cfg);
     let handle = server.handle();
 
@@ -443,6 +457,51 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Report {
     assert_eq!(shed, stats.shed, "[{}] shed counts disagree", sc.name);
     assert!(ok <= stats.admitted, "[{}] more oks than admissions", sc.name);
 
+    // Oracle 5: stage-timing — every sampled trace record advances
+    // monotonically through admitted → collected → dispatched →
+    // answered → filled on the virtual clock, batches respect the
+    // configured ceiling, and when the scenario declares a latency
+    // bound, both the coalescing wait and the full stage span honour
+    // it (the bound covers admitted→answered, which is exactly the
+    // per-query latency Oracle 3 already pins).
+    let traces = server.stage_traces();
+    for r in &traces {
+        assert!(r.stages_monotonic(), "[{}] stage trace not monotonic: {r:?}", sc.name);
+        assert!(
+            (r.batch_len as usize) >= 1 && (r.batch_len as usize) <= sc.max_batch,
+            "[{}] traced batch of {} outside 1..={}",
+            sc.name,
+            r.batch_len,
+            sc.max_batch
+        );
+        assert!(
+            (r.shard as usize) < sc.shards && (r.replica as usize) < sc.replicas_per_shard,
+            "[{}] trace record from unknown replica {}/{}",
+            sc.name,
+            r.shard,
+            r.replica
+        );
+        if let Some(bound) = sc.latency_bound {
+            let bound = bound.as_nanos() as u64;
+            assert!(
+                r.wait_ns() <= bound && r.answered_ns.saturating_sub(r.admitted_ns) <= bound,
+                "[{}] traced stage span exceeds the virtual-time bound {bound} ns: {r:?}",
+                sc.name
+            );
+        }
+        oracle_checks += 1;
+    }
+    if sc.trace_sample_period == 1 && sc.faults.is_noop() {
+        // Dense sampling with no crashes: every served query was
+        // considered, so a busy run must have retained records.
+        assert!(
+            stats.served == 0 || !traces.is_empty(),
+            "[{}] dense tracing recorded nothing across {} served",
+            sc.name,
+            stats.served
+        );
+    }
+
     let report = Report {
         digest: 0, // filled after the server (and its threads) wind down
         events: 0,
@@ -460,6 +519,7 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Report {
         oracle_checks,
         rerouted: stats.rerouted,
         per_replica_served: server.replica_stats().iter().map(|s| s.served).collect(),
+        trace_records: traces.len() as u64,
     };
     drop(handle);
     drop(server);

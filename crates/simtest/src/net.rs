@@ -99,6 +99,14 @@ pub struct NetScenario {
     /// in the bound you pass). `None` disables (e.g. under drops, where
     /// tails legitimately include retry timeouts).
     pub latency_bound: Option<Duration>,
+    /// Mid-load `StatsRequest` polls issued per span by a dedicated
+    /// sim-registered poller thread (0 = no wire introspection). Each
+    /// successful poll asserts the served counter is monotone and never
+    /// ahead of admissions — live observability riding the same lookup
+    /// socket as the load it observes.
+    pub stats_polls: usize,
+    /// Virtual pause between stats polls.
+    pub stats_poll_gap: Duration,
 }
 
 impl NetScenario {
@@ -125,6 +133,8 @@ impl NetScenario {
             jitter_max: Duration::ZERO,
             link_down: Vec::new(),
             latency_bound: None,
+            stats_polls: 0,
+            stats_poll_gap: Duration::from_micros(500),
         }
     }
 }
@@ -159,6 +169,9 @@ pub struct NetReport {
     pub served_per_server: Vec<u64>,
     /// Churn operations that mutated some server's index.
     pub updates_applied: u64,
+    /// Mid-load wire stats polls that came back (each one oracle-checked
+    /// for monotone accounting).
+    pub stats_polls_ok: u64,
 }
 
 struct Tally {
@@ -378,6 +391,45 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
         })
     });
 
+    // Wire introspection mid-load: a sim-registered poller fires
+    // `StatsRequest`s at every live span while the probes hammer the
+    // same sockets, asserting the counters only ever move forward.
+    let severed_for_poller = fully_severed_spans(sc);
+    let stats_thread = (sc.stats_polls > 0).then(|| {
+        let h = client.handle();
+        let clock2 = clock.clone();
+        let (polls, gap, spans, name) = (sc.stats_polls, sc.stats_poll_gap, sc.spans, sc.name);
+        clock.spawn("net-stats-poll", move || {
+            let mut prev_served = vec![0u64; spans];
+            let mut ok_polls = 0u64;
+            for _ in 0..polls {
+                clock2.sleep(gap);
+                for (span, prev) in prev_served.iter_mut().enumerate() {
+                    if severed_for_poller.contains(&span) {
+                        continue;
+                    }
+                    let Ok(s) = h.span_stats(span) else { continue };
+                    assert!(
+                        s.served >= *prev,
+                        "[{name}] span {span} served counter went backwards: \
+                         {} then {}",
+                        *prev,
+                        s.served
+                    );
+                    assert!(
+                        s.served <= s.admitted,
+                        "[{name}] span {span} served {} ahead of admitted {}",
+                        s.served,
+                        s.admitted
+                    );
+                    *prev = s.served;
+                    ok_polls += 1;
+                }
+            }
+            ok_polls
+        })
+    });
+
     let verify_during = sc.churn_ops == 0;
     let probes: Vec<_> = (0..sc.clients)
         .map(|id| {
@@ -409,6 +461,7 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
     if let Some(t) = churn_thread {
         t.join().expect("net churn panicked");
     }
+    let stats_polls_ok = stats_thread.map_or(0, |t| t.join().expect("stats poller panicked"));
 
     // Oracle 1: reply completeness — exactly one resolution per lookup,
     // drops, duplicates, retries, and failover notwithstanding.
@@ -460,6 +513,36 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
         );
     }
 
+    // Oracle 5: wire-level introspection agrees with in-process truth.
+    // With load drained, a final `StatsRequest` to each surviving
+    // single-endpoint span must report exactly what that server's own
+    // counters say (served settles once every reply is reaped).
+    if sc.stats_polls > 0 && sc.endpoints_per_span == 1 {
+        // One endpoint per span means the span-major flat index is the
+        // span itself, so each poll names its process unambiguously.
+        for (span, srv) in servers.iter().enumerate() {
+            if severed.contains(&span) {
+                continue;
+            }
+            let wire = handle
+                .span_stats(span)
+                .unwrap_or_else(|e| panic!("[{}] final stats poll failed: {e:?}", sc.name));
+            let local = srv.server().stats();
+            assert_eq!(
+                wire.served, local.served,
+                "[{}] span {span}: wire-polled served disagrees with the process",
+                sc.name
+            );
+            assert_eq!(
+                wire.live_keys,
+                srv.server().len() as u64,
+                "[{}] span {span}: wire-polled live_keys disagrees with the process",
+                sc.name
+            );
+            oracle_checks += 1;
+        }
+    }
+
     let stats = client.stats();
     let served_per_server: Vec<u64> = servers.iter().map(|s| s.server().stats().served).collect();
     let updates_applied: u64 = servers.iter().map(|s| s.server().stats().updates_applied).sum();
@@ -478,6 +561,7 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
         oracle_checks,
         served_per_server,
         updates_applied,
+        stats_polls_ok,
     };
     drop(handle);
     drop(client);

@@ -126,6 +126,30 @@ fn churn_stays_epoch_consistent_across_processes() {
 }
 
 #[test]
+fn live_stats_polls_mid_load_agree_with_the_processes() {
+    // Wire introspection under load, on virtual time: a dedicated poller
+    // thread fires StatsRequest frames at both spans every 500 µs while
+    // the probe clients saturate the same sockets. The runner's oracles
+    // assert each poll sees monotone, never-ahead-of-admission counters,
+    // and after the load drains a final poll per span must agree
+    // *exactly* with the in-process server's own accounting — the
+    // observability plane and the data plane describing one truth.
+    let mut sc = NetScenario::base("net-live-stats-polls");
+    sc.stats_polls = 8;
+    sc.stats_poll_gap = Duration::from_micros(500);
+    sc.latency_bound = None; // ctrl frames share the lookup FIFO
+    for seed in seeds_from_env() {
+        let r = run_net_scenario_reproducibly(&sc, seed);
+        assert_eq!(r.ok, r.issued, "polling must not perturb the load: {r:?}");
+        assert_eq!((r.shed, r.shutdown, r.retries), (0, 0, 0));
+        assert!(
+            r.stats_polls_ok > 0,
+            "seed {seed}: mid-load polls must actually come back ({r:?})"
+        );
+    }
+}
+
+#[test]
 fn distinct_seeds_produce_distinct_schedules() {
     let sc = NetScenario::base("net-seeds-differ");
     let a = dini_simtest::run_net_scenario(&sc, 1);

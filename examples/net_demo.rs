@@ -16,6 +16,7 @@
 
 use dini::net::transport::{TcpAcceptorT, TcpDialer};
 use dini::net::{run_net_load, Acceptor, ClientConfig, NetServerConfig, Topology};
+use dini::obs::MetricsSnapshot;
 use dini::serve::ServeConfig;
 use dini::workload::{ChurnGen, KeyDistribution, Op, OpMix};
 use dini::{NetServer, RemoteClient};
@@ -139,6 +140,8 @@ fn client_process() {
 
     println!("\n== two-process load report ({clients} closed-loop clients over TCP) ==");
     println!("{}", report.summary());
+    println!("client-observed {}", MetricsSnapshot::latency_line(&report.latency_ns));
+    println!("wire RTT per batch: {}", MetricsSnapshot::latency_line(&handle.wire_rtt()));
     let stats = client.stats();
     println!(
         "client accounting: {} admitted, {} shed, {} retries, {} rerouted",

@@ -15,6 +15,7 @@
 
 use dini::net::transport::{TcpAcceptorT, TcpDialer};
 use dini::net::{run_net_load, Acceptor, ClientConfig, NetServerConfig, Topology};
+use dini::obs::MetricsSnapshot;
 use dini::serve::{IndexServer, LoadMode, Op, ServeConfig};
 use dini::workload::{ChurnGen, KeyDistribution, OpMix};
 use dini::{NetServer, RemoteClient};
@@ -89,8 +90,11 @@ fn main() {
 
     println!("\n== load report ({} closed-loop clients) ==", clients);
     println!("{}", report.summary());
+    println!("client-observed {}", MetricsSnapshot::latency_line(&report.latency_ns));
     println!("\n== server accounting ==");
-    println!("{}", server.stats().summary());
+    let stats = server.stats();
+    println!("{}", stats.summary());
+    println!("server-side   {}", MetricsSnapshot::latency_line(&stats.latency_ns));
     let per_replica = server.replica_stats();
     let replicas = server.replicas_per_shard();
     print!("per replica (served):");
@@ -156,6 +160,7 @@ fn tcp_comparison(keys: &[u32], clients: usize, lookups_per_client: usize) {
 
     println!("\n== load report ({clients} closed-loop clients, TCP loopback) ==");
     println!("{}", report.summary());
+    println!("client-observed {}", MetricsSnapshot::latency_line(&report.latency_ns));
     println!("(compare with the in-process line above: same load, plus the wire)");
 
     // Spot-check: remote ranks equal the local index.

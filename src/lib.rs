@@ -16,6 +16,7 @@
 //! | [`core`] | Methods A, B, C-1/C-2/C-3, really-dispatched A/B + the native [`DistributedIndex`] |
 //! | [`serve`] | sharded, replicated, batch-coalescing serving layer: replica groups with load-aware routing + failover, admission control, online updates, load generators, `Clock` time-virtualization seam |
 //! | [`net`] | the transport layer: versioned wire frames, TCP and simulated-network backends, `NetServer` span hosting, `RemoteClient` with shard-map routing + client-side coalescing + retry + failover |
+//! | [`obs`] | observability: lock-free per-request stage tracing, atomic metrics registry with JSON/Prometheus snapshots, wire-pollable live stats, host context capture |
 //! | [`simtest`] | deterministic simulation testing: the real serving stack on seeded virtual time, fault scenarios + invariant oracles |
 //!
 //! ## Quickstart (native, real threads)
@@ -95,6 +96,7 @@ pub use dini_core as core;
 pub use dini_index as index;
 pub use dini_model as model;
 pub use dini_net as net;
+pub use dini_obs as obs;
 pub use dini_serve as serve;
 pub use dini_simtest as simtest;
 pub use dini_sysprobe as sysprobe;

@@ -15,7 +15,7 @@
 //! those allocations are the amortised setup the paper's economics
 //! permit. What the invariant forbids is *per-lookup* allocation.
 
-use dini::serve::{IndexServer, ServeConfig};
+use dini::serve::{IndexServer, ServeConfig, TraceConfig};
 use dini::{DistributedIndex, NativeConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -113,6 +113,11 @@ fn serve_steady_state_lookup_is_allocation_free() {
     cfg.slaves_per_shard = 2;
     cfg.max_batch = 64;
     cfg.max_delay = Duration::from_micros(50);
+    // Densest possible observability: *every* request is considered and
+    // recorded into the pre-allocated stage-trace rings, and the
+    // lock-free per-replica metrics run as always. Instrumentation must
+    // ride the steady state for free or it doesn't ship.
+    cfg.trace = TraceConfig::dense();
     let server = IndexServer::build(&keys, cfg);
     let h = server.handle();
 
@@ -134,11 +139,23 @@ fn serve_steady_state_lookup_is_allocation_free() {
     });
     assert_eq!(
         allocs, 0,
-        "the steady-state dispatch path allocated {allocs} times across 1000 lookups; \
-         pooled reply slots + reused batch scratch + recycled scatter buffers \
-         must make warmed lookups allocation-free end to end"
+        "the steady-state dispatch path allocated {allocs} times across 1000 lookups \
+         with dense stage tracing enabled; pooled reply slots + reused batch scratch + \
+         recycled scatter buffers + pre-allocated trace rings must make warmed, fully \
+         instrumented lookups allocation-free end to end"
     );
     assert!(checksum > 0, "lookups still answer");
+
+    // The instrumentation was genuinely live inside the armed window:
+    // dense sampling must have retained records for the traffic above.
+    // (Snapshotting the rings allocates, which is why it runs *after*
+    // the counted section.)
+    let traces = server.stage_traces();
+    assert!(
+        !traces.is_empty(),
+        "dense tracing must have recorded stage traces during the armed window"
+    );
+    assert!(traces.iter().all(|r| r.stages_monotonic()), "recorded traces are well-formed");
 
     // And the answers stay exact.
     for q in [0u32, 1, 199_997, 200_000, u32::MAX] {
