@@ -1,0 +1,190 @@
+//! Public checker API: run a closure under exhaustive bounded
+//! exploration of schedules and weak-memory value visibility.
+//!
+//! ```ignore
+//! use dini_check::model::{model, thread};
+//!
+//! model("my-protocol", || {
+//!     let cell = dini_check::sync::Arc::new(MyCell::new());
+//!     let t = {
+//!         let cell = cell.clone();
+//!         thread::spawn(move || cell.produce(7))
+//!     };
+//!     assert!(matches!(cell.consume(), None | Some(7)));
+//!     t.join();
+//! });
+//! ```
+//!
+//! The closure runs once per distinct execution; any panic inside it
+//! (assertion failure, detected deadlock, use-after-free, leak) aborts
+//! exploration and re-panics with the schedule trail that produced it.
+
+use crate::sched::{self, Bounds, Decision};
+
+pub use crate::sched::MAX_THREADS;
+
+/// What a completed (fully explored) model run looked like.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Distinct executions (interleaving × value-visibility choices)
+    /// explored.
+    pub executions: u64,
+    /// Total scheduler steps across all executions.
+    pub steps: u64,
+}
+
+/// Exploration bounds. The defaults fit the repo's primitives: up to
+/// [`MAX_THREADS`] threads, 2 involuntary preemptions per execution
+/// (voluntary yields and blocking are free — this is the standard
+/// bounded-search result that almost all real concurrency bugs
+/// manifest within 2 preemptions), and loud failure on blow-up.
+#[derive(Clone, Copy, Debug)]
+pub struct Checker {
+    preemptions: usize,
+    max_executions: u64,
+    max_steps: u64,
+    leak_check: bool,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Self { preemptions: 2, max_executions: 1_000_000, max_steps: 20_000, leak_check: true }
+    }
+}
+
+impl Checker {
+    /// A checker with default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the involuntary-preemption budget per execution.
+    pub fn preemptions(mut self, n: usize) -> Self {
+        self.preemptions = n;
+        self
+    }
+
+    /// Sets the ceiling on explored executions (exceeding it fails the
+    /// model — shrink it or the model, don't wait forever).
+    pub fn max_executions(mut self, n: u64) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Sets the per-execution step ceiling (livelock tripwire).
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Enables/disables the model-`Arc` leak check at execution end.
+    pub fn leak_check(mut self, on: bool) -> Self {
+        self.leak_check = on;
+        self
+    }
+
+    /// Explores every execution of `f` within bounds. Panics with the
+    /// failing schedule trail on any contract violation; returns
+    /// exploration statistics otherwise.
+    pub fn model(&self, name: &str, f: impl Fn() + Sync) -> Report {
+        // The scheduler is a process-global singleton; serialize whole
+        // explorations so `cargo test`'s parallel harness is safe.
+        static EXPLORER: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _serial = EXPLORER.lock().unwrap_or_else(|p| p.into_inner());
+        let bounds = Bounds {
+            preemptions: self.preemptions,
+            max_steps: self.max_steps,
+            leak_check: self.leak_check,
+        };
+        let mut prefix: Vec<Decision> = Vec::new();
+        let mut executions = 0u64;
+        let mut steps = 0u64;
+        loop {
+            let r = sched::run_one(&f, prefix, bounds);
+            executions += 1;
+            steps += r.steps;
+            if let Some(msg) = r.failed {
+                panic!("dini-check: model '{name}' failed on execution {executions}:\n  {msg}");
+            }
+            // Backtrack: deepest decision with an unexplored sibling.
+            let mut trail = r.trail;
+            loop {
+                match trail.pop() {
+                    None => {
+                        println!(
+                            "dini-check: model '{name}': {executions} executions explored \
+                             ({steps} steps), no contract violation"
+                        );
+                        return Report { executions, steps };
+                    }
+                    Some(d) if d.chosen + 1 < d.options => {
+                        trail.push(Decision { chosen: d.chosen + 1, options: d.options });
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            prefix = trail;
+            if executions >= self.max_executions {
+                panic!(
+                    "dini-check: model '{name}': execution bound exceeded \
+                     ({executions} executions) — shrink the model or raise max_executions"
+                );
+            }
+        }
+    }
+}
+
+/// Explores `f` under default bounds (see [`Checker`]).
+pub fn model(name: &str, f: impl Fn() + Sync) -> Report {
+    Checker::new().model(name, f)
+}
+
+/// Model threads: `spawn`/`join` with the spawn and join
+/// happens-before edges, scheduled like every other decision.
+pub mod thread {
+    use crate::sched;
+    use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        slot: StdArc<StdMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result. A
+        /// panic on the child thread fails the whole model (with the
+        /// schedule that produced it) rather than being returned as an
+        /// `Err` — in a model, a panicking thread is always a bug.
+        pub fn join(self) -> T {
+            sched::join_thread(self.tid);
+            self.slot
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take()
+                .expect("joined model thread left a result")
+        }
+    }
+
+    /// Spawns a model thread (outside a model run: a plain std
+    /// thread). At most [`super::MAX_THREADS`] per model, counting the
+    /// closure's own thread.
+    pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let slot = StdArc::new(StdMutex::new(None::<T>));
+        let slot2 = StdArc::clone(&slot);
+        let cell = StdMutex::new(Some(f));
+        match sched::spawn_thread(Box::new(move || {
+            let f = cell.lock().unwrap_or_else(|p| p.into_inner()).take().expect("body taken once");
+            let v = f();
+            *slot2.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+        })) {
+            Some(tid) => JoinHandle { tid, slot },
+            None => panic!("dini-check: model::thread::spawn used outside a model() run"),
+        }
+    }
+}

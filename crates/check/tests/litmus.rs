@@ -1,0 +1,212 @@
+//! Engine litmus tests: classic weak-memory shapes with known-good
+//! answers, proving the explorer finds what it must find and excludes
+//! what the orderings forbid. Run via
+//! `RUSTFLAGS="--cfg dini_check" cargo test -p dini-check`.
+#![cfg(dini_check)]
+
+use dini_check::model::{model, thread, Checker};
+use dini_check::sync::{Arc, AtomicU64, Condvar, Mutex, Ordering};
+use std::collections::HashSet;
+use std::sync::Mutex as StdMutex;
+
+/// Store buffering (SB): with `Relaxed` everything, both threads may
+/// read 0 — the checker must find that outcome (x86 exhibits it; a
+/// naive sequentially-consistent explorer would not).
+#[test]
+fn litmus_store_buffer_relaxed_sees_0_0() {
+    let outcomes = StdMutex::new(HashSet::new());
+    model("sb-relaxed", || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let t = {
+            let (x, y) = (x.clone(), y.clone());
+            thread::spawn(move || {
+                x.store(1, Ordering::Relaxed);
+                y.load(Ordering::Relaxed)
+            })
+        };
+        x.load(Ordering::Relaxed); // extra traffic, exercises coherence
+        y.store(1, Ordering::Relaxed);
+        let r1 = x.load(Ordering::Relaxed);
+        let r0 = t.join();
+        outcomes.lock().unwrap().insert((r0, r1));
+    });
+    let outcomes = outcomes.into_inner().unwrap();
+    assert!(outcomes.contains(&(0, 0)), "relaxed SB must admit (0,0); saw {outcomes:?}");
+    assert!(outcomes.contains(&(1, 1)), "SB must admit (1,1); saw {outcomes:?}");
+}
+
+/// Store buffering with `SeqCst` everywhere: (0,0) is forbidden by the
+/// total order S. This is exactly the property `EpochCell`'s
+/// pin/recheck protocol rests on.
+#[test]
+fn litmus_store_buffer_seqcst_never_0_0() {
+    model("sb-seqcst", || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let t = {
+            let (x, y) = (x.clone(), y.clone());
+            thread::spawn(move || {
+                x.store(1, Ordering::SeqCst);
+                y.load(Ordering::SeqCst)
+            })
+        };
+        y.store(1, Ordering::SeqCst);
+        let r1 = x.load(Ordering::SeqCst);
+        let r0 = t.join();
+        assert!(r0 == 1 || r1 == 1, "SeqCst store buffering exhibited (0,0)");
+    });
+}
+
+/// Message passing: a `Release` store to the flag after a `Relaxed`
+/// payload store, `Acquire` flag load before the payload load — the
+/// reader that sees the flag must see the payload.
+#[test]
+fn litmus_message_passing_release_acquire() {
+    model("mp-rel-acq", || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let t = {
+            let (data, flag) = (data.clone(), flag.clone());
+            thread::spawn(move || {
+                data.store(42, Ordering::Relaxed);
+                flag.store(1, Ordering::Release);
+            })
+        };
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "acquire read did not see payload");
+        }
+        t.join();
+    });
+}
+
+/// Message passing with a `Relaxed` flag store MUST be caught: some
+/// execution lets the reader see the flag but stale payload. This is
+/// the engine's teeth — if this test fails, the checker can no longer
+/// detect missing release edges.
+#[test]
+#[should_panic(expected = "stale payload observable")]
+fn litmus_message_passing_relaxed_flag_is_caught() {
+    model("mp-relaxed-bug", || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let t = {
+            let (data, flag) = (data.clone(), flag.clone());
+            thread::spawn(move || {
+                data.store(42, Ordering::Relaxed);
+                flag.store(1, Ordering::Relaxed); // BUG: no release edge
+            })
+        };
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale payload observable");
+        }
+        t.join();
+    });
+}
+
+/// Release/acquire *fences* synchronize relaxed accesses (the
+/// `TraceRing` seqlock shape).
+#[test]
+fn litmus_fence_pairs_synchronize() {
+    use dini_check::sync::fence;
+    model("fence-mp", || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let t = {
+            let (data, flag) = (data.clone(), flag.clone());
+            thread::spawn(move || {
+                data.store(7, Ordering::Relaxed);
+                fence(Ordering::Release);
+                flag.store(1, Ordering::Relaxed);
+            })
+        };
+        if flag.load(Ordering::Relaxed) == 1 {
+            fence(Ordering::Acquire);
+            assert_eq!(data.load(Ordering::Relaxed), 7, "fence pair failed to synchronize");
+        }
+        t.join();
+    });
+}
+
+/// RMWs read the latest store: two concurrent `fetch_add(1)` always
+/// sum to 2 even fully `Relaxed` (atomicity, not ordering).
+#[test]
+fn litmus_concurrent_fetch_add_never_loses() {
+    model("rmw-no-lost-update", || {
+        let c = Arc::new(AtomicU64::new(0));
+        let t = {
+            let c = c.clone();
+            thread::spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update on relaxed fetch_add");
+    });
+}
+
+/// Mutex + condvar handshake: no lost wakeup (a buggy
+/// check-then-park without the lock would deadlock the model and be
+/// reported, not hang).
+#[test]
+fn litmus_condvar_handshake() {
+    let r = model("condvar-handshake", || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let t = {
+            let pair = pair.clone();
+            thread::spawn(move || {
+                let (m, cv) = (&pair.0, &pair.1);
+                let mut ready = m.lock().unwrap();
+                *ready = true;
+                drop(ready);
+                cv.notify_all();
+            })
+        };
+        let (m, cv) = (&pair.0, &pair.1);
+        let mut ready = m.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join();
+    });
+    assert!(r.executions >= 2, "handshake explored only {} executions", r.executions);
+}
+
+/// The model `Arc` leak check trips on an intentionally leaked cell.
+#[test]
+#[should_panic(expected = "leak")]
+fn litmus_arc_leak_is_caught() {
+    model("arc-leak", || {
+        let a = Arc::new(AtomicU64::new(0));
+        std::mem::forget(a);
+    });
+}
+
+/// Interleaving count sanity: 2 threads × 2 SeqCst ops each explores
+/// more than one execution, and exploration is deterministic.
+#[test]
+fn litmus_exploration_is_exhaustive_and_deterministic() {
+    let count = || {
+        Checker::new()
+            .model("count-sb", || {
+                let x = Arc::new(AtomicU64::new(0));
+                let t = {
+                    let x = x.clone();
+                    thread::spawn(move || {
+                        x.fetch_add(1, Ordering::SeqCst);
+                        x.fetch_add(1, Ordering::SeqCst);
+                    })
+                };
+                x.fetch_add(1, Ordering::SeqCst);
+                x.fetch_add(1, Ordering::SeqCst);
+                t.join();
+                assert_eq!(x.load(Ordering::SeqCst), 4);
+            })
+            .executions
+    };
+    let a = count();
+    assert!(a >= 6, "expected at least C(4,2)=6 interleavings, got {a}");
+    assert_eq!(a, count(), "exploration must be deterministic");
+}

@@ -88,6 +88,7 @@ where
         core_affinity::set_for_current(*c);
     }
 
+    // lint: wall-clock-ok: benchmark harness; real elapsed time is the quantity reported.
     let start = Instant::now();
     let result = master_fn(SlaveHandles { to_slaves, from_slaves: resp_rx });
     let wall = start.elapsed();

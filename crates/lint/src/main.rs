@@ -1,0 +1,22 @@
+//! CLI entry point: lint the workspace rooted at the first argument
+//! (default: the current directory), print findings, exit non-zero if
+//! any.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::current_dir().expect("cwd"));
+    let findings = dini_lint::scan_workspace(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("dini-lint: clean ({})", root.display());
+    } else {
+        eprintln!("dini-lint: {} violation(s)", findings.len());
+        std::process::exit(1);
+    }
+}

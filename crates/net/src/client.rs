@@ -152,13 +152,16 @@ struct ClientCore {
     ctrl_txs: Vec<Sender<Frame>>,
     span_eps: Vec<Vec<usize>>,
     ep_span: Vec<usize>,
-    pools: Vec<Arc<SlotPool>>,
+    pools: Vec<SlotPool>,
     /// Live key count per span, refreshed by pings and quiesce acks —
     /// the cross-process half of rank composition.
     span_live: Vec<AtomicU64>,
     ctrl: Mutex<BTreeMap<u64, Sender<CtrlReply>>>,
     next_req: AtomicU64,
     shutdown: AtomicBool,
+    // ordering: relaxed-ok: retries/rerouted are monotonic counters
+    // folded into stats snapshots; readers tolerate staleness. The
+    // shutdown flag above stays SeqCst everywhere — cold teardown path.
     retries: AtomicU64,
     rerouted: AtomicU64,
     /// Per-frame wire round-trip time (send → reply), nanoseconds.
@@ -170,12 +173,16 @@ struct ClientCore {
 
 impl ClientCore {
     fn fresh_req(&self) -> u64 {
+        // ordering: relaxed-ok: unique request-id counter; atomicity only.
         self.next_req.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Sum of live keys in spans below `span` — the base rank added to
     /// every rank that span's servers return.
     fn span_base(&self, span: usize) -> u32 {
+        // ordering: relaxed-ok: the quiesce/ping ctrl reply that refreshed
+        // these counts already synchronized with this thread through its
+        // reply channel; the load itself needs only atomicity.
         self.span_live[..span].iter().map(|a| a.load(Ordering::Relaxed) as u32).sum()
     }
 
@@ -480,6 +487,9 @@ fn run_reader(core: Arc<ClientCore>, ep: usize, mut rx: Box<dyn FrameRx>, in_fli
             Ok(Frame::UpdateAck { req }) => core.ctrl_fill(req, CtrlReply::Ack),
             Ok(Frame::QuiesceAck { req, live_keys, snapshots: _ })
             | Ok(Frame::EpochPong { req, live_keys, snapshots: _ }) => {
+                // ordering: SeqCst — the refreshed live count must be
+                // ordered before the ctrl reply below releases the caller
+                // that requested it (rank composition reads it next).
                 core.span_live[span].store(live_keys, Ordering::SeqCst);
                 core.ctrl_fill(req, CtrlReply::Ack);
             }
@@ -551,6 +561,7 @@ impl NetHandle {
         let core = &self.core;
         let span = core.span_router.route(key);
         let eps = &core.span_eps[span];
+        // ordering: relaxed-ok: per-handle rotation phase; atomicity only.
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let Some(choice) = core.selectors[span].select(tick, |i| core.queues[eps[i]].probe())
         else {
@@ -668,6 +679,8 @@ impl NetHandle {
 
     /// Total live keys across all spans, as of the last refresh.
     pub fn live_keys(&self) -> u64 {
+        // ordering: relaxed-ok: advisory total for reporting; staleness
+        // only lags the gauge, it cannot corrupt routing or ranks.
         self.core.span_live.iter().map(|a| a.load(Ordering::Relaxed)).sum()
     }
 
@@ -838,6 +851,8 @@ impl RemoteClient {
             })
             .collect();
         let span_live: Vec<AtomicU64> = (0..n_spans).map(|_| AtomicU64::new(0)).collect();
+        // ordering: SeqCst to match the reader-thread refreshes — span
+        // liveness is control-plane state, kept at one ordering everywhere.
         span_live[boot_span].store(boot_live, Ordering::SeqCst);
 
         // One wire-trace ring per endpoint (its reader thread is the
@@ -931,6 +946,8 @@ impl RemoteClient {
 
 impl Drop for RemoteClient {
     fn drop(&mut self) {
+        // ordering: SeqCst — teardown flag, checked by lookup entry points
+        // and reader drains; cold path, strongest ordering for free.
         self.handle.core.shutdown.store(true, Ordering::SeqCst);
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -956,6 +973,7 @@ pub fn run_net_load(
 ) -> dini_serve::LoadReport {
     use std::time::Instant;
 
+    // lint: wall-clock-ok: wall-clock duration of a real TCP load run is the quantity reported.
     let start = Instant::now();
     let results: Vec<(u64, LogHistogram)> = std::thread::scope(|scope| {
         let joins: Vec<_> = (0..clients)
@@ -966,6 +984,7 @@ pub fn run_net_load(
                     let mut hist = LogHistogram::new();
                     let mut completed = 0u64;
                     for _ in 0..lookups_per_client {
+                        // lint: wall-clock-ok: wall-clock latency of a real TCP lookup is the quantity reported.
                         let t0 = Instant::now();
                         if h.lookup(gen.next_key()).is_ok() {
                             hist.record(t0.elapsed().as_nanos() as f64);

@@ -228,6 +228,8 @@ impl NetServer {
     }
 
     fn stop(&mut self) {
+        // ordering: SeqCst — matches the loads in the acceptor and
+        // per-connection reader loops; cold teardown path.
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();

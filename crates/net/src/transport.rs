@@ -153,11 +153,13 @@ fn tcp_duplex(stream: TcpStream, peer: String) -> Result<Duplex, NetError> {
 
 impl Acceptor for TcpAcceptorT {
     fn accept_timeout(&self, timeout: Duration) -> Result<Duplex, NetError> {
+        // lint: wall-clock-ok: real-socket accept deadline; the sim backend never runs this.
         let deadline = Instant::now() + timeout;
         loop {
             match self.listener.accept() {
                 Ok((stream, peer)) => return tcp_duplex(stream, peer.to_string()),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // lint: wall-clock-ok: real-socket accept deadline; the sim backend never runs this.
                     if Instant::now() >= deadline {
                         return Err(NetError::Timeout);
                     }
@@ -237,11 +239,13 @@ impl TcpRx {
 
 impl FrameRx for TcpRx {
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, NetError> {
+        // lint: wall-clock-ok: real-socket read deadline; the sim backend never runs this.
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(frame) = self.take_frame()? {
                 return Ok(frame);
             }
+            // lint: wall-clock-ok: real-socket read deadline; the sim backend never runs this.
             let now = Instant::now();
             if now >= deadline {
                 return Err(NetError::Timeout);

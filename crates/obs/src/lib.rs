@@ -32,6 +32,7 @@
 
 pub mod host;
 pub mod metrics;
+pub(crate) mod sync;
 pub mod trace;
 
 pub use host::{host_context, HostContext};

@@ -9,9 +9,8 @@
 //! [`LogHistogram`]s (via `LogHistogram::from_parts`) and serialize to
 //! JSON or a Prometheus-style text exposition.
 
+use crate::sync::{Arc, AtomicU64, Mutex, Ordering};
 use dini_cluster::LogHistogram;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
 /// A named monotonic counter (or settable level): a shared `AtomicU64`
 /// behind a handle. All operations are `Relaxed` — ordering with
@@ -30,6 +29,9 @@ impl Counter {
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: relaxed-ok: monotonic event counter; readers fold it
+        // into snapshots and tolerate staleness — atomicity is the whole
+        // contract (see the type-level docs above).
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -94,6 +96,9 @@ impl AtomicLogHistogram {
     /// allocation.
     #[inline]
     pub fn record(&self, v: u64) {
+        // ordering: relaxed-ok: each field is independently monotonic (or
+        // min/max-convergent); `snapshot` folds a possibly-skewed view,
+        // which the histogram contract explicitly permits.
         self.bins[LogHistogram::bin_index(v as f64)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
@@ -144,6 +149,8 @@ struct Entry {
 /// keep working after the owner drops its handle).
 #[derive(Default)]
 pub struct MetricsRegistry {
+    // lint: lock-ok: guards registration and snapshotting only; no
+    // request-path operation ever takes it (handles are lock-free).
     entries: Mutex<Vec<Entry>>,
 }
 

@@ -1,0 +1,12 @@
+//! The synchronization seam for this crate's lock-free observability
+//! primitives (`trace`'s seqlock ring, `metrics`' counters and
+//! histograms).
+//!
+//! Every name here resolves to the real `std::sync` type in normal
+//! builds (a plain re-export — zero cost) and to `dini-check`'s model
+//! type under `--cfg dini_check`, where the checker's CI job explores
+//! the primitives' interleavings exhaustively. See
+//! `crates/serve/src/sync.rs` for the serve-side seam and
+//! `crates/check` for the checker itself.
+
+pub(crate) use dini_check::sync::{fence, Arc, AtomicU64, Mutex, Ordering};

@@ -19,7 +19,7 @@
 //! `Clock`), in nanoseconds on whatever timeline that clock runs —
 //! wall-clock in production, virtual time under simulation.
 
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use crate::sync::{fence, AtomicU64, Ordering};
 
 /// Words per trace slot: one packed id/shape word plus seven stage
 /// timestamps.
@@ -190,6 +190,7 @@ pub struct TraceRing {
 
 impl std::fmt::Debug for Slot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ordering: relaxed-ok: debug formatting; the value is advisory.
         write!(f, "Slot(v{})", self.version.load(Ordering::Relaxed))
     }
 }
@@ -233,6 +234,8 @@ impl TraceRing {
         }
         let h = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        // ordering: relaxed-ok: single-writer ring — only this thread ever
+        // stores the version, so its own last store is always visible.
         let v = slot.version.load(Ordering::Relaxed);
         slot.version.store(v + 1, Ordering::Release); // odd: write in flight
         fence(Ordering::Release);
@@ -278,6 +281,8 @@ impl TraceRing {
                     *dst = src.load(Ordering::Relaxed);
                 }
                 fence(Ordering::Acquire);
+                // ordering: relaxed-ok: the Acquire fence above orders the
+                // word reads before this validation re-read.
                 if slot.version.load(Ordering::Relaxed) == v1 {
                     out.push(StageRecord::unpack(&words));
                     break;

@@ -24,9 +24,8 @@
 use crate::batcher::Request;
 use crate::clock::Clock;
 use crate::config::ServeError;
+use crate::sync::{Arc, AtomicBool, AtomicU64, Ordering};
 use crossbeam::channel::{Sender, TrySendError};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// The admission side of one replica's request queue.
 #[derive(Debug, Clone)]
@@ -37,6 +36,10 @@ pub struct AdmissionQueue {
     /// Blocking admission waits in this clock's time (a full queue under
     /// a sim clock parks in the scheduler instead of wedging the run).
     clock: Clock,
+    // ordering: relaxed-ok: the three gauges below are advisory load and
+    // accounting signals; the channel send/recv orders the request
+    // handoff itself, so gauge readers need atomicity, never
+    // synchronization.
     admitted: Arc<AtomicU64>,
     shed: Arc<AtomicU64>,
     /// Requests admitted and not yet answered or handed off — the live
@@ -152,6 +155,9 @@ impl AdmissionQueue {
     /// replica alive. (Public for transport layers running the same
     /// protocol over remote endpoints.)
     pub fn mark_dead(&self) {
+        // ordering: SeqCst so the flag flip is globally ordered before the
+        // backlog re-route that follows; a sibling probing after receiving
+        // a re-routed request must observe `alive == false`.
         self.alive.store(false, Ordering::SeqCst);
     }
 

@@ -90,6 +90,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod admission;
 pub mod batcher;
@@ -102,6 +103,7 @@ pub mod router;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
+pub(crate) mod sync;
 
 pub use clock::{Clock, ClockJoinHandle, Nanos, SimClock, SimMainGuard};
 pub use config::{ServeConfig, ServeError};

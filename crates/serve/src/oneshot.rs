@@ -42,8 +42,7 @@
 
 use crate::clock::Clock;
 use crate::config::ServeError;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use crate::sync::{Arc, AtomicU64, Condvar, Mutex, Ordering};
 
 const TAG_SHIFT: u32 = 32;
 const GEN_SHIFT: u32 = 34;
@@ -89,6 +88,7 @@ struct ReplyCell {
     /// Parking lot for a blocking waiter. The filler acquires the lock
     /// between publishing the word and notifying, which is what makes the
     /// sleep/notify handoff race-free.
+    // lint: lock-ok: parking lot only — poll-driven replies never touch it.
     lock: Mutex<()>,
     cv: Condvar,
 }
@@ -98,6 +98,7 @@ impl ReplyCell {
         Self {
             word: AtomicU64::new(0),
             parked: AtomicU64::new(0),
+            // lint: lock-ok: parking lot only (see the field's contract).
             lock: Mutex::new(()),
             cv: Condvar::new(),
         }
@@ -135,7 +136,7 @@ impl ReplyCell {
 pub struct ReplySlot {
     cell: Arc<ReplyCell>,
     gen: u64,
-    pool: Option<Arc<SlotPool>>,
+    pool: Option<SlotPool>,
 }
 
 impl ReplySlot {
@@ -149,7 +150,7 @@ impl ReplySlot {
         // scheduler re-polls this word the moment it could have changed
         // (and a reply that never comes is a detected deadlock, not a
         // hang). The native path below is untouched.
-        if let Some(sim) = self.pool.as_ref().and_then(|p| p.clock.as_sim()) {
+        if let Some(sim) = self.pool.as_ref().and_then(|p| p.shared.clock.as_sim()) {
             return sim.wait_until(|| decode(self.cell.word.load(Ordering::Acquire)));
         }
         // A native condvar park is invisible to a sim scheduler: the
@@ -224,8 +225,20 @@ impl Drop for ReplyHandle {
 /// traffic contends only within a shard; cells cycle
 /// take → submit → reply → reap → put without touching the allocator once
 /// the pool is warm.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SlotPool {
+    /// Cheaply clonable handle: every clone shares the same slab (the
+    /// server hands one clone per `ServerHandle`). Hiding the `Arc`
+    /// here keeps `take` an ordinary `&self` method, which is also what
+    /// lets the whole pool compile against the `dini-check` model
+    /// `Arc` (no `Arc<Self>` receivers).
+    shared: Arc<PoolShared>,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    // lint: lock-ok: slab free-list, touched once per take/put — the
+    // reply handoff itself is the lock-free word protocol above.
     free: Mutex<Vec<Arc<ReplyCell>>>,
     /// Pool size cap: cells beyond this are dropped on return instead of
     /// pooled, bounding memory under in-flight spikes.
@@ -238,30 +251,40 @@ pub struct SlotPool {
 impl SlotPool {
     /// An empty pool retaining at most `capacity` idle cells, with
     /// native (wall-clock) waiting.
-    pub fn new(capacity: usize) -> Arc<Self> {
+    pub fn new(capacity: usize) -> Self {
         Self::with_clock(capacity, Clock::system())
     }
 
     /// An empty pool whose waiters block in `clock` time.
-    pub fn with_clock(capacity: usize, clock: Clock) -> Arc<Self> {
-        Arc::new(Self { free: Mutex::new(Vec::with_capacity(capacity)), capacity, clock })
+    pub fn with_clock(capacity: usize, clock: Clock) -> Self {
+        Self {
+            shared: Arc::new(PoolShared {
+                // lint: lock-ok: slab free-list (see the field's contract).
+                free: Mutex::new(Vec::with_capacity(capacity)),
+                capacity,
+                clock,
+            }),
+        }
     }
 
     /// Idle cells currently pooled.
     pub fn idle(&self) -> usize {
-        self.free.lock().expect("slot pool lock").len()
+        self.shared.free.lock().expect("slot pool lock").len()
     }
 
     /// Hand out a cell as a fresh-generation waiter/filler pair,
     /// allocating only when the pool is empty (cold start or an in-flight
     /// spike beyond anything seen before).
-    pub fn take(self: &Arc<Self>) -> (ReplySlot, ReplyHandle) {
+    pub fn take(&self) -> (ReplySlot, ReplyHandle) {
         let cell = self
+            .shared
             .free
             .lock()
             .expect("slot pool lock")
             .pop()
             .unwrap_or_else(|| Arc::new(ReplyCell::new()));
+        // ordering: relaxed-ok: the pool's free-list mutex already ordered
+        // this cell's last tenant before us; no filler is in flight.
         let gen = (cell.word.load(Ordering::Relaxed) >> GEN_SHIFT).wrapping_add(1) & GEN_MASK;
         cell.word.store(gen << GEN_SHIFT, Ordering::Release);
         let slot = ReplySlot { cell: cell.clone(), gen, pool: Some(self.clone()) };
@@ -270,8 +293,8 @@ impl SlotPool {
     }
 
     fn put(&self, cell: Arc<ReplyCell>) {
-        let mut free = self.free.lock().expect("slot pool lock");
-        if free.len() < self.capacity {
+        let mut free = self.shared.free.lock().expect("slot pool lock");
+        if free.len() < self.shared.capacity {
             free.push(cell);
         }
     }

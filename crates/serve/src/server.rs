@@ -80,6 +80,9 @@ enum WriterMsg {
     Quiesce(Sender<()>),
 }
 
+// ordering: relaxed-ok: pure monotonic accounting — written by the single
+// writer thread, read by gauges and `stats()` which tolerate a slightly
+// stale view; no other data is published through these counters.
 #[derive(Debug, Default)]
 struct WriterCounters {
     /// Mutations that changed the index (insert of an absent key, delete
@@ -121,7 +124,7 @@ pub struct IndexServer {
     selector: ReplicaSelector,
     /// `queues[shard][replica]`.
     queues: Vec<Vec<AdmissionQueue>>,
-    pools: Vec<Arc<SlotPool>>,
+    pools: Vec<SlotPool>,
     /// Replica-major: `shard * replicas_per_shard + replica`. Live
     /// lock-free accumulators (the dispatchers write them in place);
     /// [`stats`](Self::stats) folds them at read time.
@@ -131,6 +134,8 @@ pub struct IndexServer {
     /// serializes.
     metrics: Arc<MetricsRegistry>,
     counters: Arc<WriterCounters>,
+    // ordering: SeqCst on every access — cold teardown flag; one fence at
+    // exit buys an obviously-correct drain/join handshake.
     shutdown: Arc<AtomicBool>,
     clock: Clock,
     dispatchers: Vec<ClockJoinHandle<()>>,
@@ -153,7 +158,7 @@ pub struct ServerHandle {
     router: Arc<ShardRouter>,
     selector: ReplicaSelector,
     queues: Vec<Vec<AdmissionQueue>>,
-    pools: Vec<Arc<SlotPool>>,
+    pools: Vec<SlotPool>,
     clock: Clock,
     /// Per-clone power-of-two-choices rotation tick.
     tick: AtomicU64,
@@ -506,6 +511,8 @@ impl ServerHandle {
         // depth, skipping crashed replicas. `None` means the whole
         // group is gone — the shard is shutting down, and saying so
         // here beats queueing into a channel nobody drains.
+        // ordering: relaxed-ok: per-clone rotation phase; only atomicity
+        // matters, and clones never share the counter.
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let Some(replica) = self.selector.select(tick, |r| group[r].probe()) else {
             return Err(ServeError::ShuttingDown);
@@ -741,7 +748,7 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
                     while let Ok(r) = rebuild_rx.try_recv() {
                         index = r.index;
                         main_epoch = r.main_epoch;
-                        overlay = Arc::new(r.snapshot);
+                        overlay = crate::sync::Arc::new(r.snapshot);
                         rebuilds_adopted += 1;
                         adopted = true;
                     }
@@ -788,7 +795,7 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
             while let Ok(r) = rebuild_rx.try_recv() {
                 index = r.index;
                 main_epoch = r.main_epoch;
-                overlay = Arc::new(r.snapshot);
+                overlay = crate::sync::Arc::new(r.snapshot);
                 rebuilds_adopted += 1;
             }
             // …then the freshest overlay, only if it matches the main

@@ -25,8 +25,7 @@
 //! fans out to `R` replicas for the price of one pointer swap, and
 //! replicas can never serve diverging overlays of the same main epoch.
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Arc;
+use crate::sync::{Arc, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
 /// Immutable per-shard read overlay. Ranks compose as
 /// `base_rank + main_rank + inserts≤key − deletes≤key`
@@ -77,9 +76,9 @@ impl ShardSnapshot {
 fn backoff(spins: &mut u32) {
     *spins += 1;
     if *spins < 64 {
-        std::hint::spin_loop();
+        crate::sync::spin_loop();
     } else {
-        std::thread::yield_now();
+        crate::sync::yield_now();
     }
 }
 
@@ -205,7 +204,11 @@ impl EpochCell {
 impl Drop for EpochCell {
     fn drop(&mut self) {
         for slot in &self.slots {
-            let ptr = slot.ptr.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            // ordering: relaxed-ok: `&mut self` — every reader has unpinned
+            // and handed back its reference, and whatever synchronized the
+            // cell to this thread ordered those accesses; no concurrent
+            // access can exist, so the swap needs no fence.
+            let ptr = slot.ptr.swap(std::ptr::null_mut(), Ordering::Relaxed);
             if !ptr.is_null() {
                 // SAFETY: reclaiming the slot's own strong count; `&mut
                 // self` means no readers remain.

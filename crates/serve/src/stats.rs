@@ -14,9 +14,9 @@
 //! this replaced only materializes now at snapshot time, as the plain
 //! [`ShardStats`] value type.
 
+use crate::sync::Arc;
 use dini_cluster::LogHistogram;
 use dini_obs::{AtomicLogHistogram, Counter, MetricsRegistry, StageRecord, TraceConfig, TraceRing};
-use std::sync::Arc;
 
 /// One replica's live, lock-free accounting: `dini-obs` atomics the
 /// dispatcher updates in place (no mutex anywhere on the dispatch

@@ -47,6 +47,7 @@ pub fn measure_seq_bandwidth(bytes: usize) -> f64 {
         acc = acc.wrapping_add(w);
     }
     let reps = 4;
+    // lint: wall-clock-ok: hardware microbenchmark; real elapsed time is the measurement.
     let t = Instant::now();
     for _ in 0..reps {
         let mut a = 0u64;
@@ -89,6 +90,7 @@ pub fn measure_chase(bytes: usize, loads: usize) -> (f64, f64) {
     for _ in 0..n {
         p = padded[p];
     }
+    // lint: wall-clock-ok: hardware microbenchmark; real elapsed time is the measurement.
     let t = Instant::now();
     for _ in 0..loads {
         p = padded[p];
@@ -105,6 +107,7 @@ pub fn measure_chase(bytes: usize, loads: usize) -> (f64, f64) {
 pub fn measure_comp_cost_node() -> f64 {
     let node = [10u32, 20, 30, 40, 50, 60, 70];
     let reps = 2_000_000u32;
+    // lint: wall-clock-ok: hardware microbenchmark; real elapsed time is the measurement.
     let t = Instant::now();
     let mut acc = 0u32;
     for i in 0..reps {

@@ -91,6 +91,7 @@
 //! See `DESIGN.md` for the workspace layout and system inventory.
 
 pub use dini_cache_sim as cache_sim;
+pub use dini_check as check;
 pub use dini_cluster as cluster;
 pub use dini_core as core;
 pub use dini_index as index;

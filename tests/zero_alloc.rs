@@ -29,7 +29,12 @@ struct CountingAlloc;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static ARMED: AtomicBool = AtomicBool::new(false);
 
+// SAFETY: pure passthrough to the `System` allocator plus two lock-free
+// atomic counters; upholds `GlobalAlloc`'s contract because `System`
+// does, and the counting adds no allocation, locking, or reentrancy.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout contract as `System::alloc`, to which this
+    // delegates unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -37,10 +42,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc(layout)
     }
 
+    // SAFETY: same ptr/layout contract as `System::dealloc`, to which
+    // this delegates unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same ptr/layout/size contract as `System::realloc`, to
+    // which this delegates unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
