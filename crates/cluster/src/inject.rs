@@ -32,6 +32,13 @@ pub struct LinkPlan {
     /// Virtual instant at which the link is severed: sends at or after
     /// this time fail, and the receive side reports closed.
     pub down_at_ns: Option<u64>,
+    /// Half-open blackout window `[start, end)`: frames sent inside it
+    /// are silently dropped (the sender believes they went out), and
+    /// sends resume normally at `end`. Unlike [`down_at`](Self::down_at)
+    /// the connection itself survives — this is a *partition that
+    /// heals*, the fault retry/replay machinery must carry traffic
+    /// across, not a crash to fail over from.
+    pub blackout_ns: Option<(u64, u64)>,
 }
 
 impl LinkPlan {
@@ -58,10 +65,22 @@ impl LinkPlan {
         self
     }
 
+    /// Builder: black the link out over `[start_ns, end_ns)` — a
+    /// partition that heals (frames sent inside the window vanish; the
+    /// connection stays up).
+    pub fn blackout_ns(mut self, start_ns: u64, end_ns: u64) -> Self {
+        debug_assert!(start_ns < end_ns, "blackout window must be non-empty");
+        self.blackout_ns = Some((start_ns, end_ns));
+        self
+    }
+
     /// True when the plan can never perturb a frame (lets transports
     /// skip the RNG entirely on clean links).
     pub fn is_noop(&self) -> bool {
-        self.fault.is_noop() && self.latency_ns == 0 && self.down_at_ns.is_none()
+        self.fault.is_noop()
+            && self.latency_ns == 0
+            && self.down_at_ns.is_none()
+            && self.blackout_ns.is_none()
     }
 
     /// Instantiate per-link runtime state. `salt` decorrelates the two
@@ -73,7 +92,12 @@ impl LinkPlan {
             fault.seed ^= salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             fault.state()
         });
-        LinkState { fate, latency_ns: self.latency_ns, down_at_ns: self.down_at_ns }
+        LinkState {
+            fate,
+            latency_ns: self.latency_ns,
+            down_at_ns: self.down_at_ns,
+            blackout_ns: self.blackout_ns,
+        }
     }
 }
 
@@ -83,6 +107,7 @@ pub struct LinkState {
     fate: Option<FaultState>,
     latency_ns: u64,
     down_at_ns: Option<u64>,
+    blackout_ns: Option<(u64, u64)>,
 }
 
 /// What a transport should do with one outgoing frame.
@@ -118,17 +143,30 @@ impl LinkState {
         self.down_at_ns.is_some_and(|t| now_ns >= t)
     }
 
+    /// Is the link inside its blackout window at `now_ns`?
+    #[inline]
+    pub fn in_blackout(&self, now_ns: u64) -> bool {
+        self.blackout_ns.is_some_and(|(start, end)| now_ns >= start && now_ns < end)
+    }
+
     /// Decide the fate of the next frame sent at `now_ns`. Clean links
     /// (no fault plan) never touch an RNG.
     pub fn next(&mut self, now_ns: u64) -> FrameFate {
         if self.is_down(now_ns) {
             return FrameFate::Down;
         }
+        let dark = self.in_blackout(now_ns);
         let Some(state) = self.fate.as_mut() else {
+            if dark {
+                return FrameFate::Drop;
+            }
             return FrameFate::Deliver { offset_ns: self.latency_ns, duplicate_offset_ns: None };
         };
+        // Drawn even inside a blackout: the window overrides the fate
+        // but never advances or skips the RNG, so the stream outside it
+        // is byte-identical to the same plan without a blackout.
         let fate = state.next_fate();
-        if fate.dropped {
+        if dark || fate.dropped {
             return FrameFate::Drop;
         }
         let offset_ns = self.latency_ns + fate.jitter_ns as u64;
@@ -180,6 +218,36 @@ mod tests {
         assert_eq!(s.next(1_000), FrameFate::Down);
         assert_eq!(s.next(u64::MAX), FrameFate::Down);
         assert_eq!(s.down_at_ns(), Some(1_000));
+    }
+
+    #[test]
+    fn blackout_drops_inside_the_window_and_heals_after() {
+        let mut s = LinkPlan::reliable().with_latency_ns(10).blackout_ns(1_000, 2_000).state(0);
+        assert_eq!(s.next(999), FrameFate::Deliver { offset_ns: 10, duplicate_offset_ns: None });
+        assert!(s.in_blackout(1_000));
+        assert_eq!(s.next(1_000), FrameFate::Drop);
+        assert_eq!(s.next(1_999), FrameFate::Drop);
+        assert!(!s.in_blackout(2_000), "the window is half-open");
+        assert_eq!(s.next(2_000), FrameFate::Deliver { offset_ns: 10, duplicate_offset_ns: None });
+        assert!(!LinkPlan::reliable().blackout_ns(0, 1).is_noop());
+    }
+
+    #[test]
+    fn blackout_does_not_perturb_the_fate_stream_outside_its_window() {
+        // Same seed, with and without a blackout: every fate drawn
+        // outside the window must be identical (the blackout never
+        // advances the RNG).
+        let plan = LinkPlan::reliable().with_faults(FaultPlan::with_drops(7, 0.3));
+        let mut plain = plan.clone().state(3);
+        let mut dark = plan.blackout_ns(10, 20).state(3);
+        for t in 0..40u64 {
+            let (a, b) = (plain.next(t), dark.next(t));
+            if (10..20).contains(&t) {
+                assert_eq!(b, FrameFate::Drop);
+            } else {
+                assert_eq!(a, b, "fate diverged at t={t}");
+            }
+        }
     }
 
     #[test]

@@ -332,9 +332,7 @@ fn rule_unsafe_safety(path: &Path, lines: &[Line], out: &mut Vec<Finding>) {
         let Some(at) = word(&l.code, "unsafe") else { continue };
         // `unsafe fn` in *type* position (`type F = unsafe fn(usize)`,
         // `Box<unsafe fn()>`) names a type, it declares nothing.
-        let type_position = l.code[..at]
-            .trim_end()
-            .ends_with(['=', '(', ',', '<', ':', '&']);
+        let type_position = l.code[..at].trim_end().ends_with(['=', '(', ',', '<', ':', '&']);
         if type_position {
             continue;
         }

@@ -33,6 +33,12 @@
 //!   own slice; the client adds the live-key counts of lower spans
 //!   (refreshed by epoch pings and quiesce acks), composing global
 //!   ranks exactly like the paper's master composes slave ranks.
+//! * **Replicated churn** — updates append to a per-span single-writer
+//!   log (epoch-stamped, sequence-numbered, coalesced like lookups) and
+//!   only report `Ok` once a quorum of the span's live endpoints has
+//!   acked applying them in order; endpoint death elects the
+//!   longest-log survivor and replays laggards' missing suffixes (the
+//!   appender thread's docs spell out the protocol).
 
 use crate::topology::Topology;
 use crate::transport::{Dialer, Duplex, FrameRx, FrameTx, NetError};
@@ -43,10 +49,10 @@ use dini_obs::{AtomicLogHistogram, StageRecord, TraceConfig, TraceRing};
 use dini_serve::admission::AdmissionQueue;
 use dini_serve::batcher::{collect_batch_into, Request};
 use dini_serve::clock::dur_ns;
-use dini_serve::oneshot::{ReplyHandle, ReplySlot, SlotPool};
+use dini_serve::oneshot::{reply_pair, ReplyHandle, ReplySlot, SlotPool};
 use dini_serve::{Clock, ClockJoinHandle, Nanos, ReplicaSelector, ServeError, ShardRouter};
 use dini_workload::Op;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -56,6 +62,9 @@ use std::time::Duration;
 const WORKER_POLL: Duration = Duration::from_millis(1);
 /// How often an endpoint reader wakes to notice shutdown/death.
 const READER_POLL: Duration = Duration::from_millis(10);
+/// How often a span's log appender wakes to fold in acks, scan
+/// liveness, and check repair deadlines.
+const APPENDER_POLL: Duration = Duration::from_millis(1);
 
 /// Client-side knobs.
 #[derive(Debug, Clone)]
@@ -115,6 +124,19 @@ enum CtrlReply {
     Stats(Box<StatsMsg>),
 }
 
+/// One message to a span's churn-log appender thread.
+enum UpdMsg {
+    /// Append one log record; `reply` resolves once quorum-acked.
+    Op { op: WireOp, reply: ReplyHandle },
+    /// Resolve once every *live* endpoint has acked everything appended
+    /// before this flush (the pre-barrier half of `quiesce`).
+    Flush(Sender<Result<(), ServeError>>),
+}
+
+/// An update ack routed from an endpoint reader to its span's appender:
+/// `(position within the span's endpoint list, epoch, acked seq)`.
+type UpdAck = (usize, u64, u64);
+
 /// One lookup batch on the wire, awaiting its reply.
 struct BatchInFlight {
     keys: Vec<u32>,
@@ -140,6 +162,12 @@ pub struct NetClientStats {
     pub client_shed: u64,
     /// Lookups admitted into some endpoint queue.
     pub admitted: u64,
+    /// Churn-log suffixes resent to a lagging replica (repair traffic).
+    pub update_resends: u64,
+    /// Epoch bumps after an append-target endpoint died (each one
+    /// re-elected the longest-log survivor and replayed the laggards'
+    /// missing suffix).
+    pub elections: u64,
 }
 
 struct ClientCore {
@@ -152,7 +180,17 @@ struct ClientCore {
     ctrl_txs: Vec<Sender<Frame>>,
     span_eps: Vec<Vec<usize>>,
     ep_span: Vec<usize>,
+    /// Position of each flat endpoint within its span's endpoint list
+    /// (the per-span coordinate the appender's ack bookkeeping runs on).
+    ep_pos: Vec<usize>,
     pools: Vec<SlotPool>,
+    /// Per-span append queues into the churn-log appender threads.
+    upd_txs: Vec<Sender<UpdMsg>>,
+    /// Per-span reply-slot pools for pending updates.
+    upd_pools: Vec<SlotPool>,
+    /// Per-span ack routes: endpoint readers push `UpdateAck` positions
+    /// here, the span's appender folds them into its quorum watermark.
+    upd_ack_txs: Vec<Sender<UpdAck>>,
     /// Live key count per span, refreshed by pings and quiesce acks —
     /// the cross-process half of rank composition.
     span_live: Vec<AtomicU64>,
@@ -164,6 +202,8 @@ struct ClientCore {
     // shutdown flag above stays SeqCst everywhere — cold teardown path.
     retries: AtomicU64,
     rerouted: AtomicU64,
+    update_resends: AtomicU64,
+    elections: AtomicU64,
     /// Per-frame wire round-trip time (send → reply), nanoseconds.
     wire_rtt: AtomicLogHistogram,
     /// Per-endpoint wire-stage trace rings; each endpoint's reader
@@ -232,7 +272,19 @@ impl ClientCore {
     fn reroute(&self, span: usize, me: usize, mut req: Request) -> bool {
         let eps = &self.span_eps[span];
         let n = eps.len();
-        let me_pos = eps.iter().position(|&e| e == me).unwrap_or(0);
+        // `me` is always one of `span`'s endpoints — the span lists are
+        // fixed at connect time and `ep_span` is their inverse. Fallback
+        // 0 (debug-checked) keeps release builds rotating from a valid
+        // position rather than indexing out of bounds; it skews the
+        // rotation start and exempts endpoint 0 from the blocking pass,
+        // but every survivor is still tried.
+        let me_pos = match eps.iter().position(|&e| e == me) {
+            Some(p) => p,
+            None => {
+                debug_assert!(false, "endpoint {me} not in span {span}'s endpoint list");
+                0
+            }
+        };
         for off in 1..n {
             let q = &self.queues[eps[(me_pos + off) % n]];
             if !q.is_alive() {
@@ -436,6 +488,218 @@ fn die(
     }
 }
 
+/// One span's churn-log appender: the single writer of the span's
+/// replicated update log (neon-safekeeper shape, one level down).
+///
+/// Callers append epoch-stamped, sequence-numbered records; the
+/// appender coalesces them ([`collect_batch_into`], the same machinery
+/// the lookup path batches with), ships each live endpoint the log
+/// suffix it has not yet been sent, and resolves a record's waiter only
+/// once a **quorum** (majority of the span's live endpoints) has acked
+/// its sequence. Replicas apply strictly in order from a per-connection
+/// cursor, so an acked record is applied — never reordered, never
+/// silently lost.
+///
+/// Failure handling:
+/// * a lagging endpoint (acks stalled past `retry_timeout`) gets the
+///   suffix past its ack point resent (`update_resends`); after
+///   `max_retries` stalls it is declared dead;
+/// * an endpoint death bumps the epoch (`elections`) and rewinds every
+///   survivor's send cursor to its ack point, replaying the suffix the
+///   laggards are missing — the surviving longest log wins by
+///   construction, because the sequencer never moved;
+/// * a span with no live endpoint left fails all pending appends
+///   `ShuttingDown`.
+///
+/// The log is trimmed below the minimum live ack, so steady state holds
+/// only the in-flight window.
+fn run_appender(
+    core: Arc<ClientCore>,
+    span: usize,
+    upd_rx: Receiver<UpdMsg>,
+    ack_rx: Receiver<UpdAck>,
+) {
+    let clock = core.clock.clone();
+    let eps: Vec<usize> = core.span_eps[span].clone();
+    let n = eps.len();
+    let mut epoch = 1u64;
+    // Sequences <= base are trimmed; log[i] is record base+1+i.
+    let mut base = 0u64;
+    let mut log: VecDeque<WireOp> = VecDeque::new();
+    let mut acked = vec![0u64; n];
+    let mut sent = vec![0u64; n];
+    let mut progress_at = vec![clock.now(); n];
+    let mut tries = vec![0u32; n];
+    let mut was_alive: Vec<bool> = eps.iter().map(|&e| core.queues[e].is_alive()).collect();
+    let mut waiters: VecDeque<(u64, ReplyHandle)> = VecDeque::new();
+    let mut flushes: Vec<(u64, Sender<Result<(), ServeError>>)> = Vec::new();
+    let mut batch: Vec<UpdMsg> = Vec::new();
+
+    loop {
+        if core.shutdown.load(Ordering::SeqCst) {
+            for (_, h) in waiters.drain(..) {
+                h.send(Err(ServeError::ShuttingDown));
+            }
+            for (_, tx) in flushes.drain(..) {
+                let _ = tx.send(Err(ServeError::ShuttingDown));
+            }
+            return;
+        }
+
+        // Fold in acks. The epoch on the ack is bookkeeping only:
+        // sequences are global (one sequencer, records immutable per
+        // seq), so an ack's seq means the same thing in every epoch.
+        while let Ok((pos, _epoch, seq)) = ack_rx.try_recv() {
+            // An honest ack never exceeds the log head; clamping keeps a
+            // stray or corrupt one from dragging the trim watermark past
+            // the log it indexes.
+            let seq = seq.min(base + log.len() as u64);
+            if seq > acked[pos] {
+                acked[pos] = seq;
+                progress_at[pos] = clock.now();
+                tries[pos] = 0;
+            }
+        }
+
+        // Election: any live→dead transition bumps the epoch and
+        // rewinds every survivor's send cursor to its ack point, so the
+        // next ship pass replays whatever suffix each laggard is
+        // missing. (The longest-log survivor needs no catch-up: its
+        // rewind re-sends nothing it has already acked.)
+        let mut died = false;
+        for (pos, &e) in eps.iter().enumerate() {
+            let alive = core.queues[e].is_alive();
+            if was_alive[pos] && !alive {
+                died = true;
+            }
+            was_alive[pos] = alive;
+        }
+        if died {
+            epoch += 1;
+            core.elections.fetch_add(1, Ordering::Relaxed);
+            let now = clock.now();
+            for pos in 0..n {
+                if was_alive[pos] {
+                    sent[pos] = acked[pos];
+                    progress_at[pos] = now;
+                    tries[pos] = 0;
+                }
+            }
+        }
+
+        // Collect new appends (coalesced exactly like lookup batches).
+        match clock.recv_timeout(&upd_rx, APPENDER_POLL) {
+            Ok(first) => {
+                collect_batch_into(
+                    &clock,
+                    &upd_rx,
+                    first,
+                    &mut batch,
+                    core.cfg.max_batch,
+                    core.cfg.max_delay,
+                );
+                for msg in batch.drain(..) {
+                    match msg {
+                        UpdMsg::Op { op, reply } => {
+                            log.push_back(op);
+                            waiters.push_back((base + log.len() as u64, reply));
+                        }
+                        UpdMsg::Flush(tx) => flushes.push((base + log.len() as u64, tx)),
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            // The core owns a sender for the appender's whole lifetime;
+            // disconnect means teardown already ran.
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        let last = base + log.len() as u64;
+
+        // Ship + repair, per live endpoint.
+        let now = clock.now();
+        let timeout = dur_ns(core.cfg.retry_timeout);
+        for (pos, &e) in eps.iter().enumerate() {
+            if !was_alive[pos] {
+                continue;
+            }
+            // Repair a stalled endpoint: rewind to its ack point and
+            // resend that suffix; too many stalls and it is dead (the
+            // election above fails the span over on the next pass).
+            if acked[pos] < sent[pos] && now.saturating_sub(progress_at[pos]) >= timeout {
+                if tries[pos] >= core.cfg.max_retries {
+                    core.queues[e].mark_dead();
+                    continue;
+                }
+                tries[pos] += 1;
+                progress_at[pos] = now;
+                sent[pos] = acked[pos];
+                core.update_resends.fetch_add(1, Ordering::Relaxed);
+            }
+            if sent[pos] < last {
+                if sent[pos] == acked[pos] {
+                    // Nothing was outstanding: the stall clock starts
+                    // with this send, not at the last ack.
+                    progress_at[pos] = now;
+                }
+                // Everything at or below `base` is acked by every live
+                // endpoint — a cursor below it can only belong to a
+                // replica that is about to be (or already is) dead.
+                let from = sent[pos].max(base);
+                let ops: Vec<WireOp> = log.iter().skip((from - base) as usize).copied().collect();
+                let frame = Frame::Update { req: core.fresh_req(), epoch, seq: from + 1, ops };
+                if core.ctrl_txs[e].send(frame).is_ok() {
+                    sent[pos] = last;
+                }
+            }
+        }
+
+        // Quorum watermark: a record is durable once a majority of the
+        // span's live endpoints has acked it.
+        let mut live_acks: Vec<u64> = (0..n).filter(|&p| was_alive[p]).map(|p| acked[p]).collect();
+        if live_acks.is_empty() {
+            for (_, h) in waiters.drain(..) {
+                h.send(Err(ServeError::ShuttingDown));
+            }
+            for (_, tx) in flushes.drain(..) {
+                let _ = tx.send(Err(ServeError::ShuttingDown));
+            }
+            // Nothing can ever ack again; drop the dead span's log.
+            base += log.len() as u64;
+            log.clear();
+            continue;
+        }
+        live_acks.sort_unstable_by(|a, b| b.cmp(a));
+        let quorum = live_acks.len() / 2 + 1;
+        let durable = live_acks[quorum - 1];
+        while let Some(&(seq, _)) = waiters.front() {
+            if seq > durable {
+                break;
+            }
+            let (_, h) = waiters.pop_front().expect("non-empty: just peeked");
+            h.send(Ok(0));
+        }
+
+        // A flush resolves only when *every* live endpoint has acked
+        // its target — stronger than quorum, because the quiesce
+        // barrier that follows it must find all replicas caught up.
+        let min_live = *live_acks.last().expect("non-empty checked above");
+        flushes.retain(|(target, tx)| {
+            if *target <= min_live {
+                let _ = tx.send(Ok(()));
+                false
+            } else {
+                true
+            }
+        });
+
+        // Trim: the prefix every live endpoint acked is never resent.
+        if min_live > base {
+            log.drain(..(min_live - base) as usize);
+            base = min_live;
+        }
+    }
+}
+
 /// The per-endpoint receiver: match replies to in-flight batches, fill
 /// reply slots (adding the span's base rank), and detect endpoint
 /// death. Owns the connection's receive half.
@@ -484,7 +748,12 @@ fn run_reader(core: Arc<ClientCore>, ep: usize, mut rx: Box<dyn FrameRx>, in_fli
                 }
                 core.queues[ep].complete(served);
             }
-            Ok(Frame::UpdateAck { req }) => core.ctrl_fill(req, CtrlReply::Ack),
+            Ok(Frame::UpdateAck { req: _, epoch, seq }) => {
+                // Update acks feed the span's appender (quorum
+                // tracking), not the ctrl waiter map: the ack's meaning
+                // is its log position, not its request id.
+                let _ = core.upd_ack_txs[span].send((core.ep_pos[ep], epoch, seq));
+            }
             Ok(Frame::QuiesceAck { req, live_keys, snapshots: _ })
             | Ok(Frame::EpochPong { req, live_keys, snapshots: _ }) => {
                 // ordering: SeqCst — the refreshed live count must be
@@ -539,6 +808,26 @@ impl PendingNetLookup {
     /// The rank if it has arrived, `None` while in flight.
     pub fn poll(&self) -> Option<Result<u32, ServeError>> {
         self.slot.poll()
+    }
+}
+
+/// An update appended to a span's replicated churn log, not yet
+/// quorum-acked. [`wait`](Self::wait) blocks for the durability verdict.
+#[derive(Debug)]
+pub struct PendingNetUpdate {
+    slot: ReplySlot,
+}
+
+impl PendingNetUpdate {
+    /// Block until the record is quorum-acked (`Ok`) or the span can no
+    /// longer reach a quorum (`Err`).
+    pub fn wait(self) -> Result<(), ServeError> {
+        self.slot.wait().map(|_| ())
+    }
+
+    /// The verdict if it has arrived, `None` while still replicating.
+    pub fn poll(&self) -> Option<Result<(), ServeError>> {
+        self.slot.poll().map(|r| r.map(|_| ()))
     }
 }
 
@@ -605,47 +894,78 @@ impl NetHandle {
         replies.into_iter().map(PendingNetLookup::wait).collect()
     }
 
-    /// Apply one churn operation. Updates are replicated to every live
-    /// endpoint of the owning span (each replica server has its own
-    /// writer); `Op::Query` is accepted and ignored. Visibility follows
-    /// the same contract as local serving: after [`quiesce`](Self::quiesce).
-    pub fn update(&self, op: Op) -> Result<(), ServeError> {
+    /// Append one churn operation to the owning span's replicated log
+    /// without waiting; the returned [`PendingNetUpdate`] resolves once
+    /// the record is quorum-acked. `Op::Query` resolves immediately.
+    pub fn begin_update(&self, op: Op) -> Result<PendingNetUpdate, ServeError> {
+        let core = &self.core;
         let (key, wire_op) = match op {
             Op::Insert(k) => (k, WireOp::Insert(k)),
             Op::Delete(k) => (k, WireOp::Delete(k)),
-            Op::Query(_) => return Ok(()),
-        };
-        let core = &self.core;
-        let span = core.span_router.route(key);
-        let mut sent = false;
-        for &e in &core.span_eps[span] {
-            if core.queues[e].is_alive()
-                && core.ctrl_txs[e].send(Frame::Update { req: 0, ops: vec![wire_op] }).is_ok()
-            {
-                sent = true;
+            Op::Query(_) => {
+                // Accepted-and-ignored, pre-resolved: whole ChurnGen
+                // streams feed through unfiltered, as locally.
+                let (slot, handle) = reply_pair();
+                handle.send(Ok(0));
+                return Ok(PendingNetUpdate { slot });
             }
-        }
-        if sent {
-            Ok(())
-        } else {
-            Err(ServeError::ShuttingDown)
-        }
+        };
+        let span = core.span_router.route(key);
+        let (slot, handle) = core.upd_pools[span].take();
+        core.clock
+            .send(&core.upd_txs[span], UpdMsg::Op { op: wire_op, reply: handle })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        Ok(PendingNetUpdate { slot })
     }
 
-    /// Barrier: every previously submitted update is applied and
-    /// published on every live endpoint, and the client's cross-span
-    /// base ranks are refreshed from the acks. Fails if any live
-    /// endpoint stops answering (or a span has no endpoint left).
+    /// Apply one churn operation through the owning span's replicated
+    /// log, blocking until a **quorum** (majority of the span's live
+    /// endpoints) has acknowledged applying it in log order.
+    ///
+    /// # Errors
+    ///
+    /// `Ok(())` means the record is durably applied on a quorum and
+    /// will survive any single endpoint failure; `Err(ShuttingDown)`
+    /// means the span could not reach a quorum and the op must be
+    /// considered not applied. There is no silent third state — this is
+    /// the contract change from the fire-and-forget broadcast, whose
+    /// `Ok` meant only "one send was queued".
+    pub fn update(&self, op: Op) -> Result<(), ServeError> {
+        self.begin_update(op)?.wait()
+    }
+
+    /// Barrier: every previously appended update is applied and
+    /// published on every live endpoint of every span, and the client's
+    /// cross-span base ranks are refreshed from the acks.
+    ///
+    /// Two phases per span: first a log **flush** (all live endpoints
+    /// caught up to the log head — the appender repairs or buries
+    /// laggards), then a `Quiesce` round trip per endpoint so each
+    /// publishes what it applied. An endpoint that stops answering
+    /// mid-barrier is marked dead and the barrier proceeds with the
+    /// survivors; only a span with no live endpoint left fails the
+    /// barrier.
     pub fn quiesce(&self) -> Result<(), ServeError> {
         let core = &self.core;
         for span in 0..core.span_eps.len() {
+            let (tx, rx) = bounded(1);
+            core.clock
+                .send(&core.upd_txs[span], UpdMsg::Flush(tx))
+                .map_err(|_| ServeError::ShuttingDown)?;
+            core.clock.recv(&rx).map_err(|_| ServeError::ShuttingDown)??;
             let mut reached = false;
             for &e in &core.span_eps[span] {
                 if !core.queues[e].is_alive() {
                     continue;
                 }
-                core.ctrl_roundtrip(e, |req| Frame::Quiesce { req })?;
-                reached = true;
+                match core.ctrl_roundtrip(e, |req| Frame::Quiesce { req }) {
+                    Ok(_) => reached = true,
+                    // A failed round trip is this endpoint's failure,
+                    // not the barrier's: bury it (its backlog re-homes
+                    // through the usual death path) and carry on with
+                    // the span's survivors.
+                    Err(_) => core.queues[e].mark_dead(),
+                }
             }
             if !reached {
                 return Err(ServeError::ShuttingDown);
@@ -713,6 +1033,8 @@ impl NetHandle {
             rerouted: core.rerouted.load(Ordering::Relaxed),
             client_shed: core.queues.iter().map(AdmissionQueue::shed).sum(),
             admitted: core.queues.iter().map(AdmissionQueue::admitted).sum(),
+            update_resends: core.update_resends.load(Ordering::Relaxed),
+            elections: core.elections.load(Ordering::Relaxed),
         }
     }
 
@@ -812,6 +1134,7 @@ impl RemoteClient {
         let mut ctrl_txs = Vec::new();
         let mut span_eps: Vec<Vec<usize>> = Vec::with_capacity(n_spans);
         let mut ep_span = Vec::new();
+        let mut ep_pos = Vec::new();
         let mut plumbing: Vec<Option<EndpointPipes>> = Vec::new();
         for (span, s) in topology.spans.iter().enumerate() {
             let mut eps = Vec::with_capacity(s.endpoints.len());
@@ -832,6 +1155,7 @@ impl RemoteClient {
                 queues.push(queue);
                 ctrl_txs.push(ctl_tx);
                 ep_span.push(span);
+                ep_pos.push(pos);
                 eps.push(ep);
             }
             if !eps.iter().any(|&e| queues[e].is_alive()) {
@@ -849,6 +1173,24 @@ impl RemoteClient {
                     clock.clone(),
                 )
             })
+            .collect();
+        // Per-span churn-log plumbing: one appender thread per span
+        // (the span's single log writer), fed through a bounded append
+        // queue and an unbounded ack route from the endpoint readers.
+        let mut upd_txs = Vec::with_capacity(n_spans);
+        let mut upd_rxs = Vec::with_capacity(n_spans);
+        let mut upd_ack_txs = Vec::with_capacity(n_spans);
+        let mut upd_ack_rxs = Vec::with_capacity(n_spans);
+        for _ in 0..n_spans {
+            let (tx, rx) = bounded::<UpdMsg>(cfg.queue_capacity);
+            upd_txs.push(tx);
+            upd_rxs.push(rx);
+            let (atx, arx) = unbounded::<UpdAck>();
+            upd_ack_txs.push(atx);
+            upd_ack_rxs.push(arx);
+        }
+        let upd_pools: Vec<SlotPool> = (0..n_spans)
+            .map(|_| SlotPool::with_clock(cfg.queue_capacity + cfg.max_batch, clock.clone()))
             .collect();
         let span_live: Vec<AtomicU64> = (0..n_spans).map(|_| AtomicU64::new(0)).collect();
         // ordering: SeqCst to match the reader-thread refreshes — span
@@ -873,13 +1215,19 @@ impl RemoteClient {
             ctrl_txs,
             span_eps,
             ep_span,
+            ep_pos,
             pools,
+            upd_txs,
+            upd_pools,
+            upd_ack_txs,
             span_live,
             ctrl: Mutex::new(BTreeMap::new()),
             next_req: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             retries: AtomicU64::new(0),
             rerouted: AtomicU64::new(0),
+            update_resends: AtomicU64::new(0),
+            elections: AtomicU64::new(0),
             wire_rtt: AtomicLogHistogram::new(),
             wire_traces,
         });
@@ -898,6 +1246,12 @@ impl RemoteClient {
             threads.push(
                 clock.spawn(&format!("dini-net-cr-{ep}"), move || run_reader(c, ep, rx, in_flight)),
             );
+        }
+        for (span, (upd_rx, ack_rx)) in upd_rxs.into_iter().zip(upd_ack_rxs).enumerate() {
+            let c = core.clone();
+            threads.push(clock.spawn(&format!("dini-net-ua-{span}"), move || {
+                run_appender(c, span, upd_rx, ack_rx)
+            }));
         }
 
         let client = Self { handle: NetHandle { core, tick: AtomicU64::new(0) }, threads };
@@ -931,6 +1285,11 @@ impl RemoteClient {
     /// See [`NetHandle::update`].
     pub fn update(&self, op: Op) -> Result<(), ServeError> {
         self.handle.update(op)
+    }
+
+    /// See [`NetHandle::begin_update`].
+    pub fn begin_update(&self, op: Op) -> Result<PendingNetUpdate, ServeError> {
+        self.handle.begin_update(op)
     }
 
     /// See [`NetHandle::quiesce`].

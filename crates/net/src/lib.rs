@@ -79,9 +79,10 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{
-    run_net_load, ClientConfig, NetClientStats, NetHandle, PendingNetLookup, RemoteClient,
+    run_net_load, ClientConfig, NetClientStats, NetHandle, PendingNetLookup, PendingNetUpdate,
+    RemoteClient,
 };
-pub use server::{NetServer, NetServerConfig};
+pub use server::{LogPosition, NetServer, NetServerConfig};
 pub use topology::{Span, Topology};
 pub use transport::{Acceptor, ChanNet, Dialer, Duplex, FrameRx, FrameTx, NetError};
 pub use wire::{

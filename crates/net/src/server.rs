@@ -40,7 +40,7 @@ use crate::wire::{
 use crossbeam::channel::unbounded;
 use dini_serve::{Clock, ClockJoinHandle, IndexServer, PendingLookup, ServeConfig, ServeError};
 use dini_workload::Op;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -69,14 +69,40 @@ impl NetServerConfig {
     }
 }
 
+/// A span process's churn-log high-water mark: the highest epoch any
+/// connection has adopted and the highest sequence contiguously applied,
+/// aggregated across connections. Purely introspective — the apply
+/// order itself is carried by each connection's private cursor and the
+/// writer channel.
+#[derive(Debug, Default)]
+pub struct LogPosition {
+    // ordering: relaxed-ok: advisory introspection gauges folded with
+    // fetch_max; no data is published through them.
+    epoch: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl LogPosition {
+    fn advance(&self, epoch: u64, seq: u64) {
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
+        self.seq.fetch_max(seq, Ordering::Relaxed);
+    }
+
+    /// The `(epoch, seq)` high-water mark.
+    pub fn get(&self) -> (u64, u64) {
+        (self.epoch.load(Ordering::Relaxed), self.seq.load(Ordering::Relaxed))
+    }
+}
+
 /// What the reader hands the responder, in connection order.
 enum Job {
     /// Answer the handshake.
     Map,
     /// Redeem a lookup batch and ship its reply.
     Reply { req: u64, pendings: Vec<Result<PendingLookup, ServeError>> },
-    /// Acknowledge an acked update.
-    Ack { req: u64 },
+    /// Acknowledge an acked update, reporting the connection's applied
+    /// log position.
+    Ack { req: u64, epoch: u64, seq: u64 },
     /// Acknowledge a quiesce barrier.
     QuiesceAck { req: u64 },
     /// Answer an epoch ping.
@@ -91,7 +117,7 @@ enum Job {
 /// the merged [`ServeStats`](dini_serve::ServeStats) snapshot,
 /// replica-major depths zipped with per-replica served counts, and the
 /// sampled stage-trace sums.
-fn assemble_stats(server: &IndexServer) -> StatsMsg {
+fn assemble_stats(server: &IndexServer, log: &LogPosition) -> StatsMsg {
     let s = server.stats();
     let replicas: Vec<ReplicaStatsMsg> = server
         .replica_stats()
@@ -131,6 +157,8 @@ fn assemble_stats(server: &IndexServer) -> StatsMsg {
         stage_wait_ns: wait,
         stage_service_ns: service,
         stage_fill_ns: fill,
+        log_epoch: log.get().0,
+        log_seq: log.get().1,
         replicas,
     }
 }
@@ -146,6 +174,7 @@ pub struct NetServer {
     acceptor: Option<ClockJoinHandle<()>>,
     conns: Arc<Mutex<Vec<ClockJoinHandle<()>>>>,
     addr: String,
+    log: Arc<LogPosition>,
 }
 
 impl NetServer {
@@ -159,6 +188,7 @@ impl NetServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<ClockJoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let addr = acceptor.addr();
+        let log = Arc::new(LogPosition::default());
 
         let acceptor_thread = {
             let server = server.clone();
@@ -167,6 +197,7 @@ impl NetServer {
             let topology = Arc::new(cfg.topology.clone());
             let span = cfg.span;
             let clock2 = clock.clone();
+            let log = log.clone();
             clock.spawn("dini-net-acceptor", move || {
                 let mut conn_id = 0u64;
                 loop {
@@ -180,10 +211,13 @@ impl NetServer {
                                 &clock2,
                                 conn_id,
                                 duplex,
-                                server.clone(),
-                                topology.clone(),
-                                span,
-                                shutdown.clone(),
+                                ConnShared {
+                                    server: server.clone(),
+                                    topology: topology.clone(),
+                                    span,
+                                    shutdown: shutdown.clone(),
+                                    log: log.clone(),
+                                },
                             );
                             let mut guard = conns.lock().expect("conn list lock");
                             // Prune exited connections so a long-lived
@@ -208,7 +242,14 @@ impl NetServer {
             })
         };
 
-        Self { server, shutdown, acceptor: Some(acceptor_thread), conns, addr }
+        Self { server, shutdown, acceptor: Some(acceptor_thread), conns, addr, log }
+    }
+
+    /// The span's churn-log high-water mark `(epoch, seq)` across
+    /// connections — what election and the simtest convergence oracles
+    /// compare between replicas.
+    pub fn log_position(&self) -> (u64, u64) {
+        self.log.get()
     }
 
     /// The address clients dial to reach this server.
@@ -249,23 +290,38 @@ impl Drop for NetServer {
     }
 }
 
+/// Everything an accepted connection shares with its host server,
+/// assembled fresh per accept.
+struct ConnShared {
+    server: Arc<IndexServer>,
+    topology: Arc<Topology>,
+    span: usize,
+    shutdown: Arc<AtomicBool>,
+    log: Arc<LogPosition>,
+}
+
 /// Spawn the reader + responder pair for one accepted connection.
 fn spawn_connection(
     clock: &Clock,
     conn_id: u64,
     duplex: Duplex,
-    server: Arc<IndexServer>,
-    topology: Arc<Topology>,
-    span: usize,
-    shutdown: Arc<AtomicBool>,
+    shared: ConnShared,
 ) -> (ClockJoinHandle<()>, ClockJoinHandle<()>) {
+    let ConnShared { server, topology, span, shutdown, log } = shared;
     let Duplex { tx: mut frame_tx, rx: mut frame_rx, peer: _ } = duplex;
     let (job_tx, job_rx) = unbounded::<Job>();
 
     let reader = {
         let server = server.clone();
+        let log = log.clone();
         clock.spawn(&format!("dini-net-read-{conn_id}"), move || {
             let handle = server.handle();
+            // The connection's churn-log cursor: the highest sequence
+            // applied with no gaps below it, and the epoch adopted from
+            // the writer. One writer per connection keeps the cursor
+            // race-free.
+            let mut applied = 0u64;
+            let mut adopted_epoch = 0u64;
             loop {
                 if shutdown.load(Ordering::SeqCst) {
                     let _ = job_tx.send(Job::Bye);
@@ -288,24 +344,36 @@ fn spawn_connection(
                             keys.iter().map(|&k| handle.begin_lookup(k)).collect();
                         let _ = job_tx.send(Job::Reply { req, pendings });
                     }
-                    Frame::Update { req, ops } => {
-                        let mut dead = false;
-                        for op in ops {
-                            let op = match op {
-                                WireOp::Insert(k) => Op::Insert(k),
-                                WireOp::Delete(k) => Op::Delete(k),
-                            };
-                            if server.update(op).is_err() {
-                                dead = true;
-                                break;
+                    Frame::Update { req, epoch, seq, ops } => {
+                        // Strict in-order apply from the cursor: a
+                        // duplicate or overlapping suffix is trimmed, a
+                        // frame opening past `applied + 1` (a gap) is
+                        // held off entirely — the writer learns the
+                        // position from the ack and replays. Every log
+                        // record is applied exactly once, in order.
+                        adopted_epoch = adopted_epoch.max(epoch);
+                        let n = ops.len() as u64;
+                        if seq <= applied + 1 {
+                            let skip = (applied + 1 - seq) as usize;
+                            if skip < ops.len() {
+                                let batch: Vec<Op> = ops[skip..]
+                                    .iter()
+                                    .map(|&op| match op {
+                                        WireOp::Insert(k) => Op::Insert(k),
+                                        WireOp::Delete(k) => Op::Delete(k),
+                                    })
+                                    .collect();
+                                if server.update_batch(batch).is_err() {
+                                    let _ = job_tx.send(Job::Bye);
+                                    break;
+                                }
+                                applied = seq + n - 1;
+                                log.advance(adopted_epoch, applied);
                             }
                         }
-                        if dead {
-                            let _ = job_tx.send(Job::Bye);
-                            break;
-                        }
                         if req != 0 {
-                            let _ = job_tx.send(Job::Ack { req });
+                            let _ =
+                                job_tx.send(Job::Ack { req, epoch: adopted_epoch, seq: applied });
                         }
                     }
                     Frame::Quiesce { req } => {
@@ -367,7 +435,7 @@ fn spawn_connection(
                             .collect();
                         Frame::Reply { req, results }
                     }
-                    Job::Ack { req } => Frame::UpdateAck { req },
+                    Job::Ack { req, epoch, seq } => Frame::UpdateAck { req, epoch, seq },
                     Job::QuiesceAck { req } => Frame::QuiesceAck {
                         req,
                         live_keys: server.len() as u64,
@@ -379,7 +447,7 @@ fn spawn_connection(
                         snapshots: server.stats().snapshots_published,
                     },
                     Job::Stats { req } => {
-                        Frame::StatsReply { req, stats: Box::new(assemble_stats(&server)) }
+                        Frame::StatsReply { req, stats: Box::new(assemble_stats(&server, &log)) }
                     }
                     Job::Bye => {
                         let _ = frame_tx.send(&Frame::Status { code: StatusCode::ShuttingDown });
@@ -495,8 +563,13 @@ mod tests {
         let server = NetServer::start(Box::new(acc), &keys, cfg("srv"));
 
         let mut c = net.dialer().dial("srv").unwrap();
-        c.tx.send(&Frame::Update { req: 0, ops: vec![WireOp::Insert(1), WireOp::Delete(0)] })
-            .unwrap();
+        c.tx.send(&Frame::Update {
+            req: 0,
+            epoch: 1,
+            seq: 1,
+            ops: vec![WireOp::Insert(1), WireOp::Delete(0)],
+        })
+        .unwrap();
         c.tx.send(&Frame::Quiesce { req: 3 }).unwrap();
         match c.rx.recv_timeout(SEC).unwrap() {
             Frame::QuiesceAck { req, live_keys, .. } => {
@@ -505,6 +578,7 @@ mod tests {
             }
             other => panic!("expected QuiesceAck, got {other:?}"),
         }
+        assert_eq!(server.log_position(), (1, 2), "two log records applied at epoch 1");
         c.tx.send(&Frame::Lookup { req: 4, keys: vec![1] }).unwrap();
         match c.rx.recv_timeout(SEC).unwrap() {
             Frame::Reply { results, .. } => {

@@ -22,15 +22,17 @@
 //! | [`Frame::ShardMap`] | server → client | span delimiters + replica endpoints + the server's span and live-key count |
 //! | [`Frame::Lookup`] | client → server | one coalesced key batch under a request id |
 //! | [`Frame::Reply`] | server → client | per-key rank / shed / shutdown |
-//! | [`Frame::Update`] | client → server | churn operations |
-//! | [`Frame::UpdateAck`] | server → client | update receipt (when requested) |
+//! | [`Frame::Update`] | client → server | an epoch-stamped, sequence-numbered churn-log suffix |
+//! | [`Frame::UpdateAck`] | server → client | highest contiguously applied log sequence (when requested) |
 //! | [`Frame::Quiesce`] / [`Frame::QuiesceAck`] | round trip | update-visibility barrier + fresh live count |
 //! | [`Frame::EpochPing`] / [`Frame::EpochPong`] | round trip | snapshot-epoch / live-count refresh |
 //! | [`Frame::Status`] | server → client | shed/shutdown notice for the whole connection |
 //! | [`Frame::StatsRequest`] / [`Frame::StatsReply`] | round trip | live introspection: queue depths, per-replica service split, latency quantiles, stage-trace sums |
 
 /// Protocol version carried by every frame; decoders reject all others.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 restamped [`Frame::Update`] / [`Frame::UpdateAck`] with the
+/// replicated churn log's epoch and sequence fields.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on the post-prefix length of one frame (16 MiB): a
 /// corrupt or hostile length prefix is rejected before any allocation.
@@ -155,6 +157,10 @@ pub struct StatsMsg {
     pub stage_service_ns: u64,
     /// Sum of per-sample reply fill (answered → filled), ns.
     pub stage_fill_ns: u64,
+    /// Highest churn-log epoch this span process has adopted.
+    pub log_epoch: u64,
+    /// Highest churn-log sequence contiguously applied (0 = none).
+    pub log_seq: u64,
     /// Per-replica split, replica-major (shard-major outer order).
     pub replicas: Vec<ReplicaStatsMsg>,
 }
@@ -202,17 +208,30 @@ pub enum Frame {
         /// One status per key, in the batch's order.
         results: Vec<LookupStatus>,
     },
-    /// Churn operations to fold into the server's writer.
+    /// A suffix of the client's replicated churn log: `ops[i]` is log
+    /// record `seq + i`. Replicas apply strictly in sequence order from
+    /// a per-connection cursor; a frame opening past the cursor (a gap)
+    /// is held off until the writer replays the missing prefix.
     Update {
         /// Request id for the ack; 0 = fire-and-forget (no ack).
         req: u64,
-        /// The operations, applied in order.
+        /// The writer's election epoch (bumped per failover).
+        epoch: u64,
+        /// Log sequence number of `ops[0]`; sequences start at 1. An
+        /// empty `ops` is a pure log-position probe.
+        seq: u64,
+        /// The log records, applied in order.
         ops: Vec<WireOp>,
     },
-    /// Receipt for an acked [`Frame::Update`].
+    /// Receipt for an acked [`Frame::Update`], reporting how far the
+    /// replica's log has contiguously applied.
     UpdateAck {
         /// The request id being acknowledged.
         req: u64,
+        /// The epoch the replica has adopted.
+        epoch: u64,
+        /// Highest log sequence applied with no gaps below it (0 = none).
+        seq: u64,
     },
     /// Update-visibility barrier: block until every previously received
     /// update is applied and published.
@@ -354,8 +373,10 @@ impl Frame {
                     }
                 }
             }
-            Frame::Update { req, ops } => {
+            Frame::Update { req, epoch, seq, ops } => {
                 put_u64(buf, *req);
+                put_u64(buf, *epoch);
+                put_u64(buf, *seq);
                 put_u32(buf, ops.len() as u32);
                 for op in ops {
                     match op {
@@ -370,9 +391,12 @@ impl Frame {
                     }
                 }
             }
-            Frame::UpdateAck { req } | Frame::Quiesce { req } | Frame::EpochPing { req } => {
-                put_u64(buf, *req)
+            Frame::UpdateAck { req, epoch, seq } => {
+                put_u64(buf, *req);
+                put_u64(buf, *epoch);
+                put_u64(buf, *seq);
             }
+            Frame::Quiesce { req } | Frame::EpochPing { req } => put_u64(buf, *req),
             Frame::QuiesceAck { req, live_keys, snapshots }
             | Frame::EpochPong { req, live_keys, snapshots } => {
                 put_u64(buf, *req);
@@ -401,6 +425,8 @@ impl Frame {
                     stats.stage_wait_ns,
                     stats.stage_service_ns,
                     stats.stage_fill_ns,
+                    stats.log_epoch,
+                    stats.log_seq,
                 ] {
                     put_u64(buf, v);
                 }
@@ -491,6 +517,8 @@ impl Frame {
             }
             KIND_UPDATE => {
                 let req = c.u64()?;
+                let epoch = c.u64()?;
+                let seq = c.u64()?;
                 let n = c.u32()? as usize;
                 if n.checked_mul(5).is_none_or(|bytes| bytes > c.remaining()) {
                     return Err(WireError::Truncated);
@@ -505,9 +533,9 @@ impl Frame {
                         t => return Err(WireError::BadTag(t)),
                     });
                 }
-                Frame::Update { req, ops }
+                Frame::Update { req, epoch, seq, ops }
             }
-            KIND_UPDATE_ACK => Frame::UpdateAck { req: c.u64()? },
+            KIND_UPDATE_ACK => Frame::UpdateAck { req: c.u64()?, epoch: c.u64()?, seq: c.u64()? },
             KIND_QUIESCE => Frame::Quiesce { req: c.u64()? },
             KIND_QUIESCE_ACK => {
                 Frame::QuiesceAck { req: c.u64()?, live_keys: c.u64()?, snapshots: c.u64()? }
@@ -525,7 +553,7 @@ impl Frame {
             KIND_STATS_REQUEST => Frame::StatsRequest { req: c.u64()? },
             KIND_STATS_REPLY => {
                 let req = c.u64()?;
-                let mut scalars = [0u64; 15];
+                let mut scalars = [0u64; 17];
                 for s in &mut scalars {
                     *s = c.u64()?;
                 }
@@ -543,7 +571,7 @@ impl Frame {
                         served: c.u64()?,
                     });
                 }
-                let [served, admitted, shed, rerouted, batches, snapshots, merges, live_keys, p50_ns, p99_ns, p999_ns, trace_records, stage_wait_ns, stage_service_ns, stage_fill_ns] =
+                let [served, admitted, shed, rerouted, batches, snapshots, merges, live_keys, p50_ns, p99_ns, p999_ns, trace_records, stage_wait_ns, stage_service_ns, stage_fill_ns, log_epoch, log_seq] =
                     scalars;
                 Frame::StatsReply {
                     req,
@@ -563,6 +591,8 @@ impl Frame {
                         stage_wait_ns,
                         stage_service_ns,
                         stage_fill_ns,
+                        log_epoch,
+                        log_seq,
                         replicas,
                     }),
                 }
@@ -649,8 +679,14 @@ mod tests {
             req: 7,
             results: vec![LookupStatus::Rank(9), LookupStatus::Shed(3), LookupStatus::Shutdown],
         });
-        round_trip(Frame::Update { req: 0, ops: vec![WireOp::Insert(4), WireOp::Delete(9)] });
-        round_trip(Frame::UpdateAck { req: 8 });
+        round_trip(Frame::Update {
+            req: 0,
+            epoch: 1,
+            seq: 42,
+            ops: vec![WireOp::Insert(4), WireOp::Delete(9)],
+        });
+        round_trip(Frame::Update { req: 3, epoch: 2, seq: 7, ops: vec![] });
+        round_trip(Frame::UpdateAck { req: 8, epoch: 2, seq: u64::MAX });
         round_trip(Frame::Quiesce { req: 9 });
         round_trip(Frame::QuiesceAck { req: 9, live_keys: 10, snapshots: 11 });
         round_trip(Frame::EpochPing { req: 12 });
@@ -675,6 +711,8 @@ mod tests {
                 stage_wait_ns: 13,
                 stage_service_ns: 14,
                 stage_fill_ns: 15,
+                log_epoch: 16,
+                log_seq: 17,
                 replicas: vec![
                     ReplicaStatsMsg { shard: 0, replica: 0, depth: 3, served: 100 },
                     ReplicaStatsMsg { shard: 1, replica: 1, depth: 0, served: u64::MAX },
@@ -690,7 +728,7 @@ mod tests {
         // the 20-byte-per-entry guard must reject before with_capacity.
         let mut bytes = vec![WIRE_VERSION, KIND_STATS_REPLY];
         bytes.extend_from_slice(&1u64.to_le_bytes());
-        for _ in 0..15 {
+        for _ in 0..17 {
             bytes.extend_from_slice(&0u64.to_le_bytes());
         }
         bytes.extend_from_slice(&u16::MAX.to_le_bytes());

@@ -41,7 +41,7 @@ fn replica_stats_msg() -> impl Strategy<Value = ReplicaStatsMsg> {
 }
 
 fn stats_msg() -> impl Strategy<Value = StatsMsg> {
-    (prop_vec(any::<u64>(), 15), prop_vec(replica_stats_msg(), 0..24)).prop_map(|(s, replicas)| {
+    (prop_vec(any::<u64>(), 17), prop_vec(replica_stats_msg(), 0..24)).prop_map(|(s, replicas)| {
         StatsMsg {
             served: s[0],
             admitted: s[1],
@@ -58,6 +58,8 @@ fn stats_msg() -> impl Strategy<Value = StatsMsg> {
             stage_wait_ns: s[12],
             stage_service_ns: s[13],
             stage_fill_ns: s[14],
+            log_epoch: s[15],
+            log_seq: s[16],
             replicas,
         }
     })
@@ -73,9 +75,13 @@ fn frame() -> impl Strategy<Value = Frame> {
             .prop_map(|(req, keys)| Frame::Lookup { req, keys }),
         (any::<u64>(), prop_vec(lookup_status(), 0..300))
             .prop_map(|(req, results)| Frame::Reply { req, results }),
-        (any::<u64>(), prop_vec(wire_op(), 0..100))
-            .prop_map(|(req, ops)| Frame::Update { req, ops }),
-        any::<u64>().prop_map(|req| Frame::UpdateAck { req }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), prop_vec(wire_op(), 0..100))
+            .prop_map(|(req, epoch, seq, ops)| Frame::Update { req, epoch, seq, ops }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(req, epoch, seq)| Frame::UpdateAck {
+            req,
+            epoch,
+            seq
+        }),
         any::<u64>().prop_map(|req| Frame::Quiesce { req }),
         (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(req, live_keys, snapshots)| {
             Frame::QuiesceAck { req, live_keys, snapshots }

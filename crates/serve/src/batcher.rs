@@ -48,17 +48,19 @@ impl Request {
 }
 
 /// Collect one batch into `batch` (cleared first): `first` plus
-/// co-travellers from `rx`, bounded by `max_batch` queries and
+/// co-travellers from `rx`, bounded by `max_batch` items and
 /// `max_delay` since the batch opened (= now, in `clock` time). Backlog
 /// already sitting in the queue joins for free — under load, batches
 /// fill to `max_batch` without ever paying the delay; the delay is only
 /// paid by sparse traffic waiting for co-travellers. Returns whether the
-/// queue disconnected while collecting.
-pub fn collect_batch_into(
+/// queue disconnected while collecting. Generic over the item type: the
+/// read path coalesces [`Request`]s, `dini-net`'s churn-log appender
+/// coalesces update records through the same code.
+pub fn collect_batch_into<T>(
     clock: &Clock,
-    rx: &Receiver<Request>,
-    first: Request,
-    batch: &mut Vec<Request>,
+    rx: &Receiver<T>,
+    first: T,
+    batch: &mut Vec<T>,
     max_batch: usize,
     max_delay: Duration,
 ) -> bool {

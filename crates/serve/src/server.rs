@@ -77,6 +77,9 @@ struct Rebuild {
 
 enum WriterMsg {
     Apply(Op),
+    /// A coalesced churn-log batch, applied strictly in order (the
+    /// transport layer's replicated-log apply path).
+    ApplyBatch(Vec<Op>),
     Quiesce(Sender<()>),
 }
 
@@ -92,6 +95,8 @@ struct WriterCounters {
     /// accepted, probed, but changed nothing — counted separately so
     /// `updates_applied` means what it says.
     nops: AtomicU64,
+    /// Coalesced churn-log batches received via `update_batch`.
+    update_batches: AtomicU64,
     snapshots: AtomicU64,
     merges: AtomicU64,
     live_keys: AtomicU64,
@@ -355,6 +360,18 @@ impl IndexServer {
         self.clock.send(tx, WriterMsg::Apply(op)).map_err(|_| ServeError::ShuttingDown)
     }
 
+    /// Apply a coalesced churn batch strictly in order — semantically
+    /// identical to calling [`update`](Self::update) once per op, but
+    /// one writer-channel hop for the whole batch. This is the apply
+    /// path the transport layer's replicated churn log rides.
+    pub fn update_batch(&self, ops: Vec<Op>) -> Result<(), ServeError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let tx = self.writer_tx.as_ref().expect("writer alive until drop");
+        self.clock.send(tx, WriterMsg::ApplyBatch(ops)).map_err(|_| ServeError::ShuttingDown)
+    }
+
     /// Block until every previously submitted update is applied *and*
     /// published. Lookups submitted after `quiesce` returns observe all
     /// of them.
@@ -407,6 +424,7 @@ impl IndexServer {
         }
         total.updates_applied = self.counters.updates.load(Ordering::Relaxed);
         total.update_nops = self.counters.nops.load(Ordering::Relaxed);
+        total.update_batches = self.counters.update_batches.load(Ordering::Relaxed);
         total.snapshots_published = self.counters.snapshots.load(Ordering::Relaxed);
         total.merges = self.counters.merges.load(Ordering::Relaxed);
         total
@@ -500,6 +518,15 @@ impl UpdateHandle {
     /// Apply one churn operation (`Op::Query` is accepted and ignored).
     pub fn update(&self, op: Op) -> Result<(), ServeError> {
         self.clock.send(&self.tx, WriterMsg::Apply(op)).map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Apply a coalesced churn batch strictly in order (see
+    /// [`IndexServer::update_batch`]).
+    pub fn update_batch(&self, ops: Vec<Op>) -> Result<(), ServeError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.clock.send(&self.tx, WriterMsg::ApplyBatch(ops)).map_err(|_| ServeError::ShuttingDown)
     }
 }
 
@@ -931,68 +958,76 @@ fn spawn_writer(
         // writer parks in the scheduler between messages and exits
         // when the last update sender hangs up.
         while let Ok(msg) = clock.recv(&rx) {
-            match msg {
-                WriterMsg::Apply(op) => {
-                    let key = op.key();
-                    let s = router.route(key);
-                    let mut mem = NullMemory;
-                    let applied = match op {
-                        Op::Query(_) => continue, // lookups go via handles
-                        Op::Insert(k) => deltas[s].insert(k, &mut mem).0,
-                        Op::Delete(k) => deltas[s].delete(k, &mut mem).0,
-                    };
-                    // Only mutations that changed the index count as
-                    // applied; duplicate inserts and deletes of
-                    // absent keys are no-ops, tallied separately.
-                    if applied {
-                        counters.updates.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        counters.nops.fetch_add(1, Ordering::Relaxed);
-                    }
-
-                    if deltas[s].needs_merge() {
-                        // Merge + rebuild off the read path: readers
-                        // keep serving the old epoch until the new
-                        // index lands on their swap channel.
-                        deltas[s].merge(&mut mem);
-                        main_epochs[s] += 1;
-                        counters.merges.fetch_add(1, Ordering::Relaxed);
-                        // One merged key array, Arc-shared by every
-                        // replica's rebuilt index: the fan-out costs
-                        // threads per replica, not memory.
-                        let merged = Arc::new(deltas[s].main_keys().to_vec());
-                        let base = base_ranks(&deltas)[s];
-                        for (r, tx) in rebuild_txs[s].iter().enumerate() {
-                            // A dead replica never drains its swap
-                            // channel; building (and parking) an index
-                            // there would leak its worker threads until
-                            // server shutdown, one leak per merge.
-                            if !queues[s][r].is_alive() {
-                                continue;
-                            }
-                            let index = build_index(&merged, cfg.slaves_per_shard, cfg.pin_cores);
-                            let snapshot = ShardSnapshot::empty(main_epochs[s], base);
-                            // Send before publishing the new epoch's
-                            // overlay so dispatchers can always catch
-                            // up.
-                            let _ =
-                                tx.send(Rebuild { main_epoch: main_epochs[s], index, snapshot });
-                        }
-                        publish_all(&deltas, &main_epochs, &counters);
-                        since_publish = 0;
-                        continue;
-                    }
-
-                    since_publish += 1;
-                    if since_publish >= cfg.publish_every {
-                        publish_all(&deltas, &main_epochs, &counters);
-                        since_publish = 0;
-                    }
+            // One op or a coalesced log batch: both run the same per-op
+            // body below, so batching changes channel traffic, never
+            // semantics.
+            let (one, many) = match msg {
+                WriterMsg::Apply(op) => (Some(op), Vec::new()),
+                WriterMsg::ApplyBatch(ops) => {
+                    counters.update_batches.fetch_add(1, Ordering::Relaxed);
+                    (None, ops)
                 }
                 WriterMsg::Quiesce(ack) => {
                     publish_all(&deltas, &main_epochs, &counters);
                     since_publish = 0;
                     let _ = ack.send(());
+                    continue;
+                }
+            };
+            for op in one.into_iter().chain(many) {
+                let key = op.key();
+                let s = router.route(key);
+                let mut mem = NullMemory;
+                let applied = match op {
+                    Op::Query(_) => continue, // lookups go via handles
+                    Op::Insert(k) => deltas[s].insert(k, &mut mem).0,
+                    Op::Delete(k) => deltas[s].delete(k, &mut mem).0,
+                };
+                // Only mutations that changed the index count as
+                // applied; duplicate inserts and deletes of
+                // absent keys are no-ops, tallied separately.
+                if applied {
+                    counters.updates.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    counters.nops.fetch_add(1, Ordering::Relaxed);
+                }
+
+                if deltas[s].needs_merge() {
+                    // Merge + rebuild off the read path: readers
+                    // keep serving the old epoch until the new
+                    // index lands on their swap channel.
+                    deltas[s].merge(&mut mem);
+                    main_epochs[s] += 1;
+                    counters.merges.fetch_add(1, Ordering::Relaxed);
+                    // One merged key array, Arc-shared by every
+                    // replica's rebuilt index: the fan-out costs
+                    // threads per replica, not memory.
+                    let merged = Arc::new(deltas[s].main_keys().to_vec());
+                    let base = base_ranks(&deltas)[s];
+                    for (r, tx) in rebuild_txs[s].iter().enumerate() {
+                        // A dead replica never drains its swap
+                        // channel; building (and parking) an index
+                        // there would leak its worker threads until
+                        // server shutdown, one leak per merge.
+                        if !queues[s][r].is_alive() {
+                            continue;
+                        }
+                        let index = build_index(&merged, cfg.slaves_per_shard, cfg.pin_cores);
+                        let snapshot = ShardSnapshot::empty(main_epochs[s], base);
+                        // Send before publishing the new epoch's
+                        // overlay so dispatchers can always catch
+                        // up.
+                        let _ = tx.send(Rebuild { main_epoch: main_epochs[s], index, snapshot });
+                    }
+                    publish_all(&deltas, &main_epochs, &counters);
+                    since_publish = 0;
+                    continue;
+                }
+
+                since_publish += 1;
+                if since_publish >= cfg.publish_every {
+                    publish_all(&deltas, &main_epochs, &counters);
+                    since_publish = 0;
                 }
             }
         }

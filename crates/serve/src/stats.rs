@@ -168,6 +168,9 @@ pub struct ServeStats {
     /// Churn operations accepted but with no effect (duplicate insert,
     /// delete of an absent key).
     pub update_nops: u64,
+    /// Coalesced churn-log batches applied via `update_batch` (the
+    /// transport layer's replicated-log apply path).
+    pub update_batches: u64,
     /// Snapshot epochs published by the writer.
     pub snapshots_published: u64,
     /// Delta merges (and index rebuilds) performed by the writer.

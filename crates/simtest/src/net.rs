@@ -30,6 +30,11 @@
 //! 4. **Failover** — a severed endpoint link (the network view of an
 //!    endpoint crash) must degrade capacity, never correctness:
 //!    surviving replica endpoints answer everything.
+//! 5. **Replica convergence** — with churn, every replica process that
+//!    kept its link is checked against the churn mirror after the
+//!    quiesce barrier: applied-op set sizes match and sampled local
+//!    ranks agree, so a dropped, duplicated, or blacked-out update
+//!    frame can never silently diverge one replica.
 
 use dini_cluster::{FaultPlan, LinkPlan};
 use dini_net::transport::ChanNet;
@@ -77,8 +82,10 @@ pub struct NetScenario {
     /// Per-client arrival process (virtual time).
     pub arrival: ArrivalProcess,
     /// Churn operations fed through the client (0 = static keys,
-    /// enabling per-reply exact verification). Requires jitter-free
-    /// links: update/quiesce ordering rides frame FIFO.
+    /// enabling per-reply exact verification). Updates ride the
+    /// replicated churn log: sequence-numbered, applied in order, and
+    /// each op resolves only once quorum-acked — dropped, duplicated,
+    /// or blacked-out update frames are repaired by suffix resend.
     pub churn_ops: usize,
     /// Virtual pause between churn operations.
     pub churn_gap: Duration,
@@ -94,6 +101,11 @@ pub struct NetScenario {
     /// Sever the link to these flat endpoint indices (span-major) at a
     /// virtual instant — the network view of an endpoint crash.
     pub link_down: Vec<(usize, Duration)>,
+    /// Black out the link to these flat endpoint indices over a
+    /// half-open virtual window `[start, end)`: frames sent inside it
+    /// are dropped, the link heals afterwards — a partition that ends,
+    /// where `link_down` is a crash that doesn't.
+    pub blackout: Vec<(usize, Duration, Duration)>,
     /// Upper bound on the worst client-observed latency (reap-time
     /// measured; the probe reaps on a 100 µs cadence, already included
     /// in the bound you pass). `None` disables (e.g. under drops, where
@@ -132,6 +144,7 @@ impl NetScenario {
             duplicate_prob: 0.0,
             jitter_max: Duration::ZERO,
             link_down: Vec::new(),
+            blackout: Vec::new(),
             latency_bound: None,
             stats_polls: 0,
             stats_poll_gap: Duration::from_micros(500),
@@ -161,6 +174,10 @@ pub struct NetReport {
     pub retries: u64,
     /// Lookups re-homed from a dead endpoint to a surviving replica.
     pub rerouted: u64,
+    /// Churn-log suffixes resent to lagging or lossy endpoints.
+    pub update_resends: u64,
+    /// Churn-log epoch bumps (an endpoint died with appends pending).
+    pub elections: u64,
     /// Worst client-observed latency (issue → reap), virtual ns.
     pub max_client_latency_ns: u64,
     /// Exact-rank assertions performed.
@@ -338,6 +355,9 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
             if let Some(&(_, at)) = sc.link_down.iter().find(|&&(ep, _)| ep == flat) {
                 plan = plan.down_at(dur_ns(at));
             }
+            if let Some(&(_, from, until)) = sc.blackout.iter().find(|&&(ep, _, _)| ep == flat) {
+                plan = plan.blackout_ns(dur_ns(from), dur_ns(until));
+            }
             net.set_link_plan(&format!("s{s}e{e}"), plan);
         }
     }
@@ -500,6 +520,40 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
             "[{}] live-key accounting diverged from the mirror",
             sc.name
         );
+
+        // Replica convergence: after the barrier, every replica that
+        // kept its link (blackouts heal; severed links do not) holds
+        // exactly its span's slice of the mirror — set sizes match and
+        // local ranks agree on a probe sweep. This is the oracle the
+        // old fire-and-forget update path failed: one dropped Update
+        // frame silently diverged a replica forever.
+        for (flat, srv) in servers.iter().enumerate() {
+            if sc.link_down.iter().any(|&(ep, _)| ep == flat) {
+                continue;
+            }
+            let span = flat / sc.endpoints_per_span;
+            let span_mirror: BTreeSet<u32> =
+                mirror.iter().copied().filter(|&k| handle.span_of(k) == span).collect();
+            assert_eq!(
+                srv.server().len(),
+                span_mirror.len(),
+                "[{}] replica {flat} (span {span}) did not converge to the mirror's op set",
+                sc.name
+            );
+            let local = srv.server().handle();
+            let mut probe = 0x00C0_FFEEu32;
+            for _ in 0..128 {
+                probe = probe.wrapping_mul(2_654_435_761).wrapping_add(12_345);
+                let expect = span_mirror.range(..=probe).count() as u32;
+                assert_eq!(
+                    local.lookup(probe),
+                    Ok(expect),
+                    "[{}] replica {flat} local rank({probe}) diverged from the mirror",
+                    sc.name
+                );
+                oracle_checks += 1;
+            }
+        }
     }
 
     // Oracle 3: bounded virtual-time tails.
@@ -557,6 +611,8 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
         shutdown,
         retries: stats.retries,
         rerouted: stats.rerouted,
+        update_resends: stats.update_resends,
+        elections: stats.elections,
         max_client_latency_ns,
         oracle_checks,
         served_per_server,

@@ -126,6 +126,114 @@ fn churn_stays_epoch_consistent_across_processes() {
 }
 
 #[test]
+fn lossy_links_cannot_diverge_replicas_thanks_to_the_quorum_log() {
+    // One span, two replica endpoints, 5 % frame drops and 5 %
+    // duplicates in both directions, churn streamed through the wire.
+    // Every update is a sequence-numbered churn-log record: a dropped
+    // Update frame is repaired by suffix resend, a duplicated one is
+    // ignored by the replica's in-order cursor, and the client's Ok
+    // only fires once both endpoints acked. The runner's convergence
+    // oracle then checks both replicas against the BTreeSet mirror —
+    // the check the old fire-and-forget broadcast failed.
+    let mut sc = NetScenario::base("net-lossy-update-quorum");
+    sc.spans = 1;
+    sc.endpoints_per_span = 2;
+    sc.shards_per_server = 2;
+    sc.link_latency = Duration::from_micros(20);
+    sc.drop_prob = 0.05;
+    sc.duplicate_prob = 0.05;
+    sc.retry_timeout = Duration::from_millis(2);
+    sc.max_retries = 40;
+    sc.churn_ops = 300;
+    sc.churn_gap = Duration::from_micros(40);
+    sc.latency_bound = None; // tails legitimately include retry timeouts
+    let mut total_resends = 0u64;
+    for seed in seeds_from_env() {
+        let r = run_net_scenario_reproducibly(&sc, seed);
+        assert_eq!(r.ok, r.issued, "drops must be repaired, not surfaced: {r:?}");
+        assert_eq!((r.shed, r.shutdown), (0, 0));
+        assert!(r.updates_applied > 0, "churn must mutate the indexes");
+        assert_eq!(r.elections, 0, "nobody died; the log epoch must not move: {r:?}");
+        total_resends += r.update_resends;
+    }
+    assert!(
+        total_resends > 0,
+        "a 5% drop rate over 300 quorum-acked updates must force a suffix resend somewhere"
+    );
+}
+
+#[test]
+fn append_target_crash_mid_churn_elects_and_replays() {
+    // The acceptance scenario: one span, two replica endpoints, 5 %
+    // frame drops, churn in flight — and endpoint 0 (the bootstrap and
+    // an append target) has its link severed mid-batch. The appender
+    // must bump the epoch (election), rewind the survivor's send cursor
+    // to its ack point, and replay the missing suffix; afterwards the
+    // surviving replica's applied-op set must equal the mirror exactly
+    // (the runner's convergence + post-quiesce sweep oracles).
+    let mut sc = NetScenario::base("net-leader-crash-mid-append");
+    sc.spans = 1;
+    sc.endpoints_per_span = 2;
+    sc.shards_per_server = 2;
+    sc.link_latency = Duration::from_micros(20);
+    sc.drop_prob = 0.05;
+    sc.retry_timeout = Duration::from_millis(2);
+    sc.max_retries = 40;
+    sc.churn_ops = 300;
+    sc.churn_gap = Duration::from_micros(40);
+    sc.link_down = vec![(0, Duration::from_millis(3))];
+    sc.latency_bound = None; // failover re-homing can stretch a tail
+    for seed in seeds_from_env() {
+        let r = run_net_scenario_reproducibly(&sc, seed);
+        assert_eq!(r.ok, r.issued, "failover must hide the crash: {r:?}");
+        assert_eq!((r.shed, r.shutdown), (0, 0), "a surviving replica means no errors");
+        assert!(
+            r.elections >= 1,
+            "seed {seed}: the crash must have bumped the churn-log epoch ({r:?})"
+        );
+        assert!(r.updates_applied > 0, "churn must mutate the surviving index");
+        assert!(
+            r.served_per_server[1] > 0,
+            "the surviving endpoint must carry traffic: {:?}",
+            r.served_per_server
+        );
+    }
+}
+
+#[test]
+fn partition_heals_and_the_lagging_replica_reconverges() {
+    // A partition that *ends*: endpoint 1's link blacks out over
+    // [2ms, 10ms) while churn streams through the span. Records
+    // appended during the window reach only endpoint 0; the quorum of
+    // two holds every Ok until the window heals and the appender's
+    // repair resends the suffix endpoint 1 missed. The convergence
+    // oracle then checks the *healed* replica against the mirror — it
+    // lagged, it must not have diverged.
+    let mut sc = NetScenario::base("net-partition-then-heal");
+    sc.spans = 1;
+    sc.endpoints_per_span = 2;
+    sc.shards_per_server = 2;
+    sc.link_latency = Duration::from_micros(20);
+    sc.retry_timeout = Duration::from_millis(2);
+    sc.max_retries = 40;
+    sc.churn_ops = 300;
+    sc.churn_gap = Duration::from_micros(40);
+    sc.blackout = vec![(1, Duration::from_millis(2), Duration::from_millis(10))];
+    sc.latency_bound = None; // appends stall across the window
+    for seed in seeds_from_env() {
+        let r = run_net_scenario_reproducibly(&sc, seed);
+        assert_eq!(r.ok, r.issued, "a healed partition must cost time, not answers: {r:?}");
+        assert_eq!((r.shed, r.shutdown), (0, 0));
+        assert!(r.update_resends >= 1, "seed {seed}: healing must have replayed a suffix ({r:?})");
+        assert_eq!(
+            r.elections, 0,
+            "seed {seed}: a partition that heals inside the retry budget kills nobody ({r:?})"
+        );
+        assert!(r.updates_applied > 0, "churn must mutate the indexes");
+    }
+}
+
+#[test]
 fn live_stats_polls_mid_load_agree_with_the_processes() {
     // Wire introspection under load, on virtual time: a dedicated poller
     // thread fires StatsRequest frames at both spans every 500 µs while
