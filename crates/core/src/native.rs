@@ -12,6 +12,7 @@
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dini_cache_sim::NullMemory;
 use dini_index::{CsbTree, RankIndex};
+use dini_store::SharedKeys;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -62,17 +63,20 @@ impl NativeConfig {
 /// A worker's lookup engine (built once, owned by the thread).
 ///
 /// The sorted-array engine does not copy its partition: it holds the
-/// `Arc`-shared key array plus its slice bounds, so any number of
-/// indexes built over the same `Arc` (replica groups in `dini-serve`)
-/// share one copy of the keys. The CSB+ engine rebuilds its node pages
-/// from the slice and therefore still owns its storage.
+/// shared key backing ([`SharedKeys`]: an `Arc`-shared sorted vector or
+/// a mapped snapshot window) plus its slice bounds, so any number of
+/// indexes built over the same backing (replica groups in `dini-serve`)
+/// share one copy of the keys — and a mapped backing is served straight
+/// out of the OS page cache with no deserialization. The CSB+ engine
+/// rebuilds its node pages from the slice and therefore still owns its
+/// storage.
 enum WorkerEngine {
-    Array { keys: Arc<Vec<u32>>, start: usize, end: usize },
+    Array { keys: SharedKeys, start: usize, end: usize },
     Tree(CsbTree),
 }
 
 impl WorkerEngine {
-    fn build(structure: NativeStructure, keys: Arc<Vec<u32>>, start: usize, end: usize) -> Self {
+    fn build(structure: NativeStructure, keys: SharedKeys, start: usize, end: usize) -> Self {
         match structure {
             NativeStructure::SortedArray => WorkerEngine::Array { keys, start, end },
             NativeStructure::CsbTree => {
@@ -81,7 +85,7 @@ impl WorkerEngine {
                 // geometry. Addresses are simulated-only; NullMemory makes
                 // the walk free of instrumentation.
                 WorkerEngine::Tree(CsbTree::with_leaf_entries(
-                    &keys[start..end],
+                    &keys.as_slice()[start..end],
                     15,
                     8,
                     64,
@@ -96,7 +100,7 @@ impl WorkerEngine {
     fn local_rank(&self, key: u32) -> u32 {
         match self {
             WorkerEngine::Array { keys, start, end } => {
-                keys[*start..*end].partition_point(|&s| s <= key) as u32
+                keys.as_slice()[*start..*end].partition_point(|&s| s <= key) as u32
             }
             WorkerEngine::Tree(t) => t.rank(key, &mut NullMemory).0,
         }
@@ -150,9 +154,24 @@ impl DistributedIndex {
     /// still own their storage; sharing only pays off for the default
     /// sorted-array structure.)
     pub fn build_shared(keys: &Arc<Vec<u32>>, cfg: NativeConfig) -> Self {
+        Self::build_backed(SharedKeys::from_arc(keys.clone()), cfg)
+    }
+
+    /// Build over any [`SharedKeys`] backing without copying: an owned
+    /// `Arc`-shared vector behaves exactly like
+    /// [`build_shared`](Self::build_shared); a *mapped* backing (a
+    /// window into a `dini-store` snapshot file) gives the instant-
+    /// restart path — the index comes up by pointing workers at the
+    /// page-cached file instead of sorting, and lookups stay
+    /// allocation-free because the probe path is the same `&[u32]`
+    /// `partition_point` either way.
+    pub fn build_backed(keys: SharedKeys, cfg: NativeConfig) -> Self {
         assert!(cfg.n_slaves >= 1, "need at least one slave");
         assert!(keys.len() >= cfg.n_slaves, "need at least one key per partition");
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+        debug_assert!(
+            keys.as_slice().windows(2).all(|w| w[0] < w[1]),
+            "keys must be sorted unique"
+        );
 
         // Balanced split (first `len % n` partitions one key larger), so
         // every partition is non-empty for any keys.len() >= n_slaves.
@@ -175,7 +194,7 @@ impl DistributedIndex {
             let end = start + base + usize::from(j < extra);
             base_ranks.push(start as u32);
             if j > 0 {
-                delimiters.push(keys[start]);
+                delimiters.push(keys.as_slice()[start]);
             }
             let part = keys.clone();
             let (part_start, part_end) = (start, end);

@@ -17,6 +17,7 @@
 use crate::sorted_array::SortedArray;
 use crate::traits::{Cost, RankIndex};
 use dini_cache_sim::{AccessKind, MemoryModel};
+use dini_store::SharedKeys;
 
 /// A rank index supporting inserts and deletes via a merge-on-threshold
 /// delta buffer.
@@ -73,19 +74,59 @@ impl DeltaArray {
     /// the delta regions are placed immediately after it (each sized for
     /// `merge_threshold` keys).
     pub fn new(keys: Vec<u32>, base: u64, cmp_cost_ns: f64, merge_threshold: usize) -> Self {
+        Self::from_parts(
+            SharedKeys::owned(keys),
+            Vec::new(),
+            Vec::new(),
+            base,
+            cmp_cost_ns,
+            merge_threshold,
+        )
+    }
+
+    /// Rebuild from a snapshot decomposition: a shared (possibly mapped)
+    /// main backing plus the pending deltas persisted alongside it. The
+    /// restart path uses this to resume *exactly* where the checkpoint
+    /// left off — same main array (zero-copy), same un-merged deltas —
+    /// without sorting anything.
+    ///
+    /// Invariants (validated by the snapshot reader, debug-asserted
+    /// here): all three arrays sorted unique, `inserts` disjoint from
+    /// main, `deletes` ⊆ main.
+    pub fn from_parts(
+        keys: SharedKeys,
+        inserts: Vec<u32>,
+        deletes: Vec<u32>,
+        base: u64,
+        cmp_cost_ns: f64,
+        merge_threshold: usize,
+    ) -> Self {
         assert!(merge_threshold >= 1);
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+        debug_assert!(
+            keys.as_slice().windows(2).all(|w| w[0] < w[1]),
+            "keys must be sorted unique"
+        );
+        debug_assert!(inserts.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(deletes.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(inserts.iter().all(|k| keys.as_slice().binary_search(k).is_err()));
+        debug_assert!(deletes.iter().all(|k| keys.as_slice().binary_search(k).is_ok()));
         let main_bytes = keys.len() as u64 * 4;
         let delta_bytes = merge_threshold as u64 * 4;
         Self {
-            main: SortedArray::new(keys, base, cmp_cost_ns),
-            inserts: Vec::new(),
-            deletes: Vec::new(),
+            main: SortedArray::from_shared(keys, base, cmp_cost_ns),
+            inserts,
+            deletes,
             ins_base: base + main_bytes,
             del_base: base + main_bytes + delta_bytes,
             cmp_cost_ns,
             merge_threshold,
         }
+    }
+
+    /// The main array's shared backing (for snapshot writers that want
+    /// to persist without copying, and tests asserting mapped serving).
+    pub fn main_shared(&self) -> &SharedKeys {
+        self.main.shared_keys()
     }
 
     /// Whether `key` is currently in the index.

@@ -10,11 +10,17 @@
 
 use crate::traits::{Cost, RankIndex};
 use dini_cache_sim::{AccessKind, MemoryModel};
+use dini_store::SharedKeys;
 
 /// A sorted array of keys occupying a contiguous simulated address range.
+///
+/// The key storage is a [`SharedKeys`]: either an owned sort-built
+/// vector or a zero-copy window into a mapped snapshot file. Every
+/// access goes through one `&[u32]` view, so the probe path is
+/// identical — and allocation-free — for both backings.
 #[derive(Debug, Clone)]
 pub struct SortedArray {
-    keys: Vec<u32>,
+    keys: SharedKeys,
     /// Simulated base address (line-aligned).
     base: u64,
     /// Cost of one comparison, from MachineParams::cmp_cost_ns.
@@ -26,12 +32,23 @@ impl SortedArray {
     /// DINI workloads are unique). `base` is the simulated address of
     /// element 0; `cmp_cost_ns` the per-comparison compute charge.
     pub fn new(keys: Vec<u32>, base: u64, cmp_cost_ns: f64) -> Self {
-        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        Self::from_shared(SharedKeys::owned(keys), base, cmp_cost_ns)
+    }
+
+    /// Build over an existing backing — an `Arc`-shared vector or a
+    /// mapped snapshot window — without copying the keys.
+    pub fn from_shared(keys: SharedKeys, base: u64, cmp_cost_ns: f64) -> Self {
+        debug_assert!(keys.as_slice().windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
         Self { keys, base, cmp_cost_ns }
     }
 
     /// The indexed keys.
     pub fn keys(&self) -> &[u32] {
+        self.keys.as_slice()
+    }
+
+    /// The shared backing (clone to share without copying keys).
+    pub fn shared_keys(&self) -> &SharedKeys {
         &self.keys
     }
 
@@ -66,7 +83,7 @@ impl SortedArray {
         if end > start {
             ns +=
                 mem.touch(self.addr_of(start), ((end - start) * 4) as u32, AccessKind::StreamRead);
-            out.extend_from_slice(&self.keys[start..end]);
+            out.extend_from_slice(&self.keys.as_slice()[start..end]);
         }
         ns
     }
@@ -86,15 +103,16 @@ impl RankIndex for SortedArray {
     /// are the misses the paper's Equation 8 charges as
     /// `L × (Comp_Cost + B1_Miss_Penalty)`.
     fn rank<M: MemoryModel>(&self, key: u32, mem: &mut M) -> (u32, Cost) {
+        let keys = self.keys.as_slice();
         let mut lo = 0usize;
-        let mut hi = self.keys.len();
+        let mut hi = keys.len();
         let mut ns = 0.0;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             ns += mem.touch(self.addr_of(mid), 4, AccessKind::Read);
             ns += mem.compute(self.cmp_cost_ns);
             // SAFETY-free hot path: mid < hi <= len by construction.
-            if self.keys[mid] <= key {
+            if keys[mid] <= key {
                 lo = mid + 1;
             } else {
                 hi = mid;

@@ -86,6 +86,14 @@ pub struct ClientConfig {
     pub ctrl_timeout: Duration,
     /// Budget for the connect-time `Hello`/`ShardMap` handshake.
     pub handshake_timeout: Duration,
+    /// How many quorum-acked churn-log records each span's appender
+    /// retains *below* its trim watermark. A span process that restarts
+    /// from a `dini-store` snapshot rejoins ([`NetHandle::rejoin`]) at
+    /// its snapshot's `(epoch, seq)` watermark and is caught up by
+    /// replaying this tail; a watermark older than the retained window
+    /// cannot be repaired and the endpoint stays dead. Memory cost is
+    /// `~5 bytes × log_retention` per span.
+    pub log_retention: u64,
     /// The clock all client threads wait on (a
     /// [`SimClock`](dini_serve::SimClock) runs the whole client on
     /// virtual time).
@@ -107,6 +115,7 @@ impl Default for ClientConfig {
             max_retries: 8,
             ctrl_timeout: Duration::from_secs(2),
             handshake_timeout: Duration::from_secs(5),
+            log_retention: 16_384,
             clock: Clock::system(),
             trace: TraceConfig::default(),
         }
@@ -133,9 +142,23 @@ enum UpdMsg {
     Flush(Sender<Result<(), ServeError>>),
 }
 
-/// An update ack routed from an endpoint reader to its span's appender:
-/// `(position within the span's endpoint list, epoch, acked seq)`.
-type UpdAck = (usize, u64, u64);
+/// An endpoint event routed to its span's appender thread.
+enum EpEvent {
+    /// An `UpdateAck` from an endpoint reader: `pos` (position within
+    /// the span's endpoint list) has applied the log through `seq`. The
+    /// ack's epoch is dropped at the reader — sequences are global (one
+    /// sequencer, records immutable per seq), so a seq means the same
+    /// thing in every epoch.
+    Ack { pos: usize, seq: u64 },
+    /// `pos`'s server restarted from a snapshot and its connection was
+    /// re-established: its log cursor is exactly `seq` (the snapshot
+    /// watermark — everything at or below is folded in, everything
+    /// above must be replayed). Sent by the endpoint worker *before*
+    /// the queue flips alive, and honored by the appender's liveness
+    /// scan only after it is processed, so a stale-high ack from the
+    /// endpoint's previous life can never count toward quorum.
+    Revive { pos: usize, seq: u64 },
+}
 
 /// One lookup batch on the wire, awaiting its reply.
 struct BatchInFlight {
@@ -147,9 +170,11 @@ struct BatchInFlight {
 
 type InFlight = Arc<Mutex<BTreeMap<u64, BatchInFlight>>>;
 
-/// Connect-time plumbing for one endpoint: the submit/control receive
-/// halves the worker takes, plus the dialed connection.
-type EndpointPipes = (Receiver<Request>, Receiver<Frame>, Duplex);
+/// Connect-time plumbing for one endpoint worker: the submit/control
+/// receive halves, the dialed connection (`None` when the endpoint was
+/// unreachable — the worker starts in its dead-wait loop), and the
+/// revive route [`NetHandle::rejoin`] hands fresh connections through.
+type EndpointPipes = (Receiver<Request>, Receiver<Frame>, Option<Duplex>, Receiver<Duplex>);
 
 /// Client-side accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -188,9 +213,18 @@ struct ClientCore {
     upd_txs: Vec<Sender<UpdMsg>>,
     /// Per-span reply-slot pools for pending updates.
     upd_pools: Vec<SlotPool>,
-    /// Per-span ack routes: endpoint readers push `UpdateAck` positions
-    /// here, the span's appender folds them into its quorum watermark.
-    upd_ack_txs: Vec<Sender<UpdAck>>,
+    /// Per-span event routes: endpoint readers push `UpdateAck`
+    /// positions (and workers push revive cursors) here; the span's
+    /// appender folds them into its quorum watermark.
+    upd_ack_txs: Vec<Sender<EpEvent>>,
+    /// The dialer endpoints were connected through, kept for
+    /// [`NetHandle::rejoin`]'s re-dial.
+    dialer: Box<dyn Dialer>,
+    /// Flat endpoint addresses, same order as `queues` —
+    /// [`NetHandle::rejoin`] resolves an address to its endpoint slot.
+    ep_addrs: Vec<String>,
+    /// Per-endpoint revive routes into the worker's dead-wait loop.
+    revive_txs: Vec<Sender<Duplex>>,
     /// Live key count per span, refreshed by pings and quiesce acks —
     /// the cross-process half of rank composition.
     span_live: Vec<AtomicU64>,
@@ -335,57 +369,181 @@ impl ClientCore {
 
 // ------------------------------------------------------------- threads
 
-/// The per-endpoint sender: coalesce → frame → send, plus retries and
-/// outbound control frames. Owns the connection's transmit half.
+/// Why one connection's serve loop ended.
+#[derive(PartialEq)]
+enum ConnExit {
+    /// The client is shutting down (or its core is gone): the worker
+    /// itself should exit.
+    Teardown,
+    /// The endpoint died (send failure, retry exhaustion, or the reader
+    /// saw it die): fail over, then wait for a revive.
+    Dead,
+}
+
+/// The per-endpoint lifecycle thread. Owns the endpoint across
+/// connection *generations*: serve the current connection (coalesce →
+/// frame → send, retries, outbound control frames — the transmit half),
+/// spawning one reader per generation for the receive half; on endpoint
+/// death, mark dead, re-home the backlog, **join the dead generation's
+/// reader**, and sit in a dead-wait loop that keeps draining (and
+/// re-homing) racing submits until [`NetHandle::rejoin`] hands in a
+/// fresh connection — whose handshake rewinds the span appender's
+/// cursor to the server's recovered snapshot watermark before the
+/// endpoint flips alive again.
+///
+/// The reader join *before* accepting a revive is load-bearing: a
+/// previous generation's reader left polling a closed connection would
+/// observe its `Err`, and mark the *revived* queue dead.
 fn run_worker(
     core: Arc<ClientCore>,
     ep: usize,
     req_rx: Receiver<Request>,
     ctrl_rx: Receiver<Frame>,
-    mut tx: Box<dyn FrameTx>,
-    in_flight: InFlight,
+    mut conn: Option<Duplex>,
+    revive_rx: Receiver<Duplex>,
 ) {
     let clock = core.clock.clone();
     let mut batch: Vec<Request> = Vec::new();
-    // Any break from this loop means the endpoint is dead (send failure,
-    // retry exhaustion, or the reader saw it die): fail over below.
-    'conn: loop {
+    let mut generation = 0u64;
+    loop {
+        if let Some(duplex) = conn.take() {
+            generation += 1;
+            let Duplex { tx: mut ftx, rx: frx, peer: _ } = duplex;
+            let in_flight: InFlight = Arc::new(Mutex::new(BTreeMap::new()));
+            let reader = {
+                let c = core.clone();
+                let inf = in_flight.clone();
+                clock.spawn(&format!("dini-net-cr-{ep}-g{generation}"), move || {
+                    run_reader(c, ep, frx, inf)
+                })
+            };
+            // Flip alive only now: the reader that will drain replies
+            // and the worker that will drain submits are both wired up.
+            // (No-op on generation 1 — the queue starts alive.)
+            core.queues[ep].revive();
+            let exit = serve_conn(&core, ep, &req_rx, &ctrl_rx, &mut ftx, &in_flight, &mut batch);
+            // Mark dead before re-homing (even on teardown — it lets the
+            // reader exit on its poll) so nothing re-routes back here.
+            core.queues[ep].mark_dead();
+            if exit == ConnExit::Teardown {
+                // Dropping the backlog drop-fills its waiters
+                // `ShuttingDown`; re-homing at teardown would bounce
+                // lookups between endpoints that are all dying.
+                batch.clear();
+                let _ = reader.join();
+                return;
+            }
+            for req in batch.drain(..) {
+                core.queues[ep].complete(1);
+                if core.reroute(core.ep_span[ep], ep, req) {
+                    core.rerouted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            core.drain_in_flight(ep, &in_flight);
+            let _ = reader.join();
+        }
+        // Dead wait: drain racing submits into survivors, watch for a
+        // revive. Control frames for the dead connection are dropped —
+        // their round trips time out, exactly as if sent and lost.
+        loop {
+            if core.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            while ctrl_rx.try_recv().is_ok() {}
+            if let Ok(duplex) = revive_rx.try_recv() {
+                if let Some(d) = revive_handshake(&core, ep, duplex) {
+                    conn = Some(d);
+                    break;
+                }
+            }
+            match clock.recv_timeout(&req_rx, READER_POLL) {
+                Ok(req) => {
+                    core.queues[ep].complete(1);
+                    if core.reroute(core.ep_span[ep], ep, req) {
+                        core.rerouted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+/// Serve one connection generation until teardown or endpoint death.
+fn serve_conn(
+    core: &ClientCore,
+    ep: usize,
+    req_rx: &Receiver<Request>,
+    ctrl_rx: &Receiver<Frame>,
+    tx: &mut Box<dyn FrameTx>,
+    in_flight: &InFlight,
+    batch: &mut Vec<Request>,
+) -> ConnExit {
+    let clock = core.clock.clone();
+    loop {
         while let Ok(f) = ctrl_rx.try_recv() {
             if tx.send(&f).is_err() {
-                break 'conn;
+                return ConnExit::Dead;
             }
         }
         if core.shutdown.load(Ordering::SeqCst) {
-            return;
+            return ConnExit::Teardown;
         }
         if !core.queues[ep].is_alive() {
-            break 'conn;
+            return ConnExit::Dead;
         }
-        match clock.recv_timeout(&req_rx, WORKER_POLL) {
+        match clock.recv_timeout(req_rx, WORKER_POLL) {
             Ok(first) => {
                 let disconnected = collect_batch_into(
                     &clock,
-                    &req_rx,
+                    req_rx,
                     first,
-                    &mut batch,
+                    batch,
                     core.cfg.max_batch,
                     core.cfg.max_delay,
                 );
-                if send_batch(&core, &mut tx, &mut batch, &in_flight).is_err() {
-                    break 'conn;
+                if send_batch(core, tx, batch, in_flight).is_err() {
+                    return ConnExit::Dead;
                 }
                 if disconnected {
-                    return; // client dropped; nothing left to serve
+                    return ConnExit::Teardown; // client dropped
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => return ConnExit::Teardown,
         }
-        if check_retries(&core, &mut tx, &in_flight).is_err() {
-            break 'conn;
+        if check_retries(core, tx, in_flight).is_err() {
+            return ConnExit::Dead;
         }
     }
-    die(&core, ep, &req_rx, &in_flight, &mut batch);
+}
+
+/// Handshake a revive connection: `Hello` → `ShardMap`, whose
+/// `log_seq` is the restarted server's recovered snapshot watermark.
+/// The appender's cursor for this endpoint is positioned there —
+/// *before* the caller flips the queue alive — so the next ship pass
+/// replays exactly the churn-log suffix the snapshot missed. Returns
+/// `None` (endpoint stays dead) on any failure or a wrong-span server.
+fn revive_handshake(core: &ClientCore, ep: usize, mut duplex: Duplex) -> Option<Duplex> {
+    let span = core.ep_span[ep];
+    if duplex.tx.send(&Frame::Hello { proto: WIRE_VERSION as u16 }).is_err() {
+        return None;
+    }
+    match duplex.rx.recv_timeout(core.cfg.handshake_timeout) {
+        Ok(Frame::ShardMap { my_span, live_keys, log_seq, .. }) => {
+            if my_span as usize != span {
+                return None; // a different server answered this address
+            }
+            // ordering: SeqCst — same control-plane ordering as the
+            // reader-thread refreshes of this gauge.
+            core.span_live[span].store(live_keys, Ordering::SeqCst);
+            let _ =
+                core.upd_ack_txs[span].send(EpEvent::Revive { pos: core.ep_pos[ep], seq: log_seq });
+            Some(duplex)
+        }
+        _ => None,
+    }
 }
 
 /// Assign a request id, record the batch in flight, ship the frame.
@@ -451,43 +609,6 @@ fn check_retries(
     Ok(())
 }
 
-/// An endpoint's afterlife, mirroring `dini-serve`'s crashed-replica
-/// failover: mark dead *first* (so nothing re-homes back here), re-home
-/// the collected batch and the in-flight wire batches, then keep
-/// draining the submit queue until the client shuts down — a submit
-/// racing the death gets failed over too, not stranded.
-fn die(
-    core: &ClientCore,
-    ep: usize,
-    req_rx: &Receiver<Request>,
-    in_flight: &InFlight,
-    batch: &mut Vec<Request>,
-) {
-    let span = core.ep_span[ep];
-    core.queues[ep].mark_dead();
-    let rehome = |req: Request| {
-        core.queues[ep].complete(1);
-        if core.reroute(span, ep, req) {
-            core.rerouted.fetch_add(1, Ordering::Relaxed);
-        }
-    };
-    for req in batch.drain(..) {
-        rehome(req);
-    }
-    core.drain_in_flight(ep, in_flight);
-    loop {
-        match core.clock.recv_timeout(req_rx, READER_POLL) {
-            Ok(req) => rehome(req),
-            Err(RecvTimeoutError::Timeout) => {
-                if core.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-}
-
 /// One span's churn-log appender: the single writer of the span's
 /// replicated update log (neon-safekeeper shape, one level down).
 ///
@@ -509,15 +630,22 @@ fn die(
 ///   laggards are missing — the surviving longest log wins by
 ///   construction, because the sequencer never moved;
 /// * a span with no live endpoint left fails all pending appends
-///   `ShuttingDown`.
+///   `ShuttingDown` — but **keeps its log tail** (see below), because a
+///   snapshot-restarted server can still rejoin and be caught up.
 ///
-/// The log is trimmed below the minimum live ack, so steady state holds
-/// only the in-flight window.
+/// The log is trimmed `log_retention` records below the minimum live
+/// ack (not *at* it): the retained tail is the replay window a
+/// [`NetHandle::rejoin`]ed endpoint catches up from. Sequences are
+/// never reused — a record that once occupied a sequence is the only
+/// record that ever will, so replaying the tail to a replica that
+/// already folded part of it is safe (in-order apply trims duplicates;
+/// membership ops are idempotent) while *reissuing* a sequence with
+/// different content could silently diverge a checkpointed replica.
 fn run_appender(
     core: Arc<ClientCore>,
     span: usize,
     upd_rx: Receiver<UpdMsg>,
-    ack_rx: Receiver<UpdAck>,
+    ack_rx: Receiver<EpEvent>,
 ) {
     let clock = core.clock.clone();
     let eps: Vec<usize> = core.span_eps[span].clone();
@@ -531,6 +659,13 @@ fn run_appender(
     let mut progress_at = vec![clock.now(); n];
     let mut tries = vec![0u32; n];
     let mut was_alive: Vec<bool> = eps.iter().map(|&e| core.queues[e].is_alive()).collect();
+    // A dead→alive transition is honored only once the endpoint's
+    // `Revive` event has positioned its cursors. Without this gate, the
+    // liveness scan could admit a revived endpoint while `acked` still
+    // holds its *previous* life's high ack — counting toward quorum log
+    // records the restarted server never applied. Endpoints alive at
+    // start are trivially ready.
+    let mut revive_ready: Vec<bool> = was_alive.clone();
     let mut waiters: VecDeque<(u64, ReplyHandle)> = VecDeque::new();
     let mut flushes: Vec<(u64, Sender<Result<(), ServeError>>)> = Vec::new();
     let mut batch: Vec<UpdMsg> = Vec::new();
@@ -546,18 +681,42 @@ fn run_appender(
             return;
         }
 
-        // Fold in acks. The epoch on the ack is bookkeeping only:
-        // sequences are global (one sequencer, records immutable per
-        // seq), so an ack's seq means the same thing in every epoch.
-        while let Ok((pos, _epoch, seq)) = ack_rx.try_recv() {
-            // An honest ack never exceeds the log head; clamping keeps a
-            // stray or corrupt one from dragging the trim watermark past
-            // the log it indexes.
-            let seq = seq.min(base + log.len() as u64);
-            if seq > acked[pos] {
-                acked[pos] = seq;
-                progress_at[pos] = clock.now();
-                tries[pos] = 0;
+        // Fold in acks and revives.
+        while let Ok(ev) = ack_rx.try_recv() {
+            match ev {
+                EpEvent::Ack { pos, seq } => {
+                    // An honest ack never exceeds the log head; clamping
+                    // keeps a stray or corrupt one from dragging the trim
+                    // watermark past the log it indexes.
+                    let seq = seq.min(base + log.len() as u64);
+                    if seq > acked[pos] {
+                        acked[pos] = seq;
+                        progress_at[pos] = clock.now();
+                        tries[pos] = 0;
+                    }
+                }
+                EpEvent::Revive { pos, seq } => {
+                    if seq < base {
+                        // The suffix this endpoint needs starts below the
+                        // retained tail: it cannot be caught up from this
+                        // log. Bury it — a future snapshot on its side
+                        // (with a fresher watermark) can still rejoin.
+                        core.queues[eps[pos]].mark_dead();
+                        revive_ready[pos] = false;
+                        continue;
+                    }
+                    // Both cursors land exactly on the snapshot
+                    // watermark (clamped to the head — a server that
+                    // folded records this appender already trimmed acks
+                    // of is simply up to date): the next ship pass sends
+                    // precisely the suffix the snapshot missed.
+                    let seq = seq.min(base + log.len() as u64);
+                    acked[pos] = seq;
+                    sent[pos] = seq;
+                    tries[pos] = 0;
+                    progress_at[pos] = clock.now();
+                    revive_ready[pos] = true;
+                }
             }
         }
 
@@ -571,6 +730,14 @@ fn run_appender(
             let alive = core.queues[e].is_alive();
             if was_alive[pos] && !alive {
                 died = true;
+                // The next life must present a fresh Revive cursor.
+                revive_ready[pos] = false;
+            }
+            if !was_alive[pos] && alive && !revive_ready[pos] {
+                // Queue flipped alive but the Revive event hasn't been
+                // folded in yet (it is in flight in this channel):
+                // admit the endpoint on the pass that has its cursors.
+                continue;
             }
             was_alive[pos] = alive;
         }
@@ -641,9 +808,9 @@ fn run_appender(
                     // with this send, not at the last ack.
                     progress_at[pos] = now;
                 }
-                // Everything at or below `base` is acked by every live
-                // endpoint — a cursor below it can only belong to a
-                // replica that is about to be (or already is) dead.
+                // Everything below `base` is trimmed away — a cursor
+                // under it belongs to a replica the revive path already
+                // buried (or is about to).
                 let from = sent[pos].max(base);
                 let ops: Vec<WireOp> = log.iter().skip((from - base) as usize).copied().collect();
                 let frame = Frame::Update { req: core.fresh_req(), epoch, seq: from + 1, ops };
@@ -657,15 +824,27 @@ fn run_appender(
         // span's live endpoints has acked it.
         let mut live_acks: Vec<u64> = (0..n).filter(|&p| was_alive[p]).map(|p| acked[p]).collect();
         if live_acks.is_empty() {
+            // No quorum is reachable: fail the pending appends (their
+            // outcome is *unknown* — some replica may have applied them
+            // before dying, and a revived endpoint may yet replay them;
+            // membership ops are idempotent, so at-least-once is safe).
             for (_, h) in waiters.drain(..) {
                 h.send(Err(ServeError::ShuttingDown));
             }
             for (_, tx) in flushes.drain(..) {
                 let _ = tx.send(Err(ServeError::ShuttingDown));
             }
-            // Nothing can ever ack again; drop the dead span's log.
-            base += log.len() as u64;
-            log.clear();
+            // Keep the retained tail — never advance `base` over records
+            // that existed: a snapshot-restarted server rejoins through
+            // this very log, and re-issuing a consumed sequence with
+            // different content could silently diverge a replica that
+            // checkpointed the original.
+            let head = base + log.len() as u64;
+            let keep_from = head.saturating_sub(core.cfg.log_retention);
+            if keep_from > base {
+                log.drain(..(keep_from - base) as usize);
+                base = keep_from;
+            }
             continue;
         }
         live_acks.sort_unstable_by(|a, b| b.cmp(a));
@@ -692,10 +871,13 @@ fn run_appender(
             }
         });
 
-        // Trim: the prefix every live endpoint acked is never resent.
-        if min_live > base {
-            log.drain(..(min_live - base) as usize);
-            base = min_live;
+        // Trim, retaining `log_retention` records *below* the fully-acked
+        // watermark — the replay window a snapshot-restarted endpoint
+        // catches up from when it rejoins.
+        let keep_from = min_live.saturating_sub(core.cfg.log_retention);
+        if keep_from > base {
+            log.drain(..(keep_from - base) as usize);
+            base = keep_from;
         }
     }
 }
@@ -748,11 +930,11 @@ fn run_reader(core: Arc<ClientCore>, ep: usize, mut rx: Box<dyn FrameRx>, in_fli
                 }
                 core.queues[ep].complete(served);
             }
-            Ok(Frame::UpdateAck { req: _, epoch, seq }) => {
+            Ok(Frame::UpdateAck { req: _, epoch: _, seq }) => {
                 // Update acks feed the span's appender (quorum
                 // tracking), not the ctrl waiter map: the ack's meaning
                 // is its log position, not its request id.
-                let _ = core.upd_ack_txs[span].send((core.ep_pos[ep], epoch, seq));
+                let _ = core.upd_ack_txs[span].send(EpEvent::Ack { pos: core.ep_pos[ep], seq });
             }
             Ok(Frame::QuiesceAck { req, live_keys, snapshots: _ })
             | Ok(Frame::EpochPong { req, live_keys, snapshots: _ }) => {
@@ -1020,6 +1202,44 @@ impl NetHandle {
         self.core.span_eps[span].iter().any(|&e| self.core.queues[e].is_alive())
     }
 
+    /// Is the endpoint at `addr` (as listed in the connect-time shard
+    /// map) currently alive?
+    pub fn endpoint_alive(&self, addr: &str) -> bool {
+        self.core
+            .ep_addrs
+            .iter()
+            .position(|a| a == addr)
+            .is_some_and(|ep| self.core.queues[ep].is_alive())
+    }
+
+    /// Reconnect a dead endpoint whose server came back — typically a
+    /// span process restarted from its `dini-store` snapshot
+    /// ([`NetServer::restart`](crate::NetServer::restart)). Dials the
+    /// address and hands the fresh connection to the endpoint's worker,
+    /// which handshakes it: the server's `ShardMap` carries its
+    /// recovered churn-log watermark, the span appender rewinds this
+    /// endpoint's cursor there, ships the retained log suffix, and the
+    /// endpoint rejoins quorum, lookups, and barriers exactly caught up.
+    ///
+    /// Returns once the connection is handed off (the handshake and
+    /// catch-up run on the worker); poll
+    /// [`endpoint_alive`](Self::endpoint_alive) to observe the rejoin
+    /// completing. An already-alive endpoint is a no-op. Errors are the
+    /// dial's; a failed handshake leaves the endpoint dead, to try
+    /// again.
+    pub fn rejoin(&self, addr: &str) -> Result<(), NetError> {
+        let core = &self.core;
+        let Some(ep) = core.ep_addrs.iter().position(|a| a == addr) else {
+            return Err(NetError::Refused(format!("{addr} is not in the shard map")));
+        };
+        if core.queues[ep].is_alive() {
+            return Ok(());
+        }
+        let duplex = core.dialer.dial(addr)?;
+        core.revive_txs[ep].send(duplex).map_err(|_| NetError::Closed)?;
+        Ok(())
+    }
+
     /// The clock this client waits on.
     pub fn clock(&self) -> &Clock {
         &self.core.clock
@@ -1110,7 +1330,10 @@ impl RemoteClient {
                 continue;
             }
             match boot.rx.recv_timeout(cfg.handshake_timeout) {
-                Ok(Frame::ShardMap { spans, my_span, live_keys }) => {
+                Ok(Frame::ShardMap { spans, my_span, live_keys, .. }) => {
+                    // The watermark fields matter to *rejoin* handshakes
+                    // (the appender rewinds a revived endpoint's cursor
+                    // there); a cold connect has no cursor to rewind.
                     handshake = Some((Topology::from_wire(&spans), my_span as usize, live_keys));
                     break;
                 }
@@ -1135,23 +1358,30 @@ impl RemoteClient {
         let mut span_eps: Vec<Vec<usize>> = Vec::with_capacity(n_spans);
         let mut ep_span = Vec::new();
         let mut ep_pos = Vec::new();
-        let mut plumbing: Vec<Option<EndpointPipes>> = Vec::new();
+        let mut plumbing: Vec<EndpointPipes> = Vec::new();
+        let mut revive_txs = Vec::new();
+        let mut ep_addrs = Vec::new();
         for (span, s) in topology.spans.iter().enumerate() {
             let mut eps = Vec::with_capacity(s.endpoints.len());
             for (pos, addr) in s.endpoints.iter().enumerate() {
                 let ep = queues.len();
                 let (req_tx, req_rx) = bounded::<Request>(cfg.queue_capacity);
                 let (ctl_tx, ctl_rx) = unbounded::<Frame>();
+                let (rev_tx, rev_rx) = bounded::<Duplex>(1);
                 let queue = AdmissionQueue::new(span, pos, req_tx, clock.clone());
-                match dialer.dial(addr) {
-                    Ok(duplex) => plumbing.push(Some((req_rx, ctl_rx, duplex))),
+                let conn = match dialer.dial(addr) {
+                    Ok(duplex) => Some(duplex),
                     Err(_) => {
                         // Unreachable from the start: a dead endpoint,
-                        // exactly as if it crashed later.
+                        // exactly as if it crashed later — its worker
+                        // starts in the dead-wait loop, rejoinable.
                         queue.mark_dead();
-                        plumbing.push(None);
+                        None
                     }
-                }
+                };
+                plumbing.push((req_rx, ctl_rx, conn, rev_rx));
+                revive_txs.push(rev_tx);
+                ep_addrs.push(addr.clone());
                 queues.push(queue);
                 ctrl_txs.push(ctl_tx);
                 ep_span.push(span);
@@ -1185,7 +1415,7 @@ impl RemoteClient {
             let (tx, rx) = bounded::<UpdMsg>(cfg.queue_capacity);
             upd_txs.push(tx);
             upd_rxs.push(rx);
-            let (atx, arx) = unbounded::<UpdAck>();
+            let (atx, arx) = unbounded::<EpEvent>();
             upd_ack_txs.push(atx);
             upd_ack_rxs.push(arx);
         }
@@ -1220,6 +1450,9 @@ impl RemoteClient {
             upd_txs,
             upd_pools,
             upd_ack_txs,
+            dialer,
+            ep_addrs,
+            revive_txs,
             span_live,
             ctrl: Mutex::new(BTreeMap::new()),
             next_req: AtomicU64::new(0),
@@ -1232,20 +1465,15 @@ impl RemoteClient {
             wire_traces,
         });
 
+        // One lifecycle worker per endpoint — dead ones included, so a
+        // server that comes back later can rejoin. Each worker spawns
+        // (and joins) its own per-generation reader.
         let mut threads = Vec::new();
-        for (ep, pipes) in plumbing.into_iter().enumerate() {
-            let Some((req_rx, ctl_rx, duplex)) = pipes else { continue };
-            let Duplex { tx, rx, peer: _ } = duplex;
-            let in_flight: InFlight = Arc::new(Mutex::new(BTreeMap::new()));
+        for (ep, (req_rx, ctl_rx, conn, rev_rx)) in plumbing.into_iter().enumerate() {
             let c = core.clone();
-            let inf = in_flight.clone();
             threads.push(clock.spawn(&format!("dini-net-cw-{ep}"), move || {
-                run_worker(c, ep, req_rx, ctl_rx, tx, inf)
+                run_worker(c, ep, req_rx, ctl_rx, conn, rev_rx)
             }));
-            let c = core.clone();
-            threads.push(
-                clock.spawn(&format!("dini-net-cr-{ep}"), move || run_reader(c, ep, rx, in_flight)),
-            );
         }
         for (span, (upd_rx, ack_rx)) in upd_rxs.into_iter().zip(upd_ack_rxs).enumerate() {
             let c = core.clone();

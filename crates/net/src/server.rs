@@ -38,7 +38,10 @@ use crate::wire::{
     Frame, LookupStatus, ReplicaStatsMsg, StatsMsg, StatusCode, WireOp, WIRE_VERSION,
 };
 use crossbeam::channel::unbounded;
-use dini_serve::{Clock, ClockJoinHandle, IndexServer, PendingLookup, ServeConfig, ServeError};
+use dini_serve::{
+    open_snapshot, Clock, ClockJoinHandle, IndexServer, PendingLookup, ServeConfig, ServeError,
+    SnapError,
+};
 use dini_workload::Op;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -181,14 +184,54 @@ impl NetServer {
     /// Build an [`IndexServer`] over `keys` (this span's slice of the
     /// global key set) and serve it through `acceptor`.
     pub fn start(acceptor: Box<dyn Acceptor>, keys: &[u32], cfg: NetServerConfig) -> Self {
+        let server = IndexServer::build(keys, cfg.serve.clone());
+        Self::host(acceptor, server, (0, 0), cfg)
+    }
+
+    /// Restart this span from the `dini-store` snapshot at
+    /// `cfg.serve.store`'s path (which must be set): the shard mains are
+    /// memory-mapped — no sort, no copy — pending deltas and routing
+    /// resume exactly, and every connection's churn-log cursor starts at
+    /// the snapshot's `(epoch, seq)` watermark, so a rejoining client
+    /// replays only the log suffix the snapshot missed.
+    ///
+    /// Any [`SnapError`] (no snapshot yet, torn write, flipped bit — the
+    /// codec rejects them all by name) falls back to a cold sort-rebuild
+    /// over `fallback_keys`, returning the error alongside the running
+    /// server so callers can count or log the degraded start.
+    pub fn restart(
+        acceptor: Box<dyn Acceptor>,
+        fallback_keys: &[u32],
+        cfg: NetServerConfig,
+    ) -> (Self, Option<SnapError>) {
+        let plan = cfg.serve.store.as_ref().expect("restart requires ServeConfig::store");
+        match open_snapshot(&plan.path) {
+            Ok(snap) => {
+                let server = IndexServer::build_recovered(&snap, cfg.serve.clone());
+                let watermark = (snap.log_epoch, snap.log_seq);
+                (Self::host(acceptor, server, watermark, cfg), None)
+            }
+            Err(e) => (Self::start(acceptor, fallback_keys, cfg), Some(e)),
+        }
+    }
+
+    fn host(
+        acceptor: Box<dyn Acceptor>,
+        server: IndexServer,
+        init_log: (u64, u64),
+        cfg: NetServerConfig,
+    ) -> Self {
         cfg.topology.validate();
         assert!(cfg.span < cfg.topology.n_spans(), "hosted span out of range");
         let clock = cfg.serve.clock.clone();
-        let server = Arc::new(IndexServer::build(keys, cfg.serve.clone()));
+        let server = Arc::new(server);
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<ClockJoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let addr = acceptor.addr();
         let log = Arc::new(LogPosition::default());
+        // A recovered span's high-water mark starts at the snapshot
+        // watermark, not zero — everything below it is already folded in.
+        log.advance(init_log.0, init_log.1);
 
         let acceptor_thread = {
             let server = server.clone();
@@ -217,6 +260,7 @@ impl NetServer {
                                     span,
                                     shutdown: shutdown.clone(),
                                     log: log.clone(),
+                                    init_log,
                                 },
                             );
                             let mut guard = conns.lock().expect("conn list lock");
@@ -298,6 +342,14 @@ struct ConnShared {
     span: usize,
     shutdown: Arc<AtomicBool>,
     log: Arc<LogPosition>,
+    /// The snapshot watermark this server recovered from (`(0, 0)` on a
+    /// cold start): every connection's churn-log cursor starts here, and
+    /// the handshake reports it so a rejoining client replays exactly
+    /// the log suffix the snapshot missed. Per-connection state must use
+    /// this, never the live [`LogPosition`] — reporting another
+    /// connection's progress would open a gap this reader then holds off
+    /// forever.
+    init_log: (u64, u64),
 }
 
 /// Spawn the reader + responder pair for one accepted connection.
@@ -307,7 +359,7 @@ fn spawn_connection(
     duplex: Duplex,
     shared: ConnShared,
 ) -> (ClockJoinHandle<()>, ClockJoinHandle<()>) {
-    let ConnShared { server, topology, span, shutdown, log } = shared;
+    let ConnShared { server, topology, span, shutdown, log, init_log } = shared;
     let Duplex { tx: mut frame_tx, rx: mut frame_rx, peer: _ } = duplex;
     let (job_tx, job_rx) = unbounded::<Job>();
 
@@ -319,9 +371,10 @@ fn spawn_connection(
             // The connection's churn-log cursor: the highest sequence
             // applied with no gaps below it, and the epoch adopted from
             // the writer. One writer per connection keeps the cursor
-            // race-free.
-            let mut applied = 0u64;
-            let mut adopted_epoch = 0u64;
+            // race-free. On a snapshot restart the cursor opens at the
+            // recovered watermark — those records are already folded in.
+            let mut applied = init_log.1;
+            let mut adopted_epoch = init_log.0;
             loop {
                 if shutdown.load(Ordering::SeqCst) {
                     let _ = job_tx.send(Job::Bye);
@@ -363,7 +416,14 @@ fn spawn_connection(
                                         WireOp::Delete(k) => Op::Delete(k),
                                     })
                                     .collect();
-                                if server.update_batch(batch).is_err() {
+                                // `update_batch_at` stamps the writer's
+                                // checkpoint watermark: the next snapshot
+                                // records that everything through
+                                // `seq + n - 1` is folded in.
+                                if server
+                                    .update_batch_at(batch, adopted_epoch, seq + n - 1)
+                                    .is_err()
+                                {
                                     let _ = job_tx.send(Job::Bye);
                                     break;
                                 }
@@ -415,6 +475,8 @@ fn spawn_connection(
                         spans: topology.to_wire(),
                         my_span: span as u16,
                         live_keys: server.len() as u64,
+                        log_epoch: init_log.0,
+                        log_seq: init_log.1,
                     },
                     Job::Reply { req, pendings } => {
                         let results: Vec<LookupStatus> = pendings
@@ -492,10 +554,11 @@ mod tests {
         let mut c = net.dialer().dial("srv").unwrap();
         c.tx.send(&Frame::Hello { proto: PROTO }).unwrap();
         match c.rx.recv_timeout(SEC).unwrap() {
-            Frame::ShardMap { spans, my_span, live_keys } => {
+            Frame::ShardMap { spans, my_span, live_keys, log_epoch, log_seq } => {
                 assert_eq!(spans.len(), 1);
                 assert_eq!(my_span, 0);
                 assert_eq!(live_keys, 10_000);
+                assert_eq!((log_epoch, log_seq), (0, 0), "cold start has no watermark");
             }
             other => panic!("expected ShardMap, got {other:?}"),
         }
@@ -590,6 +653,130 @@ mod tests {
     }
 
     #[test]
+    fn restart_maps_snapshot_and_resumes_log_cursor_mid_stream() {
+        use dini_serve::StorePlan;
+        let dir = std::env::temp_dir().join(format!("dini-net-restart-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("span0.snap");
+        let _ = std::fs::remove_file(&snap_path);
+
+        let keys: Vec<u32> = (0..2_000).map(|i| i * 4).collect();
+        let mk_cfg = |addr: &str| {
+            let mut c = cfg(addr);
+            c.serve.store = Some(StorePlan::new(&snap_path));
+            c
+        };
+
+        // First life: apply log records 1..=4, checkpoint at quiesce, die.
+        {
+            let net = ChanNet::new(Clock::system());
+            let acc = net.listen("srv");
+            let server = NetServer::start(Box::new(acc), &keys, mk_cfg("srv"));
+            let mut c = net.dialer().dial("srv").unwrap();
+            c.tx.send(&Frame::Update {
+                req: 1,
+                epoch: 1,
+                seq: 1,
+                ops: vec![
+                    WireOp::Insert(1),
+                    WireOp::Insert(3),
+                    WireOp::Delete(0),
+                    WireOp::Insert(5),
+                ],
+            })
+            .unwrap();
+            match c.rx.recv_timeout(SEC).unwrap() {
+                Frame::UpdateAck { epoch, seq, .. } => assert_eq!((epoch, seq), (1, 4)),
+                other => panic!("expected UpdateAck, got {other:?}"),
+            }
+            c.tx.send(&Frame::Quiesce { req: 2 }).unwrap();
+            let _ = c.rx.recv_timeout(SEC).unwrap();
+            server.shutdown();
+        }
+
+        // Second life: restart from the snapshot — no sort, cursor at
+        // (1, 4) — and the handshake tells the client so.
+        let net = ChanNet::new(Clock::system());
+        let acc = net.listen("srv");
+        let (server, degraded) = NetServer::restart(Box::new(acc), &keys, mk_cfg("srv"));
+        assert!(degraded.is_none(), "snapshot was intact: {degraded:?}");
+        assert_eq!(server.log_position(), (1, 4));
+
+        let mut c = net.dialer().dial("srv").unwrap();
+        c.tx.send(&Frame::Hello { proto: PROTO }).unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::ShardMap { log_epoch, log_seq, live_keys, .. } => {
+                assert_eq!((log_epoch, log_seq), (1, 4));
+                assert_eq!(live_keys, 2_002, "2000 - {{0}} + {{1,3,5}}");
+            }
+            other => panic!("expected ShardMap, got {other:?}"),
+        }
+
+        // A replayed log suffix overlapping the watermark is trimmed:
+        // records 3..=4 are already folded in, 5..=6 apply fresh.
+        c.tx.send(&Frame::Update {
+            req: 3,
+            epoch: 1,
+            seq: 3,
+            ops: vec![
+                WireOp::Delete(0), // seq 3: duplicate, trimmed
+                WireOp::Insert(5), // seq 4: duplicate, trimmed
+                WireOp::Insert(7), // seq 5: fresh
+                WireOp::Delete(4), // seq 6: fresh
+            ],
+        })
+        .unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::UpdateAck { epoch, seq, .. } => assert_eq!((epoch, seq), (1, 6)),
+            other => panic!("expected UpdateAck, got {other:?}"),
+        }
+        c.tx.send(&Frame::Quiesce { req: 4 }).unwrap();
+        let _ = c.rx.recv_timeout(SEC).unwrap();
+
+        // Exact ranks over the recovered + replayed set.
+        let mut mirror: std::collections::BTreeSet<u32> = keys.iter().copied().collect();
+        for k in [1u32, 3, 5] {
+            mirror.insert(k);
+        }
+        for k in [0u32, 4] {
+            mirror.remove(&k);
+        }
+        mirror.insert(7);
+        let probe = vec![0u32, 1, 3, 4, 5, 7, 8, 4_000, u32::MAX];
+        c.tx.send(&Frame::Lookup { req: 5, keys: probe.clone() }).unwrap();
+        match c.rx.recv_timeout(SEC).unwrap() {
+            Frame::Reply { results, .. } => {
+                let expect: Vec<LookupStatus> = probe
+                    .iter()
+                    .map(|&q| LookupStatus::Rank(mirror.range(..=q).count() as u32))
+                    .collect();
+                assert_eq!(results, expect);
+            }
+            other => panic!("expected Reply, got {other:?}"),
+        }
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_without_snapshot_falls_back_to_sort_rebuild() {
+        use dini_serve::StorePlan;
+        let dir = std::env::temp_dir().join(format!("dini-net-nosnap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut c = cfg("srv");
+        c.serve.store = Some(StorePlan::new(dir.join("never-written.snap")));
+        let net = ChanNet::new(Clock::system());
+        let acc = net.listen("srv");
+        let keys: Vec<u32> = (0..500).map(|i| i * 2).collect();
+        let (server, degraded) = NetServer::restart(Box::new(acc), &keys, c);
+        assert!(degraded.is_some(), "missing snapshot must surface");
+        assert_eq!(server.log_position(), (0, 0), "fallback is a cold start");
+        assert_eq!(server.server().len(), 500);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn shutdown_notifies_connected_clients() {
         let net = ChanNet::new(Clock::system());
         let acc = net.listen("srv");
@@ -627,7 +814,7 @@ mod tests {
         let mut c = net.dialer().dial("hi-span").unwrap();
         c.tx.send(&Frame::Hello { proto: PROTO }).unwrap();
         match c.rx.recv_timeout(SEC).unwrap() {
-            Frame::ShardMap { spans, my_span, live_keys } => {
+            Frame::ShardMap { spans, my_span, live_keys, .. } => {
                 assert_eq!(my_span, 1);
                 assert_eq!(spans.len(), 2);
                 assert_eq!(live_keys as usize, hi_keys.len());

@@ -19,7 +19,7 @@
 //! | frame | direction | carries |
 //! |---|---|---|
 //! | [`Frame::Hello`] | client → server | protocol version |
-//! | [`Frame::ShardMap`] | server → client | span delimiters + replica endpoints + the server's span and live-key count |
+//! | [`Frame::ShardMap`] | server → client | span delimiters + replica endpoints + the server's span, live-key count, and churn-log watermark |
 //! | [`Frame::Lookup`] | client → server | one coalesced key batch under a request id |
 //! | [`Frame::Reply`] | server → client | per-key rank / shed / shutdown |
 //! | [`Frame::Update`] | client → server | an epoch-stamped, sequence-numbered churn-log suffix |
@@ -31,8 +31,11 @@
 
 /// Protocol version carried by every frame; decoders reject all others.
 /// Version 2 restamped [`Frame::Update`] / [`Frame::UpdateAck`] with the
-/// replicated churn log's epoch and sequence fields.
-pub const WIRE_VERSION: u8 = 2;
+/// replicated churn log's epoch and sequence fields. Version 3 added the
+/// server's recovered churn-log watermark to [`Frame::ShardMap`], so a
+/// client (re)joining a snapshot-restarted span knows which log suffix
+/// to replay.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Upper bound on the post-prefix length of one frame (16 MiB): a
 /// corrupt or hostile length prefix is rejected before any allocation.
@@ -185,7 +188,7 @@ pub enum Frame {
         proto: u16,
     },
     /// Server handshake reply: the cluster topology plus this server's
-    /// own span and live-key count.
+    /// own span, live-key count, and churn-log watermark.
     ShardMap {
         /// Every span of the key space, in key order.
         spans: Vec<SpanMsg>,
@@ -193,6 +196,13 @@ pub enum Frame {
         my_span: u16,
         /// Live keys the answering server holds right now.
         live_keys: u64,
+        /// Churn-log epoch the server's state already folds — non-zero
+        /// after a snapshot restart, where the mapped state covers a
+        /// log prefix. A fresh (empty-state) server reports `(0, 0)`.
+        log_epoch: u64,
+        /// Highest churn-log sequence the server's state already folds
+        /// (0 = none): the client replays its log strictly after this.
+        log_seq: u64,
     },
     /// A coalesced lookup batch.
     Lookup {
@@ -333,9 +343,11 @@ impl Frame {
         buf.push(self.kind());
         match self {
             Frame::Hello { proto } => put_u16(buf, *proto),
-            Frame::ShardMap { spans, my_span, live_keys } => {
+            Frame::ShardMap { spans, my_span, live_keys, log_epoch, log_seq } => {
                 put_u16(buf, *my_span);
                 put_u64(buf, *live_keys);
+                put_u64(buf, *log_epoch);
+                put_u64(buf, *log_seq);
                 put_u16(buf, spans.len() as u16);
                 for s in spans {
                     put_u32(buf, s.lo_key);
@@ -468,6 +480,8 @@ impl Frame {
             KIND_SHARD_MAP => {
                 let my_span = c.u16()?;
                 let live_keys = c.u64()?;
+                let log_epoch = c.u64()?;
+                let log_seq = c.u64()?;
                 let n_spans = c.u16()? as usize;
                 let mut spans = Vec::with_capacity(n_spans.min(c.remaining()));
                 for _ in 0..n_spans {
@@ -482,7 +496,7 @@ impl Frame {
                     }
                     spans.push(SpanMsg { lo_key, endpoints });
                 }
-                Frame::ShardMap { spans, my_span, live_keys }
+                Frame::ShardMap { spans, my_span, live_keys, log_epoch, log_seq }
             }
             KIND_LOOKUP => {
                 let req = c.u64()?;
@@ -673,6 +687,8 @@ mod tests {
             ],
             my_span: 1,
             live_keys: 123_456,
+            log_epoch: 5,
+            log_seq: 9_001,
         });
         round_trip(Frame::Lookup { req: 7, keys: vec![1, 2, u32::MAX] });
         round_trip(Frame::Reply {

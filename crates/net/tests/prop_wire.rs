@@ -69,8 +69,14 @@ fn stats_msg() -> impl Strategy<Value = StatsMsg> {
 fn frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         any::<u16>().prop_map(|proto| Frame::Hello { proto }),
-        (prop_vec(span_msg(), 1..5), any::<u16>(), any::<u64>())
-            .prop_map(|(spans, my_span, live_keys)| Frame::ShardMap { spans, my_span, live_keys }),
+        (prop_vec(span_msg(), 1..5), any::<u16>(), (any::<u64>(), any::<u64>(), any::<u64>()))
+            .prop_map(|(spans, my_span, (live_keys, log_epoch, log_seq))| Frame::ShardMap {
+                spans,
+                my_span,
+                live_keys,
+                log_epoch,
+                log_seq,
+            }),
         (any::<u64>(), prop_vec(any::<u32>(), 0..300))
             .prop_map(|(req, keys)| Frame::Lookup { req, keys }),
         (any::<u64>(), prop_vec(lookup_status(), 0..300))

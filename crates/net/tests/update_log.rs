@@ -46,6 +46,8 @@ fn ctrl_retry_fills_waiter_once_and_strays_are_dropped() {
                 spans: vec![SpanMsg { lo_key: 0, endpoints: vec!["srv".to_owned()] }],
                 my_span: 0,
                 live_keys: 0,
+                log_epoch: 0,
+                log_seq: 0,
             })
             .expect("shard map");
 

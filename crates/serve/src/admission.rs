@@ -161,6 +161,17 @@ impl AdmissionQueue {
         self.alive.store(false, Ordering::SeqCst);
     }
 
+    /// Re-arm a dead queue: its serving side came back (a transport
+    /// endpoint whose server restarted from a snapshot and rejoined).
+    /// The caller must have the replacement consumer fully wired up
+    /// *before* flipping the flag — a request routed here the instant
+    /// the flag rises must land somewhere that drains.
+    pub fn revive(&self) {
+        // ordering: SeqCst — pairs with mark_dead; globally ordered after
+        // the rejoined connection's setup that precedes the call.
+        self.alive.store(true, Ordering::SeqCst);
+    }
+
     /// Which replica this queue admits for.
     pub fn replica(&self) -> usize {
         self.replica

@@ -3,6 +3,7 @@
 use crate::clock::Clock;
 use crate::faults::ServeFaultPlan;
 use dini_obs::TraceConfig;
+use dini_store::StorePlan;
 use std::time::Duration;
 
 /// Configuration for [`IndexServer`](crate::IndexServer).
@@ -62,6 +63,14 @@ pub struct ServeConfig {
     /// by `tests/zero_alloc.rs`), so there is no steady-state cost
     /// worth a dark deployment. [`TraceConfig::disabled`] turns it off.
     pub trace: TraceConfig,
+    /// Where (and how often) the writer checkpoints a `dini-store`
+    /// snapshot of every shard's state. `None` (the default) persists
+    /// nothing — behavior is exactly as before. With a plan, the
+    /// writer's merge cycle doubles as the checkpointer (plus one
+    /// checkpoint at every quiesce barrier), and
+    /// [`IndexServer::build_recovered`](crate::IndexServer::build_recovered)
+    /// restarts by *mapping* the file instead of sorting.
+    pub store: Option<StorePlan>,
 }
 
 impl ServeConfig {
@@ -83,6 +92,7 @@ impl ServeConfig {
             clock: Clock::system(),
             faults: ServeFaultPlan::none(),
             trace: TraceConfig::default(),
+            store: None,
         }
     }
 
@@ -95,6 +105,9 @@ impl ServeConfig {
         assert!(self.queue_capacity >= 1, "queue_capacity must be at least 1");
         assert!(self.merge_threshold >= 1, "merge_threshold must be at least 1");
         assert!(self.publish_every >= 1, "publish_every must be at least 1");
+        if let Some(plan) = &self.store {
+            assert!(plan.every_merges >= 1, "store.every_merges must be at least 1");
+        }
     }
 }
 

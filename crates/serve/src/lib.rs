@@ -119,6 +119,13 @@ pub use stats::{ReplicaMetrics, ServeStats, ShardStats};
 // tracing and consume snapshots without naming the obs crate.
 pub use dini_obs::{MetricsSnapshot, StageRecord, TraceConfig};
 
+// Persistence vocabulary re-exported so restart callers can plan
+// checkpoints and open mmap snapshots without naming the store crate:
+// `ServeConfig::store` takes a [`StorePlan`], and
+// [`IndexServer::build_recovered`](server::IndexServer::build_recovered)
+// consumes an [`open_snapshot`] result.
+pub use dini_store::{open_snapshot, SharedKeys, SnapError, Snapshot, StorePlan};
+
 // Re-exported so callers can drive the server without naming the
 // workload crate.
 pub use dini_workload::{ArrivalProcess, KeyDistribution, Op, OpMix};

@@ -75,6 +75,13 @@ impl ShardRouter {
         self.delimiters.len() + 1
     }
 
+    /// The delimiter array itself (`n_shards − 1` strictly increasing
+    /// split points) — what a `dini-store` snapshot persists so a
+    /// restarted process reconstructs the *identical* routing.
+    pub fn delimiters(&self) -> &[u32] {
+        &self.delimiters
+    }
+
     /// The half-open key range shard `s` owns (first shard starts at 0,
     /// last shard is unbounded above).
     pub fn shard_range(&self, s: usize) -> (u32, Option<u32>) {

@@ -59,6 +59,7 @@ use dini_cache_sim::NullMemory;
 use dini_core::{DistributedIndex, NativeConfig};
 use dini_index::{DeltaArray, RankIndex};
 use dini_obs::{MetricsRegistry, MetricsSnapshot, StageRecord};
+use dini_store::{write_snapshot, ShardRecord, SharedKeys, Snapshot, SpanRecord};
 use dini_workload::Op;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -78,8 +79,16 @@ struct Rebuild {
 enum WriterMsg {
     Apply(Op),
     /// A coalesced churn-log batch, applied strictly in order (the
-    /// transport layer's replicated-log apply path).
-    ApplyBatch(Vec<Op>),
+    /// transport layer's replicated-log apply path). `mark` is the
+    /// churn-log watermark `(log_epoch, last_seq)` this batch advances
+    /// the writer to — `None` for local, un-logged churn. The watermark
+    /// is what checkpoints persist; replaying a log suffix past it is
+    /// idempotent (membership ops: the last op per key wins), so a
+    /// checkpoint taken mid-batch is still exactly recoverable.
+    ApplyBatch {
+        ops: Vec<Op>,
+        mark: Option<(u64, u64)>,
+    },
     Quiesce(Sender<()>),
 }
 
@@ -100,6 +109,27 @@ struct WriterCounters {
     snapshots: AtomicU64,
     merges: AtomicU64,
     live_keys: AtomicU64,
+    /// `dini-store` snapshot files written by the checkpointer.
+    checkpoints: AtomicU64,
+    /// Checkpoint attempts that failed (I/O): serving continues — a
+    /// full disk must never take the read path down — but the failure
+    /// is counted, never swallowed silently.
+    checkpoint_failures: AtomicU64,
+}
+
+/// One shard's initial state: the shared (owned or mapped) main array
+/// plus whatever pending deltas and epoch a recovered snapshot carried.
+struct ShardSeed {
+    main: SharedKeys,
+    inserts: Vec<u32>,
+    deletes: Vec<u32>,
+    main_epoch: u64,
+}
+
+impl ShardSeed {
+    fn live_len(&self) -> usize {
+        self.main.len() + self.inserts.len() - self.deletes.len()
+    }
 }
 
 /// A sharded, replicated, batch-coalescing, online-updatable rank-query
@@ -182,13 +212,13 @@ impl Clone for ServerHandle {
     }
 }
 
-fn build_index(keys: &Arc<Vec<u32>>, slaves: usize, pin: bool) -> Option<DistributedIndex> {
+fn build_index(keys: &SharedKeys, slaves: usize, pin: bool) -> Option<DistributedIndex> {
     if keys.is_empty() {
         return None;
     }
     let mut cfg = NativeConfig::new(slaves.min(keys.len()));
     cfg.pin_cores = pin;
-    Some(DistributedIndex::build_shared(keys, cfg))
+    Some(DistributedIndex::build_backed(keys.clone(), cfg))
 }
 
 impl IndexServer {
@@ -200,11 +230,54 @@ impl IndexServer {
     pub fn build(keys: &[u32], cfg: ServeConfig) -> Self {
         cfg.validate();
         let router = Arc::new(ShardRouter::from_keys(keys, cfg.n_shards));
+        let seeds = router
+            .split(keys)
+            .into_iter()
+            .map(|part| ShardSeed {
+                main: SharedKeys::owned(part.to_vec()),
+                inserts: Vec::new(),
+                deletes: Vec::new(),
+                main_epoch: 0,
+            })
+            .collect();
+        Self::build_seeded(router, seeds, (0, 0), cfg)
+    }
+
+    /// Restart from a validated `dini-store` [`Snapshot`]: shard mains
+    /// are served straight out of the mapping (no sort, no copy — the
+    /// instant-restart path), pending deltas resume un-merged, routing
+    /// delimiters and overlay epochs are reconstructed exactly, and the
+    /// writer's churn-log watermark starts at the snapshot's
+    /// `(log_epoch, log_seq)` so a transport layer can replay just the
+    /// log suffix. `cfg.n_shards` must match the snapshot.
+    pub fn build_recovered(snap: &Snapshot, cfg: ServeConfig) -> Self {
+        cfg.validate();
+        assert_eq!(cfg.n_shards, snap.shards.len(), "config shard count must match the snapshot");
+        let router = Arc::new(ShardRouter::from_delimiters(snap.delims.clone()));
+        let seeds = snap
+            .shards
+            .iter()
+            .map(|s| ShardSeed {
+                main: s.main.clone(),
+                inserts: s.inserts.clone(),
+                deletes: s.deletes.clone(),
+                main_epoch: s.main_epoch,
+            })
+            .collect();
+        Self::build_seeded(router, seeds, (snap.log_epoch, snap.log_seq), cfg)
+    }
+
+    fn build_seeded(
+        router: Arc<ShardRouter>,
+        seeds: Vec<ShardSeed>,
+        watermark: (u64, u64),
+        cfg: ServeConfig,
+    ) -> Self {
         let selector = ReplicaSelector::new(cfg.replicas_per_shard);
-        let parts = router.split(keys);
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(WriterCounters::default());
-        counters.live_keys.store(keys.len() as u64, Ordering::Relaxed);
+        let live: u64 = seeds.iter().map(|s| s.live_len() as u64).sum();
+        counters.live_keys.store(live, Ordering::Relaxed);
         let metrics = Arc::new(MetricsRegistry::new());
 
         let n_replicas = cfg.replicas_per_shard;
@@ -214,14 +287,33 @@ impl IndexServer {
         let mut rebuild_txs = Vec::with_capacity(cfg.n_shards);
         let mut dispatchers = Vec::with_capacity(cfg.n_shards * n_replicas);
         let mut deltas = Vec::with_capacity(cfg.n_shards);
+        let mut main_epochs = Vec::with_capacity(cfg.n_shards);
 
         let mut base_rank = 0u32;
-        for (s, part) in parts.iter().enumerate() {
-            let cell = Arc::new(EpochCell::new(ShardSnapshot::empty(0, base_rank)));
-            // One shared key array for the whole replica group: replicas
+        for (s, seed) in seeds.into_iter().enumerate() {
+            // The initial overlay must carry the seed's pending deltas:
+            // a recovered shard serves exact ranks from its very first
+            // batch, before any fresh churn triggers a publish.
+            let cell = Arc::new(EpochCell::new(ShardSnapshot {
+                main_epoch: seed.main_epoch,
+                base_rank,
+                inserts: seed.inserts.clone(),
+                deletes: seed.deletes.clone(),
+            }));
+            // One shared key backing for the whole replica group
+            // (owned-sorted or mapped-snapshot, transparently): replicas
             // add threads, not index memory.
-            let part_shared = Arc::new(part.to_vec());
-            deltas.push(DeltaArray::new(part.to_vec(), 0, 0.0, cfg.merge_threshold));
+            let part_shared = seed.main.clone();
+            base_rank += seed.live_len() as u32;
+            deltas.push(DeltaArray::from_parts(
+                seed.main,
+                seed.inserts,
+                seed.deletes,
+                0,
+                0.0,
+                cfg.merge_threshold,
+            ));
+            main_epochs.push(seed.main_epoch);
 
             // The whole group's admission queues must exist before any
             // dispatcher spawns: a crashing replica re-routes through
@@ -254,6 +346,7 @@ impl IndexServer {
                     shard: s,
                     replica: r,
                     index: build_index(&part_shared, cfg.slaves_per_shard, cfg.pin_cores),
+                    main_epoch: seed.main_epoch,
                     req_rx,
                     rebuild_rx,
                     cell: cell.clone(),
@@ -270,12 +363,13 @@ impl IndexServer {
             queues.push(group);
             cells.push(cell);
             rebuild_txs.push(group_rebuild_txs);
-            base_rank += part.len() as u32;
         }
 
         let (writer_tx, writer_rx) = bounded::<WriterMsg>(4096);
         let writer = spawn_writer(
             deltas,
+            main_epochs,
+            watermark,
             router.clone(),
             cells,
             rebuild_txs,
@@ -369,12 +463,41 @@ impl IndexServer {
             return Ok(());
         }
         let tx = self.writer_tx.as_ref().expect("writer alive until drop");
-        self.clock.send(tx, WriterMsg::ApplyBatch(ops)).map_err(|_| ServeError::ShuttingDown)
+        self.clock
+            .send(tx, WriterMsg::ApplyBatch { ops, mark: None })
+            .map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// [`update_batch`](Self::update_batch), stamped with the churn-log
+    /// position it advances the writer to: `epoch` is the log's election
+    /// epoch, `seq` the sequence number of the batch's *last* record.
+    /// Checkpoints persist this watermark, so a restarted process knows
+    /// exactly which log suffix to replay.
+    pub fn update_batch_at(&self, ops: Vec<Op>, epoch: u64, seq: u64) -> Result<(), ServeError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let tx = self.writer_tx.as_ref().expect("writer alive until drop");
+        self.clock
+            .send(tx, WriterMsg::ApplyBatch { ops, mark: Some((epoch, seq)) })
+            .map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Number of `dini-store` checkpoint files successfully written
+    /// (0 unless [`ServeConfig::store`] is set).
+    pub fn checkpoints(&self) -> u64 {
+        self.counters.checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Number of checkpoint attempts that failed with an I/O error.
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.counters.checkpoint_failures.load(Ordering::Relaxed)
     }
 
     /// Block until every previously submitted update is applied *and*
     /// published. Lookups submitted after `quiesce` returns observe all
-    /// of them.
+    /// of them. With a [`ServeConfig::store`] plan this is also a
+    /// durability barrier: a checkpoint lands before `quiesce` returns.
     pub fn quiesce(&self) {
         let (ack_tx, ack_rx) = bounded(1);
         let tx = self.writer_tx.as_ref().expect("writer alive until drop");
@@ -526,7 +649,20 @@ impl UpdateHandle {
         if ops.is_empty() {
             return Ok(());
         }
-        self.clock.send(&self.tx, WriterMsg::ApplyBatch(ops)).map_err(|_| ServeError::ShuttingDown)
+        self.clock
+            .send(&self.tx, WriterMsg::ApplyBatch { ops, mark: None })
+            .map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Apply a watermark-stamped churn batch (see
+    /// [`IndexServer::update_batch_at`]).
+    pub fn update_batch_at(&self, ops: Vec<Op>, epoch: u64, seq: u64) -> Result<(), ServeError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.clock
+            .send(&self.tx, WriterMsg::ApplyBatch { ops, mark: Some((epoch, seq)) })
+            .map_err(|_| ServeError::ShuttingDown)
     }
 }
 
@@ -712,6 +848,11 @@ struct Dispatcher {
     group: Vec<AdmissionQueue>,
     stats: Arc<ReplicaMetrics>,
     shutdown: Arc<AtomicBool>,
+    /// Epoch of the main array this dispatcher starts on — 0 for a fresh
+    /// build, the recovered epoch after a snapshot restart (the overlay
+    /// adoption check compares epochs, so starting at 0 would wedge a
+    /// recovered shard on its first publish).
+    main_epoch: u64,
     max_batch: usize,
     max_delay: Duration,
     clock: Clock,
@@ -730,13 +871,14 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
         group,
         stats,
         shutdown,
+        main_epoch,
         max_batch,
         max_delay,
         clock,
         mut faults,
     } = d;
     clock.clone().spawn(&format!("dini-serve-shard-{shard}-r{replica}"), move || {
-        let mut main_epoch = 0u64;
+        let mut main_epoch = main_epoch;
         let mut overlay = cell.load();
         let mut rebuilds_adopted = 0u64;
         // Scratch reused across every batch this dispatcher ever
@@ -905,10 +1047,13 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
     })
 }
 
-/// The single writer: fold churn → publish overlays → merge/rebuild.
+/// The single writer: fold churn → publish overlays → merge/rebuild →
+/// (optionally) checkpoint a `dini-store` snapshot.
 #[allow(clippy::too_many_arguments)]
 fn spawn_writer(
     mut deltas: Vec<DeltaArray>,
+    mut main_epochs: Vec<u64>,
+    watermark: (u64, u64),
     router: Arc<ShardRouter>,
     cells: Vec<Arc<EpochCell>>,
     rebuild_txs: Vec<Vec<Sender<Rebuild>>>,
@@ -921,8 +1066,47 @@ fn spawn_writer(
 ) -> ClockJoinHandle<()> {
     let clock = cfg.clock.clone();
     clock.clone().spawn("dini-serve-writer", move || {
-        let mut main_epochs = vec![0u64; deltas.len()];
+        // Churn-log position the current in-memory state folds exactly:
+        // the persisted half of every checkpoint. Advanced only by
+        // watermark-stamped batches (`update_batch_at`).
+        let mut watermark = watermark;
+        let mut merges_since_checkpoint = 0u32;
         let mut since_publish = 0usize;
+
+        // Atomically persist the whole span — merged mains, pending
+        // deltas, epochs, router delimiters, log watermark — as one
+        // mmap-able snapshot file. Failures are counted, never fatal:
+        // a full disk must not take the read path down.
+        let checkpoint = |deltas: &[DeltaArray],
+                          main_epochs: &[u64],
+                          watermark: (u64, u64),
+                          counters: &WriterCounters| {
+            let Some(plan) = &cfg.store else { return };
+            let shards: Vec<ShardRecord<'_>> = deltas
+                .iter()
+                .zip(main_epochs)
+                .map(|(d, &e)| ShardRecord {
+                    main: d.main_keys(),
+                    inserts: d.pending_inserts(),
+                    deletes: d.pending_deletes(),
+                    main_epoch: e,
+                })
+                .collect();
+            let rec = SpanRecord {
+                delims: router.delimiters(),
+                shards,
+                log_epoch: watermark.0,
+                log_seq: watermark.1,
+            };
+            match write_snapshot(&plan.path, &rec) {
+                Ok(()) => {
+                    counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    counters.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        };
 
         let base_ranks = |deltas: &[DeltaArray]| -> Vec<u32> {
             let mut base = 0u32;
@@ -961,15 +1145,19 @@ fn spawn_writer(
             // One op or a coalesced log batch: both run the same per-op
             // body below, so batching changes channel traffic, never
             // semantics.
-            let (one, many) = match msg {
-                WriterMsg::Apply(op) => (Some(op), Vec::new()),
-                WriterMsg::ApplyBatch(ops) => {
+            let (one, many, mark) = match msg {
+                WriterMsg::Apply(op) => (Some(op), Vec::new(), None),
+                WriterMsg::ApplyBatch { ops, mark } => {
                     counters.update_batches.fetch_add(1, Ordering::Relaxed);
-                    (None, ops)
+                    (None, ops, mark)
                 }
                 WriterMsg::Quiesce(ack) => {
                     publish_all(&deltas, &main_epochs, &counters);
                     since_publish = 0;
+                    // Durability barrier: whatever a caller saw applied
+                    // before `quiesce` returned is on disk.
+                    checkpoint(&deltas, &main_epochs, watermark, &counters);
+                    merges_since_checkpoint = 0;
                     let _ = ack.send(());
                     continue;
                 }
@@ -1002,7 +1190,7 @@ fn spawn_writer(
                     // One merged key array, Arc-shared by every
                     // replica's rebuilt index: the fan-out costs
                     // threads per replica, not memory.
-                    let merged = Arc::new(deltas[s].main_keys().to_vec());
+                    let merged = deltas[s].main_shared().clone();
                     let base = base_ranks(&deltas)[s];
                     for (r, tx) in rebuild_txs[s].iter().enumerate() {
                         // A dead replica never drains its swap
@@ -1021,6 +1209,16 @@ fn spawn_writer(
                     }
                     publish_all(&deltas, &main_epochs, &counters);
                     since_publish = 0;
+                    // The merge already produced the flat array a
+                    // snapshot stores — checkpointing here is one
+                    // encode+write, no extra sort. (The watermark may
+                    // trail mid-batch; replay past it is idempotent.)
+                    merges_since_checkpoint += 1;
+                    if cfg.store.as_ref().is_some_and(|p| merges_since_checkpoint >= p.every_merges)
+                    {
+                        checkpoint(&deltas, &main_epochs, watermark, &counters);
+                        merges_since_checkpoint = 0;
+                    }
                     continue;
                 }
 
@@ -1030,6 +1228,11 @@ fn spawn_writer(
                     since_publish = 0;
                 }
             }
+            // The batch is fully folded; the in-memory state now covers
+            // the log prefix ending at `mark`.
+            if let Some(m) = mark {
+                watermark = m;
+            }
         }
     })
 }
@@ -1038,6 +1241,7 @@ fn spawn_writer(
 mod tests {
     use super::*;
     use crate::faults::ServeFaultPlan;
+    use dini_store::StorePlan;
     use dini_workload::gen_sorted_unique_keys;
     use std::collections::BTreeSet;
 
@@ -1443,5 +1647,120 @@ mod tests {
             h.lookup(q).unwrap();
         }
         assert!(server.stage_traces().is_empty());
+    }
+
+    fn scratch_snapshot(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dini-serve-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.snap"))
+    }
+
+    #[test]
+    fn quiesce_checkpoints_and_recovery_serves_identically() {
+        let path = scratch_snapshot("quiesce");
+        let keys = gen_sorted_unique_keys(6_000, 61);
+        let mut c = cfg(3);
+        c.store = Some(StorePlan::new(path.clone()));
+
+        // Churn through the watermark-stamped path, then quiesce: the
+        // durability barrier must leave a snapshot at the plan's path.
+        let mut expect: BTreeSet<u32> = keys.iter().copied().collect();
+        let server = IndexServer::build(&keys, c.clone());
+        let ops: Vec<Op> = (0..500u32)
+            .map(|i| {
+                let k = i.wrapping_mul(2_654_435_761) >> 8;
+                if i % 3 == 0 {
+                    expect.remove(&k);
+                    Op::Delete(k)
+                } else {
+                    expect.insert(k);
+                    Op::Insert(k)
+                }
+            })
+            .collect();
+        server.update_batch_at(ops, 7, 500).unwrap();
+        server.quiesce();
+        assert!(server.checkpoints() >= 1, "quiesce is a durability barrier");
+        assert_eq!(server.checkpoint_failures(), 0);
+        drop(server);
+
+        // Restart by mapping: no sort, same answers, same watermark.
+        let snap = dini_store::open_snapshot(&path).unwrap();
+        assert_eq!((snap.log_epoch, snap.log_seq), (7, 500));
+        assert_eq!(snap.live_keys(), expect.len() as u64);
+        let recovered = IndexServer::build_recovered(&snap, c);
+        let h = recovered.handle();
+        let sorted: Vec<u32> = expect.iter().copied().collect();
+        for i in 0..400u32 {
+            let q = i.wrapping_mul(747_796_405);
+            let want = sorted.partition_point(|&k| k <= q) as u32;
+            assert_eq!(h.lookup(q), Ok(want), "query {q} after recovery");
+        }
+        assert_eq!(recovered.len(), expect.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_cycle_doubles_as_checkpointer() {
+        let path = scratch_snapshot("merge");
+        let keys: Vec<u32> = (0..4_000).map(|i| i * 8).collect();
+        let mut c = cfg(2);
+        c.merge_threshold = 64; // force merges
+        c.store = Some(StorePlan::new(path.clone()));
+        let server = IndexServer::build(&keys, c);
+        for i in 0..1_000u32 {
+            server.update(Op::Insert(i * 8 + 3)).unwrap();
+        }
+        server.quiesce();
+        let from_merges = server.checkpoints();
+        assert!(from_merges >= 2, "merges must checkpoint, got {from_merges}");
+        drop(server);
+        let snap = dini_store::open_snapshot(&path).unwrap();
+        assert_eq!(snap.live_keys(), 5_000);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recovered_pending_deltas_serve_exact_ranks_before_any_publish() {
+        let path = scratch_snapshot("pending");
+        let keys: Vec<u32> = (0..2_000).map(|i| i * 10).collect();
+        let mut c = cfg(2);
+        c.merge_threshold = 1_000_000; // churn stays in the overlay
+        c.store = Some(StorePlan::new(path.clone()));
+        let server = IndexServer::build(&keys, c.clone());
+        server.update(Op::Insert(5)).unwrap();
+        server.update(Op::Insert(15)).unwrap();
+        server.update(Op::Delete(0)).unwrap();
+        server.quiesce();
+        drop(server);
+
+        let snap = dini_store::open_snapshot(&path).unwrap();
+        assert!(
+            snap.shards.iter().any(|s| !s.inserts.is_empty() || !s.deletes.is_empty()),
+            "scenario must recover un-merged pendings"
+        );
+        let recovered = IndexServer::build_recovered(&snap, c);
+        // First lookups, before any fresh churn or publish, must already
+        // fold the recovered pendings: {5, 10, 15} ≤ 15, key 0 deleted.
+        let h = recovered.handle();
+        assert_eq!(h.lookup(15).unwrap(), 3);
+        assert_eq!(h.lookup(0).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_failures_are_counted_not_fatal() {
+        let path =
+            std::env::temp_dir().join("dini-serve-no-such-dir").join("nested").join("x.snap");
+        let keys: Vec<u32> = (0..1_000).map(|i| i * 2).collect();
+        let mut c = cfg(1);
+        c.store = Some(StorePlan::new(path));
+        let server = IndexServer::build(&keys, c);
+        server.update(Op::Insert(1)).unwrap();
+        server.quiesce();
+        assert_eq!(server.checkpoints(), 0);
+        assert!(server.checkpoint_failures() >= 1, "failed checkpoint must be counted");
+        // Serving survives the full-disk analogue.
+        assert_eq!(server.handle().lookup(1).unwrap(), 2);
     }
 }

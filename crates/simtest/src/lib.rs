@@ -66,7 +66,10 @@
 
 pub mod net;
 
-pub use net::{run_net_scenario, run_net_scenario_reproducibly, NetReport, NetScenario};
+pub use net::{
+    run_net_scenario, run_net_scenario_reproducibly, run_restart_scenario,
+    run_restart_scenario_reproducibly, NetReport, NetScenario, RestartReport, RestartScenario,
+};
 
 use dini_serve::{
     Clock, IndexServer, PendingLookup, ServeConfig, ServeError, ServeFaultPlan, ServerHandle,

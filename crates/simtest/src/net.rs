@@ -40,12 +40,13 @@ use dini_cluster::{FaultPlan, LinkPlan};
 use dini_net::transport::ChanNet;
 use dini_net::{ClientConfig, NetHandle, NetServer, NetServerConfig, RemoteClient, Span, Topology};
 use dini_serve::clock::dur_ns;
-use dini_serve::{Clock, Nanos, ServeConfig, ServeError, SimClock};
+use dini_serve::{Clock, Nanos, ServeConfig, ServeError, SimClock, StorePlan};
 use dini_workload::{
     gen_sorted_unique_keys, ArrivalGen, ArrivalProcess, ChurnGen, KeyDistribution, KeyGen, Op,
     OpMix,
 };
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -636,6 +637,339 @@ pub fn run_net_scenario_reproducibly(sc: &NetScenario, seed: u64) -> NetReport {
     assert_eq!(
         a, b,
         "[{}] seed {seed} did not reproduce: wall-clock leaked into the simulated network",
+        sc.name
+    );
+    a
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery scenarios: kill an endpoint mid-churn, restart it from
+// its `dini-store` snapshot, replay the churn-log suffix, rejoin.
+
+/// Monotone counter making each restart run's snapshot scratch
+/// directory unique — the reproducibility wrapper runs the same seed
+/// twice and the second run must not map the first run's checkpoints.
+static RESTART_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// One deterministic crash-recovery scenario: a single span with two
+/// replica endpoints under synchronous quorum-acked churn. Endpoint 1
+/// is killed (process shutdown — crash-like: no parting checkpoint),
+/// churn continues through the survivor (quorum degrades 2 → 1), then
+/// the victim restarts by *mapping* its last snapshot, replays the
+/// client-retained churn-log suffix past its recovered watermark, and
+/// rejoins serving exact ranks.
+#[derive(Debug, Clone)]
+pub struct RestartScenario {
+    /// Name (labels panics and reports).
+    pub name: &'static str,
+    /// Initial sorted key count (one span: every endpoint holds all).
+    pub n_keys: usize,
+    /// Shards inside each server process.
+    pub shards_per_server: usize,
+    /// Per-shard pending-delta threshold that triggers a merge cycle —
+    /// and with a store plan, a checkpoint. Small → the storm itself
+    /// checkpoints mid-churn; huge → only quiesce barriers checkpoint,
+    /// leaving a deliberately stale snapshot behind.
+    pub merge_threshold: usize,
+    /// Quorum-acked churn ops before the kill.
+    pub churn_before_kill: usize,
+    /// Run a quiesce barrier (a guaranteed checkpoint on both
+    /// endpoints) before killing. `false` leaves only merge-cycle
+    /// checkpoints — the crash lands mid-storm.
+    pub quiesce_before_kill: bool,
+    /// Ops appended while the victim is down. They outrun its snapshot
+    /// and must come back as a churn-log suffix replay at rejoin; keep
+    /// below the client's `log_retention` (default 16 384).
+    pub churn_while_dead: usize,
+    /// Ops after the rejoin. Must be ≥ 1: each post-rejoin `Ok` needs a
+    /// quorum of 2 again, so it proves the revived endpoint applied the
+    /// whole replayed suffix *and* makes the final quiesce barrier
+    /// provably cover it.
+    pub churn_after_rejoin: usize,
+    /// Fixed one-way link latency (both endpoints, reliable links).
+    pub link_latency: Duration,
+}
+
+impl RestartScenario {
+    /// A small, fast kill-and-recover baseline; override per test.
+    pub fn base(name: &'static str) -> Self {
+        Self {
+            name,
+            n_keys: 2_048,
+            shards_per_server: 2,
+            merge_threshold: 1 << 30,
+            churn_before_kill: 200,
+            quiesce_before_kill: true,
+            churn_while_dead: 200,
+            churn_after_rejoin: 100,
+            link_latency: Duration::from_micros(50),
+        }
+    }
+}
+
+/// Deterministic outcome of one restart scenario; two same-seed runs
+/// compare equal, digest included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartReport {
+    /// FNV-1a fold of every scheduling event.
+    pub digest: u64,
+    /// Scheduling events folded into `digest`.
+    pub events: u64,
+    /// Virtual time the whole deployment consumed.
+    pub virtual_ns: u64,
+    /// The restart mapped a valid snapshot (no sort-rebuild fallback).
+    pub recovered_from_snapshot: bool,
+    /// The `(epoch, seq)` watermark the victim recovered at — its state
+    /// folds exactly the churn-log prefix up to this point.
+    pub recovered_watermark: (u64, u64),
+    /// Churn-log seq at kill time (what the survivor had acked).
+    pub seq_at_kill: u64,
+    /// Churn-log epoch bumps the client observed (the kill is one).
+    pub elections: u64,
+    /// Churn-log suffixes resent to lagging endpoints (the rejoin
+    /// catch-up rides this path).
+    pub update_resends: u64,
+    /// Exact-rank assertions performed.
+    pub oracle_checks: u64,
+    /// Live keys at the end (must equal the mirror's size).
+    pub live_keys: u64,
+}
+
+/// Run `sc` once under `seed`, enforce its oracles, and return the
+/// deterministic [`RestartReport`].
+///
+/// Snapshot files live in a per-run scratch directory under the OS
+/// temp dir, removed before returning. File I/O happens on
+/// sim-registered threads but never waits on the sim clock, so it
+/// cannot perturb the scheduling digest.
+pub fn run_restart_scenario(sc: &RestartScenario, seed: u64) -> RestartReport {
+    let sim = SimClock::new();
+    let _main = sim.register_main();
+    let clock = Clock::sim(&sim);
+    let net = ChanNet::new(clock.clone());
+
+    let keys = Arc::new(gen_sorted_unique_keys(sc.n_keys, seed));
+    let topology = Topology::single(vec!["s0e0".to_owned(), "s0e1".to_owned()]);
+
+    let run = RESTART_RUN.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "dini-simtest-restart-{}-{run}-{}",
+        std::process::id(),
+        sc.name
+    ));
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("[{}] snapshot scratch dir: {e}", sc.name));
+
+    for ep in ["s0e0", "s0e1"] {
+        net.set_link_plan(ep, LinkPlan::reliable().with_latency_ns(dur_ns(sc.link_latency)));
+    }
+
+    let serve_cfg = |ep: &str| {
+        let mut serve = ServeConfig::new(sc.shards_per_server);
+        serve.slaves_per_shard = 1;
+        serve.max_batch = 64;
+        serve.max_delay = Duration::from_micros(200);
+        serve.merge_threshold = sc.merge_threshold;
+        serve.clock = clock.clone();
+        serve.store = Some(StorePlan::new(dir.join(format!("{ep}.snap"))));
+        serve
+    };
+    let survivor = NetServer::start(
+        Box::new(net.listen("s0e0")),
+        &keys,
+        NetServerConfig::new(serve_cfg("s0e0"), topology.clone(), 0),
+    );
+    let mut victim = Some(NetServer::start(
+        Box::new(net.listen("s0e1")),
+        &keys,
+        NetServerConfig::new(serve_cfg("s0e1"), topology.clone(), 0),
+    ));
+
+    let ccfg = ClientConfig {
+        clock: clock.clone(),
+        max_batch: 64,
+        max_delay: Duration::from_micros(100),
+        retry_timeout: Duration::from_millis(2),
+        max_retries: 40,
+        ctrl_timeout: Duration::from_millis(20),
+        handshake_timeout: Duration::from_millis(20),
+        ..ClientConfig::default()
+    };
+    let client = RemoteClient::connect(net.dialer(), "s0e0", ccfg)
+        .unwrap_or_else(|e| panic!("[{}] connect failed: {e}", sc.name));
+    let handle = client.handle();
+
+    // Synchronous churn: every op quorum-acked before the next, so the
+    // runner-side mirror is exact at every instant.
+    let mut gen = churn_gen(seed);
+    let mut mirror: BTreeSet<u32> = keys.iter().copied().collect();
+    let mut appended = 0u64;
+    let mut oracle_checks = 0u64;
+    let apply = |n: usize,
+                 phase: &str,
+                 handle: &NetHandle,
+                 gen: &mut ChurnGen,
+                 mirror: &mut BTreeSet<u32>,
+                 appended: &mut u64| {
+        for i in 0..n {
+            let op = gen.next_op();
+            handle
+                .update(op)
+                .unwrap_or_else(|e| panic!("[{}] {phase} op {i} failed: {e:?}", sc.name));
+            *appended += 1;
+            match op {
+                Op::Insert(k) => {
+                    mirror.insert(k);
+                }
+                Op::Delete(k) => {
+                    mirror.remove(&k);
+                }
+                Op::Query(_) => {}
+            }
+        }
+    };
+    let sweep = |tag: &str, handle: &NetHandle, mirror: &BTreeSet<u32>, checks: &mut u64| {
+        let mut probe = 0x9E37u32;
+        for _ in 0..128 {
+            probe = probe.wrapping_mul(2_654_435_761).wrapping_add(12_345);
+            let expect = mirror.range(..=probe).count() as u32;
+            assert_eq!(
+                handle.lookup(probe),
+                Ok(expect),
+                "[{}] {tag} rank({probe}) diverged from the mirror",
+                sc.name
+            );
+            *checks += 1;
+        }
+    };
+
+    apply(sc.churn_before_kill, "pre-kill", &handle, &mut gen, &mut mirror, &mut appended);
+    if sc.quiesce_before_kill {
+        handle.quiesce().unwrap_or_else(|e| panic!("[{}] pre-kill quiesce failed: {e:?}", sc.name));
+    }
+    let seq_at_kill = appended;
+
+    // Kill endpoint 1: crash-like process shutdown (the writer takes no
+    // parting checkpoint — whatever quiesce or merge cycles persisted
+    // is all the restart gets).
+    victim.take().expect("victim alive").shutdown();
+
+    // Churn through the dead window: quorum degrades to the survivor
+    // alone (live 1 → quorum 1), so every op still resolves `Ok` and
+    // the mirror stays the exact acked state.
+    apply(sc.churn_while_dead, "dead-window", &handle, &mut gen, &mut mirror, &mut appended);
+    handle.quiesce().unwrap_or_else(|e| panic!("[{}] mid-dead quiesce failed: {e:?}", sc.name));
+    sweep("mid-dead-window", &handle, &mirror, &mut oracle_checks);
+    assert!(
+        !handle.endpoint_alive("s0e1"),
+        "[{}] the killed endpoint must read dead before the restart",
+        sc.name
+    );
+
+    // Restart: re-listen on the victim's address (ChanNet replaces the
+    // dead listener) and cold-start by *mapping* the snapshot — the
+    // initial key set is only the sort-rebuild fallback and must not be
+    // needed.
+    let (revived_srv, degraded) = NetServer::restart(
+        Box::new(net.listen("s0e1")),
+        &keys,
+        NetServerConfig::new(serve_cfg("s0e1"), topology.clone(), 0),
+    );
+    assert!(degraded.is_none(), "[{}] restart fell back to sort-rebuild: {degraded:?}", sc.name);
+    let recovered_watermark = revived_srv.log_position();
+    assert!(
+        recovered_watermark.1 <= seq_at_kill,
+        "[{}] recovered watermark seq {} is past the kill-time head {seq_at_kill}",
+        sc.name,
+        recovered_watermark.1
+    );
+
+    // Rejoin: dial, handshake, position the replay cursors at the
+    // recovered watermark, then flip the endpoint live. The appender
+    // ships the retained suffix from there.
+    handle.rejoin("s0e1").unwrap_or_else(|e| panic!("[{}] rejoin failed: {e:?}", sc.name));
+    let mut waited = 0u32;
+    while !handle.endpoint_alive("s0e1") {
+        waited += 1;
+        assert!(waited < 5_000, "[{}] rejoin handshake never completed", sc.name);
+        clock.sleep(Duration::from_millis(1));
+    }
+
+    // Post-rejoin churn: quorum is 2 again, so each `Ok` proves the
+    // revived endpoint acked — and it acks in log order, so the first
+    // one already certifies the whole replayed suffix applied.
+    apply(sc.churn_after_rejoin, "post-rejoin", &handle, &mut gen, &mut mirror, &mut appended);
+
+    // Catch-up barrier: flush holds until *every* live endpoint —
+    // revived one included — acked the log head, then the per-endpoint
+    // quiesce roundtrips publish merged epochs for exact wire ranks.
+    handle.quiesce().unwrap_or_else(|e| panic!("[{}] final quiesce failed: {e:?}", sc.name));
+    sweep("post-rejoin", &handle, &mirror, &mut oracle_checks);
+
+    // Convergence: both *processes* hold exactly the mirror — the
+    // survivor that never blinked and the victim that recovered via
+    // snapshot map + suffix replay.
+    for (name, srv) in [("survivor", &survivor), ("revived", &revived_srv)] {
+        assert_eq!(
+            srv.server().len(),
+            mirror.len(),
+            "[{}] the {name} process did not converge to the mirror's op set",
+            sc.name
+        );
+        let local = srv.server().handle();
+        let mut probe = 0x00C0_FFEEu32;
+        for _ in 0..128 {
+            probe = probe.wrapping_mul(2_654_435_761).wrapping_add(12_345);
+            let expect = mirror.range(..=probe).count() as u32;
+            assert_eq!(
+                local.lookup(probe),
+                Ok(expect),
+                "[{}] {name} local rank({probe}) diverged from the mirror",
+                sc.name
+            );
+            oracle_checks += 1;
+        }
+    }
+    assert_eq!(
+        handle.live_keys(),
+        mirror.len() as u64,
+        "[{}] live-key accounting diverged from the mirror",
+        sc.name
+    );
+
+    let stats = client.stats();
+    let report = RestartReport {
+        digest: 0,
+        events: 0,
+        virtual_ns: 0,
+        recovered_from_snapshot: degraded.is_none(),
+        recovered_watermark,
+        seq_at_kill,
+        elections: stats.elections,
+        update_resends: stats.update_resends,
+        oracle_checks,
+        live_keys: handle.live_keys(),
+    };
+    drop(handle);
+    drop(client);
+    survivor.shutdown();
+    revived_srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let (digest, events) = sim.digest();
+    RestartReport { digest, events, virtual_ns: sim.now(), ..report }
+}
+
+/// Run twice under the same seed and require identical reports —
+/// totals *and* event-trace digest. Crash recovery must be as replayable
+/// as everything else: the kill, the snapshot map, the suffix replay,
+/// and the rejoin all fold into the same deterministic event trace.
+pub fn run_restart_scenario_reproducibly(sc: &RestartScenario, seed: u64) -> RestartReport {
+    let a = run_restart_scenario(sc, seed);
+    let b = run_restart_scenario(sc, seed);
+    assert_eq!(
+        a, b,
+        "[{}] seed {seed} did not reproduce: wall-clock (or leftover snapshot state) \
+         leaked into the crash-recovery path",
         sc.name
     );
     a

@@ -1,0 +1,106 @@
+//! Crash-recovery scenarios on deterministic virtual time: kill one
+//! endpoint of a replicated span mid-churn, restart it from its
+//! `dini-store` snapshot, replay the client-retained churn-log suffix
+//! past the recovered watermark, and rejoin serving exact ranks.
+//!
+//! Every scenario runs digest-pinned (twice per seed, reports must be
+//! identical) across the `DINI_SIMTEST_SEEDS` seed sweep, and every run
+//! enforces the full oracle set inside `run_restart_scenario`: all
+//! churn ops quorum-acked `Ok` through the kill and recovery, wire
+//! ranks against a runner-side `BTreeSet` mirror mid-dead-window and
+//! post-rejoin, both server *processes* converged to the mirror
+//! (set sizes and local rank sweeps), and live-key accounting exact.
+
+use dini_simtest::{run_restart_scenario_reproducibly, seeds_from_env, RestartScenario};
+
+/// The headline recovery path: a checkpoint exists (the pre-kill
+/// quiesce barrier guarantees one on both endpoints), the victim is
+/// killed mid-churn, 300 ops land while it is down, and the restart
+/// must map the snapshot — no sort-rebuild — then replay exactly the
+/// suffix past its watermark and mirror the survivor key-for-key.
+#[test]
+fn kill_span_mid_churn_restart_mirrors_exactly() {
+    let mut sc = RestartScenario::base("kill-span-mid-churn");
+    sc.churn_before_kill = 250;
+    sc.churn_while_dead = 300;
+    sc.churn_after_rejoin = 120;
+    for seed in seeds_from_env() {
+        let r = run_restart_scenario_reproducibly(&sc, seed);
+        assert!(r.recovered_from_snapshot, "seed {seed}: restart must map, not rebuild");
+        assert!(
+            r.elections >= 1,
+            "seed {seed}: the kill must bump the churn-log epoch, got {}",
+            r.elections
+        );
+        // The quiesce before the kill checkpointed at the acked head,
+        // so the recovered watermark is exactly the kill-time seq: the
+        // replay suffix is precisely the dead-window ops.
+        assert_eq!(
+            r.recovered_watermark.1, r.seq_at_kill,
+            "seed {seed}: a post-quiesce checkpoint must carry the kill-time watermark"
+        );
+        assert!(r.oracle_checks >= 512, "seed {seed}: sweeps must have run");
+    }
+}
+
+/// Crash mid-storm with *no* quiesce before the kill: the only
+/// checkpoints are the ones the merge cycle itself wrote (threshold 16,
+/// checkpoint every merge), so the snapshot the restart maps was taken
+/// mid-churn at some batch boundary — the watermark is conservative and
+/// the replay suffix overlaps ops already folded into the mapped state.
+/// Idempotent replay must absorb the overlap without double-applying.
+/// (The churn generator deletes keys it inserted, so pending deltas
+/// mostly cancel: net delta growth is ~0.1 ops/shard, and 500 ops at
+/// threshold 16 crosses the merge trigger with wide margin.)
+#[test]
+fn snapshot_mid_churn_storm_recovers_from_merge_checkpoint() {
+    let mut sc = RestartScenario::base("snapshot-mid-churn-storm");
+    sc.merge_threshold = 16;
+    sc.quiesce_before_kill = false;
+    sc.churn_before_kill = 500;
+    sc.churn_while_dead = 250;
+    sc.churn_after_rejoin = 120;
+    for seed in seeds_from_env() {
+        let r = run_restart_scenario_reproducibly(&sc, seed);
+        assert!(
+            r.recovered_from_snapshot,
+            "seed {seed}: 500 pre-kill ops across 2 shards at threshold 16 must have \
+             merge-checkpointed; the restart must map that snapshot"
+        );
+        assert!(
+            r.recovered_watermark.1 > 0,
+            "seed {seed}: a mid-storm checkpoint folds a nonempty log prefix"
+        );
+        assert!(r.elections >= 1, "seed {seed}: the kill must bump the epoch");
+    }
+}
+
+/// Deliberately stale snapshot, long replay: the merge threshold is
+/// unreachable, so the *only* checkpoint is the early quiesce barrier —
+/// taken before most of the churn. The dead window then piles 600 more
+/// ops on top (well inside the client's 16 384-record retention). The
+/// restart maps a snapshot far behind the log head and recovery is
+/// carried almost entirely by the suffix replay.
+#[test]
+fn stale_snapshot_recovers_via_long_log_replay() {
+    let mut sc = RestartScenario::base("stale-snapshot-log-replay");
+    sc.merge_threshold = 1 << 30;
+    sc.churn_before_kill = 60;
+    sc.quiesce_before_kill = true;
+    sc.churn_while_dead = 600;
+    sc.churn_after_rejoin = 150;
+    for seed in seeds_from_env() {
+        let r = run_restart_scenario_reproducibly(&sc, seed);
+        assert!(r.recovered_from_snapshot, "seed {seed}: the stale snapshot must still map");
+        // The watermark sits at the early barrier; everything after —
+        // the 600-op dead window — must have come back as log replay.
+        assert_eq!(
+            r.recovered_watermark.1, r.seq_at_kill,
+            "seed {seed}: the quiesce checkpoint carries the pre-kill head"
+        );
+        assert!(
+            r.live_keys > 0,
+            "seed {seed}: the span must be serving a nonempty key set after recovery"
+        );
+    }
+}

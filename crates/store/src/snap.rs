@@ -1,0 +1,587 @@
+//! The snapshot codec: one versioned, checksummed, cache-line-aligned
+//! file per span process.
+//!
+//! # File layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! [ header: 64 B ][ shard table: n × 64 B ][ delims ][ sections… ]
+//! ```
+//!
+//! Header (64 bytes):
+//!
+//! | off | field | |
+//! |---|---|---|
+//! | 0  | magic `b"DINISNP\x01"` | 8 B |
+//! | 8  | version `u32` = 1 | |
+//! | 12 | n_shards `u32` | |
+//! | 16 | log_epoch `u64` | churn-log watermark: election epoch |
+//! | 24 | log_seq `u64` | churn-log watermark: highest applied seq |
+//! | 32 | file_len `u64` | total file bytes (rejects truncation fast) |
+//! | 40 | payload_fnv `u64` | FNV-1a over bytes `[64, file_len)` |
+//! | 48 | reserved `u64` = 0 | |
+//! | 56 | header_fnv `u64` | FNV-1a over bytes `[0, 56)` |
+//!
+//! Shard table entry (64 bytes each — one cache line per shard):
+//! `main_off, main_len, ins_off, ins_len, del_off, del_len, main_epoch,
+//! reserved`, offsets in bytes (64-aligned), lengths in `u32`s.
+//!
+//! The delimiter section (`n_shards − 1` `u32`s, the span's shard-router
+//! split points) sits at the first 64-aligned offset after the table;
+//! every array section after it is 64-byte aligned, so a mapped `&[u32]`
+//! view is always validly aligned (the mapping base is page-aligned).
+//!
+//! # Atomic writes
+//!
+//! [`write_snapshot`] writes `<path>.tmp`, `fsync`s it, renames it over
+//! `path`, and `fsync`s the directory. A crash leaves either the old
+//! complete file or the new complete file at `path` — never a torn one.
+//! A torn *temp-era* file (crash before the rename) fails validation
+//! totally — bad length, bad checksum, or truncation, never a panic —
+//! and the caller falls back to a sort-based rebuild.
+//!
+//! # Watermark semantics
+//!
+//! `(log_epoch, log_seq)` assert: *this file's shard states fold exactly
+//! the churn-log prefix `… ≤ log_seq`* (each shard as main ⊎ pending
+//! inserts ∖ pending deletes). A restarted process maps the file, starts
+//! its per-connection log cursor at `log_seq`, and replays the suffix
+//! the single-writer client resends past its ack point.
+
+use crate::keys::{MappedFile, MappedKeys, SharedKeys};
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File magic: "DINISNP" plus a format-generation byte.
+pub const SNAP_MAGIC: [u8; 8] = *b"DINISNP\x01";
+
+/// On-disk format version; readers reject all others.
+pub const SNAP_VERSION: u32 = 1;
+
+/// Sanity bound on the shard count a reader will accept: a corrupt
+/// count must never size an allocation.
+pub const MAX_SNAP_SHARDS: u32 = 65_536;
+
+const HEADER_LEN: usize = 64;
+const TABLE_ENTRY_LEN: usize = 64;
+const ALIGN: usize = 64;
+
+/// FNV-1a over `bytes` — the same digest family the simtest event
+/// traces fold with, here guarding snapshot integrity.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a file is not a snapshot. Every variant is a *total* rejection:
+/// the reader returns it instead of panicking or serving wrong ranks,
+/// and the caller falls back to a sort-based rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The file could not be opened, statted, or mapped.
+    Io(String),
+    /// Shorter than one header.
+    TooShort(u64),
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// Header bytes fail their checksum.
+    BadHeaderChecksum,
+    /// The recorded file length disagrees with the actual length (a
+    /// torn or truncated write).
+    BadLength {
+        /// Length the header claims.
+        expect: u64,
+        /// Length the file actually has.
+        got: u64,
+    },
+    /// Payload bytes fail their checksum.
+    BadPayloadChecksum,
+    /// Shard count is zero or exceeds [`MAX_SNAP_SHARDS`].
+    BadShardCount(u32),
+    /// A section offset/length is misaligned, overflows, or overruns
+    /// the file.
+    BadSection(&'static str),
+    /// An array that must be strictly increasing is not.
+    Unsorted(&'static str),
+    /// Cross-array invariants are violated (pending inserts colliding
+    /// with main, deletes of absent keys, non-increasing delimiters).
+    Inconsistent(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Io(e) => write!(f, "snapshot i/o: {e}"),
+            SnapError::TooShort(n) => write!(f, "snapshot too short: {n} bytes"),
+            SnapError::BadMagic => write!(f, "bad snapshot magic"),
+            SnapError::BadVersion(v) => write!(f, "unknown snapshot version {v}"),
+            SnapError::BadHeaderChecksum => write!(f, "snapshot header checksum mismatch"),
+            SnapError::BadLength { expect, got } => {
+                write!(f, "snapshot length mismatch: header says {expect}, file has {got}")
+            }
+            SnapError::BadPayloadChecksum => write!(f, "snapshot payload checksum mismatch"),
+            SnapError::BadShardCount(n) => write!(f, "snapshot shard count {n} out of bounds"),
+            SnapError::BadSection(what) => write!(f, "snapshot section invalid: {what}"),
+            SnapError::Unsorted(what) => write!(f, "snapshot array not sorted: {what}"),
+            SnapError::Inconsistent(what) => write!(f, "snapshot inconsistent: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// One shard's state going *into* a snapshot file.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRecord<'a> {
+    /// The merged main array (sorted, unique).
+    pub main: &'a [u32],
+    /// Pending inserts since the last merge (sorted, unique, disjoint
+    /// from `main`).
+    pub inserts: &'a [u32],
+    /// Pending deletes since the last merge (sorted, unique, all
+    /// present in `main`).
+    pub deletes: &'a [u32],
+    /// The shard's published overlay epoch.
+    pub main_epoch: u64,
+}
+
+/// One span process's state going into a snapshot file.
+#[derive(Debug, Clone)]
+pub struct SpanRecord<'a> {
+    /// Shard-router split points (`shards − 1` of them, increasing).
+    pub delims: &'a [u32],
+    /// Per-shard state, in shard order.
+    pub shards: Vec<ShardRecord<'a>>,
+    /// Churn-log watermark: election epoch covered by this state.
+    pub log_epoch: u64,
+    /// Churn-log watermark: highest log sequence folded into this state.
+    pub log_seq: u64,
+}
+
+/// One shard's state as recovered from a snapshot file: the main array
+/// is served straight out of the mapping; the (small, merge-bounded)
+/// pending deltas are decoded to owned vectors because they flow into
+/// mutable writer state and overlay publications anyway.
+#[derive(Debug, Clone)]
+pub struct SnapshotShard {
+    /// The merged main array, mapped zero-copy.
+    pub main: SharedKeys,
+    /// Pending inserts at checkpoint time.
+    pub inserts: Vec<u32>,
+    /// Pending deletes at checkpoint time.
+    pub deletes: Vec<u32>,
+    /// The shard's overlay epoch at checkpoint time.
+    pub main_epoch: u64,
+}
+
+/// A validated, mapped span snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Per-shard recovered state, in shard order.
+    pub shards: Vec<SnapshotShard>,
+    /// Shard-router split points.
+    pub delims: Vec<u32>,
+    /// Churn-log watermark: election epoch.
+    pub log_epoch: u64,
+    /// Churn-log watermark: highest folded log sequence.
+    pub log_seq: u64,
+    /// Total file size in bytes (for reporting).
+    pub file_bytes: u64,
+}
+
+impl Snapshot {
+    /// Live keys this snapshot folds to (`Σ main + inserts − deletes`).
+    pub fn live_keys(&self) -> u64 {
+        self.shards.iter().map(|s| (s.main.len() + s.inserts.len() - s.deletes.len()) as u64).sum()
+    }
+}
+
+/// Where (and how often) a span process checkpoints its index.
+#[derive(Debug, Clone)]
+pub struct StorePlan {
+    /// Snapshot file path (one file per span process).
+    pub path: PathBuf,
+    /// Checkpoint on every Nth delta merge (1 = every merge). Quiesce
+    /// barriers always checkpoint, so a quiesced span is durable.
+    pub every_merges: u32,
+}
+
+impl StorePlan {
+    /// Checkpoint to `path` on every merge and every quiesce.
+    pub fn new(path: impl Into<PathBuf>) -> StorePlan {
+        StorePlan { path: path.into(), every_merges: 1 }
+    }
+}
+
+fn pad_to(buf: &mut Vec<u8>, align: usize) {
+    while !buf.len().is_multiple_of(align) {
+        buf.push(0);
+    }
+}
+
+fn put_keys(buf: &mut Vec<u8>, keys: &[u32]) -> (u64, u64) {
+    pad_to(buf, ALIGN);
+    let off = buf.len() as u64;
+    for &k in keys {
+        buf.extend_from_slice(&k.to_le_bytes());
+    }
+    (off, keys.len() as u64)
+}
+
+/// Serialize `rec` to its on-disk bytes (exposed so corruption tests
+/// can mangle a valid image without touching the filesystem).
+pub fn encode_snapshot(rec: &SpanRecord<'_>) -> Vec<u8> {
+    let n = rec.shards.len();
+    assert!(n >= 1 && n as u32 <= MAX_SNAP_SHARDS, "shard count out of range");
+    assert_eq!(rec.delims.len(), n - 1, "need shards − 1 delimiters");
+
+    let mut buf = vec![0u8; HEADER_LEN + n * TABLE_ENTRY_LEN];
+    pad_to(&mut buf, ALIGN);
+    let delims_off = buf.len();
+    for &d in rec.delims {
+        buf.extend_from_slice(&d.to_le_bytes());
+    }
+    debug_assert_eq!(delims_off, HEADER_LEN + n * TABLE_ENTRY_LEN, "table is 64-aligned");
+
+    for (i, s) in rec.shards.iter().enumerate() {
+        let (main_off, main_len) = put_keys(&mut buf, s.main);
+        let (ins_off, ins_len) = put_keys(&mut buf, s.inserts);
+        let (del_off, del_len) = put_keys(&mut buf, s.deletes);
+        let entry = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        for (slot, v) in [main_off, main_len, ins_off, ins_len, del_off, del_len, s.main_epoch, 0]
+            .into_iter()
+            .enumerate()
+        {
+            buf[entry + slot * 8..entry + slot * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    // Header, then backpatch the two checksums.
+    buf[0..8].copy_from_slice(&SNAP_MAGIC);
+    buf[8..12].copy_from_slice(&SNAP_VERSION.to_le_bytes());
+    buf[12..16].copy_from_slice(&(n as u32).to_le_bytes());
+    buf[16..24].copy_from_slice(&rec.log_epoch.to_le_bytes());
+    buf[24..32].copy_from_slice(&rec.log_seq.to_le_bytes());
+    let total = buf.len() as u64;
+    buf[32..40].copy_from_slice(&total.to_le_bytes());
+    let payload_fnv = fnv1a(&buf[HEADER_LEN..]);
+    buf[40..48].copy_from_slice(&payload_fnv.to_le_bytes());
+    buf[48..56].copy_from_slice(&0u64.to_le_bytes());
+    let header_fnv = fnv1a(&buf[..56]);
+    buf[56..64].copy_from_slice(&header_fnv.to_le_bytes());
+    buf
+}
+
+/// Atomically persist `rec` at `path`: write `<path>.tmp`, `fsync`,
+/// rename over `path`, `fsync` the directory. Readers (and crashes)
+/// see either the previous complete snapshot or this one.
+pub fn write_snapshot(path: &Path, rec: &SpanRecord<'_>) -> io::Result<()> {
+    let bytes = encode_snapshot(rec);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Durability of the rename itself: fsync the directory so the
+        // new directory entry survives a crash. Best-effort on
+        // filesystems that refuse O_RDONLY dir fsync.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Bounds-checked little-endian readers over the raw image.
+fn get_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn get_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Resolve one array section against the image, validating alignment,
+/// overflow, and bounds. Returns the byte offset and element count.
+fn section(
+    bytes: &[u8],
+    off: u64,
+    len: u64,
+    what: &'static str,
+) -> Result<(usize, usize), SnapError> {
+    let off = usize::try_from(off).map_err(|_| SnapError::BadSection(what))?;
+    let len = usize::try_from(len).map_err(|_| SnapError::BadSection(what))?;
+    if off % 4 != 0 {
+        return Err(SnapError::BadSection(what));
+    }
+    let end = len.checked_mul(4).and_then(|b| off.checked_add(b));
+    match end {
+        Some(end) if off >= HEADER_LEN && end <= bytes.len() => Ok((off, len)),
+        _ => Err(SnapError::BadSection(what)),
+    }
+}
+
+fn decode_keys(bytes: &[u8], off: usize, len: usize) -> Vec<u32> {
+    (0..len).map(|i| get_u32(bytes, off + i * 4)).collect()
+}
+
+fn check_sorted(keys: &[u32], what: &'static str) -> Result<(), SnapError> {
+    if keys.windows(2).all(|w| w[0] < w[1]) {
+        Ok(())
+    } else {
+        Err(SnapError::Unsorted(what))
+    }
+}
+
+/// Open, map, and fully validate the snapshot at `path`. Any corruption
+/// — truncation, bit flips, bad magic/version/checksums, oversized
+/// counts, unsorted or inconsistent arrays — returns a [`SnapError`];
+/// this function never panics on file contents and never lets a mangled
+/// file produce wrong ranks.
+pub fn open_snapshot(path: &Path) -> Result<Snapshot, SnapError> {
+    let file = Arc::new(MappedFile::open(path).map_err(|e| SnapError::Io(e.to_string()))?);
+    let bytes = file.bytes();
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapError::TooShort(bytes.len() as u64));
+    }
+    if bytes[0..8] != SNAP_MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let version = get_u32(bytes, 8);
+    if version != SNAP_VERSION {
+        return Err(SnapError::BadVersion(version));
+    }
+    if fnv1a(&bytes[..56]) != get_u64(bytes, 56) {
+        return Err(SnapError::BadHeaderChecksum);
+    }
+    let file_len = get_u64(bytes, 32);
+    if file_len != bytes.len() as u64 {
+        return Err(SnapError::BadLength { expect: file_len, got: bytes.len() as u64 });
+    }
+    let n_shards = get_u32(bytes, 12);
+    if n_shards == 0 || n_shards > MAX_SNAP_SHARDS {
+        return Err(SnapError::BadShardCount(n_shards));
+    }
+    let n = n_shards as usize;
+    let table_end = HEADER_LEN + n * TABLE_ENTRY_LEN;
+    let delims_end = table_end + (n - 1) * 4;
+    if delims_end > bytes.len() {
+        return Err(SnapError::BadSection("shard table"));
+    }
+    if fnv1a(&bytes[HEADER_LEN..]) != get_u64(bytes, 40) {
+        return Err(SnapError::BadPayloadChecksum);
+    }
+
+    let delims = decode_keys(bytes, table_end, n - 1);
+    if !delims.windows(2).all(|w| w[0] < w[1]) {
+        return Err(SnapError::Inconsistent("delimiters not increasing"));
+    }
+
+    let mut shards = Vec::with_capacity(n);
+    for i in 0..n {
+        let e = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let (main_off, main_len) =
+            section(bytes, get_u64(bytes, e), get_u64(bytes, e + 8), "main")?;
+        let (ins_off, ins_len) =
+            section(bytes, get_u64(bytes, e + 16), get_u64(bytes, e + 24), "inserts")?;
+        let (del_off, del_len) =
+            section(bytes, get_u64(bytes, e + 32), get_u64(bytes, e + 40), "deletes")?;
+        let main_epoch = get_u64(bytes, e + 48);
+
+        // The mapped view requires 64-alignment (the writer's layout);
+        // accepting a merely-4-aligned offset would still be sound for
+        // u32 reads but flags a mangled table.
+        if main_off % ALIGN != 0 {
+            return Err(SnapError::BadSection("main alignment"));
+        }
+
+        let main = if cfg!(target_endian = "little") {
+            SharedKeys::Mapped(MappedKeys::new(file.clone(), main_off, main_len))
+        } else {
+            // Big-endian hosts cannot view LE u32s in place; decode-copy.
+            SharedKeys::owned(decode_keys(bytes, main_off, main_len))
+        };
+        check_sorted(main.as_slice(), "main")?;
+        let inserts = decode_keys(bytes, ins_off, ins_len);
+        check_sorted(&inserts, "inserts")?;
+        let deletes = decode_keys(bytes, del_off, del_len);
+        check_sorted(&deletes, "deletes")?;
+        let in_main = |k: u32| main.as_slice().binary_search(&k).is_ok();
+        if inserts.iter().any(|&k| in_main(k)) {
+            return Err(SnapError::Inconsistent("pending insert already in main"));
+        }
+        if !deletes.iter().all(|&k| in_main(k)) {
+            return Err(SnapError::Inconsistent("pending delete absent from main"));
+        }
+        shards.push(SnapshotShard { main, inserts, deletes, main_epoch });
+    }
+
+    Ok(Snapshot {
+        shards,
+        delims,
+        log_epoch: get_u64(bytes, 16),
+        log_seq: get_u64(bytes, 24),
+        file_bytes: bytes.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dini-store-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+        let main: Vec<u32> = (1..=1000).map(|i| i * 3).collect();
+        let inserts = vec![1, 4, 3001];
+        let deletes = vec![3, 300, 3000];
+        let delims = vec![1500];
+        (main, inserts, deletes, delims)
+    }
+
+    #[test]
+    fn round_trips_shards_watermark_and_epochs() {
+        let (main, inserts, deletes, delims) = sample();
+        let rec = SpanRecord {
+            delims: &delims,
+            shards: vec![
+                ShardRecord { main: &main, inserts: &inserts, deletes: &deletes, main_epoch: 7 },
+                ShardRecord { main: &[], inserts: &[], deletes: &[], main_epoch: 0 },
+            ],
+            log_epoch: 3,
+            log_seq: 4242,
+        };
+        let path = tmp_path("roundtrip.snap");
+        write_snapshot(&path, &rec).unwrap();
+        let snap = open_snapshot(&path).unwrap();
+        assert_eq!(snap.delims, delims);
+        assert_eq!((snap.log_epoch, snap.log_seq), (3, 4242));
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[0].main.as_slice(), main.as_slice());
+        assert_eq!(snap.shards[0].inserts, inserts);
+        assert_eq!(snap.shards[0].deletes, deletes);
+        assert_eq!(snap.shards[0].main_epoch, 7);
+        assert!(snap.shards[1].main.is_empty());
+        assert_eq!(snap.live_keys(), 1000 + 3 - 3, "shard 0 net keys; shard 1 empty");
+        #[cfg(all(unix, target_endian = "little"))]
+        assert!(snap.shards[0].main.is_mapped(), "mains must serve straight from the map");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_shard_has_no_delims_and_one_key_shards_work() {
+        let rec = SpanRecord {
+            delims: &[],
+            shards: vec![ShardRecord { main: &[42], inserts: &[], deletes: &[], main_epoch: 1 }],
+            log_epoch: 1,
+            log_seq: 1,
+        };
+        let path = tmp_path("tiny.snap");
+        write_snapshot(&path, &rec).unwrap();
+        let snap = open_snapshot(&path).unwrap();
+        assert_eq!(snap.shards[0].main.as_slice(), &[42]);
+        assert!(snap.delims.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrite_is_atomic_under_a_live_mapping() {
+        // The codanna-style protocol: a reader holding the old mapping
+        // keeps reading the old inode while a new snapshot lands.
+        let (main, inserts, deletes, _delims) = sample();
+        let rec = SpanRecord {
+            delims: &[],
+            shards: vec![ShardRecord {
+                main: &main,
+                inserts: &inserts,
+                deletes: &deletes,
+                main_epoch: 1,
+            }],
+            log_epoch: 1,
+            log_seq: 10,
+        };
+        let path = tmp_path("rewrite.snap");
+        write_snapshot(&path, &rec).unwrap();
+        let old = open_snapshot(&path).unwrap();
+        let new_main: Vec<u32> = (1..=10).collect();
+        let rec2 = SpanRecord {
+            delims: &[],
+            shards: vec![ShardRecord {
+                main: &new_main,
+                inserts: &[],
+                deletes: &[],
+                main_epoch: 2,
+            }],
+            log_epoch: 1,
+            log_seq: 20,
+        };
+        write_snapshot(&path, &rec2).unwrap();
+        assert_eq!(old.shards[0].main.as_slice(), main.as_slice(), "old mapping intact");
+        let new = open_snapshot(&path).unwrap();
+        assert_eq!(new.shards[0].main.as_slice(), new_main.as_slice());
+        assert_eq!(new.log_seq, 20);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_field_corruption_is_rejected_by_name() {
+        let (main, inserts, deletes, _delims) = sample();
+        let rec = SpanRecord {
+            delims: &[],
+            shards: vec![ShardRecord {
+                main: &main,
+                inserts: &inserts,
+                deletes: &deletes,
+                main_epoch: 1,
+            }],
+            log_epoch: 1,
+            log_seq: 10,
+        };
+        let good = encode_snapshot(&rec);
+        let path = tmp_path("corrupt.snap");
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(open_snapshot(&path).unwrap_err(), SnapError::BadMagic);
+
+        let mut bad = good.clone();
+        bad[8] = 99;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(open_snapshot(&path), Err(SnapError::BadVersion(_))));
+
+        let mut bad = good.clone();
+        bad[17] ^= 0x40; // log_epoch bit: header checksum must catch it
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(open_snapshot(&path).unwrap_err(), SnapError::BadHeaderChecksum);
+
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01; // payload bit
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(open_snapshot(&path).unwrap_err(), SnapError::BadPayloadChecksum);
+
+        std::fs::write(&path, &good[..good.len() - 1]).unwrap(); // torn tail
+        assert!(matches!(open_snapshot(&path), Err(SnapError::BadLength { .. })));
+
+        std::fs::write(&path, &good[..32]).unwrap(); // torn header
+        assert_eq!(open_snapshot(&path).unwrap_err(), SnapError::TooShort(32));
+
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests for the snapshot codec: every well-formed span record
+//! round-trips bit-exactly through a file, and *no* byte-level
+//! corruption — truncation, bit flips, bad magic/version/checksums,
+//! oversized counts, random garbage — can make [`open_snapshot`] panic
+//! or return silently-wrong state. The snapshot reader is the restart
+//! path's trust boundary: a torn temp-era file must be *detected* so
+//! the caller falls back to a sort-based rebuild, never served.
+
+use dini_store::{
+    encode_snapshot, open_snapshot, write_snapshot, ShardRecord, SnapError, SpanRecord,
+};
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique scratch path per test case (proptest shrinks re-enter).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!("dini-store-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}.snap", N.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// Sorted-unique key vector (possibly empty).
+fn sorted_keys(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop_vec(any::<u32>(), 0..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+#[derive(Debug, Clone)]
+struct GenShard {
+    main: Vec<u32>,
+    inserts: Vec<u32>,
+    deletes: Vec<u32>,
+    main_epoch: u64,
+}
+
+/// A consistent shard: inserts disjoint from main, deletes ⊆ main.
+fn gen_shard() -> impl Strategy<Value = GenShard> {
+    (sorted_keys(200), sorted_keys(32), prop_vec(any::<bool>(), 0..200), any::<u64>()).prop_map(
+        |(main, extra, del_mask, main_epoch)| {
+            let inserts: Vec<u32> =
+                extra.into_iter().filter(|k| main.binary_search(k).is_err()).collect();
+            let deletes: Vec<u32> = main
+                .iter()
+                .zip(del_mask.iter().chain(std::iter::repeat(&false)))
+                .filter_map(|(&k, &d)| d.then_some(k))
+                .collect();
+            GenShard { main, inserts, deletes, main_epoch }
+        },
+    )
+}
+
+#[derive(Debug, Clone)]
+struct GenSpan {
+    shards: Vec<GenShard>,
+    delims: Vec<u32>,
+    log_epoch: u64,
+    log_seq: u64,
+}
+
+fn gen_span() -> impl Strategy<Value = GenSpan> {
+    (prop_vec(gen_shard(), 1..5), sorted_keys(8), any::<u64>(), any::<u64>()).prop_map(
+        |(shards, mut delims, log_epoch, log_seq)| {
+            delims.truncate(shards.len() - 1);
+            while delims.len() < shards.len() - 1 {
+                // Top up with values past the current max to stay increasing.
+                let next = delims.last().map_or(0, |&d| d.saturating_add(1));
+                delims.push(next);
+            }
+            GenSpan { shards, delims, log_epoch, log_seq }
+        },
+    )
+}
+
+fn record(span: &GenSpan) -> SpanRecord<'_> {
+    SpanRecord {
+        delims: &span.delims,
+        shards: span
+            .shards
+            .iter()
+            .map(|s| ShardRecord {
+                main: &s.main,
+                inserts: &s.inserts,
+                deletes: &s.deletes,
+                main_epoch: s.main_epoch,
+            })
+            .collect(),
+        log_epoch: span.log_epoch,
+        log_seq: span.log_seq,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_span_round_trips_exactly(span in gen_span()) {
+        let path = scratch("roundtrip");
+        write_snapshot(&path, &record(&span)).unwrap();
+        let snap = open_snapshot(&path).unwrap();
+        prop_assert_eq!(snap.delims, span.delims);
+        prop_assert_eq!(snap.log_epoch, span.log_epoch);
+        prop_assert_eq!(snap.log_seq, span.log_seq);
+        prop_assert_eq!(snap.shards.len(), span.shards.len());
+        for (got, want) in snap.shards.iter().zip(&span.shards) {
+            prop_assert_eq!(got.main.as_slice(), want.main.as_slice());
+            prop_assert_eq!(&got.inserts, &want.inserts);
+            prop_assert_eq!(&got.deletes, &want.deletes);
+            prop_assert_eq!(got.main_epoch, want.main_epoch);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_is_always_detected(span in gen_span(), frac in 0u32..1000) {
+        // A torn partial-rename-era file is some proper prefix of the
+        // full image: the length or checksum gate must catch every one.
+        let bytes = encode_snapshot(&record(&span));
+        let cut = (frac as usize * bytes.len()) / 1000;
+        prop_assume!(cut < bytes.len());
+        let path = scratch("trunc");
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let got = open_snapshot(&path);
+        prop_assert!(got.is_err(), "a proper prefix must never open");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic_and_never_lie(
+        span in gen_span(),
+        pos in any::<u32>(),
+        bit in 0u32..8,
+    ) {
+        let good = encode_snapshot(&record(&span));
+        let mut bad = good.clone();
+        let pos = pos as usize % bad.len();
+        bad[pos] ^= 1 << bit;
+        let path = scratch("flip");
+        std::fs::write(&path, &bad).unwrap();
+        // Every payload byte is covered by payload_fnv and every header
+        // byte by header_fnv, so any single flip MUST be rejected —
+        // "still decodes" is not an acceptable outcome here, unlike the
+        // wire decoder where payload bytes are uncovered.
+        let got = open_snapshot(&path);
+        prop_assert!(got.is_err(), "flipped bit at {} escaped detection", pos);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop_vec(any::<u8>(), 0..4096)) {
+        let path = scratch("garbage");
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = open_snapshot(&path);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_counts_error_totally(span in gen_span(), n in any::<u32>()) {
+        // Splice an arbitrary shard count into the header and refresh
+        // the header checksum so the count check itself is reached.
+        let mut bytes = encode_snapshot(&record(&span));
+        bytes[12..16].copy_from_slice(&n.to_le_bytes());
+        let fixed = dini_store::fnv1a(&bytes[..56]);
+        bytes[56..64].copy_from_slice(&fixed.to_le_bytes());
+        let path = scratch("count");
+        std::fs::write(&path, &bytes).unwrap();
+        match open_snapshot(&path) {
+            Err(SnapError::BadShardCount(m)) => prop_assert_eq!(m, n),
+            Err(SnapError::BadSection(_)) | Err(SnapError::BadPayloadChecksum) => {
+                // A small-but-wrong count reads a garbled table or
+                // changes what the payload checksum covers: also total.
+            }
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+            Ok(_) if n == span.shards.len() as u32 => {} // spliced the true count back
+            Ok(_) => prop_assert!(false, "forged shard count {} accepted", n),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn missing_file_is_an_io_error_not_a_panic() {
+    let got = open_snapshot(&scratch("never-written"));
+    assert!(matches!(got, Err(SnapError::Io(_))));
+}
+
+#[test]
+fn empty_file_is_rejected() {
+    let path = scratch("empty");
+    std::fs::write(&path, b"").unwrap();
+    let got = open_snapshot(&path);
+    assert!(got.is_err(), "zero-length file must not open: {got:?}");
+    std::fs::remove_file(&path).ok();
+}

@@ -15,9 +15,11 @@
 //! those allocations are the amortised setup the paper's economics
 //! permit. What the invariant forbids is *per-lookup* allocation.
 
-use dini::serve::{IndexServer, ServeConfig, TraceConfig};
+use dini::serve::{open_snapshot, IndexServer, ServeConfig, StorePlan, TraceConfig};
+use dini::workload::Op;
 use dini::{DistributedIndex, NativeConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -170,4 +172,83 @@ fn serve_steady_state_lookup_is_allocation_free() {
     for q in [0u32, 1, 199_997, 200_000, u32::MAX] {
         assert_eq!(h.lookup(q).unwrap(), keys.partition_point(|&key| key <= q) as u32);
     }
+}
+
+/// The invariant must survive recovery: a server whose main arrays are
+/// *memory-mapped* straight out of a `dini-store` snapshot (no sort, no
+/// owned `Vec` rebuild) serves warmed lookups with zero allocations —
+/// the `SharedKeys::Mapped` backing rides the identical read path, so
+/// mapping an index must cost exactly what owning one costs.
+#[test]
+fn recovered_mapped_backing_lookup_is_allocation_free_when_warm() {
+    let _gate = GATE.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("dini-zero-alloc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("snapshot scratch dir");
+    let path = dir.join("mapped.snap");
+
+    // Origin server: initial build plus live churn, checkpointed by the
+    // quiesce durability barrier — the snapshot carries both merged
+    // mains and a pending overlay, like any mid-life checkpoint.
+    let keys: Vec<u32> = (0..50_000u32).map(|i| i * 4 + 1).collect();
+    let mut expect: BTreeSet<u32> = keys.iter().copied().collect();
+    let mut cfg = ServeConfig::new(2);
+    cfg.slaves_per_shard = 2;
+    cfg.max_batch = 64;
+    cfg.max_delay = Duration::from_micros(50);
+    cfg.trace = TraceConfig::dense();
+    cfg.store = Some(StorePlan::new(path.clone()));
+    let origin = IndexServer::build(&keys, cfg.clone());
+    let mut k = 1u32;
+    for _ in 0..200 {
+        k = k.wrapping_mul(2_654_435_761).wrapping_add(12_345);
+        origin.update(Op::Insert(k)).unwrap();
+        expect.insert(k);
+    }
+    origin.quiesce();
+    drop(origin);
+
+    // Restart by mapping. On unix the mains must genuinely be the mmap,
+    // not a heap copy — that is the backing under test.
+    let snap = open_snapshot(&path).expect("checkpoint must map back");
+    #[cfg(unix)]
+    assert!(
+        snap.shards.iter().all(|s| s.main.is_mapped()),
+        "recovered mains must serve straight from the map"
+    );
+    cfg.store = None; // the recovered server takes no further checkpoints
+    let server = IndexServer::build_recovered(&snap, cfg);
+    let h = server.handle();
+
+    // Warmup, then the armed window: identical protocol to the owned
+    // sibling test above.
+    let mut k = 0u32;
+    for _ in 0..3000 {
+        k = k.wrapping_add(0x9E37_79B9);
+        h.lookup(k % 250_000).unwrap();
+    }
+    let mut checksum = 0u64;
+    let allocs = count_allocs(|| {
+        let mut k = 12_345u32;
+        for _ in 0..1000 {
+            k = k.wrapping_add(0x9E37_79B9);
+            checksum += u64::from(h.lookup(k % 250_000).unwrap());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "the steady-state dispatch path over a memory-mapped main array allocated \
+         {allocs} times across 1000 warmed lookups; `SharedKeys::Mapped` must ride the \
+         same zero-allocation read path as an owned build"
+    );
+    assert!(checksum > 0, "lookups still answer");
+
+    // Exactness over the mapped backing, overlay folded in.
+    let sorted: Vec<u32> = expect.iter().copied().collect();
+    for q in [0u32, 1, 199_997, 200_000, u32::MAX] {
+        assert_eq!(h.lookup(q).unwrap(), sorted.partition_point(|&key| key <= q) as u32);
+    }
+
+    drop(h);
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
 }
