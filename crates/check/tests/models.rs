@@ -204,7 +204,7 @@ fn trace_ring_snapshot_never_returns_torn_record() {
 fn admission_gauges_stay_coherent_under_race() {
     fn req(key: u32) -> Request {
         let (_slot, handle) = reply_pair();
-        Request { key, enqueued: Clock::system().now(), reply: handle }
+        Request { key, enqueued: Clock::system().now(), trace: 0, reply: handle }
     }
     let report = model("admission/gauges", || {
         let (tx, rx) = crossbeam::channel::bounded(1);

@@ -23,16 +23,25 @@
 //!   modules (`oneshot.rs`, `snapshot.rs`, `batcher.rs`, `trace.rs`,
 //!   `metrics.rs`) unless annotated `// lint: lock-ok: <reason>`;
 //!   these modules' doc contracts promise lock-free operation.
+//! * **R5 `metric-name-dup`** — every metric name literal passed to
+//!   `MetricsRegistry::counter` / `histogram` / `gauge_fn` is
+//!   registered at exactly one non-test source site, workspace-wide.
+//!   Registering one name from a loop (one site, many labels) is fine;
+//!   two *sites* sharing a name silently merge their series in every
+//!   snapshot and dashboard. A deliberate second site is annotated
+//!   `// lint: metric-name-ok: <reason>`.
 //!
 //! The scanner is a hand-rolled Rust lexer — comment-, string-, and
 //! char-literal-aware, with `#[cfg(test)]` module tracking — so the
 //! tool stays dependency-free and hermetic. R1 applies everywhere
-//! (test `unsafe` needs justification too); R2–R4 exempt test code,
-//! where scaffolding legitimately spins clocks and takes locks.
+//! (test `unsafe` needs justification too); R2–R5 exempt test code,
+//! where scaffolding legitimately spins clocks, takes locks, and
+//! builds throwaway registries.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -44,7 +53,7 @@ pub struct Finding {
     /// 1-based line number.
     pub line: usize,
     /// Short rule identifier (`unsafe-safety`, `contract-relaxed`,
-    /// `wall-clock`, `hot-path-lock`).
+    /// `wall-clock`, `hot-path-lock`, `metric-name-dup`).
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -68,6 +77,11 @@ const HOT_PATH_FILES: &[&str] =
 /// Files allowed to read the wall clock: the time-virtualization seams.
 const CLOCK_FILES: &[&str] = &["clock.rs", "host.rs"];
 
+/// The `MetricsRegistry` registration calls R5 tracks: each takes the
+/// metric name as its first argument, and registering a name twice
+/// silently merges two series into one.
+const METRIC_METHODS: &[&str] = &[".counter(", ".histogram(", ".gauge_fn("];
+
 /// One source line split into its lexical layers.
 #[derive(Debug, Default, Clone)]
 struct Line {
@@ -81,6 +95,10 @@ struct Line {
     has_code: bool,
     /// Inside a `#[cfg(test)]` module (or a `#[test]` fn).
     test: bool,
+    /// Contents of the string literals *opened* on this line, in
+    /// source order (the code layer blanks them; rules that need the
+    /// text — R5's metric names — read it here).
+    strs: Vec<String>,
 }
 
 /// Lexes `src` into per-line code/comment layers with test-module
@@ -104,6 +122,10 @@ fn lex(src: &str) -> Vec<Line> {
     let mut depth: i64 = 0;
     let mut test_pending = false;
     let mut test_depth: Option<i64> = None;
+    // The string literal currently being read, and the index of the
+    // line it opened on (its contents land in that line's `strs`).
+    let mut lit = String::new();
+    let mut lit_line = 0usize;
 
     let chars: Vec<char> = src.chars().collect();
     let mut i = 0;
@@ -114,10 +136,14 @@ fn lex(src: &str) -> Vec<Line> {
             if mode == Mode::LineComment {
                 mode = Mode::Code;
             }
+            if matches!(mode, Mode::Str | Mode::RawStr(_)) {
+                lit.push('\n');
+            }
             lines.push(Line { test: test_depth.is_some(), ..Line::default() });
             i += 1;
             continue;
         }
+        let cur_idx = lines.len() - 1;
         let cur = lines.last_mut().expect("at least one line");
         match mode {
             Mode::Code => match c {
@@ -134,6 +160,8 @@ fn lex(src: &str) -> Vec<Line> {
                 '"' => {
                     cur.code.push('"');
                     cur.has_code = true;
+                    lit.clear();
+                    lit_line = cur_idx;
                     mode = Mode::Str;
                 }
                 'r' | 'b' => {
@@ -152,6 +180,8 @@ fn lex(src: &str) -> Vec<Line> {
                     if !prev_ident && chars.get(j) == Some(&'"') {
                         cur.code.push('"');
                         cur.has_code = true;
+                        lit.clear();
+                        lit_line = cur_idx;
                         // b"…" is an ordinary escaped string; r/br are raw.
                         mode = if c == 'b' && chars.get(i + 1) == Some(&'"') {
                             Mode::Str
@@ -222,14 +252,23 @@ fn lex(src: &str) -> Vec<Line> {
             }
             Mode::Str => match c {
                 '\\' => {
-                    i += 2; // skip the escaped char (contents are blanked)
+                    // Skip the escaped char in the code layer; keep it
+                    // raw in the captured literal.
+                    if let Some(e) = next {
+                        lit.push(e);
+                    }
+                    i += 2;
                     continue;
                 }
                 '"' => {
                     cur.code.push('"');
                     mode = Mode::Code;
+                    lines[lit_line].strs.push(std::mem::take(&mut lit));
                 }
-                _ => cur.code.push(' '),
+                _ => {
+                    cur.code.push(' ');
+                    lit.push(c);
+                }
             },
             Mode::RawStr(hashes) => {
                 let closes = c == '"'
@@ -237,10 +276,12 @@ fn lex(src: &str) -> Vec<Line> {
                 if closes {
                     cur.code.push('"');
                     mode = Mode::Code;
+                    lines[lit_line].strs.push(std::mem::take(&mut lit));
                     i += 1 + hashes;
                     continue;
                 }
                 cur.code.push(' ');
+                lit.push(c);
             }
             Mode::Char => match c {
                 '\\' => {
@@ -454,17 +495,107 @@ fn rule_hot_path_lock(path: &Path, lines: &[Line], out: &mut Vec<Finding>) {
     }
 }
 
+/// One metric-name registration site: `name` registered at
+/// `file:line`. Input to R5, which wants exactly one per name.
+struct MetricSite {
+    file: PathBuf,
+    line: usize,
+    name: String,
+}
+
+/// Collects every non-test metric-name registration site in one file.
+/// Sites annotated `// lint: metric-name-ok: <reason>` are excluded
+/// here, so annotating *either* end of a deliberate duplicate
+/// suppresses the pair. Dynamic names (`.counter(var)`) are invisible
+/// to a lexical tool and skipped.
+fn metric_sites(path: &Path, lines: &[Line], out: &mut Vec<MetricSite>) {
+    if in_test_tree(path) {
+        return;
+    }
+    for (i, l) in lines.iter().enumerate() {
+        if l.test {
+            continue;
+        }
+        for call in METRIC_METHODS {
+            let Some(at) = l.code.find(call) else { continue };
+            let after = l.code[at + call.len()..].trim_start();
+            // The name literal either follows the opener on this line
+            // (its index among the line's literals = closed quote
+            // pairs before the call) or, rustfmt-wrapped, opens the
+            // next line.
+            let name = if after.starts_with('"') {
+                l.strs.get(l.code[..at].matches('"').count() / 2)
+            } else if after.is_empty() {
+                lines.get(i + 1).and_then(|n| n.strs.first())
+            } else {
+                None
+            };
+            let Some(name) = name else { continue };
+            if name.is_empty() || annotated(lines, i, "metric-name-ok:") {
+                continue;
+            }
+            out.push(MetricSite { file: path.to_path_buf(), line: i + 1, name: name.clone() });
+        }
+    }
+}
+
+/// R5: a metric name registered at more than one site. The first site
+/// (in scan order) is canonical; every later site with the same name
+/// is a finding pointing back at it.
+fn rule_metric_name_dup(sites: &[MetricSite], out: &mut Vec<Finding>) {
+    let mut first: HashMap<&str, (&Path, usize)> = HashMap::new();
+    for s in sites {
+        match first.get(s.name.as_str()) {
+            None => {
+                first.insert(&s.name, (&s.file, s.line));
+            }
+            Some((file, line)) => out.push(Finding {
+                file: s.file.clone(),
+                line: s.line,
+                rule: "metric-name-dup",
+                message: format!(
+                    "metric name \"{}\" already registered at {}:{} — two registration \
+                     sites silently merge into one series; pick a distinct name or \
+                     annotate `// lint: metric-name-ok: <reason>`",
+                    s.name,
+                    file.display(),
+                    line
+                ),
+            }),
+        }
+    }
+}
+
+/// The per-file rules (R1–R4) on one lexed file.
+fn per_file_rules(path: &Path, lines: &[Line], out: &mut Vec<Finding>) {
+    rule_unsafe_safety(path, lines, out);
+    rule_contract_relaxed(path, lines, out);
+    rule_wall_clock(path, lines, out);
+    rule_hot_path_lock(path, lines, out);
+}
+
 /// Lints one file's source text. `path` is used for reporting and for
 /// the path-sensitive rules (clock files, hot-path modules, test
-/// trees).
+/// trees). R5 sees only this file, so it catches intra-file duplicate
+/// metric names; [`scan_sources`] / [`scan_workspace`] check the rule
+/// across files.
 pub fn scan_source(path: &Path, src: &str) -> Vec<Finding> {
-    let lines = lex(src);
+    scan_sources(&[(path, src)])
+}
+
+/// Lints a set of files together: R1–R4 per file, plus R5 across the
+/// whole set (a metric name registered once per file but in two files
+/// is still a duplicate). Findings are ordered by file, then line.
+pub fn scan_sources(files: &[(&Path, &str)]) -> Vec<Finding> {
     let mut out = Vec::new();
-    rule_unsafe_safety(path, &lines, &mut out);
-    rule_contract_relaxed(path, &lines, &mut out);
-    rule_wall_clock(path, &lines, &mut out);
-    rule_hot_path_lock(path, &lines, &mut out);
-    out.sort_by_key(|f| f.line);
+    let mut sites = Vec::new();
+    for (path, src) in files {
+        let lines = lex(src);
+        per_file_rules(path, &lines, &mut out);
+        metric_sites(path, &lines, &mut sites);
+    }
+    rule_metric_name_dup(&sites, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
 }
 
@@ -484,21 +615,25 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 /// Lints every first-party `.rs` file under `root` (skipping `vendor/`
-/// and `target/`), returning findings ordered by file and line.
+/// and `target/`), returning findings ordered by file and line. The
+/// files are scanned as one set, so R5's exactly-once check spans the
+/// whole workspace.
 pub fn scan_workspace(root: &Path) -> Vec<Finding> {
     let mut files = Vec::new();
     for top in ["src", "crates", "tests", "examples", "benches"] {
         walk(&root.join(top), &mut files);
     }
     files.sort();
-    let mut out = Vec::new();
-    for file in files {
-        if let Ok(src) = std::fs::read_to_string(&file) {
+    let sources: Vec<(PathBuf, String)> = files
+        .into_iter()
+        .filter_map(|file| {
+            let src = std::fs::read_to_string(&file).ok()?;
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            out.extend(scan_source(&rel, &src));
-        }
-    }
-    out
+            Some((rel, src))
+        })
+        .collect();
+    let refs: Vec<(&Path, &str)> = sources.iter().map(|(p, s)| (p.as_path(), s.as_str())).collect();
+    scan_sources(&refs)
 }
 
 #[cfg(test)]
@@ -530,6 +665,16 @@ mod tests {
         assert!(!lines[0].test);
         assert!(lines[3].test, "inside the test module");
         assert!(!lines[5].test, "after the test module closes");
+    }
+
+    #[test]
+    fn lexer_captures_string_literal_contents() {
+        let lines = lex("reg.counter(\"dini_x\", \"desc \\\"q\\\"\");\nlet r = r#\"raw body\"#;\n");
+        assert_eq!(lines[0].strs, vec!["dini_x", "desc \"q\""]);
+        assert_eq!(lines[1].strs, vec!["raw body"]);
+        let multi = lex("let s = \"spans\nlines\";\n");
+        assert_eq!(multi[0].strs, vec!["spans\nlines"], "content lands on the opening line");
+        assert!(multi[1].strs.is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Per-rule fixtures: each rule must fire on its seeded violation and
 //! stay silent once the site carries the documented annotation.
 
-use dini_lint::scan_source;
+use dini_lint::{scan_source, scan_sources};
 use std::path::Path;
 
 fn rules(name: &str, src: &str) -> Vec<&'static str> {
@@ -98,6 +98,55 @@ fn r4_locks_in_hot_path_modules_are_flagged() {
     assert!(rules("crates/x/src/server.rs", bad).is_empty());
     // Imports are inert — only declared/taken locks count.
     assert!(rules("crates/x/src/oneshot.rs", "use crate::sync::{Mutex, RwLock};\n").is_empty());
+}
+
+#[test]
+fn r5_duplicate_metric_name_is_flagged() {
+    let bad = "fn a(m: &MetricsRegistry) {\n    let c = m.counter(\"dini_x_served\");\n}\nfn b(m: &MetricsRegistry) {\n    let c = m.counter(\"dini_x_served\");\n}\n";
+    assert_eq!(rules("crates/x/src/a.rs", bad), vec!["metric-name-dup"]);
+
+    // Distinct names, and a histogram sharing nothing: silent.
+    let good = "fn a(m: &MetricsRegistry) {\n    let c = m.counter(\"dini_x_served\");\n    let h = m.histogram(\"dini_x_latency_ns\");\n}\n";
+    assert!(rules("crates/x/src/a.rs", good).is_empty());
+
+    // One *site* registering many names from a loop is one site.
+    let looped = "fn a(m: &MetricsRegistry) {\n    for s in 0..n {\n        heat.push(m.counter(\"dini_x_heat\"));\n    }\n}\n";
+    assert!(rules("crates/x/src/a.rs", looped).is_empty());
+
+    // A deliberate second site carries the annotation (either end).
+    let annotated = "fn a(m: &MetricsRegistry) {\n    let c = m.counter(\"dini_x_served\");\n}\nfn b(m: &MetricsRegistry) {\n    // lint: metric-name-ok: re-registration after failover reuses the series.\n    let c = m.counter(\"dini_x_served\");\n}\n";
+    assert!(rules("crates/x/src/a.rs", annotated).is_empty());
+}
+
+#[test]
+fn r5_exempts_test_code_and_skips_dynamic_names() {
+    // Test modules and test trees build throwaway registries freely.
+    let in_test_mod = "fn a(m: &MetricsRegistry) {\n    let c = m.counter(\"dini_x_served\");\n}\n#[cfg(test)]\nmod tests {\n    fn t(m: &MetricsRegistry) {\n        let c = m.counter(\"dini_x_served\");\n    }\n}\n";
+    assert!(rules("crates/x/src/a.rs", in_test_mod).is_empty());
+    let in_test_tree = "fn t(m: &MetricsRegistry) {\n    let c = m.counter(\"dini_x_served\");\n    let d = m.counter(\"dini_x_served\");\n}\n";
+    assert!(rules("crates/x/tests/t.rs", in_test_tree).is_empty());
+
+    // A dynamic name is invisible to a lexical tool: no false pairing.
+    let dynamic = "fn a(m: &MetricsRegistry, name: &str) {\n    let c = m.counter(name);\n    let d = m.counter(name);\n}\n";
+    assert!(rules("crates/x/src/a.rs", dynamic).is_empty());
+}
+
+#[test]
+fn r5_spans_files_and_wrapped_calls() {
+    // The same name in two different files is still a duplicate — the
+    // registry is process-global, not per-module.
+    let a = "fn a(m: &MetricsRegistry) {\n    let c = m.counter(\"dini_x_served\");\n}\n";
+    let b = "fn b(m: &MetricsRegistry) {\n    let c = m.counter(\"dini_x_served\");\n}\n";
+    let findings =
+        scan_sources(&[(Path::new("crates/x/src/a.rs"), a), (Path::new("crates/x/src/b.rs"), b)]);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "metric-name-dup");
+    assert_eq!(findings[0].file, Path::new("crates/x/src/b.rs"));
+    assert!(findings[0].message.contains("a.rs:2"), "{}", findings[0].message);
+
+    // rustfmt may wrap the name literal onto the next line.
+    let wrapped = "fn a(m: &MetricsRegistry) {\n    let c = m.counter(\n        \"dini_x_served\",\n    );\n    let d = m.counter(\"dini_x_served\");\n}\n";
+    assert_eq!(rules("crates/x/src/a.rs", wrapped), vec!["metric-name-dup"]);
 }
 
 #[test]

@@ -45,6 +45,7 @@ use crate::transport::{Dialer, Duplex, FrameRx, FrameTx, NetError};
 use crate::wire::{Frame, LookupStatus, StatsMsg, StatusCode, WireOp, WIRE_VERSION};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use dini_cluster::LogHistogram;
+use dini_flight::{EventKind, FlightJournal};
 use dini_obs::{AtomicLogHistogram, StageRecord, TraceConfig, TraceRing};
 use dini_serve::admission::AdmissionQueue;
 use dini_serve::batcher::{collect_batch_into, Request};
@@ -101,8 +102,17 @@ pub struct ClientConfig {
     /// Client-side wire tracing: seeded sampling of per-frame
     /// encoded→acked round trips into per-endpoint rings (the `net:`
     /// stages of the end-to-end trace). On by default;
-    /// [`TraceConfig::disabled`] turns it off.
+    /// [`TraceConfig::disabled`] turns it off. A sampled batch is also
+    /// stamped with a nonzero `trace` id on the wire, so the server's
+    /// stage records for that batch join the client's wire record into
+    /// one causal timeline ([`dini_obs::causal`]).
     pub trace: TraceConfig,
+    /// Crash-safe flight recorder for client lifecycle events
+    /// (elections, endpoint death/rejoin, update resends, shed
+    /// bursts). `None` (the default) records nothing; with a journal,
+    /// every event survives `kill -9` and
+    /// [`dini_flight::read_journal`] replays the crash story.
+    pub flight: Option<Arc<FlightJournal>>,
 }
 
 impl Default for ClientConfig {
@@ -118,6 +128,7 @@ impl Default for ClientConfig {
             log_retention: 16_384,
             clock: Clock::system(),
             trace: TraceConfig::default(),
+            flight: None,
         }
     }
 }
@@ -166,6 +177,10 @@ struct BatchInFlight {
     handles: Vec<ReplyHandle>,
     sent_at: Nanos,
     attempts: u32,
+    /// The causal trace id stamped on the frame (0 = unsampled).
+    /// Resends reuse it — the timeline follows the request, not the
+    /// attempt.
+    trace: u64,
 }
 
 type InFlight = Arc<Mutex<BTreeMap<u64, BatchInFlight>>>;
@@ -246,6 +261,13 @@ struct ClientCore {
 }
 
 impl ClientCore {
+    /// Record one lifecycle event in the flight journal, if configured.
+    fn flight(&self, kind: EventKind, a: u16, b: u32, c: u64) {
+        if let Some(j) = &self.cfg.flight {
+            j.record(kind, a, b, c, 0, self.clock.now());
+        }
+    }
+
     fn fresh_req(&self) -> u64 {
         // ordering: relaxed-ok: unique request-id counter; atomicity only.
         self.next_req.fetch_add(1, Ordering::Relaxed) + 1
@@ -359,7 +381,7 @@ impl ClientCore {
         for (_, b) in drained {
             for (key, handle) in b.keys.into_iter().zip(b.handles) {
                 self.queues[ep].complete(1);
-                if self.reroute(span, ep, Request { key, enqueued: now, reply: handle }) {
+                if self.reroute(span, ep, Request { key, enqueued: now, trace: 0, reply: handle }) {
                     self.rerouted.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -425,6 +447,12 @@ fn run_worker(
             // Mark dead before re-homing (even on teardown — it lets the
             // reader exit on its poll) so nothing re-routes back here.
             core.queues[ep].mark_dead();
+            if exit == ConnExit::Dead {
+                // One record per death, whoever noticed first (reader,
+                // appender stall, or this worker's send failure) — every
+                // dead generation exits through exactly this point.
+                core.flight(EventKind::EndpointDead, core.ep_span[ep] as u16, ep as u32, 0);
+            }
             if exit == ConnExit::Teardown {
                 // Dropping the backlog drop-fills its waiters
                 // `ShuttingDown`; re-homing at teardown would bounce
@@ -503,7 +531,7 @@ fn serve_conn(
                     core.cfg.max_batch,
                     core.cfg.max_delay,
                 );
-                if send_batch(core, tx, batch, in_flight).is_err() {
+                if send_batch(core, ep, tx, batch, in_flight).is_err() {
                     return ConnExit::Dead;
                 }
                 if disconnected {
@@ -513,7 +541,7 @@ fn serve_conn(
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return ConnExit::Teardown,
         }
-        if check_retries(core, tx, in_flight).is_err() {
+        if check_retries(core, ep, tx, in_flight).is_err() {
             return ConnExit::Dead;
         }
     }
@@ -540,6 +568,7 @@ fn revive_handshake(core: &ClientCore, ep: usize, mut duplex: Duplex) -> Option<
             core.span_live[span].store(live_keys, Ordering::SeqCst);
             let _ =
                 core.upd_ack_txs[span].send(EpEvent::Revive { pos: core.ep_pos[ep], seq: log_seq });
+            core.flight(EventKind::EndpointRejoin, span as u16, ep as u32, log_seq);
             Some(duplex)
         }
         _ => None,
@@ -547,8 +576,14 @@ fn revive_handshake(core: &ClientCore, ep: usize, mut duplex: Duplex) -> Option<
 }
 
 /// Assign a request id, record the batch in flight, ship the frame.
+///
+/// A batch the endpoint's wire-trace ring samples is stamped with a
+/// nonzero trace id (derived from the request id, so both sides of the
+/// wire agree without coordination) and `parent` = the flat endpoint
+/// index — the client span the server's stage records hang off.
 fn send_batch(
     core: &ClientCore,
+    ep: usize,
     tx: &mut Box<dyn FrameTx>,
     batch: &mut Vec<Request>,
     in_flight: &InFlight,
@@ -564,13 +599,16 @@ fn send_batch(
         keys.push(r.key);
         handles.push(r.reply);
     }
-    let frame = Frame::Lookup { req, keys: keys.clone() };
+    // `| 1` keeps a sampled id nonzero (0 means untraced on the wire).
+    let trace =
+        if core.wire_traces[ep].sample() { req.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 } else { 0 };
+    let frame = Frame::Lookup { req, trace, parent: ep as u32, keys: keys.clone() };
     // Record before sending: if the send fails, the death path drains
     // this batch out of the map and re-homes it — nothing is stranded.
     in_flight
         .lock()
         .expect("in-flight lock")
-        .insert(req, BatchInFlight { keys, handles, sent_at: now, attempts: 1 });
+        .insert(req, BatchInFlight { keys, handles, sent_at: now, attempts: 1, trace });
     tx.send(&frame).map_err(|_| ())
 }
 
@@ -580,12 +618,13 @@ fn send_batch(
 /// connection that is clearly gone.
 fn check_retries(
     core: &ClientCore,
+    ep: usize,
     tx: &mut Box<dyn FrameTx>,
     in_flight: &InFlight,
 ) -> Result<(), ()> {
     let now = core.clock.now();
     let timeout = dur_ns(core.cfg.retry_timeout);
-    let mut resend: Vec<(u64, Vec<u32>)> = Vec::new();
+    let mut resend: Vec<(u64, u64, Vec<u32>)> = Vec::new();
     {
         let mut map = in_flight.lock().expect("in-flight lock");
         for (req, b) in map.iter_mut() {
@@ -597,12 +636,14 @@ fn check_retries(
             }
             b.attempts += 1;
             b.sent_at = now;
-            resend.push((*req, b.keys.clone()));
+            resend.push((*req, b.trace, b.keys.clone()));
         }
     }
-    for (req, keys) in resend {
+    for (req, trace, keys) in resend {
         core.retries.fetch_add(1, Ordering::Relaxed);
-        if tx.send(&Frame::Lookup { req, keys }).is_err() {
+        // The resend reuses the original trace id: causally it is the
+        // same request, and the reply joins whichever attempt answered.
+        if tx.send(&Frame::Lookup { req, trace, parent: ep as u32, keys }).is_err() {
             return Err(());
         }
     }
@@ -744,6 +785,7 @@ fn run_appender(
         if died {
             epoch += 1;
             core.elections.fetch_add(1, Ordering::Relaxed);
+            core.flight(EventKind::Election, span as u16, 0, epoch);
             let now = clock.now();
             for pos in 0..n {
                 if was_alive[pos] {
@@ -801,6 +843,7 @@ fn run_appender(
                 progress_at[pos] = now;
                 sent[pos] = acked[pos];
                 core.update_resends.fetch_add(1, Ordering::Relaxed);
+                core.flight(EventKind::UpdateResend, span as u16, e as u32, acked[pos] + 1);
             }
             if sent[pos] < last {
                 if sent[pos] == acked[pos] {
@@ -813,7 +856,14 @@ fn run_appender(
                 // buried (or is about to).
                 let from = sent[pos].max(base);
                 let ops: Vec<WireOp> = log.iter().skip((from - base) as usize).copied().collect();
-                let frame = Frame::Update { req: core.fresh_req(), epoch, seq: from + 1, ops };
+                let frame = Frame::Update {
+                    req: core.fresh_req(),
+                    epoch,
+                    seq: from + 1,
+                    trace: 0,
+                    parent: 0,
+                    ops,
+                };
                 if core.ctrl_txs[e].send(frame).is_ok() {
                     sent[pos] = last;
                 }
@@ -892,7 +942,7 @@ fn run_reader(core: Arc<ClientCore>, ep: usize, mut rx: Box<dyn FrameRx>, in_fli
             return;
         }
         match rx.recv_timeout(READER_POLL) {
-            Ok(Frame::Reply { req, results }) => {
+            Ok(Frame::Reply { req, trace: _, parent: _, results }) => {
                 // A duplicate (or retried-and-answered-twice) reply
                 // finds no entry and is dropped here — the "no
                 // duplicated replies" half of the retry contract.
@@ -902,12 +952,14 @@ fn run_reader(core: Arc<ClientCore>, ep: usize, mut rx: Box<dyn FrameRx>, in_fli
                 let served = b.handles.len();
                 // Wire stages: `sent_at` is the frame's encode/send
                 // instant (refreshed on retry, so a retried batch
-                // reports its *answered* attempt's round trip).
+                // reports its *answered* attempt's round trip). The
+                // sampling decision was made at send time (it chose the
+                // frame's trace id); a nonzero id means record.
                 let acked = core.clock.now();
                 core.wire_rtt.record(acked.saturating_sub(b.sent_at));
-                let ring = &core.wire_traces[ep];
-                if ring.sample() {
-                    ring.push(&StageRecord {
+                if b.trace != 0 {
+                    core.wire_traces[ep].push(&StageRecord {
+                        trace: b.trace,
                         shard: span as u16,
                         replica: ep as u16,
                         batch_len: served as u32,
@@ -919,14 +971,19 @@ fn run_reader(core: Arc<ClientCore>, ep: usize, mut rx: Box<dyn FrameRx>, in_fli
                 let base = core.span_base(span);
                 // Positional alignment; a short result list (protocol
                 // corruption) drop-fills the leftovers ShuttingDown.
+                let mut sheds = 0u32;
                 for (handle, res) in b.handles.into_iter().zip(results) {
                     handle.send(match res {
                         LookupStatus::Rank(r) => Ok(base + r),
                         LookupStatus::Shed(shard) => {
+                            sheds += 1;
                             Err(ServeError::Overloaded { shard: shard as usize })
                         }
                         LookupStatus::Shutdown => Err(ServeError::ShuttingDown),
                     });
+                }
+                if sheds > 0 {
+                    core.flight(EventKind::ShedBurst, span as u16, sheds, 0);
                 }
                 core.queues[ep].complete(served);
             }
@@ -1039,7 +1096,7 @@ impl NetHandle {
             return Err(ServeError::ShuttingDown);
         };
         let (slot, handle) = core.pools[span].take();
-        let req = Request { key, enqueued: core.clock.now(), reply: handle };
+        let req = Request { key, enqueued: core.clock.now(), trace: 0, reply: handle };
         let q = &core.queues[eps[choice]];
         if blocking {
             q.submit(req)?;

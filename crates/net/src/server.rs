@@ -101,8 +101,9 @@ impl LogPosition {
 enum Job {
     /// Answer the handshake.
     Map,
-    /// Redeem a lookup batch and ship its reply.
-    Reply { req: u64, pendings: Vec<Result<PendingLookup, ServeError>> },
+    /// Redeem a lookup batch and ship its reply, echoing the frame's
+    /// causal trace context so the client can stitch.
+    Reply { req: u64, trace: u64, parent: u32, pendings: Vec<Result<PendingLookup, ServeError>> },
     /// Acknowledge an acked update, reporting the connection's applied
     /// log position.
     Ack { req: u64, epoch: u64, seq: u64 },
@@ -163,6 +164,7 @@ fn assemble_stats(server: &IndexServer, log: &LogPosition) -> StatsMsg {
         log_epoch: log.get().0,
         log_seq: log.get().1,
         replicas,
+        heat: server.heat_snapshot(),
     }
 }
 
@@ -390,14 +392,17 @@ fn spawn_connection(
                         // One version so far; a future v2 negotiates here.
                         let _ = job_tx.send(Job::Map);
                     }
-                    Frame::Lookup { req, keys } => {
+                    Frame::Lookup { req, trace, parent, keys } => {
                         // Non-blocking submits: remote traffic sheds under
-                        // the same admission control as local callers.
+                        // the same admission control as local callers. The
+                        // frame's trace id rides into each Request, so the
+                        // dispatcher's stage records for this batch carry
+                        // the same id as the client's wire record.
                         let pendings: Vec<Result<PendingLookup, ServeError>> =
-                            keys.iter().map(|&k| handle.begin_lookup(k)).collect();
-                        let _ = job_tx.send(Job::Reply { req, pendings });
+                            keys.iter().map(|&k| handle.begin_lookup_traced(k, trace)).collect();
+                        let _ = job_tx.send(Job::Reply { req, trace, parent, pendings });
                     }
-                    Frame::Update { req, epoch, seq, ops } => {
+                    Frame::Update { req, epoch, seq, trace: _, parent: _, ops } => {
                         // Strict in-order apply from the cursor: a
                         // duplicate or overlapping suffix is trimmed, a
                         // frame opening past `applied + 1` (a gap) is
@@ -478,7 +483,7 @@ fn spawn_connection(
                         log_epoch: init_log.0,
                         log_seq: init_log.1,
                     },
-                    Job::Reply { req, pendings } => {
+                    Job::Reply { req, trace, parent, pendings } => {
                         let results: Vec<LookupStatus> = pendings
                             .into_iter()
                             .map(|p| {
@@ -495,7 +500,7 @@ fn spawn_connection(
                                 }
                             })
                             .collect();
-                        Frame::Reply { req, results }
+                        Frame::Reply { req, trace, parent, results }
                     }
                     Job::Ack { req, epoch, seq } => Frame::UpdateAck { req, epoch, seq },
                     Job::QuiesceAck { req } => Frame::QuiesceAck {
@@ -564,9 +569,9 @@ mod tests {
         }
 
         let queries = vec![0u32, 5, 19_998, u32::MAX];
-        c.tx.send(&Frame::Lookup { req: 9, keys: queries.clone() }).unwrap();
+        c.tx.send(&Frame::Lookup { req: 9, trace: 0, parent: 0, keys: queries.clone() }).unwrap();
         match c.rx.recv_timeout(SEC).unwrap() {
-            Frame::Reply { req, results } => {
+            Frame::Reply { req, results, .. } => {
                 assert_eq!(req, 9);
                 let expect: Vec<LookupStatus> = queries
                     .iter()
@@ -595,7 +600,8 @@ mod tests {
         let server = NetServer::start(Box::new(acc), &keys, cfg("srv"));
 
         let mut c = net.dialer().dial("srv").unwrap();
-        c.tx.send(&Frame::Lookup { req: 1, keys: vec![0, 100, 9_999] }).unwrap();
+        c.tx.send(&Frame::Lookup { req: 1, trace: 0, parent: 0, keys: vec![0, 100, 9_999] })
+            .unwrap();
         let _ = c.rx.recv_timeout(SEC).unwrap();
         c.tx.send(&Frame::StatsRequest { req: 2 }).unwrap();
         match c.rx.recv_timeout(SEC).unwrap() {
@@ -630,6 +636,8 @@ mod tests {
             req: 0,
             epoch: 1,
             seq: 1,
+            trace: 0,
+            parent: 0,
             ops: vec![WireOp::Insert(1), WireOp::Delete(0)],
         })
         .unwrap();
@@ -642,7 +650,7 @@ mod tests {
             other => panic!("expected QuiesceAck, got {other:?}"),
         }
         assert_eq!(server.log_position(), (1, 2), "two log records applied at epoch 1");
-        c.tx.send(&Frame::Lookup { req: 4, keys: vec![1] }).unwrap();
+        c.tx.send(&Frame::Lookup { req: 4, trace: 0, parent: 0, keys: vec![1] }).unwrap();
         match c.rx.recv_timeout(SEC).unwrap() {
             Frame::Reply { results, .. } => {
                 assert_eq!(results, vec![LookupStatus::Rank(1)], "{{1}} ≤ 1 after churn");
@@ -677,6 +685,8 @@ mod tests {
                 req: 1,
                 epoch: 1,
                 seq: 1,
+                trace: 0,
+                parent: 0,
                 ops: vec![
                     WireOp::Insert(1),
                     WireOp::Insert(3),
@@ -718,6 +728,8 @@ mod tests {
             req: 3,
             epoch: 1,
             seq: 3,
+            trace: 0,
+            parent: 0,
             ops: vec![
                 WireOp::Delete(0), // seq 3: duplicate, trimmed
                 WireOp::Insert(5), // seq 4: duplicate, trimmed
@@ -743,7 +755,7 @@ mod tests {
         }
         mirror.insert(7);
         let probe = vec![0u32, 1, 3, 4, 5, 7, 8, 4_000, u32::MAX];
-        c.tx.send(&Frame::Lookup { req: 5, keys: probe.clone() }).unwrap();
+        c.tx.send(&Frame::Lookup { req: 5, trace: 0, parent: 0, keys: probe.clone() }).unwrap();
         match c.rx.recv_timeout(SEC).unwrap() {
             Frame::Reply { results, .. } => {
                 let expect: Vec<LookupStatus> = probe
@@ -826,7 +838,7 @@ mod tests {
             other => panic!("expected ShardMap, got {other:?}"),
         }
         // Span-local ranks: the hi-span server counts only its own keys.
-        c.tx.send(&Frame::Lookup { req: 1, keys: vec![u32::MAX] }).unwrap();
+        c.tx.send(&Frame::Lookup { req: 1, trace: 0, parent: 0, keys: vec![u32::MAX] }).unwrap();
         match c.rx.recv_timeout(SEC).unwrap() {
             Frame::Reply { results, .. } => {
                 assert_eq!(results, vec![LookupStatus::Rank(hi_keys.len() as u32)]);

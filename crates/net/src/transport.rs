@@ -665,10 +665,11 @@ mod tests {
         });
         let mut c = TcpDialer.dial(&addr).unwrap();
         // Two frames in one write: the reassembly buffer must split them.
-        c.tx.send(&Frame::Lookup { req: 1, keys: (0..500).collect() }).unwrap();
+        c.tx.send(&Frame::Lookup { req: 1, trace: 0, parent: 0, keys: (0..500).collect() })
+            .unwrap();
         c.tx.send(&Frame::EpochPing { req: 2 }).unwrap();
         let (f1, f2) = t.join().unwrap();
-        assert_eq!(f1, Frame::Lookup { req: 1, keys: (0..500).collect() });
+        assert_eq!(f1, Frame::Lookup { req: 1, trace: 0, parent: 0, keys: (0..500).collect() });
         assert_eq!(f2, Frame::EpochPing { req: 2 });
         assert_eq!(
             c.rx.recv_timeout(SEC).unwrap(),

@@ -34,8 +34,10 @@
 /// replicated churn log's epoch and sequence fields. Version 3 added the
 /// server's recovered churn-log watermark to [`Frame::ShardMap`], so a
 /// client (re)joining a snapshot-restarted span knows which log suffix
-/// to replay.
-pub const WIRE_VERSION: u8 = 3;
+/// to replay. Version 4 added the causal trace context (`trace` +
+/// `parent`) to [`Frame::Lookup`] / [`Frame::Update`] / [`Frame::Reply`]
+/// and the key-range heat counters to [`Frame::StatsReply`].
+pub const WIRE_VERSION: u8 = 4;
 
 /// Upper bound on the post-prefix length of one frame (16 MiB): a
 /// corrupt or hostile length prefix is rejected before any allocation.
@@ -166,6 +168,10 @@ pub struct StatsMsg {
     pub log_seq: u64,
     /// Per-replica split, replica-major (shard-major outer order).
     pub replicas: Vec<ReplicaStatsMsg>,
+    /// Key-range heat counters, shard-major:
+    /// `heat[shard * HEAT_BUCKETS + bucket]` lookups landed in that
+    /// top-key-bits bucket. Empty when heat telemetry is off.
+    pub heat: Vec<u64>,
 }
 
 /// One span of the shard map: a contiguous slice of the key space and
@@ -208,6 +214,14 @@ pub enum Frame {
     Lookup {
         /// Request id replies (and retries) are matched on.
         req: u64,
+        /// Causal trace id stamped by the originating client; 0 when the
+        /// request was not sampled. Retries reuse the original id, so
+        /// one logical request is one timeline across failovers.
+        trace: u64,
+        /// The client-side span that emitted this frame (its slot in the
+        /// client's wire trace ring), so a stitcher can parent the
+        /// server's stage records under the exact client hop.
+        parent: u32,
         /// The batch, in submission order.
         keys: Vec<u32>,
     },
@@ -215,6 +229,10 @@ pub enum Frame {
     Reply {
         /// The request id being answered.
         req: u64,
+        /// The lookup's trace id, echoed verbatim (0 = untraced).
+        trace: u64,
+        /// The lookup's parent span, echoed verbatim.
+        parent: u32,
         /// One status per key, in the batch's order.
         results: Vec<LookupStatus>,
     },
@@ -230,6 +248,11 @@ pub enum Frame {
         /// Log sequence number of `ops[0]`; sequences start at 1. An
         /// empty `ops` is a pure log-position probe.
         seq: u64,
+        /// Causal trace id stamped by the appender (0 = unsampled);
+        /// resends reuse the original id.
+        trace: u64,
+        /// The appender-side parent span for the stitcher.
+        parent: u32,
         /// The log records, applied in order.
         ops: Vec<WireOp>,
     },
@@ -358,15 +381,19 @@ impl Frame {
                     }
                 }
             }
-            Frame::Lookup { req, keys } => {
+            Frame::Lookup { req, trace, parent, keys } => {
                 put_u64(buf, *req);
+                put_u64(buf, *trace);
+                put_u32(buf, *parent);
                 put_u32(buf, keys.len() as u32);
                 for &k in keys {
                     put_u32(buf, k);
                 }
             }
-            Frame::Reply { req, results } => {
+            Frame::Reply { req, trace, parent, results } => {
                 put_u64(buf, *req);
+                put_u64(buf, *trace);
+                put_u32(buf, *parent);
                 put_u32(buf, results.len() as u32);
                 for r in results {
                     match r {
@@ -385,10 +412,12 @@ impl Frame {
                     }
                 }
             }
-            Frame::Update { req, epoch, seq, ops } => {
+            Frame::Update { req, epoch, seq, trace, parent, ops } => {
                 put_u64(buf, *req);
                 put_u64(buf, *epoch);
                 put_u64(buf, *seq);
+                put_u64(buf, *trace);
+                put_u32(buf, *parent);
                 put_u32(buf, ops.len() as u32);
                 for op in ops {
                     match op {
@@ -449,6 +478,10 @@ impl Frame {
                     put_u64(buf, r.depth);
                     put_u64(buf, r.served);
                 }
+                put_u16(buf, stats.heat.len() as u16);
+                for &h in &stats.heat {
+                    put_u64(buf, h);
+                }
             }
         }
         let len = (buf.len() - start - 4) as u32;
@@ -500,6 +533,8 @@ impl Frame {
             }
             KIND_LOOKUP => {
                 let req = c.u64()?;
+                let trace = c.u64()?;
+                let parent = c.u32()?;
                 let n = c.u32()? as usize;
                 if n.checked_mul(4).is_none_or(|bytes| bytes > c.remaining()) {
                     return Err(WireError::Truncated);
@@ -508,10 +543,12 @@ impl Frame {
                 for _ in 0..n {
                     keys.push(c.u32()?);
                 }
-                Frame::Lookup { req, keys }
+                Frame::Lookup { req, trace, parent, keys }
             }
             KIND_REPLY => {
                 let req = c.u64()?;
+                let trace = c.u64()?;
+                let parent = c.u32()?;
                 let n = c.u32()? as usize;
                 if n.checked_mul(5).is_none_or(|bytes| bytes > c.remaining()) {
                     return Err(WireError::Truncated);
@@ -527,12 +564,14 @@ impl Frame {
                         t => return Err(WireError::BadTag(t)),
                     });
                 }
-                Frame::Reply { req, results }
+                Frame::Reply { req, trace, parent, results }
             }
             KIND_UPDATE => {
                 let req = c.u64()?;
                 let epoch = c.u64()?;
                 let seq = c.u64()?;
+                let trace = c.u64()?;
+                let parent = c.u32()?;
                 let n = c.u32()? as usize;
                 if n.checked_mul(5).is_none_or(|bytes| bytes > c.remaining()) {
                     return Err(WireError::Truncated);
@@ -547,7 +586,7 @@ impl Frame {
                         t => return Err(WireError::BadTag(t)),
                     });
                 }
-                Frame::Update { req, epoch, seq, ops }
+                Frame::Update { req, epoch, seq, trace, parent, ops }
             }
             KIND_UPDATE_ACK => Frame::UpdateAck { req: c.u64()?, epoch: c.u64()?, seq: c.u64()? },
             KIND_QUIESCE => Frame::Quiesce { req: c.u64()? },
@@ -585,6 +624,14 @@ impl Frame {
                         served: c.u64()?,
                     });
                 }
+                let n_heat = c.u16()? as usize;
+                if n_heat.checked_mul(8).is_none_or(|bytes| bytes > c.remaining()) {
+                    return Err(WireError::Truncated);
+                }
+                let mut heat = Vec::with_capacity(n_heat);
+                for _ in 0..n_heat {
+                    heat.push(c.u64()?);
+                }
                 let [served, admitted, shed, rerouted, batches, snapshots, merges, live_keys, p50_ns, p99_ns, p999_ns, trace_records, stage_wait_ns, stage_service_ns, stage_fill_ns, log_epoch, log_seq] =
                     scalars;
                 Frame::StatsReply {
@@ -608,6 +655,7 @@ impl Frame {
                         log_epoch,
                         log_seq,
                         replicas,
+                        heat,
                     }),
                 }
             }
@@ -690,18 +738,28 @@ mod tests {
             log_epoch: 5,
             log_seq: 9_001,
         });
-        round_trip(Frame::Lookup { req: 7, keys: vec![1, 2, u32::MAX] });
+        round_trip(Frame::Lookup {
+            req: 7,
+            trace: u64::MAX,
+            parent: 3,
+            keys: vec![1, 2, u32::MAX],
+        });
+        round_trip(Frame::Lookup { req: 7, trace: 0, parent: 0, keys: vec![] });
         round_trip(Frame::Reply {
             req: 7,
+            trace: 0xDEAD_BEEF,
+            parent: u32::MAX,
             results: vec![LookupStatus::Rank(9), LookupStatus::Shed(3), LookupStatus::Shutdown],
         });
         round_trip(Frame::Update {
             req: 0,
             epoch: 1,
             seq: 42,
+            trace: 11,
+            parent: 2,
             ops: vec![WireOp::Insert(4), WireOp::Delete(9)],
         });
-        round_trip(Frame::Update { req: 3, epoch: 2, seq: 7, ops: vec![] });
+        round_trip(Frame::Update { req: 3, epoch: 2, seq: 7, trace: 0, parent: 0, ops: vec![] });
         round_trip(Frame::UpdateAck { req: 8, epoch: 2, seq: u64::MAX });
         round_trip(Frame::Quiesce { req: 9 });
         round_trip(Frame::QuiesceAck { req: 9, live_keys: 10, snapshots: 11 });
@@ -733,6 +791,7 @@ mod tests {
                     ReplicaStatsMsg { shard: 0, replica: 0, depth: 3, served: 100 },
                     ReplicaStatsMsg { shard: 1, replica: 1, depth: 0, served: u64::MAX },
                 ],
+                heat: vec![0, 7, u64::MAX, 3],
             }),
         });
         round_trip(Frame::StatsReply { req: 0, stats: Box::default() });
@@ -752,8 +811,22 @@ mod tests {
     }
 
     #[test]
+    fn stats_reply_heat_count_cannot_drive_allocation() {
+        // Zero replicas, then a heat count of u16::MAX with nothing
+        // behind it: the 8-byte-per-entry guard must reject first.
+        let mut bytes = vec![WIRE_VERSION, KIND_STATS_REPLY];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        for _ in 0..17 {
+            bytes.extend_from_slice(&0u64.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
     fn truncation_is_an_error_not_a_panic() {
-        let bytes = Frame::Lookup { req: 1, keys: vec![1, 2, 3, 4] }.encode();
+        let bytes = Frame::Lookup { req: 1, trace: 5, parent: 1, keys: vec![1, 2, 3, 4] }.encode();
         for cut in 4..bytes.len() {
             assert!(Frame::decode(&bytes[4..cut]).is_err(), "cut at {cut} must not decode");
         }
@@ -764,7 +837,9 @@ mod tests {
         // A Lookup claiming u32::MAX keys with a 4-byte body: the count
         // guard must reject it before any Vec::with_capacity.
         let mut bytes = vec![WIRE_VERSION, KIND_LOOKUP];
-        bytes.extend_from_slice(&77u64.to_le_bytes());
+        bytes.extend_from_slice(&77u64.to_le_bytes()); // req
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // trace
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // parent
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         bytes.extend_from_slice(&[1, 2, 3, 4]);
         assert_eq!(Frame::decode(&bytes), Err(WireError::Truncated));

@@ -3,7 +3,12 @@
 //! truncation, mutation, garbage — can make the decoder panic or
 //! allocate unboundedly. The decoder is the one part of the system that
 //! reads bytes written by somebody else; it must be total.
+//!
+//! The flight-journal entry codec lives under the same contract — its
+//! bytes are read back by a *different process* after a crash — so its
+//! properties ride along here.
 
+use dini_flight::{decode_entry, encode_entry, FlightEvent, ENTRY_BYTES};
 use dini_net::wire::{
     frame_len, Frame, LookupStatus, ReplicaStatsMsg, SpanMsg, StatsMsg, StatusCode, WireOp,
     MAX_FRAME_LEN,
@@ -34,6 +39,25 @@ fn wire_op() -> impl Strategy<Value = WireOp> {
     prop_oneof![any::<u32>().prop_map(WireOp::Insert), any::<u32>().prop_map(WireOp::Delete)]
 }
 
+/// Any journal entry a writer could produce (seq 0 means "empty slot",
+/// so valid entries start at 1).
+fn flight_event() -> impl Strategy<Value = FlightEvent> {
+    (
+        (1u64..=u64::MAX, any::<u64>()),
+        (any::<u16>(), any::<u16>(), any::<u32>()),
+        (any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|((seq, time_ns), (kind, a, b), (c, d))| FlightEvent {
+            seq,
+            time_ns,
+            kind,
+            a,
+            b,
+            c,
+            d,
+        })
+}
+
 fn replica_stats_msg() -> impl Strategy<Value = ReplicaStatsMsg> {
     (any::<u16>(), any::<u16>(), any::<u64>(), any::<u64>()).prop_map(
         |(shard, replica, depth, served)| ReplicaStatsMsg { shard, replica, depth, served },
@@ -41,8 +65,12 @@ fn replica_stats_msg() -> impl Strategy<Value = ReplicaStatsMsg> {
 }
 
 fn stats_msg() -> impl Strategy<Value = StatsMsg> {
-    (prop_vec(any::<u64>(), 17), prop_vec(replica_stats_msg(), 0..24)).prop_map(|(s, replicas)| {
-        StatsMsg {
+    (
+        prop_vec(any::<u64>(), 17),
+        prop_vec(replica_stats_msg(), 0..24),
+        prop_vec(any::<u64>(), 0..64),
+    )
+        .prop_map(|(s, replicas, heat)| StatsMsg {
             served: s[0],
             admitted: s[1],
             shed: s[2],
@@ -61,8 +89,8 @@ fn stats_msg() -> impl Strategy<Value = StatsMsg> {
             log_epoch: s[15],
             log_seq: s[16],
             replicas,
-        }
-    })
+            heat,
+        })
 }
 
 /// Every frame kind, with arbitrary payloads.
@@ -77,12 +105,23 @@ fn frame() -> impl Strategy<Value = Frame> {
                 log_epoch,
                 log_seq,
             }),
-        (any::<u64>(), prop_vec(any::<u32>(), 0..300))
-            .prop_map(|(req, keys)| Frame::Lookup { req, keys }),
-        (any::<u64>(), prop_vec(lookup_status(), 0..300))
-            .prop_map(|(req, results)| Frame::Reply { req, results }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), prop_vec(wire_op(), 0..100))
-            .prop_map(|(req, epoch, seq, ops)| Frame::Update { req, epoch, seq, ops }),
+        (any::<u64>(), any::<u64>(), any::<u32>(), prop_vec(any::<u32>(), 0..300))
+            .prop_map(|(req, trace, parent, keys)| Frame::Lookup { req, trace, parent, keys }),
+        (any::<u64>(), any::<u64>(), any::<u32>(), prop_vec(lookup_status(), 0..300))
+            .prop_map(|(req, trace, parent, results)| Frame::Reply { req, trace, parent, results }),
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u32>()),
+            prop_vec(wire_op(), 0..100)
+        )
+            .prop_map(|((req, epoch, seq), (trace, parent), ops)| Frame::Update {
+                req,
+                epoch,
+                seq,
+                trace,
+                parent,
+                ops
+            }),
         (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(req, epoch, seq)| Frame::UpdateAck {
             req,
             epoch,
@@ -150,14 +189,42 @@ proptest! {
 
     #[test]
     fn reply_statuses_preserve_order_and_payloads(statuses in prop_vec(lookup_status(), 0..600)) {
-        let f = Frame::Reply { req: 7, results: statuses.clone() };
+        let f = Frame::Reply { req: 7, trace: 9, parent: 2, results: statuses.clone() };
         let bytes = f.encode();
         match Frame::decode(&bytes[4..]).expect("round trip") {
-            Frame::Reply { req, results } => {
-                prop_assert_eq!(req, 7);
+            Frame::Reply { req, trace, parent, results } => {
+                prop_assert_eq!((req, trace, parent), (7, 9, 2));
                 prop_assert_eq!(results, statuses);
             }
             other => prop_assert!(false, "wrong kind back: {:?}", other),
         }
+    }
+
+    #[test]
+    fn journal_entries_round_trip_bit_exactly(ev in flight_event()) {
+        let bytes = encode_entry(&ev);
+        prop_assert_eq!(decode_entry(&bytes), Some(ev));
+    }
+
+    #[test]
+    fn corrupted_journal_entries_are_rejected_not_misread(
+        ev in flight_event(),
+        pos in 0usize..ENTRY_BYTES,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = encode_entry(&ev);
+        bytes[pos] ^= 1 << bit;
+        prop_assert_eq!(
+            decode_entry(&bytes),
+            None,
+            "a single flipped bit anywhere in the slot must fail the checksum"
+        );
+    }
+
+    #[test]
+    fn random_journal_slots_never_panic(bytes in prop_vec(any::<u8>(), 0..128)) {
+        // Wrong lengths and garbage alike: the call returning is the
+        // property (an accidental checksum match is a 2^-64 event).
+        let _ = decode_entry(&bytes);
     }
 }

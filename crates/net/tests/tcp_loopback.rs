@@ -6,7 +6,8 @@
 
 use dini_net::transport::{TcpAcceptorT, TcpDialer};
 use dini_net::{Acceptor, ClientConfig, NetServer, NetServerConfig, RemoteClient, Span, Topology};
-use dini_serve::{ServeConfig, ServeError};
+use dini_obs::stitch;
+use dini_serve::{ServeConfig, ServeError, TraceConfig};
 use dini_workload::{ChurnGen, KeyDistribution, Op, OpMix};
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -247,6 +248,59 @@ fn live_stats_poll_agrees_with_client_accounting() {
     assert!(rtt.count() > 0, "wire RTT histogram must have samples");
     for t in handle.wire_traces() {
         assert!(t.acked_ns >= t.encoded_ns, "wire stages must be ordered");
+    }
+
+    drop(handle);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn dense_tracing_stitches_monotone_timelines_over_tcp() {
+    // The causal-tracing story over a real kernel socket: every frame
+    // traced on both sides, then the client's wire records and the
+    // server's stage records stitched on the shared trace id. Both
+    // processes live here, so `Clock::system()`'s process-wide anchor
+    // makes the two record sets directly comparable, and each timeline
+    // must be monotone — encoded before admitted, answered before acked
+    // — with real wire time in between.
+    let keys: Vec<u32> = (0..20_000u32).map(|i| i * 4).collect();
+    let (acceptor, addr) = bound_acceptor();
+    let dense = TraceConfig { capacity: 4096, sample_period: 1, seed: 0x5EED };
+    let mut serve = serve_cfg(2);
+    serve.trace = dense.clone();
+    let server = NetServer::start(
+        Box::new(acceptor),
+        &keys,
+        NetServerConfig::new(serve, Topology::single(vec![addr.clone()]), 0),
+    );
+    let cfg = ClientConfig { trace: dense, ..ClientConfig::default() };
+    let client = RemoteClient::connect(Box::new(TcpDialer), &addr, cfg).expect("connect");
+    let handle = client.handle();
+
+    for i in 0..400u32 {
+        let q = i.wrapping_mul(2_654_435_761) % 100_000;
+        let want = keys.partition_point(|&k| k <= q) as u32;
+        assert_eq!(handle.lookup(q), Ok(want), "rank({q}) over TCP");
+    }
+
+    let client_recs = handle.wire_traces();
+    let server_recs = server.server().stage_traces();
+    let timelines = stitch(&client_recs, &server_recs);
+    assert!(
+        !timelines.is_empty(),
+        "dense tracing over TCP stitched no timeline ({} client wire records, {} server \
+         stage records)",
+        client_recs.len(),
+        server_recs.len()
+    );
+    for t in &timelines {
+        assert!(
+            t.monotone(),
+            "stitched TCP timeline for trace {:#x} is not monotone: {t:?}",
+            t.trace
+        );
+        assert!(t.total_ns() > 0, "a TCP round trip takes nonzero wall time");
     }
 
     drop(handle);

@@ -62,7 +62,7 @@ fn ctrl_retry_fills_waiter_once_and_strays_are_dropped() {
                     let live_keys = if quiesce_done { 7 } else { 0 };
                     conn.tx.send(&Frame::EpochPong { req, live_keys, snapshots: 0 }).expect("pong");
                 }
-                Frame::Update { req, epoch, seq, ops } => {
+                Frame::Update { req, epoch, seq, ops, .. } => {
                     if seq == applied + 1 {
                         applied += ops.len() as u64;
                     }

@@ -19,6 +19,16 @@
 //!   mirror `dini-cluster`'s `LogHistogram` bin layout and fold into
 //!   plain histograms only at snapshot time. A [`MetricsSnapshot`]
 //!   serializes to both JSON and Prometheus-style text exposition.
+//! * [`causal`] — **cross-process stitching**: join the client-side
+//!   wire record and server-side stage record that share one trace id
+//!   into a [`CausalTimeline`] with per-hop wire/wait/service/fill
+//!   breakdown and a monotonicity check the simtest oracles enforce.
+//! * [`heat`] — **key-range heat**: a [`HeatMap`] of per-shard
+//!   fixed-bucket access counters (relaxed increments, zero-alloc on
+//!   the read path) showing where in the keyspace load lands — the
+//!   telemetry elastic shard splits and hot-key caches steer by.
+//! * [`rate`] — [`Meter`]: windowed per-second rates from successive
+//!   polls of the monotone counters everything above exposes.
 //! * [`host`] — host context capture (core count, CPU model) so bench
 //!   artifacts record *what machine* produced them.
 //!
@@ -30,11 +40,17 @@
 
 #![warn(missing_docs)]
 
+pub mod causal;
+pub mod heat;
 pub mod host;
 pub mod metrics;
+pub mod rate;
 pub(crate) mod sync;
 pub mod trace;
 
+pub use causal::{stitch, CausalTimeline};
+pub use heat::{HeatMap, HEAT_BUCKETS};
 pub use host::{host_context, HostContext};
 pub use metrics::{AtomicLogHistogram, Counter, MetricsRegistry, MetricsSnapshot};
+pub use rate::Meter;
 pub use trace::{StageRecord, TraceConfig, TraceRing};

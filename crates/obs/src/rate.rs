@@ -1,0 +1,86 @@
+//! Windowed per-second rates from monotone counters.
+//!
+//! Everything the registry and the wire expose is an all-time counter —
+//! the right primitive to transport (monotone, mergeable, restart-
+//! detectable) but the wrong thing to *show*: a `dini_top` screen wants
+//! "lookups per second right now", not "lookups since boot". A
+//! [`Meter`] turns successive `(timestamp, counter)` polls into the
+//! rate over the last window, tolerating counter resets (a restarted
+//! process re-primes instead of reporting a huge negative spike).
+
+/// Per-second rate over the window between two successive polls of one
+/// monotone counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Meter {
+    /// Last accepted poll: `(t_ns, count)`. `None` until primed.
+    prev: Option<(u64, u64)>,
+    rate: f64,
+}
+
+impl Meter {
+    /// An unprimed meter; rate reads 0 until two polls land.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one poll of the counter at `t_ns` (any timeline, as long as
+    /// it is the same one every poll). Returns the updated per-second
+    /// rate: the delta over the window just closed, or the previous
+    /// rate when the window is empty (`t_ns` did not advance). A
+    /// counter that went *backwards* re-primes the meter — that is a
+    /// restart, not a negative rate.
+    pub fn observe(&mut self, t_ns: u64, count: u64) -> f64 {
+        match self.prev {
+            Some((t0, c0)) if count >= c0 && t_ns > t0 => {
+                self.rate = (count - c0) as f64 / ((t_ns - t0) as f64 / 1e9);
+                self.prev = Some((t_ns, count));
+            }
+            Some((_, c0)) if count < c0 => {
+                // Counter reset (process restart): re-prime.
+                self.prev = Some((t_ns, count));
+                self.rate = 0.0;
+            }
+            Some(_) => {} // empty window: keep the last rate
+            None => self.prev = Some((t_ns, count)),
+        }
+        self.rate
+    }
+
+    /// The rate the last closed window measured (0 until primed).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn rate_is_delta_over_window() {
+        let mut m = Meter::new();
+        assert_eq!(m.observe(0, 100), 0.0, "first poll only primes");
+        assert_eq!(m.observe(SEC, 600), 500.0);
+        assert_eq!(m.observe(3 * SEC, 1_600), 500.0, "2 s window, 1000 events");
+        assert_eq!(m.rate(), 500.0);
+    }
+
+    #[test]
+    fn empty_window_keeps_the_last_rate() {
+        let mut m = Meter::new();
+        m.observe(0, 0);
+        m.observe(SEC, 250);
+        assert_eq!(m.observe(SEC, 999), 250.0, "same timestamp: window not closed");
+    }
+
+    #[test]
+    fn counter_reset_reprimes_instead_of_spiking() {
+        let mut m = Meter::new();
+        m.observe(0, 1_000);
+        m.observe(SEC, 2_000);
+        assert_eq!(m.observe(2 * SEC, 50), 0.0, "restart detected");
+        assert_eq!(m.observe(3 * SEC, 150), 100.0, "rates resume from the new baseline");
+    }
+}

@@ -2,7 +2,8 @@
 //! stage, recorded without locks or allocation.
 //!
 //! A sampled request leaves a [`StageRecord`] — seven stage timestamps
-//! packed into eight words — in a pre-allocated [`TraceRing`]. Rings
+//! plus a causal trace id packed into nine words — in a pre-allocated
+//! [`TraceRing`]. Rings
 //! are **single-writer** (one per dispatcher / client reader, the
 //! thread that already owns the request's lifecycle), so writes are
 //! plain atomic stores guarded by a per-slot seqlock version; readers
@@ -21,9 +22,9 @@
 
 use crate::sync::{fence, AtomicU64, Ordering};
 
-/// Words per trace slot: one packed id/shape word plus seven stage
-/// timestamps.
-const WORDS: usize = 8;
+/// Words per trace slot: one packed id/shape word, the causal trace id,
+/// and seven stage timestamps.
+const WORDS: usize = 9;
 
 /// How many times a snapshot re-reads a slot it caught mid-write
 /// before skipping it.
@@ -82,6 +83,10 @@ pub struct StageRecord {
     pub replica: u16,
     /// Size of the departed batch this request rode in.
     pub batch_len: u32,
+    /// Causal trace id shared by every record of one wire request
+    /// (client wire record and server stage records alike); `0` means
+    /// untraced (a local caller, or a pre-v4 peer). See [`crate::causal`].
+    pub trace: u64,
     /// Enqueued into an admission queue (serving).
     pub admitted_ns: u64,
     /// Its batch finished coalescing (serving).
@@ -102,6 +107,7 @@ impl StageRecord {
     fn pack(&self) -> [u64; WORDS] {
         [
             u64::from(self.shard) | u64::from(self.replica) << 16 | u64::from(self.batch_len) << 32,
+            self.trace,
             self.admitted_ns,
             self.collected_ns,
             self.dispatched_ns,
@@ -117,13 +123,14 @@ impl StageRecord {
             shard: w[0] as u16,
             replica: (w[0] >> 16) as u16,
             batch_len: (w[0] >> 32) as u32,
-            admitted_ns: w[1],
-            collected_ns: w[2],
-            dispatched_ns: w[3],
-            answered_ns: w[4],
-            filled_ns: w[5],
-            encoded_ns: w[6],
-            acked_ns: w[7],
+            trace: w[1],
+            admitted_ns: w[2],
+            collected_ns: w[3],
+            dispatched_ns: w[4],
+            answered_ns: w[5],
+            filled_ns: w[6],
+            encoded_ns: w[7],
+            acked_ns: w[8],
         }
     }
 
@@ -227,7 +234,7 @@ impl TraceRing {
     }
 
     /// Write one record (single-writer). Wait-free, allocation-free:
-    /// a version bump, eight stores, a version bump.
+    /// a version bump, nine stores, a version bump.
     pub fn push(&self, rec: &StageRecord) {
         if self.slots.is_empty() {
             return;
@@ -302,6 +309,7 @@ mod tests {
             shard: (i % 7) as u16,
             replica: (i % 3) as u16,
             batch_len: 10 + i as u32,
+            trace: i | 1,
             admitted_ns: i * 100,
             collected_ns: i * 100 + 10,
             dispatched_ns: i * 100 + 11,
@@ -318,6 +326,7 @@ mod tests {
             shard: 513,
             replica: 7,
             batch_len: u32::MAX,
+            trace: u64::MAX,
             admitted_ns: u64::MAX,
             collected_ns: 1,
             dispatched_ns: 2,

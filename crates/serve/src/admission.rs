@@ -197,7 +197,7 @@ mod tests {
     fn req(key: u32) -> Request {
         // The waiter half is dropped: these tests never reap replies.
         let (_slot, handle) = reply_pair();
-        Request { key, enqueued: Clock::system().now(), reply: handle }
+        Request { key, enqueued: Clock::system().now(), trace: 0, reply: handle }
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct Request {
     /// [`Clock`] time (for latency accounting: reply time − enqueue time
     /// includes coalescing delay).
     pub enqueued: Nanos,
+    /// Causal trace id stamped by the transport layer (0 = untraced):
+    /// carried through the batch so the dispatcher's sampled
+    /// [`StageRecord`](dini_obs::StageRecord)s join the client's wire
+    /// records into one cross-process timeline.
+    pub trace: u64,
     /// Where the rank goes: the filler half of a pooled oneshot slot.
     /// Dropping it unsent signals `ShuttingDown` to the waiter.
     pub reply: ReplyHandle,
@@ -100,7 +105,7 @@ mod tests {
 
     fn req(key: u32) -> (Request, ReplySlot) {
         let (slot, handle) = reply_pair();
-        (Request { key, enqueued: Clock::system().now(), reply: handle }, slot)
+        (Request { key, enqueued: Clock::system().now(), trace: 0, reply: handle }, slot)
     }
 
     #[test]

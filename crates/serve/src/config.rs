@@ -2,8 +2,10 @@
 
 use crate::clock::Clock;
 use crate::faults::ServeFaultPlan;
+use dini_flight::FlightJournal;
 use dini_obs::TraceConfig;
 use dini_store::StorePlan;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration for [`IndexServer`](crate::IndexServer).
@@ -71,6 +73,16 @@ pub struct ServeConfig {
     /// [`IndexServer::build_recovered`](crate::IndexServer::build_recovered)
     /// restarts by *mapping* the file instead of sorting.
     pub store: Option<StorePlan>,
+    /// Key-range heat telemetry (see [`dini_obs::heat`]): per-shard
+    /// fixed-bucket access counters bumped once per lookup at admission.
+    /// **On by default** — one relaxed `fetch_add` per lookup, no
+    /// allocation (pinned by `tests/zero_alloc.rs`).
+    pub heat: bool,
+    /// Crash-safe flight recorder for writer lifecycle events
+    /// (checkpoint begin/ok/fail, epoch swaps). `None` (the default)
+    /// records nothing; with a journal, every event survives `kill -9`
+    /// and [`dini_flight::read_journal`] replays the crash story.
+    pub flight: Option<Arc<FlightJournal>>,
 }
 
 impl ServeConfig {
@@ -93,6 +105,8 @@ impl ServeConfig {
             faults: ServeFaultPlan::none(),
             trace: TraceConfig::default(),
             store: None,
+            heat: true,
+            flight: None,
         }
     }
 

@@ -117,7 +117,12 @@ pub use stats::{ReplicaMetrics, ServeStats, ShardStats};
 
 // Observability vocabulary re-exported so serving callers can configure
 // tracing and consume snapshots without naming the obs crate.
-pub use dini_obs::{MetricsSnapshot, StageRecord, TraceConfig};
+pub use dini_obs::{HeatMap, MetricsSnapshot, StageRecord, TraceConfig, HEAT_BUCKETS};
+
+// Flight-recorder vocabulary re-exported so callers can hand
+// `ServeConfig::flight` a journal (and read it back post-crash) without
+// naming the flight crate.
+pub use dini_flight::{read_journal, EventKind, FlightEvent, FlightJournal};
 
 // Persistence vocabulary re-exported so restart callers can plan
 // checkpoints and open mmap snapshots without naming the store crate:

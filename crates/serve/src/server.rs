@@ -57,8 +57,9 @@ use crate::stats::{ReplicaMetrics, ServeStats, ShardStats};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use dini_cache_sim::NullMemory;
 use dini_core::{DistributedIndex, NativeConfig};
+use dini_flight::EventKind;
 use dini_index::{DeltaArray, RankIndex};
-use dini_obs::{MetricsRegistry, MetricsSnapshot, StageRecord};
+use dini_obs::{HeatMap, MetricsRegistry, MetricsSnapshot, StageRecord, HEAT_BUCKETS};
 use dini_store::{write_snapshot, ShardRecord, SharedKeys, Snapshot, SpanRecord};
 use dini_workload::Op;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -169,6 +170,9 @@ pub struct IndexServer {
     /// serializes.
     metrics: Arc<MetricsRegistry>,
     counters: Arc<WriterCounters>,
+    /// Key-range heat grid shared with every handle; `None` when
+    /// [`ServeConfig::heat`] is off.
+    heat: Option<Arc<HeatMap>>,
     // ordering: SeqCst on every access — cold teardown flag; one fence at
     // exit buys an obviously-correct drain/join handshake.
     shutdown: Arc<AtomicBool>,
@@ -194,6 +198,7 @@ pub struct ServerHandle {
     selector: ReplicaSelector,
     queues: Vec<Vec<AdmissionQueue>>,
     pools: Vec<SlotPool>,
+    heat: Option<Arc<HeatMap>>,
     clock: Clock,
     /// Per-clone power-of-two-choices rotation tick.
     tick: AtomicU64,
@@ -206,6 +211,7 @@ impl Clone for ServerHandle {
             selector: self.selector,
             queues: self.queues.clone(),
             pools: self.pools.clone(),
+            heat: self.heat.clone(),
             clock: self.clock.clone(),
             tick: AtomicU64::new(0),
         }
@@ -279,6 +285,19 @@ impl IndexServer {
         let live: u64 = seeds.iter().map(|s| s.live_len() as u64).sum();
         counters.live_keys.store(live, Ordering::Relaxed);
         let metrics = Arc::new(MetricsRegistry::new());
+        let heat = cfg.heat.then(|| Arc::new(HeatMap::new(cfg.n_shards)));
+        if let Some(h) = &heat {
+            // One gauge per grid cell: each reads a single relaxed
+            // atomic, so a metrics snapshot costs O(cells), not
+            // O(cells²) whole-grid copies.
+            for s in 0..cfg.n_shards {
+                for b in 0..HEAT_BUCKETS {
+                    let h = h.clone();
+                    let labels = format!("shard=\"{s}\",bucket=\"{b}\"");
+                    metrics.gauge_fn("dini_serve_heat", &labels, move || h.count(s, b));
+                }
+            }
+        }
 
         let n_replicas = cfg.replicas_per_shard;
         let mut queues = Vec::with_capacity(cfg.n_shards);
@@ -413,6 +432,7 @@ impl IndexServer {
             replica_metrics,
             metrics,
             counters,
+            heat,
             shutdown,
             clock: cfg.clock,
             dispatchers,
@@ -428,6 +448,7 @@ impl IndexServer {
             selector: self.selector,
             queues: self.queues.clone(),
             pools: self.pools.clone(),
+            heat: self.heat.clone(),
             clock: self.clock.clone(),
             tick: AtomicU64::new(0),
         }
@@ -575,6 +596,14 @@ impl IndexServer {
         self.replica_metrics.iter().flat_map(|m| m.stage_records()).collect()
     }
 
+    /// The key-range heat grid, shard-major
+    /// (`shard * HEAT_BUCKETS + bucket`) — exactly the vector a
+    /// `StatsReply` frame carries. Empty when [`ServeConfig::heat`] is
+    /// off. Reader-side (allocates).
+    pub fn heat_snapshot(&self) -> Vec<u64> {
+        self.heat.as_ref().map(|h| h.snapshot()).unwrap_or_default()
+    }
+
     /// Snapshot the whole metrics registry: per-replica
     /// counters/histograms, queue gauges, and writer gauges, ready for
     /// [`MetricsSnapshot::to_json`] or
@@ -667,8 +696,14 @@ impl UpdateHandle {
 }
 
 impl ServerHandle {
-    fn enqueue(&self, key: u32, blocking: bool) -> Result<PendingLookup, ServeError> {
+    fn enqueue(&self, key: u32, blocking: bool, trace: u64) -> Result<PendingLookup, ServeError> {
         let shard = self.router.route(key);
+        // Heat is counted at admission — shed requests were still
+        // demand on this key range, which is what a split/cache
+        // decision wants to see.
+        if let Some(h) = &self.heat {
+            h.record(shard, key);
+        }
         let group = &self.queues[shard];
         // Load-aware replica choice: power-of-two choices on live queue
         // depth, skipping crashed replicas. `None` means the whole
@@ -681,7 +716,7 @@ impl ServerHandle {
             return Err(ServeError::ShuttingDown);
         };
         let (slot, handle) = self.pools[shard].take();
-        let req = Request { key, enqueued: self.clock.now(), reply: handle };
+        let req = Request { key, enqueued: self.clock.now(), trace, reply: handle };
         let q = &group[replica];
         if blocking {
             q.submit(req)?;
@@ -697,19 +732,27 @@ impl ServerHandle {
     /// Rank of `key` (number of live index keys ≤ `key`), blocking while
     /// the chosen replica's queue is full (closed-loop semantics).
     pub fn lookup(&self, key: u32) -> Result<u32, ServeError> {
-        self.enqueue(key, true)?.wait()
+        self.enqueue(key, true, 0)?.wait()
     }
 
     /// Rank of `key`, shedding instead of blocking when the chosen
     /// replica's queue is full, then waiting for the answer.
     pub fn try_lookup(&self, key: u32) -> Result<u32, ServeError> {
-        self.enqueue(key, false)?.wait()
+        self.enqueue(key, false, 0)?.wait()
     }
 
     /// Submit without waiting: sheds when the chosen replica's queue is
     /// full, otherwise returns a [`PendingLookup`] to redeem later.
     pub fn begin_lookup(&self, key: u32) -> Result<PendingLookup, ServeError> {
-        self.enqueue(key, false)
+        self.enqueue(key, false, 0)
+    }
+
+    /// [`begin_lookup`](Self::begin_lookup) carrying a causal trace id
+    /// (0 = untraced): the transport layer stamps the id from the
+    /// incoming `Lookup` frame here, so the dispatcher's sampled stage
+    /// records share the originating client's timeline.
+    pub fn begin_lookup_traced(&self, key: u32, trace: u64) -> Result<PendingLookup, ServeError> {
+        self.enqueue(key, false, trace)
     }
 
     /// Rank every key, preserving order. Submits everything before
@@ -717,7 +760,7 @@ impl ServerHandle {
     pub fn lookup_many(&self, keys: &[u32]) -> Result<Vec<u32>, ServeError> {
         let mut replies = Vec::with_capacity(keys.len());
         for &k in keys {
-            replies.push(self.enqueue(k, true)?);
+            replies.push(self.enqueue(k, true, 0)?);
         }
         replies.into_iter().map(PendingLookup::wait).collect()
     }
@@ -887,10 +930,11 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
         let mut keys: Vec<u32> = Vec::new();
         let mut local: Vec<u32> = Vec::new();
         let mut latencies: Vec<f64> = Vec::new();
-        // Admission timestamps of this batch's *sampled* requests —
-        // decided before replies go out (a reaped caller may tear the
-        // server down), stamped after, so tracing never delays a reply.
-        let mut sampled: Vec<u64> = Vec::with_capacity(max_batch);
+        // Admission timestamp + trace id of this batch's *sampled*
+        // requests — decided before replies go out (a reaped caller may
+        // tear the server down), stamped after, so tracing never delays
+        // a reply.
+        let mut sampled: Vec<(u64, u64)> = Vec::with_capacity(max_batch);
         loop {
             let first = match clock.recv_timeout(&req_rx, IDLE_POLL) {
                 Ok(req) => req,
@@ -1005,7 +1049,7 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
             let ring = stats.trace();
             for req in batch.iter() {
                 if ring.sample() {
-                    sampled.push(req.enqueued);
+                    sampled.push((req.enqueued, req.trace));
                 }
             }
             for (req, &local_rank) in batch.drain(..).zip(local.iter()) {
@@ -1025,11 +1069,12 @@ fn spawn_dispatcher(d: Dispatcher) -> ClockJoinHandle<()> {
             // critical path (`filled` = all replies released).
             if !sampled.is_empty() {
                 let filled = clock.now();
-                for &admitted in &sampled {
+                for &(admitted, trace) in &sampled {
                     ring.push(&StageRecord {
                         shard: shard as u16,
                         replica: replica as u16,
                         batch_len: served as u32,
+                        trace,
                         admitted_ns: admitted,
                         collected_ns: collected,
                         dispatched_ns: dispatched,
@@ -1082,6 +1127,12 @@ fn spawn_writer(
                           watermark: (u64, u64),
                           counters: &WriterCounters| {
             let Some(plan) = &cfg.store else { return };
+            // Flight-record the attempt *before* touching the disk: if
+            // the process dies mid-write, the journal still shows a
+            // Begin with no matching Ok/Fail — exactly the truth.
+            if let Some(j) = &cfg.flight {
+                j.record(EventKind::CheckpointBegin, 0, 0, watermark.1, 0, clock.now());
+            }
             let shards: Vec<ShardRecord<'_>> = deltas
                 .iter()
                 .zip(main_epochs)
@@ -1101,9 +1152,15 @@ fn spawn_writer(
             match write_snapshot(&plan.path, &rec) {
                 Ok(()) => {
                     counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+                    if let Some(j) = &cfg.flight {
+                        j.record(EventKind::CheckpointOk, 0, 0, watermark.1, 0, clock.now());
+                    }
                 }
                 Err(_) => {
                     counters.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                    if let Some(j) = &cfg.flight {
+                        j.record(EventKind::CheckpointFail, 0, 0, watermark.1, 0, clock.now());
+                    }
                 }
             }
         };
@@ -1187,6 +1244,9 @@ fn spawn_writer(
                     deltas[s].merge(&mut mem);
                     main_epochs[s] += 1;
                     counters.merges.fetch_add(1, Ordering::Relaxed);
+                    if let Some(j) = &cfg.flight {
+                        j.record(EventKind::EpochSwap, s as u16, 0, main_epochs[s], 0, clock.now());
+                    }
                     // One merged key array, Arc-shared by every
                     // replica's rebuilt index: the fan-out costs
                     // threads per replica, not memory.

@@ -42,7 +42,7 @@ proptest! {
                 for (i, gap) in gaps.into_iter().enumerate() {
                     clock.sleep(Duration::from_micros(gap));
                     let (_slot, reply) = reply_pair();
-                    let req = Request { key: i as u32, enqueued: clock.now(), reply };
+                    let req = Request { key: i as u32, enqueued: clock.now(), trace: 0, reply };
                     if tx.send(req).is_err() {
                         break;
                     }

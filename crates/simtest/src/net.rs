@@ -35,12 +35,27 @@
 //!    quiesce barrier: applied-op set sizes match and sampled local
 //!    ranks agree, so a dropped, duplicated, or blacked-out update
 //!    frame can never silently diverge one replica.
+//!
+//! Two opt-in oracles check the observability plane itself:
+//!
+//! 6. **Causal tracing** ([`NetScenario::dense_tracing`]) — with every
+//!    frame traced on both sides, the client's wire records and the
+//!    servers' stage records must stitch into causal timelines on the
+//!    shared trace id, each monotone on virtual time.
+//! 7. **Flight recorder** ([`NetScenario::flight`]) — the client's
+//!    crash-safe journal must record exactly one event per counted
+//!    election and update resend; the restart scenarios extend this to
+//!    the server's checkpoint story, read cold off disk after a kill.
 
 use dini_cluster::{FaultPlan, LinkPlan};
 use dini_net::transport::ChanNet;
 use dini_net::{ClientConfig, NetHandle, NetServer, NetServerConfig, RemoteClient, Span, Topology};
+use dini_obs::{stitch, StageRecord};
 use dini_serve::clock::dur_ns;
-use dini_serve::{Clock, Nanos, ServeConfig, ServeError, SimClock, StorePlan};
+use dini_serve::{
+    read_journal, Clock, EventKind, FlightJournal, Nanos, ServeConfig, ServeError, SimClock,
+    StorePlan, TraceConfig,
+};
 use dini_workload::{
     gen_sorted_unique_keys, ArrivalGen, ArrivalProcess, ChurnGen, KeyDistribution, KeyGen, Op,
     OpMix,
@@ -53,6 +68,19 @@ use std::time::Duration;
 /// Salt decorrelating churn from key/arrival streams (same constant
 /// family as the in-process scenarios).
 const NET_CHURN_SALT: u64 = 0x5EA5_1DE5 ^ 0x9E37_79B9_7F4A_7C15;
+
+/// Monotone counter making each flight-enabled net run's journal
+/// scratch directory unique — the reproducibility wrapper runs the same
+/// seed twice and the second run must not recover the first run's
+/// events.
+static FLIGHT_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// Trace-every-frame config used on both sides of the wire when
+/// [`NetScenario::dense_tracing`] is on (the sampling seed is
+/// irrelevant at period 1; the capacity just has to outlast the run).
+fn dense_trace() -> TraceConfig {
+    TraceConfig { capacity: 8192, sample_period: 1, seed: 0x5EED }
+}
 
 /// One deterministic multi-process scenario.
 #[derive(Debug, Clone)]
@@ -120,6 +148,18 @@ pub struct NetScenario {
     pub stats_polls: usize,
     /// Virtual pause between stats polls.
     pub stats_poll_gap: Duration,
+    /// Trace every frame (client) and every request (server) instead of
+    /// sampling, then stitch client wire records to server stage records
+    /// on the shared trace id post-run and assert each timeline is
+    /// monotone on virtual time. Clean-link scenarios only: a retried
+    /// frame re-encodes, so a reply answered from an earlier delivered
+    /// attempt would legitimately violate cross-attempt ordering.
+    pub dense_tracing: bool,
+    /// Attach a crash-safe flight journal to the client and assert
+    /// post-run that the recorded event story matches the live
+    /// counters: one `Election` record per observed epoch bump and one
+    /// `UpdateResend` per counted resend.
+    pub flight: bool,
 }
 
 impl NetScenario {
@@ -149,6 +189,8 @@ impl NetScenario {
             latency_bound: None,
             stats_polls: 0,
             stats_poll_gap: Duration::from_micros(500),
+            dense_tracing: false,
+            flight: false,
         }
     }
 }
@@ -190,6 +232,13 @@ pub struct NetReport {
     /// Mid-load wire stats polls that came back (each one oracle-checked
     /// for monotone accounting).
     pub stats_polls_ok: u64,
+    /// Client↔server causal timelines stitched post-run (dense tracing
+    /// only; each one asserted monotone on virtual time).
+    pub stitched_timelines: u64,
+    /// Events the client's flight journal recorded (flight scenarios
+    /// only; the election/resend subsets are asserted against the live
+    /// counters).
+    pub flight_events: u64,
 }
 
 struct Tally {
@@ -329,6 +378,28 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
 
     let keys = Arc::new(gen_sorted_unique_keys(sc.n_keys, seed));
 
+    // Client flight journal: a per-run scratch file under the OS temp
+    // dir, removed before returning. Journal I/O is mmap stores that
+    // never wait on the sim clock, so it cannot perturb the scheduling
+    // digest.
+    let flight_dir = sc.flight.then(|| {
+        let run = FLIGHT_RUN.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "dini-simtest-flight-{}-{run}-{}",
+            std::process::id(),
+            sc.name
+        ));
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("[{}] flight scratch dir: {e}", sc.name));
+        dir
+    });
+    let journal = flight_dir.as_ref().map(|d| {
+        Arc::new(
+            FlightJournal::open(&d.join("client.flt"), 4096)
+                .unwrap_or_else(|e| panic!("[{}] client flight journal: {e}", sc.name)),
+        )
+    });
+
     // Topology: spans of near-equal population, replica endpoints named
     // span-major.
     let per = sc.n_keys / sc.spans;
@@ -372,6 +443,9 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
             serve.max_batch = 64;
             serve.max_delay = sc.server_max_delay;
             serve.clock = clock.clone();
+            if sc.dense_tracing {
+                serve.trace = dense_trace();
+            }
             let acceptor = net.listen(&format!("s{s}e{e}"));
             servers.push(NetServer::start(
                 Box::new(acceptor),
@@ -390,6 +464,8 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
         max_retries: sc.max_retries,
         ctrl_timeout: Duration::from_millis(20),
         handshake_timeout: Duration::from_millis(20),
+        trace: if sc.dense_tracing { dense_trace() } else { TraceConfig::default() },
+        flight: journal.clone(),
         ..ClientConfig::default()
     };
     let client = RemoteClient::connect(net.dialer(), "s0e0", ccfg)
@@ -599,6 +675,61 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
     }
 
     let stats = client.stats();
+
+    // Oracle 6 (dense tracing): the cross-process story. Every frame
+    // carried a trace id, so the client's wire records and the servers'
+    // stage records must stitch into causal timelines, each monotone on
+    // virtual time — encoded before admitted, admitted before answered,
+    // answered before acked. One shared virtual clock makes this an
+    // exact ordering check, not a tolerance.
+    let mut stitched_timelines = 0u64;
+    if sc.dense_tracing {
+        let client_recs = handle.wire_traces();
+        let server_recs: Vec<StageRecord> =
+            servers.iter().flat_map(|s| s.server().stage_traces()).collect();
+        let timelines = stitch(&client_recs, &server_recs);
+        assert!(
+            !timelines.is_empty(),
+            "[{}] dense tracing stitched no client↔server timeline \
+             ({} client wire records, {} server stage records)",
+            sc.name,
+            client_recs.len(),
+            server_recs.len()
+        );
+        for t in &timelines {
+            assert!(
+                t.monotone(),
+                "[{}] stitched timeline for trace {:#x} is not monotone on virtual time",
+                sc.name,
+                t.trace
+            );
+            oracle_checks += 1;
+        }
+        stitched_timelines = timelines.len() as u64;
+    }
+
+    // Oracle 7 (flight): the journal's story matches the live counters
+    // — every election and every update resend left exactly one record.
+    let mut flight_events = 0u64;
+    if let Some(j) = &journal {
+        let events = j.events();
+        flight_events = events.len() as u64;
+        let count = |k: EventKind| events.iter().filter(|e| e.event() == Some(k)).count() as u64;
+        assert_eq!(
+            count(EventKind::Election),
+            stats.elections,
+            "[{}] journal election records disagree with the elections counter",
+            sc.name
+        );
+        assert_eq!(
+            count(EventKind::UpdateResend),
+            stats.update_resends,
+            "[{}] journal resend records disagree with the update_resends counter",
+            sc.name
+        );
+        oracle_checks += 2;
+    }
+
     let served_per_server: Vec<u64> = servers.iter().map(|s| s.server().stats().served).collect();
     let updates_applied: u64 = servers.iter().map(|s| s.server().stats().updates_applied).sum();
 
@@ -619,11 +750,16 @@ pub fn run_net_scenario(sc: &NetScenario, seed: u64) -> NetReport {
         served_per_server,
         updates_applied,
         stats_polls_ok,
+        stitched_timelines,
+        flight_events,
     };
     drop(handle);
     drop(client);
     for s in servers {
         s.shutdown();
+    }
+    if let Some(d) = &flight_dir {
+        let _ = std::fs::remove_dir_all(d);
     }
     let (digest, events) = sim.digest();
     NetReport { digest, events, virtual_ns: sim.now(), ..report }
@@ -733,6 +869,10 @@ pub struct RestartReport {
     pub oracle_checks: u64,
     /// Live keys at the end (must equal the mirror's size).
     pub live_keys: u64,
+    /// Events the victim's flight journal held at the kill, read cold
+    /// off disk (its checkpoint subset is asserted against the victim's
+    /// live counters; the restart must recover every one of them).
+    pub flight_events_at_kill: u64,
 }
 
 /// Run `sc` once under `seed`, enforce its oracles, and return the
@@ -772,6 +912,13 @@ pub fn run_restart_scenario(sc: &RestartScenario, seed: u64) -> RestartReport {
         serve.merge_threshold = sc.merge_threshold;
         serve.clock = clock.clone();
         serve.store = Some(StorePlan::new(dir.join(format!("{ep}.snap"))));
+        // Every endpoint keeps a flight journal next to its snapshot.
+        // The restart call below reopens the victim's — the same
+        // crash-recovery path a real postmortem uses.
+        serve.flight = Some(Arc::new(
+            FlightJournal::open(&dir.join(format!("{ep}.flt")), 4096)
+                .unwrap_or_else(|e| panic!("[{}] {ep} flight journal: {e}", sc.name)),
+        ));
         serve
     };
     let survivor = NetServer::start(
@@ -785,6 +932,13 @@ pub fn run_restart_scenario(sc: &RestartScenario, seed: u64) -> RestartReport {
         NetServerConfig::new(serve_cfg("s0e1"), topology.clone(), 0),
     ));
 
+    // The client keeps its own journal: the kill must show up there as
+    // an endpoint death plus a churn-log election, the rejoin as a
+    // revival plus the catch-up resends.
+    let client_journal = Arc::new(
+        FlightJournal::open(&dir.join("client.flt"), 4096)
+            .unwrap_or_else(|e| panic!("[{}] client flight journal: {e}", sc.name)),
+    );
     let ccfg = ClientConfig {
         clock: clock.clone(),
         max_batch: 64,
@@ -793,6 +947,7 @@ pub fn run_restart_scenario(sc: &RestartScenario, seed: u64) -> RestartReport {
         max_retries: 40,
         ctrl_timeout: Duration::from_millis(20),
         handshake_timeout: Duration::from_millis(20),
+        flight: Some(client_journal.clone()),
         ..ClientConfig::default()
     };
     let client = RemoteClient::connect(net.dialer(), "s0e0", ccfg)
@@ -851,8 +1006,60 @@ pub fn run_restart_scenario(sc: &RestartScenario, seed: u64) -> RestartReport {
 
     // Kill endpoint 1: crash-like process shutdown (the writer takes no
     // parting checkpoint — whatever quiesce or merge cycles persisted
-    // is all the restart gets).
+    // is all the restart gets). Its live checkpoint counters are read
+    // first: the flight journal on disk must tell the same story.
+    let victim_srv = victim.as_ref().expect("victim alive");
+    let victim_checkpoints = victim_srv.server().checkpoints();
+    let victim_ck_failures = victim_srv.server().checkpoint_failures();
     victim.take().expect("victim alive").shutdown();
+
+    // Oracle: the recorded crash story. Read cold off disk — the
+    // postmortem path — the victim's journal must hold exactly one
+    // `CheckpointOk` per counted checkpoint, one `CheckpointFail` per
+    // counted failure, one `CheckpointBegin` per attempt, and every
+    // completion must close a preceding `Begin` (one writer, so
+    // sequence order is program order).
+    let story = read_journal(&dir.join("s0e1.flt"))
+        .unwrap_or_else(|e| panic!("[{}] victim journal unreadable after the kill: {e}", sc.name));
+    let count = |k: EventKind| story.iter().filter(|e| e.event() == Some(k)).count() as u64;
+    assert_eq!(
+        count(EventKind::CheckpointOk),
+        victim_checkpoints,
+        "[{}] journal CheckpointOk records disagree with the victim's checkpoint counter",
+        sc.name
+    );
+    assert_eq!(
+        count(EventKind::CheckpointFail),
+        victim_ck_failures,
+        "[{}] journal CheckpointFail records disagree with the victim's failure counter",
+        sc.name
+    );
+    assert_eq!(
+        count(EventKind::CheckpointBegin),
+        victim_checkpoints + victim_ck_failures,
+        "[{}] every checkpoint attempt must open with exactly one Begin record",
+        sc.name
+    );
+    let mut open_begin = false;
+    for ev in &story {
+        match ev.event() {
+            Some(EventKind::CheckpointBegin) => {
+                assert!(!open_begin, "[{}] nested CheckpointBegin in the journal", sc.name);
+                open_begin = true;
+            }
+            Some(EventKind::CheckpointOk) | Some(EventKind::CheckpointFail) => {
+                assert!(
+                    open_begin,
+                    "[{}] checkpoint completion with no open Begin in the journal",
+                    sc.name
+                );
+                open_begin = false;
+            }
+            _ => {}
+        }
+    }
+    oracle_checks += 3;
+    let flight_events_at_kill = story.len() as u64;
 
     // Churn through the dead window: quorum degrades to the survivor
     // alone (live 1 → quorum 1), so every op still resolves `Ok` and
@@ -937,7 +1144,53 @@ pub fn run_restart_scenario(sc: &RestartScenario, seed: u64) -> RestartReport {
         sc.name
     );
 
+    // The revived endpoint reopened the same journal file: recovery
+    // must have kept the whole pre-kill story and appended past it
+    // (post-rejoin churn checkpoints on the final quiesce barrier).
+    let revived_story = read_journal(&dir.join("s0e1.flt"))
+        .unwrap_or_else(|e| panic!("[{}] revived journal unreadable: {e}", sc.name));
+    assert!(
+        revived_story.len() > story.len(),
+        "[{}] the revived journal must recover the {} pre-kill events and append new ones \
+         (found {})",
+        sc.name,
+        story.len(),
+        revived_story.len()
+    );
+    oracle_checks += 1;
+
     let stats = client.stats();
+
+    // The client's own journal agrees with its counters: the kill is
+    // recorded as an endpoint death and exactly `elections` epoch
+    // bumps; the rejoin as a revival and exactly `update_resends`
+    // catch-up suffix resends.
+    let cstory = client_journal.events();
+    let ccount = |k: EventKind| cstory.iter().filter(|e| e.event() == Some(k)).count() as u64;
+    assert_eq!(
+        ccount(EventKind::Election),
+        stats.elections,
+        "[{}] client journal election records disagree with the elections counter",
+        sc.name
+    );
+    assert_eq!(
+        ccount(EventKind::UpdateResend),
+        stats.update_resends,
+        "[{}] client journal resend records disagree with the update_resends counter",
+        sc.name
+    );
+    assert!(
+        ccount(EventKind::EndpointDead) >= 1,
+        "[{}] the kill never reached the client journal as an EndpointDead record",
+        sc.name
+    );
+    assert!(
+        ccount(EventKind::EndpointRejoin) >= 1,
+        "[{}] the rejoin never reached the client journal as an EndpointRejoin record",
+        sc.name
+    );
+    oracle_checks += 4;
+
     let report = RestartReport {
         digest: 0,
         events: 0,
@@ -949,6 +1202,7 @@ pub fn run_restart_scenario(sc: &RestartScenario, seed: u64) -> RestartReport {
         update_resends: stats.update_resends,
         oracle_checks,
         live_keys: handle.live_keys(),
+        flight_events_at_kill,
     };
     drop(handle);
     drop(client);

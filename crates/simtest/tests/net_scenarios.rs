@@ -183,6 +183,10 @@ fn append_target_crash_mid_churn_elects_and_replays() {
     sc.churn_gap = Duration::from_micros(40);
     sc.link_down = vec![(0, Duration::from_millis(3))];
     sc.latency_bound = None; // failover re-homing can stretch a tail
+                             // The flight journal rides along: the runner asserts the recorded
+                             // election/resend story matches the counters exactly, so the crash
+                             // below must leave a journal trail.
+    sc.flight = true;
     for seed in seeds_from_env() {
         let r = run_net_scenario_reproducibly(&sc, seed);
         assert_eq!(r.ok, r.issued, "failover must hide the crash: {r:?}");
@@ -190,6 +194,10 @@ fn append_target_crash_mid_churn_elects_and_replays() {
         assert!(
             r.elections >= 1,
             "seed {seed}: the crash must have bumped the churn-log epoch ({r:?})"
+        );
+        assert!(
+            r.flight_events >= r.elections,
+            "seed {seed}: the election must have reached the flight journal ({r:?})"
         );
         assert!(r.updates_applied > 0, "churn must mutate the surviving index");
         assert!(
@@ -220,16 +228,53 @@ fn partition_heals_and_the_lagging_replica_reconverges() {
     sc.churn_gap = Duration::from_micros(40);
     sc.blackout = vec![(1, Duration::from_millis(2), Duration::from_millis(10))];
     sc.latency_bound = None; // appends stall across the window
+    sc.flight = true; // every healed-suffix resend must leave a journal record
     for seed in seeds_from_env() {
         let r = run_net_scenario_reproducibly(&sc, seed);
         assert_eq!(r.ok, r.issued, "a healed partition must cost time, not answers: {r:?}");
         assert_eq!((r.shed, r.shutdown), (0, 0));
         assert!(r.update_resends >= 1, "seed {seed}: healing must have replayed a suffix ({r:?})");
+        assert!(
+            r.flight_events >= r.update_resends,
+            "seed {seed}: every resend must have reached the flight journal ({r:?})"
+        );
         assert_eq!(
             r.elections, 0,
             "seed {seed}: a partition that heals inside the retry budget kills nobody ({r:?})"
         );
         assert!(r.updates_applied > 0, "churn must mutate the indexes");
+    }
+}
+
+#[test]
+fn dense_tracing_stitches_monotone_timelines_across_the_wire() {
+    // The causal-tracing acceptance scenario: every frame traced on
+    // both sides over clean links, with churn streaming alongside the
+    // lookups. The runner stitches the client's wire records to the
+    // servers' stage records on the shared trace id and asserts every
+    // timeline is monotone on the one virtual clock (encoded ≤ admitted
+    // ≤ … ≤ filled ≤ acked). Clean links only by design: a retry
+    // re-encodes, which would legitimately reorder stages across
+    // attempts. The flight journal rides along and must stay silent —
+    // a fault-free run records no elections and no resends.
+    let mut sc = NetScenario::base("net-dense-tracing-stitch");
+    sc.dense_tracing = true;
+    sc.flight = true;
+    sc.churn_ops = 100;
+    sc.churn_gap = Duration::from_micros(40);
+    sc.latency_bound = None; // server-side quiesce stalls its connection
+    for seed in seeds_from_env() {
+        let r = run_net_scenario_reproducibly(&sc, seed);
+        assert_eq!(r.ok, r.issued, "clean links: every lookup answers: {r:?}");
+        assert!(
+            r.stitched_timelines > 0,
+            "seed {seed}: dense tracing must stitch at least one client↔server timeline ({r:?})"
+        );
+        assert_eq!(
+            (r.retries, r.elections, r.update_resends),
+            (0, 0, 0),
+            "seed {seed}: nothing failed, so the journal's story must be empty ({r:?})"
+        );
     }
 }
 

@@ -10,6 +10,14 @@
 //! ranks against a runner-side `BTreeSet` mirror mid-dead-window and
 //! post-rejoin, both server *processes* converged to the mirror
 //! (set sizes and local rank sweeps), and live-key accounting exact.
+//!
+//! Every endpoint (and the client) also keeps a `dini-flight` journal:
+//! after the kill the victim's is read cold off disk and its recorded
+//! checkpoint story must match the victim's live counters exactly (one
+//! `Begin` per attempt, `Ok`/`Fail` pairing each `Begin` in sequence
+//! order); the restart reopens — recovers — the same journal and must
+//! append past the pre-kill story; and the client's journal must agree
+//! with its election/resend counters and show the death and rejoin.
 
 use dini_simtest::{run_restart_scenario_reproducibly, seeds_from_env, RestartScenario};
 
@@ -40,6 +48,12 @@ fn kill_span_mid_churn_restart_mirrors_exactly() {
             "seed {seed}: a post-quiesce checkpoint must carry the kill-time watermark"
         );
         assert!(r.oracle_checks >= 512, "seed {seed}: sweeps must have run");
+        // The pre-kill quiesce checkpointed, so the journal the restart
+        // recovered must already have held that story at the kill.
+        assert!(
+            r.flight_events_at_kill >= 2,
+            "seed {seed}: the pre-kill checkpoint must have left Begin+Ok in the journal ({r:?})"
+        );
     }
 }
 

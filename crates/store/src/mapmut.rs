@@ -1,0 +1,289 @@
+//! A writable, shared, whole-file memory mapping — the backing the
+//! flight recorder journals through.
+//!
+//! [`MappedFile`](crate::MappedFile) is deliberately read-only
+//! (`PROT_READ`, `MAP_PRIVATE`): snapshots are immutable once written.
+//! A crash-safe event journal needs the opposite: a fixed-size file
+//! whose pages are written *in place* through a `MAP_SHARED` mapping,
+//! so that every store lands in the kernel's page cache the moment it
+//! retires. A `kill -9` cannot lose those bytes — dirty shared pages
+//! belong to the kernel, not the process — which is exactly the
+//! durability class a flight recorder wants: survives process death for
+//! free, survives power loss only after an explicit
+//! [`flush`](MappedFileMut::flush).
+//!
+//! Writer discipline is the type system's: all mutation goes through
+//! `&mut self`, so a single-writer journal wraps the mapping in its own
+//! lock and readers open their own (read-only) view of the file.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const PROT_WRITE: c_int = 2;
+    const MAP_SHARED: c_int = 1;
+    const MS_SYNC: c_int = 4;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn msync(addr: *mut c_void, len: usize, flags: c_int) -> c_int;
+    }
+
+    /// A read-write, shared, whole-file memory mapping.
+    pub(super) struct RawMapMut {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is exclusively owned by this value and all
+    // mutation is gated behind `&mut self` (no interior mutability), so
+    // moving it to another thread moves the only writer with it.
+    unsafe impl Send for RawMapMut {}
+    // SAFETY: `&self` only ever reads the pages and `&mut self` is the
+    // only writer — ordinary borrow rules make concurrent `&self`
+    // access race-free, exactly as for a `Vec<u8>`.
+    unsafe impl Sync for RawMapMut {}
+
+    impl RawMapMut {
+        /// Map `len` bytes of `file` read-write, shared. `len` must not
+        /// exceed the file's current size (the caller stats the file
+        /// first), and the file must stay un-truncated while mapped so
+        /// faulting a page cannot SIGBUS — journal files are created at
+        /// their final fixed size and never truncated.
+        pub(super) fn map(file: &File, len: usize) -> io::Result<RawMapMut> {
+            assert!(len > 0, "mapping an empty file is a caller bug");
+            // SAFETY: `fd` is a valid open descriptor for the duration
+            // of the call; addr=null lets the kernel pick placement;
+            // length and offset describe a range inside the file per the
+            // documented precondition. The result is checked for
+            // MAP_FAILED before use.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(RawMapMut { ptr: ptr as *mut u8, len })
+        }
+
+        pub(super) fn bytes(&self) -> &[u8] {
+            // SAFETY: `ptr` is the page-aligned base of a live mapping of
+            // exactly `len` bytes (established in `map`, torn down only
+            // in `drop`), and `&self` excludes the `&mut` writer.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+
+        pub(super) fn bytes_mut(&mut self) -> &mut [u8] {
+            // SAFETY: as in `bytes`, plus `&mut self` makes this the
+            // only live view of the pages.
+            unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+        }
+
+        pub(super) fn sync(&self) -> io::Result<()> {
+            // SAFETY: `ptr`/`len` describe exactly the live mapping;
+            // msync only schedules write-back, it does not alias.
+            let rc = unsafe { msync(self.ptr as *mut c_void, self.len, MS_SYNC) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for RawMapMut {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` describe exactly the mapping created
+            // in `map`, unmapped exactly once (Drop runs once).
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+/// Portable fallback backing: a heap buffer written back to the file on
+/// [`flush`](MappedFileMut::flush). **Not** crash-safe — without a real
+/// shared mapping, bytes not yet flushed die with the process.
+struct HeapMut {
+    #[cfg_attr(unix, allow(dead_code))]
+    file: std::fs::File,
+    buf: Vec<u8>,
+}
+
+enum Backing {
+    #[cfg(unix)]
+    Map(sys::RawMapMut),
+    #[cfg_attr(unix, allow(dead_code))]
+    Heap(HeapMut),
+}
+
+/// A fixed-size file held open for in-place writes: a shared writable
+/// `mmap` on unix (stores survive `kill -9` the moment they retire), a
+/// heap buffer + write-back elsewhere.
+pub struct MappedFileMut {
+    backing: Backing,
+    len: usize,
+}
+
+impl MappedFileMut {
+    /// Open `path` — which must already exist at its final size — for
+    /// in-place reads and writes. The file must not be truncated while
+    /// open.
+    pub fn open(path: &Path) -> io::Result<MappedFileMut> {
+        let file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "empty journal file"));
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file exceeds usize"))?;
+        #[cfg(unix)]
+        {
+            Ok(MappedFileMut { backing: Backing::Map(sys::RawMapMut::map(&file, len)?), len })
+        }
+        #[cfg(not(unix))]
+        {
+            let buf = std::fs::read(path)?;
+            Ok(MappedFileMut { backing: Backing::Heap(HeapMut { file, buf }), len })
+        }
+    }
+
+    /// Bytes mapped (the file's fixed size).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file is zero-length (never: `open` rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The file's bytes, in place.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Map(m) => m.bytes(),
+            Backing::Heap(h) => &h.buf,
+        }
+    }
+
+    /// The file's bytes, writable in place. On unix every store is in
+    /// the page cache (process-death durable) as soon as it retires.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        match &mut self.backing {
+            #[cfg(unix)]
+            Backing::Map(m) => m.bytes_mut(),
+            Backing::Heap(h) => &mut h.buf,
+        }
+    }
+
+    /// Push the bytes to stable storage: `msync(MS_SYNC)` on unix (power-
+    /// loss durability; process-death durability needs no flush at all),
+    /// a full write-back + fsync on the portable fallback.
+    pub fn flush(&mut self) -> io::Result<()> {
+        match &mut self.backing {
+            #[cfg(unix)]
+            Backing::Map(m) => m.sync(),
+            Backing::Heap(h) => {
+                use std::io::{Seek, SeekFrom, Write};
+                h.file.seek(SeekFrom::Start(0))?;
+                h.file.write_all(&h.buf)?;
+                h.file.sync_all()
+            }
+        }
+    }
+
+    /// Whether this is a true shared memory mapping (as opposed to the
+    /// portable heap fallback, which is not crash-safe).
+    pub fn is_mmap(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Map(_) => true,
+            Backing::Heap(_) => false,
+        }
+    }
+}
+
+impl fmt::Debug for MappedFileMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedFileMut")
+            .field("len", &self.len)
+            .field("mmap", &self.is_mmap())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dini-store-mapmut-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writes_through_the_mapping_land_in_the_file() {
+        let path = scratch("write.bin");
+        std::fs::write(&path, vec![0u8; 128]).unwrap();
+        {
+            let mut m = MappedFileMut::open(&path).unwrap();
+            assert_eq!(m.len(), 128);
+            m.bytes_mut()[7] = 0xAB;
+            m.bytes_mut()[127] = 0xCD;
+            assert_eq!(m.bytes()[7], 0xAB);
+            // Dropping without flush: page-cache (or write-back on the
+            // fallback) must still carry the bytes for a same-machine
+            // reopen…
+            #[cfg(not(unix))]
+            m.flush().unwrap();
+        }
+        let back = std::fs::read(&path).unwrap();
+        assert_eq!((back[7], back[127]), (0xAB, 0xCD));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_succeeds_and_persists() {
+        let path = scratch("flush.bin");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        let mut m = MappedFileMut::open(&path).unwrap();
+        m.bytes_mut()[0] = 1;
+        m.flush().unwrap();
+        drop(m);
+        assert_eq!(std::fs::read(&path).unwrap()[0], 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_refused() {
+        let path = scratch("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        assert!(MappedFileMut::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

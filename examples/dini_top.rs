@@ -2,10 +2,13 @@
 //! entirely over the wire: it connects a `RemoteClient` to any
 //! endpoint, learns the shard map from the handshake, and then polls
 //! every span with `StatsRequest` frames on a fixed cadence, printing
-//! per-span served/admitted/shed counters, queue depths per replica,
-//! latency quantiles, and the stage-latency breakdown the servers
-//! sample into their trace rings. No server-side cooperation beyond
-//! the protocol — the observability plane is just frames.
+//! per-span served/admitted/shed counters, *live per-second rates*
+//! (each all-time wire counter fed through a windowed [`Meter`]), a
+//! key-range heat bar (the 16-bucket access grid the servers count on
+//! the read path), queue depths per replica, latency quantiles, and
+//! the stage-latency breakdown the servers sample into their trace
+//! rings. No server-side cooperation beyond the protocol — the
+//! observability plane is just frames.
 //!
 //! ```text
 //! cargo run --release --example dini_top -- 127.0.0.1:4100        # attach
@@ -20,27 +23,84 @@
 
 use dini::net::transport::{TcpAcceptorT, TcpDialer};
 use dini::net::{Acceptor, ClientConfig, NetServerConfig, StatsMsg, Topology};
-use dini::obs::MetricsSnapshot;
+use dini::obs::{Meter, MetricsSnapshot, HEAT_BUCKETS};
 use dini::serve::ServeConfig;
 use dini::{NetServer, RemoteClient};
 use dini_cluster::LogHistogram;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn smoke() -> bool {
     std::env::var_os("DINI_TOP_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
 }
 
+/// Windowed per-second rates for one span, fed one wire poll at a time.
+#[derive(Default)]
+struct SpanRates {
+    served: Meter,
+    shed: Meter,
+}
+
+/// Turns successive polls of the all-time wire counters into "right
+/// now" per-second rates, one [`SpanRates`] per span on one shared
+/// monotonic timeline.
+struct RateView {
+    start: Instant,
+    spans: Vec<SpanRates>,
+}
+
+impl RateView {
+    fn new(n_spans: usize) -> Self {
+        Self { start: Instant::now(), spans: (0..n_spans).map(|_| SpanRates::default()).collect() }
+    }
+
+    /// Feed one poll; returns `(served/s, shed/s)` over the window just
+    /// closed (0.0 until the second poll primes the window).
+    fn observe(&mut self, span: usize, s: &StatsMsg) -> (f64, f64) {
+        let t_ns = self.start.elapsed().as_nanos() as u64;
+        let r = &mut self.spans[span];
+        (r.served.observe(t_ns, s.served), r.shed.observe(t_ns, s.shed))
+    }
+}
+
+/// Render a span's key-range heat grid (shard-major ×
+/// [`HEAT_BUCKETS`]) as one bar, buckets summed across shards and
+/// scaled to the hottest: `·` cold, `▁`…`█` relative heat.
+fn heat_bar(heat: &[u64]) -> String {
+    if heat.is_empty() {
+        return "(heat off)".to_owned();
+    }
+    let mut buckets = [0u64; HEAT_BUCKETS];
+    for (i, c) in heat.iter().enumerate() {
+        buckets[i % HEAT_BUCKETS] += c;
+    }
+    let max = buckets.iter().copied().max().unwrap_or(0);
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    buckets
+        .iter()
+        .map(|&b| {
+            if b == 0 {
+                '·'
+            } else {
+                GLYPHS[((b as u128 * (GLYPHS.len() as u128 - 1) / max as u128) as usize)
+                    .min(GLYPHS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
 /// One rendered frame of the display: every span's live counters.
-fn render(tick: u64, spans: &[(usize, Option<StatsMsg>)]) {
+fn render(tick: u64, spans: &[(usize, Option<StatsMsg>)], rates: &mut RateView) {
     println!("── dini_top · poll {tick} ──");
     println!(
-        "{:>4} {:>10} {:>10} {:>7} {:>9} {:>8}  latency / stages / replicas",
-        "span", "served", "admitted", "shed", "rerouted", "keys"
+        "{:>4} {:>10} {:>9} {:>10} {:>7} {:>9} {:>8}  heat / latency / stages / replicas",
+        "span", "served", "/s", "admitted", "shed", "rerouted", "keys"
     );
     for (span, stats) in spans {
         match stats {
             None => println!("{span:>4} {:>10}", "(unreachable)"),
             Some(s) => {
+                let (served_rate, _) = rates.observe(*span, s);
+                let heat = heat_bar(&s.heat);
                 // The server ships quantiles pre-computed (a histogram
                 // does not cross the wire); rebuild a one-line summary
                 // from them with the shared formatter by proxy.
@@ -70,7 +130,8 @@ fn render(tick: u64, spans: &[(usize, Option<StatsMsg>)]) {
                     ));
                 }
                 println!(
-                    "{span:>4} {:>10} {:>10} {:>7} {:>9} {:>8}  {lat}{stages} |{replicas}",
+                    "{span:>4} {:>10} {served_rate:>9.0} {:>10} {:>7} {:>9} {:>8}  \
+                     [{heat}] {lat}{stages} |{replicas}",
                     s.served, s.admitted, s.shed, s.rerouted, s.live_keys
                 );
             }
@@ -103,10 +164,11 @@ fn main() {
         });
     let handle = client.handle();
     println!("attached to {addr}: {} spans, {} live keys", handle.n_spans(), handle.live_keys());
+    let mut rates = RateView::new(handle.n_spans());
     let mut tick = 0u64;
     loop {
         tick += 1;
-        render(tick, &poll_all(&handle));
+        render(tick, &poll_all(&handle), &mut rates);
         std::thread::sleep(cadence);
     }
 }
@@ -130,7 +192,9 @@ fn smoke_run() {
         .expect("connect to smoke server");
     let handle = client.handle();
 
-    // A burst of load between polls, so served visibly advances.
+    // A burst of load between polls, so served (and its windowed rate)
+    // visibly advances.
+    let mut rates = RateView::new(handle.n_spans());
     let mut last_served = 0u64;
     for tick in 1..=3u64 {
         for i in 0..500u32 {
@@ -139,11 +203,24 @@ fn smoke_run() {
             assert_eq!(handle.lookup(q), Ok(want), "smoke rank({q})");
         }
         let polled = poll_all(&handle);
-        render(tick, &polled);
+        render(tick, &polled, &mut rates);
         let s = polled[0].1.as_ref().expect("span 0 must answer its stats poll");
         assert!(s.served >= last_served + 500, "served must advance by at least the burst");
         assert_eq!(s.live_keys, keys.len() as u64);
         assert_eq!(s.replicas.len(), 4, "2 shards × 2 replicas");
+        if tick >= 2 {
+            // The first poll primed the meter; every later window closes
+            // over a 500-lookup burst, so the live rate must be positive.
+            assert!(
+                rates.spans[0].served.rate() > 0.0,
+                "windowed served rate must advance once primed"
+            );
+        }
+        // Key-range heat rode the same stats frame: the burst hits low
+        // keys only, so the grid is nonzero and the hottest bucket
+        // renders full-block.
+        assert!(s.heat.iter().sum::<u64>() > 0, "heat counters must tick under load");
+        assert!(heat_bar(&s.heat).contains('█'), "the hottest bucket must render");
         last_served = s.served;
     }
     // The client kept its own wire clock: RTT histogram + sampled

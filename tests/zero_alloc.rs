@@ -125,10 +125,12 @@ fn serve_steady_state_lookup_is_allocation_free() {
     cfg.max_batch = 64;
     cfg.max_delay = Duration::from_micros(50);
     // Densest possible observability: *every* request is considered and
-    // recorded into the pre-allocated stage-trace rings, and the
-    // lock-free per-replica metrics run as always. Instrumentation must
-    // ride the steady state for free or it doesn't ship.
+    // recorded into the pre-allocated stage-trace rings, key-range heat
+    // counters tick on every admission, and the lock-free per-replica
+    // metrics run as always. Instrumentation must ride the steady state
+    // for free or it doesn't ship.
     cfg.trace = TraceConfig::dense();
+    cfg.heat = true;
     let server = IndexServer::build(&keys, cfg);
     let h = server.handle();
 
@@ -167,6 +169,8 @@ fn serve_steady_state_lookup_is_allocation_free() {
         "dense tracing must have recorded stage traces during the armed window"
     );
     assert!(traces.iter().all(|r| r.stages_monotonic()), "recorded traces are well-formed");
+    let heat = server.heat_snapshot();
+    assert!(heat.iter().sum::<u64>() > 0, "heat counters must have ticked during the armed window");
 
     // And the answers stay exact.
     for q in [0u32, 1, 199_997, 200_000, u32::MAX] {
